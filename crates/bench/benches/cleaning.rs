@@ -1,0 +1,49 @@
+//! Cleaning-stage benchmarks: §IV-B order repair and Table 2 segmentation
+//! throughput on simulated sessions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use taxitrace_bench::{bench_city, bench_fleet};
+use taxitrace_cleaning::{clean_session, repair_order, CleaningConfig};
+
+fn cleaning_benches(c: &mut Criterion) {
+    let city = bench_city();
+    let fleet = bench_fleet(&city, 11, 0.02);
+    // Pick a large session as the workload.
+    let session = fleet
+        .sessions
+        .iter()
+        .max_by_key(|s| s.points.len())
+        .expect("fleet has sessions")
+        .clone();
+    let config = CleaningConfig::default();
+
+    let mut group = c.benchmark_group("cleaning");
+    group.throughput(criterion::Throughput::Elements(session.points.len() as u64));
+
+    group.bench_function("order_repair", |b| {
+        b.iter_batched(
+            || session.points.clone(),
+            |pts| repair_order(&pts),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("clean_session_full", |b| {
+        b.iter(|| clean_session(&session, &config))
+    });
+
+    group.bench_function("clean_whole_fleet_sample", |b| {
+        let sample: Vec<_> = fleet.sessions.iter().take(25).collect();
+        b.iter(|| {
+            sample
+                .iter()
+                .map(|s| clean_session(s, &config).segments.len())
+                .sum::<usize>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, cleaning_benches);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Substrate micro-benchmarks: geometry primitives and statistical
+//! estimators that sit in the pipeline's inner loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taxitrace_geo::{BBox, Corridor, Point, Polyline, RTree, RTreeEntry};
+use taxitrace_stats::{ols_fit, qq_points, Matrix, RandomIntercept, Summary};
+
+fn geo_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo");
+
+    // A 50-vertex polyline (a long merged edge).
+    let line = Polyline::new(
+        (0..50)
+            .map(|i| Point::new(i as f64 * 40.0, ((i * 7) % 13) as f64 * 15.0))
+            .collect(),
+    )
+    .expect("valid polyline");
+
+    group.bench_function("polyline_project", |b| {
+        let q = Point::new(911.0, 53.0);
+        b.iter(|| line.project(q))
+    });
+
+    group.bench_function("corridor_crossings", |b| {
+        let corridor = Corridor::new(line.clone(), 60.0);
+        let traj: Vec<Point> =
+            (0..120).map(|i| Point::new(i as f64 * 17.0, -200.0 + i as f64 * 4.0)).collect();
+        b.iter(|| corridor.crossings(&traj).len())
+    });
+
+    group.bench_function("rtree_query", |b| {
+        let entries: Vec<RTreeEntry<usize>> = (0..2000)
+            .map(|i| RTreeEntry {
+                bbox: BBox::from_point(Point::new(
+                    ((i * 131) % 4000) as f64 - 2000.0,
+                    ((i * 37) % 4000) as f64 - 2000.0,
+                ))
+                .expand(30.0),
+                item: i,
+            })
+            .collect();
+        let tree = RTree::bulk_load(entries);
+        b.iter(|| tree.within_radius(Point::new(120.0, -340.0), 100.0).len())
+    });
+
+    group.finish();
+}
+
+fn stats_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+
+    let data: Vec<f64> = (0..10_000).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64).collect();
+    group.bench_function("summary_10k", |b| b.iter(|| Summary::of(&data)));
+    group.bench_function("qq_points_10k", |b| b.iter(|| qq_points(&data).len()));
+
+    // OLS with 3 predictors over 5 000 rows.
+    let n = 5_000;
+    let mut x = Matrix::zeros(n, 4);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = (i % 17) as f64;
+        let b_ = (i % 29) as f64;
+        let c_ = (i % 7) as f64;
+        x[(i, 0)] = 1.0;
+        x[(i, 1)] = a;
+        x[(i, 2)] = b_;
+        x[(i, 3)] = c_;
+        y.push(2.0 + 0.5 * a - 0.2 * b_ + 1.1 * c_ + ((i * 31) % 11) as f64 * 0.01);
+    }
+    group.bench_function("ols_5k_x4", |b| b.iter(|| ols_fit(&y, &x).expect("fits")));
+
+    // REML LMM: 5 000 observations over 120 groups.
+    let groups: Vec<u64> = (0..n).map(|i| (i % 120) as u64).collect();
+    let x1 = Matrix::from_rows(n, 1, vec![1.0; n]);
+    group.sample_size(20);
+    group.bench_function("lmm_reml_5k_120groups", |b| {
+        b.iter(|| RandomIntercept::default().fit(&y, &x1, &groups).expect("fits"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, geo_benches, stats_benches);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! End-to-end pipeline benchmarks: fleet simulation and the full study
+//! (simulate → store → clean → select → match → fuse) at reduced volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taxitrace_bench::bench_city;
+use taxitrace_core::{Study, StudyConfig};
+use taxitrace_traces::{simulate_fleet, FleetConfig};
+use taxitrace_weather::WeatherModel;
+
+fn pipeline_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("city_generation", |b| b.iter(bench_city));
+
+    group.bench_function("fleet_simulation_1pct", |b| {
+        let city = bench_city();
+        let weather = WeatherModel::new(5);
+        let cfg = FleetConfig { scale: 0.01, ..FleetConfig::default() };
+        b.iter(|| simulate_fleet(&city, &weather, &cfg).total_points())
+    });
+
+    group.bench_function("full_study_2pct", |b| {
+        b.iter(|| {
+            let out = Study::new(StudyConfig::scaled(5, 0.02)).run();
+            (out.segments.len(), out.transitions.len())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_benches);
+criterion_main!(benches);

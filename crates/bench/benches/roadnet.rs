@@ -1,0 +1,47 @@
+//! Road-network benchmarks: graph construction from traffic elements
+//! (§IV-A) and Dijkstra shortest paths (the pgRouting role).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use taxitrace_bench::bench_city;
+use taxitrace_roadnet::{dijkstra, CostModel, NodeId, RoadGraph};
+
+fn roadnet_benches(c: &mut Criterion) {
+    let city = bench_city();
+    let projection = *city.graph.projection();
+
+    let mut group = c.benchmark_group("roadnet");
+
+    group.bench_function("graph_build", |b| {
+        b.iter(|| RoadGraph::build(&city.elements, projection).expect("valid city"))
+    });
+
+    let from = city.od_roads[0].outer_node;
+    let to = city.od_roads[1].outer_node;
+    group.bench_function("dijkstra_od_to_od", |b| {
+        b.iter(|| dijkstra::shortest_path(&city.graph, from, to, CostModel::TravelTime))
+    });
+
+    group.bench_function("dijkstra_all_pairs_sample", |b| {
+        let n = city.graph.num_nodes() as u32;
+        b.iter(|| {
+            let mut total = 0.0;
+            for k in (0..n).step_by(37) {
+                if let Some(p) =
+                    dijkstra::shortest_path(&city.graph, NodeId(k % n), to, CostModel::Distance)
+                {
+                    total += p.length_m;
+                }
+            }
+            total
+        })
+    });
+
+    group.bench_function("junction_pairs_table1", |b| {
+        b.iter(|| city.graph.junction_pairs().len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, roadnet_benches);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Trip-store benchmarks: ingest, keyed access, time scans and spatial
+//! queries (the PostGIS-role workload).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use taxitrace_bench::{bench_city, bench_fleet};
+use taxitrace_geo::{BBox, Point};
+use taxitrace_store::{Query, TripStore};
+use taxitrace_timebase::{study_period_start, Duration};
+use taxitrace_traces::TaxiId;
+
+fn store_benches(c: &mut Criterion) {
+    let city = bench_city();
+    let fleet = bench_fleet(&city, 44, 0.03);
+    let sessions = fleet.sessions;
+
+    let mut store = TripStore::new();
+    store.insert_all(sessions.clone()).expect("unique ids");
+    let n_points: u64 = store.stats().points as u64;
+
+    let mut group = c.benchmark_group("store");
+    group.throughput(criterion::Throughput::Elements(n_points));
+
+    group.bench_function("bulk_insert", |b| {
+        b.iter_batched(
+            || sessions.clone(),
+            |s| {
+                let mut st = TripStore::new();
+                st.insert_all(s).expect("unique ids");
+                st.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("taxi_scan", |b| {
+        b.iter(|| store.of_taxi(TaxiId(1)).map(|s| s.points.len()).sum::<usize>())
+    });
+
+    group.bench_function("time_range_scan", |b| {
+        let from = study_period_start() + Duration::from_days(60);
+        let to = study_period_start() + Duration::from_days(240);
+        b.iter(|| store.in_time_range(from, to).count())
+    });
+
+    group.bench_function("spatial_bbox_query", |b| {
+        let bbox = BBox::from_corners(Point::new(-400.0, -400.0), Point::new(400.0, 400.0));
+        b.iter(|| store.points_in_bbox(&bbox).len())
+    });
+
+    group.bench_function("composed_query", |b| {
+        let q = Query::new().taxi(TaxiId(2)).min_points(20).touches(BBox::from_corners(
+            Point::new(-1000.0, -1000.0),
+            Point::new(1000.0, 1000.0),
+        ));
+        b.iter(|| store.query(&q).len())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, store_benches);
+criterion_main!(benches);

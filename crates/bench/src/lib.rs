@@ -1,0 +1,25 @@
+//! Shared fixtures for the benchmark suite and the `repro` experiment
+//! harness.
+
+use taxitrace_core::{Study, StudyConfig, StudyOutput};
+use taxitrace_roadnet::synth::{generate, OuluConfig, SyntheticCity};
+use taxitrace_traces::{simulate_fleet, FleetConfig, FleetData};
+use taxitrace_weather::WeatherModel;
+
+/// The default synthetic city used by benches.
+pub fn bench_city() -> SyntheticCity {
+    generate(&OuluConfig::default())
+}
+
+/// A small simulated fleet for micro-benchmarks.
+pub fn bench_fleet(city: &SyntheticCity, seed: u64, scale: f64) -> FleetData {
+    let weather = WeatherModel::new(seed);
+    let mut cfg = FleetConfig::tiny(seed);
+    cfg.scale = scale;
+    simulate_fleet(city, &weather, &cfg)
+}
+
+/// A reduced study output for analysis benches.
+pub fn bench_study(seed: u64, scale: f64) -> StudyOutput {
+    Study::new(StudyConfig::scaled(seed, scale)).run()
+}

@@ -1,0 +1,244 @@
+use taxitrace_timebase::Timestamp;
+use taxitrace_traces::RoutePoint;
+
+/// Which candidate ordering the §IV-B repair selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChosenOrder {
+    /// Server arrival ids were the true order (timestamps had glitched).
+    ById,
+    /// Device timestamps were the true order (packets arrived late).
+    ByTimestamp,
+}
+
+/// Diagnostics of one order repair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderRepairReport {
+    pub chosen: ChosenOrder,
+    /// Total trip distance when points are id-ordered, metres.
+    pub id_order_length_m: f64,
+    /// Total trip distance when points are timestamp-ordered, metres.
+    pub ts_order_length_m: f64,
+    /// Whether the two orders disagreed at all.
+    pub orders_differed: bool,
+}
+
+/// §IV-B order repair.
+///
+/// "We sort the route points into two sequences: by their id and by their
+/// timestamp. Then, the overall distance of the trip is calculated for both
+/// sequences. The one with the smaller length is judged as the right
+/// sequence. Finally, all the corresponding properties are aligned with
+/// respect to the correct sequence to guarantee monotonic increase."
+///
+/// The returned points are in the chosen order with timestamps clamped to
+/// be non-decreasing (the "monotonic increase" alignment: a glitched clock
+/// reading is pulled up to its predecessor).
+pub fn repair_order(points: &[RoutePoint]) -> (Vec<RoutePoint>, OrderRepairReport) {
+    let mut by_id: Vec<RoutePoint> = points.to_vec();
+    by_id.sort_by_key(|p| p.point_id);
+    let mut by_ts: Vec<RoutePoint> = points.to_vec();
+    // Stable sort; ties broken by id to stay deterministic.
+    by_ts.sort_by_key(|p| (p.timestamp, p.point_id));
+
+    let id_len = path_length(&by_id);
+    let ts_len = path_length(&by_ts);
+    let orders_differed = by_id
+        .iter()
+        .zip(by_ts.iter())
+        .any(|(a, b)| a.point_id != b.point_id);
+
+    // Smaller total distance wins; ties favour the timestamp order (the
+    // common no-error case where both agree).
+    let (mut chosen_points, chosen) = if id_len < ts_len {
+        (by_id, ChosenOrder::ById)
+    } else {
+        (by_ts, ChosenOrder::ByTimestamp)
+    };
+
+    // Align properties: enforce monotonic timestamps.
+    let mut last = Timestamp::from_secs(i64::MIN);
+    for p in &mut chosen_points {
+        if p.timestamp < last {
+            p.timestamp = last;
+        }
+        last = p.timestamp;
+    }
+
+    (
+        chosen_points,
+        OrderRepairReport {
+            chosen,
+            id_order_length_m: id_len,
+            ts_order_length_m: ts_len,
+            orders_differed,
+        },
+    )
+}
+
+/// Total polyline length of a point sequence, metres (planar frame).
+fn path_length(points: &[RoutePoint]) -> f64 {
+    points
+        .windows(2)
+        .map(|w| w[0].pos.distance(w[1].pos))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_geo::{GeoPoint, Point};
+    use taxitrace_traces::{PointTruth, TaxiId, TripId};
+
+    fn pt(id: u64, t: i64, x: f64) -> RoutePoint {
+        RoutePoint {
+            point_id: id,
+            trip_id: TripId(1),
+            taxi: TaxiId(1),
+            geo: GeoPoint::new(25.0, 65.0),
+            pos: Point::new(x, 0.0),
+            timestamp: Timestamp::from_secs(t),
+            speed_kmh: 30.0,
+            heading_deg: 90.0,
+            fuel_ml: 0.0,
+            truth: PointTruth { seq: id as u32, element: None },
+        }
+    }
+
+    #[test]
+    fn agreeing_orders_pass_through() {
+        let pts = vec![pt(0, 0, 0.0), pt(1, 10, 100.0), pt(2, 20, 200.0)];
+        let (out, report) = repair_order(&pts);
+        assert!(!report.orders_differed);
+        assert_eq!(report.chosen, ChosenOrder::ByTimestamp);
+        assert_eq!(out.iter().map(|p| p.point_id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn latency_reorder_fixed_by_timestamp_order() {
+        // True movement 0 → 100 → 200 → 300; the middle two arrived swapped,
+        // so ids are 0,1,2,3 but positions zig-zag in id order.
+        let pts = vec![
+            pt(0, 0, 0.0),
+            pt(1, 20, 200.0), // arrived early (late point)
+            pt(2, 10, 100.0),
+            pt(3, 30, 300.0),
+        ];
+        let (out, report) = repair_order(&pts);
+        assert!(report.orders_differed);
+        assert_eq!(report.chosen, ChosenOrder::ByTimestamp);
+        assert!(report.ts_order_length_m < report.id_order_length_m);
+        let xs: Vec<f64> = out.iter().map(|p| p.pos.x).collect();
+        assert_eq!(xs, vec![0.0, 100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn clock_glitch_fixed_by_id_order() {
+        // Ids are the true order; one timestamp glitched backwards.
+        let pts = vec![
+            pt(0, 0, 0.0),
+            pt(1, 10, 100.0),
+            pt(2, 3, 200.0), // clock glitch: should be ~20
+            pt(3, 30, 300.0),
+        ];
+        let (out, report) = repair_order(&pts);
+        assert!(report.orders_differed);
+        assert_eq!(report.chosen, ChosenOrder::ById);
+        // Timestamps monotonic after alignment.
+        for w in out.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        let xs: Vec<f64> = out.iter().map(|p| p.pos.x).collect();
+        assert_eq!(xs, vec![0.0, 100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let (out, r) = repair_order(&[]);
+        assert!(out.is_empty());
+        assert_eq!(r.id_order_length_m, 0.0);
+        let one = vec![pt(0, 5, 1.0)];
+        let (out, _) = repair_order(&one);
+        assert_eq!(out.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use taxitrace_geo::{GeoPoint, Point};
+    use taxitrace_traces::{PointTruth, TaxiId, TripId};
+
+    fn mk(id: u64, t: i64, x: f64, y: f64) -> RoutePoint {
+        RoutePoint {
+            point_id: id,
+            trip_id: TripId(1),
+            taxi: TaxiId(1),
+            geo: GeoPoint::new(25.0, 65.0),
+            pos: Point::new(x, y),
+            timestamp: Timestamp::from_secs(t),
+            speed_kmh: 0.0,
+            heading_deg: 0.0,
+            fuel_ml: 0.0,
+            truth: PointTruth { seq: id as u32, element: None },
+        }
+    }
+
+    proptest! {
+        /// Repair is idempotent: repairing repaired output changes nothing.
+        #[test]
+        fn idempotent(
+            coords in proptest::collection::vec((0i64..10_000, -1e3f64..1e3, -1e3f64..1e3), 2..30)
+        ) {
+            let pts: Vec<RoutePoint> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, x, y))| mk(i as u64, t, x, y))
+                .collect();
+            let (once, _) = repair_order(&pts);
+            let (twice, _) = repair_order(&once);
+            let a: Vec<u64> = once.iter().map(|p| p.point_id).collect();
+            let b: Vec<u64> = twice.iter().map(|p| p.point_id).collect();
+            prop_assert_eq!(a, b);
+        }
+
+        /// Output timestamps are always monotonic and no point is lost.
+        #[test]
+        fn monotone_and_lossless(
+            coords in proptest::collection::vec((0i64..10_000, -1e3f64..1e3), 0..30)
+        ) {
+            let pts: Vec<RoutePoint> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, x))| mk(i as u64, t, x, 0.0))
+                .collect();
+            let (out, _) = repair_order(&pts);
+            prop_assert_eq!(out.len(), pts.len());
+            for w in out.windows(2) {
+                prop_assert!(w[0].timestamp <= w[1].timestamp);
+            }
+            let mut ids: Vec<u64> = out.iter().map(|p| p.point_id).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(ids, (0..pts.len() as u64).collect::<Vec<_>>());
+        }
+
+        /// The chosen order never has a longer path than the rejected one.
+        #[test]
+        fn chooses_shorter(
+            coords in proptest::collection::vec((0i64..10_000, -1e3f64..1e3), 2..30)
+        ) {
+            let pts: Vec<RoutePoint> = coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(t, x))| mk(i as u64, t, x, 0.0))
+                .collect();
+            let (_, r) = repair_order(&pts);
+            match r.chosen {
+                ChosenOrder::ById => prop_assert!(r.id_order_length_m <= r.ts_order_length_m),
+                ChosenOrder::ByTimestamp => {
+                    prop_assert!(r.ts_order_length_m <= r.id_order_length_m)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Driving-coach post-trip analysis.
+//!
+//! The paper's conclusion: "we have incorporated the preprocessing, map
+//! preparation, filtering, map-matching and feature extraction properties
+//! to a Driving coach prototype, suggesting post-driving analysis of the
+//! trips driven" (citing the authors' TR-C 2015 personalised
+//! fuel-efficiency assistant). This module is that prototype layer: it
+//! turns a fused [`TransitionRecord`] into a per-trip efficiency report
+//! with detected events and advice.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use taxitrace_traces::FuelModel;
+
+use crate::transitions::TransitionRecord;
+
+/// A coaching-relevant event detected on a trip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CoachEvent {
+    /// Stationary for this many seconds with the engine running.
+    LongIdle { at_point: usize, duration_s: f64 },
+    /// Speed dropped by `drop_kmh` within `window_s` seconds.
+    HardBraking { at_point: usize, drop_kmh: f64, window_s: f64 },
+    /// Driven `over_kmh` above the posted limit.
+    Speeding { at_point: usize, over_kmh: f64 },
+}
+
+impl fmt::Display for CoachEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoachEvent::LongIdle { duration_s, .. } => {
+                write!(f, "idled {duration_s:.0} s with the engine running")
+            }
+            CoachEvent::HardBraking { drop_kmh, window_s, .. } => {
+                write!(f, "hard braking: -{drop_kmh:.0} km/h in {window_s:.0} s")
+            }
+            CoachEvent::Speeding { over_kmh, .. } => {
+                write!(f, "{over_kmh:.0} km/h over the posted limit")
+            }
+        }
+    }
+}
+
+/// Per-trip efficiency report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TripReport {
+    pub pair: String,
+    /// Events in trip order.
+    pub events: Vec<CoachEvent>,
+    /// Seconds spent stationary.
+    pub idle_s: f64,
+    /// Seconds above the posted limit.
+    pub speeding_s: f64,
+    /// Measured fuel, ml.
+    pub fuel_ml: f64,
+    /// Fuel an ideal steady drive over the same distance would have used,
+    /// ml (cruising at the harmonic-mean posted limit, no stops).
+    pub ideal_fuel_ml: f64,
+    /// 0–100; 100 = at the ideal.
+    pub eco_score: f64,
+    pub advice: Vec<String>,
+}
+
+/// Coaching thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoachConfig {
+    /// An idle longer than this is an event, seconds.
+    pub long_idle_s: f64,
+    /// Speed drop (km/h) within `braking_window_s` counting as hard braking.
+    pub hard_brake_kmh: f64,
+    pub braking_window_s: f64,
+    /// Tolerance above the limit before speeding is flagged, km/h.
+    pub speeding_tolerance_kmh: f64,
+    pub fuel: FuelModel,
+}
+
+impl Default for CoachConfig {
+    fn default() -> Self {
+        Self {
+            long_idle_s: 45.0,
+            hard_brake_kmh: 25.0,
+            braking_window_s: 4.0,
+            speeding_tolerance_kmh: 5.0,
+            fuel: FuelModel::default(),
+        }
+    }
+}
+
+/// Produces the post-trip report for one fused transition.
+pub fn coach_report(t: &TransitionRecord, config: &CoachConfig) -> TripReport {
+    let mut events = Vec::new();
+    let mut idle_s = 0.0;
+    let mut speeding_s = 0.0;
+    let pts = &t.points;
+
+    let mut idle_run = 0.0;
+    let mut idle_start = 0usize;
+    for i in 0..pts.len().saturating_sub(1) {
+        let dt = (pts[i + 1].timestamp - pts[i].timestamp).secs().max(0) as f64;
+        // Idle accounting.
+        if pts[i].speed_kmh < 2.0 {
+            if idle_run == 0.0 {
+                idle_start = i;
+            }
+            idle_run += dt;
+            idle_s += dt;
+        } else {
+            if idle_run >= config.long_idle_s {
+                events.push(CoachEvent::LongIdle { at_point: idle_start, duration_s: idle_run });
+            }
+            idle_run = 0.0;
+        }
+        // Hard braking.
+        let drop = pts[i].speed_kmh - pts[i + 1].speed_kmh;
+        if drop >= config.hard_brake_kmh && dt <= config.braking_window_s && dt > 0.0 {
+            events.push(CoachEvent::HardBraking { at_point: i, drop_kmh: drop, window_s: dt });
+        }
+        // Speeding against the matched limit.
+        if let Some(Some(limit)) = t.point_limits.get(i) {
+            let over = pts[i].speed_kmh - limit;
+            if over > config.speeding_tolerance_kmh {
+                speeding_s += dt;
+                // Flag the worst exceedances as events (one per run start).
+                let prev_over = i > 0
+                    && matches!(t.point_limits.get(i - 1), Some(Some(pl))
+                        if pts[i - 1].speed_kmh - pl > config.speeding_tolerance_kmh);
+                if !prev_over {
+                    events.push(CoachEvent::Speeding { at_point: i, over_kmh: over });
+                }
+            }
+        }
+    }
+    if idle_run >= config.long_idle_s {
+        events.push(CoachEvent::LongIdle { at_point: idle_start, duration_s: idle_run });
+    }
+
+    // Ideal fuel: steady cruise at the mean posted limit over the distance.
+    let limits: Vec<f64> = t.point_limits.iter().filter_map(|l| *l).collect();
+    let cruise = if limits.is_empty() {
+        40.0
+    } else {
+        limits.iter().sum::<f64>() / limits.len() as f64
+    };
+    let ideal_fuel_ml = config.fuel.per_km_at(cruise) * t.dist_km;
+    let eco_score = if t.fuel_ml > 0.0 {
+        (100.0 * ideal_fuel_ml / t.fuel_ml).clamp(0.0, 100.0)
+    } else {
+        100.0
+    };
+
+    let mut advice = Vec::new();
+    if idle_s > 60.0 {
+        advice.push(format!(
+            "engine idled {idle_s:.0} s — switching off at long stops saves ~{:.0} ml",
+            config.fuel.idle_ml_s * idle_s
+        ));
+    }
+    if t.low_speed_pct > 30.0 {
+        advice.push(
+            "over 30% of the trip below 10 km/h — consider routing around the congested centre"
+                .to_string(),
+        );
+    }
+    if speeding_s > 30.0 {
+        advice.push(format!("{speeding_s:.0} s over the limit — smooth driving uses less fuel"));
+    }
+    if events.iter().filter(|e| matches!(e, CoachEvent::HardBraking { .. })).count() >= 3 {
+        advice.push("several hard-braking events — anticipate traffic lights earlier".into());
+    }
+    if advice.is_empty() {
+        advice.push("smooth trip — nothing to improve".into());
+    }
+
+    TripReport {
+        pair: t.pair.clone(),
+        events,
+        idle_s,
+        speeding_s,
+        fuel_ml: t.fuel_ml,
+        ideal_fuel_ml,
+        eco_score,
+        advice,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::test_output;
+
+    #[test]
+    fn reports_for_every_transition() {
+        let out = test_output();
+        let config = CoachConfig::default();
+        for t in &out.transitions {
+            let r = coach_report(t, &config);
+            assert!((0.0..=100.0).contains(&r.eco_score), "score {}", r.eco_score);
+            assert!(r.ideal_fuel_ml > 0.0);
+            assert!(r.idle_s >= 0.0);
+            assert!(!r.advice.is_empty());
+            // Events reference valid points.
+            for e in &r.events {
+                let at = match e {
+                    CoachEvent::LongIdle { at_point, .. }
+                    | CoachEvent::HardBraking { at_point, .. }
+                    | CoachEvent::Speeding { at_point, .. } => *at_point,
+                };
+                assert!(at < t.points.len());
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_fuel_below_measured_on_stop_and_go_trips() {
+        let out = test_output();
+        let config = CoachConfig::default();
+        // Trips with substantial low-speed share burn more than the ideal.
+        let mut checked = 0;
+        for t in out.transitions.iter().filter(|t| t.low_speed_pct > 20.0) {
+            let r = coach_report(t, &config);
+            assert!(
+                r.ideal_fuel_ml < r.fuel_ml * 1.05,
+                "ideal {:.0} vs measured {:.0}",
+                r.ideal_fuel_ml,
+                r.fuel_ml
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "some congested trips exist");
+    }
+
+    #[test]
+    fn congested_trips_score_worse() {
+        let out = test_output();
+        let config = CoachConfig::default();
+        let mut slow = Vec::new();
+        let mut fast = Vec::new();
+        for t in &out.transitions {
+            let r = coach_report(t, &config);
+            if t.low_speed_pct > 25.0 {
+                slow.push(r.eco_score);
+            } else if t.low_speed_pct < 5.0 {
+                fast.push(r.eco_score);
+            }
+        }
+        if !slow.is_empty() && !fast.is_empty() {
+            let ms = slow.iter().sum::<f64>() / slow.len() as f64;
+            let mf = fast.iter().sum::<f64>() / fast.len() as f64;
+            assert!(ms < mf, "congested {ms:.0} vs free-flow {mf:.0}");
+        }
+    }
+
+    #[test]
+    fn event_display() {
+        let e = CoachEvent::HardBraking { at_point: 3, drop_kmh: 30.0, window_s: 2.0 };
+        assert!(e.to_string().contains("hard braking"));
+        let i = CoachEvent::LongIdle { at_point: 0, duration_s: 90.0 };
+        assert!(i.to_string().contains("idled 90"));
+    }
+}

@@ -1,0 +1,314 @@
+use serde::{Deserialize, Serialize};
+use taxitrace_cleaning::{clean_session, CleaningStats, TripSegment};
+use taxitrace_matching::{incremental, CandidateIndex};
+use taxitrace_od::{FunnelRow, OdAnalyzer};
+use taxitrace_roadnet::synth::SyntheticCity;
+use taxitrace_store::TripStore;
+use taxitrace_weather::WeatherModel;
+
+use crate::config::StudyConfig;
+use crate::transitions::TransitionRecord;
+
+/// Aggregated cleaning statistics across all sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CleaningTotals {
+    pub sessions: usize,
+    pub raw_points: usize,
+    pub sessions_order_repaired: usize,
+    pub rule_fires: [usize; 5],
+    pub segments_kept: usize,
+    pub segments_too_few_points: usize,
+    pub segments_too_long: usize,
+}
+
+impl CleaningTotals {
+    fn absorb(&mut self, stats: &CleaningStats) {
+        self.sessions += 1;
+        self.raw_points += stats.raw_points;
+        if stats.order_repaired {
+            self.sessions_order_repaired += 1;
+        }
+        for (a, b) in self.rule_fires.iter_mut().zip(stats.segmentation.rule_fires) {
+            *a += b;
+        }
+        self.segments_kept += stats.filters.kept;
+        self.segments_too_few_points += stats.filters.too_few_points;
+        self.segments_too_long += stats.filters.too_long;
+    }
+}
+
+/// A configured study, ready to run.
+#[derive(Debug, Clone)]
+pub struct Study {
+    config: StudyConfig,
+}
+
+/// Everything a study produces; the inputs of every table/figure analysis.
+pub struct StudyOutput {
+    pub config: StudyConfig,
+    pub city: SyntheticCity,
+    pub weather: WeatherModel,
+    pub store: TripStore,
+    /// All cleaned trip segments (Table 3's population).
+    pub segments: Vec<TripSegment>,
+    /// Table 3 funnel rows, one per taxi.
+    pub funnel_rows: Vec<FunnelRow>,
+    /// Post-filtered, map-matched, attribute-fused transitions.
+    pub transitions: Vec<TransitionRecord>,
+    pub cleaning: CleaningTotals,
+}
+
+impl Study {
+    /// Creates a study from a configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the full pipeline: simulate → store → clean → O-D select →
+    /// match → fuse.
+    pub fn run(&self) -> StudyOutput {
+        let config = self.config.clone();
+        let city = taxitrace_roadnet::synth::generate(&config.city);
+        let weather = WeatherModel::new(config.seed ^ 0x57EA_7E7A);
+
+        // Simulate and persist into the store.
+        let fleet = taxitrace_traces::simulate_fleet(&city, &weather, &config.fleet);
+        let mut store = TripStore::new();
+        store
+            .insert_all(fleet.sessions)
+            .expect("simulator produces unique trip ids");
+
+        // Clean every session (parallel across chunks; deterministic
+        // because chunk results are concatenated in order).
+        let mut cleaning = CleaningTotals::default();
+        let mut segments: Vec<TripSegment> = Vec::new();
+        {
+            let sessions = store.sessions();
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(sessions.len().max(1));
+            let chunk = sessions.len().div_ceil(threads.max(1)).max(1);
+            let cleaning_config = &config.cleaning;
+            let results = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = sessions
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move |_| {
+                            let mut totals = CleaningTotals::default();
+                            let mut segs = Vec::new();
+                            for session in part {
+                                let cleaned = clean_session(session, cleaning_config);
+                                totals.absorb(&cleaned.stats);
+                                segs.extend(cleaned.segments);
+                            }
+                            (totals, segs)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cleaning worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("crossbeam scope");
+            for (totals, segs) in results {
+                cleaning.sessions += totals.sessions;
+                cleaning.raw_points += totals.raw_points;
+                cleaning.sessions_order_repaired += totals.sessions_order_repaired;
+                for (a, b) in cleaning.rule_fires.iter_mut().zip(totals.rule_fires) {
+                    *a += b;
+                }
+                cleaning.segments_kept += totals.segments_kept;
+                cleaning.segments_too_few_points += totals.segments_too_few_points;
+                cleaning.segments_too_long += totals.segments_too_long;
+                segments.extend(segs);
+            }
+        }
+
+        // O-D funnel and transitions.
+        let analyzer = OdAnalyzer::from_city(&city);
+        let funnel_rows = analyzer.funnel(&segments);
+        let raw_transitions = analyzer.transitions(&segments);
+
+        // Map-match and fuse the post-filtered transitions
+        // ("Only cleared and filtered transitions going through the city
+        // centre are map-matched" — §IV-E).
+        let index = CandidateIndex::new(&city.graph, &city.elements);
+        let post: Vec<&taxitrace_od::Transition> =
+            raw_transitions.iter().filter(|t| t.post_filtered).collect();
+        let fuse_one = |t: &taxitrace_od::Transition| -> TransitionRecord {
+            let seg = &segments[t.segment_index];
+            // Work on the transition slice (origin..=destination). The
+            // crossing indices mark the points *before* the corridor-entry
+            // steps, so include one more point at the destination side to
+            // cover the arrival.
+            let dest = (t.destination_point + 1).min(seg.points.len() - 1);
+            let slice = TripSegment {
+                trip_id: seg.trip_id,
+                taxi: seg.taxi,
+                start_time: seg.points[t.origin_point].timestamp,
+                points: seg.points[t.origin_point..=dest].to_vec(),
+            };
+            let matched =
+                incremental::match_trace(&city.graph, &index, &slice.points, &config.matching);
+            let temp_class = weather.at(slice.start_time).class();
+            TransitionRecord::fuse(
+                &city,
+                &slice,
+                t.pair_label(),
+                0,
+                slice.points.len() - 1,
+                &matched,
+                temp_class,
+                config.low_speed_kmh,
+                config.normal_speed_frac,
+            )
+        };
+        // Match and fuse in parallel, preserving order.
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(post.len().max(1));
+        let chunk = post.len().div_ceil(threads.max(1)).max(1);
+        let transitions: Vec<TransitionRecord> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = post
+                .chunks(chunk)
+                .map(|part| scope.spawn(|_| part.iter().map(|t| fuse_one(t)).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fusion worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope");
+
+        StudyOutput {
+            config,
+            city,
+            weather,
+            store,
+            segments,
+            funnel_rows,
+            transitions,
+            cleaning,
+        }
+    }
+}
+
+impl StudyOutput {
+    /// Table 3 rows.
+    pub fn funnel(&self) -> &[FunnelRow] {
+        &self.funnel_rows
+    }
+
+    /// Transitions of one direction pair ("T-S" etc.).
+    pub fn transitions_of_pair<'a>(
+        &'a self,
+        pair: &'a str,
+    ) -> impl Iterator<Item = &'a TransitionRecord> + 'a {
+        self.transitions.iter().filter(move |t| t.pair == pair)
+    }
+
+    /// The studied pair labels present in the output, sorted.
+    pub fn pairs(&self) -> Vec<String> {
+        let mut pairs: Vec<String> = self.transitions.iter().map(|t| t.pair.clone()).collect();
+        pairs.sort();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Total measured point speeds across all fused transitions (the
+    /// paper reports 30 469 at full scale).
+    pub fn total_transition_points(&self) -> usize {
+        self.transitions.iter().map(|t| t.points.len()).sum()
+    }
+}
+
+/// Shared test fixture: one moderately sized study reused by every test in
+/// this crate (running the pipeline per test would dominate test time).
+#[cfg(test)]
+pub(crate) fn test_output() -> &'static StudyOutput {
+    use std::sync::OnceLock;
+    static OUT: OnceLock<StudyOutput> = OnceLock::new();
+    OUT.get_or_init(|| Study::new(StudyConfig::scaled(7, 0.15)).run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StudyConfig;
+
+    fn output() -> &'static StudyOutput {
+        super::test_output()
+    }
+
+    #[test]
+    fn pipeline_produces_transitions() {
+        let out = output();
+        assert!(out.cleaning.sessions > 50, "sessions {}", out.cleaning.sessions);
+        assert!(!out.segments.is_empty());
+        assert!(!out.funnel_rows.is_empty());
+        assert!(
+            !out.transitions.is_empty(),
+            "no transitions survived the funnel (segments: {})",
+            out.segments.len()
+        );
+        assert!(out.total_transition_points() > 100);
+    }
+
+    #[test]
+    fn funnel_rows_monotonic() {
+        let out = output();
+        for row in out.funnel() {
+            assert!(row.filtered_cleaned <= row.segments_total);
+            assert!(row.within_center <= row.transitions_total);
+            assert!(row.post_filtered <= row.within_center);
+        }
+        // Post-filtered totals match the fused transition count.
+        let funnel_total: usize = out.funnel().iter().map(|r| r.post_filtered).sum();
+        assert_eq!(funnel_total, out.transitions.len());
+    }
+
+    #[test]
+    fn transitions_have_fused_attributes() {
+        let out = output();
+        for t in &out.transitions {
+            assert!(t.points.len() >= 2);
+            assert!(!t.elements.is_empty(), "matched element path");
+            assert!(t.dist_km > 0.5 && t.dist_km < 10.0, "distance {}", t.dist_km);
+            assert!(t.time_h > 0.01 && t.time_h < 1.0, "time {}", t.time_h);
+            assert!((0.0..=100.0).contains(&t.low_speed_pct));
+            assert!((0.0..=100.0).contains(&t.normal_speed_pct));
+            assert!(t.fuel_ml >= 0.0);
+            assert!(t.junctions >= 1, "junctions {}", t.junctions);
+        }
+        // At least some transitions pass traffic lights.
+        let with_lights = out.transitions.iter().filter(|t| t.traffic_lights > 0).count();
+        assert!(with_lights * 2 > out.transitions.len());
+    }
+
+    #[test]
+    fn only_studied_pairs_present() {
+        let out = output();
+        for p in out.pairs() {
+            assert!(
+                ["T-S", "S-T", "T-L", "L-T"].contains(&p.as_str()),
+                "unexpected pair {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Study::new(StudyConfig::quick(7)).run();
+        let b = Study::new(StudyConfig::quick(7)).run();
+        assert_eq!(a.transitions.len(), b.transitions.len());
+        assert_eq!(a.total_transition_points(), b.total_transition_points());
+        let c = Study::new(StudyConfig::quick(8)).run();
+        assert_ne!(
+            (a.transitions.len(), a.total_transition_points()),
+            (c.transitions.len(), c.total_transition_points())
+        );
+    }
+}

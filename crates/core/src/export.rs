@@ -1,0 +1,209 @@
+//! CSV export of every analysis product.
+//!
+//! The paper's figures were drawn in Quantum GIS from PostGIS query
+//! results; the equivalent hand-off here is a directory of CSV files, one
+//! per table/figure, that any GIS or plotting tool can consume.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::experiment::StudyOutput;
+use crate::gridstats::grid_analysis;
+use crate::mixedanalysis::mixed_model;
+use crate::results::Table4;
+use crate::seasonal::{seasonal_deltas, temperature_analysis};
+
+/// Writes every analysis product as CSV files under `dir`
+/// (created if missing). Returns the list of files written.
+pub fn export_csv(output: &StudyOutput, dir: &Path) -> io::Result<Vec<String>> {
+    fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut put = |name: &str, content: String| -> io::Result<()> {
+        fs::write(dir.join(name), content)?;
+        written.push(name.to_string());
+        Ok(())
+    };
+
+    // Table 3.
+    let mut s = String::from(
+        "taxi,segments_total,any_crossing,two_roads,transitions,within_center,post_filtered\n",
+    );
+    for r in output.funnel() {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{}",
+            r.taxi,
+            r.segments_total,
+            r.any_crossing,
+            r.filtered_cleaned,
+            r.transitions_total,
+            r.within_center,
+            r.post_filtered
+        );
+    }
+    put("table3_funnel.csv", s)?;
+
+    // Table 4.
+    let t4 = Table4::compute(output);
+    let mut s = String::from("metric,pair,min,q1,median,mean,q3,max,n\n");
+    for r in &t4.rows {
+        let v = &r.summary;
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{}",
+            r.metric, r.pair, v.min, v.q1, v.median, v.mean, v.q3, v.max, v.n
+        );
+    }
+    put("table4_directions.csv", s)?;
+
+    // Table 5 + Fig. 6 cell data.
+    let grid = grid_analysis(output, None);
+    let mut s = String::from("class,cells,min,max,mean,var\n");
+    for c in &grid.table5().classes {
+        let _ = writeln!(s, "{},{},{},{},{},{}", c.label, c.cells, c.min, c.max, c.mean, c.var);
+    }
+    put("table5_cell_classes.csv", s)?;
+
+    let mut s =
+        String::from("cell_ix,cell_iy,n,mean_speed_kmh,traffic_lights,bus_stops,ped_crossings\n");
+    for (cell, stat) in &grid.cells {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{}",
+            cell.ix,
+            cell.iy,
+            stat.n,
+            stat.mean_speed,
+            stat.traffic_lights,
+            stat.bus_stops,
+            stat.pedestrian_crossings
+        );
+    }
+    put("fig6_cells.csv", s)?;
+
+    // Fig. 3/4: point speeds with direction and taxi.
+    let mut s = String::from("taxi,pair,x_m,y_m,speed_kmh,timestamp\n");
+    for t in &output.transitions {
+        for p in &t.points {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{}",
+                t.taxi.0,
+                t.pair,
+                p.pos.x,
+                p.pos.y,
+                p.speed_kmh,
+                p.timestamp.secs()
+            );
+        }
+    }
+    put("fig3_fig4_point_speeds.csv", s)?;
+
+    // Fig. 5 seasonal deltas.
+    let mut s = String::from("season,n,mean_speed_kmh,delta_kmh\n");
+    for d in seasonal_deltas(output) {
+        let _ = writeln!(s, "{},{},{},{}", d.season.label(), d.n, d.mean_speed, d.delta_kmh);
+    }
+    put("fig5_seasons.csv", s)?;
+
+    // Figs. 7–9 mixed-model products.
+    if let Ok(m) = mixed_model(output) {
+        let mut s = String::from("theoretical,sample_blup\n");
+        for q in &m.qq {
+            let _ = writeln!(s, "{},{}", q.theoretical, q.sample);
+        }
+        put("fig7_qq.csv", s)?;
+
+        let mut s = String::from("cell_ix,cell_iy,n,blup_kmh,se,ci_lo,ci_hi\n");
+        for c in &m.cells {
+            let _ = writeln!(
+                s,
+                "{},{},{},{},{},{},{}",
+                c.cell.ix,
+                c.cell.iy,
+                c.n,
+                c.blup,
+                c.se,
+                c.blup - 1.96 * c.se,
+                c.blup + 1.96 * c.se
+            );
+        }
+        put("fig8_fig9_cell_intercepts.csv", s)?;
+    }
+
+    // Fig. 10.
+    let mut s = String::from("temperature_class,many_lights,n,mean_low_speed_pct\n");
+    for c in temperature_analysis(output) {
+        let _ = writeln!(
+            s,
+            "{},{},{},{}",
+            c.class.label(),
+            c.many_lights,
+            c.n,
+            c.mean_low_speed_pct
+        );
+    }
+    put("fig10_temperature.csv", s)?;
+
+    // Transition-level flat table (the analysis workhorse).
+    let mut s = String::from(
+        "taxi,pair,start_time,season,temp_class,time_h,dist_km,low_speed_pct,\
+         normal_speed_pct,traffic_lights,junctions,ped_crossings,fuel_ml\n",
+    );
+    for t in &output.transitions {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            t.taxi.0,
+            t.pair,
+            t.start_time.secs(),
+            t.season.label(),
+            t.temperature_class.label(),
+            t.time_h,
+            t.dist_km,
+            t.low_speed_pct,
+            t.normal_speed_pct,
+            t.traffic_lights,
+            t.junctions,
+            t.pedestrian_crossings,
+            t.fuel_ml
+        );
+    }
+    put("transitions.csv", s)?;
+
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::test_output;
+
+    #[test]
+    fn exports_all_files_with_consistent_rows() {
+        let out = test_output();
+        let dir = std::env::temp_dir().join("taxitrace_export_test");
+        let files = export_csv(out, &dir).expect("export succeeds");
+        assert!(files.contains(&"table3_funnel.csv".to_string()));
+        assert!(files.contains(&"transitions.csv".to_string()));
+        assert!(files.len() >= 8, "{files:?}");
+
+        // Row counts line up with the in-memory products.
+        let transitions = fs::read_to_string(dir.join("transitions.csv")).unwrap();
+        assert_eq!(transitions.lines().count(), out.transitions.len() + 1);
+        let funnel = fs::read_to_string(dir.join("table3_funnel.csv")).unwrap();
+        assert_eq!(funnel.lines().count(), out.funnel().len() + 1);
+        // Header column counts match data column counts.
+        for name in &files {
+            let body = fs::read_to_string(dir.join(name)).unwrap();
+            let mut lines = body.lines();
+            let header_cols = lines.next().unwrap().split(',').count();
+            if let Some(first) = lines.next() {
+                assert_eq!(first.split(',').count(), header_cols, "{name}");
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

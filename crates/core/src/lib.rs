@@ -1,0 +1,63 @@
+//! `taxitrace-core`: the paper's pipeline, end to end.
+//!
+//! This crate composes every substrate into the study of *"Revealing
+//! reliable information from taxi traces: from raw data to information
+//! discovery"* (ICDE-W 2022):
+//!
+//! ```text
+//! synthetic Oulu map ─┐
+//! road weather ───────┼─► fleet simulator ─► trip store
+//!                     │         │
+//!                     │         ▼
+//!                     │   cleaning (§IV-B/C): order repair, Table 2
+//!                     │   segmentation, filters
+//!                     │         │
+//!                     │         ▼
+//!                     │   O-D selection (§IV-D): thick geometry,
+//!                     │   transitions, Table 3 funnel
+//!                     │         │
+//!                     │         ▼
+//!                     └─► map-matching (§IV-E) + attribute fusion (§IV-F)
+//!                               │
+//!                               ▼
+//!                  analyses (§V/VI): Table 4, Table 5, Figs. 3–10
+//! ```
+//!
+//! [`Study`] runs the whole pipeline from one seed; [`StudyOutput`] carries
+//! the intermediate products; the analysis modules regenerate each table
+//! and figure of the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use taxitrace_core::{Study, StudyConfig};
+//!
+//! let output = Study::new(StudyConfig::quick(7)).run();
+//! let table3 = output.funnel();
+//! assert!(!table3.is_empty());
+//! ```
+
+mod coach;
+mod config;
+mod experiment;
+mod export;
+mod gridstats;
+mod mixedanalysis;
+mod results;
+mod seasonal;
+mod transitions;
+
+pub use coach::{coach_report, CoachConfig, CoachEvent, TripReport};
+pub use export::export_csv;
+pub use config::StudyConfig;
+pub use experiment::{Study, StudyOutput};
+pub use gridstats::{grid_analysis, CellStat, GridStats, Table5, Table5Class};
+pub use mixedanalysis::{mixed_model, mixed_model_with_features, CellEffect, MixedResults};
+pub use results::{
+    render_table1, render_table3, render_table4, render_table5, Table4, Table4Row,
+};
+pub use seasonal::{
+    directional_speeds, seasonal_deltas, seasonal_speeds, temperature_analysis,
+    DirectionalSplit, Fig10Cell, SeasonalDelta,
+};
+pub use transitions::{junctions_along, signalized_along, TransitionRecord};

@@ -1,0 +1,208 @@
+use serde::{Deserialize, Serialize};
+use taxitrace_geo::{CellId, Grid, Point};
+use taxitrace_stats::{qq_points, LmmError, Matrix, QqPoint, RandomIntercept};
+
+use crate::experiment::StudyOutput;
+use crate::gridstats::grid_analysis;
+
+/// Random-intercept prediction for one 200 m cell (Figs. 8–9).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellEffect {
+    pub cell: CellId,
+    pub n: usize,
+    /// BLUP of the cell's random intercept (deviation from the grand mean,
+    /// km/h) — the paper's coefficients range ca. −15…+20 km/h.
+    pub blup: f64,
+    /// Prediction standard error (the paper's Fig. 8 confidence limits use
+    /// ±1.96 of this).
+    pub se: f64,
+}
+
+/// Results of the paper's Eq. (3) mixed model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixedResults {
+    /// Grand-mean point speed `μ̂`, km/h.
+    pub grand_mean: f64,
+    pub sigma2_e: f64,
+    pub sigma2_u: f64,
+    pub lambda: f64,
+    /// Cell effects sorted by BLUP (Fig. 8's x-axis ordering).
+    pub cells: Vec<CellEffect>,
+    /// QQ-plot data of the BLUPs (Fig. 7).
+    pub qq: Vec<QqPoint>,
+    /// Fixed-effect estimates beyond the intercept (empty in the pure
+    /// Eq. 3 model), as `(name, coefficient, std. error)`.
+    pub fixed_features: Vec<(String, f64, f64)>,
+    /// REML likelihood-ratio statistic and p-value for `σ²ᵤ = 0` — the
+    /// formal version of the paper's "strong evidence of the effect of
+    /// geography on the point speeds".
+    pub geography_lrt: f64,
+    pub geography_p: f64,
+}
+
+fn cell_key(c: CellId) -> u64 {
+    ((c.ix as u32 as u64) << 32) | (c.iy as u32 as u64)
+}
+
+fn key_cell(k: u64) -> CellId {
+    CellId { ix: (k >> 32) as u32 as i32, iy: (k & 0xffff_ffff) as u32 as i32 }
+}
+
+/// Fits the paper's Eq. (3): point speed with a Gaussian random intercept
+/// per grid cell, "excluding all the cells having no measurement points".
+pub fn mixed_model(output: &StudyOutput) -> Result<MixedResults, LmmError> {
+    fit(output, false)
+}
+
+/// Eq. (2) variant with map features as fixed effects: the cell's traffic
+/// light, bus stop and pedestrian crossing counts enter `X`.
+pub fn mixed_model_with_features(output: &StudyOutput) -> Result<MixedResults, LmmError> {
+    fit(output, true)
+}
+
+fn fit(output: &StudyOutput, with_features: bool) -> Result<MixedResults, LmmError> {
+    let grid = Grid::new(Point::new(0.0, 0.0), output.config.grid_size_m);
+    let mut y = Vec::new();
+    let mut groups = Vec::new();
+    let mut cells_of_obs: Vec<CellId> = Vec::new();
+    for t in &output.transitions {
+        for p in &t.points {
+            let cell = grid.cell_of(p.pos);
+            y.push(p.speed_kmh);
+            groups.push(cell_key(cell));
+            cells_of_obs.push(cell);
+        }
+    }
+
+    let (design, names): (Matrix, Vec<String>) = if with_features {
+        let feats = grid_analysis(output, None);
+        let n = y.len();
+        let mut m = Matrix::zeros(n, 4);
+        for i in 0..n {
+            let f = feats.cells.get(&cells_of_obs[i]);
+            m[(i, 0)] = 1.0;
+            m[(i, 1)] = f.map_or(0.0, |c| c.traffic_lights as f64);
+            m[(i, 2)] = f.map_or(0.0, |c| c.bus_stops as f64);
+            m[(i, 3)] = f.map_or(0.0, |c| c.pedestrian_crossings as f64);
+        }
+        (
+            m,
+            vec![
+                "traffic_lights".into(),
+                "bus_stops".into(),
+                "pedestrian_crossings".into(),
+            ],
+        )
+    } else {
+        (Matrix::from_rows(y.len(), 1, vec![1.0; y.len()]), Vec::new())
+    };
+
+    let fit = RandomIntercept::default().fit(&y, &design, &groups)?;
+    let vtest = fit.variance_test();
+    let mut cells: Vec<CellEffect> = fit
+        .groups
+        .iter()
+        .map(|g| CellEffect { cell: key_cell(g.key), n: g.n, blup: g.blup, se: g.se })
+        .collect();
+    cells.sort_by(|a, b| a.blup.partial_cmp(&b.blup).expect("finite blups"));
+    let blups: Vec<f64> = cells.iter().map(|c| c.blup).collect();
+    let fixed_features = names
+        .into_iter()
+        .enumerate()
+        .map(|(i, name)| (name, fit.fixed[i + 1], fit.fixed_se[i + 1]))
+        .collect();
+    Ok(MixedResults {
+        grand_mean: fit.fixed[0],
+        sigma2_e: fit.sigma2_e,
+        sigma2_u: fit.sigma2_u,
+        lambda: fit.lambda,
+        qq: qq_points(&blups),
+        cells,
+        fixed_features,
+        geography_lrt: vtest.lrt,
+        geography_p: vtest.p_value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn results() -> MixedResults {
+        mixed_model(crate::experiment::test_output()).expect("model fits")
+    }
+
+    #[test]
+    fn cell_key_round_trip() {
+        for c in [
+            CellId { ix: 0, iy: 0 },
+            CellId { ix: -3, iy: 7 },
+            CellId { ix: 100, iy: -250 },
+        ] {
+            assert_eq!(key_cell(cell_key(c)), c);
+        }
+    }
+
+    #[test]
+    fn geography_effect_exists() {
+        let r = results();
+        assert!(r.cells.len() > 10, "cells {}", r.cells.len());
+        // The paper finds strong evidence of a geography effect:
+        // substantial between-cell variance and a wide intercept spread.
+        assert!(r.sigma2_u > 1.0, "sigma2_u {}", r.sigma2_u);
+        // The LRT agrees: the geography effect is overwhelming.
+        assert!(r.geography_lrt > 50.0, "LRT {}", r.geography_lrt);
+        assert!(r.geography_p < 1e-6, "p {}", r.geography_p);
+        let min = r.cells.first().unwrap().blup;
+        let max = r.cells.last().unwrap().blup;
+        assert!(max - min > 5.0, "spread {}", max - min);
+        // Grand mean is a plausible urban speed.
+        assert!((10.0..40.0).contains(&r.grand_mean), "mean {}", r.grand_mean);
+    }
+
+    #[test]
+    fn qq_is_monotone_and_matches_cells(){
+        let r = results();
+        assert_eq!(r.qq.len(), r.cells.len());
+        for w in r.qq.windows(2) {
+            assert!(w[0].sample <= w[1].sample);
+        }
+    }
+
+    #[test]
+    fn center_cells_are_slower() {
+        let out = crate::experiment::test_output();
+        let r = mixed_model(out).unwrap();
+        let grid = Grid::new(Point::new(0.0, 0.0), out.config.grid_size_m);
+        let mut center = Vec::new();
+        let mut outer = Vec::new();
+        for c in &r.cells {
+            let p = grid.cell_center(c.cell);
+            if p.distance(Point::new(0.0, 0.0)) < 500.0 {
+                center.push(c.blup);
+            } else if p.distance(Point::new(0.0, 0.0)) > 1200.0 {
+                outer.push(c.blup);
+            }
+        }
+        if !center.is_empty() && !outer.is_empty() {
+            let mc = center.iter().sum::<f64>() / center.len() as f64;
+            let mo = outer.iter().sum::<f64>() / outer.len() as f64;
+            assert!(mc < mo, "center {mc} vs outer {mo} (Fig. 9 shape)");
+        }
+    }
+
+    #[test]
+    fn feature_model_finds_negative_light_effect() {
+        let out = crate::experiment::test_output();
+        let r = mixed_model_with_features(out).unwrap();
+        assert_eq!(r.fixed_features.len(), 3);
+        let lights = &r.fixed_features[0];
+        assert_eq!(lights.0, "traffic_lights");
+        assert!(
+            lights.1 < 0.0,
+            "traffic lights should decrease speed, got {}",
+            lights.1
+        );
+    }
+}

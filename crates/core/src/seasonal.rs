@@ -1,0 +1,209 @@
+use serde::{Deserialize, Serialize};
+use taxitrace_geo::Point;
+use taxitrace_timebase::Season;
+use taxitrace_weather::TemperatureClass;
+
+use crate::experiment::StudyOutput;
+
+/// Point speeds of one direction pair (Fig. 4's categorisation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DirectionalSplit {
+    pub pair: String,
+    /// `(position, speed km/h)` scatter data.
+    pub points: Vec<(Point, f64)>,
+    pub mean_speed: f64,
+}
+
+/// Per-season mean delta against the annual mean (the Fig. 5 commentary:
+/// winter −0.07, spring +0.46, summer +0.70, autumn +1.38 km/h in the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalDelta {
+    pub season: Season,
+    pub n: usize,
+    pub mean_speed: f64,
+    pub delta_kmh: f64,
+}
+
+/// One bar of Fig. 10: mean low-speed share for a temperature class and a
+/// traffic-light group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig10Cell {
+    pub class: TemperatureClass,
+    /// `true` = routes with ≥ threshold traffic lights (the grey bars).
+    pub many_lights: bool,
+    pub n: usize,
+    pub mean_low_speed_pct: f64,
+}
+
+/// Fig. 4: point speeds categorised by direction, optionally restricted to
+/// one taxi (the paper shows taxi 1).
+pub fn directional_speeds(
+    output: &StudyOutput,
+    taxi: Option<taxitrace_traces::TaxiId>,
+) -> Vec<DirectionalSplit> {
+    let mut splits: Vec<DirectionalSplit> = Vec::new();
+    for pair in output.pairs() {
+        let mut points = Vec::new();
+        for t in output.transitions_of_pair(&pair) {
+            if let Some(taxi) = taxi {
+                if t.taxi != taxi {
+                    continue;
+                }
+            }
+            points.extend(t.points.iter().map(|p| (p.pos, p.speed_kmh)));
+        }
+        if points.is_empty() {
+            continue;
+        }
+        let mean_speed = points.iter().map(|(_, s)| s).sum::<f64>() / points.len() as f64;
+        splits.push(DirectionalSplit { pair, points, mean_speed });
+    }
+    splits
+}
+
+/// Fig. 5: point speeds categorised by season for one taxi (or all).
+pub fn seasonal_speeds(
+    output: &StudyOutput,
+    taxi: Option<taxitrace_traces::TaxiId>,
+) -> Vec<(Season, Vec<(Point, f64)>)> {
+    Season::ALL
+        .iter()
+        .map(|&season| {
+            let mut points = Vec::new();
+            for t in &output.transitions {
+                if t.season != season {
+                    continue;
+                }
+                if let Some(taxi) = taxi {
+                    if t.taxi != taxi {
+                        continue;
+                    }
+                }
+                points.extend(t.points.iter().map(|p| (p.pos, p.speed_kmh)));
+            }
+            (season, points)
+        })
+        .collect()
+}
+
+/// Per-season mean speed deltas against the annual mean across all fused
+/// transition points.
+pub fn seasonal_deltas(output: &StudyOutput) -> Vec<SeasonalDelta> {
+    let mut sums: Vec<(usize, f64)> = vec![(0, 0.0); 4];
+    let mut total = (0usize, 0.0f64);
+    for t in &output.transitions {
+        let idx = Season::ALL.iter().position(|&s| s == t.season).expect("season");
+        for p in &t.points {
+            sums[idx].0 += 1;
+            sums[idx].1 += p.speed_kmh;
+            total.0 += 1;
+            total.1 += p.speed_kmh;
+        }
+    }
+    let annual = if total.0 > 0 { total.1 / total.0 as f64 } else { 0.0 };
+    Season::ALL
+        .iter()
+        .zip(sums)
+        .map(|(&season, (n, sum))| {
+            let mean = if n > 0 { sum / n as f64 } else { f64::NAN };
+            SeasonalDelta { season, n, mean_speed: mean, delta_kmh: mean - annual }
+        })
+        .collect()
+}
+
+/// Fig. 10: low-speed share per temperature class, split by the
+/// traffic-light count threshold (paper: 9; "in general there is an
+/// increase of low speed [for ≥ 9 lights], also independent of the weather
+/// conditions").
+pub fn temperature_analysis(output: &StudyOutput) -> Vec<Fig10Cell> {
+    let threshold = output.config.fig10_light_threshold;
+    let mut cells = Vec::new();
+    for &class in &TemperatureClass::ALL {
+        for many_lights in [false, true] {
+            let shares: Vec<f64> = output
+                .transitions
+                .iter()
+                .filter(|t| {
+                    t.temperature_class == class
+                        && (t.traffic_lights >= threshold) == many_lights
+                })
+                .map(|t| t.low_speed_pct)
+                .collect();
+            let n = shares.len();
+            let mean = if n > 0 { shares.iter().sum::<f64>() / n as f64 } else { f64::NAN };
+            cells.push(Fig10Cell { class, many_lights, n, mean_low_speed_pct: mean });
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn out() -> &'static StudyOutput {
+        crate::experiment::test_output()
+    }
+
+    #[test]
+    fn directional_split_covers_pairs() {
+        let o = out();
+        let splits = directional_speeds(o, None);
+        assert!(!splits.is_empty());
+        for s in &splits {
+            assert!(!s.points.is_empty());
+            assert!((5.0..60.0).contains(&s.mean_speed), "{}: {}", s.pair, s.mean_speed);
+        }
+    }
+
+    #[test]
+    fn seasonal_data_covers_the_year() {
+        let o = out();
+        let by_season = seasonal_speeds(o, None);
+        assert_eq!(by_season.len(), 4);
+        let non_empty = by_season.iter().filter(|(_, pts)| !pts.is_empty()).count();
+        assert!(non_empty >= 3, "at least 3 seasons have data, got {non_empty}");
+    }
+
+    #[test]
+    fn seasonal_deltas_sum_to_zero_weighted() {
+        let o = out();
+        let deltas = seasonal_deltas(o);
+        let weighted: f64 = deltas
+            .iter()
+            .filter(|d| d.n > 0)
+            .map(|d| d.delta_kmh * d.n as f64)
+            .sum();
+        assert!(weighted.abs() < 1e-6, "weighted deltas {weighted}");
+    }
+
+    #[test]
+    fn winter_not_faster_than_autumn() {
+        // The Fig. 5 ordering claim (winter slowest, autumn fastest) at the
+        // seasonal-factor level; sampling noise allows small inversions in
+        // the middle seasons, so only the endpoints are asserted.
+        let o = out();
+        let deltas = seasonal_deltas(o);
+        let winter = deltas.iter().find(|d| d.season == Season::Winter).unwrap();
+        let autumn = deltas.iter().find(|d| d.season == Season::Autumn).unwrap();
+        if winter.n > 200 && autumn.n > 200 {
+            assert!(
+                winter.mean_speed < autumn.mean_speed + 0.5,
+                "winter {} vs autumn {}",
+                winter.mean_speed,
+                autumn.mean_speed
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_has_both_light_groups() {
+        let o = out();
+        let cells = temperature_analysis(o);
+        assert_eq!(cells.len(), 8);
+        let populated = cells.iter().filter(|c| c.n > 0).count();
+        assert!(populated >= 3, "populated fig10 cells {populated}");
+    }
+}

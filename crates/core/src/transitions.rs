@@ -1,0 +1,225 @@
+use serde::{Deserialize, Serialize};
+use taxitrace_cleaning::TripSegment;
+use taxitrace_matching::MatchedTrace;
+use taxitrace_roadnet::synth::SyntheticCity;
+use taxitrace_roadnet::{ElementId, MapObjectKind, RoadGraph};
+use taxitrace_timebase::{Season, Timestamp};
+use taxitrace_traces::{RoutePoint, TaxiId};
+use taxitrace_weather::TemperatureClass;
+
+/// One post-filtered O-D transition with fused map attributes — the unit of
+/// analysis for Table 4, Figs. 3–6 and Fig. 10.
+///
+/// Identified, as in §IV-F, by the parent trip id together with the
+/// transition's start time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionRecord {
+    pub taxi: TaxiId,
+    pub pair: String,
+    pub start_time: Timestamp,
+    pub season: Season,
+    pub temperature_class: TemperatureClass,
+    /// Route points between the origin and destination crossings.
+    pub points: Vec<RoutePoint>,
+    /// Map-matched traffic-element path.
+    pub elements: Vec<ElementId>,
+    /// §IV-F fused attributes.
+    pub traffic_lights: usize,
+    pub junctions: usize,
+    pub pedestrian_crossings: usize,
+    /// Route time, hours (Table 4's unit).
+    pub time_h: f64,
+    /// Route distance, km.
+    pub dist_km: f64,
+    /// Share of route points below the low-speed threshold, percent.
+    pub low_speed_pct: f64,
+    /// Share of route points at (≥ fraction of) the posted limit, percent.
+    pub normal_speed_pct: f64,
+    /// Fuel consumed, ml.
+    pub fuel_ml: f64,
+    /// Posted speed limit under each point (km/h, from the matched
+    /// element), aligned with `points`.
+    pub point_limits: Vec<Option<f64>>,
+}
+
+impl TransitionRecord {
+    /// Builds the record by fusing a matched transition with map
+    /// attributes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fuse(
+        city: &SyntheticCity,
+        segment: &TripSegment,
+        pair: String,
+        origin_point: usize,
+        destination_point: usize,
+        matched: &MatchedTrace,
+        temperature_class: TemperatureClass,
+        low_speed_kmh: f64,
+        normal_speed_frac: f64,
+    ) -> Self {
+        let points: Vec<RoutePoint> =
+            segment.points[origin_point..=destination_point].to_vec();
+        let start_time = points[0].timestamp;
+        let end_time = points.last().expect("non-empty transition").timestamp;
+        let dist_m: f64 = points.windows(2).map(|w| w[0].pos.distance(w[1].pos)).sum();
+        let fuel_ml = (points.last().expect("non-empty").fuel_ml - points[0].fuel_ml).max(0.0);
+
+        // §IV-F attribute fetch along the matched element path. Traffic
+        // lights are counted as signalised junctions passed (a light
+        // installation controls the junction, not one approach element).
+        let traffic_lights =
+            signalized_along(&city.graph, &matched.elements, &city.signalized);
+        let pedestrian_crossings = city
+            .objects
+            .count_along(&matched.elements, MapObjectKind::PedestrianCrossing);
+        let junctions = junctions_along(&city.graph, &matched.elements);
+
+        // Speed-share metrics, weighted by *time*: each inter-point gap
+        // contributes its duration at the left point's speed, so a 40 s
+        // stop at a light counts as 40 s of low speed regardless of how
+        // many heartbeat points the device emitted. The posted limit per
+        // point comes from the matched element.
+        let mut low_s = 0.0f64;
+        let mut normal_s = 0.0f64;
+        let mut total_s = 0.0f64;
+        let limit_of = |elem: ElementId| -> Option<f64> {
+            city.graph
+                .edge_of_element(elem)
+                .map(|e| city.graph.edge(e).speed_limit_kmh)
+        };
+        // Per-point matched elements (aligned by point_index offset).
+        let mut matched_elem: Vec<Option<ElementId>> = vec![None; segment.points.len()];
+        for m in &matched.points {
+            if m.point_index < matched_elem.len() {
+                matched_elem[m.point_index] = Some(m.element);
+            }
+        }
+        let point_limits: Vec<Option<f64>> = matched_elem
+            [origin_point..=destination_point]
+            .iter()
+            .map(|e| e.and_then(limit_of))
+            .collect();
+        #[allow(clippy::needless_range_loop)] // parallel walk over two arrays
+        for i in origin_point..destination_point {
+            let p = &segment.points[i];
+            let dt = (segment.points[i + 1].timestamp - p.timestamp).secs().max(0) as f64;
+            total_s += dt;
+            if p.speed_kmh < low_speed_kmh {
+                low_s += dt;
+            }
+            if let Some(limit) = matched_elem[i].and_then(limit_of) {
+                if p.speed_kmh >= normal_speed_frac * limit {
+                    normal_s += dt;
+                }
+            }
+        }
+        let n = total_s.max(1.0);
+
+        Self {
+            taxi: segment.taxi,
+            pair,
+            start_time,
+            season: Season::of_timestamp(start_time),
+            temperature_class,
+            traffic_lights,
+            junctions,
+            pedestrian_crossings,
+            time_h: (end_time - start_time).as_hours_f64(),
+            dist_km: dist_m / 1000.0,
+            low_speed_pct: 100.0 * low_s / n,
+            normal_speed_pct: 100.0 * normal_s / n,
+            fuel_ml,
+            points,
+            elements: matched.elements.clone(),
+            point_limits,
+        }
+    }
+}
+
+/// The junction nodes passed along a traffic-element path: each transition
+/// between consecutive distinct edges crosses the junction they share.
+fn junction_nodes_along(
+    graph: &RoadGraph,
+    elements: &[ElementId],
+) -> Vec<Option<taxitrace_roadnet::NodeId>> {
+    let mut nodes = Vec::new();
+    let mut prev_edge = None;
+    for e in elements {
+        let Some(edge) = graph.edge_of_element(*e) else { continue };
+        if let Some(prev) = prev_edge {
+            if prev != edge {
+                let pe = graph.edge(prev);
+                let ce = graph.edge(edge);
+                let shared = [pe.from, pe.to]
+                    .into_iter()
+                    .find(|n| *n == ce.from || *n == ce.to);
+                // `None` marks a gap-filled discontinuity.
+                nodes.push(shared);
+            }
+        }
+        prev_edge = Some(edge);
+    }
+    nodes
+}
+
+/// Counts junction passes along a traffic-element path (§IV-F's
+/// "number of junctions" fetch).
+pub fn junctions_along(graph: &RoadGraph, elements: &[ElementId]) -> usize {
+    junction_nodes_along(graph, elements)
+        .into_iter()
+        .filter(|n| n.is_none_or(|n| graph.neighbors(n).len() >= 3))
+        .count()
+}
+
+/// Counts signalised junction passes along a traffic-element path (§IV-F's
+/// "number of traffic lights" fetch).
+pub fn signalized_along(
+    graph: &RoadGraph,
+    elements: &[ElementId],
+    signalized: &std::collections::HashSet<taxitrace_roadnet::NodeId>,
+) -> usize {
+    junction_nodes_along(graph, elements)
+        .into_iter()
+        .filter(|n| n.is_some_and(|n| signalized.contains(&n)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_roadnet::synth::{generate, OuluConfig};
+    use taxitrace_roadnet::{dijkstra, CostModel};
+
+    #[test]
+    fn junction_count_scales_with_route_length() {
+        let city = generate(&OuluConfig::default());
+        let short = dijkstra::shortest_path(
+            &city.graph,
+            city.graph.nearest_node(taxitrace_geo::Point::new(0.0, 0.0)),
+            city.graph.nearest_node(taxitrace_geo::Point::new(600.0, 0.0)),
+            CostModel::Distance,
+        )
+        .unwrap();
+        // Travel time is the drivers' cost model; it routes through the
+        // core (the pure-distance optimum is the junction-sparse bypass).
+        let long = dijkstra::shortest_path(
+            &city.graph,
+            city.od_roads[0].outer_node,
+            city.od_roads[1].outer_node,
+            CostModel::TravelTime,
+        )
+        .unwrap();
+        let js = junctions_along(&city.graph, &short.element_ids(&city.graph));
+        let jl = junctions_along(&city.graph, &long.element_ids(&city.graph));
+        assert!(js >= 2, "short route junctions {js}");
+        assert!(jl > js, "long {jl} > short {js}");
+        // Table 4 magnitude: 2+ km routes pass ~15–50 junctions.
+        assert!((8..=60).contains(&jl), "junctions {jl}");
+    }
+
+    #[test]
+    fn empty_path_has_no_junctions() {
+        let city = generate(&OuluConfig::default());
+        assert_eq!(junctions_along(&city.graph, &[]), 0);
+    }
+}

@@ -1,0 +1,184 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Point;
+
+/// Axis-aligned bounding box in the planar frame (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    pub min_x: f64,
+    pub min_y: f64,
+    pub max_x: f64,
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// An "empty" box that any union will replace.
+    pub const EMPTY: BBox = BBox {
+        min_x: f64::INFINITY,
+        min_y: f64::INFINITY,
+        max_x: f64::NEG_INFINITY,
+        max_y: f64::NEG_INFINITY,
+    };
+
+    /// Box covering a single point.
+    #[inline]
+    pub fn from_point(p: Point) -> Self {
+        Self { min_x: p.x, min_y: p.y, max_x: p.x, max_y: p.y }
+    }
+
+    /// Box covering two corner points given in any order.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// Smallest box covering all `points`; `EMPTY` if the slice is empty.
+    pub fn from_points(points: &[Point]) -> Self {
+        points.iter().fold(Self::EMPTY, |b, &p| b.union(Self::from_point(p)))
+    }
+
+    /// Whether no point has been added.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x
+    }
+
+    /// Smallest box covering both operands.
+    #[inline]
+    pub fn union(&self, other: BBox) -> BBox {
+        BBox {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Whether the two boxes overlap (boundaries touching counts).
+    #[inline]
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        (self.min_x..=self.max_x).contains(&p.x) && (self.min_y..=self.max_y).contains(&p.y)
+    }
+
+    /// Box grown by `margin` metres on every side.
+    #[inline]
+    pub fn expand(&self, margin: f64) -> BBox {
+        BBox {
+            min_x: self.min_x - margin,
+            min_y: self.min_y - margin,
+            max_x: self.max_x + margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    /// Width × height.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            (self.max_x - self.min_x) * (self.max_y - self.min_y)
+        }
+    }
+
+    /// Minimum distance from `p` to the box (0 when inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        dx.hypot(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_behaviour() {
+        assert!(BBox::EMPTY.is_empty());
+        assert_eq!(BBox::EMPTY.area(), 0.0);
+        let p = BBox::from_point(Point::new(1.0, 2.0));
+        assert_eq!(BBox::EMPTY.union(p), p);
+    }
+
+    #[test]
+    fn corners_any_order() {
+        let b = BBox::from_corners(Point::new(3.0, -1.0), Point::new(-2.0, 4.0));
+        assert_eq!(b.min_x, -2.0);
+        assert_eq!(b.max_y, 4.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(!b.contains(Point::new(5.0, 0.0)));
+    }
+
+    #[test]
+    fn intersection_and_touching() {
+        let a = BBox::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = BBox::from_corners(Point::new(2.0, 2.0), Point::new(3.0, 3.0));
+        let c = BBox::from_corners(Point::new(2.1, 2.1), Point::new(3.0, 3.0));
+        assert!(a.intersects(&b)); // touching corner
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn distance_to_point_zero_inside() {
+        let b = BBox::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert_eq!(b.distance_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(b.distance_to_point(Point::new(5.0, 1.0)), 3.0);
+        assert!((b.distance_to_point(Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expand_grows_all_sides() {
+        let b = BBox::from_point(Point::new(0.0, 0.0)).expand(10.0);
+        assert!(b.contains(Point::new(9.9, -9.9)));
+        assert!(!b.contains(Point::new(10.1, 0.0)));
+        assert_eq!(b.area(), 400.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (-1e4f64..1e4, -1e4f64..1e4).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    proptest! {
+        #[test]
+        fn union_contains_both(a in arb_point(), b in arb_point(), c in arb_point()) {
+            let u = BBox::from_corners(a, b).union(BBox::from_point(c));
+            prop_assert!(u.contains(a));
+            prop_assert!(u.contains(b));
+            prop_assert!(u.contains(c));
+        }
+
+        #[test]
+        fn from_points_contains_all(pts in proptest::collection::vec(arb_point(), 1..20)) {
+            let b = BBox::from_points(&pts);
+            for p in &pts {
+                prop_assert!(b.contains(*p));
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{angle_between_deg, BBox, Point, Polyline, Segment};
+
+/// A crossing of a trajectory through a [`Corridor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crossing {
+    /// Index of the trajectory point *before* the crossing step.
+    pub point_index: usize,
+    /// Acute angle (degrees, `[0, 90]`) between the trajectory step and the
+    /// corridor axis at the crossing location.
+    pub angle_deg: f64,
+    /// Where the trajectory step was when it entered the corridor.
+    pub location: Point,
+}
+
+/// "Thick geometry" around a road: the paper artificially widens the
+/// origin/destination roads so routes that deviate slightly from the road
+/// centre-line are still caught (§IV-D, Fig. 2).
+///
+/// A corridor is the set of points within `half_width` metres of the axis
+/// polyline. [`Corridor::crossings`] finds the trajectory steps that enter
+/// the corridor and reports the incidence angle, enabling the paper's
+/// "intersects the thick roads on an angle within a predefined range" filter.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corridor {
+    axis: Polyline,
+    half_width: f64,
+    /// Cached expanded bbox for fast rejection.
+    bbox: BBox,
+}
+
+impl Corridor {
+    /// Builds a corridor of total width `2 * half_width` around `axis`.
+    /// Panics if `half_width` is not strictly positive.
+    pub fn new(axis: Polyline, half_width: f64) -> Self {
+        assert!(
+            half_width > 0.0 && half_width.is_finite(),
+            "corridor half width must be positive, got {half_width}"
+        );
+        let bbox = axis.bbox().expand(half_width);
+        Self { axis, half_width, bbox }
+    }
+
+    /// The corridor axis (original road geometry).
+    #[inline]
+    pub fn axis(&self) -> &Polyline {
+        &self.axis
+    }
+
+    /// Half the corridor width in metres.
+    #[inline]
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Expanded bounding box of the corridor.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Whether `p` lies inside the thick geometry.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.bbox.contains(p) && self.axis.distance_to_point(p) <= self.half_width
+    }
+
+    /// Finds entries of the piecewise-linear trajectory `points` into the
+    /// corridor. For each step `i → i+1` where the step moves from outside
+    /// to inside (or passes through), a [`Crossing`] with the incidence angle
+    /// is reported. Consecutive inside points produce no duplicate crossings.
+    pub fn crossings(&self, points: &[Point]) -> Vec<Crossing> {
+        let mut out = Vec::new();
+        if points.len() < 2 {
+            return out;
+        }
+        let mut inside_prev = self.contains(points[0]);
+        if inside_prev {
+            // Trajectory starts inside: count as a crossing at index 0 with
+            // the angle of the first step.
+            let step = Segment::new(points[0], points[1]);
+            if step.length() > 0.0 {
+                out.push(Crossing {
+                    point_index: 0,
+                    angle_deg: self.incidence_angle(points[0], step.heading()),
+                    location: points[0],
+                });
+            }
+        }
+        for i in 0..points.len() - 1 {
+            let step = Segment::new(points[i], points[i + 1]);
+            let inside_next = self.contains(points[i + 1]);
+            let entered = !inside_prev
+                && (inside_next || self.step_clips_corridor(&step));
+            if entered && step.length() > 0.0 {
+                let entry = if inside_next { points[i + 1] } else { step.point_at(0.5) };
+                out.push(Crossing {
+                    point_index: i,
+                    angle_deg: self.incidence_angle(entry, step.heading()),
+                    location: entry,
+                });
+            }
+            inside_prev = inside_next;
+        }
+        out
+    }
+
+    /// Whether a step that starts and ends outside still passes through the
+    /// corridor (fast GPS sampling can jump across a thin corridor).
+    fn step_clips_corridor(&self, step: &Segment) -> bool {
+        if !self.bbox.intersects(&step.bbox()) {
+            return false;
+        }
+        // The step clips the corridor iff some axis segment comes within
+        // half_width of the step. Test axis vertices and segment crossings.
+        for seg in self.axis.segments() {
+            if seg.intersect(step).is_some() {
+                return true;
+            }
+            // Min distance between two segments: check all 4 point-segment pairs.
+            let d = seg
+                .distance_to_point(step.a)
+                .min(seg.distance_to_point(step.b))
+                .min(step.distance_to_point(seg.a))
+                .min(step.distance_to_point(seg.b));
+            if d <= self.half_width {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Acute angle between a heading and the corridor axis direction at the
+    /// point of the axis closest to `at`.
+    fn incidence_angle(&self, at: Point, heading: f64) -> f64 {
+        let proj = self.axis.project(at);
+        let axis_heading = self.axis.heading_at(proj.offset);
+        angle_between_deg(heading, axis_heading)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// East-west road from (0,0) to (1000,0), 50 m thick on each side.
+    fn road() -> Corridor {
+        let axis =
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)]).unwrap();
+        Corridor::new(axis, 50.0)
+    }
+
+    #[test]
+    fn containment() {
+        let c = road();
+        assert!(c.contains(Point::new(500.0, 0.0)));
+        assert!(c.contains(Point::new(500.0, 49.0)));
+        assert!(!c.contains(Point::new(500.0, 51.0)));
+        assert!(!c.contains(Point::new(-100.0, 0.0)));
+    }
+
+    #[test]
+    fn perpendicular_crossing_detected_at_90_degrees() {
+        let c = road();
+        // Trajectory driving north across the road.
+        let traj = vec![
+            Point::new(500.0, -200.0),
+            Point::new(500.0, -100.0),
+            Point::new(500.0, 0.0),
+            Point::new(500.0, 100.0),
+        ];
+        let xs = c.crossings(&traj);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0].angle_deg - 90.0).abs() < 1e-6);
+        assert_eq!(xs[0].point_index, 1);
+    }
+
+    #[test]
+    fn parallel_drive_along_road_is_single_entry_at_low_angle() {
+        let c = road();
+        let traj = vec![
+            Point::new(-100.0, 10.0),
+            Point::new(100.0, 10.0),
+            Point::new(300.0, 10.0),
+            Point::new(500.0, 10.0),
+        ];
+        let xs = c.crossings(&traj);
+        assert_eq!(xs.len(), 1, "one entry even though many points inside");
+        assert!(xs[0].angle_deg < 5.0);
+    }
+
+    #[test]
+    fn fast_clip_through_thin_corridor() {
+        let c = road();
+        // Single long step jumping from south to north of the road.
+        let traj = vec![Point::new(500.0, -200.0), Point::new(500.0, 200.0)];
+        let xs = c.crossings(&traj);
+        assert_eq!(xs.len(), 1);
+        assert!((xs[0].angle_deg - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn starting_inside_counts_once() {
+        let c = road();
+        let traj = vec![Point::new(500.0, 0.0), Point::new(500.0, 300.0)];
+        let xs = c.crossings(&traj);
+        assert_eq!(xs.len(), 1);
+        assert_eq!(xs[0].point_index, 0);
+    }
+
+    #[test]
+    fn no_crossing_far_away() {
+        let c = road();
+        let traj = vec![Point::new(0.0, 500.0), Point::new(1000.0, 500.0)];
+        assert!(c.crossings(&traj).is_empty());
+    }
+
+    #[test]
+    fn reentry_counts_twice() {
+        let c = road();
+        let traj = vec![
+            Point::new(200.0, -100.0),
+            Point::new(200.0, 0.0), // in
+            Point::new(200.0, 100.0), // out
+            Point::new(400.0, 100.0),
+            Point::new(400.0, 0.0), // in again
+        ];
+        let xs = c.crossings(&traj);
+        assert_eq!(xs.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Containment is consistent with axis distance.
+        #[test]
+        fn containment_matches_distance(x in -200f64..1200.0, y in -200f64..200.0, w in 1f64..100.0) {
+            let axis = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)]).unwrap();
+            let c = Corridor::new(axis.clone(), w);
+            let p = Point::new(x, y);
+            prop_assert_eq!(c.contains(p), axis.distance_to_point(p) <= w);
+        }
+
+        /// A straight perpendicular pass always yields exactly one crossing
+        /// with angle near 90°.
+        #[test]
+        fn perpendicular_pass(x in 10f64..990.0, step_count in 2usize..20) {
+            let c = Corridor::new(
+                Polyline::new(vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)]).unwrap(),
+                30.0,
+            );
+            let traj: Vec<Point> = (0..=step_count)
+                .map(|k| Point::new(x, -300.0 + 600.0 * k as f64 / step_count as f64))
+                .collect();
+            let xs = c.crossings(&traj);
+            prop_assert_eq!(xs.len(), 1);
+            prop_assert!((xs[0].angle_deg - 90.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+use crate::GeoPoint;
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Great-circle distance between two WGS-84 coordinates, in metres
+/// (haversine formula).
+///
+/// Used when computing trip lengths directly from raw route points, e.g. in
+/// the order-repair step of §IV-B where the trip length is evaluated for the
+/// id-ordered and time-ordered candidate sequences.
+pub fn haversine_m(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lat2) = (a.lat.to_radians(), b.lat.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = (b.lon - a.lon).to_radians();
+    let s = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * s.sqrt().asin()
+}
+
+/// Initial compass bearing from `a` to `b` in degrees `[0, 360)`,
+/// 0 = north, 90 = east.
+pub fn bearing_deg(a: GeoPoint, b: GeoPoint) -> f64 {
+    let (lat1, lat2) = (a.lat.to_radians(), b.lat.to_radians());
+    let dlon = (b.lon - a.lon).to_radians();
+    let y = dlon.sin() * lat2.cos();
+    let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+    let deg = y.atan2(x).to_degrees();
+    if deg < 0.0 {
+        deg + 360.0
+    } else {
+        deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance() {
+        let p = GeoPoint::new(25.4651, 65.0121);
+        assert_eq!(haversine_m(p, p), 0.0);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let a = GeoPoint::new(25.0, 65.0);
+        let b = GeoPoint::new(25.0, 66.0);
+        let d = haversine_m(a, b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn longitude_shrinks_with_latitude() {
+        let eq = haversine_m(GeoPoint::new(0.0, 0.0), GeoPoint::new(1.0, 0.0));
+        let oulu = haversine_m(GeoPoint::new(25.0, 65.0), GeoPoint::new(26.0, 65.0));
+        // cos(65°) ≈ 0.4226
+        assert!((oulu / eq - 65.0_f64.to_radians().cos()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = GeoPoint::new(25.4651, 65.0121);
+        let b = GeoPoint::new(25.5244, 65.0252);
+        assert!((haversine_m(a, b) - haversine_m(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bearings_cardinal() {
+        let o = GeoPoint::new(25.0, 65.0);
+        assert!((bearing_deg(o, GeoPoint::new(25.0, 65.1)) - 0.0).abs() < 1e-6);
+        assert!((bearing_deg(o, GeoPoint::new(25.0, 64.9)) - 180.0).abs() < 1e-6);
+        let east = bearing_deg(o, GeoPoint::new(25.1, 65.0));
+        assert!((east - 90.0).abs() < 0.1, "got {east}");
+    }
+}

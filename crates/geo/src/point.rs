@@ -1,0 +1,178 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A WGS-84 coordinate in degrees (`EPSG:4326`), longitude first as in the
+/// paper's `POINT(25.5244, 65.0252)` examples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a coordinate from longitude and latitude in degrees.
+    #[inline]
+    pub const fn new(lon: f64, lat: f64) -> Self {
+        Self { lon, lat }
+    }
+
+    /// Whether the coordinate lies in the valid WGS-84 range.
+    #[inline]
+    pub fn is_valid(&self) -> bool {
+        self.lon.is_finite()
+            && self.lat.is_finite()
+            && (-180.0..=180.0).contains(&self.lon)
+            && (-90.0..=90.0).contains(&self.lat)
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // PostGIS-style WKT, matching Table 1 of the paper.
+        write!(f, "POINT({:.4}, {:.4})", self.lon, self.lat)
+    }
+}
+
+/// A point in the local planar analysis frame, in metres.
+///
+/// Produced by [`crate::LocalProjection`]; `x` grows east, `y` grows north.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance; cheaper when only comparisons are needed.
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector difference `self - other`.
+    #[inline]
+    pub fn sub(&self, other: Point) -> Point {
+        Point::new(self.x - other.x, self.y - other.y)
+    }
+
+    /// Vector sum.
+    #[inline]
+    pub fn add(&self, other: Point) -> Point {
+        Point::new(self.x + other.x, self.y + other.y)
+    }
+
+    /// Scales the point as a vector.
+    #[inline]
+    pub fn scale(&self, k: f64) -> Point {
+        Point::new(self.x * k, self.y * k)
+    }
+
+    /// Dot product treating both points as vectors.
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component), positive when `other` is
+    /// counter-clockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Compass heading from `self` to `other` in degrees `[0, 360)`,
+    /// 0 = north, 90 = east (navigation convention, as reported by GPS units).
+    #[inline]
+    pub fn heading_to(&self, other: Point) -> f64 {
+        let h = (other.x - self.x).atan2(other.y - self.y).to_degrees();
+        if h < 0.0 {
+            h + 360.0
+        } else {
+            h
+        }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.2} m, {:.2} m)", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_point_display_matches_table1_style() {
+        let p = GeoPoint::new(25.5244, 65.0252);
+        assert_eq!(p.to_string(), "POINT(25.5244, 65.0252)");
+    }
+
+    #[test]
+    fn geo_point_validity() {
+        assert!(GeoPoint::new(25.46, 65.01).is_valid());
+        assert!(!GeoPoint::new(200.0, 65.0).is_valid());
+        assert!(!GeoPoint::new(25.0, 95.0).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 65.0).is_valid());
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn heading_navigation_convention() {
+        let o = Point::new(0.0, 0.0);
+        assert!((o.heading_to(Point::new(0.0, 1.0)) - 0.0).abs() < 1e-9); // north
+        assert!((o.heading_to(Point::new(1.0, 0.0)) - 90.0).abs() < 1e-9); // east
+        assert!((o.heading_to(Point::new(0.0, -1.0)) - 180.0).abs() < 1e-9); // south
+        assert!((o.heading_to(Point::new(-1.0, 0.0)) - 270.0).abs() < 1e-9); // west
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, -3.0));
+    }
+
+    #[test]
+    fn cross_sign_is_ccw() {
+        let east = Point::new(1.0, 0.0);
+        let north = Point::new(0.0, 1.0);
+        assert!(east.cross(north) > 0.0);
+        assert!(north.cross(east) < 0.0);
+    }
+}

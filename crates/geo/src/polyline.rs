@@ -1,0 +1,367 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BBox, Point, Segment};
+
+/// Error constructing a [`Polyline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolylineError {
+    /// Fewer than two vertices were supplied.
+    TooFewVertices(usize),
+    /// A vertex contained a non-finite coordinate.
+    NonFiniteVertex(usize),
+}
+
+impl fmt::Display for PolylineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolylineError::TooFewVertices(n) => {
+                write!(f, "polyline needs at least 2 vertices, got {n}")
+            }
+            PolylineError::NonFiniteVertex(i) => {
+                write!(f, "polyline vertex {i} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolylineError {}
+
+/// Result of projecting a point onto a polyline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Index of the segment the closest point lies on.
+    pub segment: usize,
+    /// Parameter within that segment, `[0, 1]`.
+    pub t: f64,
+    /// The closest point itself.
+    pub point: Point,
+    /// Distance from the query point to `point`, metres.
+    pub distance: f64,
+    /// Arc-length position of `point` from the start of the polyline, metres.
+    pub offset: f64,
+}
+
+/// A polyline (road centre-line geometry) in the planar frame.
+///
+/// Cumulative segment lengths are precomputed so projection, interpolation
+/// and length queries are cheap — these run in the inner loops of
+/// map-matching and attribute fetching.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    vertices: Vec<Point>,
+    /// `cum[i]` = arc length from the start to vertex `i`; `cum[0] == 0`.
+    cum: Vec<f64>,
+}
+
+impl Polyline {
+    /// Builds a polyline from at least two finite vertices.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, PolylineError> {
+        if vertices.len() < 2 {
+            return Err(PolylineError::TooFewVertices(vertices.len()));
+        }
+        for (i, v) in vertices.iter().enumerate() {
+            if !v.x.is_finite() || !v.y.is_finite() {
+                return Err(PolylineError::NonFiniteVertex(i));
+            }
+        }
+        let mut cum = Vec::with_capacity(vertices.len());
+        cum.push(0.0);
+        for w in vertices.windows(2) {
+            let last = *cum.last().expect("cum starts non-empty");
+            cum.push(last + w[0].distance(w[1]));
+        }
+        Ok(Self { vertices, cum })
+    }
+
+    /// The vertices of the polyline.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Total arc length, metres.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        *self.cum.last().expect("cum non-empty")
+    }
+
+    /// First vertex.
+    #[inline]
+    pub fn start(&self) -> Point {
+        self.vertices[0]
+    }
+
+    /// Last vertex.
+    #[inline]
+    pub fn end(&self) -> Point {
+        *self.vertices.last().expect("at least two vertices")
+    }
+
+    /// Number of segments (`vertices - 1`).
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.vertices.len() - 1
+    }
+
+    /// The `i`-th segment.
+    #[inline]
+    pub fn segment(&self, i: usize) -> Segment {
+        Segment::new(self.vertices[i], self.vertices[i + 1])
+    }
+
+    /// Iterator over all segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Bounding box over all vertices.
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(&self.vertices)
+    }
+
+    /// Point at arc-length `offset` from the start, clamped to `[0, length]`.
+    pub fn point_at(&self, offset: f64) -> Point {
+        let offset = offset.clamp(0.0, self.length());
+        // Binary search for the segment containing `offset`.
+        let i = match self.cum.binary_search_by(|c| {
+            c.partial_cmp(&offset).expect("finite arc lengths")
+        }) {
+            Ok(i) => i.min(self.num_segments()),
+            Err(i) => i - 1,
+        };
+        if i >= self.num_segments() {
+            return self.end();
+        }
+        let seg_len = self.cum[i + 1] - self.cum[i];
+        let t = if seg_len > 0.0 { (offset - self.cum[i]) / seg_len } else { 0.0 };
+        self.segment(i).point_at(t)
+    }
+
+    /// Compass heading of the polyline at arc-length `offset` (heading of the
+    /// segment containing that offset).
+    pub fn heading_at(&self, offset: f64) -> f64 {
+        let offset = offset.clamp(0.0, self.length());
+        let mut i = match self.cum.binary_search_by(|c| {
+            c.partial_cmp(&offset).expect("finite arc lengths")
+        }) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        if i >= self.num_segments() {
+            i = self.num_segments() - 1;
+        }
+        // Skip zero-length segments.
+        let mut j = i;
+        while j < self.num_segments() && self.segment(j).length() == 0.0 {
+            j += 1;
+        }
+        if j >= self.num_segments() {
+            j = i.min(self.num_segments() - 1);
+        }
+        self.segment(j).heading()
+    }
+
+    /// Projects `p` onto the polyline, returning the nearest location.
+    pub fn project(&self, p: Point) -> Projection {
+        let mut best = Projection {
+            segment: 0,
+            t: 0.0,
+            point: self.vertices[0],
+            distance: p.distance(self.vertices[0]),
+            offset: 0.0,
+        };
+        for i in 0..self.num_segments() {
+            let seg = self.segment(i);
+            let t = seg.project_t(p);
+            let c = seg.point_at(t);
+            let d = c.distance(p);
+            if d < best.distance {
+                best = Projection {
+                    segment: i,
+                    t,
+                    point: c,
+                    distance: d,
+                    offset: self.cum[i] + t * seg.length(),
+                };
+            }
+        }
+        best
+    }
+
+    /// Minimum distance from `p` to the polyline.
+    #[inline]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.project(p).distance
+    }
+
+    /// Resamples the polyline at roughly `step` metre spacing (endpoints
+    /// always included). Useful for rasterising routes onto the analysis grid.
+    pub fn resample(&self, step: f64) -> Vec<Point> {
+        assert!(step > 0.0, "resample step must be positive");
+        let len = self.length();
+        if len == 0.0 {
+            return vec![self.start(), self.end()];
+        }
+        let n = (len / step).ceil() as usize;
+        let mut out = Vec::with_capacity(n + 1);
+        for k in 0..=n {
+            out.push(self.point_at(len * k as f64 / n as f64));
+        }
+        out
+    }
+
+    /// Concatenates another polyline onto the end of this one, skipping the
+    /// duplicated join vertex when the endpoints coincide (within 1 mm).
+    pub fn extend_with(&mut self, other: &Polyline) {
+        let mut verts = std::mem::take(&mut self.vertices);
+        let skip_first = verts
+            .last()
+            .is_some_and(|p| p.distance(other.start()) < 1e-3);
+        let tail = if skip_first { &other.vertices[1..] } else { &other.vertices[..] };
+        verts.extend_from_slice(tail);
+        *self = Polyline::new(verts).expect("concatenation keeps >= 2 vertices");
+    }
+
+    /// The polyline with vertex order reversed.
+    pub fn reversed(&self) -> Polyline {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polyline::new(v).expect("reversal keeps >= 2 vertices")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(v: &[(f64, f64)]) -> Polyline {
+        Polyline::new(v.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(matches!(
+            Polyline::new(vec![Point::new(0.0, 0.0)]),
+            Err(PolylineError::TooFewVertices(1))
+        ));
+        assert!(matches!(
+            Polyline::new(vec![Point::new(0.0, 0.0), Point::new(f64::NAN, 0.0)]),
+            Err(PolylineError::NonFiniteVertex(1))
+        ));
+    }
+
+    #[test]
+    fn length_of_l_shape() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 5.0)]);
+        assert_eq!(p.length(), 15.0);
+        assert_eq!(p.num_segments(), 2);
+    }
+
+    #[test]
+    fn point_at_walks_the_line() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 5.0)]);
+        assert_eq!(p.point_at(0.0), Point::new(0.0, 0.0));
+        assert_eq!(p.point_at(5.0), Point::new(5.0, 0.0));
+        assert_eq!(p.point_at(12.0), Point::new(10.0, 2.0));
+        assert_eq!(p.point_at(15.0), Point::new(10.0, 5.0));
+        assert_eq!(p.point_at(99.0), Point::new(10.0, 5.0)); // clamped
+    }
+
+    #[test]
+    fn heading_changes_at_corner() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 5.0)]);
+        assert!((p.heading_at(5.0) - 90.0).abs() < 1e-9); // east
+        assert!((p.heading_at(12.0) - 0.0).abs() < 1e-9); // north
+    }
+
+    #[test]
+    fn projection_on_corner_line() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 5.0)]);
+        let proj = p.project(Point::new(4.0, 3.0));
+        assert_eq!(proj.segment, 0);
+        assert_eq!(proj.point, Point::new(4.0, 0.0));
+        assert_eq!(proj.distance, 3.0);
+        assert_eq!(proj.offset, 4.0);
+
+        let proj2 = p.project(Point::new(12.0, 4.0));
+        assert_eq!(proj2.segment, 1);
+        assert_eq!(proj2.point, Point::new(10.0, 4.0));
+        assert_eq!(proj2.offset, 14.0);
+    }
+
+    #[test]
+    fn resample_endpoint_inclusive() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0)]);
+        let pts = p.resample(3.0);
+        assert_eq!(*pts.first().unwrap(), Point::new(0.0, 0.0));
+        assert_eq!(*pts.last().unwrap(), Point::new(10.0, 0.0));
+        assert!(pts.len() >= 4);
+    }
+
+    #[test]
+    fn extend_with_dedups_join() {
+        let mut a = pl(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = pl(&[(10.0, 0.0), (10.0, 5.0)]);
+        a.extend_with(&b);
+        assert_eq!(a.vertices().len(), 3);
+        assert_eq!(a.length(), 15.0);
+    }
+
+    #[test]
+    fn reversed_preserves_length() {
+        let p = pl(&[(0.0, 0.0), (10.0, 0.0), (10.0, 5.0)]);
+        let r = p.reversed();
+        assert_eq!(r.length(), p.length());
+        assert_eq!(r.start(), p.end());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_polyline() -> impl Strategy<Value = Polyline> {
+        proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..12)
+            .prop_map(|v| {
+                Polyline::new(v.into_iter().map(|(x, y)| Point::new(x, y)).collect()).unwrap()
+            })
+    }
+
+    proptest! {
+        /// Projection distance equals the minimum over per-segment distances.
+        #[test]
+        fn projection_is_minimum(p in arb_polyline(), x in -2e3f64..2e3, y in -2e3f64..2e3) {
+            let q = Point::new(x, y);
+            let proj = p.project(q);
+            let brute = p
+                .segments()
+                .map(|s| s.distance_to_point(q))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((proj.distance - brute).abs() < 1e-9);
+            prop_assert!(proj.offset >= -1e-9 && proj.offset <= p.length() + 1e-9);
+        }
+
+        /// point_at(offset) round-trips through projection offset for points
+        /// on the line (for non-self-intersecting access we only check the
+        /// distance is ~0).
+        #[test]
+        fn point_at_lies_on_line(p in arb_polyline(), f in 0f64..1.0) {
+            let q = p.point_at(f * p.length());
+            prop_assert!(p.distance_to_point(q) < 1e-6);
+        }
+
+        /// Resampling preserves endpoints and stays on the line.
+        #[test]
+        fn resample_on_line(p in arb_polyline(), step in 1f64..100.0) {
+            let pts = p.resample(step);
+            prop_assert_eq!(*pts.first().unwrap(), p.start());
+            prop_assert!(pts.last().unwrap().distance(p.end()) < 1e-6);
+            for q in pts {
+                prop_assert!(p.distance_to_point(q) < 1e-6);
+            }
+        }
+    }
+}

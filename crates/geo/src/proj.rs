@@ -1,0 +1,127 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoPoint, Point, EARTH_RADIUS_M};
+
+/// Local equirectangular projection about a reference coordinate.
+///
+/// Maps WGS-84 degrees to a planar metre frame with `x` east / `y` north.
+/// Over a city-sized study area (the paper's region of interest is a few
+/// kilometres of downtown Oulu) the distortion is on the order of
+/// centimetres, well below the GPS noise of the on-board trackers, which is
+/// why the paper's PostGIS pipeline can likewise treat the region as planar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalProjection {
+    origin: GeoPoint,
+    /// Metres per degree of longitude at the origin latitude.
+    m_per_deg_lon: f64,
+    /// Metres per degree of latitude.
+    m_per_deg_lat: f64,
+}
+
+impl LocalProjection {
+    /// Creates a projection centred on `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        let m_per_deg = EARTH_RADIUS_M * std::f64::consts::PI / 180.0;
+        Self {
+            origin,
+            m_per_deg_lon: m_per_deg * origin.lat.to_radians().cos(),
+            m_per_deg_lat: m_per_deg,
+        }
+    }
+
+    /// The reference coordinate (maps to `(0, 0)`).
+    #[inline]
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+
+    /// Projects a WGS-84 coordinate into the planar frame (metres).
+    #[inline]
+    pub fn project(&self, g: GeoPoint) -> Point {
+        Point::new(
+            (g.lon - self.origin.lon) * self.m_per_deg_lon,
+            (g.lat - self.origin.lat) * self.m_per_deg_lat,
+        )
+    }
+
+    /// Inverse projection back to WGS-84 degrees.
+    #[inline]
+    pub fn unproject(&self, p: Point) -> GeoPoint {
+        GeoPoint::new(
+            self.origin.lon + p.x / self.m_per_deg_lon,
+            self.origin.lat + p.y / self.m_per_deg_lat,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::haversine_m;
+
+    fn oulu() -> LocalProjection {
+        LocalProjection::new(GeoPoint::new(25.4651, 65.0121))
+    }
+
+    #[test]
+    fn origin_maps_to_zero() {
+        let proj = oulu();
+        let p = proj.project(proj.origin());
+        assert!(p.x.abs() < 1e-9 && p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip() {
+        let proj = oulu();
+        let g = GeoPoint::new(25.5244, 65.0252);
+        let back = proj.unproject(proj.project(g));
+        assert!((back.lon - g.lon).abs() < 1e-12);
+        assert!((back.lat - g.lat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn planar_distance_matches_haversine_at_city_scale() {
+        let proj = oulu();
+        let a = GeoPoint::new(25.4558, 65.0434);
+        let b = GeoPoint::new(25.5244, 65.0252);
+        let planar = proj.project(a).distance(proj.project(b));
+        let geodesic = haversine_m(a, b);
+        // Within 0.1% over ~4 km.
+        assert!((planar - geodesic).abs() / geodesic < 1e-3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Projection round-trip is the identity for any point in a
+        /// city-sized neighbourhood of the origin.
+        #[test]
+        fn round_trip_identity(dlon in -0.2f64..0.2, dlat in -0.1f64..0.1) {
+            let proj = LocalProjection::new(GeoPoint::new(25.4651, 65.0121));
+            let g = GeoPoint::new(25.4651 + dlon, 65.0121 + dlat);
+            let back = proj.unproject(proj.project(g));
+            prop_assert!((back.lon - g.lon).abs() < 1e-9);
+            prop_assert!((back.lat - g.lat).abs() < 1e-9);
+        }
+
+        /// Planar distances stay within 1% of haversine in the study area.
+        #[test]
+        fn distance_agreement(
+            dlon1 in -0.05f64..0.05, dlat1 in -0.03f64..0.03,
+            dlon2 in -0.05f64..0.05, dlat2 in -0.03f64..0.03,
+        ) {
+            let proj = LocalProjection::new(GeoPoint::new(25.4651, 65.0121));
+            let a = GeoPoint::new(25.4651 + dlon1, 65.0121 + dlat1);
+            let b = GeoPoint::new(25.4651 + dlon2, 65.0121 + dlat2);
+            let planar = proj.project(a).distance(proj.project(b));
+            let geodesic = crate::haversine_m(a, b);
+            if geodesic > 10.0 {
+                prop_assert!((planar - geodesic).abs() / geodesic < 0.01);
+            }
+        }
+    }
+}

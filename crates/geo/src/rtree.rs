@@ -1,0 +1,267 @@
+use crate::{BBox, Point};
+
+/// An item stored in the [`RTree`]: a bounding box plus a caller payload
+/// (typically a road-edge or traffic-element identifier).
+#[derive(Debug, Clone)]
+pub struct RTreeEntry<T> {
+    pub bbox: BBox,
+    pub item: T,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    bbox: BBox,
+    /// Children: either inner node indices or leaf entry ranges.
+    kind: NodeKind,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    /// Indices into `nodes`.
+    Inner(Vec<usize>),
+    /// `start..end` range into `entries`.
+    Leaf(usize, usize),
+}
+
+/// A static, bulk-loaded R-tree (Sort-Tile-Recursive packing).
+///
+/// The map-matcher needs "all road edges near this GPS point" thousands of
+/// times per trip; PostGIS provides a GiST index for this, we provide an STR
+/// R-tree. The tree is immutable after construction, which matches the
+/// workload: the road network is loaded once per study.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    entries: Vec<RTreeEntry<T>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+const LEAF_CAPACITY: usize = 8;
+const FANOUT: usize = 8;
+
+impl<T> RTree<T> {
+    /// Bulk-loads the tree from entries using STR packing.
+    pub fn bulk_load(mut entries: Vec<RTreeEntry<T>>) -> Self {
+        if entries.is_empty() {
+            return Self { entries, nodes: Vec::new(), root: None };
+        }
+        // STR: sort by center x, slice into vertical strips, sort each strip
+        // by center y, then chunk into leaves.
+        let n = entries.len();
+        let num_leaves = n.div_ceil(LEAF_CAPACITY);
+        let num_strips = (num_leaves as f64).sqrt().ceil() as usize;
+        let strip_size = n.div_ceil(num_strips);
+
+        entries.sort_by(|a, b| {
+            a.bbox
+                .center()
+                .x
+                .partial_cmp(&b.bbox.center().x)
+                .expect("finite bbox centers")
+        });
+        let mut i = 0;
+        while i < n {
+            let end = (i + strip_size).min(n);
+            entries[i..end].sort_by(|a, b| {
+                a.bbox
+                    .center()
+                    .y
+                    .partial_cmp(&b.bbox.center().y)
+                    .expect("finite bbox centers")
+            });
+            i = end;
+        }
+
+        let mut nodes: Vec<Node> = Vec::new();
+        // Build leaves over consecutive chunks.
+        let mut level: Vec<usize> = Vec::with_capacity(num_leaves);
+        let mut start = 0;
+        while start < n {
+            let end = (start + LEAF_CAPACITY).min(n);
+            let bbox = entries[start..end]
+                .iter()
+                .fold(BBox::EMPTY, |b, e| b.union(e.bbox));
+            nodes.push(Node { bbox, kind: NodeKind::Leaf(start, end) });
+            level.push(nodes.len() - 1);
+            start = end;
+        }
+        // Pack upper levels until a single root remains.
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(FANOUT));
+            for chunk in level.chunks(FANOUT) {
+                let bbox = chunk
+                    .iter()
+                    .fold(BBox::EMPTY, |b, &i| b.union(nodes[i].bbox));
+                nodes.push(Node { bbox, kind: NodeKind::Inner(chunk.to_vec()) });
+                next.push(nodes.len() - 1);
+            }
+            level = next;
+        }
+        let root = Some(level[0]);
+        Self { entries, nodes, root }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Visits every entry whose bbox intersects `query`.
+    pub fn query<'a>(&'a self, query: &BBox, mut visit: impl FnMut(&'a RTreeEntry<T>)) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni];
+            if !node.bbox.intersects(query) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Inner(children) => stack.extend_from_slice(children),
+                NodeKind::Leaf(s, e) => {
+                    for entry in &self.entries[*s..*e] {
+                        if entry.bbox.intersects(query) {
+                            visit(entry);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects all entries whose bbox intersects `query`.
+    pub fn query_vec(&self, query: &BBox) -> Vec<&RTreeEntry<T>> {
+        let mut out = Vec::new();
+        self.query(query, |e| out.push(e));
+        out
+    }
+
+    /// All entries whose bbox lies within `radius` metres of `p`.
+    ///
+    /// This is the candidate-lookup primitive of the map-matcher: the true
+    /// per-geometry distance test is done by the caller on the returned
+    /// candidates.
+    pub fn within_radius(&self, p: Point, radius: f64) -> Vec<&RTreeEntry<T>> {
+        let query = BBox::from_point(p).expand(radius);
+        let mut out = Vec::new();
+        self.query(&query, |e| {
+            if e.bbox.distance_to_point(p) <= radius {
+                out.push(e);
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize, x: f64, y: f64, hw: f64) -> RTreeEntry<usize> {
+        RTreeEntry {
+            bbox: BBox::from_point(Point::new(x, y)).expand(hw),
+            item: id,
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<usize> = RTree::bulk_load(Vec::new());
+        assert!(t.is_empty());
+        assert!(t.query_vec(&BBox::from_point(Point::new(0.0, 0.0)).expand(1e9)).is_empty());
+    }
+
+    #[test]
+    fn finds_all_in_range() {
+        let entries: Vec<_> = (0..100)
+            .map(|i| entry(i, (i % 10) as f64 * 100.0, (i / 10) as f64 * 100.0, 5.0))
+            .collect();
+        let t = RTree::bulk_load(entries);
+        assert_eq!(t.len(), 100);
+        let hits = t.query_vec(&BBox::from_corners(Point::new(-10.0, -10.0), Point::new(110.0, 110.0)));
+        // Grid points (0,0),(100,0),(0,100),(100,100) => ids 0,1,10,11
+        let mut ids: Vec<_> = hits.iter().map(|e| e.item).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn within_radius_respects_distance() {
+        let entries: Vec<_> = (0..50).map(|i| entry(i, i as f64 * 10.0, 0.0, 0.0)).collect();
+        let t = RTree::bulk_load(entries);
+        let hits = t.within_radius(Point::new(100.0, 0.0), 25.0);
+        let mut ids: Vec<_> = hits.iter().map(|e| e.item).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        // Deterministic pseudo-random boxes.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 10_000) as f64 - 5_000.0
+        };
+        let entries: Vec<_> = (0..500).map(|i| entry(i, rnd(), rnd(), 20.0)).collect();
+        let brute = entries.clone();
+        let t = RTree::bulk_load(entries);
+        for q in 0..20 {
+            let query = BBox::from_point(Point::new(rnd(), rnd())).expand(300.0 + q as f64);
+            let mut got: Vec<_> = t.query_vec(&query).iter().map(|e| e.item).collect();
+            got.sort_unstable();
+            let mut want: Vec<_> = brute
+                .iter()
+                .filter(|e| e.bbox.intersects(&query))
+                .map(|e| e.item)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query {query:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// R-tree query results always equal brute force scan results.
+        #[test]
+        fn query_equals_brute_force(
+            boxes in proptest::collection::vec(
+                ((-1e3f64..1e3), (-1e3f64..1e3), (0f64..100.0)), 0..100),
+            qx in -1.2e3f64..1.2e3, qy in -1.2e3f64..1.2e3, qr in 0f64..500.0,
+        ) {
+            let entries: Vec<RTreeEntry<usize>> = boxes
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y, hw))| RTreeEntry {
+                    bbox: BBox::from_point(Point::new(x, y)).expand(hw),
+                    item: i,
+                })
+                .collect();
+            let brute = entries.clone();
+            let t = RTree::bulk_load(entries);
+            let query = BBox::from_point(Point::new(qx, qy)).expand(qr);
+            let mut got: Vec<_> = t.query_vec(&query).iter().map(|e| e.item).collect();
+            got.sort_unstable();
+            let mut want: Vec<_> = brute
+                .iter()
+                .filter(|e| e.bbox.intersects(&query))
+                .map(|e| e.item)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

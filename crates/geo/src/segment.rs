@@ -1,0 +1,190 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{BBox, Point};
+
+/// A directed line segment in the planar frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    pub a: Point,
+    pub b: Point,
+}
+
+impl Segment {
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length in metres.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(self.b)
+    }
+
+    /// Compass heading of the segment direction (a → b), degrees `[0, 360)`.
+    #[inline]
+    pub fn heading(&self) -> f64 {
+        self.a.heading_to(self.b)
+    }
+
+    /// Bounding box of the segment.
+    #[inline]
+    pub fn bbox(&self) -> BBox {
+        BBox::from_corners(self.a, self.b)
+    }
+
+    /// Parameter `t ∈ [0, 1]` of the point on the segment closest to `p`.
+    pub fn project_t(&self, p: Point) -> f64 {
+        let d = self.b.sub(self.a);
+        let len_sq = d.dot(d);
+        if len_sq == 0.0 {
+            return 0.0; // degenerate segment
+        }
+        (p.sub(self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// Point on the segment at parameter `t ∈ [0, 1]`.
+    #[inline]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Closest point on the segment to `p`.
+    #[inline]
+    pub fn closest_point(&self, p: Point) -> Point {
+        self.point_at(self.project_t(p))
+    }
+
+    /// Distance from `p` to the segment, in metres.
+    #[inline]
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// Proper intersection of two segments.
+    ///
+    /// Returns the intersection parameters `(t_self, t_other)` when the
+    /// segments cross (including endpoint touches); `None` when parallel,
+    /// collinear, or disjoint. This powers crossing detection against the
+    /// thick O-D geometries.
+    pub fn intersect(&self, other: &Segment) -> Option<(f64, f64)> {
+        let r = self.b.sub(self.a);
+        let s = other.b.sub(other.a);
+        let denom = r.cross(s);
+        if denom == 0.0 {
+            return None;
+        }
+        let qp = other.a.sub(self.a);
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        if (0.0..=1.0).contains(&t) && (0.0..=1.0).contains(&u) {
+            Some((t, u))
+        } else {
+            None
+        }
+    }
+
+    /// The segment reversed (b → a).
+    #[inline]
+    pub fn reversed(&self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.project_t(Point::new(-5.0, 3.0)), 0.0);
+        assert_eq!(s.project_t(Point::new(15.0, 3.0)), 1.0);
+        assert_eq!(s.project_t(Point::new(4.0, 3.0)), 0.4);
+    }
+
+    #[test]
+    fn distance_perpendicular_and_beyond() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.distance_to_point(Point::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.distance_to_point(Point::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(2.0, 2.0, 2.0, 2.0);
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.distance_to_point(Point::new(5.0, 6.0)), 5.0);
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let a = seg(0.0, 0.0, 10.0, 10.0);
+        let b = seg(0.0, 10.0, 10.0, 0.0);
+        let (t, u) = a.intersect(&b).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+        assert!((u - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_and_disjoint() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        assert!(a.intersect(&seg(0.0, 1.0, 10.0, 1.0)).is_none()); // parallel
+        assert!(a.intersect(&seg(20.0, -1.0, 20.0, 1.0)).is_none()); // disjoint
+    }
+
+    #[test]
+    fn endpoint_touch_counts() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(10.0, 0.0, 10.0, 5.0);
+        let (t, u) = a.intersect(&b).unwrap();
+        assert_eq!((t, u), (1.0, 0.0));
+    }
+
+    #[test]
+    fn heading_east() {
+        assert!((seg(0.0, 0.0, 1.0, 0.0).heading() - 90.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    proptest! {
+        /// Distance to the segment never exceeds the distance to either endpoint.
+        #[test]
+        fn distance_bounded_by_endpoints(a in arb_point(), b in arb_point(), p in arb_point()) {
+            let s = Segment::new(a, b);
+            let d = s.distance_to_point(p);
+            prop_assert!(d <= p.distance(a) + 1e-9);
+            prop_assert!(d <= p.distance(b) + 1e-9);
+        }
+
+        /// The closest point actually lies on the segment (within epsilon of
+        /// the line through a–b and within the parameter range).
+        #[test]
+        fn closest_point_on_segment(a in arb_point(), b in arb_point(), p in arb_point()) {
+            let s = Segment::new(a, b);
+            let c = s.closest_point(p);
+            // c is a convex combination of a and b:
+            prop_assert!(c.distance(a) + c.distance(b) <= s.length() + 1e-6);
+        }
+
+        /// Reversal preserves distances.
+        #[test]
+        fn reversal_preserves_distance(a in arb_point(), b in arb_point(), p in arb_point()) {
+            let s = Segment::new(a, b);
+            prop_assert!((s.distance_to_point(p) - s.reversed().distance_to_point(p)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Polyline simplification (Ramer–Douglas–Peucker).
+//!
+//! Digital-map centre lines are often denser than an analysis needs;
+//! simplification with a metre-scale tolerance shrinks geometry without
+//! moving it perceptibly. Used when exporting maps and when rendering
+//! routes.
+
+use crate::{Point, Polyline, Segment};
+
+/// Simplifies `points` with the RDP algorithm: the result keeps the first
+/// and last points and every point farther than `tolerance_m` from the
+/// simplified baseline.
+pub fn simplify_rdp(points: &[Point], tolerance_m: f64) -> Vec<Point> {
+    assert!(tolerance_m >= 0.0, "tolerance must be non-negative");
+    if points.len() <= 2 {
+        return points.to_vec();
+    }
+    let mut keep = vec![false; points.len()];
+    keep[0] = true;
+    keep[points.len() - 1] = true;
+    rdp_mark(points, 0, points.len() - 1, tolerance_m, &mut keep);
+    points
+        .iter()
+        .zip(&keep)
+        .filter(|(_, k)| **k)
+        .map(|(p, _)| *p)
+        .collect()
+}
+
+fn rdp_mark(points: &[Point], lo: usize, hi: usize, tol: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let base = Segment::new(points[lo], points[hi]);
+    let mut far_idx = lo;
+    let mut far_dist = -1.0;
+    for (i, p) in points.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = base.distance_to_point(*p);
+        if d > far_dist {
+            far_dist = d;
+            far_idx = i;
+        }
+    }
+    if far_dist > tol {
+        keep[far_idx] = true;
+        rdp_mark(points, lo, far_idx, tol, keep);
+        rdp_mark(points, far_idx, hi, tol, keep);
+    }
+}
+
+/// Simplifies a polyline, preserving endpoints.
+pub fn simplify_polyline(line: &Polyline, tolerance_m: f64) -> Polyline {
+    let pts = simplify_rdp(line.vertices(), tolerance_m);
+    Polyline::new(pts).expect("simplification keeps >= 2 vertices")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let line = pts(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0)]);
+        let s = simplify_rdp(&line, 0.5);
+        assert_eq!(s, pts(&[(0.0, 0.0), (30.0, 0.0)]));
+    }
+
+    #[test]
+    fn corner_is_kept() {
+        let line = pts(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
+        let s = simplify_rdp(&line, 0.5);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn small_wiggles_removed_large_kept() {
+        let line = pts(&[
+            (0.0, 0.0),
+            (5.0, 0.3),  // wiggle below tolerance
+            (10.0, 0.0),
+            (15.0, 8.0), // a real feature
+            (20.0, 0.0),
+        ]);
+        let s = simplify_rdp(&line, 1.0);
+        assert!(s.contains(&Point::new(15.0, 8.0)));
+        assert!(!s.contains(&Point::new(5.0, 0.3)));
+    }
+
+    #[test]
+    fn short_inputs_unchanged() {
+        assert_eq!(simplify_rdp(&pts(&[(1.0, 2.0)]), 1.0).len(), 1);
+        let two = pts(&[(0.0, 0.0), (5.0, 5.0)]);
+        assert_eq!(simplify_rdp(&two, 1.0), two);
+    }
+
+    #[test]
+    fn polyline_wrapper() {
+        let line = Polyline::new(pts(&[(0.0, 0.0), (50.0, 0.1), (100.0, 0.0)])).unwrap();
+        let s = simplify_polyline(&line, 1.0);
+        assert_eq!(s.vertices().len(), 2);
+        assert!((s.length() - 100.0).abs() < 0.1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..40)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        /// Every original point is within tolerance of the simplified line;
+        /// endpoints are preserved; output is a subsequence.
+        #[test]
+        fn simplification_is_faithful(points in arb_points(), tol in 0.1f64..100.0) {
+            let s = simplify_rdp(&points, tol);
+            prop_assert_eq!(*s.first().unwrap(), *points.first().unwrap());
+            prop_assert_eq!(*s.last().unwrap(), *points.last().unwrap());
+            prop_assert!(s.len() <= points.len());
+            if s.len() >= 2 {
+                let line = Polyline::new(s.clone()).unwrap();
+                for p in &points {
+                    prop_assert!(
+                        line.distance_to_point(*p) <= tol + 1e-6,
+                        "point {p} strays {} > {tol}",
+                        line.distance_to_point(*p)
+                    );
+                }
+            }
+            // Output is a subsequence of the input.
+            let mut it = points.iter();
+            for kept in &s {
+                prop_assert!(it.any(|p| p == kept), "subsequence property");
+            }
+        }
+
+        /// Zero tolerance keeps collinearity-only removal: re-simplifying is
+        /// idempotent.
+        #[test]
+        fn idempotent(points in arb_points(), tol in 0.1f64..50.0) {
+            let once = simplify_rdp(&points, tol);
+            let twice = simplify_rdp(&once, tol);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal WKT (well-known text) reading and writing.
+//!
+//! Digiroad is distributed as GIS layers; the paper stores geometries in
+//! PostGIS, whose lingua franca is WKT (`POINT`, `LINESTRING`). This module
+//! implements exactly the two geometry types the pipeline exchanges, so a
+//! synthetic map can be exported to and re-imported from a GIS-compatible
+//! text form.
+
+use std::fmt::Write as _;
+
+use crate::{GeoPoint, Point, Polyline, PolylineError};
+
+/// WKT parse errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WktError {
+    /// The tag (POINT/LINESTRING) was missing or unknown.
+    BadTag(String),
+    /// Parenthesis structure was malformed.
+    BadStructure,
+    /// A coordinate failed to parse.
+    BadNumber(String),
+    /// A linestring had fewer than two coordinates.
+    TooFewCoordinates(usize),
+}
+
+impl std::fmt::Display for WktError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WktError::BadTag(t) => write!(f, "unknown WKT tag {t:?}"),
+            WktError::BadStructure => write!(f, "malformed WKT parentheses"),
+            WktError::BadNumber(s) => write!(f, "bad WKT coordinate {s:?}"),
+            WktError::TooFewCoordinates(n) => {
+                write!(f, "LINESTRING needs >= 2 coordinates, got {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WktError {}
+
+/// Formats a WGS-84 point as `POINT(lon lat)`.
+pub fn point_to_wkt(p: GeoPoint) -> String {
+    format!("POINT({:.7} {:.7})", p.lon, p.lat)
+}
+
+/// Formats a planar polyline (converted by the caller to WGS-84 via a
+/// projection) as `LINESTRING(lon lat, ...)`.
+pub fn linestring_to_wkt(points: &[GeoPoint]) -> String {
+    let mut s = String::with_capacity(16 + points.len() * 24);
+    s.push_str("LINESTRING(");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{:.7} {:.7}", p.lon, p.lat);
+    }
+    s.push(')');
+    s
+}
+
+/// Parses `POINT(lon lat)`.
+pub fn point_from_wkt(s: &str) -> Result<GeoPoint, WktError> {
+    let body = strip_tag(s, "POINT")?;
+    let coords = parse_coord(body.trim())?;
+    Ok(coords)
+}
+
+/// Parses `LINESTRING(lon lat, lon lat, ...)`.
+pub fn linestring_from_wkt(s: &str) -> Result<Vec<GeoPoint>, WktError> {
+    let body = strip_tag(s, "LINESTRING")?;
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        out.push(parse_coord(part.trim())?);
+    }
+    if out.len() < 2 {
+        return Err(WktError::TooFewCoordinates(out.len()));
+    }
+    Ok(out)
+}
+
+/// Convenience: planar polyline from WKT via a projection closure.
+pub fn polyline_from_wkt(
+    s: &str,
+    mut project: impl FnMut(GeoPoint) -> Point,
+) -> Result<Polyline, WktError> {
+    let coords = linestring_from_wkt(s)?;
+    Polyline::new(coords.into_iter().map(&mut project).collect()).map_err(|e| match e {
+        PolylineError::TooFewVertices(n) => WktError::TooFewCoordinates(n),
+        PolylineError::NonFiniteVertex(_) => WktError::BadStructure,
+    })
+}
+
+fn strip_tag<'a>(s: &'a str, tag: &str) -> Result<&'a str, WktError> {
+    let t = s.trim();
+    let upper = t.to_ascii_uppercase();
+    if !upper.starts_with(tag) {
+        let found: String = t.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+        return Err(WktError::BadTag(found));
+    }
+    let rest = t[tag.len()..].trim_start();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Err(WktError::BadStructure);
+    }
+    Ok(&rest[1..rest.len() - 1])
+}
+
+fn parse_coord(s: &str) -> Result<GeoPoint, WktError> {
+    let mut it = s.split_whitespace();
+    let lon = it
+        .next()
+        .ok_or(WktError::BadStructure)?
+        .parse::<f64>()
+        .map_err(|_| WktError::BadNumber(s.into()))?;
+    let lat = it
+        .next()
+        .ok_or(WktError::BadStructure)?
+        .parse::<f64>()
+        .map_err(|_| WktError::BadNumber(s.into()))?;
+    if it.next().is_some() {
+        return Err(WktError::BadStructure);
+    }
+    Ok(GeoPoint::new(lon, lat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_round_trip() {
+        let p = GeoPoint::new(25.4651234, 65.0121987);
+        let wkt = point_to_wkt(p);
+        assert!(wkt.starts_with("POINT(25.4651234"));
+        let back = point_from_wkt(&wkt).unwrap();
+        assert!((back.lon - p.lon).abs() < 1e-7);
+        assert!((back.lat - p.lat).abs() < 1e-7);
+    }
+
+    #[test]
+    fn linestring_round_trip() {
+        let pts = vec![
+            GeoPoint::new(25.46, 65.01),
+            GeoPoint::new(25.47, 65.02),
+            GeoPoint::new(25.48, 65.015),
+        ];
+        let wkt = linestring_to_wkt(&pts);
+        let back = linestring_from_wkt(&wkt).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(&pts) {
+            assert!((a.lon - b.lon).abs() < 1e-7);
+            assert!((a.lat - b.lat).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn tolerant_of_case_and_spacing() {
+        assert!(point_from_wkt(" point ( 25.1 65.2 ) ").is_ok());
+        assert!(linestring_from_wkt("linestring(1 2, 3 4)").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(point_from_wkt("POLYGON((1 2))"), Err(WktError::BadTag(_))));
+        assert!(matches!(point_from_wkt("POINT 1 2"), Err(WktError::BadStructure)));
+        assert!(matches!(point_from_wkt("POINT(a b)"), Err(WktError::BadNumber(_))));
+        assert!(matches!(point_from_wkt("POINT(1 2 3)"), Err(WktError::BadStructure)));
+        assert!(matches!(
+            linestring_from_wkt("LINESTRING(1 2)"),
+            Err(WktError::TooFewCoordinates(1))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any city-range coordinate survives a WKT round trip within
+        /// format precision.
+        #[test]
+        fn point_round_trips(lon in 20f64..30.0, lat in 60f64..70.0) {
+            let p = GeoPoint::new(lon, lat);
+            let back = point_from_wkt(&point_to_wkt(p)).unwrap();
+            prop_assert!((back.lon - lon).abs() < 1e-6);
+            prop_assert!((back.lat - lat).abs() < 1e-6);
+        }
+
+        /// Linestrings of any length ≥ 2 round trip.
+        #[test]
+        fn linestring_round_trips(
+            coords in proptest::collection::vec((20f64..30.0, 60f64..70.0), 2..20)
+        ) {
+            let pts: Vec<GeoPoint> =
+                coords.into_iter().map(|(lon, lat)| GeoPoint::new(lon, lat)).collect();
+            let back = linestring_from_wkt(&linestring_to_wkt(&pts)).unwrap();
+            prop_assert_eq!(back.len(), pts.len());
+        }
+    }
+}

@@ -1,0 +1,240 @@
+use taxitrace_geo::{
+    heading_diff_deg, BBox, Point, Polyline, RTree, RTreeEntry,
+};
+use taxitrace_roadnet::{EdgeId, ElementId, FlowDirection, RoadGraph, TrafficElement};
+
+use crate::MatchConfig;
+
+/// One indexable traffic element.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub element: ElementId,
+    pub edge: EdgeId,
+    pub geometry: Polyline,
+    pub flow: FlowDirection,
+}
+
+/// A candidate scored against one GPS point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredCandidate {
+    /// Index into the [`CandidateIndex`] candidate table.
+    pub candidate: usize,
+    pub distance_m: f64,
+    pub offset_m: f64,
+    /// Distance score in `[0, 1]`.
+    pub s_dist: f64,
+    /// Orientation score in `[0, 1]`.
+    pub s_head: f64,
+}
+
+/// R-tree-backed candidate lookup over traffic elements — the GiST-index
+/// role PostGIS plays in the paper's stack.
+pub struct CandidateIndex {
+    candidates: Vec<Candidate>,
+    tree: RTree<usize>,
+}
+
+impl CandidateIndex {
+    /// Builds the index for a road graph and its source elements.
+    ///
+    /// Elements whose id the graph does not know (should not happen for a
+    /// well-formed map) are skipped.
+    pub fn new(graph: &RoadGraph, elements: &[TrafficElement]) -> Self {
+        let mut candidates = Vec::with_capacity(elements.len());
+        let mut entries = Vec::with_capacity(elements.len());
+        for e in elements {
+            let Some(edge) = graph.edge_of_element(e.id) else { continue };
+            let idx = candidates.len();
+            entries.push(RTreeEntry { bbox: e.geometry.bbox(), item: idx });
+            candidates.push(Candidate {
+                element: e.id,
+                edge,
+                geometry: e.geometry.clone(),
+                flow: e.flow,
+            });
+        }
+        Self { candidates, tree: RTree::bulk_load(entries) }
+    }
+
+    /// Candidate table.
+    #[inline]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    #[inline]
+    pub fn candidate(&self, i: usize) -> &Candidate {
+        &self.candidates[i]
+    }
+
+    /// Number of indexed elements.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// All candidates within `radius` of `p`, scored against the point's
+    /// heading. Results are sorted by descending combined
+    /// `w_dist·s_dist + w_head·s_head`.
+    pub fn scored_candidates(
+        &self,
+        p: Point,
+        heading_deg: f64,
+        speed_kmh: f64,
+        config: &MatchConfig,
+    ) -> Vec<ScoredCandidate> {
+        let query = BBox::from_point(p).expand(config.radius_m);
+        let mut out = Vec::new();
+        self.tree.query(&query, |entry| {
+            let cand = &self.candidates[entry.item];
+            let proj = cand.geometry.project(p);
+            if proj.distance > config.radius_m {
+                return;
+            }
+            let s_dist = (-proj.distance * proj.distance
+                / (2.0 * config.sigma_m * config.sigma_m))
+                .exp();
+            let s_head = self.heading_score(cand, proj.offset, heading_deg, speed_kmh, config);
+            out.push(ScoredCandidate {
+                candidate: entry.item,
+                distance_m: proj.distance,
+                offset_m: proj.offset,
+                s_dist,
+                s_head,
+            });
+        });
+        out.sort_by(|a, b| {
+            let sa = config.w_dist * a.s_dist + config.w_head * a.s_head;
+            let sb = config.w_dist * b.s_dist + config.w_head * b.s_head;
+            sb.partial_cmp(&sa)
+                .expect("finite scores")
+                .then(a.candidate.cmp(&b.candidate))
+        });
+        out
+    }
+
+    /// Orientation score: cosine similarity between the GPS heading and the
+    /// element direction at the projection, honouring one-way flow — this is
+    /// the paper's "enhanced with information retrieved from the digital map
+    /// (like road directions)".
+    fn heading_score(
+        &self,
+        cand: &Candidate,
+        offset: f64,
+        heading_deg: f64,
+        speed_kmh: f64,
+        config: &MatchConfig,
+    ) -> f64 {
+        let elem_heading = cand.geometry.heading_at(offset);
+        let diff = match cand.flow {
+            // Two-way: either orientation is legal; take the better one.
+            FlowDirection::Both => {
+                let d1 = heading_diff_deg(heading_deg, elem_heading);
+                let d2 = heading_diff_deg(heading_deg, elem_heading + 180.0);
+                d1.min(d2)
+            }
+            FlowDirection::WithDigitization => heading_diff_deg(heading_deg, elem_heading),
+            FlowDirection::AgainstDigitization => {
+                heading_diff_deg(heading_deg, elem_heading + 180.0)
+            }
+        };
+        let score = (diff.to_radians().cos()).max(0.0);
+        if speed_kmh < config.heading_trust_kmh {
+            // Heading from a (nearly) stationary GPS fix is noise.
+            0.5 + 0.5 * score * (speed_kmh / config.heading_trust_kmh)
+        } else {
+            score
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_geo::{GeoPoint, LocalProjection};
+    use taxitrace_roadnet::FunctionalClass;
+
+    fn elem(id: u64, pts: &[(f64, f64)], flow: FlowDirection) -> TrafficElement {
+        TrafficElement {
+            id: ElementId(id),
+            geometry: Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                .unwrap(),
+            class: FunctionalClass::Local,
+            speed_limit_kmh: 40.0,
+            flow,
+        }
+    }
+
+    /// Two parallel one-way streets 30 m apart, plus stubs for junctions.
+    fn setup() -> (RoadGraph, Vec<TrafficElement>) {
+        let mut els = vec![
+            elem(1, &[(0.0, 0.0), (500.0, 0.0)], FlowDirection::WithDigitization), // eastbound
+            elem(2, &[(500.0, 30.0), (0.0, 30.0)], FlowDirection::WithDigitization), // westbound
+        ];
+        for (k, &(x, y)) in [(0.0, 0.0), (500.0, 0.0), (0.0, 30.0), (500.0, 30.0)]
+            .iter()
+            .enumerate()
+        {
+            els.push(elem(10 + k as u64, &[(x, y), (x, y - 50.0 - k as f64)], FlowDirection::Both));
+            els.push(elem(20 + k as u64, &[(x, y), (x - 50.0 - k as f64, y + 60.0)], FlowDirection::Both));
+        }
+        let g = RoadGraph::build(&els, LocalProjection::new(GeoPoint::new(25.0, 65.0)))
+            .unwrap();
+        (g, els)
+    }
+
+    #[test]
+    fn direction_disambiguates_parallel_oneways() {
+        let (g, els) = setup();
+        let index = CandidateIndex::new(&g, &els);
+        let config = MatchConfig::default();
+        // A point between the two streets (y = 15), driving east.
+        let scored = index.scored_candidates(Point::new(250.0, 14.0), 90.0, 40.0, &config);
+        assert!(!scored.is_empty());
+        let best = index.candidate(scored[0].candidate);
+        assert_eq!(best.element, ElementId(1), "eastbound street wins for eastbound heading");
+        // Driving west: the westbound street wins despite being slightly farther.
+        let scored = index.scored_candidates(Point::new(250.0, 16.0), 270.0, 40.0, &config);
+        let best = index.candidate(scored[0].candidate);
+        assert_eq!(best.element, ElementId(2));
+    }
+
+    #[test]
+    fn radius_limits_candidates() {
+        let (g, els) = setup();
+        let index = CandidateIndex::new(&g, &els);
+        let config = MatchConfig { radius_m: 20.0, ..MatchConfig::default() };
+        let scored = index.scored_candidates(Point::new(250.0, 5.0), 90.0, 40.0, &config);
+        // Only the eastbound street is within 20 m.
+        assert_eq!(scored.len(), 1);
+        let far = index.scored_candidates(Point::new(250.0, 500.0), 90.0, 40.0, &config);
+        assert!(far.is_empty());
+    }
+
+    #[test]
+    fn stationary_points_trust_distance_over_heading() {
+        let (g, els) = setup();
+        let index = CandidateIndex::new(&g, &els);
+        let config = MatchConfig::default();
+        // Stationary (speed 0) with a nonsense heading, right on street 1.
+        let scored = index.scored_candidates(Point::new(250.0, 1.0), 270.0, 0.0, &config);
+        let best = index.candidate(scored[0].candidate);
+        assert_eq!(best.element, ElementId(1), "distance dominates at standstill");
+    }
+
+    #[test]
+    fn scores_are_normalised() {
+        let (g, els) = setup();
+        let index = CandidateIndex::new(&g, &els);
+        let config = MatchConfig::default();
+        for sc in index.scored_candidates(Point::new(250.0, 10.0), 90.0, 30.0, &config) {
+            assert!((0.0..=1.0).contains(&sc.s_dist));
+            assert!((0.0..=1.0).contains(&sc.s_head));
+            assert!(sc.distance_m <= config.radius_m);
+        }
+    }
+}

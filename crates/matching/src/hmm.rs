@@ -1,0 +1,204 @@
+//! HMM/Viterbi map-matching in the spirit of Lou et al. (2009)
+//! ("Map-matching for low-sampling-rate GPS trajectories"), the stronger
+//! baseline the paper's related-work section points to.
+//!
+//! States are candidate elements per point; emissions are the Gaussian
+//! distance score; transitions prefer graph-connected candidates. Unlike the
+//! incremental matcher this performs global decoding over the whole trace,
+//! at higher cost.
+
+use taxitrace_roadnet::{EdgeId, RoadGraph};
+use taxitrace_traces::RoutePoint;
+
+use crate::candidates::CandidateIndex;
+use crate::path::element_path;
+use crate::types::{MatchConfig, MatchedPoint, MatchedTrace};
+
+const MAX_STATES: usize = 8;
+
+fn transition(graph: &RoadGraph, a: EdgeId, b: EdgeId) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let ea = graph.edge(a);
+    let eb = graph.edge(b);
+    if ea.from == eb.from || ea.from == eb.to || ea.to == eb.from || ea.to == eb.to {
+        return 0.8;
+    }
+    for node in [ea.from, ea.to] {
+        for &(_, nb) in graph.neighbors(node) {
+            if nb == eb.from || nb == eb.to {
+                return 0.5;
+            }
+        }
+    }
+    0.05
+}
+
+/// Matches a trace with Viterbi decoding.
+pub fn match_trace(
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> MatchedTrace {
+    // Candidate lists (bounded).
+    let cand_lists: Vec<Vec<crate::candidates::ScoredCandidate>> = points
+        .iter()
+        .map(|p| {
+            let mut c = index.scored_candidates(p.pos, p.heading_deg, p.speed_kmh, config);
+            c.truncate(MAX_STATES);
+            c
+        })
+        .collect();
+
+    let mut matched: Vec<MatchedPoint> = Vec::with_capacity(points.len());
+    let mut unmatched = 0usize;
+
+    // Decode each maximal run of points that have candidates.
+    let mut i = 0;
+    while i < points.len() {
+        if cand_lists[i].is_empty() {
+            unmatched += 1;
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j < points.len() && !cand_lists[j].is_empty() {
+            j += 1;
+        }
+        decode_run(graph, index, &cand_lists[i..j], i, config, &mut matched);
+        i = j;
+    }
+
+    let elements = element_path(graph, index, &matched, points, config.gap_fill);
+    MatchedTrace { points: matched, elements, unmatched }
+}
+
+fn decode_run(
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    cands: &[Vec<crate::candidates::ScoredCandidate>],
+    base: usize,
+    config: &MatchConfig,
+    out: &mut Vec<MatchedPoint>,
+) {
+    let n = cands.len();
+    // dp[t][k] = (score, argmax prev k)
+    let mut dp: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+    let emission = |sc: &crate::candidates::ScoredCandidate| {
+        (config.w_dist * sc.s_dist + config.w_head * sc.s_head).max(1e-9).ln()
+    };
+    dp.push(cands[0].iter().map(|sc| (emission(sc), usize::MAX)).collect());
+    for t in 1..n {
+        let mut row = Vec::with_capacity(cands[t].len());
+        for sc in &cands[t] {
+            let edge_b = index.candidate(sc.candidate).edge;
+            let mut best = (f64::NEG_INFINITY, 0usize);
+            for (k, prev_sc) in cands[t - 1].iter().enumerate() {
+                let edge_a = index.candidate(prev_sc.candidate).edge;
+                let s = dp[t - 1][k].0 + transition(graph, edge_a, edge_b).ln();
+                if s > best.0 {
+                    best = (s, k);
+                }
+            }
+            row.push((best.0 + emission(sc), best.1));
+        }
+        dp.push(row);
+    }
+    // Backtrack.
+    let mut k = dp[n - 1]
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+        .map(|(k, _)| k)
+        .expect("non-empty candidate row");
+    let mut picks = vec![0usize; n];
+    for t in (0..n).rev() {
+        picks[t] = k;
+        if t > 0 {
+            k = dp[t][k].1;
+        }
+    }
+    for (t, &pick) in picks.iter().enumerate() {
+        let sc = &cands[t][pick];
+        let cand = index.candidate(sc.candidate);
+        out.push(MatchedPoint {
+            point_index: base + t,
+            element: cand.element,
+            edge: cand.edge,
+            distance_m: sc.distance_m,
+            offset_m: sc.offset_m,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_geo::{GeoPoint, Point};
+    use taxitrace_roadnet::synth::{generate, OuluConfig};
+    use taxitrace_roadnet::{dijkstra, CostModel, ElementId};
+    use taxitrace_timebase::Timestamp;
+    use taxitrace_traces::{PointTruth, TaxiId, TripId};
+
+    fn pt(i: usize, pos: Point, heading: f64) -> RoutePoint {
+        RoutePoint {
+            point_id: i as u64,
+            trip_id: TripId(1),
+            taxi: TaxiId(1),
+            geo: GeoPoint::new(25.0, 65.0),
+            pos,
+            timestamp: Timestamp::from_secs(i as i64 * 15),
+            speed_kmh: 35.0,
+            heading_deg: heading,
+            fuel_ml: 0.0,
+            truth: PointTruth { seq: i as u32, element: None },
+        }
+    }
+
+    #[test]
+    fn viterbi_recovers_route() {
+        let city = generate(&OuluConfig::default());
+        let index = CandidateIndex::new(&city.graph, &city.elements);
+        let route = dijkstra::shortest_path(
+            &city.graph,
+            city.od_roads[0].outer_node,
+            city.od_roads[2].outer_node,
+            CostModel::TravelTime,
+        )
+        .unwrap();
+        let line = route.polyline(&city.graph).unwrap();
+        let truth: Vec<ElementId> = route.element_ids(&city.graph);
+        let n = (line.length() / 90.0) as usize;
+        let points: Vec<RoutePoint> = (0..=n)
+            .map(|k| {
+                let off = line.length() * k as f64 / n as f64;
+                pt(k, line.point_at(off), line.heading_at(off))
+            })
+            .collect();
+        let matched = match_trace(&city.graph, &index, &points, &MatchConfig::default());
+        assert_eq!(matched.unmatched, 0);
+        let on_route = matched
+            .points
+            .iter()
+            .filter(|m| truth.contains(&m.element))
+            .count() as f64
+            / matched.points.len() as f64;
+        assert!(on_route > 0.95, "on-route {on_route}");
+    }
+
+    #[test]
+    fn handles_gaps_in_candidates() {
+        let city = generate(&OuluConfig::default());
+        let index = CandidateIndex::new(&city.graph, &city.elements);
+        let points = vec![
+            pt(0, Point::new(75.0, 2.0), 90.0),
+            pt(1, Point::new(90_000.0, 0.0), 90.0), // off-map
+            pt(2, Point::new(225.0, 2.0), 90.0),
+        ];
+        let matched = match_trace(&city.graph, &index, &points, &MatchConfig::default());
+        assert_eq!(matched.unmatched, 1);
+        assert_eq!(matched.points.len(), 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Point-wise nearest-element baseline: no heading, no connectivity, no
+//! temporal context. This is the ablation every map-matching paper compares
+//! against; it goes wrong near junctions and on parallel one-way pairs.
+
+use taxitrace_roadnet::RoadGraph;
+use taxitrace_traces::RoutePoint;
+
+use crate::candidates::CandidateIndex;
+use crate::path::element_path;
+use crate::types::{MatchConfig, MatchedPoint, MatchedTrace};
+
+/// Matches each point to the geometrically nearest element within the
+/// radius.
+pub fn match_trace(
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> MatchedTrace {
+    let mut matched = Vec::with_capacity(points.len());
+    let mut unmatched = 0usize;
+    for (i, p) in points.iter().enumerate() {
+        let cands = index.scored_candidates(p.pos, p.heading_deg, p.speed_kmh, config);
+        let best = cands.iter().min_by(|a, b| {
+            a.distance_m
+                .partial_cmp(&b.distance_m)
+                .expect("finite distances")
+                .then(a.candidate.cmp(&b.candidate))
+        });
+        match best {
+            Some(sc) => {
+                let cand = index.candidate(sc.candidate);
+                matched.push(MatchedPoint {
+                    point_index: i,
+                    element: cand.element,
+                    edge: cand.edge,
+                    distance_m: sc.distance_m,
+                    offset_m: sc.offset_m,
+                });
+            }
+            None => unmatched += 1,
+        }
+    }
+    let elements = element_path(graph, index, &matched, points, config.gap_fill);
+    MatchedTrace { points: matched, elements, unmatched }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_geo::{GeoPoint, Point};
+    use taxitrace_roadnet::synth::{generate, OuluConfig};
+    use taxitrace_timebase::Timestamp;
+    use taxitrace_traces::{PointTruth, TaxiId, TripId};
+
+    fn pt(i: usize, pos: Point) -> RoutePoint {
+        RoutePoint {
+            point_id: i as u64,
+            trip_id: TripId(1),
+            taxi: TaxiId(1),
+            geo: GeoPoint::new(25.0, 65.0),
+            pos,
+            timestamp: Timestamp::from_secs(i as i64 * 15),
+            speed_kmh: 30.0,
+            heading_deg: 90.0,
+            fuel_ml: 0.0,
+            truth: PointTruth { seq: i as u32, element: None },
+        }
+    }
+
+    #[test]
+    fn picks_geometrically_nearest() {
+        let city = generate(&OuluConfig::default());
+        let index = CandidateIndex::new(&city.graph, &city.elements);
+        let config = MatchConfig::default();
+        // A point 5 m north of a horizontal street at y = 0.
+        let m = match_trace(&city.graph, &index, &[pt(0, Point::new(75.0, 5.0))], &config);
+        assert_eq!(m.points.len(), 1);
+        assert!(m.points[0].distance_m <= 5.5, "{}", m.points[0].distance_m);
+    }
+}

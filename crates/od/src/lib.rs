@@ -1,0 +1,25 @@
+//! Origin–Destination segment selection (§IV-D).
+//!
+//! The paper selects three road segments at the key enter/exit points of
+//! downtown Oulu — named **T**, **S** and **L** — artificially thickens them
+//! ("thick geometry", Fig. 2) to catch routes deviating from the centre
+//! line, and then narrows the cleaned trip segments down in stages:
+//!
+//! 1. keep segments that intersect the thick roads at an angle within a
+//!    predefined range, on at least two *different* roads
+//!    (Table 3, column "Filtered and cleaned");
+//! 2. extract ordered origin → destination **transitions**
+//!    (column "Transitions total");
+//! 3. keep transitions passing through the central area
+//!    (column "transitions within city centre");
+//! 4. post-filter to the four studied pairs T-L, L-T, T-S, S-T whose start
+//!    and end route points lie close to the respective O-D roads
+//!    (column "Post-filtered").
+//!
+//! [`OdAnalyzer::funnel`] reproduces the whole Table 3 funnel;
+//! [`OdAnalyzer::transitions`] yields the surviving transitions for
+//! map-matching and attribute fusion.
+
+mod analyzer;
+
+pub use analyzer::{FunnelRow, OdAnalyzer, OdConfig, OdEndpoint, Transition};

@@ -1,0 +1,331 @@
+//! A Digiroad-style text interchange format.
+//!
+//! Digiroad is published as GIS layers; this module round-trips a complete
+//! map (traffic elements with attributes, transportation-system point
+//! objects, named O-D roads, the study area) through a line-oriented text
+//! format with WKT geometries, so maps can be exported, inspected in GIS
+//! tooling, versioned, and re-imported without re-running the generator.
+//!
+//! ```text
+//! DIGIROAD 1
+//! PROJECTION POINT(25.4651 65.0121)
+//! CENTER -1150 -1150 1150 1150
+//! ELEMENT 121000 3 40 B LINESTRING(25.46 65.01, 25.47 65.01)
+//! OBJECT TL 121000 12.5 POINT(25.461 65.01)
+//! ROAD T 121402,121403 LINESTRING(...)
+//! ```
+
+use std::collections::HashSet;
+use std::fmt;
+
+use taxitrace_geo::wkt;
+use taxitrace_geo::{BBox, GeoPoint, LocalProjection, Point, Polyline};
+
+use crate::synth::{NamedRoad, SyntheticCity};
+use crate::{
+    ElementId, FlowDirection, FunctionalClass, MapObject, MapObjectKind, MapObjects, NodeId,
+    RoadGraph, TrafficElement,
+};
+
+/// Import errors.
+#[derive(Debug)]
+pub enum DigiroadError {
+    /// Header missing or wrong version.
+    BadHeader(String),
+    /// A record line failed to parse.
+    BadRecord { line: usize, message: String },
+    /// The element set did not form a valid road graph.
+    Graph(crate::GraphError),
+}
+
+impl fmt::Display for DigiroadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DigiroadError::BadHeader(h) => write!(f, "bad digiroad header {h:?}"),
+            DigiroadError::BadRecord { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            DigiroadError::Graph(e) => write!(f, "graph reconstruction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DigiroadError {}
+
+fn flow_code(f: FlowDirection) -> &'static str {
+    match f {
+        FlowDirection::Both => "B",
+        FlowDirection::WithDigitization => "F",
+        FlowDirection::AgainstDigitization => "A",
+    }
+}
+
+fn kind_code(k: MapObjectKind) -> &'static str {
+    match k {
+        MapObjectKind::TrafficLight => "TL",
+        MapObjectKind::BusStop => "BS",
+        MapObjectKind::PedestrianCrossing => "PC",
+    }
+}
+
+/// Exports a city to the text format.
+pub fn export_city(city: &SyntheticCity) -> String {
+    let proj = city.graph.projection();
+    let mut out = String::new();
+    out.push_str("DIGIROAD 1\n");
+    out.push_str(&format!("PROJECTION {}\n", wkt::point_to_wkt(proj.origin())));
+    let c = city.center_area;
+    out.push_str(&format!(
+        "CENTER {:.1} {:.1} {:.1} {:.1}\n",
+        c.min_x, c.min_y, c.max_x, c.max_y
+    ));
+    for e in &city.elements {
+        let coords: Vec<GeoPoint> =
+            e.geometry.vertices().iter().map(|p| proj.unproject(*p)).collect();
+        out.push_str(&format!(
+            "ELEMENT {} {} {} {} {}\n",
+            e.id,
+            e.class.level(),
+            e.speed_limit_kmh,
+            flow_code(e.flow),
+            wkt::linestring_to_wkt(&coords)
+        ));
+    }
+    for o in city.objects.all() {
+        out.push_str(&format!(
+            "OBJECT {} {} {:.2} {}\n",
+            kind_code(o.kind),
+            o.element,
+            o.offset_m,
+            wkt::point_to_wkt(proj.unproject(o.location))
+        ));
+    }
+    for r in &city.od_roads {
+        let ids: Vec<String> = r.elements.iter().map(|e| e.to_string()).collect();
+        let coords: Vec<GeoPoint> =
+            r.axis.vertices().iter().map(|p| proj.unproject(*p)).collect();
+        out.push_str(&format!(
+            "ROAD {} {} {}\n",
+            r.name,
+            ids.join(","),
+            wkt::linestring_to_wkt(&coords)
+        ));
+    }
+    out
+}
+
+/// Imports a city from the text format, rebuilding the road graph and the
+/// signalised-junction set.
+pub fn import_city(text: &str) -> Result<SyntheticCity, DigiroadError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| DigiroadError::BadHeader("<empty>".into()))?;
+    if header.trim() != "DIGIROAD 1" {
+        return Err(DigiroadError::BadHeader(header.into()));
+    }
+
+    let mut projection: Option<LocalProjection> = None;
+    let mut center_area = BBox::EMPTY;
+    let mut elements: Vec<TrafficElement> = Vec::new();
+    let mut objects: Vec<MapObject> = Vec::new();
+    // (name, ids, axis coords) — geometry resolved once projection is known.
+    let mut roads: Vec<(String, Vec<ElementId>, Vec<GeoPoint>)> = Vec::new();
+
+    let bad = |line: usize, message: &str| DigiroadError::BadRecord {
+        line: line + 1,
+        message: message.to_string(),
+    };
+
+    for (ln, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (tag, rest) = line.split_once(' ').ok_or_else(|| bad(ln, "missing record body"))?;
+        match tag {
+            "PROJECTION" => {
+                let origin = wkt::point_from_wkt(rest).map_err(|e| bad(ln, &e.to_string()))?;
+                projection = Some(LocalProjection::new(origin));
+            }
+            "CENTER" => {
+                let nums: Vec<f64> = rest
+                    .split_whitespace()
+                    .map(|s| s.parse::<f64>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad(ln, "CENTER needs four numbers"))?;
+                if nums.len() != 4 {
+                    return Err(bad(ln, "CENTER needs four numbers"));
+                }
+                center_area = BBox::from_corners(
+                    Point::new(nums[0], nums[1]),
+                    Point::new(nums[2], nums[3]),
+                );
+            }
+            "ELEMENT" => {
+                let proj = projection.ok_or_else(|| bad(ln, "ELEMENT before PROJECTION"))?;
+                let mut it = rest.splitn(5, ' ');
+                let id = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| bad(ln, "bad element id"))?;
+                let class = match it.next() {
+                    Some("1") => FunctionalClass::Arterial,
+                    Some("2") => FunctionalClass::Collector,
+                    Some("3") => FunctionalClass::Local,
+                    _ => return Err(bad(ln, "bad functional class")),
+                };
+                let limit = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| bad(ln, "bad speed limit"))?;
+                let flow = match it.next() {
+                    Some("B") => FlowDirection::Both,
+                    Some("F") => FlowDirection::WithDigitization,
+                    Some("A") => FlowDirection::AgainstDigitization,
+                    _ => return Err(bad(ln, "bad flow code")),
+                };
+                let geom_wkt = it.next().ok_or_else(|| bad(ln, "missing geometry"))?;
+                let geometry = wkt::polyline_from_wkt(geom_wkt, |g| proj.project(g))
+                    .map_err(|e| bad(ln, &e.to_string()))?;
+                elements.push(TrafficElement {
+                    id: ElementId(id),
+                    geometry,
+                    class,
+                    speed_limit_kmh: limit,
+                    flow,
+                });
+            }
+            "OBJECT" => {
+                let proj = projection.ok_or_else(|| bad(ln, "OBJECT before PROJECTION"))?;
+                let mut it = rest.splitn(4, ' ');
+                let kind = match it.next() {
+                    Some("TL") => MapObjectKind::TrafficLight,
+                    Some("BS") => MapObjectKind::BusStop,
+                    Some("PC") => MapObjectKind::PedestrianCrossing,
+                    _ => return Err(bad(ln, "bad object kind")),
+                };
+                let element = it
+                    .next()
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .ok_or_else(|| bad(ln, "bad object element id"))?;
+                let offset_m = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .ok_or_else(|| bad(ln, "bad object offset"))?;
+                let loc_wkt = it.next().ok_or_else(|| bad(ln, "missing object point"))?;
+                let g = wkt::point_from_wkt(loc_wkt).map_err(|e| bad(ln, &e.to_string()))?;
+                objects.push(MapObject {
+                    kind,
+                    location: proj.project(g),
+                    element: ElementId(element),
+                    offset_m,
+                });
+            }
+            "ROAD" => {
+                let mut it = rest.splitn(3, ' ');
+                let name = it.next().ok_or_else(|| bad(ln, "missing road name"))?.to_string();
+                let ids: Vec<ElementId> = it
+                    .next()
+                    .ok_or_else(|| bad(ln, "missing road elements"))?
+                    .split(',')
+                    .map(|s| s.parse::<u64>().map(ElementId))
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| bad(ln, "bad road element ids"))?;
+                let geom_wkt = it.next().ok_or_else(|| bad(ln, "missing road geometry"))?;
+                let coords =
+                    wkt::linestring_from_wkt(geom_wkt).map_err(|e| bad(ln, &e.to_string()))?;
+                roads.push((name, ids, coords));
+            }
+            other => return Err(bad(ln, &format!("unknown record tag {other:?}"))),
+        }
+    }
+
+    let projection =
+        projection.ok_or_else(|| DigiroadError::BadHeader("missing PROJECTION".into()))?;
+    let graph = RoadGraph::build(&elements, projection).map_err(DigiroadError::Graph)?;
+    let objects = MapObjects::new(objects);
+
+    let od_roads: Vec<NamedRoad> = roads
+        .into_iter()
+        .map(|(name, elements_ids, coords)| {
+            let axis = Polyline::new(
+                coords.into_iter().map(|g| projection.project(g)).collect(),
+            )
+            .expect("ROAD geometry validated by WKT parser");
+            NamedRoad {
+                name,
+                outer_node: graph.nearest_node(axis.end()),
+                inner_node: graph.nearest_node(axis.start()),
+                axis,
+                elements: elements_ids,
+            }
+        })
+        .collect();
+
+    // Re-derive signalised junctions from the light objects.
+    let lights: Vec<Point> = objects
+        .all()
+        .iter()
+        .filter(|o| o.kind == MapObjectKind::TrafficLight)
+        .map(|o| o.location)
+        .collect();
+    let signalized: HashSet<NodeId> = (0..graph.num_nodes() as u32)
+        .map(NodeId)
+        .filter(|&n| {
+            let np = graph.node_point(n);
+            lights.iter().any(|l| l.distance(np) <= 20.0)
+        })
+        .collect();
+
+    Ok(SyntheticCity { graph, objects, od_roads, center_area, signalized, elements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, OuluConfig};
+
+    #[test]
+    fn full_city_round_trip() {
+        let city = generate(&OuluConfig::default());
+        let text = export_city(&city);
+        assert!(text.starts_with("DIGIROAD 1\n"));
+        let back = import_city(&text).expect("import succeeds");
+
+        assert_eq!(back.elements.len(), city.elements.len());
+        assert_eq!(back.graph.num_nodes(), city.graph.num_nodes());
+        assert_eq!(back.graph.num_edges(), city.graph.num_edges());
+        assert_eq!(back.objects.all().len(), city.objects.all().len());
+        assert_eq!(back.od_roads.len(), 3);
+        assert_eq!(back.signalized.len(), city.signalized.len());
+        // Geometry survives within WKT precision (~1 cm at this latitude).
+        let a = &city.elements[10];
+        let b = back.elements.iter().find(|e| e.id == a.id).expect("same id");
+        assert!(a.geometry.start().distance(b.geometry.start()) < 0.05);
+        assert!((a.geometry.length() - b.geometry.length()).abs() < 0.1);
+        assert_eq!(a.flow, b.flow);
+        assert_eq!(a.class, b.class);
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(matches!(import_city(""), Err(DigiroadError::BadHeader(_))));
+        assert!(matches!(
+            import_city("DIGIROAD 2\n"),
+            Err(DigiroadError::BadHeader(_))
+        ));
+        let bad = "DIGIROAD 1\nPROJECTION POINT(25 65)\nELEMENT x 3 40 B LINESTRING(1 2, 3 4)\n";
+        assert!(matches!(import_city(bad), Err(DigiroadError::BadRecord { line: 3, .. })));
+        let unknown = "DIGIROAD 1\nWHATEVER 1 2 3\n";
+        assert!(matches!(import_city(unknown), Err(DigiroadError::BadRecord { .. })));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let city = generate(&OuluConfig::default());
+        let mut text = export_city(&city);
+        text.insert_str("DIGIROAD 1\n".len(), "# a comment\n\n");
+        assert!(import_city(&text).is_ok());
+    }
+}

@@ -1,0 +1,357 @@
+//! Dijkstra shortest paths over the road graph.
+//!
+//! The paper uses "the Dijkstra Shortest Path algorithm from pgRouting … to
+//! fill the gaps, when data points are too far from each other" during
+//! map-matching. Our fleet simulator additionally uses weighted variants for
+//! free route choice (taxi drivers pick routes "based on their own silent
+//! knowledge", which we model as perturbed edge costs).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use taxitrace_geo::Polyline;
+
+use crate::{Edge, EdgeId, NodeId, RoadGraph};
+
+/// Edge cost model for shortest paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostModel {
+    /// Minimise travelled metres.
+    Distance,
+    /// Minimise free-flow travel time (length / speed limit).
+    TravelTime,
+}
+
+impl CostModel {
+    /// Cost of one edge under this model.
+    #[inline]
+    pub fn cost(&self, e: &Edge) -> f64 {
+        match self {
+            CostModel::Distance => e.length_m,
+            // km/h → m/s.
+            CostModel::TravelTime => e.length_m / (e.speed_limit_kmh / 3.6),
+        }
+    }
+}
+
+/// A shortest path through the road graph.
+#[derive(Debug, Clone)]
+pub struct RoutePath {
+    /// Visited vertices, source first.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges (`nodes.len() - 1` of them).
+    pub edges: Vec<EdgeId>,
+    /// Total cost under the query's model.
+    pub cost: f64,
+    /// Total length in metres.
+    pub length_m: f64,
+}
+
+impl RoutePath {
+    /// Merged geometry of the path, oriented source → target.
+    ///
+    /// Returns `None` for a trivial path (source == target, no edges).
+    pub fn polyline(&self, graph: &RoadGraph) -> Option<Polyline> {
+        let mut out: Option<Polyline> = None;
+        for (i, &eid) in self.edges.iter().enumerate() {
+            let e = graph.edge(eid);
+            let part = if e.from == self.nodes[i] {
+                e.geometry.clone()
+            } else {
+                e.geometry.reversed()
+            };
+            match &mut out {
+                None => out = Some(part),
+                Some(g) => g.extend_with(&part),
+            }
+        }
+        out
+    }
+
+    /// Traffic-element id sequence of the path, in travel order.
+    pub fn element_ids(&self, graph: &RoadGraph) -> Vec<crate::ElementId> {
+        let mut out = Vec::new();
+        for (i, &eid) in self.edges.iter().enumerate() {
+            let e = graph.edge(eid);
+            if e.from == self.nodes[i] {
+                out.extend(e.elements.iter().copied());
+            } else {
+                out.extend(e.elements.iter().rev().copied());
+            }
+        }
+        out
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct QueueItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for QueueItem {}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost; ties broken by node id for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest path with a caller-supplied edge weight.
+///
+/// `weight` must return a non-negative cost for every edge; the simulator
+/// passes randomly perturbed costs here to model individual route choice.
+pub fn shortest_path_weighted(
+    graph: &RoadGraph,
+    from: NodeId,
+    to: NodeId,
+    mut weight: impl FnMut(&Edge) -> f64,
+) -> Option<RoutePath> {
+    let n = graph.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[from.0 as usize] = 0.0;
+    heap.push(QueueItem { cost: 0.0, node: from });
+
+    while let Some(QueueItem { cost, node }) = heap.pop() {
+        if node == to {
+            break;
+        }
+        if cost > dist[node.0 as usize] {
+            continue; // stale entry
+        }
+        for &(eid, nb) in graph.neighbors(node) {
+            let w = weight(graph.edge(eid));
+            debug_assert!(w >= 0.0, "negative edge weight");
+            let next = cost + w;
+            if next < dist[nb.0 as usize] {
+                dist[nb.0 as usize] = next;
+                prev[nb.0 as usize] = Some((node, eid));
+                heap.push(QueueItem { cost: next, node: nb });
+            }
+        }
+    }
+
+    if dist[to.0 as usize].is_infinite() {
+        return None;
+    }
+    // Reconstruct.
+    let mut nodes = vec![to];
+    let mut edges = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let (p, e) = prev[cur.0 as usize].expect("reachable node has predecessor");
+        nodes.push(p);
+        edges.push(e);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    let length_m = edges.iter().map(|&e| graph.edge(e).length_m).sum();
+    Some(RoutePath { nodes, edges, cost: dist[to.0 as usize], length_m })
+}
+
+/// Shortest path under a standard [`CostModel`].
+pub fn shortest_path(
+    graph: &RoadGraph,
+    from: NodeId,
+    to: NodeId,
+    model: CostModel,
+) -> Option<RoutePath> {
+    shortest_path_weighted(graph, from, to, |e| model.cost(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElementId, FlowDirection, FunctionalClass, TrafficElement};
+    use taxitrace_geo::{GeoPoint, LocalProjection, Point, Polyline};
+
+    fn elem(id: u64, pts: &[(f64, f64)], flow: FlowDirection, limit: f64) -> TrafficElement {
+        TrafficElement {
+            id: ElementId(id),
+            geometry: Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                .unwrap(),
+            class: FunctionalClass::Local,
+            speed_limit_kmh: limit,
+            flow,
+        }
+    }
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(GeoPoint::new(25.4651, 65.0121))
+    }
+
+    /// A square with a diagonal shortcut that has a low speed limit:
+    ///
+    /// ```text
+    /// (0,100) --- (100,100)
+    ///    |      /    |
+    /// (0,0) ---- (100,0)
+    /// ```
+    fn square() -> RoadGraph {
+        let mut els = vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)], FlowDirection::Both, 50.0),
+            elem(2, &[(100.0, 0.0), (100.0, 100.0)], FlowDirection::Both, 50.0),
+            elem(3, &[(0.0, 0.0), (0.0, 100.0)], FlowDirection::Both, 50.0),
+            elem(4, &[(0.0, 100.0), (100.0, 100.0)], FlowDirection::Both, 50.0),
+            elem(5, &[(0.0, 0.0), (100.0, 100.0)], FlowDirection::Both, 10.0),
+        ];
+        els.extend(corner_stubs(10));
+        RoadGraph::build(&els, proj()).unwrap()
+    }
+
+    /// Short dead-end stubs at the four square corners so every corner is a
+    /// junction (otherwise degree-2 corners merge into chains).
+    fn corner_stubs(base_id: u64) -> Vec<TrafficElement> {
+        [(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)]
+            .iter()
+            .enumerate()
+            .map(|(k, &(x, y))| {
+                elem(
+                    base_id + k as u64,
+                    &[(x, y), (x - 10.0, y - 10.0)],
+                    FlowDirection::Both,
+                    30.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn distance_prefers_diagonal() {
+        let g = square();
+        let a = g.nearest_node(Point::new(0.0, 0.0));
+        let b = g.nearest_node(Point::new(100.0, 100.0));
+        let p = shortest_path(&g, a, b, CostModel::Distance).unwrap();
+        assert_eq!(p.edges.len(), 1);
+        assert!((p.length_m - 141.42).abs() < 0.1);
+    }
+
+    #[test]
+    fn travel_time_avoids_slow_diagonal() {
+        let g = square();
+        let a = g.nearest_node(Point::new(0.0, 0.0));
+        let b = g.nearest_node(Point::new(100.0, 100.0));
+        let p = shortest_path(&g, a, b, CostModel::TravelTime).unwrap();
+        // Around: 200 m at 50 km/h = 14.4 s; diagonal: 141 m at 10 km/h = 50.9 s.
+        assert_eq!(p.edges.len(), 2);
+        assert!((p.length_m - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = square();
+        let a = g.nearest_node(Point::new(0.0, 0.0));
+        let p = shortest_path(&g, a, a, CostModel::Distance).unwrap();
+        assert!(p.edges.is_empty());
+        assert_eq!(p.cost, 0.0);
+        assert!(p.polyline(&g).is_none());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        // Two disconnected components.
+        let els = vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)], FlowDirection::Both, 50.0),
+            elem(2, &[(1000.0, 0.0), (1100.0, 0.0)], FlowDirection::Both, 50.0),
+        ];
+        let g = RoadGraph::build(&els, proj()).unwrap();
+        let a = g.nearest_node(Point::new(0.0, 0.0));
+        let b = g.nearest_node(Point::new(1100.0, 0.0));
+        assert!(shortest_path(&g, a, b, CostModel::Distance).is_none());
+    }
+
+    #[test]
+    fn one_way_respected() {
+        // One-way ring: can go clockwise only. Corner stubs make every
+        // corner a junction.
+        let mut els = vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)], FlowDirection::WithDigitization, 50.0),
+            elem(2, &[(100.0, 0.0), (100.0, 100.0)], FlowDirection::WithDigitization, 50.0),
+            elem(3, &[(100.0, 100.0), (0.0, 100.0)], FlowDirection::WithDigitization, 50.0),
+            elem(4, &[(0.0, 100.0), (0.0, 0.0)], FlowDirection::WithDigitization, 50.0),
+        ];
+        els.extend(corner_stubs(10));
+        let els = els;
+        let g = RoadGraph::build(&els, proj()).unwrap();
+        let a = g.nearest_node(Point::new(0.0, 0.0));
+        let b = g.nearest_node(Point::new(0.0, 100.0));
+        let p = shortest_path(&g, a, b, CostModel::Distance).unwrap();
+        // Direct edge is one-way the wrong way; must go around: 300 m.
+        assert!((p.length_m - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polyline_is_contiguous() {
+        let g = square();
+        let a = g.nearest_node(Point::new(0.0, 100.0));
+        let b = g.nearest_node(Point::new(100.0, 0.0));
+        let p = shortest_path(&g, a, b, CostModel::Distance).unwrap();
+        let line = p.polyline(&g).unwrap();
+        assert_eq!(line.start(), Point::new(0.0, 100.0));
+        assert_eq!(line.end(), Point::new(100.0, 0.0));
+        assert!((line.length() - p.length_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn element_ids_in_travel_order() {
+        let g = square();
+        let a = g.nearest_node(Point::new(0.0, 100.0));
+        let b = g.nearest_node(Point::new(100.0, 100.0));
+        let p = shortest_path(&g, a, b, CostModel::Distance).unwrap();
+        assert_eq!(p.element_ids(&g), vec![ElementId(4)]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // Floyd–Warshall triple loop
+    fn matches_brute_force_on_small_graphs() {
+        // Exhaustive check against Floyd-Warshall on the square.
+        let g = square();
+        let n = g.num_nodes();
+        let mut d = vec![vec![f64::INFINITY; n]; n];
+        for (i, row) in d.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        for e in g.edges() {
+            let (f, t) = (e.from.0 as usize, e.to.0 as usize);
+            if e.forward_ok {
+                d[f][t] = d[f][t].min(e.length_m);
+            }
+            if e.backward_ok {
+                d[t][f] = d[t][f].min(e.length_m);
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = d[i][k] + d[k][j];
+                    if via < d[i][j] {
+                        d[i][j] = via;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let got = shortest_path(&g, NodeId(i as u32), NodeId(j as u32), CostModel::Distance);
+                match got {
+                    Some(p) => assert!((p.cost - d[i][j]).abs() < 1e-6, "{i}->{j}"),
+                    None => assert!(d[i][j].is_infinite(), "{i}->{j}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use taxitrace_geo::{Point, Polyline};
+
+/// Unique identifier of a traffic element, as in Digiroad
+/// (the paper's Table 1 shows ids like `121499`, `138854`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ElementId(pub u64);
+
+impl fmt::Display for ElementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Permitted traffic-flow direction relative to the element's digitisation
+/// direction (Digiroad stores both the geometry digitisation direction and
+/// the allowed flow; the paper's map-matcher uses "information retrieved
+/// from the digital map (like road directions)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowDirection {
+    /// Two-way traffic.
+    Both,
+    /// One-way, in the digitisation direction of the geometry.
+    WithDigitization,
+    /// One-way, against the digitisation direction.
+    AgainstDigitization,
+}
+
+/// Digiroad-style functional classification of a road.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum FunctionalClass {
+    /// Main roads / regional arterials.
+    Arterial,
+    /// Collector streets (e.g. a downtown ring).
+    Collector,
+    /// Local streets.
+    Local,
+}
+
+impl FunctionalClass {
+    /// Digiroad-like numeric class (smaller = more significant).
+    pub fn level(self) -> u8 {
+        match self {
+            FunctionalClass::Arterial => 1,
+            FunctionalClass::Collector => 2,
+            FunctionalClass::Local => 3,
+        }
+    }
+}
+
+/// The smallest unit of road centre-line geometry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficElement {
+    pub id: ElementId,
+    /// Centre-line geometry in the planar analysis frame; vertex order is
+    /// the digitisation direction.
+    pub geometry: Polyline,
+    pub class: FunctionalClass,
+    /// Posted speed limit, km/h (a segmented line-like attribute in
+    /// Digiroad; we attach the constant limit of the element).
+    pub speed_limit_kmh: f64,
+    pub flow: FlowDirection,
+}
+
+impl TrafficElement {
+    /// Endpoint at the digitisation start.
+    #[inline]
+    pub fn start(&self) -> Point {
+        self.geometry.start()
+    }
+
+    /// Endpoint at the digitisation end.
+    #[inline]
+    pub fn end(&self) -> Point {
+        self.geometry.end()
+    }
+
+    /// Element length in metres.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.geometry.length()
+    }
+
+    /// Whether traffic may traverse from the digitisation start towards the
+    /// end.
+    #[inline]
+    pub fn allows_forward(&self) -> bool {
+        matches!(self.flow, FlowDirection::Both | FlowDirection::WithDigitization)
+    }
+
+    /// Whether traffic may traverse from the digitisation end towards the
+    /// start.
+    #[inline]
+    pub fn allows_backward(&self) -> bool {
+        matches!(self.flow, FlowDirection::Both | FlowDirection::AgainstDigitization)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn element(flow: FlowDirection) -> TrafficElement {
+        TrafficElement {
+            id: ElementId(121_499),
+            geometry: Polyline::new(vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)])
+                .unwrap(),
+            class: FunctionalClass::Local,
+            speed_limit_kmh: 40.0,
+            flow,
+        }
+    }
+
+    #[test]
+    fn direction_predicates() {
+        let both = element(FlowDirection::Both);
+        assert!(both.allows_forward() && both.allows_backward());
+        let fwd = element(FlowDirection::WithDigitization);
+        assert!(fwd.allows_forward() && !fwd.allows_backward());
+        let bwd = element(FlowDirection::AgainstDigitization);
+        assert!(!bwd.allows_forward() && bwd.allows_backward());
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let e = element(FlowDirection::Both);
+        assert_eq!(e.start(), Point::new(0.0, 0.0));
+        assert_eq!(e.end(), Point::new(100.0, 0.0));
+        assert_eq!(e.length(), 100.0);
+    }
+
+    #[test]
+    fn class_levels_ordered() {
+        assert!(FunctionalClass::Arterial.level() < FunctionalClass::Local.level());
+    }
+}

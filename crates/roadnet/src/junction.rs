@@ -1,0 +1,201 @@
+use std::collections::HashMap;
+
+use taxitrace_geo::Point;
+
+use crate::TrafficElement;
+
+/// Spatially-quantised endpoint key (millimetre resolution).
+///
+/// Digiroad elements that touch share exact endpoint coordinates; quantising
+/// to 1 mm makes the identity robust to floating-point noise introduced by
+/// projection while never merging distinct road endpoints (which are metres
+/// apart).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointKey {
+    x_mm: i64,
+    y_mm: i64,
+}
+
+impl EndpointKey {
+    /// Quantises a planar point.
+    pub fn of(p: Point) -> Self {
+        Self {
+            x_mm: (p.x * 1000.0).round() as i64,
+            y_mm: (p.y * 1000.0).round() as i64,
+        }
+    }
+
+    /// The representative point of the key.
+    pub fn point(&self) -> Point {
+        Point::new(self.x_mm as f64 / 1000.0, self.y_mm as f64 / 1000.0)
+    }
+}
+
+/// Classification of a traffic-element endpoint per §IV-A of the paper:
+/// *junctions* are endpoints where at least three traffic elements meet,
+/// *intermediate points* where exactly two meet. Endpoints touched by a
+/// single element are *dead ends* (also graph vertices — the paper's Fig. 9
+/// discussion explicitly examines dead-end effects on speed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    Junction { degree: usize },
+    Intermediate,
+    DeadEnd,
+}
+
+impl EndpointKind {
+    /// Whether this endpoint becomes a vertex of the road graph.
+    #[inline]
+    pub fn is_graph_vertex(&self) -> bool {
+        !matches!(self, EndpointKind::Intermediate)
+    }
+}
+
+/// Incidence record for one endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointInfo {
+    /// `(element index, which end)` — `false` = digitisation start,
+    /// `true` = digitisation end.
+    pub incident: Vec<(usize, bool)>,
+}
+
+/// The endpoint classification table the paper constructs "to identify the
+/// type of the endpoints of the traffic elements".
+#[derive(Debug)]
+pub struct EndpointTable {
+    map: HashMap<EndpointKey, EndpointInfo>,
+}
+
+impl EndpointTable {
+    /// Builds the table from a set of traffic elements.
+    pub fn build(elements: &[TrafficElement]) -> Self {
+        let mut map: HashMap<EndpointKey, EndpointInfo> =
+            HashMap::with_capacity(elements.len() * 2);
+        for (i, e) in elements.iter().enumerate() {
+            map.entry(EndpointKey::of(e.start()))
+                .or_insert_with(|| EndpointInfo { incident: Vec::new() })
+                .incident
+                .push((i, false));
+            map.entry(EndpointKey::of(e.end()))
+                .or_insert_with(|| EndpointInfo { incident: Vec::new() })
+                .incident
+                .push((i, true));
+        }
+        Self { map }
+    }
+
+    /// Classifies an endpoint key.
+    pub fn kind(&self, key: EndpointKey) -> Option<EndpointKind> {
+        self.map.get(&key).map(|info| match info.incident.len() {
+            0 => unreachable!("entries are only created on insertion"),
+            1 => EndpointKind::DeadEnd,
+            2 => EndpointKind::Intermediate,
+            d => EndpointKind::Junction { degree: d },
+        })
+    }
+
+    /// Incidence record for an endpoint key.
+    pub fn info(&self, key: EndpointKey) -> Option<&EndpointInfo> {
+        self.map.get(&key)
+    }
+
+    /// Iterates over `(key, kind)` for every endpoint.
+    pub fn iter(&self) -> impl Iterator<Item = (EndpointKey, EndpointKind)> + '_ {
+        self.map.iter().map(|(k, info)| {
+            let kind = match info.incident.len() {
+                1 => EndpointKind::DeadEnd,
+                2 => EndpointKind::Intermediate,
+                d => EndpointKind::Junction { degree: d },
+            };
+            (*k, kind)
+        })
+    }
+
+    /// Number of distinct endpoints.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Count of endpoints classified as junctions.
+    pub fn junction_count(&self) -> usize {
+        self.iter()
+            .filter(|(_, k)| matches!(k, EndpointKind::Junction { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ElementId, FlowDirection, FunctionalClass};
+    use taxitrace_geo::Polyline;
+
+    fn elem(id: u64, pts: &[(f64, f64)]) -> TrafficElement {
+        TrafficElement {
+            id: ElementId(id),
+            geometry: Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                .unwrap(),
+            class: FunctionalClass::Local,
+            speed_limit_kmh: 40.0,
+            flow: FlowDirection::Both,
+        }
+    }
+
+    /// A "T" of three elements meeting at the origin plus a chain.
+    fn t_network() -> Vec<TrafficElement> {
+        vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)]),
+            elem(2, &[(0.0, 0.0), (-100.0, 0.0)]),
+            elem(3, &[(0.0, 0.0), (0.0, 100.0)]),
+            // chain continuing east through an intermediate point
+            elem(4, &[(100.0, 0.0), (200.0, 0.0)]),
+        ]
+    }
+
+    #[test]
+    fn classification() {
+        let els = t_network();
+        let t = EndpointTable::build(&els);
+        assert_eq!(
+            t.kind(EndpointKey::of(Point::new(0.0, 0.0))),
+            Some(EndpointKind::Junction { degree: 3 })
+        );
+        assert_eq!(
+            t.kind(EndpointKey::of(Point::new(100.0, 0.0))),
+            Some(EndpointKind::Intermediate)
+        );
+        assert_eq!(
+            t.kind(EndpointKey::of(Point::new(200.0, 0.0))),
+            Some(EndpointKind::DeadEnd)
+        );
+        assert_eq!(t.kind(EndpointKey::of(Point::new(55.0, 55.0))), None);
+    }
+
+    #[test]
+    fn vertex_predicate() {
+        assert!(EndpointKind::Junction { degree: 3 }.is_graph_vertex());
+        assert!(EndpointKind::DeadEnd.is_graph_vertex());
+        assert!(!EndpointKind::Intermediate.is_graph_vertex());
+    }
+
+    #[test]
+    fn quantisation_merges_float_noise_only() {
+        let a = EndpointKey::of(Point::new(100.0, 0.0));
+        let b = EndpointKey::of(Point::new(100.0 + 1e-7, -1e-7));
+        let c = EndpointKey::of(Point::new(100.01, 0.0));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn counts() {
+        let t = EndpointTable::build(&t_network());
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.junction_count(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Digital-map quality assurance.
+//!
+//! §VII of the paper: "in data analysis, accuracy and correctness of the
+//! digital map information is important". This module audits a road graph
+//! for the defects that silently corrupt downstream analyses: unreachable
+//! pockets (one-way mistakes), degenerate geometry, duplicate identifiers,
+//! and implausible attributes.
+
+use std::collections::HashMap;
+
+use crate::{EdgeId, NodeId, RoadGraph, TrafficElement};
+
+/// One detected map defect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapDefect {
+    /// Two traffic elements share an id.
+    DuplicateElementId(crate::ElementId),
+    /// An element shorter than a metre (digitisation noise).
+    DegenerateElement { id: crate::ElementId, length_m: f64 },
+    /// A speed limit outside the plausible 5–130 km/h range.
+    ImplausibleSpeedLimit { id: crate::ElementId, limit_kmh: f64 },
+    /// A node that cannot reach the largest strongly connected component
+    /// (or be reached from it) — typically a one-way digitisation error.
+    UnreachableNode(NodeId),
+    /// An edge whose geometry length disagrees with its stored length.
+    LengthMismatch { edge: EdgeId, stored_m: f64, geometry_m: f64 },
+}
+
+/// Result of a quality audit.
+#[derive(Debug, Clone, Default)]
+pub struct QualityReport {
+    pub defects: Vec<MapDefect>,
+    /// Size of the largest strongly connected component (nodes).
+    pub largest_scc: usize,
+    pub total_nodes: usize,
+}
+
+impl QualityReport {
+    /// Whether the map is clean.
+    pub fn is_clean(&self) -> bool {
+        self.defects.is_empty()
+    }
+
+    /// Fraction of nodes in the largest strongly connected component.
+    pub fn connectivity(&self) -> f64 {
+        if self.total_nodes == 0 {
+            return 1.0;
+        }
+        self.largest_scc as f64 / self.total_nodes as f64
+    }
+}
+
+/// Audits elements + graph.
+pub fn audit(elements: &[TrafficElement], graph: &RoadGraph) -> QualityReport {
+    let mut report = QualityReport { total_nodes: graph.num_nodes(), ..Default::default() };
+
+    // Element-level checks.
+    let mut seen: HashMap<crate::ElementId, usize> = HashMap::new();
+    for e in elements {
+        *seen.entry(e.id).or_insert(0) += 1;
+        if e.length() < 1.0 {
+            report
+                .defects
+                .push(MapDefect::DegenerateElement { id: e.id, length_m: e.length() });
+        }
+        if !(5.0..=130.0).contains(&e.speed_limit_kmh) {
+            report.defects.push(MapDefect::ImplausibleSpeedLimit {
+                id: e.id,
+                limit_kmh: e.speed_limit_kmh,
+            });
+        }
+    }
+    for (id, count) in seen {
+        if count > 1 {
+            report.defects.push(MapDefect::DuplicateElementId(id));
+        }
+    }
+
+    // Edge-level consistency.
+    for e in graph.edges() {
+        let geom = e.geometry.length();
+        if (geom - e.length_m).abs() > 1.0 {
+            report.defects.push(MapDefect::LengthMismatch {
+                edge: e.id,
+                stored_m: e.length_m,
+                geometry_m: geom,
+            });
+        }
+    }
+
+    // Connectivity: largest SCC via Kosaraju.
+    let scc = strongly_connected_components(graph);
+    let largest: Vec<NodeId> =
+        scc.iter().max_by_key(|c| c.len()).cloned().unwrap_or_default();
+    report.largest_scc = largest.len();
+    let in_largest: std::collections::HashSet<NodeId> = largest.into_iter().collect();
+    for n in 0..graph.num_nodes() as u32 {
+        let node = NodeId(n);
+        if !in_largest.contains(&node) {
+            report.defects.push(MapDefect::UnreachableNode(node));
+        }
+    }
+
+    report.defects.sort_by_key(defect_order);
+    report
+}
+
+fn defect_order(d: &MapDefect) -> u8 {
+    match d {
+        MapDefect::DuplicateElementId(_) => 0,
+        MapDefect::DegenerateElement { .. } => 1,
+        MapDefect::ImplausibleSpeedLimit { .. } => 2,
+        MapDefect::LengthMismatch { .. } => 3,
+        MapDefect::UnreachableNode(_) => 4,
+    }
+}
+
+/// Kosaraju's algorithm over the directed road graph (edges respecting
+/// one-way restrictions).
+pub fn strongly_connected_components(graph: &RoadGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.num_nodes();
+    // Reverse adjacency.
+    let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for u in 0..n as u32 {
+        for &(_, v) in graph.neighbors(NodeId(u)) {
+            rev[v.0 as usize].push(NodeId(u));
+        }
+    }
+
+    // First pass: finish order (iterative DFS).
+    let mut visited = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    for start in 0..n as u32 {
+        if visited[start as usize] {
+            continue;
+        }
+        // Stack holds (node, next-neighbor-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(NodeId(start), 0)];
+        visited[start as usize] = true;
+        while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+            let neighbors = graph.neighbors(node);
+            if *idx < neighbors.len() {
+                let (_, next) = neighbors[*idx];
+                *idx += 1;
+                if !visited[next.0 as usize] {
+                    visited[next.0 as usize] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+    }
+
+    // Second pass: reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    for &node in order.iter().rev() {
+        if comp[node.0 as usize] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut stack = vec![node];
+        comp[node.0 as usize] = id;
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for &v in &rev[u.0 as usize] {
+                if comp[v.0 as usize] == usize::MAX {
+                    comp[v.0 as usize] = id;
+                    stack.push(v);
+                }
+            }
+        }
+        components.push(members);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, OuluConfig};
+    use crate::{ElementId, FlowDirection, FunctionalClass};
+    use taxitrace_geo::{GeoPoint, LocalProjection, Point, Polyline};
+
+    fn elem(id: u64, pts: &[(f64, f64)], flow: FlowDirection, limit: f64) -> TrafficElement {
+        TrafficElement {
+            id: ElementId(id),
+            geometry: Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect())
+                .unwrap(),
+            class: FunctionalClass::Local,
+            speed_limit_kmh: limit,
+            flow,
+        }
+    }
+
+    fn proj() -> LocalProjection {
+        LocalProjection::new(GeoPoint::new(25.0, 65.0))
+    }
+
+    #[test]
+    fn synthetic_city_is_clean() {
+        let city = generate(&OuluConfig::default());
+        let report = audit(&city.elements, &city.graph);
+        assert!(
+            report.is_clean(),
+            "defects: {:?}",
+            report.defects.iter().take(5).collect::<Vec<_>>()
+        );
+        assert_eq!(report.connectivity(), 1.0, "whole city mutually reachable");
+    }
+
+    #[test]
+    fn detects_one_way_trap() {
+        // A dead-end reachable only INTO via a one-way: not in the SCC.
+        let els = vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)], FlowDirection::Both, 40.0),
+            elem(2, &[(0.0, 0.0), (0.0, 100.0)], FlowDirection::Both, 40.0),
+            elem(3, &[(0.0, 0.0), (-100.0, 0.0)], FlowDirection::Both, 40.0),
+            // Trap: can enter, cannot leave.
+            elem(4, &[(100.0, 0.0), (200.0, 0.0)], FlowDirection::WithDigitization, 40.0),
+            elem(5, &[(100.0, 0.0), (100.0, 100.0)], FlowDirection::Both, 40.0),
+        ];
+        let graph = RoadGraph::build(&els, proj()).unwrap();
+        let report = audit(&els, &graph);
+        let traps = report
+            .defects
+            .iter()
+            .filter(|d| matches!(d, MapDefect::UnreachableNode(_)))
+            .count();
+        assert_eq!(traps, 1, "{:?}", report.defects);
+        assert!(report.connectivity() < 1.0);
+    }
+
+    #[test]
+    fn detects_attribute_defects() {
+        let els = vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)], FlowDirection::Both, 40.0),
+            elem(1, &[(0.0, 0.0), (0.0, 100.0)], FlowDirection::Both, 40.0), // dup id
+            elem(3, &[(0.0, 0.0), (0.3, 0.0)], FlowDirection::Both, 40.0), // degenerate
+            elem(4, &[(0.0, 0.0), (-100.0, 0.0)], FlowDirection::Both, 250.0), // bad limit
+        ];
+        let graph = RoadGraph::build(&els, proj()).unwrap();
+        let report = audit(&els, &graph);
+        assert!(report
+            .defects
+            .iter()
+            .any(|d| matches!(d, MapDefect::DuplicateElementId(ElementId(1)))));
+        assert!(report
+            .defects
+            .iter()
+            .any(|d| matches!(d, MapDefect::DegenerateElement { id: ElementId(3), .. })));
+        assert!(report
+            .defects
+            .iter()
+            .any(|d| matches!(d, MapDefect::ImplausibleSpeedLimit { id: ElementId(4), .. })));
+    }
+
+    #[test]
+    fn scc_on_two_way_graph_is_single_component() {
+        let els = vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)], FlowDirection::Both, 40.0),
+            elem(2, &[(0.0, 0.0), (0.0, 100.0)], FlowDirection::Both, 40.0),
+            elem(3, &[(0.0, 0.0), (-100.0, 0.0)], FlowDirection::Both, 40.0),
+        ];
+        let graph = RoadGraph::build(&els, proj()).unwrap();
+        let scc = strongly_connected_components(&graph);
+        assert_eq!(scc.len(), 1);
+        assert_eq!(scc[0].len(), graph.num_nodes());
+    }
+}

@@ -1,0 +1,144 @@
+//! Correlation and simple association measures.
+//!
+//! §VI of the paper argues "low speed also correlates to fuel consumption,
+//! supporting findings in literature"; this module provides the estimators
+//! that quantify such statements.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` when fewer than two pairs remain after dropping
+/// non-finite entries or when either sample has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let pairs: Vec<(f64, f64)> = x
+        .iter()
+        .zip(y)
+        .filter(|(a, b)| a.is_finite() && b.is_finite())
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = pairs.iter().map(|(a, _)| a).sum::<f64>() / n as f64;
+    let my = pairs.iter().map(|(_, b)| b).sum::<f64>() / n as f64;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (a, b) in &pairs {
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+        sxy += (a - mx) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation (Pearson on ranks, mean ranks for ties).
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "samples must have equal length");
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Mean ranks (1-based); ties share the average rank. Non-finite values
+/// are ranked last (they are filtered by `pearson` afterwards anyway).
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+    let mut out = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            out[idx[k]] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_none(), "zero variance");
+        assert!(pearson(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0]; // cubic: monotone
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for the nonlinear case.
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn rank_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Correlation is symmetric and bounded.
+        #[test]
+        fn symmetric_and_bounded(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..60)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let (Some(a), Some(b)) = (pearson(&x, &y), pearson(&y, &x)) {
+                prop_assert!((a - b).abs() < 1e-9);
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a));
+            }
+        }
+
+        /// Correlation is invariant under positive affine transforms.
+        #[test]
+        fn affine_invariant(
+            pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..40),
+            scale in 0.1f64..10.0, shift in -100f64..100.0,
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let x2: Vec<f64> = x.iter().map(|v| v * scale + shift).collect();
+            if let (Some(a), Some(b)) = (pearson(&x, &y), pearson(&x2, &y)) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-edge histograms for figure data.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over explicit bin edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// `edges.len() - 1` bins; bin `i` covers `[edges[i], edges[i+1])`,
+    /// the last bin is closed on the right.
+    pub edges: Vec<f64>,
+    pub counts: Vec<usize>,
+    /// Values below the first / above the last edge.
+    pub underflow: usize,
+    pub overflow: usize,
+}
+
+impl Histogram {
+    /// Builds a histogram. Panics if fewer than two strictly increasing
+    /// edges are supplied.
+    pub fn new(values: &[f64], edges: &[f64]) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly increasing"
+        );
+        let mut counts = vec![0usize; edges.len() - 1];
+        let mut underflow = 0;
+        let mut overflow = 0;
+        let last = edges.len() - 1;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            if v < edges[0] {
+                underflow += 1;
+            } else if v > edges[last] {
+                overflow += 1;
+            } else if v == edges[last] {
+                counts[last - 1] += 1; // right-closed final bin
+            } else {
+                // Binary search for the containing bin.
+                let i = edges.partition_point(|e| *e <= v) - 1;
+                counts[i] += 1;
+            }
+        }
+        Self { edges: edges.to_vec(), counts, underflow, overflow }
+    }
+
+    /// Equal-width histogram over `[lo, hi]` with `bins` bins.
+    pub fn uniform(values: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0 && hi > lo, "invalid uniform histogram spec");
+        let edges: Vec<f64> = (0..=bins)
+            .map(|i| lo + (hi - lo) * i as f64 / bins as f64)
+            .collect();
+        Self::new(values, &edges)
+    }
+
+    /// Total in-range count.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of in-range mass in bin `i`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_binning() {
+        let h = Histogram::new(&[0.5, 1.5, 1.6, 2.5, 3.0], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(h.counts, vec![1, 2, 2]); // 3.0 lands in the closed last bin
+        assert_eq!(h.underflow, 0);
+        assert_eq!(h.overflow, 0);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let h = Histogram::new(&[-1.0, 0.0, 5.0, f64::NAN], &[0.0, 1.0, 2.0]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn uniform_edges() {
+        let h = Histogram::uniform(&[0.0, 2.5, 5.0, 7.5, 10.0], 0.0, 10.0, 4);
+        assert_eq!(h.counts, vec![1, 1, 1, 2]);
+        assert!((h.fraction(3) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_bad_edges() {
+        let _ = Histogram::new(&[1.0], &[0.0, 0.0, 1.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every finite value lands somewhere: counts + under + over = n.
+        #[test]
+        fn conservation(values in proptest::collection::vec(-100f64..100.0, 0..200)) {
+            let h = Histogram::uniform(&values, -50.0, 50.0, 10);
+            prop_assert_eq!(h.total() + h.underflow + h.overflow, values.len());
+        }
+    }
+}

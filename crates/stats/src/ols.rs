@@ -1,0 +1,171 @@
+use std::fmt;
+
+use crate::{Matrix, MatrixError};
+
+/// OLS errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OlsError {
+    /// Fewer observations than parameters.
+    TooFewObservations { n: usize, p: usize },
+    /// Mismatched input lengths.
+    LengthMismatch,
+    /// Design matrix is rank deficient.
+    Singular(MatrixError),
+}
+
+impl fmt::Display for OlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OlsError::TooFewObservations { n, p } => {
+                write!(f, "need more observations ({n}) than parameters ({p})")
+            }
+            OlsError::LengthMismatch => write!(f, "y length must match design rows"),
+            OlsError::Singular(e) => write!(f, "singular design: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OlsError {}
+
+/// An ordinary-least-squares fit of the paper's Eq. (1):
+/// `Y = Xb + ε, ε ~ N(0, σ²I)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OlsFit {
+    /// Estimated coefficients `b`.
+    pub coefficients: Vec<f64>,
+    /// Standard errors of the coefficients.
+    pub std_errors: Vec<f64>,
+    /// Residual variance estimate `σ̂²` (denominator n − p).
+    pub sigma2: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Residuals in observation order.
+    pub residuals: Vec<f64>,
+}
+
+/// Fits `y = X b + ε` by ordinary least squares. `x` is the n × p design
+/// matrix (include a column of ones for the intercept).
+pub fn ols_fit(y: &[f64], x: &Matrix) -> Result<OlsFit, OlsError> {
+    let n = x.rows();
+    let p = x.cols();
+    if y.len() != n {
+        return Err(OlsError::LengthMismatch);
+    }
+    if n <= p {
+        return Err(OlsError::TooFewObservations { n, p });
+    }
+    // Normal equations via Cholesky: (XᵀX) b = Xᵀy.
+    let xt = x.transpose();
+    let xtx = xt.mul(x).expect("dimensions agree");
+    let mut xty = vec![0.0; p];
+    for j in 0..p {
+        for i in 0..n {
+            xty[j] += x[(i, j)] * y[i];
+        }
+    }
+    let coefficients = xtx.solve_spd(&xty).map_err(OlsError::Singular)?;
+
+    let mut residuals = Vec::with_capacity(n);
+    let mut rss = 0.0;
+    for i in 0..n {
+        let fit: f64 = (0..p).map(|j| x[(i, j)] * coefficients[j]).sum();
+        let r = y[i] - fit;
+        rss += r * r;
+        residuals.push(r);
+    }
+    let sigma2 = rss / (n - p) as f64;
+
+    let mean_y = y.iter().sum::<f64>() / n as f64;
+    let tss: f64 = y.iter().map(|v| (v - mean_y) * (v - mean_y)).sum();
+    let r_squared = if tss > 0.0 { 1.0 - rss / tss } else { 1.0 };
+
+    let xtx_inv = xtx.inverse_spd().map_err(OlsError::Singular)?;
+    let std_errors = (0..p).map(|j| (sigma2 * xtx_inv[(j, j)]).sqrt()).collect();
+
+    Ok(OlsFit { coefficients, std_errors, sigma2, r_squared, residuals })
+}
+
+/// Convenience: builds a design matrix from an intercept plus predictor
+/// columns.
+pub fn design_with_intercept(columns: &[&[f64]]) -> Matrix {
+    let n = columns.first().map_or(0, |c| c.len());
+    let p = columns.len() + 1;
+    let mut m = Matrix::zeros(n, p);
+    for i in 0..n {
+        m[(i, 0)] = 1.0;
+        for (j, col) in columns.iter().enumerate() {
+            m[(i, j + 1)] = col[i];
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let x_vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let y: Vec<f64> = x_vals.iter().map(|x| 2.0 + 3.0 * x).collect();
+        let x = design_with_intercept(&[&x_vals]);
+        let fit = ols_fit(&y, &x).unwrap();
+        assert!((fit.coefficients[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coefficients[1] - 3.0).abs() < 1e-9);
+        assert!(fit.sigma2 < 1e-15);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_close() {
+        // Deterministic "noise".
+        let x_vals: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let y: Vec<f64> = x_vals
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.0 + 0.5 * x + ((i * 37 % 11) as f64 - 5.0) / 10.0)
+            .collect();
+        let x = design_with_intercept(&[&x_vals]);
+        let fit = ols_fit(&y, &x).unwrap();
+        assert!((fit.coefficients[1] - 0.5).abs() < 0.02, "{}", fit.coefficients[1]);
+        assert!(fit.std_errors[1] > 0.0);
+        assert!(fit.r_squared > 0.9);
+    }
+
+    #[test]
+    fn intercept_only_gives_mean() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let x = design_with_intercept(&[]);
+        // design_with_intercept with no columns has 0 rows; build manually.
+        let x = if x.rows() == 0 { Matrix::from_rows(4, 1, vec![1.0; 4]) } else { x };
+        let fit = ols_fit(&y, &x).unwrap();
+        assert!((fit.coefficients[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        let y = [1.0, 2.0];
+        let x = Matrix::from_rows(2, 3, vec![1.0; 6]);
+        assert!(matches!(ols_fit(&y, &x), Err(OlsError::TooFewObservations { .. })));
+        let x2 = Matrix::from_rows(3, 1, vec![1.0; 3]);
+        assert!(matches!(ols_fit(&y, &x2), Err(OlsError::LengthMismatch)));
+        // Collinear columns.
+        let y3 = [1.0, 2.0, 3.0, 4.0];
+        let mut x3 = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            x3[(i, 0)] = 1.0;
+            x3[(i, 1)] = 2.0;
+        }
+        assert!(matches!(ols_fit(&y3, &x3), Err(OlsError::Singular(_))));
+    }
+
+    #[test]
+    fn residuals_sum_to_zero_with_intercept() {
+        let x_vals: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 3.0).collect();
+        let y: Vec<f64> = x_vals.iter().enumerate().map(|(i, x)| x * 2.0 + (i % 7) as f64).collect();
+        let x = design_with_intercept(&[&x_vals]);
+        let fit = ols_fit(&y, &x).unwrap();
+        let sum: f64 = fit.residuals.iter().sum();
+        assert!(sum.abs() < 1e-8, "{sum}");
+    }
+}

@@ -1,0 +1,116 @@
+/// Brent's method for 1-D minimisation on a bracketing interval.
+///
+/// Combines golden-section steps with parabolic interpolation; converges
+/// superlinearly on smooth objectives like the REML profile likelihood.
+/// Returns `(x_min, f(x_min))`.
+pub fn brent_min(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, tol: f64, max_iter: usize) -> (f64, f64) {
+    assert!(a < b, "invalid bracket [{a}, {b}]");
+    const GOLD: f64 = 0.381_966_011_250_105; // (3 - sqrt(5)) / 2
+    let (mut a, mut b) = (a, b);
+    let mut x = a + GOLD * (b - a);
+    let mut w = x;
+    let mut v = x;
+    let mut fx = f(x);
+    let mut fw = fx;
+    let mut fv = fx;
+    let mut d: f64 = 0.0;
+    let mut e: f64 = 0.0;
+
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let tol1 = tol * x.abs() + 1e-12;
+        let tol2 = 2.0 * tol1;
+        if (x - m).abs() <= tol2 - 0.5 * (b - a) {
+            break;
+        }
+        let mut use_golden = true;
+        if e.abs() > tol1 {
+            // Parabolic fit through (v, fv), (w, fw), (x, fx).
+            let r = (x - w) * (fx - fv);
+            let q0 = (x - v) * (fx - fw);
+            let mut p = (x - v) * q0 - (x - w) * r;
+            let mut q = 2.0 * (q0 - r);
+            if q > 0.0 {
+                p = -p;
+            }
+            q = q.abs();
+            let e_old = e;
+            e = d;
+            if p.abs() < (0.5 * q * e_old).abs() && p > q * (a - x) && p < q * (b - x) {
+                d = p / q;
+                let u = x + d;
+                if u - a < tol2 || b - u < tol2 {
+                    d = if m > x { tol1 } else { -tol1 };
+                }
+                use_golden = false;
+            }
+        }
+        if use_golden {
+            e = if x < m { b - x } else { a - x };
+            d = GOLD * e;
+        }
+        let u = if d.abs() >= tol1 { x + d } else { x + if d > 0.0 { tol1 } else { -tol1 } };
+        let fu = f(u);
+        if fu <= fx {
+            if u < x {
+                b = x;
+            } else {
+                a = x;
+            }
+            v = w;
+            fv = fw;
+            w = x;
+            fw = fx;
+            x = u;
+            fx = fu;
+        } else {
+            if u < x {
+                a = u;
+            } else {
+                b = u;
+            }
+            if fu <= fw || w == x {
+                v = w;
+                fv = fw;
+                w = u;
+                fw = fu;
+            } else if fu <= fv || v == x || v == w {
+                v = u;
+                fv = fu;
+            }
+        }
+    }
+    (x, fx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_minimum() {
+        let (x, fx) = brent_min(|x| (x - 3.0) * (x - 3.0) + 1.0, -10.0, 10.0, 1e-10, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+        assert!((fx - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn asymmetric_function() {
+        let (x, _) = brent_min(|x: f64| x.exp() - 2.0 * x, -5.0, 5.0, 1e-10, 200);
+        // minimum of e^x - 2x at x = ln 2.
+        assert!((x - 2.0f64.ln()).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn boundary_minimum() {
+        // Monotone increasing on [1, 4]: minimum near the left edge.
+        let (x, _) = brent_min(|x| x, 1.0, 4.0, 1e-8, 200);
+        assert!(x < 1.01, "x = {x}");
+    }
+
+    #[test]
+    fn sin_minimum() {
+        let (x, _) = brent_min(|x: f64| x.sin(), 2.0, 6.0, 1e-10, 200);
+        assert!((x - 3.0 * std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,73 @@
+use serde::{Deserialize, Serialize};
+
+use crate::normal;
+
+/// One point of a normal QQ plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QqPoint {
+    /// Theoretical standard-normal quantile.
+    pub theoretical: f64,
+    /// Observed sample quantile.
+    pub sample: f64,
+}
+
+/// Normal QQ-plot data for a sample (the paper's Fig. 7 applies this to the
+/// cell-intercept BLUPs to justify the Gaussian regularisation).
+///
+/// Plotting positions follow R's `ppoints`: `(i − 1/2) / n` for n > 10,
+/// `(i − 3/8) / (n + 1/4)` otherwise.
+pub fn qq_points(values: &[f64]) -> Vec<QqPoint> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let a = if n > 10 { 0.5 } else { 0.375 };
+    v.into_iter()
+        .enumerate()
+        .map(|(i, sample)| QqPoint {
+            theoretical: normal::inv_cdf(((i + 1) as f64 - a) / (n as f64 + 1.0 - 2.0 * a)),
+            sample,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample() {
+        assert!(qq_points(&[]).is_empty());
+    }
+
+    #[test]
+    fn sorted_and_symmetric() {
+        let values: Vec<f64> = (0..101).map(|i| (i as f64 - 50.0) / 10.0).collect();
+        let pts = qq_points(&values);
+        assert_eq!(pts.len(), 101);
+        for w in pts.windows(2) {
+            assert!(w[0].theoretical <= w[1].theoretical);
+            assert!(w[0].sample <= w[1].sample);
+        }
+        // Median point maps near (0, 0) for a symmetric sample.
+        let mid = &pts[50];
+        assert!(mid.theoretical.abs() < 1e-9);
+        assert!(mid.sample.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaussian_sample_is_nearly_linear() {
+        // Deterministic normal-ish data via inverse cdf of a stratified grid.
+        let values: Vec<f64> = (1..200)
+            .map(|i| 3.0 + 2.0 * crate::normal::inv_cdf(i as f64 / 200.0))
+            .collect();
+        let pts = qq_points(&values);
+        // Slope between the quartile points ≈ 2, intercept ≈ 3.
+        let p25 = &pts[pts.len() / 4];
+        let p75 = &pts[3 * pts.len() / 4];
+        let slope = (p75.sample - p25.sample) / (p75.theoretical - p25.theoretical);
+        assert!((slope - 2.0).abs() < 0.1, "slope {slope}");
+    }
+}

@@ -1,0 +1,164 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Six-number summary in the layout of the paper's Table 4
+/// (Min / 1st Q. / Med. / Mean / 3rd Q. / Max.), plus variance and count.
+///
+/// Quantiles follow R's default *type-7* convention (linear interpolation
+/// of order statistics at `h = (n-1)p`), matching the `summary()` output
+/// the paper's tables were produced with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub mean: f64,
+    pub q3: f64,
+    pub max: f64,
+    /// Sample variance (n − 1 denominator).
+    pub var: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Returns `None` for an empty
+    /// sample. Non-finite values are ignored.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Some(Summary {
+            n,
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            mean,
+            q3: quantile_sorted(&v, 0.75),
+            max: v[n - 1],
+            var,
+        })
+    }
+
+    /// Sample standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "min {:.3}  q1 {:.3}  med {:.3}  mean {:.3}  q3 {:.3}  max {:.3}  (n={})",
+            self.min, self.q1, self.median, self.mean, self.q3, self.max, self.n
+        )
+    }
+}
+
+/// R type-7 quantile of an already-sorted sample.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_r_summary_for_known_sample() {
+        // R: summary(c(1, 2, 4, 8, 16)) → 1.0, 2.0, 4.0, 6.2, 8.0, 16.0
+        let s = Summary::of(&[16.0, 1.0, 8.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 4.0);
+        assert!((s.mean - 6.2).abs() < 1e-12);
+        assert_eq!(s.q3, 8.0);
+        assert_eq!(s.max, 16.0);
+    }
+
+    #[test]
+    fn type7_interpolation() {
+        // R: quantile(c(1, 2, 3, 4), 0.25) → 1.75 (type 7)
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile_sorted(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert!((quantile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+    }
+
+    #[test]
+    fn variance_sample_convention() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        // Known: population var = 4, sample var = 32/7.
+        assert!((s.var - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.sd() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[3.5]).unwrap();
+        assert_eq!(s.min, 3.5);
+        assert_eq!(s.q3, 3.5);
+        assert_eq!(s.var, 0.0);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.max, 3.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Summary invariants: min ≤ q1 ≤ median ≤ q3 ≤ max; mean within
+        /// [min, max]; var ≥ 0.
+        #[test]
+        fn ordering_invariants(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::of(&values).unwrap();
+            prop_assert!(s.min <= s.q1 + 1e-9);
+            prop_assert!(s.q1 <= s.median + 1e-9);
+            prop_assert!(s.median <= s.q3 + 1e-9);
+            prop_assert!(s.q3 <= s.max + 1e-9);
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+            prop_assert!(s.var >= 0.0);
+        }
+
+        /// Quantile is monotone in p.
+        #[test]
+        fn quantile_monotone(
+            values in proptest::collection::vec(-1e3f64..1e3, 2..100),
+            p1 in 0f64..1.0, p2 in 0f64..1.0,
+        ) {
+            let mut v = values;
+            v.sort_by(f64::total_cmp);
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            prop_assert!(quantile_sorted(&v, lo) <= quantile_sorted(&v, hi) + 1e-9);
+        }
+    }
+}

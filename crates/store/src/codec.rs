@@ -1,0 +1,316 @@
+//! Versioned binary file format for trip data.
+//!
+//! Layout: an 8-byte magic (`b"TTRS\x00\x00\x00\x01"`), a session count,
+//! then each session length-prefixed. All integers little-endian; floats as
+//! IEEE-754 bits. The format is hand-rolled (rather than `serde_json` etc.)
+//! because a simulated year is ~10⁶ route points and the store is reloaded
+//! repeatedly while iterating on analyses.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use taxitrace_geo::{GeoPoint, Point};
+use taxitrace_roadnet::{ElementId, NodeId};
+use taxitrace_timebase::{Duration, Timestamp};
+use taxitrace_traces::{
+    CustomerTripTruth, PointTruth, RawTrip, RoutePoint, TaxiId, TripId,
+};
+
+use crate::StoreError;
+
+const MAGIC: [u8; 8] = *b"TTRS\x00\x00\x00\x01";
+
+/// Writes sessions to `path`.
+pub fn save_sessions(path: &Path, sessions: &[RawTrip]) -> Result<(), StoreError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&(sessions.len() as u64).to_le_bytes())?;
+    let mut buf = BytesMut::new();
+    for s in sessions {
+        buf.clear();
+        encode_session(&mut buf, s);
+        w.write_all(&(buf.len() as u64).to_le_bytes())?;
+        w.write_all(&buf)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads sessions from `path`.
+pub fn load_sessions(path: &Path) -> Result<Vec<RawTrip>, StoreError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| StoreError::BadFormat("file too short for magic".into()))?;
+    if magic != MAGIC {
+        return Err(StoreError::BadFormat("magic mismatch".into()));
+    }
+    let count = read_u64(&mut r)? as usize;
+    let mut sessions = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let len = read_u64(&mut r)? as usize;
+        let mut raw = vec![0u8; len];
+        r.read_exact(&mut raw)
+            .map_err(|_| StoreError::BadFormat("truncated session record".into()))?;
+        let mut bytes = Bytes::from(raw);
+        sessions.push(decode_session(&mut bytes)?);
+    }
+    Ok(sessions)
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, StoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)
+        .map_err(|_| StoreError::BadFormat("truncated integer".into()))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn encode_session(buf: &mut BytesMut, s: &RawTrip) {
+    buf.put_u64_le(s.id.0);
+    buf.put_u8(s.taxi.0);
+    buf.put_i64_le(s.start_time.secs());
+    buf.put_i64_le(s.end_time.secs());
+    buf.put_i64_le(s.total_time.secs());
+    buf.put_f64_le(s.total_distance_m);
+    buf.put_f64_le(s.total_fuel_ml);
+    buf.put_u32_le(s.points.len() as u32);
+    for p in &s.points {
+        encode_point(buf, p);
+    }
+    buf.put_u32_le(s.truth_trips.len() as u32);
+    for t in &s.truth_trips {
+        encode_truth(buf, t);
+    }
+}
+
+fn encode_point(buf: &mut BytesMut, p: &RoutePoint) {
+    buf.put_u64_le(p.point_id);
+    buf.put_f64_le(p.geo.lon);
+    buf.put_f64_le(p.geo.lat);
+    buf.put_f64_le(p.pos.x);
+    buf.put_f64_le(p.pos.y);
+    buf.put_i64_le(p.timestamp.secs());
+    buf.put_f64_le(p.speed_kmh);
+    buf.put_f64_le(p.heading_deg);
+    buf.put_f64_le(p.fuel_ml);
+    buf.put_u32_le(p.truth.seq);
+    match p.truth.element {
+        Some(e) => {
+            buf.put_u8(1);
+            buf.put_u64_le(e.0);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn encode_truth(buf: &mut BytesMut, t: &CustomerTripTruth) {
+    buf.put_u32_le(t.start_seq);
+    buf.put_u32_le(t.end_seq);
+    buf.put_u32_le(t.origin.0);
+    buf.put_u32_le(t.destination.0);
+    buf.put_u32_le(t.elements.len() as u32);
+    for e in &t.elements {
+        buf.put_u64_le(e.0);
+    }
+    match &t.od_pair {
+        Some((a, b)) => {
+            buf.put_u8(1);
+            put_str(buf, a);
+            put_str(buf, b);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u16_le(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn decode_session(b: &mut Bytes) -> Result<RawTrip, StoreError> {
+    let id = TripId(take_u64(b)?);
+    let taxi = TaxiId(take_u8(b)?);
+    let start_time = Timestamp::from_secs(take_i64(b)?);
+    let end_time = Timestamp::from_secs(take_i64(b)?);
+    let total_time = Duration::from_secs(take_i64(b)?);
+    let total_distance_m = take_f64(b)?;
+    let total_fuel_ml = take_f64(b)?;
+    let np = take_u32(b)? as usize;
+    let mut points = Vec::with_capacity(np);
+    for _ in 0..np {
+        points.push(decode_point(b, id, taxi)?);
+    }
+    let nt = take_u32(b)? as usize;
+    let mut truth_trips = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        truth_trips.push(decode_truth(b)?);
+    }
+    Ok(RawTrip {
+        id,
+        taxi,
+        start_time,
+        end_time,
+        points,
+        total_time,
+        total_distance_m,
+        total_fuel_ml,
+        truth_trips,
+    })
+}
+
+fn decode_point(b: &mut Bytes, trip_id: TripId, taxi: TaxiId) -> Result<RoutePoint, StoreError> {
+    Ok(RoutePoint {
+        point_id: take_u64(b)?,
+        trip_id,
+        taxi,
+        geo: GeoPoint::new(take_f64(b)?, take_f64(b)?),
+        pos: Point::new(take_f64(b)?, take_f64(b)?),
+        timestamp: Timestamp::from_secs(take_i64(b)?),
+        speed_kmh: take_f64(b)?,
+        heading_deg: take_f64(b)?,
+        fuel_ml: take_f64(b)?,
+        truth: PointTruth {
+            seq: take_u32(b)?,
+            element: if take_u8(b)? == 1 { Some(ElementId(take_u64(b)?)) } else { None },
+        },
+    })
+}
+
+fn decode_truth(b: &mut Bytes) -> Result<CustomerTripTruth, StoreError> {
+    let start_seq = take_u32(b)?;
+    let end_seq = take_u32(b)?;
+    let origin = NodeId(take_u32(b)?);
+    let destination = NodeId(take_u32(b)?);
+    let ne = take_u32(b)? as usize;
+    let mut elements = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        elements.push(ElementId(take_u64(b)?));
+    }
+    let od_pair = if take_u8(b)? == 1 {
+        let a = take_str(b)?;
+        let bb = take_str(b)?;
+        Some((a, bb))
+    } else {
+        None
+    };
+    Ok(CustomerTripTruth { start_seq, end_seq, origin, destination, elements, od_pair })
+}
+
+macro_rules! take_impl {
+    ($name:ident, $ty:ty, $get:ident, $size:expr) => {
+        fn $name(b: &mut Bytes) -> Result<$ty, StoreError> {
+            if b.remaining() < $size {
+                return Err(StoreError::BadFormat(concat!("truncated ", stringify!($ty)).into()));
+            }
+            Ok(b.$get())
+        }
+    };
+}
+
+take_impl!(take_u64, u64, get_u64_le, 8);
+take_impl!(take_i64, i64, get_i64_le, 8);
+take_impl!(take_f64, f64, get_f64_le, 8);
+take_impl!(take_u32, u32, get_u32_le, 4);
+take_impl!(take_u8, u8, get_u8, 1);
+
+fn take_str(b: &mut Bytes) -> Result<String, StoreError> {
+    if b.remaining() < 2 {
+        return Err(StoreError::BadFormat("truncated string length".into()));
+    }
+    let len = b.get_u16_le() as usize;
+    if b.remaining() < len {
+        return Err(StoreError::BadFormat("truncated string body".into()));
+    }
+    let raw = b.split_to(len);
+    String::from_utf8(raw.to_vec())
+        .map_err(|_| StoreError::BadFormat("invalid utf-8 in string".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_session() -> RawTrip {
+        let mk = |i: u32| RoutePoint {
+            point_id: i as u64,
+            trip_id: TripId(9),
+            taxi: TaxiId(3),
+            geo: GeoPoint::new(25.4 + i as f64 * 0.001, 65.0),
+            pos: Point::new(i as f64 * 10.0, -5.0),
+            timestamp: Timestamp::from_secs(1000 + i as i64 * 15),
+            speed_kmh: 20.0 + i as f64,
+            heading_deg: 90.0,
+            fuel_ml: i as f64 * 2.0,
+            truth: PointTruth {
+                seq: i,
+                element: if i.is_multiple_of(2) { Some(ElementId(121_000 + i as u64)) } else { None },
+            },
+        };
+        RawTrip {
+            id: TripId(9),
+            taxi: TaxiId(3),
+            start_time: Timestamp::from_secs(1000),
+            end_time: Timestamp::from_secs(1100),
+            points: (0..6).map(mk).collect(),
+            total_time: Duration::from_secs(100),
+            total_distance_m: 60.0,
+            total_fuel_ml: 11.5,
+            truth_trips: vec![CustomerTripTruth {
+                start_seq: 0,
+                end_seq: 5,
+                origin: NodeId(1),
+                destination: NodeId(4),
+                elements: vec![ElementId(121_000), ElementId(121_001)],
+                od_pair: Some(("T".into(), "S".into())),
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_in_memory() {
+        let s = sample_session();
+        let mut buf = BytesMut::new();
+        encode_session(&mut buf, &s);
+        let mut bytes = buf.freeze();
+        let back = decode_session(&mut bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(bytes.remaining(), 0, "no trailing bytes");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let s = sample_session();
+        let mut buf = BytesMut::new();
+        encode_session(&mut buf, &s);
+        for cut in [1usize, 8, 20, buf.len() / 2, buf.len() - 1] {
+            let mut bytes = Bytes::copy_from_slice(&buf[..cut]);
+            assert!(
+                decode_session(&mut bytes).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip_many_sessions() {
+        let dir = std::env::temp_dir().join("taxitrace_codec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("many.tts");
+        let sessions: Vec<RawTrip> = (0..10)
+            .map(|i| {
+                let mut s = sample_session();
+                s.id = TripId(100 + i);
+                for p in &mut s.points {
+                    p.trip_id = s.id;
+                }
+                s
+            })
+            .collect();
+        save_sessions(&path, &sessions).unwrap();
+        let loaded = load_sessions(&path).unwrap();
+        assert_eq!(loaded, sessions);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,21 @@
+//! Embedded trip store: the PostgreSQL/PostGIS stand-in.
+//!
+//! The paper stores retrieved taxi data "in PostgreSQL 9.1 DBMS having
+//! PostGIS extension" and manipulates it with SQL/PL-pgSQL. The pipeline
+//! only uses a narrow slice of that machinery — keyed access by taxi and
+//! trip, time-range scans, spatial point queries — so this crate provides an
+//! embedded store with exactly those capabilities:
+//!
+//! * [`TripStore`] — in-memory storage of raw trips with secondary indexes
+//!   by taxi, trip id, session start time, and a spatial grid index over
+//!   route points;
+//! * [`Query`] — a small composable filter (taxi + time window + bbox);
+//! * [`codec`] — a versioned binary file format so a simulated year can be
+//!   generated once and re-analysed many times.
+
+pub mod codec;
+mod query;
+mod store;
+
+pub use query::Query;
+pub use store::{StoreError, StoreStats, TripStore};

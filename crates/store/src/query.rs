@@ -1,0 +1,158 @@
+use taxitrace_geo::BBox;
+use taxitrace_timebase::Timestamp;
+use taxitrace_traces::{RawTrip, TaxiId};
+
+/// A composable session filter: the tiny slice of SQL the pipeline needs.
+///
+/// ```
+/// use taxitrace_store::Query;
+/// use taxitrace_traces::TaxiId;
+/// use taxitrace_timebase::Timestamp;
+///
+/// let q = Query::new()
+///     .taxi(TaxiId(1))
+///     .started_after(Timestamp::from_secs(0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Query {
+    taxi: Option<TaxiId>,
+    started_after: Option<Timestamp>,
+    started_before: Option<Timestamp>,
+    touches_bbox: Option<BBox>,
+    min_points: Option<usize>,
+}
+
+impl Query {
+    /// Matches everything.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restrict to one taxi.
+    pub fn taxi(mut self, taxi: TaxiId) -> Self {
+        self.taxi = Some(taxi);
+        self
+    }
+
+    /// Restrict to sessions starting at or after `t`.
+    pub fn started_after(mut self, t: Timestamp) -> Self {
+        self.started_after = Some(t);
+        self
+    }
+
+    /// Restrict to sessions starting strictly before `t`.
+    pub fn started_before(mut self, t: Timestamp) -> Self {
+        self.started_before = Some(t);
+        self
+    }
+
+    /// Restrict to sessions with at least one point inside `bbox`.
+    pub fn touches(mut self, bbox: BBox) -> Self {
+        self.touches_bbox = Some(bbox);
+        self
+    }
+
+    /// Restrict to sessions with at least `n` route points.
+    pub fn min_points(mut self, n: usize) -> Self {
+        self.min_points = Some(n);
+        self
+    }
+
+    /// Whether a session satisfies all configured predicates.
+    pub fn matches(&self, s: &RawTrip) -> bool {
+        if let Some(taxi) = self.taxi {
+            if s.taxi != taxi {
+                return false;
+            }
+        }
+        if let Some(t) = self.started_after {
+            if s.start_time < t {
+                return false;
+            }
+        }
+        if let Some(t) = self.started_before {
+            if s.start_time >= t {
+                return false;
+            }
+        }
+        if let Some(n) = self.min_points {
+            if s.points.len() < n {
+                return false;
+            }
+        }
+        if let Some(bbox) = &self.touches_bbox {
+            if !s.points.iter().any(|p| bbox.contains(p.pos)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_geo::{GeoPoint, Point};
+    use taxitrace_timebase::Duration;
+    use taxitrace_traces::{PointTruth, RoutePoint, TripId};
+
+    fn session(taxi: u8, t0: i64, x: f64, points: usize) -> RawTrip {
+        let pts = (0..points)
+            .map(|i| RoutePoint {
+                point_id: i as u64,
+                trip_id: TripId(1),
+                taxi: TaxiId(taxi),
+                geo: GeoPoint::new(25.0, 65.0),
+                pos: Point::new(x, 0.0),
+                timestamp: Timestamp::from_secs(t0 + i as i64),
+                speed_kmh: 0.0,
+                heading_deg: 0.0,
+                fuel_ml: 0.0,
+                truth: PointTruth { seq: i as u32, element: None },
+            })
+            .collect();
+        RawTrip {
+            id: TripId(1),
+            taxi: TaxiId(taxi),
+            start_time: Timestamp::from_secs(t0),
+            end_time: Timestamp::from_secs(t0 + points as i64),
+            points: pts,
+            total_time: Duration::from_secs(points as i64),
+            total_distance_m: 0.0,
+            total_fuel_ml: 0.0,
+            truth_trips: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        assert!(Query::new().matches(&session(1, 0, 0.0, 3)));
+    }
+
+    #[test]
+    fn taxi_filter() {
+        let q = Query::new().taxi(TaxiId(2));
+        assert!(!q.matches(&session(1, 0, 0.0, 3)));
+        assert!(q.matches(&session(2, 0, 0.0, 3)));
+    }
+
+    #[test]
+    fn time_window() {
+        let q = Query::new()
+            .started_after(Timestamp::from_secs(10))
+            .started_before(Timestamp::from_secs(20));
+        assert!(!q.matches(&session(1, 9, 0.0, 3)));
+        assert!(q.matches(&session(1, 10, 0.0, 3)));
+        assert!(q.matches(&session(1, 19, 0.0, 3)));
+        assert!(!q.matches(&session(1, 20, 0.0, 3)));
+    }
+
+    #[test]
+    fn bbox_and_min_points() {
+        let bbox = BBox::from_corners(Point::new(-1.0, -1.0), Point::new(1.0, 1.0));
+        let q = Query::new().touches(bbox).min_points(2);
+        assert!(q.matches(&session(1, 0, 0.0, 3)));
+        assert!(!q.matches(&session(1, 0, 5.0, 3)), "outside bbox");
+        assert!(!q.matches(&session(1, 0, 0.0, 1)), "too few points");
+    }
+}

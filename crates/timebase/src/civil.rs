@@ -1,0 +1,321 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Timestamp;
+
+/// Error constructing a civil date or time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DateError {
+    /// Month outside 1..=12.
+    BadMonth(u8),
+    /// Day outside the valid range for the given month/year.
+    BadDay { year: i32, month: u8, day: u8 },
+    /// Hour/minute/second out of range.
+    BadTime { hour: u8, minute: u8, second: u8 },
+}
+
+impl fmt::Display for DateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DateError::BadMonth(m) => write!(f, "month {m} out of range 1..=12"),
+            DateError::BadDay { year, month, day } => {
+                write!(f, "day {day} invalid for {year}-{month:02}")
+            }
+            DateError::BadTime { hour, minute, second } => {
+                write!(f, "time {hour:02}:{minute:02}:{second:02} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DateError {}
+
+/// Calendar month.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Month {
+    January = 1,
+    February,
+    March,
+    April,
+    May,
+    June,
+    July,
+    August,
+    September,
+    October,
+    November,
+    December,
+}
+
+impl Month {
+    /// Month from its 1-based number.
+    pub fn from_number(n: u8) -> Result<Self, DateError> {
+        use Month::*;
+        Ok(match n {
+            1 => January,
+            2 => February,
+            3 => March,
+            4 => April,
+            5 => May,
+            6 => June,
+            7 => July,
+            8 => August,
+            9 => September,
+            10 => October,
+            11 => November,
+            12 => December,
+            _ => return Err(DateError::BadMonth(n)),
+        })
+    }
+
+    /// 1-based month number.
+    #[inline]
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+}
+
+/// A proleptic-Gregorian calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDate {
+    year: i32,
+    month: u8,
+    day: u8,
+}
+
+/// Whether `year` is a Gregorian leap year.
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in a month.
+fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("validated month"),
+    }
+}
+
+impl CivilDate {
+    /// Constructs a validated date.
+    pub fn new(year: i32, month: u8, day: u8) -> Result<Self, DateError> {
+        if !(1..=12).contains(&month) {
+            return Err(DateError::BadMonth(month));
+        }
+        if day == 0 || day > days_in_month(year, month) {
+            return Err(DateError::BadDay { year, month, day });
+        }
+        Ok(Self { year, month, day })
+    }
+
+    #[inline]
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    #[inline]
+    pub fn month(&self) -> Month {
+        Month::from_number(self.month).expect("validated at construction")
+    }
+
+    #[inline]
+    pub fn day(&self) -> u8 {
+        self.day
+    }
+
+    /// Days since 1970-01-01 (Hinnant's `days_from_civil`).
+    pub fn days_from_epoch(&self) -> i64 {
+        let y = if self.month <= 2 { self.year - 1 } else { self.year } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400; // [0, 399]
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Inverse of [`Self::days_from_epoch`] (Hinnant's `civil_from_days`).
+    pub fn from_days_from_epoch(z: i64) -> Self {
+        let z = z + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u8; // [1, 12]
+        let year = (if m <= 2 { y + 1 } else { y }) as i32;
+        Self { year, month: m, day: d }
+    }
+
+    /// ISO weekday, 1 = Monday … 7 = Sunday.
+    pub fn weekday(&self) -> u8 {
+        // 1970-01-01 was a Thursday (ISO 4).
+        let z = self.days_from_epoch();
+        (((z % 7 + 10) % 7) + 1) as u8
+    }
+}
+
+impl fmt::Display for CivilDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Date plus time of day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDateTime {
+    pub date: CivilDate,
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+}
+
+impl CivilDateTime {
+    /// Constructs a validated date-time.
+    pub fn new(date: CivilDate, hour: u8, minute: u8, second: u8) -> Result<Self, DateError> {
+        if hour > 23 || minute > 59 || second > 59 {
+            return Err(DateError::BadTime { hour, minute, second });
+        }
+        Ok(Self { date, hour, minute, second })
+    }
+
+    /// Conversion to Unix seconds (UTC-naive: the study uses a single local
+    /// clock; DST shifts are irrelevant to the analyses reproduced).
+    pub fn to_timestamp(&self) -> Timestamp {
+        Timestamp::from_secs(
+            self.date.days_from_epoch() * 86_400
+                + self.hour as i64 * 3600
+                + self.minute as i64 * 60
+                + self.second as i64,
+        )
+    }
+
+    /// Conversion from Unix seconds.
+    pub fn from_timestamp(ts: Timestamp) -> Self {
+        let secs = ts.secs();
+        let days = secs.div_euclid(86_400);
+        let sod = secs.rem_euclid(86_400);
+        Self {
+            date: CivilDate::from_days_from_epoch(days),
+            hour: (sod / 3600) as u8,
+            minute: (sod % 3600 / 60) as u8,
+            second: (sod % 60) as u8,
+        }
+    }
+}
+
+impl fmt::Display for CivilDateTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date, self.hour, self.minute, self.second
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(CivilDate::new(1970, 1, 1).unwrap().days_from_epoch(), 0);
+    }
+
+    #[test]
+    fn known_days() {
+        // 2012-10-01 is 15614 days after the epoch.
+        assert_eq!(CivilDate::new(2012, 10, 1).unwrap().days_from_epoch(), 15_614);
+        assert_eq!(CivilDate::from_days_from_epoch(15_614), CivilDate::new(2012, 10, 1).unwrap());
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2012));
+        assert!(!is_leap(2013));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+        assert!(CivilDate::new(2012, 2, 29).is_ok());
+        assert!(CivilDate::new(2013, 2, 29).is_err());
+    }
+
+    #[test]
+    fn rejects_paper_typo_date() {
+        // The paper's "31.9.2013" does not exist.
+        assert!(matches!(
+            CivilDate::new(2013, 9, 31),
+            Err(DateError::BadDay { .. })
+        ));
+    }
+
+    #[test]
+    fn weekday_known_values() {
+        assert_eq!(CivilDate::new(1970, 1, 1).unwrap().weekday(), 4); // Thursday
+        assert_eq!(CivilDate::new(2012, 10, 1).unwrap().weekday(), 1); // Monday
+        assert_eq!(CivilDate::new(2013, 9, 30).unwrap().weekday(), 1); // Monday
+    }
+
+    #[test]
+    fn datetime_round_trip() {
+        let dt = CivilDateTime::new(CivilDate::new(2013, 3, 17).unwrap(), 13, 45, 9).unwrap();
+        assert_eq!(CivilDateTime::from_timestamp(dt.to_timestamp()), dt);
+    }
+
+    #[test]
+    fn negative_timestamps() {
+        let dt = CivilDateTime::new(CivilDate::new(1969, 12, 31).unwrap(), 23, 59, 59).unwrap();
+        assert_eq!(dt.to_timestamp().secs(), -1);
+        assert_eq!(CivilDateTime::from_timestamp(Timestamp::from_secs(-1)), dt);
+    }
+
+    #[test]
+    fn display_formats() {
+        let dt = CivilDateTime::new(CivilDate::new(2012, 10, 1).unwrap(), 8, 5, 0).unwrap();
+        assert_eq!(dt.to_string(), "2012-10-01 08:05:00");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Civil date ↔ day count round-trips over ±200 years.
+        #[test]
+        fn date_round_trip(z in -73_000i64..73_000) {
+            let d = CivilDate::from_days_from_epoch(z);
+            prop_assert_eq!(d.days_from_epoch(), z);
+        }
+
+        /// Timestamp round-trip across the full study period and beyond.
+        #[test]
+        fn datetime_round_trip(secs in -4_000_000_000i64..4_000_000_000) {
+            let ts = Timestamp::from_secs(secs);
+            let dt = CivilDateTime::from_timestamp(ts);
+            prop_assert_eq!(dt.to_timestamp(), ts);
+        }
+
+        /// Consecutive days have consecutive weekdays.
+        #[test]
+        fn weekday_cycles(z in -73_000i64..73_000) {
+            let today = CivilDate::from_days_from_epoch(z).weekday();
+            let tomorrow = CivilDate::from_days_from_epoch(z + 1).weekday();
+            prop_assert_eq!(tomorrow, today % 7 + 1);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Civil-time substrate for the `taxi-traces` workspace.
+//!
+//! The paper's study period is 1.10.2012–30.9.2013 and several analyses are
+//! keyed on calendar structure: seasonal speed comparison (Fig. 5), seasonal
+//! mean deltas, and the temperature-class analysis of Fig. 10. This crate
+//! provides Unix-second timestamps, civil date/time conversion (Howard
+//! Hinnant's `days_from_civil` algorithms), durations, Finnish seasons, and
+//! formatting — without pulling in a calendar dependency, because the date
+//! logic is part of the system under reproduction.
+
+mod civil;
+mod season;
+mod timestamp;
+
+pub use civil::{CivilDate, CivilDateTime, DateError, Month};
+pub use season::Season;
+pub use timestamp::{Duration, Timestamp};
+
+/// The paper's study period start: 1 October 2012, 00:00:00 (UTC-naive).
+pub fn study_period_start() -> Timestamp {
+    CivilDateTime::new(CivilDate::new(2012, 10, 1).expect("valid date"), 0, 0, 0)
+        .expect("valid time")
+        .to_timestamp()
+}
+
+/// The paper's study period end (exclusive): 1 October 2013, 00:00:00.
+///
+/// The paper writes "31.9.2013", which does not exist; we read it as the end
+/// of September, i.e. a full year of data.
+pub fn study_period_end() -> Timestamp {
+    CivilDateTime::new(CivilDate::new(2013, 10, 1).expect("valid date"), 0, 0, 0)
+        .expect("valid time")
+        .to_timestamp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_period_is_one_year() {
+        let days = (study_period_end().secs() - study_period_start().secs()) / 86_400;
+        assert_eq!(days, 365);
+    }
+}

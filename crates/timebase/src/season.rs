@@ -1,0 +1,98 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CivilDate, Month, Timestamp};
+
+/// Meteorological season at 65 °N, as used for the paper's seasonal
+/// categorisation of Fig. 5 ("especially in northern countries, there exist
+/// clearly separate seasons").
+///
+/// We use the meteorological convention: winter = Dec–Feb, spring = Mar–May,
+/// summer = Jun–Aug, autumn = Sep–Nov. The paper does not state its exact
+/// boundaries; the qualitative claims (winter slowest, autumn the largest
+/// positive delta) are insensitive to a one-month shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Season {
+    Winter,
+    Spring,
+    Summer,
+    Autumn,
+}
+
+impl Season {
+    /// All seasons in calendar order starting from winter.
+    pub const ALL: [Season; 4] = [Season::Winter, Season::Spring, Season::Summer, Season::Autumn];
+
+    /// The season containing a calendar month.
+    pub fn of_month(month: Month) -> Self {
+        use Month::*;
+        match month {
+            December | January | February => Season::Winter,
+            March | April | May => Season::Spring,
+            June | July | August => Season::Summer,
+            September | October | November => Season::Autumn,
+        }
+    }
+
+    /// The season of a calendar date.
+    #[inline]
+    pub fn of_date(date: CivilDate) -> Self {
+        Self::of_month(date.month())
+    }
+
+    /// The season of a timestamp.
+    #[inline]
+    pub fn of_timestamp(ts: Timestamp) -> Self {
+        Self::of_date(ts.civil().date)
+    }
+
+    /// Short English label, as used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Season::Winter => "winter",
+            Season::Spring => "spring",
+            Season::Summer => "summer",
+            Season::Autumn => "autumn",
+        }
+    }
+}
+
+impl fmt::Display for Season {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_mapping() {
+        assert_eq!(Season::of_month(Month::January), Season::Winter);
+        assert_eq!(Season::of_month(Month::December), Season::Winter);
+        assert_eq!(Season::of_month(Month::March), Season::Spring);
+        assert_eq!(Season::of_month(Month::July), Season::Summer);
+        assert_eq!(Season::of_month(Month::October), Season::Autumn);
+    }
+
+    #[test]
+    fn study_period_covers_all_seasons() {
+        use std::collections::BTreeSet;
+        let start = crate::study_period_start();
+        let end = crate::study_period_end();
+        let mut seen = BTreeSet::new();
+        let mut t = start;
+        while t < end {
+            seen.insert(Season::of_timestamp(t));
+            t += crate::Duration::from_days(10);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Season::Autumn.to_string(), "autumn");
+    }
+}

@@ -1,0 +1,166 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::CivilDateTime;
+
+/// A span of time in whole seconds (may be negative).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(i64);
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    #[inline]
+    pub const fn from_minutes(min: i64) -> Self {
+        Self(min * 60)
+    }
+
+    #[inline]
+    pub const fn from_hours(h: i64) -> Self {
+        Self(h * 3600)
+    }
+
+    #[inline]
+    pub const fn from_days(d: i64) -> Self {
+        Self(d * 86_400)
+    }
+
+    #[inline]
+    pub const fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// Duration as fractional hours (the unit of Table 4's "route time").
+    #[inline]
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Duration as fractional minutes.
+    #[inline]
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0.unsigned_abs();
+        let sign = if self.0 < 0 { "-" } else { "" };
+        write!(f, "{sign}{:02}:{:02}:{:02}", s / 3600, s % 3600 / 60, s % 60)
+    }
+}
+
+/// A point in time as Unix seconds (UTC-naive local clock, matching the
+/// single-timezone study setting).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(i64);
+
+impl Timestamp {
+    #[inline]
+    pub const fn from_secs(secs: i64) -> Self {
+        Self(secs)
+    }
+
+    #[inline]
+    pub const fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// The civil date-time this timestamp denotes.
+    #[inline]
+    pub fn civil(self) -> CivilDateTime {
+        CivilDateTime::from_timestamp(self)
+    }
+
+    /// Seconds elapsed from `earlier` to `self` (negative if `self` is
+    /// earlier).
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.secs())
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.secs();
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 - d.secs())
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, other: Timestamp) -> Duration {
+        Duration(self.0 - other.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, d: Duration) -> Duration {
+        Duration(self.0 + d.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.civil())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(1000);
+        assert_eq!((t + Duration::from_minutes(2)).secs(), 1120);
+        assert_eq!((t - Duration::from_secs(500)).secs(), 500);
+        assert_eq!((t - Timestamp::from_secs(400)).secs(), 600);
+        assert_eq!(t.since(Timestamp::from_secs(1600)).secs(), -600);
+    }
+
+    #[test]
+    fn duration_units() {
+        assert_eq!(Duration::from_hours(2).secs(), 7200);
+        assert_eq!(Duration::from_days(1).secs(), 86_400);
+        assert_eq!(Duration::from_secs(5400).as_hours_f64(), 1.5);
+        assert_eq!(Duration::from_secs(90).as_minutes_f64(), 1.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Duration::from_secs(3_725).to_string(), "01:02:05");
+        assert_eq!(Duration::from_secs(-61).to_string(), "-00:01:01");
+    }
+}

@@ -1,0 +1,250 @@
+use serde::{Deserialize, Serialize};
+use taxitrace_timebase::Duration;
+
+use crate::model::RoutePoint;
+use crate::rng::Rng;
+
+/// Error-injection configuration.
+///
+/// The §IV-B cleaning problem exists because "due to occasional latency
+/// variation, the data obtained from the measurement device (id, timestamp)
+/// may arrive at the server in an incorrect order". We inject exactly the
+/// two error classes the repair must distinguish:
+///
+/// * **latency reorder** — a burst of points arrives late, so server ids
+///   (arrival order) disagree with device timestamps; the timestamp order is
+///   the true one;
+/// * **timestamp glitch** — the device clock hiccups on a few points, so the
+///   timestamp order zig-zags while arrival order is true.
+///
+/// At most one class is applied per session (the paper's repair assumes one
+/// of the two orders is right).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionConfig {
+    /// Probability a session suffers a latency reorder burst.
+    pub p_reorder: f64,
+    /// Probability a session suffers timestamp glitches instead.
+    pub p_ts_glitch: f64,
+    /// Burst length bounds for reorders.
+    pub burst_min: usize,
+    pub burst_max: usize,
+    /// Number of glitched points per affected session.
+    pub glitch_points: usize,
+    /// Max clock offset of a glitch, seconds.
+    pub glitch_max_s: i64,
+    /// Per-point probability of a duplicate upload (the same measurement
+    /// arrives twice with a fresh server id).
+    pub p_duplicate: f64,
+}
+
+impl Default for CorruptionConfig {
+    fn default() -> Self {
+        Self {
+            p_reorder: 0.12,
+            p_ts_glitch: 0.05,
+            burst_min: 4,
+            burst_max: 14,
+            glitch_points: 3,
+            glitch_max_s: 45,
+            p_duplicate: 0.004,
+        }
+    }
+}
+
+/// Which corruption was applied to a session (kept for validation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppliedCorruption {
+    None,
+    /// Arrival order scrambled; timestamps truthful.
+    LatencyReorder,
+    /// Timestamps glitched; arrival order truthful.
+    TimestampGlitch,
+}
+
+/// Applies corruption to a session's points (given in true order) and
+/// returns them in *server arrival order* with `point_id` reassigned to the
+/// arrival index, plus which corruption happened.
+pub fn corrupt_session(
+    config: &CorruptionConfig,
+    rng: &mut Rng,
+    mut points: Vec<RoutePoint>,
+) -> (Vec<RoutePoint>, AppliedCorruption) {
+    let n = points.len();
+    if n < config.burst_min + 2 {
+        renumber(&mut points);
+        return (points, AppliedCorruption::None);
+    }
+    // Duplicate uploads happen independently of the ordering error class.
+    if config.p_duplicate > 0.0 {
+        let mut i = 0;
+        while i < points.len() {
+            if rng.chance(config.p_duplicate) {
+                let dup = points[i];
+                points.insert(i + 1, dup);
+                i += 1; // do not re-roll on the copy
+            }
+            i += 1;
+        }
+    }
+    let n = points.len();
+    let draw = rng.f64();
+    if draw < config.p_reorder {
+        // A late burst: remove a window and re-insert it a few positions
+        // later, as if those packets were delayed.
+        let len = config.burst_min + rng.below(config.burst_max - config.burst_min + 1);
+        let len = len.min(n - 2);
+        let start = rng.below(n - len);
+        let shift = 1 + rng.below(len.min(n - start - len));
+        let burst: Vec<RoutePoint> = points.drain(start..start + len).collect();
+        let insert_at = (start + shift).min(points.len());
+        for (k, p) in burst.into_iter().enumerate() {
+            points.insert(insert_at + k, p);
+        }
+        renumber(&mut points);
+        (points, AppliedCorruption::LatencyReorder)
+    } else if draw < config.p_reorder + config.p_ts_glitch {
+        // Clock hiccups on a few interior points.
+        for _ in 0..config.glitch_points {
+            let i = 1 + rng.below(n - 2);
+            // Shift past at least one neighbour so the timestamp order
+            // actually zig-zags (a glitch smaller than the local sampling
+            // interval would be unobservable).
+            let neighbour_gap = (points[i + 1].timestamp - points[i - 1].timestamp)
+                .secs()
+                .max(2);
+            let off = neighbour_gap + rng.below(config.glitch_max_s.max(1) as usize) as i64;
+            let sign = if rng.chance(0.5) { 1 } else { -1 };
+            points[i].timestamp += Duration::from_secs(sign * off);
+        }
+        renumber(&mut points);
+        (points, AppliedCorruption::TimestampGlitch)
+    } else {
+        renumber(&mut points);
+        (points, AppliedCorruption::None)
+    }
+}
+
+/// Reassigns `point_id` to the (post-corruption) arrival index.
+fn renumber(points: &mut [RoutePoint]) {
+    for (i, p) in points.iter_mut().enumerate() {
+        p.point_id = i as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{PointTruth, TaxiId, TripId};
+    use taxitrace_geo::{GeoPoint, Point};
+    use taxitrace_timebase::Timestamp;
+
+    fn mk_points(n: usize) -> Vec<RoutePoint> {
+        (0..n)
+            .map(|i| RoutePoint {
+                point_id: 0,
+                trip_id: TripId(1),
+                taxi: TaxiId(1),
+                geo: GeoPoint::new(25.0, 65.0),
+                pos: Point::new(i as f64 * 10.0, 0.0),
+                timestamp: Timestamp::from_secs(i as i64 * 20),
+                speed_kmh: 30.0,
+                heading_deg: 90.0,
+                fuel_ml: i as f64,
+                truth: PointTruth { seq: i as u32, element: None },
+            })
+            .collect()
+    }
+
+    fn force(p_reorder: f64, p_glitch: f64) -> CorruptionConfig {
+        CorruptionConfig {
+            p_reorder,
+            p_ts_glitch: p_glitch,
+            p_duplicate: 0.0,
+            ..CorruptionConfig::default()
+        }
+    }
+
+    #[test]
+    fn no_corruption_preserves_order() {
+        let mut rng = Rng::new(1);
+        let (pts, kind) = corrupt_session(&force(0.0, 0.0), &mut rng, mk_points(30));
+        assert_eq!(kind, AppliedCorruption::None);
+        let seqs: Vec<u32> = pts.iter().map(|p| p.truth.seq).collect();
+        assert_eq!(seqs, (0..30).collect::<Vec<u32>>());
+        assert_eq!(pts[5].point_id, 5);
+    }
+
+    #[test]
+    fn reorder_scrambles_arrival_but_keeps_timestamps() {
+        let mut rng = Rng::new(3);
+        let (pts, kind) = corrupt_session(&force(1.0, 0.0), &mut rng, mk_points(30));
+        assert_eq!(kind, AppliedCorruption::LatencyReorder);
+        // All points still present.
+        let mut seqs: Vec<u32> = pts.iter().map(|p| p.truth.seq).collect();
+        assert_ne!(seqs, (0..30).collect::<Vec<u32>>(), "order actually changed");
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..30).collect::<Vec<u32>>());
+        // Timestamp order equals true order.
+        let mut by_ts = pts.clone();
+        by_ts.sort_by_key(|p| p.timestamp);
+        let ts_seqs: Vec<u32> = by_ts.iter().map(|p| p.truth.seq).collect();
+        assert_eq!(ts_seqs, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn glitch_keeps_arrival_order_true() {
+        let mut rng = Rng::new(5);
+        let (pts, kind) = corrupt_session(&force(0.0, 1.0), &mut rng, mk_points(30));
+        assert_eq!(kind, AppliedCorruption::TimestampGlitch);
+        // Arrival (id) order is the true order.
+        let seqs: Vec<u32> = pts.iter().map(|p| p.truth.seq).collect();
+        assert_eq!(seqs, (0..30).collect::<Vec<u32>>());
+        // But the timestamp order differs somewhere.
+        let mut by_ts = pts.clone();
+        by_ts.sort_by_key(|p| p.timestamp);
+        let ts_seqs: Vec<u32> = by_ts.iter().map(|p| p.truth.seq).collect();
+        assert_ne!(ts_seqs, (0..30).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn tiny_sessions_left_alone() {
+        let mut rng = Rng::new(7);
+        let (pts, kind) = corrupt_session(&force(1.0, 0.0), &mut rng, mk_points(3));
+        assert_eq!(kind, AppliedCorruption::None);
+        assert_eq!(pts.len(), 3);
+    }
+
+    #[test]
+    fn duplicates_injected_and_flagged_by_identity() {
+        let mut rng = Rng::new(99);
+        let cfg = CorruptionConfig {
+            p_reorder: 0.0,
+            p_ts_glitch: 0.0,
+            p_duplicate: 0.3,
+            ..CorruptionConfig::default()
+        };
+        let (pts, kind) = corrupt_session(&cfg, &mut rng, mk_points(50));
+        assert_eq!(kind, AppliedCorruption::None);
+        assert!(pts.len() > 50, "duplicates inserted: {}", pts.len());
+        // Duplicates are exact copies modulo the server id.
+        let dups = pts
+            .windows(2)
+            .filter(|w| {
+                w[0].timestamp == w[1].timestamp && w[0].pos == w[1].pos
+            })
+            .count();
+        assert_eq!(dups, pts.len() - 50);
+    }
+
+    #[test]
+    fn ids_always_contiguous() {
+        let rng = Rng::new(11);
+        for seed in 0..20 {
+            let mut r = rng.fork(seed);
+            let (pts, _) = corrupt_session(&CorruptionConfig::default(), &mut r, mk_points(40));
+            let ids: Vec<u64> = pts.iter().map(|p| p.point_id).collect();
+            assert!(pts.len() >= 40, "duplicates only add points");
+            assert_eq!(ids, (0..pts.len() as u64).collect::<Vec<u64>>(), "arrival ids are 0..n");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+use serde::{Deserialize, Serialize};
+use taxitrace_timebase::Season;
+
+use crate::rng::Rng;
+
+/// Per-driver behaviour parameters.
+///
+/// The paper stresses that taxi drivers "freely selected the routes … based
+/// on their own silent knowledge and intuition"; we model inter-driver
+/// variation as a profile sampled once per taxi.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriverProfile {
+    /// Multiplier on the speed limit for the driver's cruise target.
+    pub speed_factor: f64,
+    /// Comfortable acceleration, m/s².
+    pub accel_ms2: f64,
+    /// Comfortable deceleration, m/s².
+    pub decel_ms2: f64,
+    /// Probability of having to stop at a signalised junction.
+    pub light_stop_prob: f64,
+    /// Probability of yielding (slowing hard) at a pedestrian crossing.
+    pub crossing_yield_prob: f64,
+    /// Route-choice noisiness: log-normal sigma applied to edge costs.
+    pub route_noise: f64,
+}
+
+impl DriverProfile {
+    /// Samples a profile for one driver.
+    pub fn sample(rng: &mut Rng) -> Self {
+        Self {
+            speed_factor: (1.0 + 0.06 * rng.normal()).clamp(0.85, 1.15),
+            accel_ms2: rng.range(1.3, 1.9),
+            decel_ms2: rng.range(1.8, 2.6),
+            light_stop_prob: rng.range(0.35, 0.5),
+            crossing_yield_prob: rng.range(0.25, 0.45),
+            route_noise: rng.range(0.15, 0.35),
+        }
+    }
+
+    /// Wait time when stopped at a traffic light, seconds.
+    ///
+    /// The paper's Table 2 rationale: unfavourable waits are 50–60 s, and
+    /// lights fail to blinking-yellow after at most 200 s — so waits beyond
+    /// 200 s do not occur. We sample a truncated exponential with a rare
+    /// long tail below that bound.
+    pub fn light_wait_s(&self, rng: &mut Rng) -> f64 {
+        if rng.chance(0.02) {
+            // Rare unfavourable cycle.
+            rng.range(50.0, 60.0).min(199.0)
+        } else {
+            rng.exponential(26.0).clamp(5.0, 80.0)
+        }
+    }
+}
+
+/// Seasonal driving-speed multiplier.
+///
+/// Calibrated so the per-season mean point speeds order like the paper's
+/// Fig. 5 deltas (winter −0.07, spring +0.46, summer +0.70, autumn
+/// +1.38 km/h against the annual mean): winter lowest (compounded by icy
+/// road conditions from the weather model), autumn highest.
+pub fn season_speed_factor(season: Season) -> f64 {
+    match season {
+        Season::Winter => 1.000,
+        Season::Spring => 1.006,
+        Season::Summer => 1.010,
+        Season::Autumn => 1.045,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_within_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..200 {
+            let p = DriverProfile::sample(&mut rng);
+            assert!((0.85..=1.15).contains(&p.speed_factor));
+            assert!(p.accel_ms2 < p.decel_ms2 + 1.0);
+            assert!((0.0..=1.0).contains(&p.light_stop_prob));
+        }
+    }
+
+    #[test]
+    fn light_waits_bounded_by_200s() {
+        let mut rng = Rng::new(2);
+        let p = DriverProfile::sample(&mut rng);
+        for _ in 0..5000 {
+            let w = p.light_wait_s(&mut rng);
+            assert!((0.0..200.0).contains(&w), "wait {w}");
+        }
+    }
+
+    #[test]
+    fn season_factors_ordered_like_fig5() {
+        let w = season_speed_factor(Season::Winter);
+        let sp = season_speed_factor(Season::Spring);
+        let su = season_speed_factor(Season::Summer);
+        let au = season_speed_factor(Season::Autumn);
+        assert!(w < sp && sp < su && su < au);
+    }
+}

@@ -1,0 +1,41 @@
+//! Data-collection substrate: the taxi fleet and its on-board devices.
+//!
+//! The paper's data set — seven taxis with Driveco on-board trackers driving
+//! Oulu for a year (§III) — is proprietary. This crate simulates the fleet
+//! end-to-end so that the downstream pipeline (cleaning, segmentation,
+//! O-D selection, map-matching, fusion, analysis) processes data with the
+//! same structure and the same error classes, plus ground truth the real
+//! data never had:
+//!
+//! * [`model`] — route points, raw engine-on trips, taxi/trip identifiers,
+//!   mirroring the paper's data vectors;
+//! * [`rng`] — deterministic xoshiro256** randomness (a study is a pure
+//!   function of a `u64` seed);
+//! * [`driver`] — per-driver behaviour profiles and seasonal speed factors;
+//! * [`fuel`] — OBD-style instantaneous fuel model;
+//! * [`sampler`] — the Driveco-like "significant change" route-point
+//!   emitter (no fixed sampling rate);
+//! * [`corruption`] — server-latency reordering and device-clock glitches,
+//!   the §IV-B error classes;
+//! * [`simulator`] — the kinematic fleet simulator: customer-trip
+//!   generation with hotspot demand, free route choice over the road graph,
+//!   traffic lights / pedestrian crossings / crowd-zone interference,
+//!   engine-on sessions spanning whole shifts.
+
+pub mod corruption;
+pub mod driver;
+pub mod fuel;
+pub mod model;
+pub mod rng;
+pub mod sampler;
+pub mod simulator;
+
+pub use corruption::{AppliedCorruption, CorruptionConfig};
+pub use driver::{season_speed_factor, DriverProfile};
+pub use fuel::FuelModel;
+pub use model::{CustomerTripTruth, PointTruth, RawTrip, RoutePoint, TaxiId, TripId};
+pub use rng::Rng;
+pub use sampler::{Sampler, SamplerConfig};
+pub use simulator::{
+    simulate_fleet, CrowdZone, FleetConfig, FleetData, PAPER_SEGMENTS_PER_TAXI,
+};

@@ -1,0 +1,156 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use taxitrace_geo::{GeoPoint, Point};
+use taxitrace_roadnet::{ElementId, NodeId};
+use taxitrace_timebase::{Duration, Timestamp};
+
+/// Identifier of a taxi (the study has seven; we keep them 1-based like the
+/// paper's Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaxiId(pub u8);
+
+impl fmt::Display for TaxiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "taxi{}", self.0)
+    }
+}
+
+/// Identifier of a raw trip (one engine-on session, per the paper's
+/// definition: "a run between two consecutive events of turning off the
+/// engine").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TripId(pub u64);
+
+impl fmt::Display for TripId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trip{}", self.0)
+    }
+}
+
+/// Simulator-only ground truth attached to a route point; production
+/// pipeline stages must not read it — it exists so cleaning and matching can
+/// be *validated*, which the paper could not do with real data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointTruth {
+    /// Position in the true measurement order within the session.
+    pub seq: u32,
+    /// The traffic element the vehicle was actually on (None while off-route
+    /// at a pickup spot).
+    pub element: Option<ElementId>,
+}
+
+/// One measurement from the on-board device.
+///
+/// Mirrors the paper's §III route-point vector: "point id, trip id,
+/// latitude, longitude and start time, to give examples", plus the
+/// OBD-derived speed and cumulative fuel used by the analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutePoint {
+    /// Server-assigned point id (arrival order — may disagree with
+    /// `timestamp` order under latency variation, which is exactly the
+    /// §IV-B cleaning problem).
+    pub point_id: u64,
+    pub trip_id: TripId,
+    pub taxi: TaxiId,
+    /// Measured WGS-84 position (includes GPS noise).
+    pub geo: GeoPoint,
+    /// The same position in the planar analysis frame.
+    pub pos: Point,
+    pub timestamp: Timestamp,
+    /// OBD speed, km/h.
+    pub speed_kmh: f64,
+    /// GPS heading, degrees.
+    pub heading_deg: f64,
+    /// Cumulative fuel since session start, ml.
+    pub fuel_ml: f64,
+    /// Simulator ground truth (validation only).
+    pub truth: PointTruth,
+}
+
+/// Ground truth of one customer trip inside a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomerTripTruth {
+    /// True-order sequence range (inclusive) of the trip's points.
+    pub start_seq: u32,
+    pub end_seq: u32,
+    pub origin: NodeId,
+    pub destination: NodeId,
+    /// Traffic elements traversed, in travel order.
+    pub elements: Vec<ElementId>,
+    /// `Some(("T", "S"))` when the trip runs from one named O-D road to
+    /// another.
+    pub od_pair: Option<(String, String)>,
+}
+
+/// One raw engine-on session as uploaded by the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawTrip {
+    pub id: TripId,
+    pub taxi: TaxiId,
+    pub start_time: Timestamp,
+    pub end_time: Timestamp,
+    /// Route points in *server arrival order* (i.e. `point_id` order);
+    /// timestamp order may differ — see §IV-B.
+    pub points: Vec<RoutePoint>,
+    /// Device trip summary: total time.
+    pub total_time: Duration,
+    /// Device trip summary: odometer distance, metres (true driven
+    /// distance, not the GPS-noise polyline length).
+    pub total_distance_m: f64,
+    /// Device trip summary: fuel, ml.
+    pub total_fuel_ml: f64,
+    /// Ground truth customer-trip boundaries (validation only).
+    pub truth_trips: Vec<CustomerTripTruth>,
+}
+
+impl RawTrip {
+    /// Points re-sorted into true measurement order (by ground truth).
+    /// Validation helper; the production pipeline must reconstruct order via
+    /// the §IV-B repair instead.
+    pub fn points_in_true_order(&self) -> Vec<RoutePoint> {
+        let mut pts = self.points.clone();
+        pts.sort_by_key(|p| p.truth.seq);
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(TaxiId(3).to_string(), "taxi3");
+        assert_eq!(TripId(17).to_string(), "trip17");
+    }
+
+    #[test]
+    fn true_order_sorting() {
+        let mk = |pid: u64, seq: u32| RoutePoint {
+            point_id: pid,
+            trip_id: TripId(1),
+            taxi: TaxiId(1),
+            geo: GeoPoint::new(25.0, 65.0),
+            pos: Point::new(0.0, 0.0),
+            timestamp: Timestamp::from_secs(seq as i64),
+            speed_kmh: 0.0,
+            heading_deg: 0.0,
+            fuel_ml: 0.0,
+            truth: PointTruth { seq, element: None },
+        };
+        let trip = RawTrip {
+            id: TripId(1),
+            taxi: TaxiId(1),
+            start_time: Timestamp::from_secs(0),
+            end_time: Timestamp::from_secs(2),
+            points: vec![mk(0, 2), mk(1, 0), mk(2, 1)],
+            total_time: Duration::from_secs(2),
+            total_distance_m: 0.0,
+            total_fuel_ml: 0.0,
+            truth_trips: Vec::new(),
+        };
+        let seqs: Vec<u32> = trip.points_in_true_order().iter().map(|p| p.truth.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

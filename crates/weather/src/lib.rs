@@ -1,0 +1,17 @@
+//! Road-weather substrate: a stand-in for the FMI road weather model.
+//!
+//! The paper's Fig. 10 joins trips with weather information "provided by a
+//! road weather model, supplied by FMI (Kangas et al.)" and splits the
+//! low-speed analysis by temperature class. The FMI model and its forcing
+//! data are proprietary, so this crate generates a climatologically
+//! plausible daily weather series for 65 °N (Oulu): a sinusoidal annual
+//! temperature cycle with deterministic daily noise, a derived road-surface
+//! condition, and the temperature classes consumed by the Fig. 10 analysis.
+//!
+//! The reproduction claim of Fig. 10 is qualitative — the ≥ 9-traffic-light
+//! group shows a higher low-speed share in *every* temperature class — so
+//! any plausible temperature series exercises the same code path.
+
+mod model;
+
+pub use model::{RoadCondition, TemperatureClass, WeatherDay, WeatherModel};

@@ -1,0 +1,278 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use taxitrace_timebase::{CivilDate, Timestamp};
+
+/// Temperature class used on Fig. 10's x-axis.
+///
+/// The paper does not print its exact class edges; we use the standard road
+/// weather bands around the freezing point, which is where driving-condition
+/// regimes change at 65 °N.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TemperatureClass {
+    /// Below −10 °C: hard winter, packed snow.
+    SevereCold,
+    /// −10 to 0 °C: freezing, ice risk.
+    Cold,
+    /// 0 to +10 °C: cool, mostly wet.
+    Cool,
+    /// Above +10 °C: warm, dry.
+    Warm,
+}
+
+impl TemperatureClass {
+    /// All classes in ascending temperature order.
+    pub const ALL: [TemperatureClass; 4] = [
+        TemperatureClass::SevereCold,
+        TemperatureClass::Cold,
+        TemperatureClass::Cool,
+        TemperatureClass::Warm,
+    ];
+
+    /// Class of a temperature in °C.
+    pub fn of_celsius(t: f64) -> Self {
+        if t < -10.0 {
+            TemperatureClass::SevereCold
+        } else if t < 0.0 {
+            TemperatureClass::Cold
+        } else if t < 10.0 {
+            TemperatureClass::Cool
+        } else {
+            TemperatureClass::Warm
+        }
+    }
+
+    /// Axis label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TemperatureClass::SevereCold => "< -10 C",
+            TemperatureClass::Cold => "-10..0 C",
+            TemperatureClass::Cool => "0..10 C",
+            TemperatureClass::Warm => "> 10 C",
+        }
+    }
+}
+
+impl fmt::Display for TemperatureClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Road surface condition derived from temperature and precipitation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadCondition {
+    Dry,
+    Wet,
+    Icy,
+    Snowy,
+}
+
+impl RoadCondition {
+    /// Multiplicative speed factor drivers apply under this condition
+    /// (used by the fleet simulator's driver model).
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            RoadCondition::Dry => 1.0,
+            RoadCondition::Wet => 0.96,
+            RoadCondition::Icy => 0.85,
+            RoadCondition::Snowy => 0.90,
+        }
+    }
+}
+
+/// Weather for one calendar day.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeatherDay {
+    pub date: CivilDate,
+    /// Daily mean air temperature, °C.
+    pub temperature_c: f64,
+    /// Whether precipitation occurred.
+    pub precipitation: bool,
+    pub condition: RoadCondition,
+}
+
+impl WeatherDay {
+    /// Temperature class of the day.
+    #[inline]
+    pub fn class(&self) -> TemperatureClass {
+        TemperatureClass::of_celsius(self.temperature_c)
+    }
+}
+
+/// Deterministic daily weather generator for the study latitude.
+///
+/// Temperature follows a sinusoidal annual cycle (Oulu climatology: July
+/// mean ≈ +16 °C, January/February mean ≈ −10 °C) plus bounded day-scale
+/// noise derived from a hash of the date, so every day is reproducible
+/// without storing a series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeatherModel {
+    seed: u64,
+    mean_c: f64,
+    amplitude_c: f64,
+    noise_c: f64,
+}
+
+impl WeatherModel {
+    /// Oulu-like defaults.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, mean_c: 3.0, amplitude_c: 13.0, noise_c: 6.0 }
+    }
+
+    /// Weather of a calendar day.
+    pub fn day(&self, date: CivilDate) -> WeatherDay {
+        let z = date.days_from_epoch();
+        // Day-of-year phase: coldest near 1 Feb (z offset tuned so the
+        // minimum falls in late January), warmest in late July.
+        let phase = 2.0 * std::f64::consts::PI * ((z as f64 - 28.0) / 365.25);
+        let seasonal = self.mean_c - self.amplitude_c * phase.cos();
+        let n1 = self.hash_unit(z, 1); // temperature noise
+        let n2 = self.hash_unit(z, 2); // precipitation draw
+        let temperature_c = seasonal + (n1 * 2.0 - 1.0) * self.noise_c;
+        let precipitation = n2 < 0.35;
+        let condition = match (temperature_c, precipitation) {
+            (t, true) if t < -1.0 => RoadCondition::Snowy,
+            (t, false) if t < -1.0 => RoadCondition::Icy,
+            (_, true) => RoadCondition::Wet,
+            (_, false) => RoadCondition::Dry,
+        };
+        WeatherDay { date, temperature_c, precipitation, condition }
+    }
+
+    /// Weather of the day containing a timestamp.
+    pub fn at(&self, ts: Timestamp) -> WeatherDay {
+        self.day(ts.civil().date)
+    }
+
+    /// Instantaneous air temperature with the diurnal cycle superimposed on
+    /// the daily mean: coldest around 05:00, warmest around 15:00, with a
+    /// ±`~3.5` °C swing (a Nordic summer day swings more than a polar-night
+    /// winter day, so the amplitude follows the seasonal temperature).
+    pub fn temperature_at(&self, ts: Timestamp) -> f64 {
+        let day = self.at(ts);
+        let civil = ts.civil();
+        let hour = civil.hour as f64 + civil.minute as f64 / 60.0;
+        // Peak at 15:00.
+        let phase = (hour - 15.0) / 24.0 * 2.0 * std::f64::consts::PI;
+        let amplitude = 2.0 + 0.1 * (day.temperature_c + 10.0).clamp(0.0, 30.0);
+        day.temperature_c + amplitude * phase.cos()
+    }
+
+    /// SplitMix64-style hash of `(seed, day, stream)` mapped to `[0, 1)`.
+    fn hash_unit(&self, day: i64, stream: u64) -> f64 {
+        let mut z = self
+            .seed
+            .wrapping_add((day as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(stream.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_timebase::{study_period_end, study_period_start, Duration, Season};
+
+    fn model() -> WeatherModel {
+        WeatherModel::new(42)
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = CivilDate::new(2013, 1, 15).unwrap();
+        assert_eq!(model().day(d), model().day(d));
+    }
+
+    #[test]
+    fn winter_colder_than_summer() {
+        let m = model();
+        let jan: f64 = (1..=28)
+            .map(|d| m.day(CivilDate::new(2013, 1, d).unwrap()).temperature_c)
+            .sum::<f64>()
+            / 28.0;
+        let jul: f64 = (1..=28)
+            .map(|d| m.day(CivilDate::new(2013, 7, d).unwrap()).temperature_c)
+            .sum::<f64>()
+            / 28.0;
+        assert!(jan < -4.0, "January mean {jan}");
+        assert!(jul > 12.0, "July mean {jul}");
+    }
+
+    #[test]
+    fn classes_cover_all_in_study_period() {
+        use std::collections::BTreeSet;
+        let m = model();
+        let mut seen = BTreeSet::new();
+        let mut t = study_period_start();
+        while t < study_period_end() {
+            seen.insert(m.at(t).class());
+            t += Duration::from_days(1);
+        }
+        assert_eq!(seen.len(), 4, "all four temperature classes appear");
+    }
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(TemperatureClass::of_celsius(-15.0), TemperatureClass::SevereCold);
+        assert_eq!(TemperatureClass::of_celsius(-10.0), TemperatureClass::Cold);
+        assert_eq!(TemperatureClass::of_celsius(-0.1), TemperatureClass::Cold);
+        assert_eq!(TemperatureClass::of_celsius(0.0), TemperatureClass::Cool);
+        assert_eq!(TemperatureClass::of_celsius(10.0), TemperatureClass::Warm);
+    }
+
+    #[test]
+    fn winter_days_have_winter_conditions() {
+        let m = model();
+        let mut icy_or_snowy = 0;
+        let mut total = 0;
+        for d in 1..=28 {
+            let day = m.day(CivilDate::new(2013, 1, d).unwrap());
+            if Season::of_date(day.date) == Season::Winter {
+                total += 1;
+                if matches!(day.condition, RoadCondition::Icy | RoadCondition::Snowy) {
+                    icy_or_snowy += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(icy_or_snowy * 2 > total, "{icy_or_snowy}/{total}");
+    }
+
+    #[test]
+    fn speed_factors_ordered() {
+        assert!(RoadCondition::Icy.speed_factor() < RoadCondition::Snowy.speed_factor());
+        assert!(RoadCondition::Snowy.speed_factor() < RoadCondition::Wet.speed_factor());
+        assert!(RoadCondition::Wet.speed_factor() < RoadCondition::Dry.speed_factor());
+        assert_eq!(RoadCondition::Dry.speed_factor(), 1.0);
+    }
+
+    #[test]
+    fn diurnal_cycle_peaks_in_afternoon() {
+        use taxitrace_timebase::{CivilDate, CivilDateTime};
+        let m = model();
+        let date = CivilDate::new(2013, 7, 10).unwrap();
+        let at = |h: u8| {
+            m.temperature_at(CivilDateTime::new(date, h, 0, 0).unwrap().to_timestamp())
+        };
+        assert!(at(15) > at(5), "afternoon {} vs early morning {}", at(15), at(5));
+        // The swing is bounded and centred on the daily mean.
+        let mean = m.day(date).temperature_c;
+        for h in 0..24 {
+            assert!((at(h) - mean).abs() < 6.0, "hour {h}: {}", at(h));
+        }
+    }
+
+    #[test]
+    fn noise_is_bounded() {
+        let m = model();
+        for d in 0..365 {
+            let date = CivilDate::from_days_from_epoch(15_614 + d);
+            let t = m.day(date).temperature_c;
+            assert!((-32.0..=28.0).contains(&t), "{date}: {t}");
+        }
+    }
+}

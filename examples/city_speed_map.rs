@@ -1,0 +1,62 @@
+//! City speed map: run the mixed-model analysis (Eq. 3) and render the cell
+//! random-intercept predictions as an ASCII map of downtown — the textual
+//! analogue of the paper's Fig. 9, with the QQ check of Fig. 7.
+//!
+//! ```sh
+//! cargo run --release --example city_speed_map
+//! ```
+
+use std::collections::HashMap;
+
+use taxi_traces::core::{mixed_model, mixed_model_with_features, Study, StudyConfig};
+use taxi_traces::geo::CellId;
+
+fn main() {
+    let output = Study::new(StudyConfig::scaled(2012, 0.2)).run();
+    let m = mixed_model(&output).expect("mixed model fits");
+
+    println!(
+        "Eq. 3 fit: grand mean {:.2} km/h, sigma2_e {:.2}, sigma2_u {:.2} (lambda {:.3})",
+        m.grand_mean, m.sigma2_e, m.sigma2_u, m.lambda
+    );
+    println!(
+        "{} cells with data; intercepts {:+.1} .. {:+.1} km/h",
+        m.cells.len(),
+        m.cells.first().expect("cells").blup,
+        m.cells.last().expect("cells").blup
+    );
+
+    // Fig. 7: QQ straightness in the bulk.
+    let q25 = &m.qq[m.qq.len() / 4];
+    let q75 = &m.qq[3 * m.qq.len() / 4];
+    let slope = (q75.sample - q25.sample) / (q75.theoretical - q25.theoretical);
+    println!("QQ quartile slope {slope:.2} (straight line ⇒ Gaussian regularisation justified)");
+
+    // Fig. 9: the intercepts on the map.
+    let by_cell: HashMap<CellId, f64> = m.cells.iter().map(|c| (c.cell, c.blup)).collect();
+    println!("\nCell intercepts over downtown (200 m cells; west→east, north→south):");
+    println!("  ██ ≤ -6   ▓▓ -6..-2   ░░ -2..+2   ·· +2..+6   \"  \" > +6   (km/h vs grand mean)");
+    for iy in (-7..=7).rev() {
+        let mut line = String::new();
+        for ix in -7..=7 {
+            let cell = CellId { ix, iy };
+            let glyph = match by_cell.get(&cell) {
+                None => "  ",
+                Some(b) if *b <= -6.0 => "██",
+                Some(b) if *b <= -2.0 => "▓▓",
+                Some(b) if *b < 2.0 => "░░",
+                Some(b) if *b < 6.0 => "··",
+                Some(_) => "  ",
+            };
+            line.push_str(glyph);
+        }
+        println!("  |{line}|");
+    }
+
+    // Eq. 2 with map features as fixed effects.
+    let f = mixed_model_with_features(&output).expect("feature model fits");
+    println!("\nFixed map-feature effects on point speed (km/h per feature in cell):");
+    for (name, coef, se) in &f.fixed_features {
+        println!("  {name:<22} {coef:+.3}  (se {se:.3})");
+    }
+}

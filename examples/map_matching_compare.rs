@@ -1,0 +1,67 @@
+//! Map-matcher comparison on simulated sessions with known ground truth:
+//! the paper's incremental matcher (with road directions and Dijkstra gap
+//! filling) versus a point-wise nearest-element baseline and an HMM/Viterbi
+//! matcher.
+//!
+//! ```sh
+//! cargo run --release --example map_matching_compare
+//! ```
+
+use std::time::Instant;
+
+use taxi_traces::matching::{evaluate, CandidateIndex, MatchAccuracy, MatchConfig};
+use taxi_traces::roadnet::synth::{generate, OuluConfig};
+use taxi_traces::traces::{simulate_fleet, FleetConfig};
+use taxi_traces::weather::WeatherModel;
+
+fn main() {
+    let city = generate(&OuluConfig::default());
+    let weather = WeatherModel::new(42);
+    let mut fleet_cfg = FleetConfig::tiny(99);
+    fleet_cfg.scale = 0.03;
+    let data = simulate_fleet(&city, &weather, &fleet_cfg);
+    let index = CandidateIndex::new(&city.graph, &city.elements);
+    let config = MatchConfig::default();
+
+    println!(
+        "{} sessions, {} route points, candidate index over {} elements\n",
+        data.sessions.len(),
+        data.total_points(),
+        index.len()
+    );
+
+    let report = |name: &str, f: &dyn Fn(&[taxi_traces::traces::RoutePoint]) -> taxi_traces::matching::MatchedTrace| {
+        let mut acc = MatchAccuracy::default();
+        let start = Instant::now();
+        for session in &data.sessions {
+            let pts = session.points_in_true_order();
+            let matched = f(&pts);
+            acc.merge(&evaluate(&city.graph, &matched, &pts));
+        }
+        let elapsed = start.elapsed();
+        println!(
+            "{name:<12} element acc {:.1}%  edge acc {:.1}%  mean dist {:.2} m  ({} pts evaluated, {:.0} ms)",
+            100.0 * acc.element_accuracy(),
+            100.0 * acc.edge_accuracy(),
+            acc.mean_distance_m,
+            acc.evaluated,
+            elapsed.as_secs_f64() * 1000.0
+        );
+    };
+
+    report("incremental", &|pts| {
+        taxi_traces::matching::incremental::match_trace(&city.graph, &index, pts, &config)
+    });
+    report("hmm", &|pts| {
+        taxi_traces::matching::hmm::match_trace(&city.graph, &index, pts, &config)
+    });
+    report("nearest", &|pts| {
+        taxi_traces::matching::nearest::match_trace(&city.graph, &index, pts, &config)
+    });
+
+    // Ablation: the incremental matcher without look-ahead.
+    let greedy = MatchConfig { lookahead: 0, ..config };
+    report("greedy (L=0)", &|pts| {
+        taxi_traces::matching::incremental::match_trace(&city.graph, &index, pts, &greedy)
+    });
+}

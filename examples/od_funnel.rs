@@ -1,0 +1,75 @@
+//! O-D funnel walkthrough: reproduce the Table 3 narrowing stage by stage
+//! and compare the stage ratios with the paper's seven real taxis.
+//!
+//! ```sh
+//! cargo run --release --example od_funnel
+//! ```
+
+use taxi_traces::core::{render_table3, Study, StudyConfig};
+
+/// Paper Table 3 (Keskinarkaus et al., ICDE-W 2022).
+const PAPER: [[usize; 5]; 7] = [
+    [2409, 636, 89, 79, 65],
+    [3068, 1282, 172, 156, 128],
+    [1790, 447, 44, 32, 19],
+    [2486, 622, 102, 93, 73],
+    [2429, 616, 88, 75, 65],
+    [1815, 625, 113, 108, 96],
+    [4080, 1109, 162, 131, 98],
+];
+
+fn main() {
+    let output = Study::new(StudyConfig::scaled(2012, 0.2)).run();
+
+    println!("=== Reproduced Table 3 (scale 0.2 of the study year) ===");
+    print!("{}", render_table3(&output));
+
+    println!("\n=== Paper Table 3 (for ratio comparison) ===");
+    println!(
+        "{:<5} {:>10} {:>10} {:>12} {:>12} {:>13}",
+        "Car", "Segments", "Filtered", "Transitions", "WithinCentre", "PostFiltered"
+    );
+    for (i, row) in PAPER.iter().enumerate() {
+        println!(
+            "{:<5} {:>10} {:>10} {:>12} {:>12} {:>13}",
+            i + 1,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[4]
+        );
+    }
+
+    // Stage ratios — the shape claim: every stage narrows, transitions are
+    // a few percent of segments, and most centre transitions survive the
+    // post filter.
+    let (mut segs, mut trans, mut within, mut post) = (0, 0, 0, 0);
+    for r in output.funnel() {
+        segs += r.segments_total;
+        trans += r.transitions_total;
+        within += r.within_center;
+        post += r.post_filtered;
+    }
+    let paper_segs: usize = PAPER.iter().map(|r| r[0]).sum();
+    let paper_trans: usize = PAPER.iter().map(|r| r[2]).sum();
+    let paper_within: usize = PAPER.iter().map(|r| r[3]).sum();
+    let paper_post: usize = PAPER.iter().map(|r| r[4]).sum();
+
+    println!("\n=== Funnel stage ratios (ours vs paper) ===");
+    println!(
+        "transitions / segments : {:.3} vs {:.3}",
+        trans as f64 / segs as f64,
+        paper_trans as f64 / paper_segs as f64
+    );
+    println!(
+        "within centre / trans  : {:.3} vs {:.3}",
+        within as f64 / trans.max(1) as f64,
+        paper_within as f64 / paper_trans as f64
+    );
+    println!(
+        "post-filter / within   : {:.3} vs {:.3}",
+        post as f64 / within.max(1) as f64,
+        paper_post as f64 / paper_within as f64
+    );
+}

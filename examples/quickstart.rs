@@ -1,0 +1,59 @@
+//! Quickstart: run a reduced-volume study end to end and print the headline
+//! results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use taxi_traces::core::{
+    grid_analysis, mixed_model, render_table3, render_table4, render_table5, Study,
+    StudyConfig, Table4,
+};
+
+fn main() {
+    // The whole study is a pure function of the seed.
+    let config = StudyConfig::scaled(2012, 0.15);
+    println!("Running study (seed {}, scale {}) ...", config.seed, config.fleet.scale);
+    let output = Study::new(config).run();
+
+    println!(
+        "\nSimulated {} sessions / {} route points; {} cleaned trip segments.",
+        output.cleaning.sessions,
+        output.cleaning.raw_points,
+        output.segments.len()
+    );
+    println!(
+        "Order repair fixed {} sessions; Table 2 rule fires: {:?}.",
+        output.cleaning.sessions_order_repaired, output.cleaning.rule_fires
+    );
+
+    println!("\n=== Table 3: the O-D funnel ===");
+    print!("{}", render_table3(&output));
+
+    println!("\n=== Table 4: per-direction summaries ===");
+    print!("{}", render_table4(&Table4::compute(&output)));
+
+    println!("\n=== Table 5: traffic lights / bus stops vs cell speed ===");
+    let grid = grid_analysis(&output, None);
+    print!("{}", render_table5(&grid.table5()));
+
+    println!("\n=== Eq. 3 mixed model (cell random intercepts) ===");
+    match mixed_model(&output) {
+        Ok(m) => {
+            println!(
+                "grand mean {:.2} km/h, sigma2_e {:.2}, sigma2_u {:.2}, {} cells",
+                m.grand_mean,
+                m.sigma2_e,
+                m.sigma2_u,
+                m.cells.len()
+            );
+            let lo = m.cells.first().expect("cells");
+            let hi = m.cells.last().expect("cells");
+            println!(
+                "cell intercepts from {:+.2} km/h ({}) to {:+.2} km/h ({})",
+                lo.blup, lo.cell, hi.blup, hi.cell
+            );
+        }
+        Err(e) => println!("mixed model failed: {e}"),
+    }
+}

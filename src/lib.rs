@@ -1,0 +1,42 @@
+//! `taxi-traces` — a full Rust reproduction of *"Revealing reliable
+//! information from taxi traces: from raw data to information discovery"*
+//! (ICDE Workshops 2022).
+//!
+//! This facade crate re-exports the workspace so downstream users depend on
+//! one crate:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`geo`] | planar geometry, grids, R-tree, thick-geometry corridors |
+//! | [`timebase`] | timestamps, civil dates, Finnish seasons |
+//! | [`roadnet`] | Digiroad-like road network, Dijkstra, synthetic Oulu |
+//! | [`weather`] | FMI-style road weather substitute |
+//! | [`traces`] | taxi fleet simulator, device sampler, error injection |
+//! | [`store`] | embedded trip store (PostGIS stand-in) |
+//! | [`cleaning`] | §IV-B order repair + Table 2 segmentation |
+//! | [`matching`] | §IV-E incremental / HMM / nearest map-matching |
+//! | [`od`] | §IV-D O-D transition funnel (Table 3) |
+//! | [`stats`] | summaries, OLS, REML mixed models, QQ |
+//! | [`core`] | the end-to-end [`core::Study`] pipeline and analyses |
+//!
+//! See the repository's `README.md` for a tour and `EXPERIMENTS.md` for the
+//! paper-versus-measured record.
+//!
+//! ```
+//! use taxi_traces::core::{Study, StudyConfig};
+//!
+//! let out = Study::new(StudyConfig::quick(1)).run();
+//! assert!(!out.segments.is_empty());
+//! ```
+
+pub use taxitrace_cleaning as cleaning;
+pub use taxitrace_core as core;
+pub use taxitrace_geo as geo;
+pub use taxitrace_matching as matching;
+pub use taxitrace_od as od;
+pub use taxitrace_roadnet as roadnet;
+pub use taxitrace_stats as stats;
+pub use taxitrace_store as store;
+pub use taxitrace_timebase as timebase;
+pub use taxitrace_traces as traces;
+pub use taxitrace_weather as weather;

@@ -1,0 +1,70 @@
+//! Map interchange integration: a city exported to the Digiroad-style text
+//! format and re-imported must drive the pipeline to identical results.
+
+use taxi_traces::matching::{CandidateIndex, MatchConfig};
+use taxi_traces::od::OdAnalyzer;
+use taxi_traces::roadnet::digiroad::{export_city, import_city};
+use taxi_traces::roadnet::synth::{generate, OuluConfig};
+use taxi_traces::traces::{simulate_fleet, FleetConfig};
+use taxi_traces::weather::WeatherModel;
+
+#[test]
+fn imported_map_reproduces_pipeline_results() {
+    let city = generate(&OuluConfig::default());
+    let text = export_city(&city);
+    let imported = import_city(&text).expect("import");
+
+    // Same candidate index size and same matching output on a real trace.
+    let idx_a = CandidateIndex::new(&city.graph, &city.elements);
+    let idx_b = CandidateIndex::new(&imported.graph, &imported.elements);
+    assert_eq!(idx_a.len(), idx_b.len());
+
+    let weather = WeatherModel::new(42);
+    let data = simulate_fleet(&city, &weather, &FleetConfig::tiny(3));
+    let config = MatchConfig::default();
+    let session = &data.sessions[0];
+    let pts = session.points_in_true_order();
+    let ma = taxi_traces::matching::incremental::match_trace(&city.graph, &idx_a, &pts, &config);
+    let mb =
+        taxi_traces::matching::incremental::match_trace(&imported.graph, &idx_b, &pts, &config);
+    assert_eq!(ma.points.len(), mb.points.len());
+    let same = ma
+        .points
+        .iter()
+        .zip(&mb.points)
+        .filter(|(a, b)| a.element == b.element)
+        .count();
+    // WKT rounds coordinates to ~1 cm; matches should be almost all equal.
+    assert!(
+        same * 100 >= ma.points.len() * 99,
+        "{same}/{} matches agree across export/import",
+        ma.points.len()
+    );
+
+    // O-D analysis sees the same named roads.
+    let an_a = OdAnalyzer::from_city(&city);
+    let an_b = OdAnalyzer::from_city(&imported);
+    assert_eq!(an_a.endpoints().len(), an_b.endpoints().len());
+    for (a, b) in an_a.endpoints().iter().zip(an_b.endpoints()) {
+        assert_eq!(a.name, b.name);
+        assert!((a.corridor.axis().length() - b.corridor.axis().length()).abs() < 0.5);
+    }
+}
+
+#[test]
+fn export_is_stable() {
+    let city = generate(&OuluConfig::default());
+    let a = export_city(&city);
+    let b = export_city(&city);
+    assert_eq!(a, b, "export is deterministic");
+    // Export → import → export is a fixed point (within one round of
+    // coordinate quantisation).
+    let reimported = import_city(&a).expect("import");
+    let c = export_city(&reimported);
+    let diff = a.lines().zip(c.lines()).filter(|(x, y)| x != y).count();
+    assert!(
+        diff * 100 <= a.lines().count(),
+        "{diff} of {} lines changed after round trip",
+        a.lines().count()
+    );
+}

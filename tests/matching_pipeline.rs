@@ -1,0 +1,95 @@
+//! Matching integration across crates: clean real simulated sessions, run
+//! all three matchers on the cleaned segments, and score them against the
+//! simulator's ground truth.
+
+use taxi_traces::cleaning::{clean_session, CleaningConfig};
+use taxi_traces::matching::{evaluate, CandidateIndex, MatchAccuracy, MatchConfig};
+use taxi_traces::roadnet::synth::{generate, OuluConfig};
+use taxi_traces::traces::{simulate_fleet, FleetConfig};
+use taxi_traces::weather::WeatherModel;
+
+#[test]
+fn matchers_on_cleaned_segments() {
+    let city = generate(&OuluConfig::default());
+    let weather = WeatherModel::new(42);
+    let mut fleet_cfg = FleetConfig::tiny(55);
+    fleet_cfg.scale = 0.03;
+    let data = simulate_fleet(&city, &weather, &fleet_cfg);
+    let index = CandidateIndex::new(&city.graph, &city.elements);
+    let config = MatchConfig::default();
+    let cleaning = CleaningConfig::default();
+
+    let mut inc = MatchAccuracy::default();
+    let mut nea = MatchAccuracy::default();
+    let mut segments = 0;
+    for session in data.sessions.iter().take(40) {
+        let cleaned = clean_session(session, &cleaning);
+        for seg in &cleaned.segments {
+            segments += 1;
+            let m = taxi_traces::matching::incremental::match_trace(
+                &city.graph,
+                &index,
+                &seg.points,
+                &config,
+            );
+            inc.merge(&evaluate(&city.graph, &m, &seg.points));
+            let n = taxi_traces::matching::nearest::match_trace(
+                &city.graph,
+                &index,
+                &seg.points,
+                &config,
+            );
+            nea.merge(&evaluate(&city.graph, &n, &seg.points));
+            // The matched element path is contiguous enough to be fused:
+            // non-empty whenever the segment was matched at all.
+            if !m.points.is_empty() {
+                assert!(!m.elements.is_empty());
+            }
+        }
+    }
+    assert!(segments > 35, "cleaned segments: {segments}");
+    assert!(inc.evaluated > 500, "evaluated points: {}", inc.evaluated);
+    assert!(
+        inc.edge_accuracy() > 0.85,
+        "incremental edge accuracy {:.3}",
+        inc.edge_accuracy()
+    );
+    assert!(
+        inc.edge_accuracy() >= nea.edge_accuracy() - 0.02,
+        "incremental {:.3} vs nearest {:.3}",
+        inc.edge_accuracy(),
+        nea.edge_accuracy()
+    );
+    // GPS noise is ~4 m; the matcher should sit close to it.
+    assert!(inc.mean_distance_m < 12.0, "mean distance {}", inc.mean_distance_m);
+}
+
+#[test]
+fn gap_fill_ablation_covers_more_route() {
+    let city = generate(&OuluConfig::default());
+    let weather = WeatherModel::new(42);
+    let data = simulate_fleet(&city, &weather, &FleetConfig::tiny(56));
+    let index = CandidateIndex::new(&city.graph, &city.elements);
+    let with_fill = MatchConfig::default();
+    let without_fill = MatchConfig { gap_fill: false, ..with_fill };
+
+    let mut len_with = 0usize;
+    let mut len_without = 0usize;
+    for session in data.sessions.iter().take(10) {
+        let pts = session.points_in_true_order();
+        len_with += taxi_traces::matching::incremental::match_trace(
+            &city.graph, &index, &pts, &with_fill,
+        )
+        .elements
+        .len();
+        len_without += taxi_traces::matching::incremental::match_trace(
+            &city.graph, &index, &pts, &without_fill,
+        )
+        .elements
+        .len();
+    }
+    assert!(
+        len_with >= len_without,
+        "gap filling only adds elements: {len_with} vs {len_without}"
+    );
+}

@@ -1,0 +1,157 @@
+//! The paper's headline shape claims, asserted end-to-end through the
+//! public API at a moderate scale. These are the claims `EXPERIMENTS.md`
+//! reports; this test keeps them true as the code evolves.
+
+use std::sync::OnceLock;
+
+use taxi_traces::core::{
+    grid_analysis, mixed_model, seasonal_deltas, temperature_analysis, Study, StudyConfig,
+    StudyOutput,
+};
+use taxi_traces::geo::{Grid, Point};
+use taxi_traces::timebase::Season;
+
+fn output() -> &'static StudyOutput {
+    static OUT: OnceLock<StudyOutput> = OnceLock::new();
+    OUT.get_or_init(|| Study::new(StudyConfig::scaled(2012, 0.3)).run())
+}
+
+#[test]
+fn funnel_shape_table3() {
+    let out = output();
+    let mut segs = 0;
+    let mut trans = 0;
+    for r in out.funnel() {
+        assert!(r.any_crossing <= r.segments_total);
+        assert!(r.filtered_cleaned <= r.any_crossing);
+        assert!(r.transitions_total <= r.filtered_cleaned);
+        assert!(r.within_center <= r.transitions_total);
+        assert!(r.post_filtered <= r.within_center);
+        segs += r.segments_total;
+        trans += r.transitions_total;
+    }
+    let ratio = trans as f64 / segs as f64;
+    // Paper: 770/20077 = 0.038.
+    assert!((0.015..0.12).contains(&ratio), "transitions/segments {ratio}");
+}
+
+#[test]
+fn corridor_contrast_table4() {
+    let out = output();
+    let pooled = |pairs: [&str; 2]| {
+        let v: Vec<f64> = out
+            .transitions
+            .iter()
+            .filter(|t| pairs.contains(&t.pair.as_str()))
+            .map(|t| t.low_speed_pct)
+            .collect();
+        (v.iter().sum::<f64>() / v.len().max(1) as f64, v.len())
+    };
+    let (ts, n_ts) = pooled(["T-S", "S-T"]);
+    let (tl, n_tl) = pooled(["T-L", "L-T"]);
+    assert!(n_ts > 20 && n_tl > 20, "enough transitions: {n_ts}/{n_tl}");
+    assert!(
+        ts > tl - 3.0,
+        "T-S corridor low-speed {ts:.1} vs T-L corridor {tl:.1} (crowd-zone claim)"
+    );
+    // Light counts are similar across corridors (within a factor of 1.6) —
+    // the paper's point that counts alone do not explain the gap.
+    let lights = |pairs: [&str; 2]| {
+        let v: Vec<f64> = out
+            .transitions
+            .iter()
+            .filter(|t| pairs.contains(&t.pair.as_str()))
+            .map(|t| t.traffic_lights as f64)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let lts = lights(["T-S", "S-T"]);
+    let ltl = lights(["T-L", "L-T"]);
+    let ratio = lts.max(ltl) / lts.min(ltl).max(0.1);
+    assert!(ratio < 1.8, "light counts similar: {lts:.1} vs {ltl:.1}");
+}
+
+#[test]
+fn lights_collapse_variance_table5() {
+    let out = output();
+    let t5 = grid_analysis(out, None).table5();
+    let no_lights = &t5.classes[0];
+    let with_lights = &t5.classes[3];
+    assert!(with_lights.mean < no_lights.mean);
+    assert!(with_lights.var < no_lights.var / 1.5, "variance collapse");
+}
+
+#[test]
+fn seasons_order_fig5() {
+    let out = output();
+    let d = seasonal_deltas(out);
+    let get = |s: Season| d.iter().find(|x| x.season == s).expect("season present");
+    assert!(get(Season::Winter).delta_kmh < get(Season::Autumn).delta_kmh);
+    assert!(get(Season::Winter).delta_kmh < get(Season::Summer).delta_kmh);
+}
+
+#[test]
+fn geography_effect_fig8_fig9() {
+    let out = output();
+    let m = mixed_model(out).expect("fits");
+    assert!(m.sigma2_u.sqrt() > 3.0, "sigma_u {}", m.sigma2_u.sqrt());
+    let spread = m.cells.last().expect("cells").blup - m.cells.first().expect("cells").blup;
+    // Paper: coefficients span ca. -15 … +20 km/h.
+    assert!(spread > 15.0, "intercept spread {spread:.1}");
+    // Centre slower than outskirts.
+    let grid = Grid::new(Point::new(0.0, 0.0), out.config.grid_size_m);
+    let mean_of = |pred: &dyn Fn(f64) -> bool| {
+        let v: Vec<f64> = m
+            .cells
+            .iter()
+            .filter(|c| pred(grid.cell_center(c.cell).distance(Point::new(0.0, 0.0))))
+            .map(|c| c.blup)
+            .collect();
+        v.iter().sum::<f64>() / v.len().max(1) as f64
+    };
+    let centre = mean_of(&|d| d < 500.0);
+    let outskirts = mean_of(&|d| d > 1200.0);
+    assert!(centre < outskirts, "centre {centre:.1} vs outskirts {outskirts:.1}");
+}
+
+#[test]
+fn light_effect_independent_of_weather_fig10() {
+    let out = output();
+    let cells = temperature_analysis(out);
+    // Pool the two groups: the >= group must sit clearly above.
+    let mean_of = |many: bool| {
+        let v: Vec<(usize, f64)> = cells
+            .iter()
+            .filter(|c| c.many_lights == many && c.n > 0)
+            .map(|c| (c.n, c.mean_low_speed_pct))
+            .collect();
+        let n: usize = v.iter().map(|x| x.0).sum();
+        let s: f64 = v.iter().map(|x| x.0 as f64 * x.1).sum();
+        s / n.max(1) as f64
+    };
+    let few = mean_of(false);
+    let many = mean_of(true);
+    assert!(many > few + 3.0, "many-lights {many:.1}% vs few {few:.1}%");
+    // Per populated class, the claim holds with slack for small samples.
+    for pair in cells.chunks(2) {
+        if pair[0].n >= 15 && pair[1].n >= 15 {
+            assert!(
+                pair[1].mean_low_speed_pct > pair[0].mean_low_speed_pct - 2.0,
+                "{}: {:.1} vs {:.1}",
+                pair[0].class,
+                pair[0].mean_low_speed_pct,
+                pair[1].mean_low_speed_pct
+            );
+        }
+    }
+}
+
+#[test]
+fn fuel_correlates_with_low_speed() {
+    let out = output();
+    let low: Vec<f64> = out.transitions.iter().map(|t| t.low_speed_pct).collect();
+    let fuel_km: Vec<f64> =
+        out.transitions.iter().map(|t| t.fuel_ml / t.dist_km.max(0.1)).collect();
+    let r = taxi_traces::stats::pearson(&low, &fuel_km).expect("correlation defined");
+    assert!(r > 0.3, "corr(low-speed, fuel/km) = {r:.2}");
+}

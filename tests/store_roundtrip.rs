@@ -1,0 +1,87 @@
+//! Persistence integration: a simulated year survives a save/load cycle
+//! bit-for-bit, and the cleaning pipeline produces identical results on the
+//! reloaded store.
+
+use taxi_traces::cleaning::{clean_session, CleaningConfig};
+use taxi_traces::roadnet::synth::{generate, OuluConfig};
+use taxi_traces::store::{Query, TripStore};
+use taxi_traces::timebase::Timestamp;
+use taxi_traces::traces::{simulate_fleet, FleetConfig, TaxiId};
+use taxi_traces::weather::WeatherModel;
+
+fn tmp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("taxitrace_integration");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn save_load_preserves_everything() {
+    let city = generate(&OuluConfig::default());
+    let weather = WeatherModel::new(42);
+    let data = simulate_fleet(&city, &weather, &FleetConfig::tiny(77));
+    let mut store = TripStore::new();
+    store.insert_all(data.sessions.clone()).expect("insert");
+
+    let path = tmp_path("roundtrip_full.tts");
+    store.save(&path).expect("save");
+    let loaded = TripStore::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.stats(), store.stats());
+    // Sessions compare equal including ground truth.
+    for s in store.sessions() {
+        let l = loaded.get(s.id).expect("session survives");
+        assert_eq!(l, s);
+    }
+
+    // Cleaning on original == cleaning on reloaded.
+    let config = CleaningConfig::default();
+    for (a, b) in store.sessions().iter().zip(loaded.sessions()) {
+        let ca = clean_session(a, &config);
+        let cb = clean_session(b, &config);
+        assert_eq!(ca.segments.len(), cb.segments.len());
+        assert_eq!(ca.stats.rule_fires_total(), cb.stats.rule_fires_total());
+    }
+}
+
+trait RuleFires {
+    fn rule_fires_total(&self) -> usize;
+}
+
+impl RuleFires for taxi_traces::cleaning::CleaningStats {
+    fn rule_fires_total(&self) -> usize {
+        self.segmentation.rule_fires.iter().sum()
+    }
+}
+
+#[test]
+fn queries_work_after_reload() {
+    let city = generate(&OuluConfig::default());
+    let weather = WeatherModel::new(42);
+    let data = simulate_fleet(&city, &weather, &FleetConfig::tiny(78));
+    let mut store = TripStore::new();
+    store.insert_all(data.sessions).expect("insert");
+
+    let path = tmp_path("roundtrip_query.tts");
+    store.save(&path).expect("save");
+    let loaded = TripStore::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    let q = Query::new().taxi(TaxiId(1)).min_points(10);
+    assert_eq!(loaded.query(&q).len(), store.query(&q).len());
+
+    let t0 = Timestamp::from_secs(0);
+    let t1 = Timestamp::from_secs(i64::MAX / 2);
+    assert_eq!(
+        loaded.in_time_range(t0, t1).count(),
+        store.in_time_range(t0, t1).count()
+    );
+
+    // Spatial queries over the downtown area.
+    let bbox = city.center_area;
+    assert_eq!(
+        loaded.points_in_bbox(&bbox).len(),
+        store.points_in_bbox(&bbox).len()
+    );
+}
