@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use taxitrace_bench::{bench_city, bench_fleet};
-use taxitrace_matching::{CandidateIndex, MatchConfig};
+use taxitrace_matching::{CandidateIndex, MatchConfig, MatchScratch};
 
 fn matching_benches(c: &mut Criterion) {
     let city = bench_city();
@@ -39,6 +39,34 @@ fn matching_benches(c: &mut Criterion) {
     });
     group.bench_function("hmm_viterbi", |b| {
         b.iter(|| taxitrace_matching::hmm::match_trace(&city.graph, &index, &points, &config))
+    });
+
+    // Gap fill is exercised by sparse traces (dense ones rarely leave
+    // adjacent edges): keep every 4th point so most transitions need a
+    // routed fill, then compare the blind uncached reference against the
+    // goal-directed search with a warm cross-trace cache.
+    let sparse: Vec<_> = points.iter().step_by(4).cloned().collect();
+    group.bench_function("sparse_gap_fill_uncached", |b| {
+        b.iter(|| {
+            taxitrace_matching::incremental::match_trace_reference(
+                &city.graph,
+                &index,
+                &sparse,
+                &config,
+            )
+        })
+    });
+    group.bench_function("sparse_gap_fill_cached", |b| {
+        let mut scratch = MatchScratch::new();
+        b.iter(|| {
+            taxitrace_matching::incremental::match_trace_with(
+                &mut scratch,
+                &city.graph,
+                &index,
+                &sparse,
+                &config,
+            )
+        })
     });
 
     group.finish();

@@ -1,9 +1,10 @@
 //! Road-network benchmarks: graph construction from traffic elements
-//! (§IV-A) and Dijkstra shortest paths (the pgRouting role).
+//! (§IV-A) and shortest paths (the pgRouting role) — the blind Dijkstra
+//! reference against the goal-directed A* used by the pipeline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use taxitrace_bench::bench_city;
-use taxitrace_roadnet::{dijkstra, CostModel, NodeId, RoadGraph};
+use taxitrace_roadnet::{dijkstra, CostModel, NodeId, RoadGraph, SearchState};
 
 fn roadnet_benches(c: &mut Criterion) {
     let city = bench_city();
@@ -21,6 +22,37 @@ fn roadnet_benches(c: &mut Criterion) {
         b.iter(|| dijkstra::shortest_path(&city.graph, from, to, CostModel::TravelTime))
     });
 
+    group.bench_function("astar_od_to_od", |b| {
+        let mut state = SearchState::new();
+        b.iter(|| dijkstra::astar_with(&mut state, &city.graph, from, to, CostModel::TravelTime))
+    });
+
+    // Not a timing: compare how much of the graph each search touches on
+    // the same query (the quantity goal-direction is supposed to shrink).
+    {
+        let mut goal_directed = SearchState::new();
+        dijkstra::astar_with(&mut goal_directed, &city.graph, from, to, CostModel::TravelTime);
+        let mut blind = SearchState::new();
+        dijkstra::astar_weighted_with(
+            &mut blind,
+            &city.graph,
+            from,
+            to,
+            |e| CostModel::TravelTime.cost(e),
+            0.0,
+        );
+        eprintln!(
+            "roadnet/expansions od_to_od: astar {} vs dijkstra-order {} ({:.0}% of blind)",
+            goal_directed.expanded(),
+            blind.expanded(),
+            100.0 * goal_directed.expanded() as f64 / blind.expanded().max(1) as f64,
+        );
+        assert!(
+            goal_directed.expanded() < blind.expanded(),
+            "A* must expand fewer nodes than the blind search"
+        );
+    }
+
     group.bench_function("dijkstra_all_pairs_sample", |b| {
         let n = city.graph.num_nodes() as u32;
         b.iter(|| {
@@ -29,6 +61,26 @@ fn roadnet_benches(c: &mut Criterion) {
                 if let Some(p) =
                     dijkstra::shortest_path(&city.graph, NodeId(k % n), to, CostModel::Distance)
                 {
+                    total += p.length_m;
+                }
+            }
+            total
+        })
+    });
+
+    group.bench_function("astar_all_pairs_sample", |b| {
+        let n = city.graph.num_nodes() as u32;
+        let mut state = SearchState::new();
+        b.iter(|| {
+            let mut total = 0.0;
+            for k in (0..n).step_by(37) {
+                if let Some(p) = dijkstra::astar_with(
+                    &mut state,
+                    &city.graph,
+                    NodeId(k % n),
+                    to,
+                    CostModel::Distance,
+                ) {
                     total += p.length_m;
                 }
             }

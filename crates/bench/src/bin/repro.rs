@@ -8,6 +8,11 @@
 //! fig6 fig7 fig8 fig9 fig10 validation ablation-thick ablation-lookahead
 //! ablation-rules ablation-grid all`.
 //!
+//! `--bench-json <path>` additionally writes per-stage wall-clock timings,
+//! the gap-fill cache hit rate and the worker-thread count as JSON (see
+//! `BENCH_pipeline.json` for a committed example). It changes nothing on
+//! stdout/stderr, so baseline comparisons stay byte-exact.
+//!
 //! Absolute values come from the calibrated simulator, not the authors'
 //! taxis; the point of each experiment is the *shape* comparison printed
 //! alongside the paper's published numbers (see `EXPERIMENTS.md`).
@@ -22,7 +27,7 @@ use taxitrace_core::{
     Study, StudyConfig, StudyOutput, Table4,
 };
 use taxitrace_geo::{CellId, Corridor, Grid, Point};
-use taxitrace_matching::{evaluate, CandidateIndex, MatchAccuracy, MatchConfig};
+use taxitrace_matching::{evaluate, CandidateIndex, MatchAccuracy, MatchConfig, MatchScratch};
 use taxitrace_od::{OdAnalyzer, OdConfig, OdEndpoint};
 use taxitrace_timebase::Season;
 use taxitrace_traces::TaxiId;
@@ -31,12 +36,14 @@ struct Args {
     seed: u64,
     scale: f64,
     experiment: String,
+    bench_json: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut seed = 2012u64;
     let mut scale = 0.3f64;
     let mut experiment = String::from("all");
+    let mut bench_json = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,11 +59,17 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--scale needs a float"));
             }
-            "--help" | "-h" => die("usage: repro [--seed N] [--scale F] <experiment>"),
+            "--bench-json" => {
+                bench_json =
+                    Some(it.next().unwrap_or_else(|| die("--bench-json needs a path")));
+            }
+            "--help" | "-h" => {
+                die("usage: repro [--seed N] [--scale F] [--bench-json PATH] <experiment>")
+            }
             other => experiment = other.to_string(),
         }
     }
-    Args { seed, scale, experiment }
+    Args { seed, scale, experiment, bench_json }
 }
 
 fn die(msg: &str) -> ! {
@@ -65,6 +78,9 @@ fn die(msg: &str) -> ! {
 }
 
 static OUTPUT: OnceLock<StudyOutput> = OnceLock::new();
+/// Wall-clock of the lazily-run study, so `--bench-json` can report the
+/// analysis time (total minus study) without reordering any output.
+static STUDY_WALL_S: OnceLock<f64> = OnceLock::new();
 
 fn output(args: &Args) -> &'static StudyOutput {
     OUTPUT.get_or_init(|| {
@@ -72,7 +88,9 @@ fn output(args: &Args) -> &'static StudyOutput {
             "[repro] running study: seed {}, scale {} (full paper year = 1.0) ...",
             args.seed, args.scale
         );
+        let start = std::time::Instant::now();
         let out = Study::new(StudyConfig::scaled(args.seed, args.scale)).run();
+        let _ = STUDY_WALL_S.set(start.elapsed().as_secs_f64());
         eprintln!(
             "[repro] {} sessions, {} segments, {} transitions, {} transition points\n",
             out.cleaning.sessions,
@@ -90,6 +108,7 @@ fn main() {
         "fig2", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6",
         "fig7", "fig8", "fig9", "fig10", "validation",
     ];
+    let start = std::time::Instant::now();
     match args.experiment.as_str() {
         "all" => {
             for e in all {
@@ -98,6 +117,115 @@ fn main() {
         }
         e => run(e, &args),
     }
+    if let Some(path) = &args.bench_json {
+        let total_s = start.elapsed().as_secs_f64();
+        let analysis_s = total_s - STUDY_WALL_S.get().copied().unwrap_or(0.0);
+        write_bench_json(path, &args, output(&args), analysis_s.max(0.0));
+    }
+}
+
+/// Hand-rolled JSON (no serializer dependency): per-stage pipeline
+/// wall-clock, gap-fill cache efficiency and parallelism of this run,
+/// plus an A/B of the matcher with fresh versus reused scratch on the
+/// exact transition slices the pipeline matched.
+fn write_bench_json(path: &str, args: &Args, out: &StudyOutput, analysis_s: f64) {
+    let t = &out.timings;
+    let (hits, misses) = out.cache_stats;
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let threads = taxitrace_exec::worker_count(out.transitions.len().max(2));
+
+    // Rebuild the post-filtered transition slices (deterministic given the
+    // segments) and time the matching step both ways.
+    let analyzer = OdAnalyzer::from_city(&out.city);
+    let raw = analyzer.transitions(&out.segments);
+    let slices: Vec<Vec<taxitrace_traces::RoutePoint>> = raw
+        .iter()
+        .filter(|t| t.post_filtered)
+        .map(|t| {
+            let seg = &out.segments[t.segment_index];
+            let dest = (t.destination_point + 1).min(seg.points.len() - 1);
+            seg.points[t.origin_point..=dest].to_vec()
+        })
+        .collect();
+    let index = CandidateIndex::new(&out.city.graph, &out.city.elements);
+    let mc = &out.config.matching;
+    // Best of several repetitions per arm, interleaved, to keep scheduler
+    // noise out of a comparison whose single-run time is tens of ms.
+    let mut match_fresh_s = f64::INFINITY;
+    let mut match_scratch_s = f64::INFINITY;
+    let mut fill_blind_s = f64::INFINITY;
+    let mut fill_cached_s = f64::INFINITY;
+    let matched: Vec<_> = slices
+        .iter()
+        .map(|pts| {
+            taxitrace_matching::incremental::match_trace(&out.city.graph, &index, pts, mc)
+        })
+        .collect();
+    for _ in 0..5 {
+        // Routing core in isolation: the gap-fill element paths of all
+        // matched transitions, blind/uncached versus goal-directed/cached.
+        let start = std::time::Instant::now();
+        for m in &matched {
+            let _ = taxitrace_matching::element_path_blind(&out.city.graph, &m.points, true);
+        }
+        fill_blind_s = fill_blind_s.min(start.elapsed().as_secs_f64());
+        let mut scratch = MatchScratch::new();
+        let start = std::time::Instant::now();
+        for m in &matched {
+            let _ = taxitrace_matching::element_path_with(
+                &mut scratch,
+                &out.city.graph,
+                &m.points,
+                true,
+            );
+        }
+        fill_cached_s = fill_cached_s.min(start.elapsed().as_secs_f64());
+        let start = std::time::Instant::now();
+        let _ = taxitrace_exec::par_map(&slices, |pts| {
+            taxitrace_matching::incremental::match_trace_reference(
+                &out.city.graph,
+                &index,
+                pts,
+                mc,
+            )
+        });
+        match_fresh_s = match_fresh_s.min(start.elapsed().as_secs_f64());
+        let start = std::time::Instant::now();
+        let _ = taxitrace_exec::par_map_init(&slices, MatchScratch::new, |scratch, pts| {
+            taxitrace_matching::incremental::match_trace_with(
+                scratch,
+                &out.city.graph,
+                &index,
+                pts,
+                mc,
+            )
+        });
+        match_scratch_s = match_scratch_s.min(start.elapsed().as_secs_f64());
+    }
+    let json = format!(
+        "{{\n  \"seed\": {},\n  \"scale\": {},\n  \"experiment\": \"{}\",\n  \"threads\": {},\n  \"stages_s\": {{\n    \"simulate\": {:.3},\n    \"clean\": {:.3},\n    \"od\": {:.3},\n    \"match_fuse\": {:.3},\n    \"analysis\": {:.3}\n  }},\n  \"gap_fill_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"match_routing_ab\": {{\n    \"traces\": {},\n    \"blind_uncached_s\": {:.4},\n    \"goal_directed_cached_s\": {:.4},\n    \"speedup\": {:.2}\n  }},\n  \"gap_fill_ab\": {{\n    \"blind_dijkstra_s\": {:.4},\n    \"goal_directed_cached_s\": {:.4},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        args.seed,
+        args.scale,
+        args.experiment,
+        threads,
+        t.simulate_s,
+        t.clean_s,
+        t.od_s,
+        t.match_fuse_s,
+        analysis_s,
+        hits,
+        misses,
+        hit_rate,
+        slices.len(),
+        match_fresh_s,
+        match_scratch_s,
+        match_fresh_s / match_scratch_s.max(1e-9),
+        fill_blind_s,
+        fill_cached_s,
+        fill_blind_s / fill_cached_s.max(1e-9),
+    );
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
 }
 
 fn run(experiment: &str, args: &Args) {

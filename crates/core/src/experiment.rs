@@ -1,6 +1,8 @@
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 use taxitrace_cleaning::{clean_session, CleaningStats, TripSegment};
-use taxitrace_matching::{incremental, CandidateIndex};
+use taxitrace_matching::{incremental, CandidateIndex, MatchScratch};
 use taxitrace_od::{FunnelRow, OdAnalyzer};
 use taxitrace_roadnet::synth::SyntheticCity;
 use taxitrace_store::TripStore;
@@ -37,6 +39,19 @@ impl CleaningTotals {
     }
 }
 
+/// Wall-clock seconds of each pipeline stage of [`Study::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Fleet simulation plus persisting sessions into the store.
+    pub simulate_s: f64,
+    /// Session cleaning (order repair, segmentation, filters).
+    pub clean_s: f64,
+    /// O-D funnel and corridor-transition extraction.
+    pub od_s: f64,
+    /// Map-matching and attribute fusion of post-filtered transitions.
+    pub match_fuse_s: f64,
+}
+
 /// A configured study, ready to run.
 #[derive(Debug, Clone)]
 pub struct Study {
@@ -56,6 +71,10 @@ pub struct StudyOutput {
     /// Post-filtered, map-matched, attribute-fused transitions.
     pub transitions: Vec<TransitionRecord>,
     pub cleaning: CleaningTotals,
+    /// Per-stage wall-clock of this run.
+    pub timings: StageTimings,
+    /// Gap-fill path-cache `(hits, misses)` summed over matcher workers.
+    pub cache_stats: (u64, u64),
 }
 
 impl Study {
@@ -70,74 +89,51 @@ impl Study {
         let config = self.config.clone();
         let city = taxitrace_roadnet::synth::generate(&config.city);
         let weather = WeatherModel::new(config.seed ^ 0x57EA_7E7A);
+        let mut timings = StageTimings::default();
 
         // Simulate and persist into the store.
+        let stage = Instant::now();
         let fleet = taxitrace_traces::simulate_fleet(&city, &weather, &config.fleet);
         let mut store = TripStore::new();
         store
             .insert_all(fleet.sessions)
             .expect("simulator produces unique trip ids");
+        timings.simulate_s = stage.elapsed().as_secs_f64();
 
-        // Clean every session (parallel across chunks; deterministic
-        // because chunk results are concatenated in order).
+        // Clean every session (parallel per session; deterministic
+        // because results are folded in input order).
+        let stage = Instant::now();
         let mut cleaning = CleaningTotals::default();
         let mut segments: Vec<TripSegment> = Vec::new();
         {
-            let sessions = store.sessions();
-            let threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(sessions.len().max(1));
-            let chunk = sessions.len().div_ceil(threads.max(1)).max(1);
             let cleaning_config = &config.cleaning;
-            let results = crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = sessions
-                    .chunks(chunk)
-                    .map(|part| {
-                        scope.spawn(move |_| {
-                            let mut totals = CleaningTotals::default();
-                            let mut segs = Vec::new();
-                            for session in part {
-                                let cleaned = clean_session(session, cleaning_config);
-                                totals.absorb(&cleaned.stats);
-                                segs.extend(cleaned.segments);
-                            }
-                            (totals, segs)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("cleaning worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("crossbeam scope");
-            for (totals, segs) in results {
-                cleaning.sessions += totals.sessions;
-                cleaning.raw_points += totals.raw_points;
-                cleaning.sessions_order_repaired += totals.sessions_order_repaired;
-                for (a, b) in cleaning.rule_fires.iter_mut().zip(totals.rule_fires) {
-                    *a += b;
-                }
-                cleaning.segments_kept += totals.segments_kept;
-                cleaning.segments_too_few_points += totals.segments_too_few_points;
-                cleaning.segments_too_long += totals.segments_too_long;
-                segments.extend(segs);
+            let cleaned_sessions = taxitrace_exec::par_map(store.sessions(), |session| {
+                clean_session(session, cleaning_config)
+            });
+            for cleaned in cleaned_sessions {
+                cleaning.absorb(&cleaned.stats);
+                segments.extend(cleaned.segments);
             }
         }
+        timings.clean_s = stage.elapsed().as_secs_f64();
 
         // O-D funnel and transitions.
+        let stage = Instant::now();
         let analyzer = OdAnalyzer::from_city(&city);
         let funnel_rows = analyzer.funnel(&segments);
         let raw_transitions = analyzer.transitions(&segments);
+        timings.od_s = stage.elapsed().as_secs_f64();
 
         // Map-match and fuse the post-filtered transitions
         // ("Only cleared and filtered transitions going through the city
         // centre are map-matched" — §IV-E).
+        let stage = Instant::now();
         let index = CandidateIndex::new(&city.graph, &city.elements);
         let post: Vec<&taxitrace_od::Transition> =
             raw_transitions.iter().filter(|t| t.post_filtered).collect();
-        let fuse_one = |t: &taxitrace_od::Transition| -> TransitionRecord {
+        let fuse_one = |scratch: &mut MatchScratch,
+                        t: &taxitrace_od::Transition|
+         -> TransitionRecord {
             let seg = &segments[t.segment_index];
             // Work on the transition slice (origin..=destination). The
             // crossing indices mark the points *before* the corridor-entry
@@ -150,8 +146,13 @@ impl Study {
                 start_time: seg.points[t.origin_point].timestamp,
                 points: seg.points[t.origin_point..=dest].to_vec(),
             };
-            let matched =
-                incremental::match_trace(&city.graph, &index, &slice.points, &config.matching);
+            let matched = incremental::match_trace_with(
+                scratch,
+                &city.graph,
+                &index,
+                &slice.points,
+                &config.matching,
+            );
             let temp_class = weather.at(slice.start_time).class();
             TransitionRecord::fuse(
                 &city,
@@ -165,23 +166,17 @@ impl Study {
                 config.normal_speed_frac,
             )
         };
-        // Match and fuse in parallel, preserving order.
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(post.len().max(1));
-        let chunk = post.len().div_ceil(threads.max(1)).max(1);
-        let transitions: Vec<TransitionRecord> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = post
-                .chunks(chunk)
-                .map(|part| scope.spawn(|_| part.iter().map(|t| fuse_one(t)).collect::<Vec<_>>()))
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("fusion worker panicked"))
-                .collect()
-        })
-        .expect("crossbeam scope");
+        // Match and fuse in parallel, preserving order; each worker keeps
+        // one scratch (search arrays + gap-fill cache) across its share.
+        let (transitions, scratches): (Vec<TransitionRecord>, Vec<MatchScratch>) =
+            taxitrace_exec::par_map_init(&post, MatchScratch::new, |scratch, t| {
+                fuse_one(scratch, t)
+            });
+        timings.match_fuse_s = stage.elapsed().as_secs_f64();
+        let cache_stats = scratches.iter().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.cache_stats();
+            (h + sh, m + sm)
+        });
 
         StudyOutput {
             config,
@@ -192,6 +187,8 @@ impl Study {
             funnel_rows,
             transitions,
             cleaning,
+            timings,
+            cache_stats,
         }
     }
 }
@@ -212,10 +209,9 @@ impl StudyOutput {
 
     /// The studied pair labels present in the output, sorted.
     pub fn pairs(&self) -> Vec<String> {
-        let mut pairs: Vec<String> = self.transitions.iter().map(|t| t.pair.clone()).collect();
-        pairs.sort();
-        pairs.dedup();
-        pairs
+        let unique: std::collections::BTreeSet<&str> =
+            self.transitions.iter().map(|t| t.pair.as_str()).collect();
+        unique.into_iter().map(str::to_owned).collect()
     }
 
     /// Total measured point speeds across all fused transitions (the

@@ -50,7 +50,7 @@ mod transitions;
 pub use coach::{coach_report, CoachConfig, CoachEvent, TripReport};
 pub use export::export_csv;
 pub use config::StudyConfig;
-pub use experiment::{Study, StudyOutput};
+pub use experiment::{StageTimings, Study, StudyOutput};
 pub use gridstats::{grid_analysis, CellStat, GridStats, Table5, Table5Class};
 pub use mixedanalysis::{mixed_model, mixed_model_with_features, CellEffect, MixedResults};
 pub use results::{

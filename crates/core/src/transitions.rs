@@ -193,7 +193,7 @@ mod tests {
     #[test]
     fn junction_count_scales_with_route_length() {
         let city = generate(&OuluConfig::default());
-        let short = dijkstra::shortest_path(
+        let short = dijkstra::astar(
             &city.graph,
             city.graph.nearest_node(taxitrace_geo::Point::new(0.0, 0.0)),
             city.graph.nearest_node(taxitrace_geo::Point::new(600.0, 0.0)),
@@ -202,7 +202,7 @@ mod tests {
         .unwrap();
         // Travel time is the drivers' cost model; it routes through the
         // core (the pure-distance optimum is the junction-sparse bypass).
-        let long = dijkstra::shortest_path(
+        let long = dijkstra::astar(
             &city.graph,
             city.od_roads[0].outer_node,
             city.od_roads[1].outer_node,

@@ -1,0 +1,177 @@
+//! Order-preserving parallel executor for pipeline stages.
+//!
+//! The pipeline previously parallelised with hand-rolled scoped threads
+//! over static chunks: split the work list into `n_threads` contiguous
+//! slices up front, one thread each. That balances badly when item costs
+//! are skewed (long trips, dense traces): the slowest chunk gates the
+//! stage. This module replaces those with a single shared primitive:
+//!
+//! - a shared atomic cursor over the work list — each worker claims the
+//!   next unclaimed index ("work stealing" in the bakery sense: idle
+//!   workers immediately pull whatever work remains, so imbalance is
+//!   bounded by one item, not one chunk);
+//! - results carry their original index and are scattered back into their
+//!   original slot, so the output order equals the input order no matter
+//!   which worker ran which item, or in what interleaving.
+//!
+//! # Determinism
+//!
+//! `par_map(items, f)` is observationally equivalent to
+//! `items.iter().map(f).collect()` whenever `f` is a pure function of the
+//! item (plus per-worker scratch that does not alter results — caches
+//! memoising pure computations, reusable search buffers). Scheduling
+//! affects only *which worker* computes an item and *when*, never the
+//! value written to slot `i`. The pipeline relies on this: `repro`
+//! output is byte-identical across runs and thread counts.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads for a work list of `len` items: one per
+/// available CPU, capped by the number of items (never zero).
+pub fn worker_count(len: usize) -> usize {
+    let cpus = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    cpus.min(len).max(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order in the
+/// returned vector.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (results, _) = par_map_init(items, || (), |(), item| f(item));
+    results
+}
+
+/// Like [`par_map`], but each worker first builds a local state with
+/// `init` and threads it through every item it claims. Use this to hold
+/// per-worker scratch (reusable search state, memo caches) across items.
+/// The worker states are returned so callers can fold up statistics;
+/// their order is by worker index and carries no meaning beyond that.
+pub fn par_map_init<T, R, S, I, F>(items: &[T], init: I, f: F) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        let mut state = init();
+        let results = items.iter().map(|item| f(&mut state, item)).collect();
+        return (results, vec![state]);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let mut states = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        // Workers buffer (index, value) pairs locally and the parent
+        // scatters them after join: no shared &mut slots, and the hot
+        // loop has no synchronisation beyond one fetch_add per item.
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            let init = &init;
+            handles.push(scope.spawn(move || {
+                let mut state = init();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    local.push((index, f(&mut state, &items[index])));
+                }
+                (state, local)
+            }));
+        }
+        for handle in handles {
+            let (state, local) = handle.join().expect("executor worker panicked");
+            states.push(state);
+            for (index, value) in local {
+                debug_assert!(slots[index].is_none(), "slot {index} written twice");
+                slots[index] = Some(value);
+            }
+        }
+    });
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every index claimed exactly once"))
+        .collect();
+    (results, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), items.len());
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn matches_sequential_map_under_skewed_costs() {
+        // Item cost grows with value; static chunking would leave the
+        // last worker with most of the work. Results must still be in
+        // input order.
+        let items: Vec<u64> = (0..200).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| (0..x % 37).sum::<u64>() + x).collect();
+        let got = par_map(&items, |&x| (0..x % 37).sum::<u64>() + x);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn worker_states_cover_all_items() {
+        let items: Vec<usize> = (0..500).collect();
+        let (results, states) = par_map_init(
+            &items,
+            || 0usize,
+            |processed, &x| {
+                *processed += 1;
+                x + 1
+            },
+        );
+        assert_eq!(results.len(), items.len());
+        assert_eq!(states.iter().sum::<usize>(), items.len());
+        assert_eq!(results[499], 500);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(10_000) >= 1);
+    }
+}

@@ -11,10 +11,9 @@ use taxitrace_roadnet::{EdgeId, RoadGraph};
 use taxitrace_traces::RoutePoint;
 
 use crate::candidates::CandidateIndex;
-use crate::path::element_path;
+use crate::path::element_path_with;
+use crate::scratch::MatchScratch;
 use crate::types::{MatchConfig, MatchedPoint, MatchedTrace};
-
-const MAX_STATES: usize = 8;
 
 fn transition(graph: &RoadGraph, a: EdgeId, b: EdgeId) -> f64 {
     if a == b {
@@ -42,12 +41,23 @@ pub fn match_trace(
     points: &[RoutePoint],
     config: &MatchConfig,
 ) -> MatchedTrace {
+    match_trace_with(&mut MatchScratch::new(), graph, index, points, config)
+}
+
+/// [`match_trace`] with caller-owned scratch, reused across traces.
+pub fn match_trace_with(
+    scratch: &mut MatchScratch,
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> MatchedTrace {
     // Candidate lists (bounded).
     let cand_lists: Vec<Vec<crate::candidates::ScoredCandidate>> = points
         .iter()
         .map(|p| {
             let mut c = index.scored_candidates(p.pos, p.heading_deg, p.speed_kmh, config);
-            c.truncate(MAX_STATES);
+            c.truncate(config.max_candidates);
             c
         })
         .collect();
@@ -71,7 +81,7 @@ pub fn match_trace(
         i = j;
     }
 
-    let elements = element_path(graph, index, &matched, points, config.gap_fill);
+    let elements = element_path_with(scratch, graph, &matched, config.gap_fill);
     MatchedTrace { points: matched, elements, unmatched }
 }
 
@@ -161,7 +171,7 @@ mod tests {
     fn viterbi_recovers_route() {
         let city = generate(&OuluConfig::default());
         let index = CandidateIndex::new(&city.graph, &city.elements);
-        let route = dijkstra::shortest_path(
+        let route = dijkstra::astar(
             &city.graph,
             city.od_roads[0].outer_node,
             city.od_roads[2].outer_node,

@@ -5,7 +5,8 @@ use taxitrace_roadnet::{EdgeId, RoadGraph};
 use taxitrace_traces::RoutePoint;
 
 use crate::candidates::{CandidateIndex, ScoredCandidate};
-use crate::path::element_path;
+use crate::path::{element_path_blind, element_path_with};
+use crate::scratch::MatchScratch;
 use crate::types::{MatchConfig, MatchedPoint, MatchedTrace};
 
 /// Connectivity score between the previously matched edge and a candidate
@@ -53,6 +54,43 @@ pub fn match_trace(
     points: &[RoutePoint],
     config: &MatchConfig,
 ) -> MatchedTrace {
+    match_trace_with(&mut MatchScratch::new(), graph, index, points, config)
+}
+
+/// Pre-optimisation reference of [`match_trace`]: identical matching, but
+/// gaps are filled by blind per-query Dijkstra with no memoisation — the
+/// behaviour the goal-directed routing core replaced. Kept for benches.
+pub fn match_trace_reference(
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> MatchedTrace {
+    let (matched, unmatched) = match_points(graph, index, points, config);
+    let elements = element_path_blind(graph, &matched, config.gap_fill);
+    MatchedTrace { points: matched, elements, unmatched }
+}
+
+/// [`match_trace`] with caller-owned scratch, reused across traces.
+pub fn match_trace_with(
+    scratch: &mut MatchScratch,
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> MatchedTrace {
+    let (matched, unmatched) = match_points(graph, index, points, config);
+    let elements = element_path_with(scratch, graph, &matched, config.gap_fill);
+    MatchedTrace { points: matched, elements, unmatched }
+}
+
+/// The per-point scoring loop shared by every `match_trace` variant.
+fn match_points(
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> (Vec<MatchedPoint>, usize) {
     let mut matched = Vec::with_capacity(points.len());
     let mut unmatched = 0usize;
     let mut prev_edge: Option<EdgeId> = None;
@@ -71,7 +109,7 @@ pub fn match_trace(
             continue;
         }
         let mut best: Option<(f64, &ScoredCandidate)> = None;
-        for sc in cands.iter().take(8) {
+        for sc in cands.iter().take(config.max_candidates) {
             let cand_edge = index.candidate(sc.candidate).edge;
             let mut score = combined(config, sc, connectivity(graph, prev_edge, cand_edge));
             // Look-ahead: the best continuation from this candidate.
@@ -83,7 +121,7 @@ pub fn match_trace(
                 }
                 let mut best_next = 0.0f64;
                 let mut best_next_edge = look_edge;
-                for nsc in next.iter().take(8) {
+                for nsc in next.iter().take(config.max_candidates) {
                     let nedge = index.candidate(nsc.candidate).edge;
                     let s = combined(
                         config,
@@ -114,8 +152,7 @@ pub fn match_trace(
         prev_edge = Some(cand.edge);
     }
 
-    let elements = element_path(graph, index, &matched, points, config.gap_fill);
-    MatchedTrace { points: matched, elements, unmatched }
+    (matched, unmatched)
 }
 
 #[cfg(test)]
@@ -151,7 +188,7 @@ mod tests {
         let from = city.od_roads[0].outer_node;
         let to = city.od_roads[1].outer_node;
         let route =
-            dijkstra::shortest_path(&city.graph, from, to, CostModel::TravelTime).unwrap();
+            dijkstra::astar(&city.graph, from, to, CostModel::TravelTime).unwrap();
         let line = route.polyline(&city.graph).unwrap();
         let truth: Vec<ElementId> = route.element_ids(&city.graph);
 

@@ -27,10 +27,12 @@ mod candidates;
 pub mod hmm;
 pub mod incremental;
 pub mod nearest;
+pub mod scratch;
 mod path;
 mod types;
 
 pub use accuracy::{evaluate, MatchAccuracy};
 pub use candidates::{Candidate, CandidateIndex, ScoredCandidate};
-pub use path::element_path;
+pub use path::{element_path, element_path_blind, element_path_with};
+pub use scratch::{MatchScratch, PathCache};
 pub use types::{MatchConfig, MatchedPoint, MatchedTrace};

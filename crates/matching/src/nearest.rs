@@ -6,12 +6,24 @@ use taxitrace_roadnet::RoadGraph;
 use taxitrace_traces::RoutePoint;
 
 use crate::candidates::CandidateIndex;
-use crate::path::element_path;
+use crate::path::element_path_with;
+use crate::scratch::MatchScratch;
 use crate::types::{MatchConfig, MatchedPoint, MatchedTrace};
 
 /// Matches each point to the geometrically nearest element within the
 /// radius.
 pub fn match_trace(
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> MatchedTrace {
+    match_trace_with(&mut MatchScratch::new(), graph, index, points, config)
+}
+
+/// [`match_trace`] with caller-owned scratch, reused across traces.
+pub fn match_trace_with(
+    scratch: &mut MatchScratch,
     graph: &RoadGraph,
     index: &CandidateIndex,
     points: &[RoutePoint],
@@ -41,7 +53,7 @@ pub fn match_trace(
             None => unmatched += 1,
         }
     }
-    let elements = element_path(graph, index, &matched, points, config.gap_fill);
+    let elements = element_path_with(scratch, graph, &matched, config.gap_fill);
     MatchedTrace { points: matched, elements, unmatched }
 }
 

@@ -4,25 +4,66 @@
 
 use taxitrace_geo::Point;
 use taxitrace_roadnet::{dijkstra, Edge, ElementId, NodeId, RoadGraph};
-use taxitrace_traces::RoutePoint;
 
-use crate::candidates::CandidateIndex;
+use crate::scratch::MatchScratch;
 use crate::types::MatchedPoint;
+
+/// Builds the travel-order element sequence from per-point matches using
+/// one-shot scratch space. Prefer [`element_path_with`] on hot paths — it
+/// reuses search arrays and memoises gap-fill routes across traces.
+pub fn element_path(graph: &RoadGraph, matched: &[MatchedPoint], gap_fill: bool) -> Vec<ElementId> {
+    element_path_with(&mut MatchScratch::new(), graph, matched, gap_fill)
+}
 
 /// Builds the travel-order element sequence from per-point matches.
 ///
 /// Consecutive matches on the same edge are walked along the edge's element
 /// chain; transitions between edges that share a junction need no filling;
-/// farther transitions are routed with Dijkstra when `gap_fill` is on
-/// (otherwise the sequence simply jumps).
-pub fn element_path(
+/// farther transitions are routed (goal-directed A*, memoised in
+/// `scratch.cache`) when `gap_fill` is on (otherwise the sequence simply
+/// jumps).
+pub fn element_path_with(
+    scratch: &mut MatchScratch,
     graph: &RoadGraph,
-    index: &CandidateIndex,
     matched: &[MatchedPoint],
-    points: &[RoutePoint],
     gap_fill: bool,
 ) -> Vec<ElementId> {
-    let _ = (index, points);
+    element_path_inner(graph, matched, gap_fill, &mut |exit, entry| {
+        // Route across the gap. The memoised value is exactly what the A*
+        // query (itself bit-equal to the Dijkstra reference) would
+        // recompute, so the cache affects speed only.
+        let MatchScratch { search, cache } = scratch;
+        let model = dijkstra::CostModel::Distance;
+        cache
+            .get_or_insert_with((exit, entry, model), || {
+                dijkstra::astar_with(search, graph, exit, entry, model)
+                    .map(|route| route.element_ids(graph))
+            })
+            .map(<[ElementId]>::to_vec)
+    })
+}
+
+/// Pre-optimisation reference of [`element_path`]: blind Dijkstra per gap
+/// with per-query allocation and no memoisation. Kept so benches and the
+/// `repro --bench-json` A/B can quantify the routing-core speedup against
+/// the behaviour this crate shipped with.
+pub fn element_path_blind(
+    graph: &RoadGraph,
+    matched: &[MatchedPoint],
+    gap_fill: bool,
+) -> Vec<ElementId> {
+    element_path_inner(graph, matched, gap_fill, &mut |exit, entry| {
+        dijkstra::shortest_path(graph, exit, entry, dijkstra::CostModel::Distance)
+            .map(|route| route.element_ids(graph))
+    })
+}
+
+fn element_path_inner(
+    graph: &RoadGraph,
+    matched: &[MatchedPoint],
+    gap_fill: bool,
+    route: &mut dyn FnMut(NodeId, NodeId) -> Option<Vec<ElementId>>,
+) -> Vec<ElementId> {
     let mut out: Vec<ElementId> = Vec::new();
     let mut push = |out: &mut Vec<ElementId>, e: ElementId| {
         if out.last() != Some(&e) {
@@ -65,21 +106,18 @@ pub fn element_path(
             if let Some(shared) = shared_node(e1, e2) {
                 // Adjacent edges: walk out of e1 towards the junction and
                 // into e2 away from it.
-                walk_to_node(graph, e1, p.element, shared, &mut out, &mut push);
-                walk_from_node(graph, e2, m.element, shared, &mut out, &mut push);
+                walk_to_node(e1, p.element, shared, &mut out, &mut push);
+                walk_from_node(e2, m.element, shared, &mut out, &mut push);
             } else if gap_fill {
-                // Route across the gap.
-                let exit = nearest_endpoint(graph, e1, midpoint(graph, e2));
+                let exit = nearest_endpoint(graph, e1, midpoint(e2));
                 let entry = nearest_endpoint(graph, e2, graph.node_point(exit));
-                walk_to_node(graph, e1, p.element, exit, &mut out, &mut push);
-                if let Some(route) =
-                    dijkstra::shortest_path(graph, exit, entry, dijkstra::CostModel::Distance)
-                {
-                    for e in route.element_ids(graph) {
+                walk_to_node(e1, p.element, exit, &mut out, &mut push);
+                if let Some(route_elements) = route(exit, entry) {
+                    for &e in &route_elements {
                         push(&mut out, e);
                     }
                 }
-                walk_from_node(graph, e2, m.element, entry, &mut out, &mut push);
+                walk_from_node(e2, m.element, entry, &mut out, &mut push);
             } else {
                 push(&mut out, m.element);
             }
@@ -98,8 +136,8 @@ fn shared_node(a: &Edge, b: &Edge) -> Option<NodeId> {
     [a.from, a.to].into_iter().find(|&n| n == b.from || n == b.to)
 }
 
-fn midpoint(graph: &RoadGraph, e: &Edge) -> Point {
-    e.geometry.point_at(e.length_m / 2.0).lerp(graph.node_point(e.from), 0.0)
+fn midpoint(e: &Edge) -> Point {
+    e.geometry.point_at(e.length_m / 2.0)
 }
 
 fn nearest_endpoint(graph: &RoadGraph, e: &Edge, target: Point) -> NodeId {
@@ -115,14 +153,12 @@ fn nearest_endpoint(graph: &RoadGraph, e: &Edge, target: Point) -> NodeId {
 /// Pushes the elements of `edge` from `from_elem` (exclusive) out to the
 /// `node` end (inclusive).
 fn walk_to_node(
-    graph: &RoadGraph,
     edge: &Edge,
     from_elem: ElementId,
     node: NodeId,
     out: &mut Vec<ElementId>,
     push: &mut impl FnMut(&mut Vec<ElementId>, ElementId),
 ) {
-    let _ = graph;
     let Some(i) = elem_index(edge, from_elem) else { return };
     if node == edge.to {
         for e in &edge.elements[i + 1..] {
@@ -138,14 +174,12 @@ fn walk_to_node(
 /// Pushes the elements of `edge` from the `node` end up to `to_elem`
 /// (exclusive — the caller pushes the target element itself).
 fn walk_from_node(
-    graph: &RoadGraph,
     edge: &Edge,
     to_elem: ElementId,
     node: NodeId,
     out: &mut Vec<ElementId>,
     push: &mut impl FnMut(&mut Vec<ElementId>, ElementId),
 ) {
-    let _ = graph;
     let Some(i) = elem_index(edge, to_elem) else { return };
     if node == edge.from {
         for e in &edge.elements[..i] {
@@ -161,8 +195,6 @@ fn walk_from_node(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::MatchConfig;
-    use crate::CandidateIndex;
     use taxitrace_geo::{GeoPoint, LocalProjection, Polyline};
     use taxitrace_roadnet::{FlowDirection, FunctionalClass, TrafficElement};
 
@@ -206,47 +238,62 @@ mod tests {
 
     #[test]
     fn same_edge_walks_intermediate_elements() {
-        let (g, els) = setup();
-        let index = CandidateIndex::new(&g, &els);
-        let _ = MatchConfig::default();
+        let (g, _els) = setup();
         // Matched on element 1 then element 3 (element 2 skipped by sampling).
         let matched = vec![mp(0, &g, 1, 50.0), mp(1, &g, 3, 50.0)];
-        let path = element_path(&g, &index, &matched, &[], true);
+        let path = element_path(&g, &matched, true);
         assert_eq!(path, vec![ElementId(1), ElementId(2), ElementId(3)]);
     }
 
     #[test]
     fn same_edge_reverse_direction() {
-        let (g, els) = setup();
-        let index = CandidateIndex::new(&g, &els);
+        let (g, _els) = setup();
         let matched = vec![mp(0, &g, 3, 50.0), mp(1, &g, 1, 50.0)];
-        let path = element_path(&g, &index, &matched, &[], true);
+        let path = element_path(&g, &matched, true);
         assert_eq!(path, vec![ElementId(3), ElementId(2), ElementId(1)]);
     }
 
     #[test]
     fn adjacent_edges_join_at_junction() {
-        let (g, els) = setup();
-        let index = CandidateIndex::new(&g, &els);
+        let (g, _els) = setup();
         // Element 2 (middle of first edge) then element 4 (next edge).
         let matched = vec![mp(0, &g, 2, 50.0), mp(1, &g, 4, 50.0)];
-        let path = element_path(&g, &index, &matched, &[], true);
+        let path = element_path(&g, &matched, true);
         assert_eq!(path, vec![ElementId(2), ElementId(3), ElementId(4)]);
     }
 
     #[test]
     fn dedup_consecutive() {
-        let (g, els) = setup();
-        let index = CandidateIndex::new(&g, &els);
+        let (g, _els) = setup();
         let matched = vec![mp(0, &g, 1, 10.0), mp(1, &g, 1, 60.0), mp(2, &g, 2, 10.0)];
-        let path = element_path(&g, &index, &matched, &[], true);
+        let path = element_path(&g, &matched, true);
         assert_eq!(path, vec![ElementId(1), ElementId(2)]);
     }
 
     #[test]
     fn empty_matches() {
-        let (g, els) = setup();
-        let index = CandidateIndex::new(&g, &els);
-        assert!(element_path(&g, &index, &[], &[], true).is_empty());
+        let (g, _els) = setup();
+        assert!(element_path(&g, &[], true).is_empty());
+    }
+
+    /// A disconnected far segment forces the gap-fill router; repeating
+    /// the trace through one scratch must serve the second pass from the
+    /// cache with an identical element sequence.
+    #[test]
+    fn gap_fill_cache_hit_yields_identical_sequence() {
+        let (g, _els) = setup();
+        // Stub 10 (west end) and stub 14 (east end) lie on edges that
+        // share no junction, so the transition needs a routed fill.
+        let matched = vec![mp(0, &g, 10, 25.0), mp(1, &g, 14, 25.0)];
+        let mut scratch = MatchScratch::new();
+        let cold = element_path_with(&mut scratch, &g, &matched, true);
+        let (h0, m0) = scratch.cache_stats();
+        let warm = element_path_with(&mut scratch, &g, &matched, true);
+        let (h1, m1) = scratch.cache_stats();
+        assert_eq!(cold, warm, "cache hit must reproduce the uncached path exactly");
+        assert_eq!(m1, m0, "second pass must not miss");
+        assert!(h1 > h0, "second pass must hit the cache");
+        // And both must equal the scratch-free (uncached) computation.
+        assert_eq!(cold, element_path(&g, &matched, true));
     }
 }

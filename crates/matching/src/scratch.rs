@@ -1,0 +1,149 @@
+//! Per-worker scratch for the matching hot path: a reusable A* search
+//! state and a bounded cache of gap-fill routes.
+//!
+//! Gap filling issues a shortest-path query per non-adjacent edge
+//! transition. The same `(exit, entry)` junction pairs recur constantly
+//! across trips — transitions funnel through the same O-D corridors — so
+//! memoising the resulting element sequence converts most queries into a
+//! hash lookup. Because the cached value is exactly what the query would
+//! recompute (routing is a pure function of the graph), caching changes
+//! throughput only, never results.
+
+use std::collections::HashMap;
+
+use taxitrace_roadnet::dijkstra::CostModel;
+use taxitrace_roadnet::{ElementId, NodeId, SearchState};
+
+/// Cache key: a routing query's endpoints and cost model.
+pub type PathKey = (NodeId, NodeId, CostModel);
+
+/// Bounded memo of gap-fill routes, storing the element-id sequence (or
+/// `None` for unreachable pairs, which are worth remembering too).
+///
+/// Eviction is whole-cache clear on overflow: simple, deterministic, and
+/// effectively free at this workload's key cardinality (a few thousand
+/// junction pairs per study).
+#[derive(Debug, Clone)]
+pub struct PathCache {
+    map: HashMap<PathKey, Option<Vec<ElementId>>>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PathCache {
+    fn default() -> Self {
+        Self::with_capacity(4096)
+    }
+}
+
+impl PathCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { map: HashMap::new(), capacity: capacity.max(1), hits: 0, misses: 0 }
+    }
+
+    /// Cached element sequence for `key`, computing and memoising it with
+    /// `compute` on a miss. `None` means the pair is unroutable.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: PathKey,
+        compute: impl FnOnce() -> Option<Vec<ElementId>>,
+    ) -> Option<&[ElementId]> {
+        if self.map.contains_key(&key) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if self.map.len() >= self.capacity {
+                self.map.clear();
+            }
+            self.map.insert(key, compute());
+        }
+        self.map.get(&key).expect("key just ensured").as_deref()
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// All mutable per-worker state a matcher thread holds across traces.
+#[derive(Debug, Clone, Default)]
+pub struct MatchScratch {
+    /// Reusable A* arrays (generation-stamped; no per-query allocation).
+    pub search: SearchState,
+    /// Memoised gap-fill routes.
+    pub cache: PathCache,
+}
+
+impl MatchScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` of the gap-fill cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits(), self.cache.misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(a: u32, b: u32) -> PathKey {
+        (NodeId(a), NodeId(b), CostModel::Distance)
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        let mut cache = PathCache::new();
+        let compute = || Some(vec![ElementId(7)]);
+        assert_eq!(cache.get_or_insert_with(key(1, 2), compute).unwrap(), &[ElementId(7)]);
+        assert_eq!(cache.get_or_insert_with(key(1, 2), || panic!("must hit")).unwrap(), &[
+            ElementId(7)
+        ]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn caches_unroutable_pairs() {
+        let mut cache = PathCache::new();
+        assert!(cache.get_or_insert_with(key(3, 4), || None).is_none());
+        assert!(cache.get_or_insert_with(key(3, 4), || panic!("must hit")).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn clears_on_overflow_and_keeps_counting() {
+        let mut cache = PathCache::with_capacity(2);
+        cache.get_or_insert_with(key(1, 1), || None);
+        cache.get_or_insert_with(key(2, 2), || None);
+        assert_eq!(cache.len(), 2);
+        cache.get_or_insert_with(key(3, 3), || None);
+        assert_eq!(cache.len(), 1, "overflow clears before insert");
+        // Evicted key recomputes (a miss), not a stale hit.
+        let mut recomputed = false;
+        cache.get_or_insert_with(key(1, 1), || {
+            recomputed = true;
+            None
+        });
+        assert!(recomputed);
+        assert_eq!(cache.misses(), 4);
+    }
+}

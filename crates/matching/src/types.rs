@@ -21,6 +21,9 @@ pub struct MatchConfig {
     pub heading_trust_kmh: f64,
     /// Whether to fill gaps between matched edges with Dijkstra paths.
     pub gap_fill: bool,
+    /// Candidates considered per point by the incremental and HMM
+    /// matchers (the top-k by score; more buys accuracy, costs time).
+    pub max_candidates: usize,
 }
 
 impl Default for MatchConfig {
@@ -34,6 +37,7 @@ impl Default for MatchConfig {
             w_conn: 0.8,
             heading_trust_kmh: 6.0,
             gap_fill: true,
+            max_candidates: 8,
         }
     }
 }

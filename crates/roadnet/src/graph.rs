@@ -115,6 +115,9 @@ pub struct RoadGraph {
     element_edge: HashMap<ElementId, EdgeId>,
     /// Projection between the planar frame and WGS-84.
     projection: LocalProjection,
+    /// Fastest speed limit in the network (km/h), cached at build time for
+    /// the A* travel-time heuristic.
+    max_speed_limit_kmh: f64,
 }
 
 impl RoadGraph {
@@ -217,7 +220,9 @@ impl RoadGraph {
             }
         }
 
-        Ok(Self { nodes, edges, out, element_edge, projection })
+        let max_speed_limit_kmh =
+            edges.iter().map(|e| e.speed_limit_kmh).fold(0.0f64, f64::max);
+        Ok(Self { nodes, edges, out, element_edge, projection, max_speed_limit_kmh })
     }
 
     /// Walks one chain starting at element `elem_idx`, entering at its
@@ -385,6 +390,13 @@ impl RoadGraph {
     #[inline]
     pub fn projection(&self) -> &LocalProjection {
         &self.projection
+    }
+
+    /// Fastest speed limit anywhere in the network (km/h). Zero for a
+    /// graph with no edges.
+    #[inline]
+    pub fn max_speed_limit_kmh(&self) -> f64 {
+        self.max_speed_limit_kmh
     }
 
     /// Bounding box of all vertices and edge geometries.

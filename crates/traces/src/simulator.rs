@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use taxitrace_geo::Point;
 use taxitrace_roadnet::synth::SyntheticCity;
 use taxitrace_roadnet::{
-    dijkstra, CostModel, ElementId, NodeId, RoutePath, TrafficElement,
+    dijkstra, CostModel, ElementId, NodeId, RoutePath, SearchState, TrafficElement,
 };
 use taxitrace_timebase::{study_period_start, Duration, Season, Timestamp};
 use taxitrace_weather::WeatherModel;
@@ -143,17 +143,11 @@ pub fn simulate_fleet(
     weather: &WeatherModel,
     config: &FleetConfig,
 ) -> FleetData {
-    let n = config.legs_per_taxi.len();
-    let mut per_taxi: Vec<Vec<RawTrip>> = Vec::with_capacity(n);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n)
-            .map(|i| scope.spawn(move |_| simulate_taxi(city, weather, config, i)))
-            .collect();
-        for h in handles {
-            per_taxi.push(h.join().expect("taxi simulation thread panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+    let taxi_indices: Vec<usize> = (0..config.legs_per_taxi.len()).collect();
+    let (per_taxi, _states) =
+        taxitrace_exec::par_map_init(&taxi_indices, SearchState::new, |search, &i| {
+            simulate_taxi(search, city, weather, config, i)
+        });
     let mut sessions: Vec<RawTrip> = per_taxi.into_iter().flatten().collect();
     sessions.sort_by_key(|s| (s.taxi, s.start_time));
     FleetData { sessions }
@@ -183,6 +177,7 @@ struct Event {
 }
 
 fn simulate_taxi(
+    search: &mut SearchState,
     city: &SyntheticCity,
     weather: &WeatherModel,
     config: &FleetConfig,
@@ -257,7 +252,7 @@ fn simulate_taxi(
                 config.p_od_dest,
             );
             let Some(route) =
-                choose_route(city, &mut rng, &profile, current_node, dest)
+                choose_route(search, city, &mut rng, &profile, current_node, dest)
             else {
                 continue;
             };
@@ -369,8 +364,13 @@ fn od_pair_of(
     }
 }
 
-/// Free route choice: per-trip log-normally perturbed travel-time costs.
+/// Free route choice: per-trip log-normally perturbed travel-time costs,
+/// searched goal-directed. The heuristic scale is the tightest admissible
+/// one for this trip's weights: the minimum perturbed cost-per-metre over
+/// all edges, so `weight(e) >= h_scale * length(e)` holds edge by edge and
+/// the weighted A* returns exactly what the blind search would.
 fn choose_route(
+    search: &mut SearchState,
     city: &SyntheticCity,
     rng: &mut Rng,
     profile: &DriverProfile,
@@ -380,9 +380,17 @@ fn choose_route(
     let noise: Vec<f64> = (0..city.graph.num_edges())
         .map(|_| (profile.route_noise * rng.normal()).exp())
         .collect();
-    dijkstra::shortest_path_weighted(&city.graph, from, to, |e| {
+    let h_scale = city
+        .graph
+        .edges()
+        .iter()
+        .map(|e| CostModel::TravelTime.cost(e) * noise[e.id.0 as usize] / e.length_m)
+        .fold(f64::INFINITY, f64::min)
+        .max(0.0);
+    let h_scale = if h_scale.is_finite() { h_scale } else { 0.0 };
+    dijkstra::astar_weighted_with(search, &city.graph, from, to, |e| {
         CostModel::TravelTime.cost(e) * noise[e.id.0 as usize]
-    })
+    }, h_scale)
 }
 
 #[allow(clippy::too_many_arguments)]

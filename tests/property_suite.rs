@@ -20,7 +20,7 @@ fn ladder(blocks: &[f64]) -> Vec<TrafficElement> {
     let mut els = Vec::new();
     let mut id = 1u64;
     let mut x = 0.0;
-    let mut mk = |id: &mut u64, a: (f64, f64), b: (f64, f64)| {
+    let mk = |id: &mut u64, a: (f64, f64), b: (f64, f64)| {
         let e = TrafficElement {
             id: ElementId(*id),
             geometry: Polyline::new(vec![Point::new(a.0, a.1), Point::new(b.0, b.1)])

@@ -1,0 +1,199 @@
+//! Offline shim for `bytes`: a `Vec<u8>`-backed `BytesMut` writer and a
+//! cursor-style `Bytes` reader, covering exactly the little-endian
+//! `put_*`/`get_*` surface the store codec uses.
+
+use std::ops::Deref;
+
+/// Growable write buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: Vec::with_capacity(capacity) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes { buf: self.buf, pos: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read cursor over an owned byte buffer.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into a new `Bytes`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { buf: data.to_vec(), pos: 0 }
+    }
+
+    /// Splits off the next `len` unread bytes into a new `Bytes`,
+    /// advancing this cursor past them.
+    pub fn split_to(&mut self, len: usize) -> Bytes {
+        assert!(len <= self.remaining(), "split_to out of bounds");
+        let start = self.pos;
+        self.pos += len;
+        Bytes { buf: self.buf[start..start + len].to_vec(), pos: 0 }
+    }
+
+    /// Copies the unread portion into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf[self.pos..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        Self { buf, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+/// Read side: little-endian primitive extraction. Panics when the buffer
+/// is exhausted, matching the real crate; callers bounds-check first via
+/// [`Buf::remaining`].
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(N <= self.remaining(), "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+}
+
+/// Write side: little-endian primitive appends.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_primitives() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u16_le(513);
+        w.put_u32_le(70_000);
+        w.put_u64_le(1 << 40);
+        w.put_i64_le(-42);
+        w.put_f64_le(3.25);
+        w.put_slice(b"ab");
+        let mut r = Bytes::from(w.to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 513);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 3.25);
+        let tail = r.split_to(2);
+        assert_eq!(tail.to_vec(), b"ab");
+        assert_eq!(r.remaining(), 0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: marker traits plus re-exported no-op derive
+//! macros. The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-compatible annotations; no code path serialises through serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

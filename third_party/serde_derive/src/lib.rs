@@ -1,0 +1,16 @@
+//! Offline shim for `serde_derive`: the derives are accepted (including
+//! `#[serde(...)]` field/container attributes) and expand to nothing.
+//! Nothing in this workspace serialises through serde — the store codec
+//! is hand-rolled — so marker-level compatibility is all that is needed.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
