@@ -22,7 +22,7 @@ fn pipeline_benches(c: &mut Criterion) {
 
     group.bench_function("full_study_2pct", |b| {
         b.iter(|| {
-            let out = Study::new(StudyConfig::scaled(5, 0.02)).run();
+            let out = Study::new(StudyConfig::scaled(5, 0.02)).run().expect("study runs");
             (out.segments.len(), out.transitions.len())
         })
     });

@@ -13,6 +13,13 @@
 //! `BENCH_pipeline.json` for a committed example). It changes nothing on
 //! stdout/stderr, so baseline comparisons stay byte-exact.
 //!
+//! `--metrics <table|json|prometheus>` renders the study's full
+//! observability snapshot — stage/sub-stage spans, per-stage counters,
+//! executor and gap-fill-cache stats — to stderr, or to a file with
+//! `--metrics-out <path>` (which implies `--metrics json` unless a format
+//! is given). Neither flag touches stdout, so experiment output stays
+//! byte-identical to the committed baseline.
+//!
 //! Absolute values come from the calibrated simulator, not the authors'
 //! taxis; the point of each experiment is the *shape* comparison printed
 //! alongside the paper's published numbers (see `EXPERIMENTS.md`).
@@ -28,6 +35,7 @@ use taxitrace_core::{
 };
 use taxitrace_geo::{CellId, Corridor, Grid, Point};
 use taxitrace_matching::{evaluate, CandidateIndex, MatchAccuracy, MatchConfig, MatchScratch};
+use taxitrace_obs::MetricsFormat;
 use taxitrace_od::{OdAnalyzer, OdConfig, OdEndpoint};
 use taxitrace_timebase::Season;
 use taxitrace_traces::TaxiId;
@@ -37,6 +45,8 @@ struct Args {
     scale: f64,
     experiment: String,
     bench_json: Option<String>,
+    metrics: Option<MetricsFormat>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +54,8 @@ fn parse_args() -> Args {
     let mut scale = 0.3f64;
     let mut experiment = String::from("all");
     let mut bench_json = None;
+    let mut metrics = None;
+    let mut metrics_out = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -63,13 +75,24 @@ fn parse_args() -> Args {
                 bench_json =
                     Some(it.next().unwrap_or_else(|| die("--bench-json needs a path")));
             }
-            "--help" | "-h" => {
-                die("usage: repro [--seed N] [--scale F] [--bench-json PATH] <experiment>")
+            "--metrics" => {
+                let fmt = it.next().unwrap_or_else(|| die("--metrics needs a format"));
+                metrics = Some(MetricsFormat::parse(&fmt).unwrap_or_else(|| {
+                    die("--metrics wants table, json or prometheus")
+                }));
             }
+            "--metrics-out" => {
+                metrics_out =
+                    Some(it.next().unwrap_or_else(|| die("--metrics-out needs a path")));
+            }
+            "--help" | "-h" => die(
+                "usage: repro [--seed N] [--scale F] [--bench-json PATH] \
+                 [--metrics FMT] [--metrics-out PATH] <experiment>",
+            ),
             other => experiment = other.to_string(),
         }
     }
-    Args { seed, scale, experiment, bench_json }
+    Args { seed, scale, experiment, bench_json, metrics, metrics_out }
 }
 
 fn die(msg: &str) -> ! {
@@ -89,7 +112,9 @@ fn output(args: &Args) -> &'static StudyOutput {
             args.seed, args.scale
         );
         let start = std::time::Instant::now();
-        let out = Study::new(StudyConfig::scaled(args.seed, args.scale)).run();
+        let out = Study::new(StudyConfig::scaled(args.seed, args.scale))
+            .run()
+            .unwrap_or_else(|e| die(&format!("study failed: {e}")));
         let _ = STUDY_WALL_S.set(start.elapsed().as_secs_f64());
         eprintln!(
             "[repro] {} sessions, {} segments, {} transitions, {} transition points\n",
@@ -121,6 +146,16 @@ fn main() {
         let total_s = start.elapsed().as_secs_f64();
         let analysis_s = total_s - STUDY_WALL_S.get().copied().unwrap_or(0.0);
         write_bench_json(path, &args, output(&args), analysis_s.max(0.0));
+    }
+    if args.metrics.is_some() || args.metrics_out.is_some() {
+        // `--metrics-out` without an explicit format means machine-readable.
+        let fmt = args.metrics.unwrap_or(MetricsFormat::Json);
+        let rendered = taxitrace_obs::render(&output(&args).metrics, fmt);
+        match &args.metrics_out {
+            Some(path) => std::fs::write(path, rendered)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}"))),
+            None => eprint!("{rendered}"),
+        }
     }
 }
 
@@ -500,7 +535,7 @@ fn fig6(args: &Args) {
 
 fn fig7(args: &Args) {
     let out = output(args);
-    let m = mixed_model(out).expect("lmm fits");
+    let m = mixed_model(out).unwrap_or_else(|e| die(&format!("mixed model: {e}")));
     println!(
         "QQ plot of the {} cell-intercept BLUPs (paper Fig. 7: near-linear except far tails):\n",
         m.qq.len()
@@ -522,7 +557,7 @@ fn fig7(args: &Args) {
 
 fn fig8(args: &Args) {
     let out = output(args);
-    let m = mixed_model(out).expect("lmm fits");
+    let m = mixed_model(out).unwrap_or_else(|e| die(&format!("mixed model: {e}")));
     println!(
         "Cell intercepts with 95% limits, sorted (paper Fig. 8; coefficients ca. -15…+20 km/h):\n"
     );
@@ -542,8 +577,8 @@ fn fig8(args: &Args) {
     }
     println!(
         "\nspread: {:+.1} … {:+.1} km/h over {} cells; sigma_u = {:.1} km/h",
-        m.cells.first().expect("cells").blup,
-        m.cells.last().expect("cells").blup,
+        m.cells[0].blup,
+        m.cells[n - 1].blup,
         n,
         m.sigma2_u.sqrt()
     );
@@ -556,7 +591,7 @@ fn fig8(args: &Args) {
 
 fn fig9(args: &Args) {
     let out = output(args);
-    let m = mixed_model(out).expect("lmm fits");
+    let m = mixed_model(out).unwrap_or_else(|e| die(&format!("mixed model: {e}")));
     let by_cell: HashMap<CellId, f64> = m.cells.iter().map(|c| (c.cell, c.blup)).collect();
     println!("Cell intercept predictions on the map (paper Fig. 9):");
     println!("  ## <= -6  == -6..-2  .. -2..+2  ++ > +2 km/h vs grand mean\n");

@@ -21,5 +21,8 @@ pub fn bench_fleet(city: &SyntheticCity, seed: u64, scale: f64) -> FleetData {
 
 /// A reduced study output for analysis benches.
 pub fn bench_study(seed: u64, scale: f64) -> StudyOutput {
-    Study::new(StudyConfig::scaled(seed, scale)).run()
+    match Study::new(StudyConfig::scaled(seed, scale)).run() {
+        Ok(out) => out,
+        Err(e) => panic!("bench study failed: {e}"),
+    }
 }

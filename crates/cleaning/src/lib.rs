@@ -19,6 +19,7 @@ mod interpolate;
 mod order;
 mod pipeline;
 mod segmentation;
+mod totals;
 
 pub use filters::{FilterConfig, FilterStats};
 pub use interpolate::{
@@ -30,3 +31,4 @@ pub use pipeline::{
     SegmentValidation, TripSegment,
 };
 pub use segmentation::{segment_session, SegmentationConfig, SegmentationReport};
+pub use totals::CleaningTotals;

@@ -1,0 +1,98 @@
+//! Study-wide cleaning statistics, aggregated across sessions, and their
+//! projection into the observability registry.
+
+use serde::{Deserialize, Serialize};
+use taxitrace_obs::Registry;
+
+use crate::pipeline::CleaningStats;
+
+/// Aggregated cleaning statistics across all sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CleaningTotals {
+    pub sessions: usize,
+    pub raw_points: usize,
+    pub sessions_order_repaired: usize,
+    pub rule_fires: [usize; 5],
+    pub segments_kept: usize,
+    pub segments_too_few_points: usize,
+    pub segments_too_long: usize,
+}
+
+impl CleaningTotals {
+    /// Folds one session's statistics into the totals.
+    pub fn absorb(&mut self, stats: &CleaningStats) {
+        self.sessions += 1;
+        self.raw_points += stats.raw_points;
+        if stats.order_repaired {
+            self.sessions_order_repaired += 1;
+        }
+        for (a, b) in self.rule_fires.iter_mut().zip(stats.segmentation.rule_fires) {
+            *a += b;
+        }
+        self.segments_kept += stats.filters.kept;
+        self.segments_too_few_points += stats.filters.too_few_points;
+        self.segments_too_long += stats.filters.too_long;
+    }
+
+    /// Publishes the totals as `clean.*` counters.
+    pub fn record_metrics(&self, registry: &Registry) {
+        registry.counter("clean.sessions").add(self.sessions as u64);
+        registry.counter("clean.raw_points").add(self.raw_points as u64);
+        registry
+            .counter("clean.order_repaired")
+            .add(self.sessions_order_repaired as u64);
+        for (i, fires) in self.rule_fires.iter().enumerate() {
+            registry
+                .counter(&format!("clean.rule_fires.rule{}", i + 1))
+                .add(*fires as u64);
+        }
+        registry.counter("clean.segments_kept").add(self.segments_kept as u64);
+        registry
+            .counter("clean.segments_too_few_points")
+            .add(self.segments_too_few_points as u64);
+        registry.counter("clean.segments_too_long").add(self.segments_too_long as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filters::FilterStats;
+    use crate::segmentation::SegmentationReport;
+
+    fn stats() -> CleaningStats {
+        CleaningStats {
+            raw_points: 100,
+            order_repaired: true,
+            duplicates_removed: 2,
+            segmentation: SegmentationReport { rule_fires: [1, 2, 3, 4, 5] },
+            filters: FilterStats { kept: 7, too_few_points: 1, too_long: 2 },
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut totals = CleaningTotals::default();
+        totals.absorb(&stats());
+        totals.absorb(&stats());
+        assert_eq!(totals.sessions, 2);
+        assert_eq!(totals.raw_points, 200);
+        assert_eq!(totals.sessions_order_repaired, 2);
+        assert_eq!(totals.rule_fires, [2, 4, 6, 8, 10]);
+        assert_eq!(totals.segments_kept, 14);
+    }
+
+    #[test]
+    fn record_metrics_publishes_counters() {
+        let mut totals = CleaningTotals::default();
+        totals.absorb(&stats());
+        let registry = Registry::new();
+        totals.record_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("clean.sessions"), Some(1));
+        assert_eq!(snap.counter("clean.raw_points"), Some(100));
+        assert_eq!(snap.counter("clean.rule_fires.rule5"), Some(5));
+        assert_eq!(snap.counter("clean.segments_kept"), Some(7));
+        assert_eq!(snap.counter("clean.segments_too_long"), Some(2));
+    }
+}

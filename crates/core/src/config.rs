@@ -2,10 +2,16 @@ use serde::{Deserialize, Serialize};
 use taxitrace_cleaning::CleaningConfig;
 use taxitrace_matching::MatchConfig;
 use taxitrace_roadnet::synth::OuluConfig;
+use taxitrace_timebase::CivilDate;
 use taxitrace_traces::FleetConfig;
 
 /// Configuration of a full study run. The entire study is a pure function
 /// of this value.
+///
+/// Prefer [`StudyConfig::builder`] over struct-literal construction: the
+/// builder validates fleet size, volume scale, the study period and the
+/// analysis thresholds before a study can exist, so a `Study` never runs
+/// on nonsense inputs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StudyConfig {
     /// Master seed (drives the city, weather and fleet streams).
@@ -24,7 +30,202 @@ pub struct StudyConfig {
     pub fig10_light_threshold: usize,
 }
 
+/// Why a [`StudyConfigBuilder`] refused to produce a config.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The fleet must contain at least one taxi.
+    ZeroTaxis,
+    /// The study period end does not lie after its start.
+    InvertedPeriod { start: CivilDate, end: CivilDate },
+    /// The volume scale must be a finite number.
+    NonFiniteScale(f64),
+    /// The volume scale must lie in `(0, 1]`.
+    ScaleOutOfRange(f64),
+    /// The analysis grid size must be finite and positive.
+    BadGridSize(f64),
+    /// The low-speed threshold must be finite and positive.
+    BadLowSpeed(f64),
+    /// The normal-speed fraction must be finite and positive.
+    BadNormalSpeedFrac(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroTaxis => write!(f, "fleet must have at least one taxi"),
+            ConfigError::InvertedPeriod { start, end } => {
+                write!(f, "study period end {end:?} is not after start {start:?}")
+            }
+            ConfigError::NonFiniteScale(s) => write!(f, "scale {s} is not finite"),
+            ConfigError::ScaleOutOfRange(s) => {
+                write!(f, "scale {s} outside (0, 1]")
+            }
+            ConfigError::BadGridSize(g) => {
+                write!(f, "grid size {g} m must be finite and positive")
+            }
+            ConfigError::BadLowSpeed(v) => {
+                write!(f, "low-speed threshold {v} km/h must be finite and positive")
+            }
+            ConfigError::BadNormalSpeedFrac(v) => {
+                write!(f, "normal-speed fraction {v} must be finite and positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`StudyConfig`]; see [`StudyConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct StudyConfigBuilder {
+    seed: u64,
+    scale: f64,
+    taxis: Option<usize>,
+    period: Option<(CivilDate, CivilDate)>,
+    grid_size_m: f64,
+    low_speed_kmh: f64,
+    normal_speed_frac: f64,
+    fig10_light_threshold: usize,
+    cleaning: CleaningConfig,
+    matching: MatchConfig,
+}
+
+impl StudyConfigBuilder {
+    fn new(seed: u64) -> Self {
+        let paper = StudyConfig::paper(seed);
+        Self {
+            seed,
+            scale: paper.fleet.scale,
+            taxis: None,
+            period: None,
+            grid_size_m: paper.grid_size_m,
+            low_speed_kmh: paper.low_speed_kmh,
+            normal_speed_frac: paper.normal_speed_frac,
+            fig10_light_threshold: paper.fig10_light_threshold,
+            cleaning: paper.cleaning,
+            matching: paper.matching,
+        }
+    }
+
+    /// Volume scale in `(0, 1]` (1.0 = the paper's full year).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Number of taxis in the fleet (the paper studies 7; more cycles the
+    /// paper's per-taxi activity profiles).
+    pub fn taxis(mut self, taxis: usize) -> Self {
+        self.taxis = Some(taxis);
+        self
+    }
+
+    /// Study period as civil dates, end exclusive (the paper:
+    /// 1.10.2012 – 1.10.2013).
+    pub fn period(mut self, start: CivilDate, end: CivilDate) -> Self {
+        self.period = Some((start, end));
+        self
+    }
+
+    /// Analysis grid cell size, metres.
+    pub fn grid_size_m(mut self, metres: f64) -> Self {
+        self.grid_size_m = metres;
+        self
+    }
+
+    /// Low-speed threshold, km/h.
+    pub fn low_speed_kmh(mut self, kmh: f64) -> Self {
+        self.low_speed_kmh = kmh;
+        self
+    }
+
+    /// "Normal speed" fraction of the posted limit.
+    pub fn normal_speed_frac(mut self, frac: f64) -> Self {
+        self.normal_speed_frac = frac;
+        self
+    }
+
+    /// Traffic-light threshold splitting Fig. 10's groups.
+    pub fn fig10_light_threshold(mut self, lights: usize) -> Self {
+        self.fig10_light_threshold = lights;
+        self
+    }
+
+    /// Cleaning-stage configuration.
+    pub fn cleaning(mut self, cleaning: CleaningConfig) -> Self {
+        self.cleaning = cleaning;
+        self
+    }
+
+    /// Map-matching configuration.
+    pub fn matching(mut self, matching: MatchConfig) -> Self {
+        self.matching = matching;
+        self
+    }
+
+    /// Validates and produces the config.
+    pub fn build(self) -> Result<StudyConfig, ConfigError> {
+        if !self.scale.is_finite() {
+            return Err(ConfigError::NonFiniteScale(self.scale));
+        }
+        if self.scale <= 0.0 || self.scale > 1.0 {
+            return Err(ConfigError::ScaleOutOfRange(self.scale));
+        }
+        if self.taxis == Some(0) {
+            return Err(ConfigError::ZeroTaxis);
+        }
+        if !self.grid_size_m.is_finite() || self.grid_size_m <= 0.0 {
+            return Err(ConfigError::BadGridSize(self.grid_size_m));
+        }
+        if !self.low_speed_kmh.is_finite() || self.low_speed_kmh <= 0.0 {
+            return Err(ConfigError::BadLowSpeed(self.low_speed_kmh));
+        }
+        if !self.normal_speed_frac.is_finite() || self.normal_speed_frac <= 0.0 {
+            return Err(ConfigError::BadNormalSpeedFrac(self.normal_speed_frac));
+        }
+
+        let mut config = StudyConfig::paper(self.seed);
+        config.fleet.scale = self.scale;
+        if let Some(taxis) = self.taxis {
+            let paper_profiles = config.fleet.legs_per_taxi.clone();
+            config.fleet.legs_per_taxi = (0..taxis)
+                .map(|i| paper_profiles[i % paper_profiles.len()])
+                .collect();
+        }
+        if config.fleet.legs_per_taxi.is_empty() {
+            return Err(ConfigError::ZeroTaxis);
+        }
+        if let Some((start, end)) = self.period {
+            let days = end.days_from_epoch() - start.days_from_epoch();
+            if days <= 0 {
+                return Err(ConfigError::InvertedPeriod { start, end });
+            }
+            config.fleet.days = days as usize;
+        }
+        config.grid_size_m = self.grid_size_m;
+        config.low_speed_kmh = self.low_speed_kmh;
+        config.normal_speed_frac = self.normal_speed_frac;
+        config.fig10_light_threshold = self.fig10_light_threshold;
+        config.cleaning = self.cleaning;
+        config.matching = self.matching;
+        Ok(config)
+    }
+}
+
 impl StudyConfig {
+    /// Validating builder seeded with the paper's defaults.
+    ///
+    /// ```
+    /// use taxitrace_core::StudyConfig;
+    ///
+    /// let config = StudyConfig::builder(7).scale(0.1).build().expect("valid");
+    /// assert_eq!(config.fleet.scale, 0.1);
+    /// assert!(StudyConfig::builder(7).scale(f64::NAN).build().is_err());
+    /// ```
+    pub fn builder(seed: u64) -> StudyConfigBuilder {
+        StudyConfigBuilder::new(seed)
+    }
+
     /// Paper-scale study: 7 taxis, a full year, ~20k trip segments.
     pub fn paper(seed: u64) -> Self {
         let fleet = FleetConfig { seed, ..FleetConfig::default() };
@@ -57,6 +258,31 @@ impl StudyConfig {
         cfg.fleet.scale = scale;
         cfg
     }
+
+    /// Re-checks the invariants the builder enforces, for configs built
+    /// by hand. [`crate::Study::simulate`] calls this first, so invalid
+    /// struct-literal configs fail fast instead of producing nonsense.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.fleet.scale.is_finite() {
+            return Err(ConfigError::NonFiniteScale(self.fleet.scale));
+        }
+        if self.fleet.scale <= 0.0 || self.fleet.scale > 1.0 {
+            return Err(ConfigError::ScaleOutOfRange(self.fleet.scale));
+        }
+        if self.fleet.legs_per_taxi.is_empty() {
+            return Err(ConfigError::ZeroTaxis);
+        }
+        if !self.grid_size_m.is_finite() || self.grid_size_m <= 0.0 {
+            return Err(ConfigError::BadGridSize(self.grid_size_m));
+        }
+        if !self.low_speed_kmh.is_finite() || self.low_speed_kmh <= 0.0 {
+            return Err(ConfigError::BadLowSpeed(self.low_speed_kmh));
+        }
+        if !self.normal_speed_frac.is_finite() || self.normal_speed_frac <= 0.0 {
+            return Err(ConfigError::BadNormalSpeedFrac(self.normal_speed_frac));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -73,5 +299,79 @@ mod tests {
         assert!(q.fleet.scale < p.fleet.scale);
         let s = StudyConfig::scaled(1, 0.3);
         assert_eq!(s.fleet.scale, 0.3);
+    }
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let built = StudyConfig::builder(2012).build().expect("valid defaults");
+        let paper = StudyConfig::paper(2012);
+        assert_eq!(built.fleet.scale, paper.fleet.scale);
+        assert_eq!(built.fleet.legs_per_taxi, paper.fleet.legs_per_taxi);
+        assert_eq!(built.fleet.days, 365);
+        assert_eq!(built.grid_size_m, paper.grid_size_m);
+    }
+
+    #[test]
+    fn builder_rejects_bad_inputs() {
+        assert_eq!(
+            StudyConfig::builder(1).taxis(0).build().expect_err("zero taxis"),
+            ConfigError::ZeroTaxis
+        );
+        assert!(matches!(
+            StudyConfig::builder(1).scale(f64::NAN).build().expect_err("nan"),
+            ConfigError::NonFiniteScale(_)
+        ));
+        assert!(matches!(
+            StudyConfig::builder(1).scale(0.0).build().expect_err("zero"),
+            ConfigError::ScaleOutOfRange(_)
+        ));
+        assert!(matches!(
+            StudyConfig::builder(1).scale(1.5).build().expect_err("too big"),
+            ConfigError::ScaleOutOfRange(_)
+        ));
+        assert!(matches!(
+            StudyConfig::builder(1).grid_size_m(-5.0).build().expect_err("grid"),
+            ConfigError::BadGridSize(_)
+        ));
+        let d = |y, m, day| CivilDate::new(y, m, day).expect("valid date");
+        assert!(matches!(
+            StudyConfig::builder(1)
+                .period(d(2013, 10, 1), d(2012, 10, 1))
+                .build()
+                .expect_err("inverted"),
+            ConfigError::InvertedPeriod { .. }
+        ));
+    }
+
+    #[test]
+    fn builder_wires_period_and_taxis() {
+        let d = |y, m, day| CivilDate::new(y, m, day).expect("valid date");
+        let cfg = StudyConfig::builder(1)
+            .taxis(3)
+            .period(d(2012, 10, 1), d(2013, 1, 1))
+            .scale(0.2)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.fleet.legs_per_taxi.len(), 3);
+        assert_eq!(cfg.fleet.days, 92);
+        assert_eq!(cfg.fleet.scale, 0.2);
+        // More taxis than the paper's 7 cycle the activity profiles.
+        let big = StudyConfig::builder(1).taxis(9).build().expect("valid");
+        assert_eq!(big.fleet.legs_per_taxi.len(), 9);
+        assert_eq!(big.fleet.legs_per_taxi[7], big.fleet.legs_per_taxi[0]);
+    }
+
+    #[test]
+    fn validate_catches_struct_literal_mistakes() {
+        let mut cfg = StudyConfig::paper(1);
+        assert!(cfg.validate().is_ok());
+        cfg.fleet.legs_per_taxi.clear();
+        assert_eq!(cfg.validate().expect_err("no taxis"), ConfigError::ZeroTaxis);
+        let mut cfg = StudyConfig::paper(1);
+        cfg.fleet.scale = f64::INFINITY;
+        assert!(matches!(
+            cfg.validate().expect_err("inf"),
+            ConfigError::NonFiniteScale(_)
+        ));
     }
 }

@@ -1,0 +1,103 @@
+//! The workspace-level error type of the staged study pipeline.
+//!
+//! Every fallible step on the `Study` → `repro` path returns
+//! [`enum@Error`] instead of panicking: configuration validation, store
+//! persistence, graph construction, model fitting and result export.
+
+use std::fmt;
+use std::io;
+
+use taxitrace_roadnet::GraphError;
+use taxitrace_stats::LmmError;
+use taxitrace_store::StoreError;
+
+use crate::config::ConfigError;
+
+/// Any failure of the study pipeline or its analyses.
+#[derive(Debug)]
+pub enum Error {
+    /// Invalid study configuration (see [`ConfigError`]).
+    Config(ConfigError),
+    /// Trip-store persistence failed.
+    Store(StoreError),
+    /// Road-graph construction failed.
+    Graph(GraphError),
+    /// Mixed-model fit failed (degenerate design, too few observations).
+    Lmm(LmmError),
+    /// File I/O failed (CSV export, metrics dump).
+    Io { path: String, source: io::Error },
+    /// A pipeline invariant did not hold for this input.
+    Pipeline(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(e) => write!(f, "invalid study configuration: {e}"),
+            Error::Store(e) => write!(f, "trip store error: {e}"),
+            Error::Graph(e) => write!(f, "road graph error: {e}"),
+            Error::Lmm(e) => write!(f, "mixed model error: {e}"),
+            Error::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
+            Error::Pipeline(message) => write!(f, "pipeline error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            Error::Lmm(e) => Some(e),
+            Error::Io { source, .. } => Some(source),
+            Error::Pipeline(_) => None,
+        }
+    }
+}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<StoreError> for Error {
+    fn from(e: StoreError) -> Self {
+        Error::Store(e)
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Self {
+        Error::Graph(e)
+    }
+}
+
+impl From<LmmError> for Error {
+    fn from(e: LmmError) -> Self {
+        Error::Lmm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source_cover_variants() {
+        let e = Error::Pipeline("no transitions".into());
+        assert!(e.to_string().contains("no transitions"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = Error::Io {
+            path: "/tmp/x".into(),
+            source: io::Error::new(io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(e.to_string().contains("/tmp/x"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: Error = LmmError::LengthMismatch.into();
+        assert!(matches!(e, Error::Lmm(_)));
+    }
+}

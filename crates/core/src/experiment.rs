@@ -1,45 +1,34 @@
-use std::time::Instant;
+//! The staged study pipeline.
+//!
+//! [`Study::run`] executes the paper's four stages back to back, but each
+//! stage is also a first-class API step with a typed output:
+//!
+//! ```text
+//! Study ─simulate()→ Simulated ─clean()→ Cleaned ─analyze_od()→ OdSelected
+//!                                                        │
+//!                                         match_fuse() ──┴─→ StudyOutput
+//! ```
+//!
+//! Every stage output carries a [`MetricsSnapshot`] of the observability
+//! registry at that point, so callers can inspect counters and spans after
+//! any prefix of the pipeline without running the rest.
 
 use serde::{Deserialize, Serialize};
-use taxitrace_cleaning::{clean_session, CleaningStats, TripSegment};
+use taxitrace_cleaning::{clean_session, CleaningTotals, TripSegment};
+use taxitrace_exec::ExecMeter;
 use taxitrace_matching::{incremental, CandidateIndex, MatchScratch};
-use taxitrace_od::{FunnelRow, OdAnalyzer};
+use taxitrace_obs::{MetricsSnapshot, Registry};
+use taxitrace_od::{FunnelRow, OdAnalyzer, Transition};
 use taxitrace_roadnet::synth::SyntheticCity;
 use taxitrace_store::TripStore;
 use taxitrace_weather::WeatherModel;
 
 use crate::config::StudyConfig;
+use crate::error::Error;
 use crate::transitions::TransitionRecord;
 
-/// Aggregated cleaning statistics across all sessions.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct CleaningTotals {
-    pub sessions: usize,
-    pub raw_points: usize,
-    pub sessions_order_repaired: usize,
-    pub rule_fires: [usize; 5],
-    pub segments_kept: usize,
-    pub segments_too_few_points: usize,
-    pub segments_too_long: usize,
-}
-
-impl CleaningTotals {
-    fn absorb(&mut self, stats: &CleaningStats) {
-        self.sessions += 1;
-        self.raw_points += stats.raw_points;
-        if stats.order_repaired {
-            self.sessions_order_repaired += 1;
-        }
-        for (a, b) in self.rule_fires.iter_mut().zip(stats.segmentation.rule_fires) {
-            *a += b;
-        }
-        self.segments_kept += stats.filters.kept;
-        self.segments_too_few_points += stats.filters.too_few_points;
-        self.segments_too_long += stats.filters.too_long;
-    }
-}
-
-/// Wall-clock seconds of each pipeline stage of [`Study::run`].
+/// Wall-clock seconds of each pipeline stage, as a view over the study's
+/// recorded spans (see [`StageTimings::from_metrics`]).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Fleet simulation plus persisting sessions into the store.
@@ -52,10 +41,79 @@ pub struct StageTimings {
     pub match_fuse_s: f64,
 }
 
-/// A configured study, ready to run.
+impl StageTimings {
+    /// Reads the four stage walls out of a metrics snapshot's spans.
+    pub fn from_metrics(snapshot: &MetricsSnapshot) -> Self {
+        Self {
+            simulate_s: snapshot.span_wall_s("study/simulate"),
+            clean_s: snapshot.span_wall_s("study/clean"),
+            od_s: snapshot.span_wall_s("study/od"),
+            match_fuse_s: snapshot.span_wall_s("study/match_fuse"),
+        }
+    }
+}
+
+/// The observability context threaded through the stages: one registry for
+/// the whole run plus the executor's meter registered on it.
+struct Obs {
+    registry: Registry,
+    meter: ExecMeter,
+}
+
+impl Obs {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let meter = ExecMeter::new(&registry);
+        Self { registry, meter }
+    }
+}
+
+/// A configured study, ready to run (whole or stage by stage).
 #[derive(Debug, Clone)]
 pub struct Study {
     config: StudyConfig,
+}
+
+/// Stage 1 output: the simulated world, persisted into the trip store.
+pub struct Simulated {
+    pub config: StudyConfig,
+    pub city: SyntheticCity,
+    pub weather: WeatherModel,
+    pub store: TripStore,
+    /// Registry snapshot taken at the end of this stage.
+    pub metrics: MetricsSnapshot,
+    obs: Obs,
+}
+
+/// Stage 2 output: cleaned trip segments plus cleaning totals.
+pub struct Cleaned {
+    pub config: StudyConfig,
+    pub city: SyntheticCity,
+    pub weather: WeatherModel,
+    pub store: TripStore,
+    /// All cleaned trip segments (Table 3's population).
+    pub segments: Vec<TripSegment>,
+    pub cleaning: CleaningTotals,
+    /// Registry snapshot taken at the end of this stage.
+    pub metrics: MetricsSnapshot,
+    obs: Obs,
+}
+
+/// Stage 3 output: the Table 3 funnel and the corridor transitions.
+pub struct OdSelected {
+    pub config: StudyConfig,
+    pub city: SyntheticCity,
+    pub weather: WeatherModel,
+    pub store: TripStore,
+    pub segments: Vec<TripSegment>,
+    pub cleaning: CleaningTotals,
+    /// Table 3 funnel rows, one per taxi.
+    pub funnel_rows: Vec<FunnelRow>,
+    /// All extracted transitions (pre- and post-filtered alike).
+    pub raw_transitions: Vec<Transition>,
+    /// Registry snapshot taken at the end of this stage.
+    pub metrics: MetricsSnapshot,
+    obs: Obs,
 }
 
 /// Everything a study produces; the inputs of every table/figure analysis.
@@ -71,10 +129,13 @@ pub struct StudyOutput {
     /// Post-filtered, map-matched, attribute-fused transitions.
     pub transitions: Vec<TransitionRecord>,
     pub cleaning: CleaningTotals,
-    /// Per-stage wall-clock of this run.
+    /// Per-stage wall-clock of this run (a view over `metrics` spans).
     pub timings: StageTimings,
     /// Gap-fill path-cache `(hits, misses)` summed over matcher workers.
     pub cache_stats: (u64, u64),
+    /// Full metrics of the run: counters, gauges, histograms and spans
+    /// from every stage, the executor and the matcher caches.
+    pub metrics: MetricsSnapshot,
 }
 
 impl Study {
@@ -83,57 +144,139 @@ impl Study {
         Self { config }
     }
 
-    /// Runs the full pipeline: simulate → store → clean → O-D select →
-    /// match → fuse.
-    pub fn run(&self) -> StudyOutput {
+    /// Stage 1: validate the config, generate the city and weather,
+    /// simulate the fleet and persist every session into the store.
+    pub fn simulate(&self) -> Result<Simulated, Error> {
         let config = self.config.clone();
-        let city = taxitrace_roadnet::synth::generate(&config.city);
+        config.validate()?;
+        let obs = Obs::new();
+
+        let mut span = obs.registry.span("study/simulate");
+        let city = {
+            let _s = obs.registry.span("study/simulate/city");
+            taxitrace_roadnet::synth::generate(&config.city)
+        };
         let weather = WeatherModel::new(config.seed ^ 0x57EA_7E7A);
-        let mut timings = StageTimings::default();
+        let fleet = {
+            let _s = obs.registry.span("study/simulate/fleet");
+            taxitrace_traces::simulate_fleet(&city, &weather, &config.fleet)
+        };
+        obs.registry.counter("sim.sessions").add(fleet.sessions.len() as u64);
+        let raw_points: usize = fleet.sessions.iter().map(|s| s.points.len()).sum();
+        obs.registry.counter("sim.raw_points").add(raw_points as u64);
 
-        // Simulate and persist into the store.
-        let stage = Instant::now();
-        let fleet = taxitrace_traces::simulate_fleet(&city, &weather, &config.fleet);
         let mut store = TripStore::new();
-        store
-            .insert_all(fleet.sessions)
-            .expect("simulator produces unique trip ids");
-        timings.simulate_s = stage.elapsed().as_secs_f64();
+        {
+            let _s = obs.registry.span("study/simulate/persist");
+            store.insert_all(fleet.sessions)?;
+        }
+        span.set_items(store.sessions().len() as u64);
+        span.finish();
 
-        // Clean every session (parallel per session; deterministic
-        // because results are folded in input order).
-        let stage = Instant::now();
+        let metrics = obs.registry.snapshot();
+        Ok(Simulated { config, city, weather, store, metrics, obs })
+    }
+
+    /// Runs the full pipeline: simulate → store → clean → O-D select →
+    /// match → fuse. Equivalent to chaining the four stages; kept as the
+    /// one-call entry point.
+    pub fn run(&self) -> Result<StudyOutput, Error> {
+        self.simulate()?.clean()?.analyze_od()?.match_fuse()
+    }
+}
+
+impl Simulated {
+    /// Stage 2: clean every session (parallel per session; deterministic
+    /// because results are folded in input order).
+    pub fn clean(self) -> Result<Cleaned, Error> {
+        let Simulated { config, city, weather, store, obs, .. } = self;
+
+        let mut span = obs.registry.span("study/clean");
         let mut cleaning = CleaningTotals::default();
         let mut segments: Vec<TripSegment> = Vec::new();
         {
             let cleaning_config = &config.cleaning;
-            let cleaned_sessions = taxitrace_exec::par_map(store.sessions(), |session| {
-                clean_session(session, cleaning_config)
-            });
+            let cleaned_sessions = taxitrace_exec::par_map_metered(
+                store.sessions(),
+                |session| clean_session(session, cleaning_config),
+                &obs.meter,
+            );
             for cleaned in cleaned_sessions {
                 cleaning.absorb(&cleaned.stats);
                 segments.extend(cleaned.segments);
             }
         }
-        timings.clean_s = stage.elapsed().as_secs_f64();
+        cleaning.record_metrics(&obs.registry);
+        span.set_items(segments.len() as u64);
+        span.finish();
 
-        // O-D funnel and transitions.
-        let stage = Instant::now();
+        let metrics = obs.registry.snapshot();
+        Ok(Cleaned { config, city, weather, store, segments, cleaning, metrics, obs })
+    }
+}
+
+impl Cleaned {
+    /// Stage 3: the O-D funnel (Table 3) and corridor-transition
+    /// extraction over the cleaned segments.
+    pub fn analyze_od(self) -> Result<OdSelected, Error> {
+        let Cleaned { config, city, weather, store, segments, cleaning, obs, .. } = self;
+
+        let mut span = obs.registry.span("study/od");
         let analyzer = OdAnalyzer::from_city(&city);
-        let funnel_rows = analyzer.funnel(&segments);
-        let raw_transitions = analyzer.transitions(&segments);
-        timings.od_s = stage.elapsed().as_secs_f64();
+        let funnel_rows = {
+            let _s = obs.registry.span("study/od/funnel");
+            analyzer.funnel(&segments)
+        };
+        let raw_transitions = {
+            let _s = obs.registry.span("study/od/transitions");
+            analyzer.transitions(&segments)
+        };
+        taxitrace_od::record_funnel_metrics(&funnel_rows, &obs.registry);
+        span.set_items(raw_transitions.len() as u64);
+        span.finish();
 
-        // Map-match and fuse the post-filtered transitions
-        // ("Only cleared and filtered transitions going through the city
-        // centre are map-matched" — §IV-E).
-        let stage = Instant::now();
-        let index = CandidateIndex::new(&city.graph, &city.elements);
-        let post: Vec<&taxitrace_od::Transition> =
+        let metrics = obs.registry.snapshot();
+        Ok(OdSelected {
+            config,
+            city,
+            weather,
+            store,
+            segments,
+            cleaning,
+            funnel_rows,
+            raw_transitions,
+            metrics,
+            obs,
+        })
+    }
+}
+
+impl OdSelected {
+    /// Stage 4: map-match and fuse the post-filtered transitions
+    /// ("Only cleared and filtered transitions going through the city
+    /// centre are map-matched" — §IV-E).
+    pub fn match_fuse(self) -> Result<StudyOutput, Error> {
+        let OdSelected {
+            config,
+            city,
+            weather,
+            store,
+            segments,
+            cleaning,
+            funnel_rows,
+            raw_transitions,
+            obs,
+            ..
+        } = self;
+
+        let mut span = obs.registry.span("study/match_fuse");
+        let index = {
+            let _s = obs.registry.span("study/match_fuse/index");
+            CandidateIndex::new(&city.graph, &city.elements)
+        };
+        let post: Vec<&Transition> =
             raw_transitions.iter().filter(|t| t.post_filtered).collect();
-        let fuse_one = |scratch: &mut MatchScratch,
-                        t: &taxitrace_od::Transition|
-         -> TransitionRecord {
+        let fuse_one = |scratch: &mut MatchScratch, t: &Transition| -> TransitionRecord {
             let seg = &segments[t.segment_index];
             // Work on the transition slice (origin..=destination). The
             // crossing indices mark the points *before* the corridor-entry
@@ -168,17 +311,26 @@ impl Study {
         };
         // Match and fuse in parallel, preserving order; each worker keeps
         // one scratch (search arrays + gap-fill cache) across its share.
-        let (transitions, scratches): (Vec<TransitionRecord>, Vec<MatchScratch>) =
-            taxitrace_exec::par_map_init(&post, MatchScratch::new, |scratch, t| {
-                fuse_one(scratch, t)
-            });
-        timings.match_fuse_s = stage.elapsed().as_secs_f64();
+        let (transitions, scratches): (Vec<TransitionRecord>, Vec<MatchScratch>) = {
+            let _s = obs.registry.span("study/match_fuse/match");
+            taxitrace_exec::par_map_init_metered(
+                &post,
+                MatchScratch::new,
+                |scratch, t| fuse_one(scratch, t),
+                &obs.meter,
+            )
+        };
         let cache_stats = scratches.iter().fold((0, 0), |(h, m), s| {
             let (sh, sm) = s.cache_stats();
             (h + sh, m + sm)
         });
+        taxitrace_matching::record_scratch_metrics(&scratches, &obs.registry);
+        span.set_items(transitions.len() as u64);
+        span.finish();
 
-        StudyOutput {
+        let metrics = obs.registry.snapshot();
+        let timings = StageTimings::from_metrics(&metrics);
+        Ok(StudyOutput {
             config,
             city,
             weather,
@@ -189,7 +341,8 @@ impl Study {
             cleaning,
             timings,
             cache_stats,
-        }
+            metrics,
+        })
     }
 }
 
@@ -227,7 +380,9 @@ impl StudyOutput {
 pub(crate) fn test_output() -> &'static StudyOutput {
     use std::sync::OnceLock;
     static OUT: OnceLock<StudyOutput> = OnceLock::new();
-    OUT.get_or_init(|| Study::new(StudyConfig::scaled(7, 0.15)).run())
+    OUT.get_or_init(|| {
+        Study::new(StudyConfig::scaled(7, 0.15)).run().expect("study pipeline")
+    })
 }
 
 #[cfg(test)]
@@ -297,14 +452,108 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let a = Study::new(StudyConfig::quick(7)).run();
-        let b = Study::new(StudyConfig::quick(7)).run();
+        let a = Study::new(StudyConfig::quick(7)).run().expect("study");
+        let b = Study::new(StudyConfig::quick(7)).run().expect("study");
         assert_eq!(a.transitions.len(), b.transitions.len());
         assert_eq!(a.total_transition_points(), b.total_transition_points());
-        let c = Study::new(StudyConfig::quick(8)).run();
+        let c = Study::new(StudyConfig::quick(8)).run().expect("study");
         assert_ne!(
             (a.transitions.len(), a.total_transition_points()),
             (c.transitions.len(), c.total_transition_points())
         );
+    }
+
+    #[test]
+    fn invalid_config_fails_fast() {
+        let mut cfg = StudyConfig::quick(7);
+        cfg.fleet.legs_per_taxi.clear();
+        match Study::new(cfg).simulate() {
+            Err(err) => assert!(matches!(err, Error::Config(_)), "got {err}"),
+            Ok(_) => panic!("zero taxis must fail"),
+        }
+    }
+
+    #[test]
+    fn stage_metrics_cover_the_pipeline() {
+        let out = output();
+        let m = &out.metrics;
+        // One counter per stage family, plus executor and cache stats.
+        assert!(m.counter("sim.sessions").is_some_and(|v| v > 0));
+        assert!(m.counter("clean.sessions").is_some_and(|v| v > 0));
+        assert!(m.counter("od.transitions_total").is_some_and(|v| v > 0));
+        assert!(m.counter("match.traces").is_some_and(|v| v > 0));
+        assert!(m.counter("exec.tasks").is_some_and(|v| v > 0));
+        let hits = m.counter("match.cache_hits").unwrap_or(0);
+        let misses = m.counter("match.cache_misses").unwrap_or(0);
+        assert_eq!((hits, misses), out.cache_stats);
+        // Spans exist for all four stages and nest under them.
+        for path in ["study/simulate", "study/clean", "study/od", "study/match_fuse"] {
+            assert!(m.span(path).is_some(), "missing span {path}");
+        }
+        assert!(m.span("study/match_fuse/match").is_some());
+        // Timings are exactly the span walls.
+        assert_eq!(out.timings, StageTimings::from_metrics(m));
+        // Counters agree with the carried outputs.
+        assert_eq!(m.counter("clean.sessions"), Some(out.cleaning.sessions as u64));
+        assert_eq!(
+            m.counter("match.traces"),
+            Some(out.transitions.len() as u64)
+        );
+    }
+
+    /// The staged API is `run()` expressed stepwise: running the stages by
+    /// hand must reproduce `run()`'s output exactly.
+    #[test]
+    fn staged_api_equals_run() {
+        let study = Study::new(StudyConfig::quick(11));
+        let whole = study.run().expect("run");
+        let staged = study
+            .simulate()
+            .expect("simulate")
+            .clean()
+            .expect("clean")
+            .analyze_od()
+            .expect("analyze_od")
+            .match_fuse()
+            .expect("match_fuse");
+        assert_eq!(staged.segments.len(), whole.segments.len());
+        assert_eq!(staged.funnel_rows, whole.funnel_rows);
+        assert_eq!(staged.transitions.len(), whole.transitions.len());
+        assert_eq!(
+            staged.total_transition_points(),
+            whole.total_transition_points()
+        );
+        assert_eq!(staged.cleaning, whole.cleaning);
+        assert_eq!(staged.cache_stats, whole.cache_stats);
+        // Deterministic metric counters agree too (walls differ, counts not).
+        for name in [
+            "sim.sessions",
+            "clean.segments_kept",
+            "od.post_filtered",
+            "match.traces",
+            "match.astar_expanded",
+        ] {
+            assert_eq!(
+                staged.metrics.counter(name),
+                whole.metrics.counter(name),
+                "counter {name} diverged between staged and run()"
+            );
+        }
+    }
+
+    /// Intermediate stage outputs carry snapshots of their own stage.
+    #[test]
+    fn intermediate_snapshots_grow_monotonically() {
+        let study = Study::new(StudyConfig::quick(13));
+        let sim = study.simulate().expect("simulate");
+        assert!(sim.metrics.counter("sim.sessions").is_some_and(|v| v > 0));
+        assert!(sim.metrics.counter("clean.sessions").is_none());
+        let cleaned = sim.clean().expect("clean");
+        assert!(cleaned.metrics.counter("clean.sessions").is_some_and(|v| v > 0));
+        assert!(cleaned.metrics.counter("od.taxis").is_none());
+        let od = cleaned.analyze_od().expect("analyze_od");
+        assert!(od.metrics.counter("od.taxis").is_some_and(|v| v > 0));
+        assert!(od.metrics.counter("match.traces").is_none());
+        assert!(!od.raw_transitions.is_empty());
     }
 }

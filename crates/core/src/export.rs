@@ -191,15 +191,15 @@ mod tests {
         assert!(files.len() >= 8, "{files:?}");
 
         // Row counts line up with the in-memory products.
-        let transitions = fs::read_to_string(dir.join("transitions.csv")).unwrap();
+        let transitions = fs::read_to_string(dir.join("transitions.csv")).expect("read");
         assert_eq!(transitions.lines().count(), out.transitions.len() + 1);
-        let funnel = fs::read_to_string(dir.join("table3_funnel.csv")).unwrap();
+        let funnel = fs::read_to_string(dir.join("table3_funnel.csv")).expect("read");
         assert_eq!(funnel.lines().count(), out.funnel().len() + 1);
         // Header column counts match data column counts.
         for name in &files {
-            let body = fs::read_to_string(dir.join(name)).unwrap();
+            let body = fs::read_to_string(dir.join(name)).expect("read");
             let mut lines = body.lines();
-            let header_cols = lines.next().unwrap().split(',').count();
+            let header_cols = lines.next().expect("header").split(',').count();
             if let Some(first) = lines.next() {
                 assert_eq!(first.split(',').count(), header_cols, "{name}");
             }

@@ -32,13 +32,27 @@
 //! ```
 //! use taxitrace_core::{Study, StudyConfig};
 //!
-//! let output = Study::new(StudyConfig::quick(7)).run();
+//! let config = StudyConfig::builder(7).scale(0.05).build().expect("valid config");
+//! let output = Study::new(config).run().expect("pipeline");
 //! let table3 = output.funnel();
 //! assert!(!table3.is_empty());
+//! ```
+//!
+//! The pipeline can also be driven stage by stage — each stage returns a
+//! typed output carrying a metrics snapshot:
+//!
+//! ```
+//! use taxitrace_core::{Study, StudyConfig};
+//!
+//! let sim = Study::new(StudyConfig::quick(7)).simulate().expect("simulate");
+//! assert!(sim.metrics.counter("sim.sessions").is_some());
+//! let cleaned = sim.clean().expect("clean");
+//! assert!(!cleaned.segments.is_empty());
 //! ```
 
 mod coach;
 mod config;
+mod error;
 mod experiment;
 mod export;
 mod gridstats;
@@ -49,8 +63,10 @@ mod transitions;
 
 pub use coach::{coach_report, CoachConfig, CoachEvent, TripReport};
 pub use export::export_csv;
-pub use config::StudyConfig;
-pub use experiment::{StageTimings, Study, StudyOutput};
+pub use config::{ConfigError, StudyConfig, StudyConfigBuilder};
+pub use error::Error;
+pub use experiment::{Cleaned, OdSelected, Simulated, StageTimings, Study, StudyOutput};
+pub use taxitrace_cleaning::CleaningTotals;
 pub use gridstats::{grid_analysis, CellStat, GridStats, Table5, Table5Class};
 pub use mixedanalysis::{mixed_model, mixed_model_with_features, CellEffect, MixedResults};
 pub use results::{

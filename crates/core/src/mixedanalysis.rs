@@ -104,7 +104,7 @@ fn fit(output: &StudyOutput, with_features: bool) -> Result<MixedResults, LmmErr
         .iter()
         .map(|g| CellEffect { cell: key_cell(g.key), n: g.n, blup: g.blup, se: g.se })
         .collect();
-    cells.sort_by(|a, b| a.blup.partial_cmp(&b.blup).expect("finite blups"));
+    cells.sort_by(|a, b| a.blup.total_cmp(&b.blup));
     let blups: Vec<f64> = cells.iter().map(|c| c.blup).collect();
     let fixed_features = names
         .into_iter()
@@ -154,8 +154,8 @@ mod tests {
         // The LRT agrees: the geography effect is overwhelming.
         assert!(r.geography_lrt > 50.0, "LRT {}", r.geography_lrt);
         assert!(r.geography_p < 1e-6, "p {}", r.geography_p);
-        let min = r.cells.first().unwrap().blup;
-        let max = r.cells.last().unwrap().blup;
+        let min = r.cells.first().expect("cells").blup;
+        let max = r.cells.last().expect("cells").blup;
         assert!(max - min > 5.0, "spread {}", max - min);
         // Grand mean is a plausible urban speed.
         assert!((10.0..40.0).contains(&r.grand_mean), "mean {}", r.grand_mean);
@@ -173,7 +173,7 @@ mod tests {
     #[test]
     fn center_cells_are_slower() {
         let out = crate::experiment::test_output();
-        let r = mixed_model(out).unwrap();
+        let r = mixed_model(out).expect("model fits");
         let grid = Grid::new(Point::new(0.0, 0.0), out.config.grid_size_m);
         let mut center = Vec::new();
         let mut outer = Vec::new();
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     fn feature_model_finds_negative_light_effect() {
         let out = crate::experiment::test_output();
-        let r = mixed_model_with_features(out).unwrap();
+        let r = mixed_model_with_features(out).expect("model fits");
         assert_eq!(r.fixed_features.len(), 3);
         let lights = &r.fixed_features[0];
         assert_eq!(lights.0, "traffic_lights");

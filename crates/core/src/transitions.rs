@@ -59,10 +59,12 @@ impl TransitionRecord {
     ) -> Self {
         let points: Vec<RoutePoint> =
             segment.points[origin_point..=destination_point].to_vec();
+        // `origin..=destination` slicing guarantees at least one point.
         let start_time = points[0].timestamp;
-        let end_time = points.last().expect("non-empty transition").timestamp;
+        let last = &points[points.len() - 1];
+        let end_time = last.timestamp;
         let dist_m: f64 = points.windows(2).map(|w| w[0].pos.distance(w[1].pos)).sum();
-        let fuel_ml = (points.last().expect("non-empty").fuel_ml - points[0].fuel_ml).max(0.0);
+        let fuel_ml = (last.fuel_ml - points[0].fuel_ml).max(0.0);
 
         // §IV-F attribute fetch along the matched element path. Traffic
         // lights are counted as signalised junctions passed (a light
@@ -199,7 +201,7 @@ mod tests {
             city.graph.nearest_node(taxitrace_geo::Point::new(600.0, 0.0)),
             CostModel::Distance,
         )
-        .unwrap();
+        .expect("route exists");
         // Travel time is the drivers' cost model; it routes through the
         // core (the pure-distance optimum is the junction-sparse bypass).
         let long = dijkstra::astar(
@@ -208,7 +210,7 @@ mod tests {
             city.od_roads[1].outer_node,
             CostModel::TravelTime,
         )
-        .unwrap();
+        .expect("route exists");
         let js = junctions_along(&city.graph, &short.element_ids(&city.graph));
         let jl = junctions_along(&city.graph, &long.element_ids(&city.graph));
         assert!(js >= 2, "short route junctions {js}");

@@ -23,15 +23,75 @@
 //! affects only *which worker* computes an item and *when*, never the
 //! value written to slot `i`. The pipeline relies on this: `repro`
 //! output is byte-identical across runs and thread counts.
+//!
+//! # Observability
+//!
+//! The `*_metered` variants report executor behaviour through a
+//! [`taxitrace_obs::Registry`] via [`ExecMeter`]: tasks executed, steals
+//! (items a worker claimed beyond its fair share), cumulative idle time,
+//! worker counts, and a histogram of per-worker task loads. Metering
+//! never changes results — it only counts what the schedule did.
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use taxitrace_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Number of worker threads for a work list of `len` items: one per
 /// available CPU, capped by the number of items (never zero).
 pub fn worker_count(len: usize) -> usize {
     let cpus = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
     cpus.min(len).max(1)
+}
+
+/// Executor metric handles, registered once and reused across stages.
+///
+/// * `exec.tasks` — items executed across all metered calls;
+/// * `exec.steals` — items claimed by a worker beyond its fair share
+///   (`ceil(len / workers)`); non-zero means the cursor rebalanced skew;
+/// * `exec.idle_us` — cumulative worker idle time (stage wall minus the
+///   worker's busy time), microseconds;
+/// * `exec.batches` — metered stage invocations;
+/// * `exec.workers` — workers used by the most recent batch (gauge);
+/// * `exec.worker_tasks` — per-worker task-count distribution.
+#[derive(Debug, Clone)]
+pub struct ExecMeter {
+    tasks: Counter,
+    steals: Counter,
+    idle_us: Counter,
+    batches: Counter,
+    workers: Gauge,
+    worker_tasks: Histogram,
+}
+
+impl ExecMeter {
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            tasks: registry.counter("exec.tasks"),
+            steals: registry.counter("exec.steals"),
+            idle_us: registry.counter("exec.idle_us"),
+            batches: registry.counter("exec.batches"),
+            workers: registry.gauge("exec.workers"),
+            worker_tasks: registry.histogram(
+                "exec.worker_tasks",
+                &[16.0, 64.0, 256.0, 1024.0, 4096.0],
+            ),
+        }
+    }
+
+    fn record_batch(&self, wall_s: f64, workers: usize, per_worker: &[(usize, f64)]) {
+        let len: usize = per_worker.iter().map(|(tasks, _)| tasks).sum();
+        let fair = len.div_ceil(workers.max(1));
+        self.batches.inc();
+        self.workers.set(workers as f64);
+        self.tasks.add(len as u64);
+        for &(tasks, busy_s) in per_worker {
+            self.steals.add(tasks.saturating_sub(fair) as u64);
+            self.idle_us.add(((wall_s - busy_s).max(0.0) * 1e6) as u64);
+            self.worker_tasks.observe(tasks as f64);
+        }
+    }
 }
 
 /// Maps `f` over `items` in parallel, preserving input order in the
@@ -43,6 +103,17 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let (results, _) = par_map_init(items, || (), |(), item| f(item));
+    results
+}
+
+/// [`par_map`] with executor metrics recorded through `meter`.
+pub fn par_map_metered<T, R, F>(items: &[T], f: F, meter: &ExecMeter) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (results, _) = par_map_init_metered(items, || (), |(), item| f(item), meter);
     results
 }
 
@@ -59,10 +130,48 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
+    par_map_core(items, init, f, None)
+}
+
+/// [`par_map_init`] with executor metrics recorded through `meter`.
+pub fn par_map_init_metered<T, R, S, I, F>(
+    items: &[T],
+    init: I,
+    f: F,
+    meter: &ExecMeter,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    par_map_core(items, init, f, Some(meter))
+}
+
+fn par_map_core<T, R, S, I, F>(
+    items: &[T],
+    init: I,
+    f: F,
+    meter: Option<&ExecMeter>,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     let workers = worker_count(items.len());
+    let stage_start = Instant::now();
     if workers <= 1 {
         let mut state = init();
-        let results = items.iter().map(|item| f(&mut state, item)).collect();
+        let results: Vec<R> = items.iter().map(|item| f(&mut state, item)).collect();
+        if let Some(meter) = meter {
+            let wall_s = stage_start.elapsed().as_secs_f64();
+            meter.record_batch(wall_s, 1, &[(items.len(), wall_s)]);
+        }
         return (results, vec![state]);
     }
 
@@ -71,6 +180,7 @@ where
     slots.resize_with(items.len(), || None);
 
     let mut states = Vec::with_capacity(workers);
+    let mut per_worker: Vec<(usize, f64)> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         // Workers buffer (index, value) pairs locally and the parent
@@ -81,6 +191,7 @@ where
             let f = &f;
             let init = &init;
             handles.push(scope.spawn(move || {
+                let busy_start = Instant::now();
                 let mut state = init();
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
@@ -90,18 +201,27 @@ where
                     }
                     local.push((index, f(&mut state, &items[index])));
                 }
-                (state, local)
+                (state, local, busy_start.elapsed().as_secs_f64())
             }));
         }
         for handle in handles {
-            let (state, local) = handle.join().expect("executor worker panicked");
+            let (state, local, busy_s) = match handle.join() {
+                Ok(result) => result,
+                // A worker panicked while running `f`; re-raise the
+                // original payload in the caller's thread.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             states.push(state);
+            per_worker.push((local.len(), busy_s));
             for (index, value) in local {
                 debug_assert!(slots[index].is_none(), "slot {index} written twice");
                 slots[index] = Some(value);
             }
         }
     });
+    if let Some(meter) = meter {
+        meter.record_batch(stage_start.elapsed().as_secs_f64(), workers, &per_worker);
+    }
 
     let results = slots
         .into_iter()
@@ -173,5 +293,58 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(10_000) >= 1);
+    }
+
+    #[test]
+    fn metered_map_counts_every_task() {
+        let registry = Registry::new();
+        let meter = ExecMeter::new(&registry);
+        let items: Vec<usize> = (0..777).collect();
+        let out = par_map_metered(&items, |&x| x + 1, &meter);
+        assert_eq!(out.len(), items.len());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("exec.tasks"), Some(777));
+        assert_eq!(snap.counter("exec.batches"), Some(1));
+        assert!(snap.gauge("exec.workers").is_some_and(|w| w >= 1.0));
+        // Per-worker task counts land in the histogram and sum to the
+        // task total.
+        let hist = snap.histograms.iter().find(|h| h.name == "exec.worker_tasks");
+        assert!(hist.is_some_and(|h| (h.sum - 777.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn registry_counters_exact_under_par_map() {
+        // Many workers hammering shared counter handles through the
+        // work-stealing map must lose no increments.
+        let registry = Registry::new();
+        let meter = ExecMeter::new(&registry);
+        let hits = registry.counter("test.hits");
+        let weighted = registry.counter("test.weighted");
+        let items: Vec<u64> = (0..5000).collect();
+        let out = par_map_metered(
+            &items,
+            |&x| {
+                hits.inc();
+                weighted.add(x % 7);
+                x
+            },
+            &meter,
+        );
+        assert_eq!(out, items);
+        let expect_weighted: u64 = items.iter().map(|x| x % 7).sum();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("test.hits"), Some(5000));
+        assert_eq!(snap.counter("test.weighted"), Some(expect_weighted));
+        assert_eq!(snap.counter("exec.tasks"), Some(5000));
+    }
+
+    #[test]
+    fn metered_results_equal_unmetered() {
+        let registry = Registry::new();
+        let meter = ExecMeter::new(&registry);
+        let items: Vec<u64> = (0..300).collect();
+        let plain = par_map(&items, |&x| x * x);
+        let metered = par_map_metered(&items, |&x| x * x, &meter);
+        assert_eq!(plain, metered);
     }
 }

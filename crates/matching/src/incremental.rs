@@ -79,7 +79,12 @@ pub fn match_trace_with(
     points: &[RoutePoint],
     config: &MatchConfig,
 ) -> MatchedTrace {
-    let (matched, unmatched) = match_points(graph, index, points, config);
+    let (matched, unmatched, candidates_scored) =
+        match_points_counted(graph, index, points, config);
+    scratch.traces += 1;
+    scratch.candidates_scored += candidates_scored;
+    scratch.points_matched += matched.len() as u64;
+    scratch.points_unmatched += unmatched as u64;
     let elements = element_path_with(scratch, graph, &matched, config.gap_fill);
     MatchedTrace { points: matched, elements, unmatched }
 }
@@ -91,6 +96,18 @@ fn match_points(
     points: &[RoutePoint],
     config: &MatchConfig,
 ) -> (Vec<MatchedPoint>, usize) {
+    let (matched, unmatched, _) = match_points_counted(graph, index, points, config);
+    (matched, unmatched)
+}
+
+/// [`match_points`] that also reports how many candidates were scored,
+/// for the matcher's observability counters.
+fn match_points_counted(
+    graph: &RoadGraph,
+    index: &CandidateIndex,
+    points: &[RoutePoint],
+    config: &MatchConfig,
+) -> (Vec<MatchedPoint>, usize, u64) {
     let mut matched = Vec::with_capacity(points.len());
     let mut unmatched = 0usize;
     let mut prev_edge: Option<EdgeId> = None;
@@ -100,6 +117,7 @@ fn match_points(
         .iter()
         .map(|p| index.scored_candidates(p.pos, p.heading_deg, p.speed_kmh, config))
         .collect();
+    let candidates_scored: u64 = cand_lists.iter().map(|c| c.len() as u64).sum();
 
     for (i, point) in points.iter().enumerate() {
         let _ = point;
@@ -152,7 +170,7 @@ fn match_points(
         prev_edge = Some(cand.edge);
     }
 
-    (matched, unmatched)
+    (matched, unmatched, candidates_scored)
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ pub fn element_path_with(
         // Route across the gap. The memoised value is exactly what the A*
         // query (itself bit-equal to the Dijkstra reference) would
         // recompute, so the cache affects speed only.
-        let MatchScratch { search, cache } = scratch;
+        let MatchScratch { search, cache, .. } = scratch;
         let model = dijkstra::CostModel::Distance;
         cache
             .get_or_insert_with((exit, entry, model), || {

@@ -82,13 +82,22 @@ impl PathCache {
     }
 }
 
-/// All mutable per-worker state a matcher thread holds across traces.
+/// All mutable per-worker state a matcher thread holds across traces,
+/// plus the audit counters the matcher accumulates while using it.
 #[derive(Debug, Clone, Default)]
 pub struct MatchScratch {
     /// Reusable A* arrays (generation-stamped; no per-query allocation).
     pub search: SearchState,
     /// Memoised gap-fill routes.
     pub cache: PathCache,
+    /// Traces matched through this scratch.
+    pub traces: u64,
+    /// Candidates scored across all points of all traces.
+    pub candidates_scored: u64,
+    /// Points that received a match.
+    pub points_matched: u64,
+    /// Points with no candidate in radius.
+    pub points_unmatched: u64,
 }
 
 impl MatchScratch {
@@ -100,6 +109,41 @@ impl MatchScratch {
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.cache.hits(), self.cache.misses())
     }
+}
+
+/// Publishes the combined counters of per-worker scratches as `match.*`
+/// metrics: trace/point/candidate volumes, gap-fill cache efficiency and
+/// A* search effort.
+pub fn record_scratch_metrics(scratches: &[MatchScratch], registry: &taxitrace_obs::Registry) {
+    let mut traces = 0u64;
+    let mut candidates = 0u64;
+    let mut matched = 0u64;
+    let mut unmatched = 0u64;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut expanded = 0u64;
+    let mut entries = 0u64;
+    for s in scratches {
+        traces += s.traces;
+        candidates += s.candidates_scored;
+        matched += s.points_matched;
+        unmatched += s.points_unmatched;
+        hits += s.cache.hits();
+        misses += s.cache.misses();
+        expanded += s.search.expanded_total();
+        entries += s.cache.len() as u64;
+    }
+    registry.counter("match.traces").add(traces);
+    registry.counter("match.candidates_scored").add(candidates);
+    registry.counter("match.points_matched").add(matched);
+    registry.counter("match.points_unmatched").add(unmatched);
+    registry.counter("match.cache_hits").add(hits);
+    registry.counter("match.cache_misses").add(misses);
+    registry.counter("match.astar_expanded").add(expanded);
+    registry.gauge("match.cache_entries").set(entries as f64);
+    registry
+        .gauge("match.cache_hit_rate")
+        .set(hits as f64 / (hits + misses).max(1) as f64);
 }
 
 #[cfg(test)]

@@ -1,0 +1,326 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms behind cheap `Arc`-cloned handles.
+//!
+//! Registration (name → handle) takes a short mutex; every increment or
+//! observation afterwards is a single atomic operation on the shared
+//! cell, so hot loops touch no lock. Handles stay valid for the life of
+//! the registry and can be cloned freely across worker threads.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+use crate::span::Span;
+
+/// A monotonically increasing `u64` metric.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` metric (stored as bits in an `AtomicU64`).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    /// Upper bucket bounds, ascending; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// One cell per bound plus the overflow cell.
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    /// Running sum of observed values, as `f64` bits updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram; bounds are set at registration and never
+/// reallocated, so observation is lock-free.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    pub fn observe(&self, v: f64) {
+        let cells = &self.0;
+        let idx = cells.bounds.partition_point(|b| v > *b);
+        cells.counts[idx].fetch_add(1, Ordering::Relaxed);
+        cells.total.fetch_add(1, Ordering::Relaxed);
+        let mut old = cells.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match cells.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => old = actual,
+            }
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A finished span measurement (see [`Span`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Start order among all spans of this registry.
+    pub seq: u64,
+    /// Hierarchical path, `/`-separated (`"study/clean"`).
+    pub path: String,
+    pub wall_s: f64,
+    /// Items processed inside the span (0 when not applicable).
+    pub items: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<Vec<SpanRecord>>,
+    span_seq: AtomicU64,
+}
+
+/// The root object: hands out metric handles and snapshots their values.
+///
+/// Cloning a `Registry` clones the `Arc`; all clones see the same
+/// metrics. The registry is `Send + Sync` and safe to share with worker
+/// threads.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Registry")
+            .field("counters", &snap.counters.len())
+            .field("gauges", &snap.gauges.len())
+            .field("histograms", &snap.histograms.len())
+            .field("spans", &snap.spans.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero on first
+    /// use. Names are `.`-separated lowercase (`"clean.sessions"`).
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("counter registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge registered under `name`, creating it at 0.0 on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("gauge registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`; `bounds` (ascending upper
+    /// bucket bounds) apply on first registration and are ignored for an
+    /// existing histogram of the same name.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut map =
+            self.inner.histograms.lock().expect("histogram registry poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| {
+                let mut counts = Vec::with_capacity(bounds.len() + 1);
+                counts.resize_with(bounds.len() + 1, AtomicU64::default);
+                Histogram(Arc::new(HistogramCells {
+                    bounds: bounds.to_vec(),
+                    counts,
+                    total: AtomicU64::new(0),
+                    sum_bits: AtomicU64::new(0.0f64.to_bits()),
+                }))
+            })
+            .clone()
+    }
+
+    /// Starts a wall-clock span at `path` (`/`-separated hierarchy).
+    /// The measurement is recorded when the returned guard is finished
+    /// or dropped.
+    pub fn span(&self, path: &str) -> Span {
+        let seq = self.inner.span_seq.fetch_add(1, Ordering::Relaxed);
+        Span::start(self.clone(), path.to_string(), seq)
+    }
+
+    /// Records an already-measured span. This is what [`Span`] calls on
+    /// finish; tests and views use it to inject deterministic timings.
+    pub fn record_span(&self, path: &str, wall_s: f64, items: u64) {
+        let seq = self.inner.span_seq.fetch_add(1, Ordering::Relaxed);
+        self.record_span_with_seq(seq, path, wall_s, items);
+    }
+
+    pub(crate) fn record_span_with_seq(
+        &self,
+        seq: u64,
+        path: &str,
+        wall_s: f64,
+        items: u64,
+    ) {
+        let mut spans = self.inner.spans.lock().expect("span registry poisoned");
+        spans.push(SpanRecord { seq, path: to_owned_path(path), wall_s, items });
+    }
+
+    /// A point-in-time copy of every metric, ordered deterministically:
+    /// counters/gauges/histograms by name, spans by start order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, h)| HistogramSnapshot {
+                name: name.clone(),
+                bounds: h.0.bounds.clone(),
+                counts: h.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                total: h.total(),
+                sum: h.sum(),
+            })
+            .collect();
+        let mut spans: Vec<SpanSnapshot> = self
+            .inner
+            .spans
+            .lock()
+            .expect("span registry poisoned")
+            .iter()
+            .map(|r| SpanSnapshot {
+                seq: r.seq,
+                path: r.path.clone(),
+                wall_s: r.wall_s,
+                items: r.items,
+            })
+            .collect();
+        spans.sort_by_key(|s| s.seq);
+        MetricsSnapshot { counters, gauges, histograms, spans }
+    }
+}
+
+fn to_owned_path(path: &str) -> String {
+    path.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("x").get(), 4);
+        assert_eq!(reg.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let reg = Registry::new();
+        let g = reg.gauge("g");
+        g.set(1.5);
+        g.set(-2.25);
+        assert_eq!(reg.gauge("g").get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", &[1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 100.0] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let hs = &snap.histograms[0];
+        // 0.5 and 1.0 land in the first bucket (bounds are inclusive),
+        // 5.0 in the second, 100.0 in the +Inf overflow cell.
+        assert_eq!(hs.counts, vec![2, 1, 1]);
+        assert_eq!(hs.total, 4);
+        assert!((hs.sum - 106.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_orders_by_name_and_seq() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        reg.record_span("second", 0.2, 0);
+        reg.record_span("first", 0.1, 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters[0].0, "a");
+        assert_eq!(snap.counters[1].0, "b");
+        assert_eq!(snap.spans[0].path, "second", "spans keep start order");
+    }
+
+    #[test]
+    fn threaded_counter_is_exact() {
+        let reg = Registry::new();
+        let c = reg.counter("n");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,303 @@
+//! Render a [`MetricsSnapshot`] for humans, for tooling, or for scrapes.
+//!
+//! Three sinks, all pure string renderers over the same snapshot:
+//!
+//! * **table** — aligned sections for terminals (spans indented by depth);
+//! * **json** — one stable-schema JSON object (hand-rolled, no serializer
+//!   dependency; keys sorted, floats at fixed precision) for golden tests
+//!   and the CI schema check;
+//! * **prometheus** — the text exposition format, `taxitrace_`-prefixed.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::MetricsSnapshot;
+
+/// JSON schema version emitted by [`render_json`]; bump on breaking
+/// structural change so the CI schema check fails loudly.
+pub const JSON_SCHEMA_VERSION: u32 = 1;
+
+/// Output format of [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    Table,
+    Json,
+    Prometheus,
+}
+
+impl MetricsFormat {
+    /// Parses `"table"`, `"json"` or `"prometheus"`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "table" => Some(Self::Table),
+            "json" => Some(Self::Json),
+            "prometheus" | "prom" => Some(Self::Prometheus),
+            _ => None,
+        }
+    }
+}
+
+/// Renders `snap` in the chosen format.
+pub fn render(snap: &MetricsSnapshot, format: MetricsFormat) -> String {
+    match format {
+        MetricsFormat::Table => render_table(snap),
+        MetricsFormat::Json => render_json(snap),
+        MetricsFormat::Prometheus => render_prometheus(snap),
+    }
+}
+
+/// Fixed-precision float that survives round-trips through text diffs.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        // JSON has no Inf/NaN literals; clamp to null-ish zero.
+        "0.000000".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-readable aligned sections.
+pub fn render_table(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snap.spans.is_empty() {
+        out.push_str("spans (wall clock, items, throughput):\n");
+        for s in &snap.spans {
+            let indent = "  ".repeat(s.depth());
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            let _ = write!(out, "  {indent}{name:<24} {:>9.1} ms", s.wall_s * 1e3);
+            if s.items > 0 {
+                let _ = write!(out, " {:>10} items {:>12.0}/s", s.items, s.items_per_s());
+            }
+            out.push('\n');
+        }
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<40} {v:>12}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<40} {v:>12.3}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for h in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<40} n={} mean={:.3}",
+                h.name,
+                h.total,
+                h.mean()
+            );
+            for (i, count) in h.counts.iter().enumerate() {
+                let label = match h.bounds.get(i) {
+                    Some(b) => format!("<= {b}"),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(out, "    {label:<12} {count:>10}");
+            }
+        }
+    }
+    out
+}
+
+/// One JSON object with a stable schema (see [`JSON_SCHEMA_VERSION`]).
+pub fn render_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {JSON_SCHEMA_VERSION},");
+
+    out.push_str("  \"counters\": {");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {v}", json_escape(name));
+    }
+    out.push_str(if snap.counters.is_empty() { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"gauges\": {");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", json_escape(name), fmt_f64(*v));
+    }
+    out.push_str(if snap.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"histograms\": [");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {{\"name\": \"{}\", \"bounds\": [", json_escape(&h.name));
+        for (j, b) in h.bounds.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&fmt_f64(*b));
+        }
+        out.push_str("], \"counts\": [");
+        for (j, c) in h.counts.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        let _ = write!(out, "], \"total\": {}, \"sum\": {}}}", h.total, fmt_f64(h.sum));
+    }
+    out.push_str(if snap.histograms.is_empty() { "],\n" } else { "\n  ],\n" });
+
+    out.push_str("  \"spans\": [");
+    for (i, s) in snap.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"path\": \"{}\", \"wall_s\": {}, \"items\": {}, \"items_per_s\": {}}}",
+            json_escape(&s.path),
+            fmt_f64(s.wall_s),
+            s.items,
+            fmt_f64(s.items_per_s()),
+        );
+    }
+    out.push_str(if snap.spans.is_empty() { "]\n" } else { "\n  ]\n" });
+
+    out.push_str("}\n");
+    out
+}
+
+/// `taxitrace_`-prefixed Prometheus text exposition.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    fn sanitize(name: &str) -> String {
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect()
+    }
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE taxitrace_{n} counter");
+        let _ = writeln!(out, "taxitrace_{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE taxitrace_{n} gauge");
+        let _ = writeln!(out, "taxitrace_{n} {}", fmt_f64(*v));
+    }
+    for h in &snap.histograms {
+        let n = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE taxitrace_{n} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in h.counts.iter().enumerate() {
+            cumulative += count;
+            let le = match h.bounds.get(i) {
+                Some(b) => fmt_f64(*b),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "taxitrace_{n}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "taxitrace_{n}_sum {}", fmt_f64(h.sum));
+        let _ = writeln!(out, "taxitrace_{n}_count {}", h.total);
+    }
+    if !snap.spans.is_empty() {
+        out.push_str("# TYPE taxitrace_span_seconds gauge\n");
+        for s in &snap.spans {
+            let _ = writeln!(
+                out,
+                "taxitrace_span_seconds{{path=\"{}\"}} {}",
+                s.path,
+                fmt_f64(s.wall_s)
+            );
+        }
+        out.push_str("# TYPE taxitrace_span_items gauge\n");
+        for s in &snap.spans {
+            let _ = writeln!(out, "taxitrace_span_items{{path=\"{}\"}} {}", s.path, s.items);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let reg = Registry::new();
+        reg.counter("clean.sessions").add(42);
+        reg.gauge("exec.workers").set(4.0);
+        let h = reg.histogram("exec.worker_tasks", &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(50.0);
+        reg.record_span("study", 2.0, 0);
+        reg.record_span("study/clean", 0.5, 42);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(MetricsFormat::parse("table"), Some(MetricsFormat::Table));
+        assert_eq!(MetricsFormat::parse("json"), Some(MetricsFormat::Json));
+        assert_eq!(MetricsFormat::parse("prom"), Some(MetricsFormat::Prometheus));
+        assert_eq!(MetricsFormat::parse("xml"), None);
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let json = render_json(&sample());
+        for needle in [
+            "\"schema\": 1",
+            "\"clean.sessions\": 42",
+            "\"exec.workers\": 4.000000",
+            "\"exec.worker_tasks\"",
+            "\"path\": \"study/clean\"",
+            "\"items_per_s\": 84.000000",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let json = render_json(&MetricsSnapshot::default());
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"spans\": []"));
+    }
+
+    #[test]
+    fn prometheus_cumulative_buckets() {
+        let prom = render_prometheus(&sample());
+        assert!(prom.contains("taxitrace_exec_worker_tasks_bucket{le=\"10.000000\"} 1"));
+        assert!(prom.contains("taxitrace_exec_worker_tasks_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("taxitrace_clean_sessions 42"));
+        assert!(prom.contains("taxitrace_span_seconds{path=\"study/clean\"} 0.500000"));
+    }
+
+    #[test]
+    fn table_indents_children() {
+        let table = render_table(&sample());
+        assert!(table.contains("  study "), "root at depth 0:\n{table}");
+        assert!(table.contains("    clean "), "child indented:\n{table}");
+        assert!(table.contains("clean.sessions"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Point-in-time metric values, detached from the live registry.
+
+/// One histogram's frozen state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    /// Ascending upper bucket bounds; `counts` has one extra overflow cell.
+    pub bounds: Vec<f64>,
+    pub counts: Vec<u64>,
+    pub total: u64,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+}
+
+/// One finished span's frozen state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Start order among all spans of the registry.
+    pub seq: u64,
+    /// Hierarchical `/`-separated path.
+    pub path: String,
+    pub wall_s: f64,
+    pub items: u64,
+}
+
+impl SpanSnapshot {
+    /// Items per second (0.0 when the span carried no items or no time).
+    pub fn items_per_s(&self) -> f64 {
+        if self.items == 0 || self.wall_s <= 0.0 {
+            0.0
+        } else {
+            self.items as f64 / self.wall_s
+        }
+    }
+
+    /// Nesting depth: `"study"` is 0, `"study/clean"` is 1.
+    pub fn depth(&self) -> usize {
+        self.path.matches('/').count()
+    }
+}
+
+/// Deterministically ordered copy of every metric in a [`crate::Registry`]:
+/// counters/gauges/histograms sorted by name, spans by start order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The last recorded span at `path`, if any.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().rev().find(|s| s.path == path)
+    }
+
+    /// Total wall-clock seconds over every span record at `path`.
+    pub fn span_wall_s(&self, path: &str) -> f64 {
+        self.spans.iter().filter(|s| s.path == path).map(|s| s.wall_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(path: &str, wall_s: f64, items: u64) -> SpanSnapshot {
+        SpanSnapshot { seq: 0, path: path.to_string(), wall_s, items }
+    }
+
+    #[test]
+    fn accessors() {
+        let snap = MetricsSnapshot {
+            counters: vec![("a".into(), 3)],
+            gauges: vec![("g".into(), 0.5)],
+            histograms: vec![],
+            spans: vec![span("s", 2.0, 10), span("s", 1.0, 4)],
+        };
+        assert_eq!(snap.counter("a"), Some(3));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("g"), Some(0.5));
+        assert_eq!(snap.span("s").map(|s| s.items), Some(4), "last record wins");
+        assert_eq!(snap.span_wall_s("s"), 3.0);
+    }
+
+    #[test]
+    fn throughput_and_depth() {
+        let s = span("study/clean", 2.0, 100);
+        assert_eq!(s.items_per_s(), 50.0);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(span("x", 0.0, 5).items_per_s(), 0.0);
+    }
+}

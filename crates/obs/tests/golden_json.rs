@@ -1,0 +1,47 @@
+//! Golden-file test for the JSON metrics sink: the serialized form of a
+//! fixed snapshot must stay byte-identical to the committed golden file.
+//! Regenerate deliberately with `BLESS=1 cargo test -p taxitrace-obs`.
+
+use taxitrace_obs::{render_json, Registry};
+
+fn fixed_registry() -> Registry {
+    let reg = Registry::new();
+    reg.counter("clean.sessions").add(2549);
+    reg.counter("clean.rule_fires.rule1").add(1021);
+    reg.counter("match.cache_hits").add(740);
+    reg.counter("match.cache_misses").add(212);
+    reg.counter("exec.tasks").add(7496);
+    reg.counter("exec.steals").add(12);
+    reg.gauge("exec.workers").set(4.0);
+    reg.gauge("match.cache_hit_rate").set(0.7773);
+    let h = reg.histogram("exec.worker_tasks", &[64.0, 256.0, 1024.0]);
+    for v in [40.0, 200.0, 200.0, 800.0, 3000.0] {
+        h.observe(v);
+    }
+    // Deterministic span records (a live span would measure wall clock).
+    reg.record_span("study", 4.25, 0);
+    reg.record_span("study/simulate", 1.5, 2549);
+    reg.record_span("study/clean", 0.75, 2549);
+    reg.record_span("study/od", 0.5, 4819);
+    reg.record_span("study/match_fuse", 1.5, 113);
+    reg
+}
+
+#[test]
+fn json_sink_matches_golden_file() {
+    let json = render_json(&fixed_registry().snapshot());
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics.json");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &json).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect(
+        "golden file missing — run once with BLESS=1 to create it",
+    );
+    assert_eq!(
+        json, golden,
+        "JSON sink output drifted from tests/golden/metrics.json; if the\n\
+         change is intentional, bump JSON_SCHEMA_VERSION and re-bless"
+    );
+}

@@ -21,5 +21,7 @@
 //! map-matching and attribute fusion.
 
 mod analyzer;
+mod obs;
 
 pub use analyzer::{FunnelRow, OdAnalyzer, OdConfig, OdEndpoint, Transition};
+pub use obs::record_funnel_metrics;

@@ -1,0 +1,69 @@
+//! Projection of the Table 3 funnel into the observability registry.
+
+use taxitrace_obs::Registry;
+
+use crate::analyzer::FunnelRow;
+
+/// Publishes the funnel totals (summed over taxis) as `od.*` counters.
+/// Each counter is one column of the paper's Table 3, so the funnel's
+/// drop-off is readable straight from a metrics dump.
+pub fn record_funnel_metrics(rows: &[FunnelRow], registry: &Registry) {
+    let mut segments_total = 0u64;
+    let mut any_crossing = 0u64;
+    let mut filtered_cleaned = 0u64;
+    let mut transitions_total = 0u64;
+    let mut within_center = 0u64;
+    let mut post_filtered = 0u64;
+    for row in rows {
+        segments_total += row.segments_total as u64;
+        any_crossing += row.any_crossing as u64;
+        filtered_cleaned += row.filtered_cleaned as u64;
+        transitions_total += row.transitions_total as u64;
+        within_center += row.within_center as u64;
+        post_filtered += row.post_filtered as u64;
+    }
+    registry.counter("od.taxis").add(rows.len() as u64);
+    registry.counter("od.segments_total").add(segments_total);
+    registry.counter("od.any_crossing").add(any_crossing);
+    registry.counter("od.filtered_cleaned").add(filtered_cleaned);
+    registry.counter("od.transitions_total").add(transitions_total);
+    registry.counter("od.within_center").add(within_center);
+    registry.counter("od.post_filtered").add(post_filtered);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_funnel_columns() {
+        let rows = vec![
+            FunnelRow {
+                taxi: 1,
+                segments_total: 100,
+                any_crossing: 40,
+                filtered_cleaned: 30,
+                transitions_total: 10,
+                within_center: 8,
+                post_filtered: 6,
+            },
+            FunnelRow {
+                taxi: 2,
+                segments_total: 50,
+                any_crossing: 20,
+                filtered_cleaned: 15,
+                transitions_total: 5,
+                within_center: 4,
+                post_filtered: 3,
+            },
+        ];
+        let registry = Registry::new();
+        record_funnel_metrics(&rows, &registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("od.taxis"), Some(2));
+        assert_eq!(snap.counter("od.segments_total"), Some(150));
+        assert_eq!(snap.counter("od.filtered_cleaned"), Some(45));
+        assert_eq!(snap.counter("od.within_center"), Some(12));
+        assert_eq!(snap.counter("od.post_filtered"), Some(9));
+    }
+}

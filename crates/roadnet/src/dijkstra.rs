@@ -238,6 +238,7 @@ pub struct SearchState {
     prev: Vec<Option<(NodeId, EdgeId)>>,
     heap: BinaryHeap<AstarItem>,
     expanded: u64,
+    expanded_total: u64,
 }
 
 impl SearchState {
@@ -248,6 +249,11 @@ impl SearchState {
     /// Nodes expanded (popped non-stale) by the most recent query.
     pub fn expanded(&self) -> u64 {
         self.expanded
+    }
+
+    /// Nodes expanded over every query this state has run.
+    pub fn expanded_total(&self) -> u64 {
+        self.expanded_total + self.expanded
     }
 
     /// Starts a new query over a graph of `n` nodes: grows the arrays if
@@ -268,6 +274,7 @@ impl SearchState {
             }
         };
         self.heap.clear();
+        self.expanded_total += self.expanded;
         self.expanded = 0;
     }
 

@@ -50,6 +50,9 @@ pub struct FleetConfig {
     pub legs_per_taxi: Vec<f64>,
     /// Volume scale (1.0 = full paper-sized year; tests use ~0.01).
     pub scale: f64,
+    /// Calendar days simulated from the study period start (the paper's
+    /// 1.10.2012–30.9.2013 year is 365).
+    pub days: usize,
     pub sampler: SamplerConfig,
     pub corruption: CorruptionConfig,
     pub fuel: FuelModel,
@@ -70,6 +73,7 @@ impl Default for FleetConfig {
             seed: 2012,
             legs_per_taxi: PAPER_SEGMENTS_PER_TAXI.to_vec(),
             scale: 1.0,
+            days: 365,
             sampler: SamplerConfig::default(),
             corruption: CorruptionConfig::default(),
             fuel: FuelModel::default(),
@@ -199,7 +203,7 @@ fn simulate_taxi(
         .collect();
 
     let mut sessions = Vec::new();
-    let days = 365usize;
+    let days = config.days.max(1);
     let legs_per_day = target_legs as f64 / days as f64;
     let mut remaining = target_legs;
     let mut current_node = NodeId(rng.below(city.graph.num_nodes()) as u32);

@@ -12,7 +12,11 @@ use taxi_traces::core::{mixed_model, mixed_model_with_features, Study, StudyConf
 use taxi_traces::geo::CellId;
 
 fn main() {
-    let output = Study::new(StudyConfig::scaled(2012, 0.2)).run();
+    let config = StudyConfig::builder(2012)
+        .scale(0.2)
+        .build()
+        .expect("valid study config");
+    let output = Study::new(config).run().expect("study pipeline");
     let m = mixed_model(&output).expect("mixed model fits");
 
     println!(

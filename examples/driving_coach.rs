@@ -9,7 +9,11 @@ use taxi_traces::core::{coach_report, CoachConfig, Study, StudyConfig};
 use taxi_traces::stats::pearson;
 
 fn main() {
-    let output = Study::new(StudyConfig::scaled(2012, 0.15)).run();
+    let config = StudyConfig::builder(2012)
+        .scale(0.15)
+        .build()
+        .expect("valid study config");
+    let output = Study::new(config).run().expect("study pipeline");
     let config = CoachConfig::default();
 
     let reports: Vec<_> = output.transitions.iter().map(|t| coach_report(t, &config)).collect();

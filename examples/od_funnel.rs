@@ -19,7 +19,11 @@ const PAPER: [[usize; 5]; 7] = [
 ];
 
 fn main() {
-    let output = Study::new(StudyConfig::scaled(2012, 0.2)).run();
+    let config = StudyConfig::builder(2012)
+        .scale(0.2)
+        .build()
+        .expect("valid study config");
+    let output = Study::new(config).run().expect("study pipeline");
 
     println!("=== Reproduced Table 3 (scale 0.2 of the study year) ===");
     print!("{}", render_table3(&output));

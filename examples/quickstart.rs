@@ -11,10 +11,14 @@ use taxi_traces::core::{
 };
 
 fn main() {
-    // The whole study is a pure function of the seed.
-    let config = StudyConfig::scaled(2012, 0.15);
+    // The whole study is a pure function of the seed. The builder
+    // validates the configuration before anything runs.
+    let config = StudyConfig::builder(2012)
+        .scale(0.15)
+        .build()
+        .expect("valid study config");
     println!("Running study (seed {}, scale {}) ...", config.seed, config.fleet.scale);
-    let output = Study::new(config).run();
+    let output = Study::new(config).run().expect("study pipeline");
 
     println!(
         "\nSimulated {} sessions / {} route points; {} cleaned trip segments.",

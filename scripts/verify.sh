@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, tests, strict lints on the metered crates,
+# and a schema-drift check of the repro metrics surface.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p taxitrace-bench
+cargo test -q --workspace
+
+# The observability and executor crates must be clippy-clean.
+cargo clippy -q -p taxitrace-obs -p taxitrace-exec -- -D warnings
+
+# Metrics surface: a small run must emit schema-versioned JSON covering
+# every pipeline stage, the executor and the gap-fill cache — and leave
+# stdout untouched.
+out=$(mktemp)
+metrics=$(mktemp)
+./target/release/repro --scale 0.05 --metrics json --metrics-out "$metrics" table3 \
+    > "$out" 2>/dev/null
+grep -q "Reproduced funnel" "$out" || {
+    echo "verify: repro stdout lost its experiment output" >&2
+    exit 1
+}
+python3 - "$metrics" <<'EOF'
+import json, sys
+
+m = json.load(open(sys.argv[1]))
+assert m.get("schema") == 1, f"metrics JSON schema drifted: {m.get('schema')!r}"
+for key in ("counters", "gauges", "histograms", "spans"):
+    assert key in m, f"missing top-level key {key!r}"
+counters = m["counters"]
+for prefix in ("sim.", "clean.", "od.", "match.", "exec."):
+    assert any(k.startswith(prefix) for k in counters), f"no {prefix}* counters"
+for k in ("match.cache_hits", "match.cache_misses", "match.astar_expanded"):
+    assert k in counters, f"missing counter {k!r}"
+paths = {s["path"] for s in m["spans"]}
+for p in ("study/simulate", "study/clean", "study/od", "study/match_fuse"):
+    assert p in paths, f"missing span {p!r}"
+print(f"metrics schema OK: {len(counters)} counters, {len(paths)} span paths")
+EOF
+rm -f "$out" "$metrics"
+
+echo "verify: all checks passed"

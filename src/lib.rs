@@ -25,7 +25,8 @@
 //! ```
 //! use taxi_traces::core::{Study, StudyConfig};
 //!
-//! let out = Study::new(StudyConfig::quick(1)).run();
+//! let config = StudyConfig::builder(1).scale(0.05).build().expect("valid config");
+//! let out = Study::new(config).run().expect("pipeline");
 //! assert!(!out.segments.is_empty());
 //! ```
 

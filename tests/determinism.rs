@@ -5,7 +5,7 @@
 use taxi_traces::core::{Study, StudyConfig, Table4};
 
 fn fingerprint(cfg: StudyConfig) -> (usize, usize, usize, u64) {
-    let out = Study::new(cfg).run();
+    let out = Study::new(cfg).run().expect("study runs");
     // Hash the Table 4 values coarsely into a stable fingerprint.
     let t4 = Table4::compute(&out);
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -39,8 +39,8 @@ fn different_seed_different_study() {
 
 #[test]
 fn scale_only_changes_volume_not_map() {
-    let small = Study::new(StudyConfig::scaled(9, 0.02)).run();
-    let large = Study::new(StudyConfig::scaled(9, 0.05)).run();
+    let small = Study::new(StudyConfig::scaled(9, 0.02)).run().expect("study runs");
+    let large = Study::new(StudyConfig::scaled(9, 0.05)).run().expect("study runs");
     // The city is identical (same seed)…
     assert_eq!(small.city.graph.num_nodes(), large.city.graph.num_nodes());
     assert_eq!(small.city.graph.num_edges(), large.city.graph.num_edges());

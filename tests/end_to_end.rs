@@ -10,7 +10,7 @@ use taxi_traces::geo::Point;
 
 fn output() -> &'static StudyOutput {
     static OUT: OnceLock<StudyOutput> = OnceLock::new();
-    OUT.get_or_init(|| Study::new(StudyConfig::scaled(42, 0.1)).run())
+    OUT.get_or_init(|| Study::new(StudyConfig::scaled(42, 0.1)).run().expect("study runs"))
 }
 
 #[test]

@@ -13,7 +13,7 @@ use taxi_traces::timebase::Season;
 
 fn output() -> &'static StudyOutput {
     static OUT: OnceLock<StudyOutput> = OnceLock::new();
-    OUT.get_or_init(|| Study::new(StudyConfig::scaled(2012, 0.3)).run())
+    OUT.get_or_init(|| Study::new(StudyConfig::scaled(2012, 0.3)).run().expect("study runs"))
 }
 
 #[test]
