@@ -1,6 +1,9 @@
 //! Shared fixtures for the benchmark suite and the `repro` experiment
 //! harness.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use taxitrace_core::{Study, StudyConfig, StudyOutput};
 use taxitrace_roadnet::synth::{generate, OuluConfig, SyntheticCity};
 use taxitrace_traces::{simulate_fleet, FleetConfig, FleetData};
@@ -23,6 +26,7 @@ pub fn bench_fleet(city: &SyntheticCity, seed: u64, scale: f64) -> FleetData {
 pub fn bench_study(seed: u64, scale: f64) -> StudyOutput {
     match Study::new(StudyConfig::scaled(seed, scale)).run() {
         Ok(out) => out,
+        // lint:allow(panic-free-library): bench harness entry point
         Err(e) => panic!("bench study failed: {e}"),
     }
 }

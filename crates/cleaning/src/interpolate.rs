@@ -85,6 +85,7 @@ pub fn interpolate_gaps(
             stats.points_inserted += 1;
         }
     }
+    // lint:allow(panic-free-library): caller guarantees len >= 2
     out.push(*points.last().expect("len >= 2"));
     (out, stats)
 }

@@ -14,6 +14,9 @@
 //!   counters, plus ground-truth validation helpers the original study
 //!   could not have.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod filters;
 mod interpolate;
 mod order;

@@ -36,6 +36,7 @@ impl TripSegment {
 
     /// Wall-clock duration of the segment.
     pub fn duration(&self) -> taxitrace_timebase::Duration {
+        // lint:allow(panic-free-library): segment constructor keeps >= 2 points
         let last = self.points.last().expect("segments are non-empty");
         last.timestamp - self.points[0].timestamp
     }
@@ -43,6 +44,7 @@ impl TripSegment {
     /// Fuel consumed over the segment, ml (difference of the session's
     /// cumulative meter).
     pub fn fuel_ml(&self) -> f64 {
+        // lint:allow(panic-free-library): segment constructor keeps >= 2 points
         let last = self.points.last().expect("segments are non-empty");
         (last.fuel_ml - self.points[0].fuel_ml).max(0.0)
     }

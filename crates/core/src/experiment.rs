@@ -55,6 +55,7 @@ impl StageTimings {
 
 /// The observability context threaded through the stages: one registry for
 /// the whole run plus the executor's meter registered on it.
+#[derive(Debug)]
 struct Obs {
     registry: Registry,
     meter: ExecMeter,
@@ -75,6 +76,7 @@ pub struct Study {
 }
 
 /// Stage 1 output: the simulated world, persisted into the trip store.
+#[derive(Debug)]
 pub struct Simulated {
     pub config: StudyConfig,
     pub city: SyntheticCity,
@@ -86,6 +88,7 @@ pub struct Simulated {
 }
 
 /// Stage 2 output: cleaned trip segments plus cleaning totals.
+#[derive(Debug)]
 pub struct Cleaned {
     pub config: StudyConfig,
     pub city: SyntheticCity,
@@ -100,6 +103,7 @@ pub struct Cleaned {
 }
 
 /// Stage 3 output: the Table 3 funnel and the corridor transitions.
+#[derive(Debug)]
 pub struct OdSelected {
     pub config: StudyConfig,
     pub city: SyntheticCity,
@@ -117,6 +121,7 @@ pub struct OdSelected {
 }
 
 /// Everything a study produces; the inputs of every table/figure analysis.
+#[derive(Debug)]
 pub struct StudyOutput {
     pub config: StudyConfig,
     pub city: SyntheticCity,

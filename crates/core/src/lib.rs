@@ -50,6 +50,9 @@
 //! assert!(!cleaned.segments.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod coach;
 mod config;
 mod error;

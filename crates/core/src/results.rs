@@ -53,6 +53,7 @@ impl Table4 {
                         "junctions" => t.junctions as f64,
                         "pedestrian crossings" => t.pedestrian_crossings as f64,
                         "fuel cons. (ml)" => t.fuel_ml,
+                        // lint:allow(panic-free-library): METRICS is a fixed list
                         _ => unreachable!("metric list is fixed"),
                     })
                     .collect();

@@ -32,6 +32,9 @@
 //! worker counts, and a histogram of per-worker task loads. Metering
 //! never changes results — it only counts what the schedule did.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -225,6 +228,7 @@ where
 
     let results = slots
         .into_iter()
+        // lint:allow(panic-free-library): the steal loop fills every slot
         .map(|slot| slot.expect("every index claimed exactly once"))
         .collect();
     (results, states)

@@ -32,6 +32,9 @@
 //! assert!((line.length() - 470.0).abs() < 10.0); // ~470 m per 0.01° lon at 65°N
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod angle;
 mod bbox;
 mod corridor;

@@ -69,6 +69,7 @@ impl Polyline {
         let mut cum = Vec::with_capacity(vertices.len());
         cum.push(0.0);
         for w in vertices.windows(2) {
+            // lint:allow(panic-free-library): `cum` starts with a pushed 0.0
             let last = *cum.last().expect("cum starts non-empty");
             cum.push(last + w[0].distance(w[1]));
         }
@@ -84,6 +85,7 @@ impl Polyline {
     /// Total arc length, metres.
     #[inline]
     pub fn length(&self) -> f64 {
+        // lint:allow(panic-free-library): `new` seeds `cum` with 0.0
         *self.cum.last().expect("cum non-empty")
     }
 
@@ -96,6 +98,7 @@ impl Polyline {
     /// Last vertex.
     #[inline]
     pub fn end(&self) -> Point {
+        // lint:allow(panic-free-library): `new` rejects < 2 vertices
         *self.vertices.last().expect("at least two vertices")
     }
 
@@ -125,9 +128,7 @@ impl Polyline {
     pub fn point_at(&self, offset: f64) -> Point {
         let offset = offset.clamp(0.0, self.length());
         // Binary search for the segment containing `offset`.
-        let i = match self.cum.binary_search_by(|c| {
-            c.partial_cmp(&offset).expect("finite arc lengths")
-        }) {
+        let i = match self.cum.binary_search_by(|c| c.total_cmp(&offset)) {
             Ok(i) => i.min(self.num_segments()),
             Err(i) => i - 1,
         };
@@ -143,9 +144,7 @@ impl Polyline {
     /// segment containing that offset).
     pub fn heading_at(&self, offset: f64) -> f64 {
         let offset = offset.clamp(0.0, self.length());
-        let mut i = match self.cum.binary_search_by(|c| {
-            c.partial_cmp(&offset).expect("finite arc lengths")
-        }) {
+        let mut i = match self.cum.binary_search_by(|c| c.total_cmp(&offset)) {
             Ok(i) => i,
             Err(i) => i - 1,
         };
@@ -221,6 +220,7 @@ impl Polyline {
             .is_some_and(|p| p.distance(other.start()) < 1e-3);
         let tail = if skip_first { &other.vertices[1..] } else { &other.vertices[..] };
         verts.extend_from_slice(tail);
+        // lint:allow(panic-free-library): both inputs had >= 2 vertices
         *self = Polyline::new(verts).expect("concatenation keeps >= 2 vertices");
     }
 
@@ -228,6 +228,7 @@ impl Polyline {
     pub fn reversed(&self) -> Polyline {
         let mut v = self.vertices.clone();
         v.reverse();
+        // lint:allow(panic-free-library): `self` already had >= 2 vertices
         Polyline::new(v).expect("reversal keeps >= 2 vertices")
     }
 }

@@ -53,21 +53,13 @@ impl<T> RTree<T> {
         let strip_size = n.div_ceil(num_strips);
 
         entries.sort_by(|a, b| {
-            a.bbox
-                .center()
-                .x
-                .partial_cmp(&b.bbox.center().x)
-                .expect("finite bbox centers")
+            a.bbox.center().x.total_cmp(&b.bbox.center().x)
         });
         let mut i = 0;
         while i < n {
             let end = (i + strip_size).min(n);
             entries[i..end].sort_by(|a, b| {
-                a.bbox
-                    .center()
-                    .y
-                    .partial_cmp(&b.bbox.center().y)
-                    .expect("finite bbox centers")
+                a.bbox.center().y.total_cmp(&b.bbox.center().y)
             });
             i = end;
         }

@@ -51,6 +51,7 @@ fn rdp_mark(points: &[Point], lo: usize, hi: usize, tol: f64, keep: &mut [bool])
 /// Simplifies a polyline, preserving endpoints.
 pub fn simplify_polyline(line: &Polyline, tolerance_m: f64) -> Polyline {
     let pts = simplify_rdp(line.vertices(), tolerance_m);
+    // lint:allow(panic-free-library): RDP always keeps both endpoints
     Polyline::new(pts).expect("simplification keeps >= 2 vertices")
 }
 

@@ -1,0 +1,107 @@
+//! The two suppression mechanisms.
+//!
+//! * **In-source**: a comment `lint:allow(<rule-id>)` on the offending line
+//!   or on the line directly above suppresses that rule there. Convention:
+//!   follow it with a colon and a justification, e.g.
+//!   `// lint:allow(panic-free-library): cum is never empty by construction`.
+//! * **Committed allowlist**: `crates/lint/allowlist.txt` lists
+//!   `<rule-id> <workspace-relative-path>` pairs that suppress a rule for a
+//!   whole legacy file. Prefer in-source allows for new code — the
+//!   allowlist exists so the gate could be turned on without rewriting
+//!   every historical site at once.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Parsed allowlist file.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>, // (rule, rel path)
+}
+
+impl Allowlist {
+    /// Parses the allowlist format: one `rule path` pair per line, blank
+    /// lines and `#` comments ignored. Unparseable lines are reported as
+    /// errors so typos cannot silently widen the gate.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), None) => {
+                    entries.push((rule.to_string(), path.to_string()));
+                }
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected `<rule-id> <path>`, got {line:?}",
+                        i + 1
+                    ));
+                }
+            }
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether the allowlist suppresses this finding.
+    pub fn allows(&self, d: &Diagnostic) -> bool {
+        self.entries.iter().any(|(rule, path)| rule == d.rule && path == &d.file)
+    }
+
+    /// Entries that never matched a finding (stale — worth pruning).
+    pub fn unused(&self, suppressed: &[Diagnostic]) -> Vec<(&str, &str)> {
+        self.entries
+            .iter()
+            .filter(|(rule, path)| {
+                !suppressed.iter().any(|d| d.rule == *rule && d.file == *path)
+            })
+            .map(|(rule, path)| (rule.as_str(), path.as_str()))
+            .collect()
+    }
+}
+
+/// Whether an in-source `lint:allow(<rule>)` comment covers 1-based `line`.
+pub fn inline_allowed(file: &SourceFile, line: usize, rule: &str) -> bool {
+    let needle = format!("lint:allow({rule})");
+    let has = |idx: usize| file.comments.get(idx).is_some_and(|c| c.contains(&needle));
+    // A comment-only line (no code) above covers the next line; a trailing
+    // comment covers only its own line.
+    let comment_only = |idx: usize| {
+        file.code.get(idx).is_some_and(|c| c.trim().is_empty())
+    };
+    line >= 1 && (has(line - 1) || (line >= 2 && has(line - 2) && comment_only(line - 2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_matches() {
+        let a = Allowlist::parse("# legacy\npanic-free-library crates/x/src/lib.rs\n\n")
+            .expect("parses");
+        let d = Diagnostic::new("crates/x/src/lib.rs", 3, "panic-free-library", "m", "s");
+        assert!(a.allows(&d));
+        let other = Diagnostic::new("crates/y/src/lib.rs", 3, "panic-free-library", "m", "s");
+        assert!(!a.allows(&other));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Allowlist::parse("just-one-token").is_err());
+        assert!(Allowlist::parse("a b c").is_err());
+    }
+
+    #[test]
+    fn inline_allow_same_and_previous_line() {
+        let src = "// lint:allow(determinism): seeded\nlet t = now();\nlet u = now(); // lint:allow(determinism)\nlet v = now();";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(inline_allowed(&f, 2, "determinism"));
+        assert!(inline_allowed(&f, 3, "determinism"));
+        assert!(!inline_allowed(&f, 4, "determinism"));
+        assert!(!inline_allowed(&f, 2, "panic-free-library"));
+    }
+}

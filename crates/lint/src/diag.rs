@@ -1,0 +1,132 @@
+//! Structured diagnostics and their human/JSON renderings.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Stable rule identifier, e.g. `panic-free-library`.
+    pub rule: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: &str,
+        line: usize,
+        rule: &'static str,
+        message: impl Into<String>,
+        snippet: &str,
+    ) -> Diagnostic {
+        let mut snippet = snippet.trim().to_string();
+        if snippet.chars().count() > 120 {
+            snippet = snippet.chars().take(117).collect::<String>() + "...";
+        }
+        Diagnostic { file: file.to_string(), line, rule, message: message.into(), snippet }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)?;
+        write!(f, "    {}", self.snippet)
+    }
+}
+
+/// Renders findings as versioned, deterministic JSON (sorted by
+/// file/line/rule; pure function of the findings).
+pub fn to_json(findings: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = findings.iter().collect();
+    sorted.sort();
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, d) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": {}, ", json_str(&d.file)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+        out.push_str(&format!("\"message\": {}, ", json_str(&d.message)));
+        out.push_str(&format!("\"snippet\": {}", json_str(&d.snippet)));
+        out.push('}');
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Renders findings for terminals, grouped in sorted order.
+pub fn to_human(findings: &[Diagnostic]) -> String {
+    let mut sorted: Vec<&Diagnostic> = findings.iter().collect();
+    sorted.sort();
+    let mut out = String::new();
+    for d in &sorted {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    if sorted.is_empty() {
+        out.push_str("taxitrace-lint: no findings\n");
+    } else {
+        out.push_str(&format!("taxitrace-lint: {} finding(s)\n", sorted.len()));
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let d1 = Diagnostic::new("b.rs", 2, "determinism", "x", "code");
+        let d2 = Diagnostic::new("a.rs", 9, "determinism", "quote \" here", "c\\d");
+        let json = to_json(&[d1, d2]);
+        let a = json.find("a.rs").expect("a.rs present");
+        let b = json.find("b.rs").expect("b.rs present");
+        assert!(a < b, "findings sorted by file");
+        assert!(json.contains("quote \\\" here"));
+        assert!(json.contains("c\\\\d"));
+    }
+
+    #[test]
+    fn empty_findings_render() {
+        assert!(to_json(&[]).contains("\"findings\": []"));
+        assert!(to_human(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn long_snippets_truncated() {
+        let d = Diagnostic::new("a.rs", 1, "determinism", "m", &"x".repeat(300));
+        assert!(d.snippet.chars().count() <= 120);
+        assert!(d.snippet.ends_with("..."));
+    }
+}

@@ -1,0 +1,275 @@
+//! `taxitrace-lint` — the workspace static-analysis gate.
+//!
+//! A dependency-free, xtask-style tool that walks every member crate's
+//! sources and manifests and enforces the invariants the reproduction's
+//! credibility rests on: byte-identical deterministic output, panic-free
+//! library code, audited `unsafe`, a non-forking metrics schema, and
+//! workspace-pinned dependencies. See README.md §"Static analysis gates"
+//! for the rule catalogue and escape hatches.
+//!
+//! Library layout:
+//!
+//! * [`source`] — comment/string/raw-string-aware scanner;
+//! * [`rules`] — the [`rules::Rule`] trait and the rule set;
+//! * [`allow`] — `lint:allow(...)` comments and the committed allowlist;
+//! * [`diag`] — structured diagnostics, human and JSON renderings;
+//! * [`lint_workspace`] — the entry point the CLI and the meta-test share.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+pub mod allow;
+pub mod diag;
+pub mod rules;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use allow::Allowlist;
+use diag::Diagnostic;
+use rules::{source_rules, FileCtx, FileKind, MetricsRegistry};
+use source::SourceFile;
+
+/// Engine failure (I/O or malformed support files) — distinct from lint
+/// findings, which are data.
+#[derive(Debug)]
+pub enum LintError {
+    Io { path: PathBuf, error: std::io::Error },
+    Config(String),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, error } => {
+                write!(f, "lint: cannot read {}: {error}", path.display())
+            }
+            LintError::Config(m) => write!(f, "lint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Everything one gate run produced.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Live findings, sorted by file/line/rule.
+    pub findings: Vec<Diagnostic>,
+    /// Findings suppressed by `lint:allow` comments or the allowlist.
+    pub suppressed: Vec<Diagnostic>,
+    /// Source files and manifests scanned.
+    pub files_scanned: usize,
+    /// Allowlist entries that matched nothing (candidates for pruning).
+    pub unused_allows: Vec<String>,
+}
+
+/// Walks up from `start` to the workspace root (the `Cargo.toml` that
+/// declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Lints the whole workspace under `root` using the committed allowlist
+/// (`crates/lint/allowlist.txt`) and metrics registry
+/// (`crates/lint/metrics.registry`).
+pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let allowlist = Allowlist::parse(&read(&root.join("crates/lint/allowlist.txt"))?)
+        .map_err(LintError::Config)?;
+    let registry = MetricsRegistry::parse(&read(&root.join("crates/lint/metrics.registry"))?)
+        .map_err(LintError::Config)?;
+    if registry.is_empty() {
+        return Err(LintError::Config(
+            "metrics registry is empty — the drift rule would reject every metric".into(),
+        ));
+    }
+    lint_workspace_with(root, &allowlist, registry)
+}
+
+/// [`lint_workspace`] with explicit support files (for tests).
+pub fn lint_workspace_with(
+    root: &Path,
+    allowlist: &Allowlist,
+    registry: MetricsRegistry,
+) -> Result<LintReport, LintError> {
+    let rules = source_rules(registry);
+    let mut findings = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut files_scanned = 0usize;
+
+    for path in workspace_rust_files(root)? {
+        let rel = rel_path(root, &path);
+        let file = SourceFile::scan(&rel, &read(&path)?);
+        files_scanned += 1;
+        let ctx = FileCtx {
+            file: &file,
+            krate: crate_of(&rel),
+            kind: kind_of(&rel),
+        };
+        for rule in &rules {
+            for d in rule.check(&ctx) {
+                if allow::inline_allowed(&file, d.line, d.rule) || allowlist.allows(&d) {
+                    suppressed.push(d);
+                } else {
+                    findings.push(d);
+                }
+            }
+        }
+    }
+
+    for manifest in member_manifests(root)? {
+        let rel = rel_path(root, &manifest);
+        files_scanned += 1;
+        for d in rules::check_manifest(&rel, &read(&manifest)?) {
+            if allowlist.allows(&d) {
+                suppressed.push(d);
+            } else {
+                findings.push(d);
+            }
+        }
+    }
+
+    findings.sort();
+    suppressed.sort();
+    let unused_allows: Vec<String> = allowlist
+        .unused(&suppressed)
+        .into_iter()
+        .map(|(rule, path)| format!("{rule} {path}"))
+        .collect();
+    Ok(LintReport { findings, suppressed, files_scanned, unused_allows })
+}
+
+/// Lints a single source text as library code of crate `krate` — the
+/// fixture-test entry point.
+pub fn lint_source(rel: &str, krate: &str, text: &str, registry: MetricsRegistry) -> Vec<Diagnostic> {
+    let file = SourceFile::scan(rel, text);
+    let ctx = FileCtx { file: &file, krate, kind: kind_of(rel) };
+    let mut out = Vec::new();
+    for rule in source_rules(registry) {
+        for d in rule.check(&ctx) {
+            if !allow::inline_allowed(&file, d.line, d.rule) {
+                out.push(d);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Every `.rs` file under `crates/*/src` and the facade crate's `src/`,
+/// in deterministic (sorted) order. `third_party/` shims and `target/` are
+/// never visited.
+fn workspace_rust_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    for member in sorted_dirs(&root.join("crates"))? {
+        collect_rs(&member.join("src"), &mut out)?;
+    }
+    collect_rs(&root.join("src"), &mut out)?;
+    Ok(out)
+}
+
+/// Member crate manifests, sorted.
+fn member_manifests(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    for member in sorted_dirs(&root.join("crates"))? {
+        let manifest = member.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    Ok(out)
+}
+
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let entries = fs::read_dir(dir).map_err(|error| LintError::Io {
+        path: dir.to_path_buf(),
+        error,
+    })?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|error| LintError::Io { path: dir.to_path_buf(), error })?;
+        let path = entry.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|error| LintError::Io {
+        path: dir.to_path_buf(),
+        error,
+    })?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|error| LintError::Io { path: dir.to_path_buf(), error })?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|error| LintError::Io { path: path.to_path_buf(), error })
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// `crates/<name>/…` → `<name>`; the facade crate's `src/` → `taxi-traces`.
+fn crate_of(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("taxi-traces")
+}
+
+fn kind_of(rel: &str) -> FileKind {
+    if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_and_kind_classification() {
+        assert_eq!(crate_of("crates/roadnet/src/graph.rs"), "roadnet");
+        assert_eq!(crate_of("src/lib.rs"), "taxi-traces");
+        assert_eq!(kind_of("crates/bench/src/bin/repro.rs"), FileKind::Bin);
+        assert_eq!(kind_of("crates/lint/src/main.rs"), FileKind::Bin);
+        assert_eq!(kind_of("crates/geo/src/lib.rs"), FileKind::Lib);
+    }
+}

@@ -1,0 +1,97 @@
+//! CLI for the workspace static-analysis gate.
+//!
+//! ```text
+//! taxitrace-lint [--deny] [--format human|json] [--root DIR] [--quiet]
+//! ```
+//!
+//! * `--deny`    exit non-zero if any finding survives the allow filters
+//! * `--format`  `human` (default) or `json` (stable, golden-file tested)
+//! * `--root`    workspace root; default: walk up from the current dir
+//! * `--quiet`   suppress the scan summary on stderr
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use taxitrace_lint::{diag, find_workspace_root, lint_workspace};
+
+struct Options {
+    deny: bool,
+    json: bool,
+    quiet: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { deny: false, json: false, quiet: false, root: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--quiet" => opts.quiet = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("human") => opts.json = false,
+                other => return Err(format!("--format expects human|json, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
+                None => return Err("--root expects a directory".into()),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "taxitrace-lint [--deny] [--format human|json] [--root DIR] [--quiet]\n\
+                     Static-analysis gate: determinism, panic-freedom, unsafe audit,\n\
+                     metrics-schema drift, workspace hygiene."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("taxitrace-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = opts.root.clone().or_else(|| {
+        let cwd = std::env::current_dir().ok()?;
+        find_workspace_root(&cwd)
+    });
+    let Some(root) = root else {
+        eprintln!("taxitrace-lint: no workspace root found (try --root)");
+        return ExitCode::from(2);
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", diag::to_json(&report.findings));
+    } else {
+        print!("{}", diag::to_human(&report.findings));
+    }
+    if !opts.quiet {
+        eprintln!(
+            "taxitrace-lint: scanned {} files, {} finding(s), {} suppressed",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed.len()
+        );
+        for stale in &report.unused_allows {
+            eprintln!("taxitrace-lint: warning: unused allowlist entry `{stale}`");
+        }
+    }
+    if opts.deny && !report.findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

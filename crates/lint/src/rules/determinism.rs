@@ -1,0 +1,254 @@
+//! `determinism`: the pipeline's output must be a pure function of its
+//! configuration. `repro --scale 1.0` is byte-compared against a golden
+//! file (tests/determinism.rs); silent nondeterminism would invalidate the
+//! downstream statistics the same way unmodelled matching noise does in
+//! the map-matching literature. Three families of violations:
+//!
+//! * **Ambient clocks** — `SystemTime::now` / `Instant::now` outside the
+//!   observability (`obs`) and executor (`exec`) timing spans and outside
+//!   binaries. Timing belongs in obs spans, which are excluded from
+//!   deterministic output.
+//! * **Ambient randomness** — `thread_rng`, `rand::random`, `RandomState`:
+//!   all randomness must flow from the seeded `taxitrace_traces::rng`.
+//! * **Hash-order iteration** — iterating a `std::collections::HashMap` /
+//!   `HashSet` yields platform/DoS-seed-dependent order; if the items feed
+//!   any exported table, snapshot or serialized form, the output forks.
+//!   Identifiers bound to those types are tracked per file and their
+//!   `.iter()`/`.keys()`/`.values()`/`.drain()`/`for … in` uses flagged.
+//!   Use `BTreeMap`/`BTreeSet`, or sort before emitting and say so in a
+//!   `lint:allow` justification.
+
+use super::{find_word, FileCtx, FileKind, Rule};
+use crate::diag::Diagnostic;
+
+#[derive(Debug)]
+pub struct Determinism;
+
+/// Crates whose whole purpose is wall-clock measurement.
+const TIMING_CRATES: [&str; 2] = ["obs", "exec"];
+
+const CLOCKS: [&str; 2] = ["SystemTime::now", "Instant::now"];
+const RNGS: [&str; 3] = ["thread_rng", "rand::random", "RandomState"];
+const ITER_METHODS: [&str; 9] = [
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+        let f = ctx.file;
+        let mut out = Vec::new();
+        let clocks_exempt =
+            TIMING_CRATES.contains(&ctx.krate) || ctx.kind == FileKind::Bin;
+        let hashed = tracked_hash_idents(f);
+
+        for (i, code) in f.code.iter().enumerate() {
+            if f.in_test[i] {
+                continue;
+            }
+            let line = i + 1;
+            if !clocks_exempt {
+                for pat in CLOCKS {
+                    if code.contains(pat) {
+                        out.push(Diagnostic::new(
+                            &f.rel,
+                            line,
+                            self.id(),
+                            format!(
+                                "`{pat}` in deterministic pipeline code: route timing \
+                                 through taxitrace-obs spans (excluded from output) or \
+                                 move it to a binary"
+                            ),
+                            &f.raw[i],
+                        ));
+                    }
+                }
+            }
+            for pat in RNGS {
+                if !find_word(code, pat.rsplit("::").next().unwrap_or(pat)).is_empty()
+                    && code.contains(pat)
+                {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        line,
+                        self.id(),
+                        format!(
+                            "`{pat}` is ambient randomness: derive all randomness from \
+                             the seeded simulator RNG so runs are reproducible"
+                        ),
+                        &f.raw[i],
+                    ));
+                }
+            }
+            for ident in &hashed {
+                if let Some(hit) = hash_iteration(code, ident) {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        line,
+                        self.id(),
+                        format!(
+                            "iteration over std Hash{{Map,Set}} `{ident}` ({hit}) has \
+                             nondeterministic order: use BTreeMap/BTreeSet, or sort the \
+                             result and record why in a lint:allow justification"
+                        ),
+                        &f.raw[i],
+                    ));
+                    break; // one finding per line is enough
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Identifiers (let bindings and struct fields) bound to `HashMap`/`HashSet`
+/// anywhere in the file, tests included — a field declared in library code
+/// is iterated from library code.
+fn tracked_hash_idents(f: &crate::source::SourceFile) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    for code in &f.code {
+        for ty in ["HashMap", "HashSet"] {
+            for at in find_word(code, ty) {
+                // Patterns: `name: HashMap<…>` (field/typed let) and
+                // `let [mut] name = HashMap::new/with_capacity`.
+                if let Some(name) = ident_before_colon(&code[..at]) {
+                    push_unique(&mut out, name);
+                } else if let Some(name) = ident_before_eq(&code[..at]) {
+                    push_unique(&mut out, name);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn push_unique(v: &mut Vec<String>, s: String) {
+    if !v.contains(&s) {
+        v.push(s);
+    }
+}
+
+/// `… name: ` directly before the type use.
+fn ident_before_colon(prefix: &str) -> Option<String> {
+    let trimmed = prefix.trim_end();
+    let rest = trimmed.strip_suffix(':')?;
+    take_trailing_ident(rest)
+}
+
+/// `… let [mut] name [: …] = ` directly before the constructor.
+fn ident_before_eq(prefix: &str) -> Option<String> {
+    let trimmed = prefix.trim_end();
+    let rest = trimmed.strip_suffix('=')?;
+    let name = take_trailing_ident(rest)?;
+    if name == "mut" || name == "let" {
+        return None;
+    }
+    Some(name)
+}
+
+fn take_trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let ident: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then_some(ident)
+}
+
+/// Whether this line iterates `ident`; returns the matched form.
+fn hash_iteration(code: &str, ident: &str) -> Option<&'static str> {
+    for at in find_word(code, ident) {
+        let after = &code[at + ident.len()..];
+        for m in ITER_METHODS {
+            if after.starts_with(m) {
+                return Some("explicit iterator");
+            }
+        }
+        // `for … in [&[mut]] [self.]ident {` / end of line.
+        let before = code[..at].trim_end();
+        let before = before
+            .strip_suffix("self.")
+            .map(str::trim_end)
+            .unwrap_or(before);
+        let before = before.trim_end_matches(['&']).trim_end();
+        let before = before.strip_suffix("mut").map(str::trim_end).unwrap_or(before);
+        if before.ends_with(" in") || before.ends_with("\tin") {
+            let next = after.trim_start();
+            if next.is_empty() || next.starts_with('{') {
+                return Some("for-loop");
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check_in(krate: &'static str, kind: FileKind, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        Determinism.check(&FileCtx { file: &f, krate, kind })
+    }
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        check_in("x", FileKind::Lib, src)
+    }
+
+    #[test]
+    fn flags_clocks_outside_timing_crates() {
+        assert_eq!(check("let t = std::time::Instant::now();").len(), 1);
+        assert!(check_in("obs", FileKind::Lib, "let t = Instant::now();").is_empty());
+        assert!(check_in("exec", FileKind::Lib, "let t = Instant::now();").is_empty());
+        assert!(check_in("x", FileKind::Bin, "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn flags_ambient_randomness() {
+        assert_eq!(check("let r = rand::thread_rng();").len(), 1);
+    }
+
+    #[test]
+    fn flags_hashmap_iteration() {
+        let src = "let mut seen: HashMap<u64, usize> = HashMap::new();\nfor (k, v) in seen {\n}";
+        assert_eq!(check(src).len(), 1);
+        let src2 = "let m = HashMap::new();\nlet ks: Vec<_> = m.keys().collect();";
+        assert_eq!(check(src2).len(), 1);
+    }
+
+    #[test]
+    fn lookup_only_hashmap_is_fine() {
+        let src = "let mut m: HashMap<u64, usize> = HashMap::new();\nm.insert(1, 2);\nlet v = m.get(&1);";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn field_iteration_through_self() {
+        let src = "struct S { map: HashMap<u32, u32> }\nimpl S { fn f(&self) { for x in &self.map {} } }";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn btreemap_never_tracked() {
+        let src = "let m: BTreeMap<u64, u64> = BTreeMap::new();\nfor x in &m {}";
+        assert!(check(src).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! The rule engine.
+//!
+//! A rule is a pure function from a scanned source file to diagnostics.
+//! Adding a rule:
+//!
+//! 1. create `src/rules/<name>.rs` implementing [`Rule`];
+//! 2. register it in [`source_rules`];
+//! 3. add known-bad and known-good fixtures under `tests/fixtures/<id>/`
+//!    and a case in `tests/rules.rs`;
+//! 4. document it in README.md ("Static analysis gates").
+//!
+//! Rules must only report on the masked code channel (never inside
+//! comments or string literals) and must be deterministic: no clocks, no
+//! hashing-order iteration, findings sorted by the caller.
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+mod determinism;
+mod metrics_drift;
+mod panic_free;
+mod unsafe_audit;
+mod workspace_hygiene;
+
+pub use determinism::Determinism;
+pub use metrics_drift::{MetricsDrift, MetricsRegistry};
+pub use panic_free::PanicFree;
+pub use unsafe_audit::UnsafeAudit;
+pub use workspace_hygiene::check_manifest;
+
+/// What kind of target a file belongs to — several rules only apply to
+/// library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` of a library crate.
+    Lib,
+    /// `src/bin/**` — a CLI entry point.
+    Bin,
+}
+
+/// Per-file context handed to every rule.
+#[derive(Debug)]
+pub struct FileCtx<'a> {
+    pub file: &'a SourceFile,
+    /// Crate directory name (`roadnet`, `obs`, …); the facade crate at the
+    /// workspace root is `taxi-traces`.
+    pub krate: &'a str,
+    pub kind: FileKind,
+}
+
+/// A single lint rule over Rust source.
+pub trait Rule {
+    /// Stable identifier used in output, `lint:allow(...)` and the
+    /// allowlist.
+    fn id(&self) -> &'static str;
+    fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic>;
+}
+
+/// The source-file rules in evaluation order. (`workspace-hygiene` runs
+/// separately over `Cargo.toml` manifests.)
+pub fn source_rules(registry: MetricsRegistry) -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(PanicFree),
+        Box::new(Determinism),
+        Box::new(UnsafeAudit),
+        Box::new(MetricsDrift::new(registry)),
+    ]
+}
+
+/// Whether `code[at..at+len]` is a standalone word (no identifier chars
+/// hugging it on either side).
+pub(crate) fn word_bounded(code: &str, at: usize, len: usize) -> bool {
+    let before_ok = at == 0
+        || code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+    let after_ok = code[at + len..]
+        .chars()
+        .next()
+        .is_none_or(|c| !(c.is_alphanumeric() || c == '_'));
+    before_ok && after_ok
+}
+
+/// All word-bounded occurrences of `needle` in `code`.
+pub(crate) fn find_word(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        if word_bounded(code, at, needle.len()) {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}

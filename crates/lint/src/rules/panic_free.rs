@@ -1,0 +1,152 @@
+//! `panic-free-library`: library code must not contain reachable panic
+//! sites. PR 2 scrubbed `crates/core` and `crates/bench` by hand; this rule
+//! keeps every library crate scrubbed.
+//!
+//! Flagged in non-test library code:
+//!
+//! * `.unwrap()` / `.expect(...)` on `Option`/`Result`;
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`;
+//! * the slice-index heuristic `…)[N]` — integer-literal indexing into the
+//!   result of a call, which encodes an unchecked length assumption
+//!   (`graph.neighbors(n)[0]`). Plain `arr[i]` indexing is *not* flagged:
+//!   bounds are usually established locally and flagging every index would
+//!   drown the signal.
+//!
+//! Binaries (`src/bin/**`), tests, benches and examples may panic: a CLI
+//! aborting on broken input is fine; a library taking down a server is not.
+
+use super::{find_word, FileCtx, FileKind, Rule};
+use crate::diag::Diagnostic;
+
+#[derive(Debug)]
+pub struct PanicFree;
+
+const METHOD_PATTERNS: [(&str, &str); 2] = [
+    (".unwrap()", "`.unwrap()` in library code"),
+    (".expect(", "`.expect(...)` in library code"),
+];
+
+const MACRO_PATTERNS: [(&str, &str); 4] = [
+    ("panic!", "`panic!` in library code"),
+    ("unreachable!", "`unreachable!` in library code"),
+    ("todo!", "`todo!` in library code"),
+    ("unimplemented!", "`unimplemented!` in library code"),
+];
+
+impl Rule for PanicFree {
+    fn id(&self) -> &'static str {
+        "panic-free-library"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+        if ctx.kind == FileKind::Bin {
+            return Vec::new();
+        }
+        let f = ctx.file;
+        let mut out = Vec::new();
+        for (i, code) in f.code.iter().enumerate() {
+            if f.in_test[i] {
+                continue;
+            }
+            let line = i + 1;
+            for (pat, what) in METHOD_PATTERNS {
+                if code.contains(pat) {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        line,
+                        self.id(),
+                        format!(
+                            "{what}: propagate a `Result` (taxitrace_core::Error or a local \
+                             error enum) or make the invariant impossible by construction"
+                        ),
+                        &f.raw[i],
+                    ));
+                }
+            }
+            for (pat, what) in MACRO_PATTERNS {
+                if !find_word(code, pat).is_empty() {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        line,
+                        self.id(),
+                        format!("{what}: return an error for recoverable states; reserve \
+                                 aborts for binaries"),
+                        &f.raw[i],
+                    ));
+                }
+            }
+            if let Some(col) = call_result_index(code) {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    line,
+                    self.id(),
+                    format!(
+                        "integer-literal index into a call result (col {col}) assumes a \
+                         length the callee does not promise: use `.get(..)` / `.first()` \
+                         and handle `None`"
+                    ),
+                    &f.raw[i],
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Finds `)[<digits>]` — indexing a call result with a literal index.
+fn call_result_index(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    for (i, w) in bytes.windows(2).enumerate() {
+        if w == b")[" {
+            let rest = &bytes[i + 2..];
+            let digits = rest.iter().take_while(|b| b.is_ascii_digit()).count();
+            if digits > 0 && rest.get(digits) == Some(&b']') {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        PanicFree.check(&FileCtx { file: &f, krate: "x", kind: FileKind::Lib })
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect() {
+        assert_eq!(check("let x = o.unwrap();").len(), 1);
+        assert_eq!(check("let x = o.expect(\"msg\");").len(), 1);
+    }
+
+    #[test]
+    fn flags_macros_with_word_boundaries() {
+        assert_eq!(check("panic!(\"boom\")").len(), 1);
+        assert!(check("dont_panic!(\"ok\")").is_empty());
+    }
+
+    #[test]
+    fn skips_comments_strings_and_tests() {
+        assert!(check("// x.unwrap() in a comment").is_empty());
+        assert!(check("let s = \"never .unwrap() me\";").is_empty());
+        assert!(check("#[cfg(test)]\nmod t { fn f() { x.unwrap(); } }").is_empty());
+    }
+
+    #[test]
+    fn flags_call_result_literal_index() {
+        assert_eq!(check("let (e, _) = graph.neighbors(n)[0];").len(), 1);
+        assert!(check("let v = arr[0];").is_empty(), "plain indexing is not flagged");
+    }
+
+    #[test]
+    fn bins_may_panic() {
+        let f = SourceFile::scan("crates/x/src/bin/cli.rs", "let x = o.unwrap();");
+        let out = PanicFree.check(&FileCtx { file: &f, krate: "x", kind: FileKind::Bin });
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! `unsafe-audit`: every `unsafe` keyword must be justified by a
+//! `// SAFETY:` comment on the same line or within the three lines above.
+//! The workspace is currently 100% safe code (most crates carry
+//! `#![forbid(unsafe_code)]`); this rule keeps any future opt-in audited
+//! from day one, tests included.
+
+use super::{find_word, FileCtx, Rule};
+use crate::diag::Diagnostic;
+
+#[derive(Debug)]
+pub struct UnsafeAudit;
+
+/// How many lines above an `unsafe` keyword may carry the SAFETY comment.
+const LOOKBACK: usize = 3;
+
+impl Rule for UnsafeAudit {
+    fn id(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+        let f = ctx.file;
+        let mut out = Vec::new();
+        for (i, code) in f.code.iter().enumerate() {
+            if find_word(code, "unsafe").is_empty() {
+                continue;
+            }
+            // `#![forbid(unsafe_code)]` and the like mention unsafe only
+            // inside the attribute word `unsafe_code`, which word-bounding
+            // already rejects.
+            let documented = (i.saturating_sub(LOOKBACK)..=i)
+                .any(|j| f.comments[j].contains("SAFETY:"));
+            if !documented {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    i + 1,
+                    self.id(),
+                    format!(
+                        "`unsafe` without a `// SAFETY:` comment within {LOOKBACK} \
+                         lines: state the invariant that makes this sound"
+                    ),
+                    &f.raw[i],
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileKind;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        UnsafeAudit.check(&FileCtx { file: &f, krate: "x", kind: FileKind::Lib })
+    }
+
+    #[test]
+    fn flags_undocumented_unsafe() {
+        assert_eq!(check("let p = unsafe { *ptr };").len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies() {
+        assert!(check("// SAFETY: ptr is valid for reads, checked above\nlet p = unsafe { *ptr };").is_empty());
+        assert!(check("let p = unsafe { *ptr }; // SAFETY: aligned").is_empty());
+    }
+
+    #[test]
+    fn lookback_is_bounded() {
+        let src = "// SAFETY: too far away\n\n\n\n\nlet p = unsafe { *ptr };";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn forbid_attribute_not_flagged() {
+        assert!(check("#![forbid(unsafe_code)]").is_empty());
+    }
+}

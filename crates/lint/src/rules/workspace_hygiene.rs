@@ -1,0 +1,101 @@
+//! `workspace-hygiene`: member crates must take every dependency through
+//! `[workspace.dependencies]` (`foo.workspace = true` or
+//! `foo = { workspace = true, … }`). Direct `path = "…"` or versioned deps
+//! in a member manifest bypass the single place where versions and the
+//! offline third_party shims are pinned — exactly how a crate quietly
+//! starts resolving a different serde than the rest of the workspace.
+//!
+//! The *root* manifest is exempt by design: `[workspace.dependencies]` is
+//! where the path pins live.
+
+use crate::diag::Diagnostic;
+
+pub const RULE_ID: &str = "workspace-hygiene";
+
+/// Lints one member `Cargo.toml`. `rel` is the workspace-relative path.
+pub fn check_manifest(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_dep_section = is_dependency_section(line);
+            continue;
+        }
+        if !in_dep_section {
+            continue;
+        }
+        // `name.workspace = true` or `name = { workspace = true, … }`.
+        let inherits = line.contains("workspace = true") || line.contains("workspace=true");
+        let has_path = line.contains("path =") || line.contains("path=");
+        if has_path {
+            out.push(Diagnostic::new(
+                rel,
+                i + 1,
+                RULE_ID,
+                "member manifest declares a `path` dependency: route it through \
+                 `[workspace.dependencies]` in the root Cargo.toml and use \
+                 `workspace = true` here",
+                raw,
+            ));
+        } else if !inherits && line.contains('=') {
+            out.push(Diagnostic::new(
+                rel,
+                i + 1,
+                RULE_ID,
+                "member dependency does not inherit from the workspace: use \
+                 `<name>.workspace = true` so versions stay pinned in one place",
+                raw,
+            ));
+        }
+    }
+    out
+}
+
+fn is_dependency_section(header: &str) -> bool {
+    let h = header.trim_matches(['[', ']']);
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || (h.starts_with("target.") && h.ends_with("dependencies"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_deps_pass() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\nserde.workspace = true\nfoo = { workspace = true, features = [\"derive\"] }\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn path_dep_flagged() {
+        let toml = "[dependencies]\nfoo = { path = \"../foo\" }\n";
+        let out = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("path"));
+    }
+
+    #[test]
+    fn versioned_dep_flagged() {
+        let toml = "[dev-dependencies]\nproptest = \"1\"\n";
+        assert_eq!(check_manifest("crates/x/Cargo.toml", toml).len(), 1);
+    }
+
+    #[test]
+    fn package_section_ignored() {
+        let toml = "[package]\nname = \"x\"\nversion.workspace = true\nedition = \"2021\"\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn bin_section_ignored() {
+        let toml = "[[bin]]\nname = \"t\"\npath = \"src/main.rs\"\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+}

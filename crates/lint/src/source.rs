@@ -1,0 +1,397 @@
+//! A small comment/string/raw-string-aware scanner for Rust source.
+//!
+//! The lint rules do not need a full parser: every check is a lexical
+//! pattern over *code* text, so the one thing that must be exact is
+//! separating code from comments, string literals, char literals and raw
+//! strings (where the same byte sequences are inert). The scanner produces,
+//! per line:
+//!
+//! * a **masked code line** — the raw line with every comment and literal
+//!   character replaced by a space, so column positions are preserved and
+//!   substring checks can never match inside a literal;
+//! * the **comment text** of the line (used by the `// SAFETY:` audit and
+//!   the `lint:allow` escape hatch);
+//! * every **string literal** with its column and unescaped-enough value
+//!   (used by the metrics-name rule).
+//!
+//! It also brace-matches `#[cfg(test)]` items so rules can skip inline test
+//! modules, which are allowed to unwrap freely.
+
+/// One string literal occurrence in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StringLit {
+    /// 1-based line number of the opening quote.
+    pub line: usize,
+    /// 0-based char column of the opening quote. The masked code channel
+    /// replaces every source char with exactly one ASCII char, so this is
+    /// also a byte index into the masked line.
+    pub col: usize,
+    /// Literal contents with simple escapes (`\\`, `\"`, `\n`, `\t`)
+    /// resolved; other escapes are kept verbatim.
+    pub value: String,
+}
+
+/// A scanned Rust source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Raw text split into lines (no terminators).
+    pub raw: Vec<String>,
+    /// Masked code: comments and literal bodies blanked to spaces.
+    pub code: Vec<String>,
+    /// Comment text per line (block and line comments concatenated).
+    pub comments: Vec<String>,
+    /// Every string literal in the file, in source order.
+    pub strings: Vec<StringLit>,
+    /// `true` for lines inside a `#[cfg(test)]` item (inclusive).
+    pub in_test: Vec<bool>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str { raw_hashes: Option<u32> },
+}
+
+impl SourceFile {
+    /// Scans `text` into per-line code/comment/literal channels.
+    pub fn scan(rel: &str, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let mut code = Vec::with_capacity(raw.len());
+        let mut comments = Vec::with_capacity(raw.len());
+        let mut strings = Vec::new();
+        let mut mode = Mode::Code;
+        let mut lit = String::new();
+        let mut lit_start: (usize, usize) = (0, 0);
+
+        for (li, line) in raw.iter().enumerate() {
+            let bytes: Vec<char> = line.chars().collect();
+            let mut code_line = String::with_capacity(line.len());
+            let mut comment_line = String::new();
+            // A line comment never crosses a newline.
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            let mut i = 0usize;
+            while i < bytes.len() {
+                let c = bytes[i];
+                let next = bytes.get(i + 1).copied();
+                match mode {
+                    Mode::Code => {
+                        if c == '/' && next == Some('/') {
+                            mode = Mode::LineComment;
+                            comment_line.push_str(&line_suffix(&bytes, i + 2));
+                            // Blank the rest of the line in the code channel.
+                            for _ in i..bytes.len() {
+                                code_line.push(' ');
+                            }
+                            break;
+                        } else if c == '/' && next == Some('*') {
+                            mode = Mode::BlockComment(1);
+                            code_line.push(' ');
+                            code_line.push(' ');
+                            i += 2;
+                        } else if c == '"' {
+                            mode = Mode::Str { raw_hashes: None };
+                            lit.clear();
+                            lit_start = (li + 1, i);
+                            code_line.push(' ');
+                            i += 1;
+                        } else if c == 'r' && is_raw_string_start(&bytes, i) {
+                            let hashes = count_hashes(&bytes, i + 1);
+                            mode = Mode::Str { raw_hashes: Some(hashes) };
+                            lit.clear();
+                            lit_start = (li + 1, i);
+                            for _ in 0..(2 + hashes as usize) {
+                                code_line.push(' ');
+                            }
+                            i += 2 + hashes as usize;
+                        } else if c == 'b' && next == Some('"') {
+                            mode = Mode::Str { raw_hashes: None };
+                            lit.clear();
+                            lit_start = (li + 1, i);
+                            code_line.push(' ');
+                            code_line.push(' ');
+                            i += 2;
+                        } else if c == '\'' {
+                            // Char literal vs lifetime.
+                            if let Some(len) = char_literal_len(&bytes, i) {
+                                for _ in 0..len {
+                                    code_line.push(' ');
+                                }
+                                i += len;
+                            } else {
+                                code_line.push(c);
+                                i += 1;
+                            }
+                        } else {
+                            code_line.push(c);
+                            i += 1;
+                        }
+                    }
+                    Mode::LineComment => unreachable_line_comment(&mut code_line, &mut i, &bytes),
+                    Mode::BlockComment(depth) => {
+                        if c == '*' && next == Some('/') {
+                            mode = if depth > 1 {
+                                Mode::BlockComment(depth - 1)
+                            } else {
+                                Mode::Code
+                            };
+                            code_line.push(' ');
+                            code_line.push(' ');
+                            i += 2;
+                        } else if c == '/' && next == Some('*') {
+                            mode = Mode::BlockComment(depth + 1);
+                            comment_line.push(' ');
+                            code_line.push(' ');
+                            code_line.push(' ');
+                            i += 2;
+                        } else {
+                            comment_line.push(c);
+                            code_line.push(' ');
+                            i += 1;
+                        }
+                    }
+                    Mode::Str { raw_hashes: None } => {
+                        if c == '\\' {
+                            match next {
+                                Some('"') => lit.push('"'),
+                                Some('\\') => lit.push('\\'),
+                                Some('n') => lit.push('\n'),
+                                Some('t') => lit.push('\t'),
+                                Some(other) => {
+                                    lit.push('\\');
+                                    lit.push(other);
+                                }
+                                None => lit.push('\\'),
+                            }
+                            code_line.push(' ');
+                            if next.is_some() {
+                                code_line.push(' ');
+                            }
+                            i += 2;
+                        } else if c == '"' {
+                            strings.push(StringLit {
+                                line: lit_start.0,
+                                col: lit_start.1,
+                                value: std::mem::take(&mut lit),
+                            });
+                            mode = Mode::Code;
+                            code_line.push(' ');
+                            i += 1;
+                        } else {
+                            lit.push(c);
+                            code_line.push(' ');
+                            i += 1;
+                        }
+                    }
+                    Mode::Str { raw_hashes: Some(h) } => {
+                        if c == '"' && hashes_follow(&bytes, i + 1, h) {
+                            strings.push(StringLit {
+                                line: lit_start.0,
+                                col: lit_start.1,
+                                value: std::mem::take(&mut lit),
+                            });
+                            mode = Mode::Code;
+                            for _ in 0..(1 + h as usize) {
+                                code_line.push(' ');
+                            }
+                            i += 1 + h as usize;
+                        } else {
+                            lit.push(c);
+                            code_line.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            // Multiline string literals keep accumulating across lines.
+            if matches!(mode, Mode::Str { .. }) {
+                lit.push('\n');
+            }
+            code.push(code_line);
+            comments.push(comment_line);
+        }
+
+        let in_test = mark_test_regions(&code);
+        SourceFile { rel: rel.to_string(), raw, code, comments, strings, in_test }
+    }
+
+    /// String literals that start on the given 1-based line.
+    pub fn strings_on_line(&self, line: usize) -> impl Iterator<Item = &StringLit> {
+        self.strings.iter().filter(move |s| s.line == line)
+    }
+}
+
+fn line_suffix(bytes: &[char], from: usize) -> String {
+    bytes[from.min(bytes.len())..].iter().collect()
+}
+
+// The per-line loop resets LineComment before entering, so this state can
+// only be observed if the reset is removed; blank the rest of the line.
+fn unreachable_line_comment(code_line: &mut String, i: &mut usize, bytes: &[char]) {
+    for _ in *i..bytes.len() {
+        code_line.push(' ');
+    }
+    *i = bytes.len();
+}
+
+/// `r"`, `r#"`, `r##"`, … (also after `b`: handled because `b` is consumed
+/// as ordinary code and the `r` still starts the raw string).
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    // Not part of an identifier like `parser"` — require the char before
+    // `r` to be a non-identifier char (or the `b` of a `br"…"` literal).
+    if i > 0 {
+        let prev = bytes[i - 1];
+        let byte_prefix = prev == 'b'
+            && (i < 2 || !(bytes[i - 2].is_alphanumeric() || bytes[i - 2] == '_'));
+        if (prev.is_alphanumeric() || prev == '_') && !byte_prefix {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn count_hashes(bytes: &[char], from: usize) -> u32 {
+    let mut n = 0;
+    while bytes.get(from + n as usize) == Some(&'#') {
+        n += 1;
+    }
+    n
+}
+
+fn hashes_follow(bytes: &[char], from: usize, h: u32) -> bool {
+    (0..h as usize).all(|k| bytes.get(from + k) == Some(&'#'))
+}
+
+/// Length in chars of a char literal starting at `i` (which holds `'`), or
+/// `None` if this apostrophe starts a lifetime.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: find the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] != '\'' {
+                j += 1;
+            }
+            (j < bytes.len()).then_some(j - i + 1)
+        }
+        Some(_) if bytes.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None, // lifetime such as `'a` or `'static`
+    }
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item by brace matching on
+/// the masked code channel.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code.len()];
+    let mut li = 0usize;
+    while li < code.len() {
+        let l = &code[li];
+        let is_test_attr = l.contains("cfg(test)")
+            || l.contains("cfg(all(test")
+            || l.contains("cfg(any(test");
+        if !is_test_attr {
+            li += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item and match it.
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut lj = li;
+        'outer: while lj < code.len() {
+            for c in code[lj].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if !opened => {
+                        // `#[cfg(test)] mod foo;` — single line item.
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            lj += 1;
+        }
+        let end = lj.min(code.len() - 1);
+        for flag in in_test.iter_mut().take(end + 1).skip(li) {
+            *flag = true;
+        }
+        li = end + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments() {
+        let f = SourceFile::scan("t.rs", "let x = 1; // unwrap() here\nlet y = 2;");
+        assert!(!f.code[0].contains("unwrap"));
+        assert!(f.comments[0].contains("unwrap() here"));
+        assert!(f.code[1].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_block_comments_nested() {
+        let f = SourceFile::scan("t.rs", "a /* x /* y */ z */ b");
+        assert_eq!(f.code[0].trim_start().chars().next(), Some('a'));
+        assert!(!f.code[0].contains('x'));
+        assert!(f.code[0].ends_with('b'));
+    }
+
+    #[test]
+    fn extracts_string_literals() {
+        let f = SourceFile::scan("t.rs", "reg.counter(\"match.traces\").add(1);");
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].value, "match.traces");
+        assert!(!f.code[0].contains("match.traces"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let f = SourceFile::scan("t.rs", "let s = r#\"a \"quoted\" b\"#; let t = \"x\\\"y\";");
+        assert_eq!(f.strings[0].value, "a \"quoted\" b");
+        assert_eq!(f.strings[1].value, "x\"y");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let f = SourceFile::scan("t.rs", "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'y'; }");
+        // The quote inside the char literal must not open a string.
+        assert!(f.strings.is_empty());
+        assert!(f.code[0].contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn multiline_string() {
+        let f = SourceFile::scan("t.rs", "let s = \"line1\nline2\";\nlet x = 1;");
+        assert_eq!(f.strings.len(), 1);
+        assert_eq!(f.strings[0].value, "line1\nline2");
+        assert!(f.code[2].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}";
+        let f = SourceFile::scan("t.rs", src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[1] && f.in_test[2] && f.in_test[3] && f.in_test[4]);
+        assert!(!f.in_test[5]);
+    }
+}

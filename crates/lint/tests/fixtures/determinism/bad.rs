@@ -1,0 +1,31 @@
+// Known-bad fixture: ambient clocks, ambient randomness, hash-order
+// iteration feeding output.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn clocks() -> (SystemTime, Instant) {
+    (SystemTime::now(), Instant::now())
+}
+
+pub fn ambient_randomness() -> u64 {
+    rand::thread_rng().gen()
+}
+
+pub struct Table {
+    cells: HashMap<u64, f64>,
+}
+
+impl Table {
+    pub fn export(&self) -> Vec<(u64, f64)> {
+        self.cells.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    pub fn sum(&self) -> f64 {
+        let mut total = 0.0;
+        for (_, v) in &self.cells {
+            total += v;
+        }
+        total
+    }
+}

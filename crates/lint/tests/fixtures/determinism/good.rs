@@ -1,0 +1,27 @@
+// Known-good fixture: ordered collections and lookup-only hash maps.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Table {
+    cells: BTreeMap<u64, f64>,
+}
+
+impl Table {
+    // BTreeMap iteration is ordered — never flagged.
+    pub fn export(&self) -> Vec<(u64, f64)> {
+        self.cells.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+}
+
+// A HashMap used only for point lookups is fine: no iteration order leaks.
+pub fn lookup(index: &HashMap<u64, usize>, key: u64) -> Option<usize> {
+    index.get(&key).copied()
+}
+
+// Sorted-before-emitting is acceptable with a recorded justification.
+pub fn sorted_keys(index: &HashMap<u64, usize>) -> Vec<u64> {
+    // lint:allow(determinism): hash order is erased by the sort below
+    let mut keys: Vec<u64> = index.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

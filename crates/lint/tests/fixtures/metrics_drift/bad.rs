@@ -1,0 +1,11 @@
+// Known-bad fixture: metric names absent from the registry, a kind
+// mismatch, and an unregistered format! family.
+
+pub fn record(reg: &Registry) {
+    reg.counter("sim.sesions").inc(); // typo: not in the registry
+    reg.gauge("sim.sessions").set(1.0); // registered as a counter, not a gauge
+    let _span = reg.span("study/unknown_stage");
+    for i in 0..3 {
+        reg.counter(&format!("clean.unregistered.rule{}", i)).inc();
+    }
+}

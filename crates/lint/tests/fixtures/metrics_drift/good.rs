@@ -1,0 +1,13 @@
+// Known-good fixture: every name (static or format!-built) is registered.
+
+pub fn record(reg: &Registry) {
+    reg.counter("sim.sessions").inc();
+    let _span = reg.span("study/simulate");
+    for i in 0..3 {
+        reg.counter(&format!("clean.rule_fires.rule{}", i + 1)).inc();
+    }
+    reg.histogram(
+        "exec.worker_tasks",
+        &[1.0, 2.0, 4.0],
+    );
+}

@@ -1,0 +1,23 @@
+// Known-bad fixture: every construct the panic-free-library rule flags.
+
+pub fn unwraps(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn expects(r: Result<u32, ()>) -> u32 {
+    r.expect("always ok")
+}
+
+pub fn aborts(x: u32) -> u32 {
+    match x {
+        0 => panic!("zero"),
+        1 => unreachable!("one"),
+        2 => todo!(),
+        3 => unimplemented!(),
+        n => n,
+    }
+}
+
+pub fn indexes_call_result(g: &Graph, n: Node) -> Edge {
+    g.neighbors(n)[0]
+}

@@ -1,0 +1,30 @@
+// Known-good fixture: fallible code the panic-free-library rule accepts.
+
+pub fn propagates(o: Option<u32>) -> Result<u32, &'static str> {
+    o.ok_or("missing value")
+}
+
+// A suppressed site with a justification is fine.
+pub fn justified(v: &[u32]) -> u32 {
+    // lint:allow(panic-free-library): caller guarantees non-empty input
+    *v.last().expect("non-empty")
+}
+
+// Mentions in comments and strings are ignored: .unwrap() / panic!.
+pub fn documented() -> &'static str {
+    "never call .unwrap() or panic! here"
+}
+
+// Plain literal indexing is not flagged; bounds are local concerns.
+pub fn first(v: &[u32; 4]) -> u32 {
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        Some(1).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,13 @@
+// Known-bad fixture: unsafe without a SAFETY justification.
+
+pub fn deref(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+// A SAFETY comment too far above does not count.
+// SAFETY: this one is five lines away
+
+
+pub fn too_far(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,13 @@
+// Known-good fixture: every unsafe block states its invariant.
+
+#![deny(unsafe_code)]
+
+pub fn deref(ptr: *const u32) -> u32 {
+    // SAFETY: caller contract requires ptr to be valid for reads and
+    // aligned; upheld by the only call site in `checked_deref`.
+    unsafe { *ptr }
+}
+
+pub fn inline(ptr: *const u32) -> u32 {
+    unsafe { *ptr } // SAFETY: ptr validated by the bounds check above
+}

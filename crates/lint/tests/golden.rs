@@ -1,0 +1,46 @@
+//! Golden-file test for the JSON diagnostic format. CI and scripts parse
+//! this output (`--format json`), so its shape is part of the tool's
+//! contract: versioned, sorted, and stable across runs. Regenerate the
+//! golden with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p taxitrace-lint --test golden
+//! ```
+
+use taxitrace_lint::diag::{to_json, Diagnostic};
+use taxitrace_lint::lint_source;
+use taxitrace_lint::rules::{check_manifest, MetricsRegistry};
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/tests/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn json_output_matches_golden() {
+    let registry =
+        MetricsRegistry::parse(include_str!("../metrics.registry")).expect("registry parses");
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    for dir in ["panic_free", "determinism", "unsafe_audit", "metrics_drift"] {
+        findings.extend(lint_source(
+            &format!("crates/fixture/src/{dir}_bad.rs"),
+            "fixture",
+            &fixture(&format!("{dir}/bad.rs")),
+            registry.clone(),
+        ));
+    }
+    findings.extend(check_manifest(
+        "crates/fixture/Cargo.toml",
+        &fixture("workspace_hygiene/bad.toml"),
+    ));
+    findings.sort();
+    let got = to_json(&findings);
+
+    let golden_path = format!("{}/tests/golden.json", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(&golden_path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden_path).expect("committed golden file");
+    assert_eq!(got, want, "JSON output drifted from tests/golden.json (BLESS=1 to regenerate)");
+}

@@ -1,0 +1,95 @@
+//! Fixture-driven self-tests: every rule must fire on its known-bad
+//! fixture and stay silent on the known-good one. The fixtures under
+//! `tests/fixtures/` double as documentation of what each rule means.
+
+use taxitrace_lint::rules::{check_manifest, MetricsRegistry};
+use taxitrace_lint::lint_source;
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/tests/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn registry() -> MetricsRegistry {
+    MetricsRegistry::parse(include_str!("../metrics.registry")).expect("committed registry parses")
+}
+
+/// Findings of one rule for a fixture linted as library code.
+fn findings(dir: &str, file: &str, rule: &str) -> Vec<usize> {
+    lint_source(
+        &format!("crates/fixture/src/{dir}_{file}"),
+        "fixture",
+        &fixture(&format!("{dir}/{file}")),
+        registry(),
+    )
+    .into_iter()
+    .filter(|d| d.rule == rule)
+    .map(|d| d.line)
+    .collect()
+}
+
+#[test]
+fn panic_free_flags_every_bad_construct() {
+    let lines = findings("panic_free", "bad.rs", "panic-free-library");
+    // unwrap, expect, four abort macros, and the call-result index.
+    assert_eq!(lines, vec![4, 8, 13, 14, 15, 16, 22]);
+}
+
+#[test]
+fn panic_free_accepts_good_fixture() {
+    assert!(findings("panic_free", "good.rs", "panic-free-library").is_empty());
+}
+
+#[test]
+fn determinism_flags_clocks_rng_and_hash_iteration() {
+    let lines = findings("determinism", "bad.rs", "determinism");
+    // Two clocks on line 8, thread_rng on 12, both iteration sites.
+    assert_eq!(lines, vec![8, 8, 12, 21, 26]);
+}
+
+#[test]
+fn determinism_accepts_good_fixture() {
+    assert!(findings("determinism", "good.rs", "determinism").is_empty());
+}
+
+#[test]
+fn unsafe_audit_requires_nearby_safety_comment() {
+    let lines = findings("unsafe_audit", "bad.rs", "unsafe-audit");
+    assert_eq!(lines, vec![4, 12]);
+}
+
+#[test]
+fn unsafe_audit_accepts_good_fixture() {
+    assert!(findings("unsafe_audit", "good.rs", "unsafe-audit").is_empty());
+}
+
+#[test]
+fn metrics_drift_flags_unregistered_names() {
+    let lines = findings("metrics_drift", "bad.rs", "metrics-name-drift");
+    // Typo, kind mismatch, unknown span, unregistered format! family.
+    assert_eq!(lines, vec![5, 6, 7, 9]);
+}
+
+#[test]
+fn metrics_drift_accepts_good_fixture() {
+    assert!(findings("metrics_drift", "good.rs", "metrics-name-drift").is_empty());
+}
+
+#[test]
+fn workspace_hygiene_flags_path_and_version_deps() {
+    let out = check_manifest("crates/fixture/Cargo.toml", &fixture("workspace_hygiene/bad.toml"));
+    assert!(
+        out.iter().all(|d| d.rule == "workspace-hygiene"),
+        "unexpected rules: {out:?}"
+    );
+    let lines: Vec<usize> = out.iter().map(|d| d.line).collect();
+    assert!(lines.contains(&10), "path dep not flagged: {lines:?}");
+    assert!(lines.contains(&11), "version dep not flagged: {lines:?}");
+    assert!(lines.contains(&14), "dev path dep not flagged: {lines:?}");
+}
+
+#[test]
+fn workspace_hygiene_accepts_good_manifest() {
+    let out = check_manifest("crates/fixture/Cargo.toml", &fixture("workspace_hygiene/good.toml"));
+    assert!(out.is_empty(), "false positives: {out:?}");
+}

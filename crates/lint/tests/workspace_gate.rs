@@ -1,0 +1,28 @@
+//! Meta-test: the live workspace must pass its own gate. This is the same
+//! check `scripts/verify.sh` runs via the CLI, wired into `cargo test` so a
+//! regression cannot land without someone noticing.
+
+use std::path::Path;
+
+use taxitrace_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn workspace_passes_the_gate() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("lint crate lives inside the workspace");
+    let report = lint_workspace(&root).expect("gate runs");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace no longer passes taxitrace-lint --deny:\n{}",
+        taxitrace_lint::diag::to_human(&report.findings)
+    );
+    // The gate actually looked at the tree (all 14 member crates plus the
+    // facade and the manifests), not an empty directory.
+    assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
+    // Committed suppressions must stay live; prune them when they die.
+    assert!(
+        report.unused_allows.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.unused_allows
+    );
+}

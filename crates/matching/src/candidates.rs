@@ -29,6 +29,7 @@ pub struct ScoredCandidate {
 
 /// R-tree-backed candidate lookup over traffic elements — the GiST-index
 /// role PostGIS plays in the paper's stack.
+#[derive(Debug)]
 pub struct CandidateIndex {
     candidates: Vec<Candidate>,
     tree: RTree<usize>,
@@ -110,9 +111,7 @@ impl CandidateIndex {
         out.sort_by(|a, b| {
             let sa = config.w_dist * a.s_dist + config.w_head * a.s_head;
             let sb = config.w_dist * b.s_dist + config.w_head * b.s_head;
-            sb.partial_cmp(&sa)
-                .expect("finite scores")
-                .then(a.candidate.cmp(&b.candidate))
+            sb.total_cmp(&sa).then(a.candidate.cmp(&b.candidate))
         });
         out
     }

@@ -120,8 +120,9 @@ fn decode_run(
     let mut k = dp[n - 1]
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
         .map(|(k, _)| k)
+        // lint:allow(panic-free-library): rows were checked non-empty above
         .expect("non-empty candidate row");
     let mut picks = vec![0usize; n];
     for t in (0..n).rev() {

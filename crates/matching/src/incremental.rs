@@ -158,6 +158,7 @@ fn match_points_counted(
                 best = Some((score, sc));
             }
         }
+        // lint:allow(panic-free-library): loop above ran >= once (checked)
         let (_, sc) = best.expect("candidate list non-empty");
         let cand = index.candidate(sc.candidate);
         matched.push(MatchedPoint {

@@ -22,6 +22,9 @@
 //! * [`accuracy`] — ground-truth evaluation (the simulator knows the true
 //!   element under every point).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod accuracy;
 mod candidates;
 pub mod hmm;

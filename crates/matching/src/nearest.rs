@@ -34,10 +34,7 @@ pub fn match_trace_with(
     for (i, p) in points.iter().enumerate() {
         let cands = index.scored_candidates(p.pos, p.heading_deg, p.speed_kmh, config);
         let best = cands.iter().min_by(|a, b| {
-            a.distance_m
-                .partial_cmp(&b.distance_m)
-                .expect("finite distances")
-                .then(a.candidate.cmp(&b.candidate))
+            a.distance_m.total_cmp(&b.distance_m).then(a.candidate.cmp(&b.candidate))
         });
         match best {
             Some(sc) => {

@@ -62,6 +62,7 @@ impl PathCache {
             }
             self.map.insert(key, compute());
         }
+        // lint:allow(panic-free-library): inserted just above when absent
         self.map.get(&key).expect("key just ensured").as_deref()
     }
 

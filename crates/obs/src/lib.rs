@@ -31,6 +31,9 @@
 //! assert!(text.contains("clean.sessions"));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod registry;
 mod sink;
 mod snapshot;

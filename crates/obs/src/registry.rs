@@ -143,13 +143,13 @@ impl Registry {
     /// The counter registered under `name`, creating it at zero on first
     /// use. Names are `.`-separated lowercase (`"clean.sessions"`).
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.inner.counters.lock().expect("counter registry poisoned");
+        let mut map = self.inner.counters.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// The gauge registered under `name`, creating it at 0.0 on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.inner.gauges.lock().expect("gauge registry poisoned");
+        let mut map = self.inner.gauges.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
@@ -157,8 +157,11 @@ impl Registry {
     /// bucket bounds) apply on first registration and are ignored for an
     /// existing histogram of the same name.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
-        let mut map =
-            self.inner.histograms.lock().expect("histogram registry poisoned");
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         map.entry(name.to_string())
             .or_insert_with(|| {
                 let mut counts = Vec::with_capacity(bounds.len() + 1);
@@ -195,7 +198,7 @@ impl Registry {
         wall_s: f64,
         items: u64,
     ) {
-        let mut spans = self.inner.spans.lock().expect("span registry poisoned");
+        let mut spans = self.inner.spans.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         spans.push(SpanRecord { seq, path: to_owned_path(path), wall_s, items });
     }
 
@@ -206,7 +209,7 @@ impl Registry {
             .inner
             .counters
             .lock()
-            .expect("counter registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, c)| (name.clone(), c.get()))
             .collect();
@@ -214,7 +217,7 @@ impl Registry {
             .inner
             .gauges
             .lock()
-            .expect("gauge registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, g)| (name.clone(), g.get()))
             .collect();
@@ -222,7 +225,7 @@ impl Registry {
             .inner
             .histograms
             .lock()
-            .expect("histogram registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(name, h)| HistogramSnapshot {
                 name: name.clone(),
@@ -236,7 +239,7 @@ impl Registry {
             .inner
             .spans
             .lock()
-            .expect("span registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|r| SpanSnapshot {
                 seq: r.seq,

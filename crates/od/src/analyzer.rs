@@ -183,6 +183,7 @@ impl OdAnalyzer {
             let end_ok = self.endpoints[dest_ep]
                 .corridor
                 .axis()
+                // lint:allow(panic-free-library): segments keep >= 2 points
                 .distance_to_point(*positions.last().expect("segment non-empty"))
                 <= self.config.post_filter_dist_m;
             let post_filtered = within_center && pair_ok && start_ok && end_ok;
@@ -232,6 +233,7 @@ impl OdAnalyzer {
         // Crossing counts per taxi.
         for seg in segments {
             let crossed = self.roads_crossed(seg);
+            // lint:allow(panic-free-library): row inserted in the loop above
             let row = rows.get_mut(&seg.taxi.0).expect("row inserted above");
             if crossed >= 1 {
                 row.any_crossing += 1;

@@ -20,6 +20,9 @@
 //! [`OdAnalyzer::transitions`] yields the surviving transitions for
 //! map-matching and attribute fusion.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod analyzer;
 mod obs;
 

@@ -252,6 +252,7 @@ pub fn import_city(text: &str) -> Result<SyntheticCity, DigiroadError> {
             let axis = Polyline::new(
                 coords.into_iter().map(|g| projection.project(g)).collect(),
             )
+            // lint:allow(panic-free-library): WKT parser rejects < 2 points
             .expect("ROAD geometry validated by WKT parser");
             NamedRoad {
                 name,

@@ -102,10 +102,11 @@ impl Eq for QueueItem {}
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap on cost; ties broken by node id for determinism.
+        // `total_cmp` matches `partial_cmp` for the finite non-negative
+        // costs produced here and cannot panic on a rogue NaN weight.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("finite costs")
+            .total_cmp(&self.cost)
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
@@ -160,7 +161,10 @@ pub fn shortest_path_weighted(
     let mut edges = Vec::new();
     let mut cur = to;
     while cur != from {
-        let (p, e) = prev[cur.0 as usize].expect("reachable node has predecessor");
+        let Some((p, e)) = prev[cur.0 as usize] else {
+            debug_assert!(false, "reachable node {cur:?} has no predecessor");
+            return None;
+        };
         nodes.push(p);
         edges.push(e);
         cur = p;
@@ -206,11 +210,11 @@ impl Eq for AstarItem {}
 
 impl Ord for AstarItem {
     fn cmp(&self, other: &Self) -> Ordering {
+        // See `QueueItem::cmp`: total order without a panic path.
         other
             .f
-            .partial_cmp(&self.f)
-            .expect("finite f estimates")
-            .then_with(|| other.g.partial_cmp(&self.g).expect("finite g costs"))
+            .total_cmp(&self.f)
+            .then_with(|| other.g.total_cmp(&self.g))
             .then_with(|| other.node.0.cmp(&self.node.0))
     }
 }
@@ -408,7 +412,10 @@ pub fn astar_weighted_with(
     let mut edges = Vec::new();
     let mut cur = to;
     while cur != from {
-        let (p, e) = state.prev[cur.0 as usize].expect("reachable node has predecessor");
+        let Some((p, e)) = state.prev[cur.0 as usize] else {
+            debug_assert!(false, "reachable node {cur:?} has no predecessor");
+            return None;
+        };
         nodes.push(p);
         edges.push(e);
         cur = p;

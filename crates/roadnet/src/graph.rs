@@ -40,6 +40,10 @@ pub enum GraphError {
     /// A chain of one-way elements had inconsistent directions, leaving the
     /// edge impassable both ways.
     ImpassableChain { elements: Vec<ElementId> },
+    /// An internal chain-walking invariant did not hold — the endpoint
+    /// table and the element list disagree. Indicates corrupt input rather
+    /// than a recoverable condition, but callers still get a clean error.
+    Inconsistent(&'static str),
 }
 
 impl fmt::Display for GraphError {
@@ -48,6 +52,9 @@ impl fmt::Display for GraphError {
             GraphError::Empty => write!(f, "no traffic elements supplied"),
             GraphError::ImpassableChain { elements } => {
                 write!(f, "element chain {elements:?} is impassable in both directions")
+            }
+            GraphError::Inconsistent(what) => {
+                write!(f, "inconsistent road-network input: {what}")
             }
         }
     }
@@ -157,7 +164,9 @@ impl RoadGraph {
 
         // Walk chains starting from every vertex.
         for key in &vertex_keys {
-            let info = table.info(*key).expect("vertex key exists in table");
+            let info = table
+                .info(*key)
+                .ok_or(GraphError::Inconsistent("vertex key missing from endpoint table"))?;
             let mut starts: Vec<(usize, bool)> = info.incident.clone();
             starts.sort_unstable_by_key(|&(i, end)| (elements[i].id, end));
             for (elem_idx, at_end) in starts {
@@ -259,7 +268,9 @@ impl RoadGraph {
                 }
             }
             // Intermediate point: continue with the other incident element.
-            let info = table.info(far_key).expect("endpoint recorded");
+            let info = table
+                .info(far_key)
+                .ok_or(GraphError::Inconsistent("chain endpoint missing from endpoint table"))?;
             let next = info
                 .incident
                 .iter()
@@ -274,8 +285,11 @@ impl RoadGraph {
             reversed = next_at_end;
         }
 
-        let (first_idx, first_rev) = chain[0];
-        let (last_idx, last_rev) = *chain.last().expect("chain non-empty");
+        let (&(first_idx, first_rev), &(last_idx, last_rev)) =
+            match (chain.first(), chain.last()) {
+                (Some(first), Some(last)) => (first, last),
+                _ => return Err(GraphError::Inconsistent("chain walk produced no elements")),
+            };
         let _ = (first_idx, first_rev);
         let end_key = if last_rev {
             EndpointKey::of(elements[last_idx].start())
@@ -285,7 +299,7 @@ impl RoadGraph {
 
         let from = *node_of
             .get(&start_key)
-            .unwrap_or_else(|| panic!("chain start {start_key:?} must be a vertex"));
+            .ok_or(GraphError::Inconsistent("chain start is not a graph vertex"))?;
         // The end may be an intermediate point only in the degenerate loop
         // case; fall back to the start node then.
         let to = node_of.get(&end_key).copied().unwrap_or(from);
@@ -321,7 +335,9 @@ impl RoadGraph {
         if !forward_ok && !backward_ok {
             return Err(GraphError::ImpassableChain { elements: ids });
         }
-        let geometry = geometry.expect("chain has at least one element");
+        let Some(geometry) = geometry else {
+            return Err(GraphError::Inconsistent("chain walk produced no geometry"));
+        };
         let length_m = geometry.length();
         Ok(Edge {
             id: edge_id,
@@ -408,17 +424,13 @@ impl RoadGraph {
 
     /// The graph vertex closest to `p`.
     pub fn nearest_node(&self, p: Point) -> NodeId {
-        let (i, _) = self
-            .nodes
+        // `build` rejects empty inputs, so a constructed graph always has
+        // nodes; an impossible empty list falls back to node 0.
+        self.nodes
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.distance_sq(p)
-                    .partial_cmp(&b.distance_sq(p))
-                    .expect("finite coordinates")
-            })
-            .expect("graph has at least one node");
-        NodeId(i as u32)
+            .min_by(|(_, a), (_, b)| a.distance_sq(p).total_cmp(&b.distance_sq(p)))
+            .map_or(NodeId(0), |(i, _)| NodeId(i as u32))
     }
 
     /// Emits the paper's Table 1 rows: one junction pair per edge,

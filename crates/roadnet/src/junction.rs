@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use taxitrace_geo::Point;
 
@@ -63,14 +63,15 @@ pub struct EndpointInfo {
 /// type of the endpoints of the traffic elements".
 #[derive(Debug)]
 pub struct EndpointTable {
-    map: HashMap<EndpointKey, EndpointInfo>,
+    // BTreeMap so `iter` yields endpoints in key order — graph node ids
+    // derive from this order and must not depend on hash seeding.
+    map: BTreeMap<EndpointKey, EndpointInfo>,
 }
 
 impl EndpointTable {
     /// Builds the table from a set of traffic elements.
     pub fn build(elements: &[TrafficElement]) -> Self {
-        let mut map: HashMap<EndpointKey, EndpointInfo> =
-            HashMap::with_capacity(elements.len() * 2);
+        let mut map: BTreeMap<EndpointKey, EndpointInfo> = BTreeMap::new();
         for (i, e) in elements.iter().enumerate() {
             map.entry(EndpointKey::of(e.start()))
                 .or_insert_with(|| EndpointInfo { incident: Vec::new() })
@@ -86,9 +87,10 @@ impl EndpointTable {
 
     /// Classifies an endpoint key.
     pub fn kind(&self, key: EndpointKey) -> Option<EndpointKind> {
+        // Entries are only created on insertion, so `incident` is never
+        // empty and the 0 arm folds into DeadEnd harmlessly.
         self.map.get(&key).map(|info| match info.incident.len() {
-            0 => unreachable!("entries are only created on insertion"),
-            1 => EndpointKind::DeadEnd,
+            0 | 1 => EndpointKind::DeadEnd,
             2 => EndpointKind::Intermediate,
             d => EndpointKind::Junction { degree: d },
         })

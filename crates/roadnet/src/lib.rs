@@ -26,6 +26,9 @@
 //! The real Digiroad database is not redistributable; see `DESIGN.md` for the
 //! substitution argument.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod attributes;
 pub mod digiroad;
 pub mod dijkstra;

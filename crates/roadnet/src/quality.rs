@@ -6,7 +6,7 @@
 //! pockets (one-way mistakes), degenerate geometry, duplicate identifiers,
 //! and implausible attributes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{EdgeId, NodeId, RoadGraph, TrafficElement};
 
@@ -55,7 +55,9 @@ pub fn audit(elements: &[TrafficElement], graph: &RoadGraph) -> QualityReport {
     let mut report = QualityReport { total_nodes: graph.num_nodes(), ..Default::default() };
 
     // Element-level checks.
-    let mut seen: HashMap<crate::ElementId, usize> = HashMap::new();
+    // BTreeMap: defects are reported in id order, part of the exported
+    // QualityReport and therefore of the deterministic output surface.
+    let mut seen: BTreeMap<crate::ElementId, usize> = BTreeMap::new();
     for e in elements {
         *seen.entry(e.id).or_insert(0) += 1;
         if e.length() < 1.0 {

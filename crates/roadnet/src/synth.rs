@@ -452,9 +452,7 @@ fn place_objects(
         };
         let (ca, da) = rank(a);
         let (cb, db) = rank(b);
-        ca.cmp(&cb)
-            .then(da.partial_cmp(&db).expect("finite"))
-            .then(a.0.cmp(&b.0))
+        ca.cmp(&cb).then(da.total_cmp(&db)).then(a.0.cmp(&b.0))
     });
     for &n in junctions.iter().take(config.traffic_lights) {
         let np = graph.node_point(n);

@@ -19,6 +19,9 @@
 //! * [`qq`] — normal QQ-plot data (Fig. 7);
 //! * [`brent_min`] — 1-D function minimisation.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod corr;
 mod histogram;
 mod lmm;

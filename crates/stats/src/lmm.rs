@@ -141,7 +141,7 @@ impl RandomIntercept {
         if n <= p {
             return Err(LmmError::TooFewObservations { n, p });
         }
-        let pre = precompute(y, x, groups);
+        let pre = precompute(y, x, groups)?;
 
         // Profile REML over ln λ; also probe the λ = 0 boundary (pure OLS).
         let objective = |ln_lambda: f64| {
@@ -196,11 +196,11 @@ impl RandomIntercept {
     }
 }
 
-fn precompute(y: &[f64], x: &Matrix, groups: &[u64]) -> Precomputed {
+fn precompute(y: &[f64], x: &Matrix, groups: &[u64]) -> Result<Precomputed, LmmError> {
     let n = x.rows();
     let p = x.cols();
     let xt = x.transpose();
-    let xtx = xt.mul(x).expect("dimensions agree");
+    let xtx = xt.mul(x).map_err(LmmError::Singular)?;
     let mut xty = vec![0.0; p];
     let mut yty = 0.0;
     for i in 0..n {
@@ -223,7 +223,7 @@ fn precompute(y: &[f64], x: &Matrix, groups: &[u64]) -> Precomputed {
         }
         entry.3 += y[i];
     }
-    Precomputed { n, p, xtx, xty, yty, groups: group_stats }
+    Ok(Precomputed { n, p, xtx, xty, yty, groups: group_stats })
 }
 
 struct Evaluation {
@@ -492,7 +492,7 @@ mod tests {
             .fit(&y, &intercept_design(n), &groups)
             .unwrap();
         // Perturbing λ must not lower the criterion.
-        let pre = precompute(&y, &intercept_design(n), &groups);
+        let pre = precompute(&y, &intercept_design(n), &groups).expect("precompute");
         for factor in [0.5, 0.8, 1.25, 2.0] {
             let v = evaluate(&pre, fit.lambda * factor).unwrap().neg2_reml;
             assert!(

@@ -56,7 +56,7 @@ pub fn ols_fit(y: &[f64], x: &Matrix) -> Result<OlsFit, OlsError> {
     }
     // Normal equations via Cholesky: (XᵀX) b = Xᵀy.
     let xt = x.transpose();
-    let xtx = xt.mul(x).expect("dimensions agree");
+    let xtx = xt.mul(x).map_err(OlsError::Singular)?;
     let mut xty = vec![0.0; p];
     for j in 0..p {
         for i in 0..n {

@@ -13,6 +13,9 @@
 //! * [`codec`] — a versioned binary file format so a simulated year can be
 //!   generated once and re-analysed many times.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod codec;
 mod query;
 mod store;

@@ -159,6 +159,7 @@ impl TripStore {
 
     /// Taxis present, sorted.
     pub fn taxis(&self) -> Vec<TaxiId> {
+        // lint:allow(determinism): hash order is erased by the sort below
         let mut t: Vec<TaxiId> = self.by_taxi.keys().copied().collect();
         t.sort_unstable();
         t

@@ -95,14 +95,15 @@ fn days_in_month(year: i32, month: u8) -> u8 {
     match month {
         1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
         4 | 6 | 9 | 11 => 30,
-        2 => {
+        // February — and, defensively, any out-of-range month the public
+        // constructors have already rejected.
+        _ => {
             if is_leap(year) {
                 29
             } else {
                 28
             }
         }
-        _ => unreachable!("validated month"),
     }
 }
 
@@ -125,7 +126,9 @@ impl CivilDate {
 
     #[inline]
     pub fn month(&self) -> Month {
-        Month::from_number(self.month).expect("validated at construction")
+        // `new` validates 1..=12, so the fallback is unreachable; it keeps
+        // the accessor panic-free without widening the return type.
+        Month::from_number(self.month).unwrap_or(Month::January)
     }
 
     #[inline]

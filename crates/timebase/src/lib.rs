@@ -8,6 +8,9 @@
 //! formatting — without pulling in a calendar dependency, because the date
 //! logic is part of the system under reproduction.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod civil;
 mod season;
 mod timestamp;
@@ -17,25 +20,38 @@ pub use season::Season;
 pub use timestamp::{Duration, Timestamp};
 
 /// The paper's study period start: 1 October 2012, 00:00:00 (UTC-naive).
+///
+/// Stored as the precomputed Unix second so the accessor is infallible; a
+/// test cross-checks it against the civil-date construction.
 pub fn study_period_start() -> Timestamp {
-    CivilDateTime::new(CivilDate::new(2012, 10, 1).expect("valid date"), 0, 0, 0)
-        .expect("valid time")
-        .to_timestamp()
+    Timestamp::from_secs(STUDY_START_SECS)
 }
+
+const STUDY_START_SECS: i64 = 1_349_049_600; // 2012-10-01T00:00:00
+const STUDY_END_SECS: i64 = 1_380_585_600; // 2013-10-01T00:00:00
 
 /// The paper's study period end (exclusive): 1 October 2013, 00:00:00.
 ///
 /// The paper writes "31.9.2013", which does not exist; we read it as the end
 /// of September, i.e. a full year of data.
 pub fn study_period_end() -> Timestamp {
-    CivilDateTime::new(CivilDate::new(2013, 10, 1).expect("valid date"), 0, 0, 0)
-        .expect("valid time")
-        .to_timestamp()
+    Timestamp::from_secs(STUDY_END_SECS)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn study_period_matches_civil_dates() {
+        for (ts, (y, m, d)) in
+            [(study_period_start(), (2012, 10, 1)), (study_period_end(), (2013, 10, 1))]
+        {
+            let civil = CivilDateTime::new(CivilDate::new(y, m, d).expect("valid date"), 0, 0, 0)
+                .expect("valid time");
+            assert_eq!(ts, civil.to_timestamp());
+        }
+    }
 
     #[test]
     fn study_period_is_one_year() {

@@ -22,6 +22,9 @@
 //!   traffic lights / pedestrian crossings / crowd-zone interference,
 //!   engine-on sessions spanning whole shifts.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 pub mod corruption;
 pub mod driver;
 pub mod fuel;

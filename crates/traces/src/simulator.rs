@@ -538,7 +538,7 @@ fn drive_leg(
             s += 100.0;
         }
     }
-    events.sort_by(|a, b| a.offset.partial_cmp(&b.offset).expect("finite offsets"));
+    events.sort_by(|a, b| a.offset.total_cmp(&b.offset));
 
     // --- Kinematic integration. ---
     let dt = config.step_s;

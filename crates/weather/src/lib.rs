@@ -12,6 +12,9 @@
 //! group shows a higher low-speed share in *every* temperature class — so
 //! any plausible temperature series exercises the same code path.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
 mod model;
 
 pub use model::{RoadCondition, TemperatureClass, WeatherDay, WeatherModel};

@@ -7,8 +7,18 @@ cd "$(dirname "$0")/.."
 cargo build --release -p taxitrace-bench
 cargo test -q --workspace
 
-# The observability and executor crates must be clippy-clean.
-cargo clippy -q -p taxitrace-obs -p taxitrace-exec -- -D warnings
+# The whole workspace must be clippy-clean.
+cargo clippy -q --workspace -- -D warnings
+
+# Static-analysis gate: determinism, panic-freedom, unsafe audit,
+# metrics-name drift, workspace hygiene (see README §Static analysis gates).
+lint_out=$(mktemp)
+cargo run -q -p taxitrace-lint -- --deny --format json > "$lint_out" || {
+    cat "$lint_out" >&2
+    rm -f "$lint_out"
+    exit 1
+}
+rm -f "$lint_out"
 
 # Metrics surface: a small run must emit schema-versioned JSON covering
 # every pipeline stage, the executor and the gap-fill cache — and leave
