@@ -20,6 +20,16 @@
 //! is given). Neither flag touches stdout, so experiment output stays
 //! byte-identical to the committed baseline.
 //!
+//! `--chaos <plan>` loads a fault plan (`key value` lines, see
+//! `taxitrace_traces::FaultPlan::parse`) and runs the study under it:
+//! injected trace faults are quarantined, injected task panics are
+//! isolated, and stage error budgets decide whether the degraded run
+//! still counts. `--checkpoint-dir <dir>` checkpoints each completed
+//! stage there and resumes interrupted runs (chaos kills, failed
+//! checkpoint writes) from the last completed stage. A quarantine
+//! summary goes to stderr; stdout stays the byte-exact experiment
+//! surface.
+//!
 //! Absolute values come from the calibrated simulator, not the authors'
 //! taxis; the point of each experiment is the *shape* comparison printed
 //! alongside the paper's published numbers (see `EXPERIMENTS.md`).
@@ -47,6 +57,8 @@ struct Args {
     bench_json: Option<String>,
     metrics: Option<MetricsFormat>,
     metrics_out: Option<String>,
+    chaos: Option<String>,
+    checkpoint_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -56,6 +68,8 @@ fn parse_args() -> Args {
     let mut bench_json = None;
     let mut metrics = None;
     let mut metrics_out = None;
+    let mut chaos = None;
+    let mut checkpoint_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -85,14 +99,23 @@ fn parse_args() -> Args {
                 metrics_out =
                     Some(it.next().unwrap_or_else(|| die("--metrics-out needs a path")));
             }
+            "--chaos" => {
+                chaos = Some(it.next().unwrap_or_else(|| die("--chaos needs a plan path")));
+            }
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(
+                    it.next().unwrap_or_else(|| die("--checkpoint-dir needs a directory")),
+                );
+            }
             "--help" | "-h" => die(
                 "usage: repro [--seed N] [--scale F] [--bench-json PATH] \
-                 [--metrics FMT] [--metrics-out PATH] <experiment>",
+                 [--metrics FMT] [--metrics-out PATH] [--chaos PLAN] \
+                 [--checkpoint-dir DIR] <experiment>",
             ),
             other => experiment = other.to_string(),
         }
     }
-    Args { seed, scale, experiment, bench_json, metrics, metrics_out }
+    Args { seed, scale, experiment, bench_json, metrics, metrics_out, chaos, checkpoint_dir }
 }
 
 fn die(msg: &str) -> ! {
@@ -105,6 +128,48 @@ static OUTPUT: OnceLock<StudyOutput> = OnceLock::new();
 /// analysis time (total minus study) without reordering any output.
 static STUDY_WALL_S: OnceLock<f64> = OnceLock::new();
 
+/// The study configuration for this invocation: the baseline scaled
+/// config, plus the chaos plan when `--chaos` names one.
+fn study_config(args: &Args) -> StudyConfig {
+    let mut config = StudyConfig::scaled(args.seed, args.scale);
+    if let Some(path) = &args.chaos {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read chaos plan {path}: {e}")));
+        let plan = taxitrace_core::FaultPlan::parse(&text)
+            .unwrap_or_else(|e| die(&format!("bad chaos plan {path}: {e}")));
+        config.chaos = Some(plan);
+    }
+    config.validate().unwrap_or_else(|e| die(&format!("bad study config: {e}")));
+    config
+}
+
+/// Runs the study once. Without `--checkpoint-dir` a failure is final;
+/// with it, an interrupted run (a chaos kill, a failed checkpoint write)
+/// is resumed from the last completed stage, a bounded number of times.
+fn run_study(args: &Args) -> StudyOutput {
+    let study = Study::new(study_config(args));
+    let Some(dir) = &args.checkpoint_dir else {
+        return study.run().unwrap_or_else(|e| die(&format!("study failed: {e}")));
+    };
+    let dir = std::path::Path::new(dir);
+    let mut attempt = 0u32;
+    loop {
+        let result =
+            if attempt == 0 { study.run_with_checkpoints(dir) } else { study.resume(dir) };
+        match result {
+            Ok(out) => return out,
+            Err(e) if attempt < 4 => {
+                attempt += 1;
+                eprintln!(
+                    "[repro] study interrupted ({e}); resuming from {} (attempt {attempt})",
+                    dir.display()
+                );
+            }
+            Err(e) => die(&format!("study failed after {attempt} resume(s): {e}")),
+        }
+    }
+}
+
 fn output(args: &Args) -> &'static StudyOutput {
     OUTPUT.get_or_init(|| {
         eprintln!(
@@ -112,17 +177,23 @@ fn output(args: &Args) -> &'static StudyOutput {
             args.seed, args.scale
         );
         let start = std::time::Instant::now();
-        let out = Study::new(StudyConfig::scaled(args.seed, args.scale))
-            .run()
-            .unwrap_or_else(|e| die(&format!("study failed: {e}")));
+        let out = run_study(args);
         let _ = STUDY_WALL_S.set(start.elapsed().as_secs_f64());
         eprintln!(
-            "[repro] {} sessions, {} segments, {} transitions, {} transition points\n",
+            "[repro] {} sessions, {} segments, {} transitions, {} transition points",
             out.cleaning.sessions,
             out.segments.len(),
             out.transitions.len(),
             out.total_transition_points()
         );
+        if !out.quarantine.is_empty() {
+            eprintln!(
+                "[repro] quarantined {} record(s) by reason: {:?}",
+                out.quarantine.len(),
+                out.quarantine.by_reason()
+            );
+        }
+        eprintln!();
         out
     })
 }

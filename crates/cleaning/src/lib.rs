@@ -13,10 +13,15 @@
 //! * [`pipeline`] — the composed cleaning pipeline with per-stage audit
 //!   counters, plus ground-truth validation helpers the original study
 //!   could not have.
+//! * [`anomaly`] — post-cleaning invariant checks (position jump, clock
+//!   skew, dropout, stuck sensor) backing the record-level quarantine:
+//!   sessions cleaning cannot make physically plausible are routed to a
+//!   dead-letter ledger instead of poisoning the study.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+mod anomaly;
 mod filters;
 mod interpolate;
 mod order;
@@ -24,6 +29,7 @@ mod pipeline;
 mod segmentation;
 mod totals;
 
+pub use anomaly::{segment_anomaly, session_anomaly, AnomalyConfig, AnomalyKind};
 pub use filters::{FilterConfig, FilterStats};
 pub use interpolate::{
     interpolate_gaps, is_synthetic, InterpolateConfig, InterpolateStats,

@@ -1,0 +1,134 @@
+//! Adversarial robustness properties for the cleaning pipeline: for *any*
+//! corruption the transmission model can apply — including configurations
+//! far nastier than the calibrated defaults — `clean_session` and
+//! `validate_segments` must neither panic nor emit non-finite or
+//! impossible statistics. This is the record-level half of the fault
+//! model: whatever arrives, cleaning's answer is a well-formed (possibly
+//! empty) set of segments, never a poisoned one.
+
+use proptest::prelude::*;
+use taxitrace_cleaning::{
+    clean_session, session_anomaly, validate_segments, AnomalyConfig, CleaningConfig,
+};
+use taxitrace_geo::{GeoPoint, Point};
+use taxitrace_roadnet::NodeId;
+use taxitrace_timebase::Timestamp;
+use taxitrace_traces::corruption::corrupt_session;
+use taxitrace_traces::{
+    CorruptionConfig, CustomerTripTruth, PointTruth, RawTrip, Rng, TaxiId, TripId,
+};
+
+/// A synthetic drive in true measurement order: `n` points along a bent
+/// path with stop-and-go speeds, sampled every `step_s` seconds.
+fn base_points(n: usize, step_s: i64, speed_kmh: f64) -> Vec<taxitrace_traces::RoutePoint> {
+    (0..n)
+        .map(|i| {
+            let along = i as f64 * speed_kmh / 3.6 * step_s as f64;
+            // A bend plus a periodic full stop (speed 0 every 11th point)
+            // so segmentation's stop rules have real material to cut on.
+            let speed = if i % 11 == 0 { 0.0 } else { speed_kmh };
+            taxitrace_traces::RoutePoint {
+                point_id: i as u64,
+                trip_id: TripId(1),
+                taxi: TaxiId(1),
+                geo: GeoPoint::new(25.0, 65.0),
+                pos: Point::new(along, (along * 0.35).sin() * 180.0),
+                timestamp: Timestamp::from_secs(i as i64 * step_s),
+                speed_kmh: speed,
+                heading_deg: 90.0,
+                fuel_ml: i as f64 * 3.0,
+                truth: PointTruth { seq: i as u32, element: None },
+            }
+        })
+        .collect()
+}
+
+fn session_from(points: Vec<taxitrace_traces::RoutePoint>, n: usize) -> RawTrip {
+    let start_time = points.iter().map(|p| p.timestamp).min().unwrap();
+    let end_time = points.iter().map(|p| p.timestamp).max().unwrap();
+    RawTrip {
+        id: TripId(1),
+        taxi: TaxiId(1),
+        start_time,
+        end_time,
+        points,
+        total_time: end_time - start_time,
+        total_distance_m: 1_000.0,
+        total_fuel_ml: 500.0,
+        truth_trips: vec![CustomerTripTruth {
+            start_seq: 0,
+            end_seq: (n - 1) as u32,
+            origin: NodeId(0),
+            destination: NodeId(0),
+            elements: Vec::new(),
+            od_pair: None,
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any corruption of any plausible drive cleans to finite, coherent
+    /// output, and the validator's counts stay internally consistent.
+    #[test]
+    fn cleaning_survives_arbitrary_corruption(
+        seed in 0u64..1_000,
+        n in 8usize..180,
+        step_s in 1i64..40,
+        speed_kmh in 0.5f64..90.0,
+        p_reorder in 0.0f64..1.0,
+        p_ts_glitch in 0.0f64..1.0,
+        burst_min in 1usize..12,
+        burst_extra in 0usize..14,
+        glitch_points in 1usize..10,
+        glitch_max_s in 1i64..600,
+        p_duplicate in 0.0f64..0.5,
+    ) {
+        let corruption = CorruptionConfig {
+            p_reorder,
+            p_ts_glitch,
+            burst_min,
+            burst_max: burst_min + burst_extra,
+            glitch_points,
+            glitch_max_s,
+            p_duplicate,
+        };
+        let mut rng = Rng::new(seed);
+        let (points, _applied) =
+            corrupt_session(&corruption, &mut rng, base_points(n, step_s, speed_kmh));
+        let session = session_from(points, n);
+
+        let cleaned = clean_session(&session, &CleaningConfig::default());
+
+        // Stats are counts of real events: bounded by the input (which may
+        // exceed `n` — corruption injects duplicate uploads).
+        prop_assert_eq!(cleaned.stats.raw_points, session.points.len());
+        let kept: usize = cleaned.segments.iter().map(|s| s.points.len()).sum();
+        prop_assert!(kept + cleaned.stats.duplicates_removed <= cleaned.stats.raw_points);
+
+        for segment in &cleaned.segments {
+            prop_assert!(!segment.points.is_empty());
+            prop_assert!(segment.length_m().is_finite());
+            prop_assert!(segment.length_m() >= 0.0);
+            for w in segment.points.windows(2) {
+                // Order repair guarantees monotone time inside a segment.
+                prop_assert!(w[0].timestamp <= w[1].timestamp);
+            }
+            for p in &segment.points {
+                prop_assert!(p.pos.x.is_finite() && p.pos.y.is_finite());
+                prop_assert!(p.speed_kmh.is_finite() && p.speed_kmh >= 0.0);
+            }
+        }
+
+        // The anomaly scan must always reach a verdict without panicking.
+        let _ = session_anomaly(&cleaned, &AnomalyConfig::default());
+
+        let v = validate_segments(&session, &cleaned, 0.7);
+        prop_assert_eq!(v.truth_legs, 1);
+        prop_assert!(v.recovered_legs <= v.truth_legs);
+        prop_assert_eq!(v.segments, cleaned.segments.len());
+        prop_assert!(v.matched_segments <= v.segments);
+        prop_assert!(v.recall().is_finite() && (0.0..=1.0).contains(&v.recall()));
+    }
+}

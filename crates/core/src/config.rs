@@ -1,9 +1,9 @@
 use serde::{Deserialize, Serialize};
-use taxitrace_cleaning::CleaningConfig;
+use taxitrace_cleaning::{AnomalyConfig, CleaningConfig};
 use taxitrace_matching::MatchConfig;
 use taxitrace_roadnet::synth::OuluConfig;
 use taxitrace_timebase::CivilDate;
-use taxitrace_traces::FleetConfig;
+use taxitrace_traces::{FaultPlan, FleetConfig};
 
 /// Configuration of a full study run. The entire study is a pure function
 /// of this value.
@@ -28,6 +28,39 @@ pub struct StudyConfig {
     pub normal_speed_frac: f64,
     /// Traffic-light count splitting Fig. 10's two groups (paper: 9).
     pub fig10_light_threshold: usize,
+    /// Fault-tolerance policy: anomaly thresholds, error budget, retries.
+    pub fault: FaultConfig,
+    /// Chaos plan injecting faults for robustness testing (`None` in
+    /// production runs; the default pipeline behaviour is unchanged).
+    pub chaos: Option<FaultPlan>,
+}
+
+/// Fault-tolerance policy of a study run.
+///
+/// The defaults are calibrated so a healthy (no-chaos) run never trips
+/// them: the anomaly thresholds are physically extreme, and a 25 % error
+/// budget is far above anything the default corruption model produces
+/// (which quarantines nothing at all).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Maximum fraction of a stage's records that may be quarantined
+    /// before the stage fails with [`crate::Error::BudgetExceeded`].
+    pub error_budget: f64,
+    /// Upper bound on executions per worker task (≥ 1; panics are never
+    /// retried, only typed task errors are).
+    pub max_task_attempts: u32,
+    /// Post-cleaning invariant thresholds feeding the quarantine.
+    pub anomaly: AnomalyConfig,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            error_budget: 0.25,
+            max_task_attempts: 1,
+            anomaly: AnomalyConfig::default(),
+        }
+    }
 }
 
 /// Why a [`StudyConfigBuilder`] refused to produce a config.
@@ -47,6 +80,12 @@ pub enum ConfigError {
     BadLowSpeed(f64),
     /// The normal-speed fraction must be finite and positive.
     BadNormalSpeedFrac(f64),
+    /// The quarantine error budget must be a fraction in `[0, 1]`.
+    BadErrorBudget(f64),
+    /// Worker tasks must run at least once.
+    ZeroTaskAttempts,
+    /// The chaos plan failed its own validation.
+    Chaos(String),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -69,6 +108,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadNormalSpeedFrac(v) => {
                 write!(f, "normal-speed fraction {v} must be finite and positive")
             }
+            ConfigError::BadErrorBudget(b) => {
+                write!(f, "error budget {b} must be a fraction in [0, 1]")
+            }
+            ConfigError::ZeroTaskAttempts => {
+                write!(f, "max task attempts must be at least 1")
+            }
+            ConfigError::Chaos(msg) => write!(f, "invalid chaos plan: {msg}"),
         }
     }
 }
@@ -88,6 +134,8 @@ pub struct StudyConfigBuilder {
     fig10_light_threshold: usize,
     cleaning: CleaningConfig,
     matching: MatchConfig,
+    fault: FaultConfig,
+    chaos: Option<FaultPlan>,
 }
 
 impl StudyConfigBuilder {
@@ -104,6 +152,8 @@ impl StudyConfigBuilder {
             fig10_light_threshold: paper.fig10_light_threshold,
             cleaning: paper.cleaning,
             matching: paper.matching,
+            fault: paper.fault,
+            chaos: None,
         }
     }
 
@@ -163,6 +213,18 @@ impl StudyConfigBuilder {
         self
     }
 
+    /// Fault-tolerance policy (error budget, retries, anomaly thresholds).
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Chaos plan for robustness testing.
+    pub fn chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Validates and produces the config.
     pub fn build(self) -> Result<StudyConfig, ConfigError> {
         if !self.scale.is_finite() {
@@ -208,6 +270,9 @@ impl StudyConfigBuilder {
         config.fig10_light_threshold = self.fig10_light_threshold;
         config.cleaning = self.cleaning;
         config.matching = self.matching;
+        config.fault = self.fault;
+        config.chaos = self.chaos;
+        config.validate()?;
         Ok(config)
     }
 }
@@ -235,6 +300,8 @@ impl StudyConfig {
             fleet,
             cleaning: CleaningConfig::default(),
             matching: MatchConfig::default(),
+            fault: FaultConfig::default(),
+            chaos: None,
             grid_size_m: 200.0,
             low_speed_kmh: 10.0,
             // "Normal speed (speed at the speed limit)": strictly at/above
@@ -280,6 +347,25 @@ impl StudyConfig {
         }
         if !self.normal_speed_frac.is_finite() || self.normal_speed_frac <= 0.0 {
             return Err(ConfigError::BadNormalSpeedFrac(self.normal_speed_frac));
+        }
+        if !self.fault.error_budget.is_finite()
+            || !(0.0..=1.0).contains(&self.fault.error_budget)
+        {
+            return Err(ConfigError::BadErrorBudget(self.fault.error_budget));
+        }
+        if self.fault.max_task_attempts == 0 {
+            return Err(ConfigError::ZeroTaskAttempts);
+        }
+        if let Some(plan) = &self.chaos {
+            plan.validate().map_err(ConfigError::Chaos)?;
+            if let Some(budget) = plan.error_budget {
+                if !budget.is_finite() || !(0.0..=1.0).contains(&budget) {
+                    return Err(ConfigError::BadErrorBudget(budget));
+                }
+            }
+            if plan.max_task_attempts == Some(0) {
+                return Err(ConfigError::ZeroTaskAttempts);
+            }
         }
         Ok(())
     }

@@ -28,6 +28,25 @@ pub enum Error {
     Io { path: String, source: io::Error },
     /// A pipeline invariant did not hold for this input.
     Pipeline(String),
+    /// A stage quarantined more than its error budget allows. The run's
+    /// data quality is too degraded to report results from; everything up
+    /// to the budget is tolerated with degradation metrics instead.
+    BudgetExceeded {
+        /// Stage that blew its budget (`clean`/`od`/`match_fuse`).
+        stage: &'static str,
+        /// Records quarantined by the stage.
+        quarantined: usize,
+        /// Records the stage processed.
+        total: usize,
+        /// Maximum tolerated quarantined fraction.
+        budget: f64,
+    },
+    /// A chaos plan killed the run after the named stage (the stage's
+    /// checkpoint is on disk; `Study::resume` must recover from here).
+    InjectedKill {
+        /// The completed stage after which the kill fired.
+        stage: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -39,6 +58,15 @@ impl fmt::Display for Error {
             Error::Lmm(e) => write!(f, "mixed model error: {e}"),
             Error::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
             Error::Pipeline(message) => write!(f, "pipeline error: {message}"),
+            Error::BudgetExceeded { stage, quarantined, total, budget } => write!(
+                f,
+                "{stage} stage exceeded its error budget: {quarantined} of {total} \
+                 records quarantined (budget {:.1} %)",
+                budget * 100.0
+            ),
+            Error::InjectedKill { stage } => {
+                write!(f, "chaos: injected kill after the {stage} stage")
+            }
         }
     }
 }
@@ -51,7 +79,9 @@ impl std::error::Error for Error {
             Error::Graph(e) => Some(e),
             Error::Lmm(e) => Some(e),
             Error::Io { source, .. } => Some(source),
-            Error::Pipeline(_) => None,
+            Error::Pipeline(_) | Error::BudgetExceeded { .. } | Error::InjectedKill { .. } => {
+                None
+            }
         }
     }
 }

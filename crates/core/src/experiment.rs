@@ -13,18 +13,24 @@
 //! registry at that point, so callers can inspect counters and spans after
 //! any prefix of the pipeline without running the rest.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
-use taxitrace_cleaning::{clean_session, CleaningTotals, TripSegment};
-use taxitrace_exec::ExecMeter;
+use taxitrace_cleaning::{
+    clean_session, session_anomaly, AnomalyKind, CleanedSession, CleaningTotals, TripSegment,
+};
+use taxitrace_exec::{ExecMeter, FailurePolicy, TaskError, TaskPolicy};
 use taxitrace_matching::{incremental, CandidateIndex, MatchScratch};
 use taxitrace_obs::{MetricsSnapshot, Registry};
 use taxitrace_od::{FunnelRow, OdAnalyzer, Transition};
 use taxitrace_roadnet::synth::SyntheticCity;
 use taxitrace_store::TripStore;
+use taxitrace_traces::RawTrip;
 use taxitrace_weather::WeatherModel;
 
 use crate::config::StudyConfig;
 use crate::error::Error;
+use crate::quarantine::{check_budget, Quarantine, QuarantineEntry, QuarantineReason};
 use crate::transitions::TransitionRecord;
 
 /// Wall-clock seconds of each pipeline stage, as a view over the study's
@@ -56,23 +62,71 @@ impl StageTimings {
 /// The observability context threaded through the stages: one registry for
 /// the whole run plus the executor's meter registered on it.
 #[derive(Debug)]
-struct Obs {
-    registry: Registry,
-    meter: ExecMeter,
+pub(crate) struct Obs {
+    pub(crate) registry: Registry,
+    pub(crate) meter: ExecMeter,
 }
 
 impl Obs {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let registry = Registry::new();
         let meter = ExecMeter::new(&registry);
         Self { registry, meter }
     }
 }
 
+/// The weather model is a pure function of the study seed; regenerated on
+/// resume rather than checkpointed.
+pub(crate) fn weather_for(config: &StudyConfig) -> WeatherModel {
+    WeatherModel::new(config.seed ^ 0x57EA_7E7A)
+}
+
+/// Applies the chaos plan's trace-level faults to the simulated sessions
+/// (no-op without a plan). Deterministic: each session's faults are a pure
+/// function of the plan seed and the trip id.
+fn apply_chaos_trace_faults(
+    config: &StudyConfig,
+    sessions: &mut [RawTrip],
+    registry: &Registry,
+) {
+    let Some(plan) = config.chaos.as_ref().filter(|p| p.has_trace_faults()) else {
+        return;
+    };
+    let mut faulted = 0u64;
+    let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for session in sessions.iter_mut() {
+        if let Some(fault) = plan.apply_session(session.id.0, &mut session.points) {
+            faulted += 1;
+            *by_kind.entry(fault.label()).or_insert(0) += 1;
+            // Resync the device trip summary with the mutated points.
+            if let Some(last_ts) = session.points.iter().map(|p| p.timestamp).max() {
+                session.end_time = last_ts;
+                session.total_time = last_ts - session.start_time;
+            }
+        }
+    }
+    registry.counter("chaos.sessions_faulted").add(faulted);
+    for (label, n) in by_kind {
+        registry.counter(&format!("chaos.faults.{label}")).add(n);
+    }
+}
+
+/// The stage fault policy resolved from the config (chaos overrides win).
+fn resolved_fault_policy(config: &StudyConfig) -> (f64, u32) {
+    let chaos = config.chaos.as_ref();
+    let budget = chaos
+        .and_then(|p| p.error_budget)
+        .unwrap_or(config.fault.error_budget);
+    let attempts = chaos
+        .and_then(|p| p.max_task_attempts)
+        .unwrap_or(config.fault.max_task_attempts);
+    (budget, attempts)
+}
+
 /// A configured study, ready to run (whole or stage by stage).
 #[derive(Debug, Clone)]
 pub struct Study {
-    config: StudyConfig,
+    pub(crate) config: StudyConfig,
 }
 
 /// Stage 1 output: the simulated world, persisted into the trip store.
@@ -84,7 +138,7 @@ pub struct Simulated {
     pub store: TripStore,
     /// Registry snapshot taken at the end of this stage.
     pub metrics: MetricsSnapshot,
-    obs: Obs,
+    pub(crate) obs: Obs,
 }
 
 /// Stage 2 output: cleaned trip segments plus cleaning totals.
@@ -97,9 +151,11 @@ pub struct Cleaned {
     /// All cleaned trip segments (Table 3's population).
     pub segments: Vec<TripSegment>,
     pub cleaning: CleaningTotals,
+    /// Dead-letter ledger of records rejected so far.
+    pub quarantine: Quarantine,
     /// Registry snapshot taken at the end of this stage.
     pub metrics: MetricsSnapshot,
-    obs: Obs,
+    pub(crate) obs: Obs,
 }
 
 /// Stage 3 output: the Table 3 funnel and the corridor transitions.
@@ -115,9 +171,11 @@ pub struct OdSelected {
     pub funnel_rows: Vec<FunnelRow>,
     /// All extracted transitions (pre- and post-filtered alike).
     pub raw_transitions: Vec<Transition>,
+    /// Dead-letter ledger of records rejected so far.
+    pub quarantine: Quarantine,
     /// Registry snapshot taken at the end of this stage.
     pub metrics: MetricsSnapshot,
-    obs: Obs,
+    pub(crate) obs: Obs,
 }
 
 /// Everything a study produces; the inputs of every table/figure analysis.
@@ -134,6 +192,9 @@ pub struct StudyOutput {
     /// Post-filtered, map-matched, attribute-fused transitions.
     pub transitions: Vec<TransitionRecord>,
     pub cleaning: CleaningTotals,
+    /// Dead-letter ledger of every record the run quarantined (empty for
+    /// a healthy run; inspect it to understand degraded ones).
+    pub quarantine: Quarantine,
     /// Per-stage wall-clock of this run (a view over `metrics` spans).
     pub timings: StageTimings,
     /// Gap-fill path-cache `(hits, misses)` summed over matcher workers.
@@ -161,19 +222,21 @@ impl Study {
             let _s = obs.registry.span("study/simulate/city");
             taxitrace_roadnet::synth::generate(&config.city)
         };
-        let weather = WeatherModel::new(config.seed ^ 0x57EA_7E7A);
+        let weather = weather_for(&config);
         let fleet = {
             let _s = obs.registry.span("study/simulate/fleet");
             taxitrace_traces::simulate_fleet(&city, &weather, &config.fleet)
         };
-        obs.registry.counter("sim.sessions").add(fleet.sessions.len() as u64);
-        let raw_points: usize = fleet.sessions.iter().map(|s| s.points.len()).sum();
+        let mut sessions = fleet.sessions;
+        apply_chaos_trace_faults(&config, &mut sessions, &obs.registry);
+        obs.registry.counter("sim.sessions").add(sessions.len() as u64);
+        let raw_points: usize = sessions.iter().map(|s| s.points.len()).sum();
         obs.registry.counter("sim.raw_points").add(raw_points as u64);
 
         let mut store = TripStore::new();
         {
             let _s = obs.registry.span("study/simulate/persist");
-            store.insert_all(fleet.sessions)?;
+            store.insert_all(sessions)?;
         }
         span.set_items(store.sessions().len() as u64);
         span.finish();
@@ -193,50 +256,157 @@ impl Study {
 impl Simulated {
     /// Stage 2: clean every session (parallel per session; deterministic
     /// because results are folded in input order).
+    ///
+    /// Every session runs as an isolated, fallible task: a panicking task
+    /// or a session whose cleaned output violates the post-cleaning
+    /// invariants ([`session_anomaly`]) lands in the [`Quarantine`] ledger
+    /// instead of aborting the run — up to the configured error budget.
     pub fn clean(self) -> Result<Cleaned, Error> {
         let Simulated { config, city, weather, store, obs, .. } = self;
 
         let mut span = obs.registry.span("study/clean");
+        let (error_budget, max_attempts) = resolved_fault_policy(&config);
+        let panic_one_in =
+            config.chaos.as_ref().map(|p| p.task_panic_one_in).unwrap_or(0);
+        let policy = TaskPolicy {
+            failure: FailurePolicy::Collect { max_failures: usize::MAX },
+            max_attempts,
+        };
+        let cleaning_config = &config.cleaning;
+        let anomaly_config = &config.fault.anomaly;
+        let task = |_: &mut (), session: &RawTrip| -> Result<CleanedSession, (AnomalyKind, String)> {
+            if panic_one_in > 0 && session.id.0.is_multiple_of(panic_one_in) {
+                // lint:allow(panic-free-library): chaos-injected fault, isolated by the executor
+                panic!("chaos: injected clean-task panic (trip {})", session.id.0);
+            }
+            let cleaned = clean_session(session, cleaning_config);
+            match session_anomaly(&cleaned, anomaly_config) {
+                Some((kind, detail)) => Err((kind, detail)),
+                None => Ok(cleaned),
+            }
+        };
+        // `Collect { usize::MAX }` never rejects the batch, so the error
+        // arm is structurally unreachable; budget enforcement happens
+        // below, against the quarantined fraction.
+        let slots = match taxitrace_exec::try_par_map_init_metered(
+            store.sessions(),
+            || (),
+            task,
+            policy,
+            &obs.meter,
+        ) {
+            Ok((slots, _)) => slots,
+            Err(batch) => {
+                return Err(Error::Pipeline(format!(
+                    "clean batch rejected: {} failures, first at index {}",
+                    batch.failures, batch.index
+                )))
+            }
+        };
+
+        let total = slots.len();
+        let mut quarantine = Quarantine::default();
         let mut cleaning = CleaningTotals::default();
         let mut segments: Vec<TripSegment> = Vec::new();
-        {
-            let cleaning_config = &config.cleaning;
-            let cleaned_sessions = taxitrace_exec::par_map_metered(
-                store.sessions(),
-                |session| clean_session(session, cleaning_config),
-                &obs.meter,
-            );
-            for cleaned in cleaned_sessions {
-                cleaning.absorb(&cleaned.stats);
-                segments.extend(cleaned.segments);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Ok(cleaned) => {
+                    cleaning.absorb(&cleaned.stats);
+                    segments.extend(cleaned.segments);
+                }
+                Err(error) => {
+                    let record = store.sessions()[i].id.0;
+                    let (reason, detail) = match error {
+                        TaskError::Panicked { message } => {
+                            (QuarantineReason::TaskPanic, message)
+                        }
+                        TaskError::Failed { error: (kind, detail), attempts } => (
+                            kind.into(),
+                            if attempts > 1 {
+                                format!("{detail} (after {attempts} attempts)")
+                            } else {
+                                detail
+                            },
+                        ),
+                    };
+                    quarantine.push(QuarantineEntry {
+                        stage: "clean".into(),
+                        record,
+                        reason,
+                        detail,
+                    });
+                }
             }
         }
         cleaning.record_metrics(&obs.registry);
+        quarantine.record_stage_metrics(&obs.registry, "clean", total);
+        check_budget("clean", quarantine.len(), total, error_budget)?;
         span.set_items(segments.len() as u64);
         span.finish();
 
         let metrics = obs.registry.snapshot();
-        Ok(Cleaned { config, city, weather, store, segments, cleaning, metrics, obs })
+        Ok(Cleaned {
+            config,
+            city,
+            weather,
+            store,
+            segments,
+            cleaning,
+            quarantine,
+            metrics,
+            obs,
+        })
     }
 }
 
 impl Cleaned {
     /// Stage 3: the O-D funnel (Table 3) and corridor-transition
     /// extraction over the cleaned segments.
+    ///
+    /// Transitions violating temporal/spatial sanity (non-positive span
+    /// duration, non-finite coordinates) are quarantined instead of being
+    /// handed to the matcher, up to the error budget.
     pub fn analyze_od(self) -> Result<OdSelected, Error> {
-        let Cleaned { config, city, weather, store, segments, cleaning, obs, .. } = self;
+        let Cleaned {
+            config,
+            city,
+            weather,
+            store,
+            segments,
+            cleaning,
+            mut quarantine,
+            obs,
+            ..
+        } = self;
 
         let mut span = obs.registry.span("study/od");
+        let (error_budget, _) = resolved_fault_policy(&config);
         let analyzer = OdAnalyzer::from_city(&city);
         let funnel_rows = {
             let _s = obs.registry.span("study/od/funnel");
             analyzer.funnel(&segments)
         };
-        let raw_transitions = {
+        let extracted = {
             let _s = obs.registry.span("study/od/transitions");
             analyzer.transitions(&segments)
         };
+        let total = extracted.len();
+        let before = quarantine.len();
+        let mut raw_transitions = Vec::with_capacity(total);
+        for t in extracted {
+            match transition_anomaly(&segments, &t) {
+                None => raw_transitions.push(t),
+                Some((reason, detail)) => quarantine.push(QuarantineEntry {
+                    stage: "od".into(),
+                    record: segments[t.segment_index].trip_id.0,
+                    reason,
+                    detail,
+                }),
+            }
+        }
         taxitrace_od::record_funnel_metrics(&funnel_rows, &obs.registry);
+        quarantine.record_stage_metrics(&obs.registry, "od", total);
+        check_budget("od", quarantine.len() - before, total, error_budget)?;
         span.set_items(raw_transitions.len() as u64);
         span.finish();
 
@@ -250,10 +420,40 @@ impl Cleaned {
             cleaning,
             funnel_rows,
             raw_transitions,
+            quarantine,
             metrics,
             obs,
         })
     }
+}
+
+/// O-D-stage record invariants: a transition slice must span positive time
+/// on finite coordinates. Impossible for healthy cleaned data (timestamps
+/// are clamped non-decreasing over spans of many points); reachable only
+/// for trace damage that slipped below the per-session anomaly thresholds.
+fn transition_anomaly(
+    segments: &[TripSegment],
+    t: &Transition,
+) -> Option<(QuarantineReason, String)> {
+    let seg = &segments[t.segment_index];
+    let dest = (t.destination_point + 1).min(seg.points.len() - 1);
+    let span = &seg.points[t.origin_point..=dest];
+    for p in span {
+        if !p.pos.x.is_finite() || !p.pos.y.is_finite() {
+            return Some((
+                QuarantineReason::PositionJump,
+                format!("non-finite coordinate at point {}", p.point_id),
+            ));
+        }
+    }
+    let duration = span[span.len() - 1].timestamp - span[0].timestamp;
+    if duration.secs() <= 0 {
+        return Some((
+            QuarantineReason::ClockSkew,
+            format!("transition spans {} s over {} points", duration.secs(), span.len()),
+        ));
+    }
+    None
 }
 
 impl OdSelected {
@@ -270,53 +470,69 @@ impl OdSelected {
             cleaning,
             funnel_rows,
             raw_transitions,
+            mut quarantine,
             obs,
             ..
         } = self;
 
         let mut span = obs.registry.span("study/match_fuse");
+        let (error_budget, _) = resolved_fault_policy(&config);
+        // The gap-fill search budget; a chaos plan can shrink it to force
+        // the fallback path on a normal-sized run.
+        let mut matching_config = config.matching;
+        if let Some(budget) =
+            config.chaos.as_ref().and_then(|p| p.gap_fill_max_expansions)
+        {
+            matching_config.gap_fill_max_expansions = budget;
+        }
         let index = {
             let _s = obs.registry.span("study/match_fuse/index");
             CandidateIndex::new(&city.graph, &city.elements)
         };
         let post: Vec<&Transition> =
             raw_transitions.iter().filter(|t| t.post_filtered).collect();
-        let fuse_one = |scratch: &mut MatchScratch, t: &Transition| -> TransitionRecord {
-            let seg = &segments[t.segment_index];
-            // Work on the transition slice (origin..=destination). The
-            // crossing indices mark the points *before* the corridor-entry
-            // steps, so include one more point at the destination side to
-            // cover the arrival.
-            let dest = (t.destination_point + 1).min(seg.points.len() - 1);
-            let slice = TripSegment {
-                trip_id: seg.trip_id,
-                taxi: seg.taxi,
-                start_time: seg.points[t.origin_point].timestamp,
-                points: seg.points[t.origin_point..=dest].to_vec(),
+        // Fuse one transition; the boolean reports whether the gap-fill
+        // search blew its expansion budget somewhere in this slice (the
+        // record is then quarantined as an unmatched gap).
+        let fuse_one =
+            |scratch: &mut MatchScratch, t: &Transition| -> (TransitionRecord, bool) {
+                let budget_exhausted_before = scratch.gaps_budget_exhausted;
+                let seg = &segments[t.segment_index];
+                // Work on the transition slice (origin..=destination). The
+                // crossing indices mark the points *before* the corridor-entry
+                // steps, so include one more point at the destination side to
+                // cover the arrival.
+                let dest = (t.destination_point + 1).min(seg.points.len() - 1);
+                let slice = TripSegment {
+                    trip_id: seg.trip_id,
+                    taxi: seg.taxi,
+                    start_time: seg.points[t.origin_point].timestamp,
+                    points: seg.points[t.origin_point..=dest].to_vec(),
+                };
+                let matched = incremental::match_trace_with(
+                    scratch,
+                    &city.graph,
+                    &index,
+                    &slice.points,
+                    &matching_config,
+                );
+                let temp_class = weather.at(slice.start_time).class();
+                let record = TransitionRecord::fuse(
+                    &city,
+                    &slice,
+                    t.pair_label(),
+                    0,
+                    slice.points.len() - 1,
+                    &matched,
+                    temp_class,
+                    config.low_speed_kmh,
+                    config.normal_speed_frac,
+                );
+                (record, scratch.gaps_budget_exhausted > budget_exhausted_before)
             };
-            let matched = incremental::match_trace_with(
-                scratch,
-                &city.graph,
-                &index,
-                &slice.points,
-                &config.matching,
-            );
-            let temp_class = weather.at(slice.start_time).class();
-            TransitionRecord::fuse(
-                &city,
-                &slice,
-                t.pair_label(),
-                0,
-                slice.points.len() - 1,
-                &matched,
-                temp_class,
-                config.low_speed_kmh,
-                config.normal_speed_frac,
-            )
-        };
         // Match and fuse in parallel, preserving order; each worker keeps
         // one scratch (search arrays + gap-fill cache) across its share.
-        let (transitions, scratches): (Vec<TransitionRecord>, Vec<MatchScratch>) = {
+        let (fused, scratches): (Vec<(TransitionRecord, bool)>, Vec<MatchScratch>) = {
             let _s = obs.registry.span("study/match_fuse/match");
             taxitrace_exec::par_map_init_metered(
                 &post,
@@ -325,11 +541,32 @@ impl OdSelected {
                 &obs.meter,
             )
         };
+        let total = fused.len();
+        let before = quarantine.len();
+        let mut transitions = Vec::with_capacity(total);
+        for ((record, budget_exhausted), t) in fused.into_iter().zip(&post) {
+            if budget_exhausted {
+                quarantine.push(QuarantineEntry {
+                    stage: "match_fuse".into(),
+                    record: segments[t.segment_index].trip_id.0,
+                    reason: QuarantineReason::UnmatchedGap,
+                    detail: format!(
+                        "gap-fill budget ({} expansions) exhausted on pair {}",
+                        matching_config.gap_fill_max_expansions,
+                        t.pair_label()
+                    ),
+                });
+            } else {
+                transitions.push(record);
+            }
+        }
         let cache_stats = scratches.iter().fold((0, 0), |(h, m), s| {
             let (sh, sm) = s.cache_stats();
             (h + sh, m + sm)
         });
         taxitrace_matching::record_scratch_metrics(&scratches, &obs.registry);
+        quarantine.record_stage_metrics(&obs.registry, "match_fuse", total);
+        check_budget("match_fuse", quarantine.len() - before, total, error_budget)?;
         span.set_items(transitions.len() as u64);
         span.finish();
 
@@ -344,6 +581,7 @@ impl OdSelected {
             funnel_rows,
             transitions,
             cleaning,
+            quarantine,
             timings,
             cache_stats,
             metrics,

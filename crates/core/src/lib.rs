@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+mod checkpoint;
 mod coach;
 mod config;
 mod error;
@@ -60,15 +61,19 @@ mod experiment;
 mod export;
 mod gridstats;
 mod mixedanalysis;
+mod quarantine;
 mod results;
 mod seasonal;
 mod transitions;
 
+pub use checkpoint::config_fingerprint;
 pub use coach::{coach_report, CoachConfig, CoachEvent, TripReport};
 pub use export::export_csv;
-pub use config::{ConfigError, StudyConfig, StudyConfigBuilder};
+pub use config::{ConfigError, FaultConfig, StudyConfig, StudyConfigBuilder};
 pub use error::Error;
 pub use experiment::{Cleaned, OdSelected, Simulated, StageTimings, Study, StudyOutput};
+pub use quarantine::{Quarantine, QuarantineEntry, QuarantineReason};
+pub use taxitrace_traces::FaultPlan;
 pub use taxitrace_cleaning::CleaningTotals;
 pub use gridstats::{grid_analysis, CellStat, GridStats, Table5, Table5Class};
 pub use mixedanalysis::{mixed_model, mixed_model_with_features, CellEffect, MixedResults};

@@ -14,6 +14,22 @@
 //!   original slot, so the output order equals the input order no matter
 //!   which worker ran which item, or in what interleaving.
 //!
+//! # Fault isolation
+//!
+//! Every task runs under `catch_unwind`: a panicking task becomes a typed
+//! [`TaskError`] in its output slot instead of tearing down sibling
+//! workers mid-run. The fallible entry points ([`try_par_map`],
+//! [`try_par_map_init_metered`]) expose per-slot `Result`s governed by a
+//! [`TaskPolicy`]: `FailFast` rejects the batch on the first failure,
+//! `Collect { max_failures }` tolerates a bounded number, and
+//! `max_attempts` retries *fallible* errors (never panics — a panic may
+//! leave the per-worker scratch in an unspecified state) a bounded,
+//! deterministic number of times on the same worker. The infallible
+//! wrappers ([`par_map`] and friends) keep their historical contract —
+//! a task panic still reaches the caller — but only after every sibling
+//! worker has completed, and always as the payload of the failing item
+//! with the smallest input index, so the surfaced panic is deterministic.
+//!
 //! # Determinism
 //!
 //! `par_map(items, f)` is observationally equivalent to
@@ -29,13 +45,16 @@
 //! The `*_metered` variants report executor behaviour through a
 //! [`taxitrace_obs::Registry`] via [`ExecMeter`]: tasks executed, steals
 //! (items a worker claimed beyond its fair share), cumulative idle time,
-//! worker counts, and a histogram of per-worker task loads. Metering
-//! never changes results — it only counts what the schedule did.
+//! worker counts, a histogram of per-worker task loads, and fault
+//! counters (task panics, task failures, retries). Metering never
+//! changes results — it only counts what the schedule did.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+use std::any::Any;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -48,6 +67,99 @@ pub fn worker_count(len: usize) -> usize {
     cpus.min(len).max(1)
 }
 
+/// Why a single task's output slot holds no value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError<E> {
+    /// The task panicked; the payload is reduced to its message. Panics
+    /// are never retried: the per-worker scratch state may be poisoned.
+    Panicked {
+        /// Stringified panic payload (`&str`/`String` payloads verbatim).
+        message: String,
+    },
+    /// The task returned `Err` on every one of `attempts` tries.
+    Failed {
+        /// The error from the final attempt.
+        error: E,
+        /// How many times the task ran (≥ 1, ≤ `TaskPolicy::max_attempts`).
+        attempts: u32,
+    },
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for TaskError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Panicked { message } => write!(f, "task panicked: {message}"),
+            TaskError::Failed { error, attempts } => {
+                write!(f, "task failed after {attempts} attempt(s): {error}")
+            }
+        }
+    }
+}
+
+/// How a batch reacts to failed slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Any failed slot rejects the whole batch. Unlike the historical
+    /// `resume_unwind` path this is still *isolated*: every sibling task
+    /// completes first, and the reported failure is the one with the
+    /// smallest input index, so the outcome is deterministic.
+    FailFast,
+    /// Tolerate up to `max_failures` failed slots; the batch is rejected
+    /// only past that budget.
+    Collect {
+        /// Maximum number of failed slots the batch absorbs.
+        max_failures: usize,
+    },
+}
+
+/// Per-batch fault-handling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskPolicy {
+    /// Batch-level reaction to failed slots.
+    pub failure: FailurePolicy,
+    /// Upper bound on executions per task (≥ 1). Retries re-run the task
+    /// on the same worker with the same scratch, so a retried success is
+    /// observationally identical to a first-try success for pure tasks.
+    pub max_attempts: u32,
+}
+
+impl Default for TaskPolicy {
+    fn default() -> Self {
+        Self { failure: FailurePolicy::FailFast, max_attempts: 1 }
+    }
+}
+
+/// Per-item outcomes of a fallible batch, one slot per input item in
+/// input order.
+pub type TaskSlots<R, E> = Vec<Result<R, TaskError<E>>>;
+
+/// Outcome of a scratch-carrying fallible batch: the per-item slots plus
+/// the per-worker scratch states, or the batch-level rejection.
+pub type ScratchBatchResult<R, S, E> = Result<(TaskSlots<R, E>, Vec<S>), BatchError<E>>;
+
+/// A batch rejected by its [`FailurePolicy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError<E> {
+    /// Input index of the first failed slot.
+    pub index: usize,
+    /// The first failure, by input index.
+    pub error: TaskError<E>,
+    /// Total failed slots in the batch.
+    pub failures: usize,
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for BatchError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} of the batch's tasks failed; first at index {}: {}",
+            self.failures, self.index, self.error
+        )
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for BatchError<E> {}
+
 /// Executor metric handles, registered once and reused across stages.
 ///
 /// * `exec.tasks` — items executed across all metered calls;
@@ -57,13 +169,19 @@ pub fn worker_count(len: usize) -> usize {
 ///   worker's busy time), microseconds;
 /// * `exec.batches` — metered stage invocations;
 /// * `exec.workers` — workers used by the most recent batch (gauge);
-/// * `exec.worker_tasks` — per-worker task-count distribution.
+/// * `exec.worker_tasks` — per-worker task-count distribution;
+/// * `exec.task_panics` — tasks whose final attempt panicked;
+/// * `exec.task_failures` — tasks whose final attempt returned `Err`;
+/// * `exec.task_retries` — extra attempts beyond the first.
 #[derive(Debug, Clone)]
 pub struct ExecMeter {
     tasks: Counter,
     steals: Counter,
     idle_us: Counter,
     batches: Counter,
+    task_panics: Counter,
+    task_failures: Counter,
+    task_retries: Counter,
     workers: Gauge,
     worker_tasks: Histogram,
 }
@@ -75,6 +193,9 @@ impl ExecMeter {
             steals: registry.counter("exec.steals"),
             idle_us: registry.counter("exec.idle_us"),
             batches: registry.counter("exec.batches"),
+            task_panics: registry.counter("exec.task_panics"),
+            task_failures: registry.counter("exec.task_failures"),
+            task_retries: registry.counter("exec.task_retries"),
             workers: registry.gauge("exec.workers"),
             worker_tasks: registry.histogram(
                 "exec.worker_tasks",
@@ -94,6 +215,12 @@ impl ExecMeter {
             self.idle_us.add(((wall_s - busy_s).max(0.0) * 1e6) as u64);
             self.worker_tasks.observe(tasks as f64);
         }
+    }
+
+    fn record_faults(&self, panics: u64, failures: u64, retries: u64) {
+        self.task_panics.add(panics);
+        self.task_failures.add(failures);
+        self.task_retries.add(retries);
     }
 }
 
@@ -153,6 +280,251 @@ where
     par_map_core(items, init, f, Some(meter))
 }
 
+/// Fault-isolated parallel map: each slot is `Ok(value)` or the
+/// [`TaskError`] that emptied it, and the batch as a whole is accepted or
+/// rejected by `policy`. See the module docs for the isolation contract.
+pub fn try_par_map<T, R, E, F>(
+    items: &[T],
+    f: F,
+    policy: TaskPolicy,
+) -> Result<TaskSlots<R, E>, BatchError<E>>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(&T) -> Result<R, E> + Sync,
+{
+    let (slots, _) = par_try_core(items, || (), |(), item| f(item), policy.max_attempts, None);
+    apply_policy(slots, policy.failure)
+}
+
+/// [`try_par_map`] with per-worker scratch states and executor metrics.
+pub fn try_par_map_init_metered<T, R, S, E, I, F>(
+    items: &[T],
+    init: I,
+    f: F,
+    policy: TaskPolicy,
+    meter: &ExecMeter,
+) -> ScratchBatchResult<R, S, E>
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> Result<R, E> + Sync,
+{
+    let (slots, states) = par_try_core(items, init, f, policy.max_attempts, Some(meter));
+    apply_policy(slots, policy.failure).map(|slots| (slots, states))
+}
+
+/// A slot failure as captured inside the workers: panics keep their raw
+/// payload so the infallible wrappers can re-raise it unchanged.
+enum RawTaskError<E> {
+    Panic(Box<dyn Any + Send>),
+    Failed { error: E, attempts: u32 },
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl<E> RawTaskError<E> {
+    fn typed(self) -> TaskError<E> {
+        match self {
+            RawTaskError::Panic(payload) => {
+                TaskError::Panicked { message: panic_message(payload.as_ref()) }
+            }
+            RawTaskError::Failed { error, attempts } => TaskError::Failed { error, attempts },
+        }
+    }
+}
+
+fn apply_policy<R, E>(
+    slots: Vec<Result<R, RawTaskError<E>>>,
+    policy: FailurePolicy,
+) -> Result<TaskSlots<R, E>, BatchError<E>> {
+    let slots: Vec<Result<R, TaskError<E>>> =
+        slots.into_iter().map(|slot| slot.map_err(RawTaskError::typed)).collect();
+    let failures = slots.iter().filter(|slot| slot.is_err()).count();
+    let budget = match policy {
+        FailurePolicy::FailFast => 0,
+        FailurePolicy::Collect { max_failures } => max_failures,
+    };
+    if failures <= budget {
+        return Ok(slots);
+    }
+    // Reject with the first failure by input index — deterministic no
+    // matter which worker hit it or when.
+    let first = slots
+        .into_iter()
+        .enumerate()
+        .find_map(|(index, slot)| slot.err().map(|error| (index, error)));
+    match first {
+        Some((index, error)) => Err(BatchError { index, error, failures }),
+        // `failures > budget >= 0` implies at least one Err slot exists.
+        None => Err(BatchError {
+            index: 0,
+            error: TaskError::Panicked { message: "failure count without failed slot".into() },
+            failures,
+        }),
+    }
+}
+
+/// Runs one task to completion: up to `max_attempts` executions, retrying
+/// only fallible `Err` outcomes. Returns the outcome plus the number of
+/// extra attempts spent.
+fn run_task<T, R, S, E, F>(
+    f: &F,
+    state: &mut S,
+    item: &T,
+    max_attempts: u32,
+) -> (Result<R, RawTaskError<E>>, u64)
+where
+    F: Fn(&mut S, &T) -> Result<R, E>,
+{
+    let max_attempts = max_attempts.max(1);
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        // The closure only touches the caller's state and the item; a
+        // caught panic leaves `state` logically unspecified, which is why
+        // panics are terminal (never retried) and why per-worker scratch
+        // must be rebuildable from scratch semantics alone.
+        match catch_unwind(AssertUnwindSafe(|| f(state, item))) {
+            Ok(Ok(value)) => return (Ok(value), u64::from(attempts - 1)),
+            Ok(Err(error)) => {
+                if attempts < max_attempts {
+                    continue;
+                }
+                return (Err(RawTaskError::Failed { error, attempts }), u64::from(attempts - 1));
+            }
+            Err(payload) => {
+                return (Err(RawTaskError::Panic(payload)), u64::from(attempts - 1))
+            }
+        }
+    }
+}
+
+fn par_try_core<T, R, S, E, I, F>(
+    items: &[T],
+    init: I,
+    f: F,
+    max_attempts: u32,
+    meter: Option<&ExecMeter>,
+) -> (Vec<Result<R, RawTaskError<E>>>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> Result<R, E> + Sync,
+{
+    let workers = worker_count(items.len());
+    let stage_start = Instant::now();
+    if workers <= 1 {
+        let mut state = init();
+        let mut retries = 0u64;
+        let results: Vec<Result<R, RawTaskError<E>>> = items
+            .iter()
+            .map(|item| {
+                let (outcome, extra) = run_task(&f, &mut state, item, max_attempts);
+                retries += extra;
+                outcome
+            })
+            .collect();
+        if let Some(meter) = meter {
+            let wall_s = stage_start.elapsed().as_secs_f64();
+            meter.record_batch(wall_s, 1, &[(items.len(), wall_s)]);
+            record_fault_counts(meter, &results, retries);
+        }
+        return (results, vec![state]);
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Result<R, RawTaskError<E>>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    let mut states = Vec::with_capacity(workers);
+    let mut per_worker: Vec<(usize, f64)> = Vec::with_capacity(workers);
+    let mut retries = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        // Workers buffer (index, outcome) pairs locally and the parent
+        // scatters them after join: no shared &mut slots, and the hot
+        // loop has no synchronisation beyond one fetch_add per item.
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            let init = &init;
+            handles.push(scope.spawn(move || {
+                let busy_start = Instant::now();
+                let mut state = init();
+                let mut local: Vec<(usize, Result<R, RawTaskError<E>>)> = Vec::new();
+                let mut retries = 0u64;
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    // Task panics are caught inside run_task, so a worker
+                    // thread can no longer die from a poison item.
+                    let (outcome, extra) = run_task(f, &mut state, &items[index], max_attempts);
+                    retries += extra;
+                    local.push((index, outcome));
+                }
+                (state, local, busy_start.elapsed().as_secs_f64(), retries)
+            }));
+        }
+        for handle in handles {
+            // Every task runs under catch_unwind, so join can only fail if
+            // the harness itself (cursor bookkeeping, Vec pushes) panicked —
+            // re-raise that in the caller: it is a bug, not a task fault.
+            let (state, local, busy_s, worker_retries) = match handle.join() {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            states.push(state);
+            per_worker.push((local.len(), busy_s));
+            retries += worker_retries;
+            for (index, value) in local {
+                debug_assert!(slots[index].is_none(), "slot {index} written twice");
+                slots[index] = Some(value);
+            }
+        }
+    });
+
+    let results: Vec<Result<R, RawTaskError<E>>> = slots
+        .into_iter()
+        // lint:allow(panic-free-library): the steal loop fills every slot
+        .map(|slot| slot.expect("every index claimed exactly once"))
+        .collect();
+    if let Some(meter) = meter {
+        meter.record_batch(stage_start.elapsed().as_secs_f64(), workers, &per_worker);
+        record_fault_counts(meter, &results, retries);
+    }
+    (results, states)
+}
+
+fn record_fault_counts<R, E>(
+    meter: &ExecMeter,
+    slots: &[Result<R, RawTaskError<E>>],
+    retries: u64,
+) {
+    let panics =
+        slots.iter().filter(|s| matches!(s, Err(RawTaskError::Panic(_)))).count() as u64;
+    let failures =
+        slots.iter().filter(|s| matches!(s, Err(RawTaskError::Failed { .. }))).count() as u64;
+    meter.record_faults(panics, failures, retries);
+}
+
 fn par_map_core<T, R, S, I, F>(
     items: &[T],
     init: I,
@@ -166,71 +538,32 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
-    let workers = worker_count(items.len());
-    let stage_start = Instant::now();
-    if workers <= 1 {
-        let mut state = init();
-        let results: Vec<R> = items.iter().map(|item| f(&mut state, item)).collect();
-        if let Some(meter) = meter {
-            let wall_s = stage_start.elapsed().as_secs_f64();
-            meter.record_batch(wall_s, 1, &[(items.len(), wall_s)]);
-        }
-        return (results, vec![state]);
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-
-    let mut states = Vec::with_capacity(workers);
-    let mut per_worker: Vec<(usize, f64)> = Vec::with_capacity(workers);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        // Workers buffer (index, value) pairs locally and the parent
-        // scatters them after join: no shared &mut slots, and the hot
-        // loop has no synchronisation beyond one fetch_add per item.
-        for _ in 0..workers {
-            let cursor = &cursor;
-            let f = &f;
-            let init = &init;
-            handles.push(scope.spawn(move || {
-                let busy_start = Instant::now();
-                let mut state = init();
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let index = cursor.fetch_add(1, Ordering::Relaxed);
-                    if index >= items.len() {
-                        break;
-                    }
-                    local.push((index, f(&mut state, &items[index])));
+    let (slots, states) = par_try_core(
+        items,
+        init,
+        |state, item| Ok::<R, std::convert::Infallible>(f(state, item)),
+        1,
+        meter,
+    );
+    let mut results = Vec::with_capacity(slots.len());
+    let mut first_panic: Option<Box<dyn Any + Send>> = None;
+    for slot in slots {
+        match slot {
+            Ok(value) => results.push(value),
+            Err(RawTaskError::Panic(payload)) => {
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
                 }
-                (state, local, busy_start.elapsed().as_secs_f64())
-            }));
-        }
-        for handle in handles {
-            let (state, local, busy_s) = match handle.join() {
-                Ok(result) => result,
-                // A worker panicked while running `f`; re-raise the
-                // original payload in the caller's thread.
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
-            states.push(state);
-            per_worker.push((local.len(), busy_s));
-            for (index, value) in local {
-                debug_assert!(slots[index].is_none(), "slot {index} written twice");
-                slots[index] = Some(value);
             }
+            Err(RawTaskError::Failed { error, .. }) => match error {},
         }
-    });
-    if let Some(meter) = meter {
-        meter.record_batch(stage_start.elapsed().as_secs_f64(), workers, &per_worker);
     }
-
-    let results = slots
-        .into_iter()
-        // lint:allow(panic-free-library): the steal loop fills every slot
-        .map(|slot| slot.expect("every index claimed exactly once"))
-        .collect();
+    if let Some(payload) = first_panic {
+        // The infallible API has no error channel: re-raise the original
+        // payload — but only now, after every sibling task has completed,
+        // and always the failure with the smallest input index.
+        std::panic::resume_unwind(payload);
+    }
     (results, states)
 }
 
@@ -350,5 +683,175 @@ mod tests {
         let plain = par_map(&items, |&x| x * x);
         let metered = par_map_metered(&items, |&x| x * x, &meter);
         assert_eq!(plain, metered);
+    }
+
+    #[test]
+    fn panicking_task_is_isolated_into_its_slot() {
+        let items: Vec<u32> = (0..100).collect();
+        let slots = try_par_map(
+            &items,
+            |&x| {
+                if x == 37 {
+                    panic!("poison item {x}");
+                }
+                Ok::<u32, String>(x * 2)
+            },
+            TaskPolicy { failure: FailurePolicy::Collect { max_failures: 1 }, max_attempts: 1 },
+        )
+        .unwrap();
+        // Every sibling completed; only the poison slot is empty.
+        for (i, slot) in slots.iter().enumerate() {
+            if i == 37 {
+                assert_eq!(
+                    slot,
+                    &Err(TaskError::Panicked { message: "poison item 37".into() })
+                );
+            } else {
+                assert_eq!(slot, &Ok(i as u32 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_reports_first_failure_by_input_index() {
+        let items: Vec<u32> = (0..256).collect();
+        let err = try_par_map(
+            &items,
+            |&x| if x % 50 == 49 { Err(format!("bad {x}")) } else { Ok(x) },
+            TaskPolicy { failure: FailurePolicy::FailFast, max_attempts: 1 },
+        )
+        .unwrap_err();
+        assert_eq!(err.index, 49);
+        assert_eq!(err.failures, 5);
+        assert_eq!(err.error, TaskError::Failed { error: "bad 49".into(), attempts: 1 });
+    }
+
+    #[test]
+    fn collect_policy_bounds_failures() {
+        let items: Vec<u32> = (0..64).collect();
+        let run = |max_failures| {
+            try_par_map(
+                &items,
+                |&x| if x < 4 { Err(x) } else { Ok(x) },
+                TaskPolicy { failure: FailurePolicy::Collect { max_failures }, max_attempts: 1 },
+            )
+        };
+        assert!(run(4).is_ok());
+        let err = run(3).unwrap_err();
+        assert_eq!(err.failures, 4);
+        assert_eq!(err.index, 0);
+    }
+
+    #[test]
+    fn bounded_retry_is_deterministic_and_counted() {
+        // Each item fails (attempts_needed - 1) times before succeeding;
+        // retry happens on the same worker so attempt counts are exact.
+        let registry = Registry::new();
+        let meter = ExecMeter::new(&registry);
+        let items: Vec<u32> = (0..40).collect();
+        let (slots, states) = try_par_map_init_metered(
+            &items,
+            std::collections::BTreeMap::<u32, u32>::new,
+            |tries, &x| {
+                let t = tries.entry(x).or_insert(0);
+                *t += 1;
+                let needed = x % 3 + 1; // 1..=3 attempts
+                if *t >= needed {
+                    Ok(x)
+                } else {
+                    Err(format!("transient {x}"))
+                }
+            },
+            TaskPolicy { failure: FailurePolicy::FailFast, max_attempts: 3 },
+            &meter,
+        )
+        .unwrap();
+        assert!(slots.iter().all(|s| s.is_ok()));
+        let total_tries: u32 = states.iter().flat_map(|m| m.values()).sum();
+        let expect_tries: u32 = items.iter().map(|x| x % 3 + 1).sum();
+        assert_eq!(total_tries, expect_tries);
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("exec.task_retries"),
+            Some(u64::from(expect_tries - items.len() as u32))
+        );
+        assert_eq!(snap.counter("exec.task_failures"), Some(0));
+        assert_eq!(snap.counter("exec.task_panics"), Some(0));
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_attempt_count() {
+        let items = [1u32];
+        let err = try_par_map(
+            &items,
+            |_| Err::<u32, _>("always"),
+            TaskPolicy { failure: FailurePolicy::FailFast, max_attempts: 3 },
+        )
+        .unwrap_err();
+        assert_eq!(err.error, TaskError::Failed { error: "always", attempts: 3 });
+    }
+
+    #[test]
+    fn panics_are_never_retried() {
+        let attempts = AtomicUsize::new(0);
+        let items = [0u8];
+        let slots = try_par_map(
+            &items,
+            |_| -> Result<u8, String> {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                panic!("boom");
+            },
+            TaskPolicy { failure: FailurePolicy::Collect { max_failures: 1 }, max_attempts: 5 },
+        )
+        .unwrap();
+        assert_eq!(attempts.load(Ordering::Relaxed), 1);
+        assert!(matches!(slots[0], Err(TaskError::Panicked { .. })));
+    }
+
+    #[test]
+    fn infallible_map_reraises_lowest_index_panic_after_siblings_finish() {
+        let completed = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..300).collect();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_map(&items, |&x| {
+                if x == 123 || x == 222 {
+                    panic!("die {x}");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        let payload = caught.unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "die 123");
+        // All non-panicking siblings ran to completion despite the panic.
+        assert_eq!(completed.load(Ordering::Relaxed), items.len() - 2);
+    }
+
+    #[test]
+    fn metered_fault_counters_cover_panics_and_failures() {
+        let registry = Registry::new();
+        let meter = ExecMeter::new(&registry);
+        let items: Vec<u32> = (0..30).collect();
+        let slots = try_par_map_init_metered(
+            &items,
+            || (),
+            |(), &x| -> Result<u32, String> {
+                if x == 3 {
+                    panic!("p");
+                }
+                if x == 7 {
+                    return Err("f".into());
+                }
+                Ok(x)
+            },
+            TaskPolicy { failure: FailurePolicy::Collect { max_failures: 2 }, max_attempts: 1 },
+            &meter,
+        )
+        .unwrap()
+        .0;
+        assert_eq!(slots.iter().filter(|s| s.is_err()).count(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("exec.task_panics"), Some(1));
+        assert_eq!(snap.counter("exec.task_failures"), Some(1));
     }
 }

@@ -5,7 +5,7 @@ use taxitrace_roadnet::{EdgeId, RoadGraph};
 use taxitrace_traces::RoutePoint;
 
 use crate::candidates::{CandidateIndex, ScoredCandidate};
-use crate::path::{element_path_blind, element_path_with};
+use crate::path::{element_path_blind, element_path_budgeted};
 use crate::scratch::MatchScratch;
 use crate::types::{MatchConfig, MatchedPoint, MatchedTrace};
 
@@ -85,7 +85,13 @@ pub fn match_trace_with(
     scratch.candidates_scored += candidates_scored;
     scratch.points_matched += matched.len() as u64;
     scratch.points_unmatched += unmatched as u64;
-    let elements = element_path_with(scratch, graph, &matched, config.gap_fill);
+    let elements = element_path_budgeted(
+        scratch,
+        graph,
+        &matched,
+        config.gap_fill,
+        config.gap_fill_max_expansions,
+    );
     MatchedTrace { points: matched, elements, unmatched }
 }
 

@@ -36,6 +36,6 @@ mod types;
 
 pub use accuracy::{evaluate, MatchAccuracy};
 pub use candidates::{Candidate, CandidateIndex, ScoredCandidate};
-pub use path::{element_path, element_path_blind, element_path_with};
+pub use path::{element_path, element_path_blind, element_path_budgeted, element_path_with};
 pub use scratch::{record_scratch_metrics, MatchScratch, PathCache};
 pub use types::{MatchConfig, MatchedPoint, MatchedTrace};

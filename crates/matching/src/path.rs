@@ -28,18 +28,48 @@ pub fn element_path_with(
     matched: &[MatchedPoint],
     gap_fill: bool,
 ) -> Vec<ElementId> {
+    element_path_budgeted(scratch, graph, matched, gap_fill, u64::MAX)
+}
+
+/// [`element_path_with`] with a per-query node-expansion budget on the
+/// gap-fill router. A budget-exhausted query degrades gracefully: the
+/// element sequence jumps the gap (same as `gap_fill = false` for that one
+/// transition), the fallback is counted in
+/// [`MatchScratch::gaps_budget_exhausted`], and — unlike found routes and
+/// genuinely unroutable pairs — the non-result is never cached, because it
+/// is a property of the budget, not of the graph.
+pub fn element_path_budgeted(
+    scratch: &mut MatchScratch,
+    graph: &RoadGraph,
+    matched: &[MatchedPoint],
+    gap_fill: bool,
+    max_expansions: u64,
+) -> Vec<ElementId> {
     element_path_inner(graph, matched, gap_fill, &mut |exit, entry| {
         // Route across the gap. The memoised value is exactly what the A*
         // query (itself bit-equal to the Dijkstra reference) would
         // recompute, so the cache affects speed only.
-        let MatchScratch { search, cache, .. } = scratch;
+        let MatchScratch { search, cache, gaps_budget_exhausted, .. } = scratch;
         let model = dijkstra::CostModel::Distance;
-        cache
-            .get_or_insert_with((exit, entry, model), || {
-                dijkstra::astar_with(search, graph, exit, entry, model)
-                    .map(|route| route.element_ids(graph))
-            })
-            .map(<[ElementId]>::to_vec)
+        let key = (exit, entry, model);
+        if let Some(cached) = cache.lookup(&key) {
+            return cached;
+        }
+        match dijkstra::astar_bounded(search, graph, exit, entry, model, max_expansions) {
+            dijkstra::SearchOutcome::Found(route) => {
+                let elements = route.element_ids(graph);
+                cache.insert(key, Some(elements.clone()));
+                Some(elements)
+            }
+            dijkstra::SearchOutcome::Unreachable => {
+                cache.insert(key, None);
+                None
+            }
+            dijkstra::SearchOutcome::BudgetExhausted { .. } => {
+                *gaps_budget_exhausted += 1;
+                None
+            }
+        }
     })
 }
 
@@ -295,5 +325,37 @@ mod tests {
         assert!(h1 > h0, "second pass must hit the cache");
         // And both must equal the scratch-free (uncached) computation.
         assert_eq!(cold, element_path(&g, &matched, true));
+    }
+
+    /// A zero expansion budget forces the gap-fill fallback: the element
+    /// sequence jumps the gap, the fallback is counted, and nothing is
+    /// cached — so a later unbudgeted pass recomputes the real route.
+    #[test]
+    fn exhausted_budget_falls_back_and_never_caches() {
+        let (g, _els) = setup();
+        let matched = vec![mp(0, &g, 10, 25.0), mp(1, &g, 14, 25.0)];
+        let mut scratch = MatchScratch::new();
+        let starved = element_path_budgeted(&mut scratch, &g, &matched, true, 0);
+        assert_eq!(scratch.gaps_budget_exhausted, 1);
+        assert_eq!(scratch.cache.len(), 0, "budget exhaustion must not be memoised");
+        // The fallback equals gap_fill = false for that transition.
+        let unfilled = element_path(&g, &matched, false);
+        assert_eq!(starved, unfilled);
+        // With the budget lifted, the same scratch now routes and caches.
+        let full = element_path_budgeted(&mut scratch, &g, &matched, true, u64::MAX);
+        assert_eq!(full, element_path(&g, &matched, true));
+        assert!(!scratch.cache.is_empty());
+        assert_eq!(scratch.gaps_budget_exhausted, 1, "no new fallbacks");
+    }
+
+    /// A generous budget is observationally identical to unbudgeted fill.
+    #[test]
+    fn generous_budget_matches_unbudgeted() {
+        let (g, _els) = setup();
+        let matched = vec![mp(0, &g, 10, 25.0), mp(1, &g, 14, 25.0)];
+        let mut scratch = MatchScratch::new();
+        let budgeted = element_path_budgeted(&mut scratch, &g, &matched, true, 250_000);
+        assert_eq!(budgeted, element_path(&g, &matched, true));
+        assert_eq!(scratch.gaps_budget_exhausted, 0);
     }
 }

@@ -57,13 +57,36 @@ impl PathCache {
             self.hits += 1;
         } else {
             self.misses += 1;
-            if self.map.len() >= self.capacity {
-                self.map.clear();
-            }
-            self.map.insert(key, compute());
+            self.insert(key, compute());
         }
         // lint:allow(panic-free-library): inserted just above when absent
         self.map.get(&key).expect("key just ensured").as_deref()
+    }
+
+    /// Cached value for `key` (hit), or `None` and a counted miss. Used by
+    /// budgeted gap fill, where a budget-exhausted query must *not* be
+    /// memoised — exhaustion is a property of the budget, not the graph —
+    /// so lookup and insert have to be separable.
+    pub fn lookup(&mut self, key: &PathKey) -> Option<Option<Vec<ElementId>>> {
+        match self.map.get(key) {
+            Some(value) => {
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoises a *decided* routing result (found route or unroutable
+    /// pair), clearing the whole cache first on overflow.
+    pub fn insert(&mut self, key: PathKey, value: Option<Vec<ElementId>>) {
+        if self.map.len() >= self.capacity {
+            self.map.clear();
+        }
+        self.map.insert(key, value);
     }
 
     pub fn hits(&self) -> u64 {
@@ -99,6 +122,10 @@ pub struct MatchScratch {
     pub points_matched: u64,
     /// Points with no candidate in radius.
     pub points_unmatched: u64,
+    /// Gap-fill routing queries abandoned because they hit the
+    /// `gap_fill_max_expansions` budget (each fell back to a straight
+    /// gap; see [`crate::MatchConfig::gap_fill_max_expansions`]).
+    pub gaps_budget_exhausted: u64,
 }
 
 impl MatchScratch {
@@ -124,6 +151,7 @@ pub fn record_scratch_metrics(scratches: &[MatchScratch], registry: &taxitrace_o
     let mut misses = 0u64;
     let mut expanded = 0u64;
     let mut entries = 0u64;
+    let mut budget_exhausted = 0u64;
     for s in scratches {
         traces += s.traces;
         candidates += s.candidates_scored;
@@ -133,6 +161,7 @@ pub fn record_scratch_metrics(scratches: &[MatchScratch], registry: &taxitrace_o
         misses += s.cache.misses();
         expanded += s.search.expanded_total();
         entries += s.cache.len() as u64;
+        budget_exhausted += s.gaps_budget_exhausted;
     }
     registry.counter("match.traces").add(traces);
     registry.counter("match.candidates_scored").add(candidates);
@@ -141,6 +170,7 @@ pub fn record_scratch_metrics(scratches: &[MatchScratch], registry: &taxitrace_o
     registry.counter("match.cache_hits").add(hits);
     registry.counter("match.cache_misses").add(misses);
     registry.counter("match.astar_expanded").add(expanded);
+    registry.counter("match.gap_budget_exhausted").add(budget_exhausted);
     registry.gauge("match.cache_entries").set(entries as f64);
     registry
         .gauge("match.cache_hit_rate")

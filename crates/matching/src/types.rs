@@ -24,6 +24,13 @@ pub struct MatchConfig {
     /// Candidates considered per point by the incremental and HMM
     /// matchers (the top-k by score; more buys accuracy, costs time).
     pub max_candidates: usize,
+    /// Node-expansion budget per gap-fill routing query. An exhausted
+    /// budget falls back to a straight-line gap (the element sequence
+    /// simply jumps) instead of searching unbounded; the fallback is
+    /// counted in `MatchScratch::gaps_budget_exhausted` and never cached.
+    /// The default is far above any query the Oulu-scale graph can pose,
+    /// so it only trips under an explicit chaos/stress configuration.
+    pub gap_fill_max_expansions: u64,
 }
 
 impl Default for MatchConfig {
@@ -38,6 +45,7 @@ impl Default for MatchConfig {
             heading_trust_kmh: 6.0,
             gap_fill: true,
             max_candidates: 8,
+            gap_fill_max_expansions: 250_000,
         }
     }
 }

@@ -13,8 +13,10 @@ use std::fmt::Write as _;
 use crate::snapshot::MetricsSnapshot;
 
 /// JSON schema version emitted by [`render_json`]; bump on breaking
-/// structural change so the CI schema check fails loudly.
-pub const JSON_SCHEMA_VERSION: u32 = 1;
+/// structural change so the CI schema check fails loudly. Version 2
+/// added the fault-tolerance metric families (`quarantine.*`, `chaos.*`,
+/// `exec.task_*`, `match.gap_budget_exhausted`).
+pub const JSON_SCHEMA_VERSION: u32 = 2;
 
 /// Output format of [`render`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -266,7 +268,7 @@ mod tests {
     fn json_contains_all_sections() {
         let json = render_json(&sample());
         for needle in [
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"clean.sessions\": 42",
             "\"exec.workers\": 4.000000",
             "\"exec.worker_tasks\"",

@@ -14,6 +14,17 @@ fn fixed_registry() -> Registry {
     reg.counter("exec.steals").add(12);
     reg.gauge("exec.workers").set(4.0);
     reg.gauge("match.cache_hit_rate").set(0.7773);
+    // Fault-tolerance families (schema v2).
+    reg.counter("quarantine.total").add(17);
+    reg.counter("quarantine.stage.clean").add(15);
+    reg.counter("quarantine.reason.position_jump").add(11);
+    reg.counter("quarantine.reason.task_panic").add(4);
+    reg.counter("chaos.sessions_faulted").add(13);
+    reg.counter("chaos.faults.teleport").add(11);
+    reg.counter("exec.task_panics").add(4);
+    reg.counter("exec.task_retries").add(2);
+    reg.counter("match.gap_budget_exhausted").add(2);
+    reg.gauge("quarantine.fraction.clean").set(0.0059);
     let h = reg.histogram("exec.worker_tasks", &[64.0, 256.0, 1024.0]);
     for v in [40.0, 200.0, 200.0, 800.0, 3000.0] {
         h.observe(v);

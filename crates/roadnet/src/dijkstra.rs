@@ -43,7 +43,7 @@ impl CostModel {
 }
 
 /// A shortest path through the road graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutePath {
     /// Visited vertices, source first.
     pub nodes: Vec<NodeId>,
@@ -317,6 +317,36 @@ impl SearchState {
     }
 }
 
+/// How a budgeted search ended.
+///
+/// [`astar_bounded`] distinguishes "the goal is unreachable" from "the
+/// search ran out of budget before deciding": callers fall back
+/// differently (an unreachable pair can be cached forever, an exhausted
+/// budget is a property of the budget, not the graph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchOutcome {
+    /// The optimal path, identical to an unbudgeted [`astar_with`] run.
+    Found(RoutePath),
+    /// The search space was exhausted without reaching the goal; no
+    /// budget was hit. The pair is genuinely disconnected.
+    Unreachable,
+    /// The expansion budget ran out before the goal was settled.
+    BudgetExhausted {
+        /// Nodes expanded when the search gave up (== the budget).
+        expanded: u64,
+    },
+}
+
+impl SearchOutcome {
+    /// The found path, if any — collapses the two failure modes.
+    pub fn into_path(self) -> Option<RoutePath> {
+        match self {
+            SearchOutcome::Found(path) => Some(path),
+            SearchOutcome::Unreachable | SearchOutcome::BudgetExhausted { .. } => None,
+        }
+    }
+}
+
 /// Goal-directed shortest path under a standard [`CostModel`], reusing
 /// `state` across calls.
 ///
@@ -330,6 +360,25 @@ pub fn astar_with(
     to: NodeId,
     model: CostModel,
 ) -> Option<RoutePath> {
+    astar_bounded(state, graph, from, to, model, u64::MAX).into_path()
+}
+
+/// [`astar_with`] with a hard cap on node expansions.
+///
+/// With `max_expansions = u64::MAX` the behaviour (including the exact
+/// tie-break sequence and the `expanded` counters) is bit-identical to
+/// [`astar_with`]. With a finite budget the search stops as soon as it
+/// would expand node number `max_expansions + 1`, returning
+/// [`SearchOutcome::BudgetExhausted`] instead of looping unbounded on
+/// adversarial inputs.
+pub fn astar_bounded(
+    state: &mut SearchState,
+    graph: &RoadGraph,
+    from: NodeId,
+    to: NodeId,
+    model: CostModel,
+    max_expansions: u64,
+) -> SearchOutcome {
     // Admissible lower bound per metre of straight-line displacement:
     // a metre of distance costs at least 1.0 under `Distance`, and at
     // least 1/v_max seconds under `TravelTime` (no edge is faster than
@@ -346,7 +395,7 @@ pub fn astar_with(
             }
         }
     };
-    astar_weighted_with(state, graph, from, to, |e| model.cost(e), h_scale)
+    astar_weighted_bounded(state, graph, from, to, |e| model.cost(e), h_scale, max_expansions)
 }
 
 /// Goal-directed shortest path under a standard [`CostModel`] with
@@ -369,9 +418,23 @@ pub fn astar_weighted_with(
     graph: &RoadGraph,
     from: NodeId,
     to: NodeId,
-    mut weight: impl FnMut(&Edge) -> f64,
+    weight: impl FnMut(&Edge) -> f64,
     h_scale: f64,
 ) -> Option<RoutePath> {
+    astar_weighted_bounded(state, graph, from, to, weight, h_scale, u64::MAX).into_path()
+}
+
+/// [`astar_weighted_with`] with a hard cap on node expansions; see
+/// [`astar_bounded`] for the budget semantics.
+pub fn astar_weighted_bounded(
+    state: &mut SearchState,
+    graph: &RoadGraph,
+    from: NodeId,
+    to: NodeId,
+    mut weight: impl FnMut(&Edge) -> f64,
+    h_scale: f64,
+    max_expansions: u64,
+) -> SearchOutcome {
     debug_assert!(h_scale >= 0.0, "heuristic scale must be non-negative");
     state.begin(graph.num_nodes());
     let goal: Point = graph.node_point(to);
@@ -387,6 +450,12 @@ pub fn astar_weighted_with(
         }
         if g > state.dist_of(node) {
             continue; // stale entry
+        }
+        if state.expanded >= max_expansions {
+            // The next expansion would blow the budget: give up before
+            // settling another node so `expanded` never exceeds the cap.
+            state.heap.clear();
+            return SearchOutcome::BudgetExhausted { expanded: state.expanded };
         }
         state.expanded += 1;
         for &(eid, nb) in graph.neighbors(node) {
@@ -405,7 +474,7 @@ pub fn astar_weighted_with(
     state.heap.clear();
 
     if !state.dist_of(to).is_finite() {
-        return None;
+        return SearchOutcome::Unreachable;
     }
     // Reconstruct, identically to the Dijkstra reference.
     let mut nodes = vec![to];
@@ -414,7 +483,7 @@ pub fn astar_weighted_with(
     while cur != from {
         let Some((p, e)) = state.prev[cur.0 as usize] else {
             debug_assert!(false, "reachable node {cur:?} has no predecessor");
-            return None;
+            return SearchOutcome::Unreachable;
         };
         nodes.push(p);
         edges.push(e);
@@ -423,7 +492,7 @@ pub fn astar_weighted_with(
     nodes.reverse();
     edges.reverse();
     let length_m = edges.iter().map(|&e| graph.edge(e).length_m).sum();
-    Some(RoutePath { nodes, edges, cost: state.dist_of(to), length_m })
+    SearchOutcome::Found(RoutePath { nodes, edges, cost: state.dist_of(to), length_m })
 }
 
 #[cfg(test)]
@@ -525,6 +594,53 @@ mod tests {
         let a = g.nearest_node(Point::new(0.0, 0.0));
         let b = g.nearest_node(Point::new(1100.0, 0.0));
         assert!(shortest_path(&g, a, b, CostModel::Distance).is_none());
+    }
+
+    #[test]
+    fn bounded_search_distinguishes_unreachable_from_exhausted() {
+        let els = vec![
+            elem(1, &[(0.0, 0.0), (100.0, 0.0)], FlowDirection::Both, 50.0),
+            elem(2, &[(1000.0, 0.0), (1100.0, 0.0)], FlowDirection::Both, 50.0),
+        ];
+        let g = RoadGraph::build(&els, proj()).unwrap();
+        let a = g.nearest_node(Point::new(0.0, 0.0));
+        let b = g.nearest_node(Point::new(1100.0, 0.0));
+        let mut state = SearchState::new();
+        assert_eq!(
+            astar_bounded(&mut state, &g, a, b, CostModel::Distance, u64::MAX),
+            SearchOutcome::Unreachable
+        );
+        assert_eq!(
+            astar_bounded(&mut state, &g, a, b, CostModel::Distance, 0),
+            SearchOutcome::BudgetExhausted { expanded: 0 }
+        );
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_instead_of_searching() {
+        let g = square();
+        let a = g.nearest_node(Point::new(0.0, 0.0));
+        let b = g.nearest_node(Point::new(100.0, 100.0));
+        let mut state = SearchState::new();
+        let out = astar_bounded(&mut state, &g, a, b, CostModel::TravelTime, 1);
+        assert_eq!(out, SearchOutcome::BudgetExhausted { expanded: 1 });
+        assert_eq!(state.expanded(), 1);
+    }
+
+    #[test]
+    fn huge_budget_is_bit_identical_to_unbounded() {
+        let g = square();
+        let mut state = SearchState::new();
+        for a in 0..g.num_nodes() {
+            for b in 0..g.num_nodes() {
+                let (a, b) = (NodeId(a as u32), NodeId(b as u32));
+                let unbounded = astar_with(&mut state, &g, a, b, CostModel::Distance);
+                let bounded =
+                    astar_bounded(&mut state, &g, a, b, CostModel::Distance, u64::MAX)
+                        .into_path();
+                assert_eq!(unbounded, bounded);
+            }
+        }
     }
 
     #[test]
@@ -666,7 +782,7 @@ mod tests {
         let mut pair = 0u32;
         for a in (0..n).step_by(23) {
             for b in (0..n).step_by(17) {
-                let model = if pair % 2 == 0 { CostModel::Distance } else { CostModel::TravelTime };
+                let model = if pair.is_multiple_of(2) { CostModel::Distance } else { CostModel::TravelTime };
                 assert_same_route(&mut state, g, NodeId(a), NodeId(b), model);
                 pair += 1;
             }

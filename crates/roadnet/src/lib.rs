@@ -39,7 +39,7 @@ pub mod quality;
 pub mod synth;
 
 pub use attributes::{MapObject, MapObjectKind, MapObjects};
-pub use dijkstra::{CostModel, RoutePath, SearchState};
+pub use dijkstra::{CostModel, RoutePath, SearchOutcome, SearchState};
 pub use element::{ElementId, FlowDirection, FunctionalClass, TrafficElement};
 pub use graph::{Edge, EdgeId, GraphError, JunctionPair, NodeId, RoadGraph};
 pub use junction::{EndpointKey, EndpointKind, EndpointTable};

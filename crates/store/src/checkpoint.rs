@@ -1,0 +1,181 @@
+//! Stage checkpoint container: named binary sections behind a magic and a
+//! config fingerprint.
+//!
+//! The staged pipeline persists one checkpoint file per completed stage so
+//! a killed run can resume from the last stage boundary instead of
+//! recomputing a simulated year. The container is deliberately dumb: it
+//! knows nothing about stage payloads, only about framing them. Stages
+//! encode their own sections with the [`crate::codec`] wire primitives,
+//! which keeps resume byte-identical — the same encoder produces the same
+//! bytes whether a stage ran live or was reloaded.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic            8 bytes  b"TTCK\x00\x00\x00\x01"
+//! fingerprint      u64      caller-supplied config fingerprint
+//! section count    u64
+//! per section:
+//!   name           u16 length + UTF-8 bytes
+//!   payload        u64 length + bytes
+//! ```
+//!
+//! Writes go to a `.tmp` sibling and are published with an atomic rename,
+//! so a kill mid-write leaves either the previous checkpoint or none — a
+//! torn file can never be observed under the final name.
+
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec::{put_str, take_str, take_u64};
+use crate::StoreError;
+
+/// Magic prefix of every checkpoint file (version 1).
+pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TTCK\x00\x00\x00\x01";
+
+/// A loaded checkpoint: the fingerprint it was written under plus its
+/// named payload sections, in file order.
+#[derive(Debug, Clone)]
+pub struct CheckpointFile {
+    /// Fingerprint of the configuration that produced this checkpoint.
+    /// Resume must refuse a checkpoint whose fingerprint does not match
+    /// the current configuration.
+    pub fingerprint: u64,
+    sections: Vec<(String, Bytes)>,
+}
+
+impl CheckpointFile {
+    /// Returns the payload of the named section, if present.
+    pub fn section(&self, name: &str) -> Option<&Bytes> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, b)| b)
+    }
+
+    /// Section names in file order (useful for diagnostics).
+    pub fn section_names(&self) -> impl Iterator<Item = &str> {
+        self.sections.iter().map(|(n, _)| n.as_str())
+    }
+}
+
+/// Writes a checkpoint atomically: encode to `<path>.tmp`, fsync-free
+/// buffered write, then rename over `path`.
+pub fn save_checkpoint(
+    path: &Path,
+    fingerprint: u64,
+    sections: &[(&str, &[u8])],
+) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(fs::File::create(&tmp)?);
+        w.write_all(&CHECKPOINT_MAGIC)?;
+        w.write_all(&fingerprint.to_le_bytes())?;
+        w.write_all(&(sections.len() as u64).to_le_bytes())?;
+        let mut head = BytesMut::new();
+        for (name, payload) in sections {
+            head.clear();
+            put_str(&mut head, name);
+            head.put_u64_le(payload.len() as u64);
+            w.write_all(&head)?;
+            w.write_all(payload)?;
+        }
+        w.flush()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and validates a checkpoint written by [`save_checkpoint`].
+pub fn load_checkpoint(path: &Path) -> Result<CheckpointFile, StoreError> {
+    let raw = fs::read(path)?;
+    let mut b = Bytes::from(raw);
+    if b.remaining() < CHECKPOINT_MAGIC.len() {
+        return Err(StoreError::BadFormat("file too short for magic".into()));
+    }
+    let magic = b.split_to(CHECKPOINT_MAGIC.len());
+    if magic.as_ref() != CHECKPOINT_MAGIC {
+        return Err(StoreError::BadFormat("checkpoint magic mismatch".into()));
+    }
+    let fingerprint = take_u64(&mut b)?;
+    let count = take_u64(&mut b)? as usize;
+    let mut sections = Vec::with_capacity(count.min(64));
+    for _ in 0..count {
+        let name = take_str(&mut b)?;
+        let len = take_u64(&mut b)? as usize;
+        if b.remaining() < len {
+            return Err(StoreError::BadFormat(format!(
+                "truncated section {name:?}: wanted {len} bytes, had {}",
+                b.remaining()
+            )));
+        }
+        let payload = b.split_to(len);
+        sections.push((name, payload));
+    }
+    if b.remaining() != 0 {
+        return Err(StoreError::BadFormat(format!(
+            "{} trailing bytes after last section",
+            b.remaining()
+        )));
+    }
+    Ok(CheckpointFile { fingerprint, sections })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_named_sections() {
+        let dir = std::env::temp_dir().join("ttck-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.ttck");
+        save_checkpoint(&path, 0xDEAD_BEEF, &[("alpha", b"abc"), ("beta", &[0u8; 9])])
+            .unwrap();
+        let ck = load_checkpoint(&path).unwrap();
+        assert_eq!(ck.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(ck.section("alpha").unwrap().as_ref(), b"abc");
+        assert_eq!(ck.section("beta").unwrap().as_ref().len(), 9);
+        assert!(ck.section("gamma").is_none());
+        assert_eq!(ck.section_names().collect::<Vec<_>>(), ["alpha", "beta"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_are_typed_errors() {
+        let dir = std::env::temp_dir().join("ttck-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("od.ttck");
+        save_checkpoint(&path, 7, &[("funnel", b"0123456789")]).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Chop mid-payload: typed BadFormat, not a panic.
+        std::fs::write(&path, &full[..full.len() - 4]).unwrap();
+        assert!(matches!(load_checkpoint(&path), Err(StoreError::BadFormat(_))));
+
+        // Wrong magic.
+        let mut bad = full.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(load_checkpoint(&path), Err(StoreError::BadFormat(_))));
+
+        // Trailing garbage.
+        let mut long = full.clone();
+        long.extend_from_slice(b"zz");
+        std::fs::write(&path, &long).unwrap();
+        assert!(matches!(load_checkpoint(&path), Err(StoreError::BadFormat(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writes_are_published_by_rename() {
+        let dir = std::env::temp_dir().join("ttck-rename");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sim.ttck");
+        save_checkpoint(&path, 1, &[("s", b"x")]).unwrap();
+        // The tmp sibling must not linger after a successful save.
+        assert!(!path.with_extension("tmp").exists());
+        assert!(path.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -67,7 +67,9 @@ fn read_u64(r: &mut impl Read) -> Result<u64, StoreError> {
     Ok(u64::from_le_bytes(b))
 }
 
-fn encode_session(buf: &mut BytesMut, s: &RawTrip) {
+/// Encodes one session in the store's wire format (exposed so stage
+/// checkpoints can embed session payloads; see `checkpoint`).
+pub fn encode_session(buf: &mut BytesMut, s: &RawTrip) {
     buf.put_u64_le(s.id.0);
     buf.put_u8(s.taxi.0);
     buf.put_i64_le(s.start_time.secs());
@@ -85,7 +87,8 @@ fn encode_session(buf: &mut BytesMut, s: &RawTrip) {
     }
 }
 
-fn encode_point(buf: &mut BytesMut, p: &RoutePoint) {
+/// Encodes one route point (wire primitive for stage checkpoints).
+pub fn encode_point(buf: &mut BytesMut, p: &RoutePoint) {
     buf.put_u64_le(p.point_id);
     buf.put_f64_le(p.geo.lon);
     buf.put_f64_le(p.geo.lat);
@@ -124,12 +127,14 @@ fn encode_truth(buf: &mut BytesMut, t: &CustomerTripTruth) {
     }
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+/// Writes a u16-length-prefixed UTF-8 string (wire primitive).
+pub fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u16_le(s.len() as u16);
     buf.put_slice(s.as_bytes());
 }
 
-fn decode_session(b: &mut Bytes) -> Result<RawTrip, StoreError> {
+/// Decodes one session from the store's wire format.
+pub fn decode_session(b: &mut Bytes) -> Result<RawTrip, StoreError> {
     let id = TripId(take_u64(b)?);
     let taxi = TaxiId(take_u8(b)?);
     let start_time = Timestamp::from_secs(take_i64(b)?);
@@ -160,7 +165,9 @@ fn decode_session(b: &mut Bytes) -> Result<RawTrip, StoreError> {
     })
 }
 
-fn decode_point(b: &mut Bytes, trip_id: TripId, taxi: TaxiId) -> Result<RoutePoint, StoreError> {
+/// Decodes one route point; `trip_id`/`taxi` come from the enclosing
+/// record (points do not repeat them on the wire).
+pub fn decode_point(b: &mut Bytes, trip_id: TripId, taxi: TaxiId) -> Result<RoutePoint, StoreError> {
     Ok(RoutePoint {
         point_id: take_u64(b)?,
         trip_id,
@@ -200,7 +207,8 @@ fn decode_truth(b: &mut Bytes) -> Result<CustomerTripTruth, StoreError> {
 
 macro_rules! take_impl {
     ($name:ident, $ty:ty, $get:ident, $size:expr) => {
-        fn $name(b: &mut Bytes) -> Result<$ty, StoreError> {
+        /// Truncation-checked scalar read (wire primitive).
+        pub fn $name(b: &mut Bytes) -> Result<$ty, StoreError> {
             if b.remaining() < $size {
                 return Err(StoreError::BadFormat(concat!("truncated ", stringify!($ty)).into()));
             }
@@ -215,7 +223,8 @@ take_impl!(take_f64, f64, get_f64_le, 8);
 take_impl!(take_u32, u32, get_u32_le, 4);
 take_impl!(take_u8, u8, get_u8, 1);
 
-fn take_str(b: &mut Bytes) -> Result<String, StoreError> {
+/// Reads a u16-length-prefixed UTF-8 string (wire primitive).
+pub fn take_str(b: &mut Bytes) -> Result<String, StoreError> {
     if b.remaining() < 2 {
         return Err(StoreError::BadFormat("truncated string length".into()));
     }

@@ -11,14 +11,20 @@
 //!   route points;
 //! * [`Query`] — a small composable filter (taxi + time window + bbox);
 //! * [`codec`] — a versioned binary file format so a simulated year can be
-//!   generated once and re-analysed many times.
+//!   generated once and re-analysed many times;
+//! * [`checkpoint`] — a named-section container with a config fingerprint
+//!   and atomic rename publication, backing stage checkpoint/resume.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod codec;
 mod query;
 mod store;
 
+pub use checkpoint::{
+    load_checkpoint, save_checkpoint, CheckpointFile, CHECKPOINT_MAGIC,
+};
 pub use query::Query;
 pub use store::{StoreError, StoreStats, TripStore};

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod corruption;
 pub mod driver;
 pub mod fuel;
@@ -33,6 +34,7 @@ pub mod rng;
 pub mod sampler;
 pub mod simulator;
 
+pub use chaos::{FaultPlan, InjectedFault};
 pub use corruption::{AppliedCorruption, CorruptionConfig};
 pub use driver::{season_speed_factor, DriverProfile};
 pub use fuel::FuelModel;

@@ -35,7 +35,7 @@ python3 - "$metrics" <<'EOF'
 import json, sys
 
 m = json.load(open(sys.argv[1]))
-assert m.get("schema") == 1, f"metrics JSON schema drifted: {m.get('schema')!r}"
+assert m.get("schema") == 2, f"metrics JSON schema drifted: {m.get('schema')!r}"
 for key in ("counters", "gauges", "histograms", "spans"):
     assert key in m, f"missing top-level key {key!r}"
 counters = m["counters"]
@@ -49,5 +49,59 @@ for p in ("study/simulate", "study/clean", "study/od", "study/match_fuse"):
 print(f"metrics schema OK: {len(counters)} counters, {len(paths)} span paths")
 EOF
 rm -f "$out" "$metrics"
+
+# Chaos smoke: a plan with trace faults plus a mid-run kill must (a) be
+# interrupted, (b) complete via checkpoint resume inside repro, (c) leave
+# a non-empty quarantine ledger visible in the budget metrics, and (d)
+# still print the experiment table.
+out=$(mktemp)
+errs=$(mktemp)
+metrics=$(mktemp)
+plan=$(mktemp)
+ckdir=$(mktemp -d)
+cat > "$plan" <<'PLAN'
+seed 9
+p_teleport 0.04
+p_clock_freeze 0.04
+p_stuck 0.03
+p_dropout 0.03
+task_panic_one_in 97
+error_budget 0.5
+kill_after_stage clean
+PLAN
+./target/release/repro --scale 0.05 --chaos "$plan" --checkpoint-dir "$ckdir" \
+    --metrics json --metrics-out "$metrics" table3 > "$out" 2> "$errs" || {
+    echo "verify: chaos repro run failed" >&2
+    cat "$errs" >&2
+    exit 1
+}
+grep -q "Reproduced funnel" "$out" || {
+    echo "verify: chaos repro lost its experiment output" >&2
+    exit 1
+}
+grep -q "resuming from" "$errs" || {
+    echo "verify: chaos kill did not trigger a checkpoint resume" >&2
+    cat "$errs" >&2
+    exit 1
+}
+grep -q "quarantined" "$errs" || {
+    echo "verify: chaos run reported no quarantined records" >&2
+    cat "$errs" >&2
+    exit 1
+}
+python3 - "$metrics" <<'EOF'
+import json, sys
+
+m = json.load(open(sys.argv[1]))
+counters = m["counters"]
+assert counters.get("quarantine.total", 0) > 0, "no quarantine.total under chaos"
+assert counters.get("chaos.sessions_faulted", 0) > 0, "no chaos.sessions_faulted"
+assert any(k.startswith("quarantine.reason.") for k in counters), "no per-reason counters"
+fractions = [k for k in m["gauges"] if k.startswith("quarantine.fraction.")]
+assert fractions, "no quarantine.fraction.* budget gauges"
+print(f"chaos smoke OK: {counters['quarantine.total']} quarantined, "
+      f"{counters['chaos.sessions_faulted']} sessions faulted")
+EOF
+rm -rf "$out" "$errs" "$metrics" "$plan" "$ckdir"
 
 echo "verify: all checks passed"
