@@ -30,6 +30,15 @@
 //! summary goes to stderr; stdout stays the byte-exact experiment
 //! surface.
 //!
+//! `--store <file>` replays the study from a persisted trip store instead
+//! of simulating: the file is read through the salvage path, damaged
+//! records are quarantined with typed reasons and `store.*` corruption
+//! metrics appear in `--metrics` output. Three maintenance subcommands
+//! manage such files: `store-save <file>` writes one, `store-corrupt
+//! --chaos <plan> <file>` applies a plan's seeded disk faults to it, and
+//! `fsck [--repair] <path>` integrity-scans (and repairs) stores and
+//! checkpoints.
+//!
 //! Absolute values come from the calibrated simulator, not the authors'
 //! taxis; the point of each experiment is the *shape* comparison printed
 //! alongside the paper's published numbers (see `EXPERIMENTS.md`).
@@ -54,22 +63,38 @@ struct Args {
     seed: u64,
     scale: f64,
     experiment: String,
+    /// Path operand of the maintenance subcommands (`fsck`, `store-save`,
+    /// `store-corrupt`).
+    operand: Option<String>,
     bench_json: Option<String>,
     metrics: Option<MetricsFormat>,
     metrics_out: Option<String>,
     chaos: Option<String>,
     checkpoint_dir: Option<String>,
+    /// Replay the study from this trip-store file instead of simulating.
+    store: Option<String>,
+    /// `fsck --repair`: rewrite/remove damaged files.
+    repair: bool,
+}
+
+impl Args {
+    fn operand(&self, what: &str) -> &str {
+        self.operand.as_deref().unwrap_or_else(|| die(what))
+    }
 }
 
 fn parse_args() -> Args {
     let mut seed = 2012u64;
     let mut scale = 0.3f64;
-    let mut experiment = String::from("all");
+    let mut experiment = None;
+    let mut operand = None;
     let mut bench_json = None;
     let mut metrics = None;
     let mut metrics_out = None;
     let mut chaos = None;
     let mut checkpoint_dir = None;
+    let mut store = None;
+    let mut repair = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -107,15 +132,44 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| die("--checkpoint-dir needs a directory")),
                 );
             }
+            "--store" => {
+                store = Some(it.next().unwrap_or_else(|| die("--store needs a path")));
+            }
+            "--repair" => repair = true,
             "--help" | "-h" => die(
                 "usage: repro [--seed N] [--scale F] [--bench-json PATH] \
                  [--metrics FMT] [--metrics-out PATH] [--chaos PLAN] \
-                 [--checkpoint-dir DIR] <experiment>",
+                 [--checkpoint-dir DIR] [--store FILE] <experiment>\n\
+                 \n\
+                 maintenance subcommands:\n\
+                 \x20 repro store-save <file>              simulate and write a v2 trip store\n\
+                 \x20 repro store-corrupt --chaos P <file> apply a plan's disk faults to a store\n\
+                 \x20 repro fsck [--repair] <path>         integrity-scan store/checkpoint files",
             ),
-            other => experiment = other.to_string(),
+            other => {
+                if experiment.is_none() {
+                    experiment = Some(other.to_string());
+                } else if operand.is_none() {
+                    operand = Some(other.to_string());
+                } else {
+                    die(&format!("unexpected argument '{other}'"));
+                }
+            }
         }
     }
-    Args { seed, scale, experiment, bench_json, metrics, metrics_out, chaos, checkpoint_dir }
+    Args {
+        seed,
+        scale,
+        experiment: experiment.unwrap_or_else(|| String::from("all")),
+        operand,
+        bench_json,
+        metrics,
+        metrics_out,
+        chaos,
+        checkpoint_dir,
+        store,
+        repair,
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -148,6 +202,14 @@ fn study_config(args: &Args) -> StudyConfig {
 /// is resumed from the last completed stage, a bounded number of times.
 fn run_study(args: &Args) -> StudyOutput {
     let study = Study::new(study_config(args));
+    if let Some(store) = &args.store {
+        if args.checkpoint_dir.is_some() {
+            die("--store and --checkpoint-dir cannot be combined");
+        }
+        return study
+            .run_from_store(std::path::Path::new(store))
+            .unwrap_or_else(|e| die(&format!("study failed: {e}")));
+    }
     let Some(dir) = &args.checkpoint_dir else {
         return study.run().unwrap_or_else(|e| die(&format!("study failed: {e}")));
     };
@@ -200,6 +262,12 @@ fn output(args: &Args) -> &'static StudyOutput {
 
 fn main() {
     let args = parse_args();
+    match args.experiment.as_str() {
+        "store-save" => return cmd_store_save(&args),
+        "store-corrupt" => return cmd_store_corrupt(&args),
+        "fsck" => return cmd_fsck(&args),
+        _ => {}
+    }
     let all: Vec<&str> = vec![
         "fig2", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6",
         "fig7", "fig8", "fig9", "fig10", "validation",
@@ -332,6 +400,101 @@ fn write_bench_json(path: &str, args: &Args, out: &StudyOutput, analysis_s: f64)
     );
     std::fs::write(path, json)
         .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+}
+
+// --------------------------------------------- storage maintenance tools
+
+/// `repro store-save <file>`: simulate stage 1 under the current
+/// seed/scale/chaos flags and persist the sessions as a v2 trip store,
+/// fingerprinted so `--store` replays refuse a mismatched config.
+fn cmd_store_save(args: &Args) {
+    let path = args.operand("store-save needs a target path").to_string();
+    eprintln!(
+        "[repro] simulating store: seed {}, scale {} -> {path}",
+        args.seed, args.scale
+    );
+    let study = Study::new(study_config(args));
+    let sim = study.simulate().unwrap_or_else(|e| die(&format!("simulate failed: {e}")));
+    sim.save_store(std::path::Path::new(&path))
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    println!("wrote {} session(s) to {path}", sim.store.sessions().len());
+}
+
+/// `repro store-corrupt --chaos <plan> <file>`: apply the plan's seeded
+/// disk faults (bit flips, tail truncation, record duplication, garbage
+/// header) to a store file in place. A test tool: the write is
+/// deliberately plain, this is the damage the rest of the stack defends
+/// against.
+fn cmd_store_corrupt(args: &Args) {
+    let path = args.operand("store-corrupt needs a store file").to_string();
+    let plan_path =
+        args.chaos.as_deref().unwrap_or_else(|| die("store-corrupt needs --chaos <plan>"));
+    let text = std::fs::read_to_string(plan_path)
+        .unwrap_or_else(|e| die(&format!("cannot read chaos plan {plan_path}: {e}")));
+    let plan = taxitrace_core::FaultPlan::parse(&text)
+        .unwrap_or_else(|e| die(&format!("bad chaos plan {plan_path}: {e}")));
+    let mut bytes = std::fs::read(&path)
+        .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let spans = taxitrace_store::codec::record_spans(&bytes)
+        .unwrap_or_else(|e| die(&format!("cannot frame records of {path}: {e}")));
+    let applied = plan.corrupt_file(0, &mut bytes, &spans);
+    if applied.is_empty() {
+        die("chaos plan injects no disk faults (set disk_bit_flips, \
+             disk_truncate_bytes, disk_duplicate_record or disk_garbage_header)");
+    }
+    std::fs::write(&path, &bytes)
+        .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    println!("applied {} disk fault(s) to {path}: {:?}", applied.len(), applied);
+}
+
+/// `repro fsck [--repair] <path>`: integrity-scan a store/checkpoint file
+/// or directory. Reports per-file version, fingerprint and record counts;
+/// with `--repair`, damaged stores are rewritten from their salvageable
+/// records (v1 stores upgraded to v2) and corrupt checkpoints removed
+/// (the pipeline recomputes them). Exits 1 while unrepaired damage
+/// remains.
+fn cmd_fsck(args: &Args) {
+    let path = args.operand("fsck needs a file or directory").to_string();
+    let reports = taxitrace_store::fsck_path(std::path::Path::new(&path), args.repair)
+        .unwrap_or_else(|e| die(&format!("fsck failed on {path}: {e}")));
+    if reports.is_empty() {
+        die(&format!("no store or checkpoint files found under {path}"));
+    }
+    let mut unrepaired = 0usize;
+    for r in &reports {
+        let fate = match r.repaired {
+            Some(action) => format!("  [{action}]"),
+            None => String::new(),
+        };
+        println!(
+            "{:<40} {:<10} v{} fingerprint {:#018x} records {}/{} — {}{}",
+            r.path.display(),
+            r.kind.label(),
+            r.version,
+            r.fingerprint,
+            r.records_valid,
+            r.records_declared,
+            r.damage_summary(),
+            fate
+        );
+        for d in r.damage.iter().take(8) {
+            println!("    record {}: {} ({})", d.index, d.kind.label(), d.detail);
+        }
+        if r.damage.len() > 8 {
+            println!("    ... {} more damaged record(s)", r.damage.len() - 8);
+        }
+        if !r.is_clean() && r.repaired.is_none() {
+            unrepaired += 1;
+        }
+    }
+    println!(
+        "{} file(s) scanned, {} with unrepaired damage",
+        reports.len(),
+        unrepaired
+    );
+    if unrepaired > 0 {
+        std::process::exit(1);
+    }
 }
 
 fn run(experiment: &str, args: &Args) {

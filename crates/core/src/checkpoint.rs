@@ -83,8 +83,8 @@ fn run_checkpointed(study: &Study, dir: &Path) -> Result<crate::StudyOutput, Err
         Some(ck) => load_simulated(config, &ck)?,
         None => {
             let sim = study.simulate()?;
-            let sessions = encode_sessions(sim.store.sessions());
-            let chaos_metrics = encode_chaos_counters(&sim.metrics);
+            let sessions = encode_sessions(sim.store.sessions())?;
+            let chaos_metrics = encode_chaos_counters(&sim.metrics)?;
             save_guarded(
                 dir,
                 &sim_path,
@@ -103,9 +103,9 @@ fn run_checkpointed(study: &Study, dir: &Path) -> Result<crate::StudyOutput, Err
         Some(ck) => load_cleaned(sim, &ck)?,
         None => {
             let cleaned = sim.clean()?;
-            let segments = encode_segments(&cleaned.segments);
+            let segments = encode_segments(&cleaned.segments)?;
             let totals = encode_totals(&cleaned.cleaning);
-            let quarantine = encode_quarantine(&cleaned.quarantine);
+            let quarantine = encode_quarantine(&cleaned.quarantine)?;
             save_guarded(
                 dir,
                 &clean_path,
@@ -125,8 +125,8 @@ fn run_checkpointed(study: &Study, dir: &Path) -> Result<crate::StudyOutput, Err
         None => {
             let od = cleaned.analyze_od()?;
             let funnel = encode_funnel(&od.funnel_rows);
-            let transitions = encode_transitions(&od.raw_transitions);
-            let quarantine = encode_quarantine(&od.quarantine);
+            let transitions = encode_transitions(&od.raw_transitions)?;
+            let quarantine = encode_quarantine(&od.quarantine)?;
             save_guarded(
                 dir,
                 &od_path,
@@ -230,7 +230,7 @@ fn load_simulated(config: &StudyConfig, ck: &CheckpointFile) -> Result<Simulated
     span.set_items(store.sessions().len() as u64);
     span.finish();
     let metrics = obs.registry.snapshot();
-    Ok(Simulated { config, city, weather, store, metrics, obs })
+    Ok(Simulated { config, city, weather, store, quarantine: Quarantine::default(), metrics, obs })
 }
 
 fn load_cleaned(sim: Simulated, ck: &CheckpointFile) -> Result<Cleaned, Error> {
@@ -276,13 +276,13 @@ fn load_od(cleaned: Cleaned, ck: &CheckpointFile) -> Result<OdSelected, Error> {
 
 // ---- stage payload codecs (store wire primitives; little-endian) --------
 
-fn encode_sessions(sessions: &[RawTrip]) -> Vec<u8> {
+fn encode_sessions(sessions: &[RawTrip]) -> Result<Vec<u8>, StoreError> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(sessions.len() as u64);
     for s in sessions {
-        encode_session(&mut buf, s);
+        encode_session(&mut buf, s)?;
     }
-    buf.as_ref().to_vec()
+    Ok(buf.as_ref().to_vec())
 }
 
 fn decode_sessions(b: &mut Bytes) -> Result<Vec<RawTrip>, StoreError> {
@@ -296,16 +296,18 @@ fn decode_sessions(b: &mut Bytes) -> Result<Vec<RawTrip>, StoreError> {
 
 /// The `chaos.*` counters of a live simulate stage (empty without a
 /// fault-injecting plan), encoded name-value.
-fn encode_chaos_counters(metrics: &taxitrace_obs::MetricsSnapshot) -> Vec<u8> {
+fn encode_chaos_counters(
+    metrics: &taxitrace_obs::MetricsSnapshot,
+) -> Result<Vec<u8>, StoreError> {
     let chaos: Vec<&(String, u64)> =
         metrics.counters.iter().filter(|(name, _)| name.starts_with("chaos.")).collect();
     let mut buf = BytesMut::new();
     buf.put_u64_le(chaos.len() as u64);
     for (name, value) in chaos {
-        put_str(&mut buf, name);
+        put_str(&mut buf, name)?;
         buf.put_u64_le(*value);
     }
-    buf.as_ref().to_vec()
+    Ok(buf.as_ref().to_vec())
 }
 
 fn decode_chaos_counters(b: &mut Bytes) -> Result<Vec<(String, u64)>, StoreError> {
@@ -319,19 +321,21 @@ fn decode_chaos_counters(b: &mut Bytes) -> Result<Vec<(String, u64)>, StoreError
     Ok(counters)
 }
 
-fn encode_segments(segments: &[TripSegment]) -> Vec<u8> {
+fn encode_segments(segments: &[TripSegment]) -> Result<Vec<u8>, StoreError> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(segments.len() as u64);
     for seg in segments {
         buf.put_u64_le(seg.trip_id.0);
         buf.put_u8(seg.taxi.0);
         buf.put_i64_le(seg.start_time.secs());
-        buf.put_u32_le(seg.points.len() as u32);
+        let count = u32::try_from(seg.points.len())
+            .map_err(|_| StoreError::BadFormat("segment point count exceeds u32".into()))?;
+        buf.put_u32_le(count);
         for p in &seg.points {
-            encode_point(&mut buf, p);
+            encode_point(&mut buf, p)?;
         }
     }
-    buf.as_ref().to_vec()
+    Ok(buf.as_ref().to_vec())
 }
 
 fn decode_segments(b: &mut Bytes) -> Result<Vec<TripSegment>, StoreError> {
@@ -381,16 +385,16 @@ fn decode_totals(b: &mut Bytes) -> Result<CleaningTotals, StoreError> {
     Ok(totals)
 }
 
-fn encode_quarantine(quarantine: &Quarantine) -> Vec<u8> {
+fn encode_quarantine(quarantine: &Quarantine) -> Result<Vec<u8>, StoreError> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(quarantine.len() as u64);
     for entry in quarantine.entries() {
-        put_str(&mut buf, &entry.stage);
+        put_str(&mut buf, &entry.stage)?;
         buf.put_u64_le(entry.record);
         buf.put_u8(entry.reason.wire_tag());
-        put_str(&mut buf, &entry.detail);
+        put_str(&mut buf, &entry.detail)?;
     }
-    buf.as_ref().to_vec()
+    Ok(buf.as_ref().to_vec())
 }
 
 fn decode_quarantine(b: &mut Bytes) -> Result<Quarantine, StoreError> {
@@ -441,20 +445,20 @@ fn decode_funnel(b: &mut Bytes) -> Result<Vec<FunnelRow>, StoreError> {
     Ok(rows)
 }
 
-fn encode_transitions(transitions: &[Transition]) -> Vec<u8> {
+fn encode_transitions(transitions: &[Transition]) -> Result<Vec<u8>, StoreError> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(transitions.len() as u64);
     for t in transitions {
         buf.put_u64_le(t.segment_index as u64);
         buf.put_u8(t.taxi.0);
-        put_str(&mut buf, &t.from);
-        put_str(&mut buf, &t.to);
+        put_str(&mut buf, &t.from)?;
+        put_str(&mut buf, &t.to)?;
         buf.put_u64_le(t.origin_point as u64);
         buf.put_u64_le(t.destination_point as u64);
         let flags = (t.within_center as u8) | ((t.post_filtered as u8) << 1);
         buf.put_u8(flags);
     }
-    buf.as_ref().to_vec()
+    Ok(buf.as_ref().to_vec())
 }
 
 fn decode_transitions(b: &mut Bytes) -> Result<Vec<Transition>, StoreError> {
@@ -527,7 +531,7 @@ mod tests {
             reason: QuarantineReason::UnmatchedGap,
             detail: "budget".into(),
         });
-        let mut b = Bytes::from(encode_quarantine(&q));
+        let mut b = Bytes::from(encode_quarantine(&q).unwrap());
         assert_eq!(decode_quarantine(&mut b).unwrap(), q);
 
         let rows = vec![FunnelRow {
@@ -552,7 +556,7 @@ mod tests {
             within_center: true,
             post_filtered: false,
         }];
-        let mut b = Bytes::from(encode_transitions(&transitions));
+        let mut b = Bytes::from(encode_transitions(&transitions).unwrap());
         assert_eq!(decode_transitions(&mut b).unwrap(), transitions);
     }
 
@@ -565,7 +569,7 @@ mod tests {
             reason: QuarantineReason::ClockSkew,
             detail: "x".into(),
         });
-        let mut raw = encode_quarantine(&q);
+        let mut raw = encode_quarantine(&q).unwrap();
         // The tag byte sits after the count (8), stage ("clean": 2 + 5)
         // and record (8).
         raw[8 + 7 + 8] = 200;

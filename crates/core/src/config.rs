@@ -46,6 +46,10 @@ pub struct FaultConfig {
     /// Maximum fraction of a stage's records that may be quarantined
     /// before the stage fails with [`crate::Error::BudgetExceeded`].
     pub error_budget: f64,
+    /// Maximum fraction of a store file's records that may be damaged
+    /// (CRC failures, torn tails, duplicates) before loading it fails
+    /// with [`crate::Error::BudgetExceeded`] at the `store` stage.
+    pub store_error_budget: f64,
     /// Upper bound on executions per worker task (≥ 1; panics are never
     /// retried, only typed task errors are).
     pub max_task_attempts: u32,
@@ -57,6 +61,7 @@ impl Default for FaultConfig {
     fn default() -> Self {
         Self {
             error_budget: 0.25,
+            store_error_budget: 0.25,
             max_task_attempts: 1,
             anomaly: AnomalyConfig::default(),
         }
@@ -352,6 +357,11 @@ impl StudyConfig {
             || !(0.0..=1.0).contains(&self.fault.error_budget)
         {
             return Err(ConfigError::BadErrorBudget(self.fault.error_budget));
+        }
+        if !self.fault.store_error_budget.is_finite()
+            || !(0.0..=1.0).contains(&self.fault.store_error_budget)
+        {
+            return Err(ConfigError::BadErrorBudget(self.fault.store_error_budget));
         }
         if self.fault.max_task_attempts == 0 {
             return Err(ConfigError::ZeroTaskAttempts);

@@ -32,7 +32,7 @@ pub enum Error {
     /// data quality is too degraded to report results from; everything up
     /// to the budget is tolerated with degradation metrics instead.
     BudgetExceeded {
-        /// Stage that blew its budget (`clean`/`od`/`match_fuse`).
+        /// Stage that blew its budget (`store`/`clean`/`od`/`match_fuse`).
         stage: &'static str,
         /// Records quarantined by the stage.
         quarantined: usize,

@@ -14,6 +14,7 @@
 //! any prefix of the pipeline without running the rest.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use taxitrace_cleaning::{
@@ -136,6 +137,10 @@ pub struct Simulated {
     pub city: SyntheticCity,
     pub weather: WeatherModel,
     pub store: TripStore,
+    /// Dead-letter ledger seeded by this stage. Empty for a live
+    /// simulation; [`Study::simulate_from_store`] fills it with one entry
+    /// per on-disk record lost to corruption.
+    pub quarantine: Quarantine,
     /// Registry snapshot taken at the end of this stage.
     pub metrics: MetricsSnapshot,
     pub(crate) obs: Obs,
@@ -242,7 +247,120 @@ impl Study {
         span.finish();
 
         let metrics = obs.registry.snapshot();
-        Ok(Simulated { config, city, weather, store, metrics, obs })
+        Ok(Simulated {
+            config,
+            city,
+            weather,
+            store,
+            quarantine: Quarantine::default(),
+            metrics,
+            obs,
+        })
+    }
+
+    /// Stage 1, replay variant: load the fleet's sessions from a trip
+    /// store file instead of simulating them.
+    ///
+    /// The file is read through the salvage path: every verifiable record
+    /// survives, while damaged ones (CRC failures, a torn tail, a header
+    /// that disagrees with the body, duplicated records) are quarantined
+    /// at the `store` stage with typed reasons and counted against
+    /// [`crate::FaultConfig::store_error_budget`]. A store written under a
+    /// different config fingerprint is refused outright — replaying it
+    /// would silently produce results the config cannot explain.
+    pub fn simulate_from_store(&self, path: &Path) -> Result<Simulated, Error> {
+        let config = self.config.clone();
+        config.validate()?;
+        let obs = Obs::new();
+
+        let mut span = obs.registry.span("study/simulate");
+        let city = {
+            let _s = obs.registry.span("study/simulate/city");
+            taxitrace_roadnet::synth::generate(&config.city)
+        };
+        let weather = weather_for(&config);
+        let salvage = {
+            let _s = obs.registry.span("study/simulate/load_store");
+            taxitrace_store::codec::load_sessions_salvage(path)?
+        };
+        let report = salvage.report;
+        let expected = crate::checkpoint::config_fingerprint(&config);
+        if report.fingerprint != 0 && report.fingerprint != expected {
+            return Err(Error::Store(taxitrace_store::StoreError::BadFormat(format!(
+                "store {} was written under config fingerprint {:#018x}, expected {:#018x}",
+                path.display(),
+                report.fingerprint,
+                expected
+            ))));
+        }
+
+        let mut quarantine = Quarantine::default();
+        for damage in &report.damage {
+            quarantine.push(QuarantineEntry {
+                stage: "store".into(),
+                record: damage.index,
+                reason: damage.kind.into(),
+                detail: damage.detail.clone(),
+            });
+        }
+
+        let mut store = TripStore::new();
+        {
+            let _s = obs.registry.span("study/simulate/persist");
+            let mut seen = std::collections::BTreeSet::new();
+            for session in salvage.sessions {
+                if !seen.insert(session.id.0) {
+                    // A duplicated on-disk frame decodes fine but would
+                    // poison the store; quarantine the extra occurrence.
+                    quarantine.push(QuarantineEntry {
+                        stage: "store".into(),
+                        record: session.id.0,
+                        reason: QuarantineReason::CorruptRecord,
+                        detail: format!(
+                            "duplicate on-disk record for trip {}",
+                            session.id.0
+                        ),
+                    });
+                    continue;
+                }
+                store.insert(session)?;
+            }
+        }
+
+        let total = report.records_valid as usize + report.damage.len();
+        obs.registry.counter("store.records_total").add(total as u64);
+        obs.registry
+            .counter("store.records_valid")
+            .add(store.sessions().len() as u64);
+        if !quarantine.is_empty() {
+            obs.registry
+                .counter("store.corrupt_records")
+                .add(quarantine.len() as u64);
+            let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for entry in quarantine.entries() {
+                *by_kind.entry(entry.reason.label()).or_insert(0) += 1;
+            }
+            for (label, n) in by_kind {
+                obs.registry.counter(&format!("store.damaged.{label}")).add(n);
+            }
+        }
+        obs.registry.counter("sim.sessions").add(store.sessions().len() as u64);
+        let raw_points: usize =
+            store.sessions().iter().map(|s| s.points.len()).sum();
+        obs.registry.counter("sim.raw_points").add(raw_points as u64);
+
+        quarantine.record_stage_metrics(&obs.registry, "store", total);
+        let store_budget = config
+            .chaos
+            .as_ref()
+            .and_then(|p| p.error_budget)
+            .unwrap_or(config.fault.store_error_budget);
+        check_budget("store", quarantine.len(), total, store_budget)?;
+        span.set_items(store.sessions().len() as u64);
+        span.finish();
+
+        let metrics = obs.registry.snapshot();
+        Ok(Simulated { config, city, weather, store, quarantine, metrics, obs })
     }
 
     /// Runs the full pipeline: simulate → store → clean → O-D select →
@@ -251,9 +369,28 @@ impl Study {
     pub fn run(&self) -> Result<StudyOutput, Error> {
         self.simulate()?.clean()?.analyze_od()?.match_fuse()
     }
+
+    /// Runs the full pipeline over sessions replayed from a store file
+    /// (see [`Study::simulate_from_store`] for the salvage semantics).
+    pub fn run_from_store(&self, path: &Path) -> Result<StudyOutput, Error> {
+        self.simulate_from_store(path)?.clean()?.analyze_od()?.match_fuse()
+    }
 }
 
 impl Simulated {
+    /// Persists this stage's sessions as a v2 store file (atomic write,
+    /// per-record CRCs), tagged with the config fingerprint so
+    /// [`Study::simulate_from_store`] can refuse a mismatched replay.
+    pub fn save_store(&self, path: &Path) -> Result<(), Error> {
+        let fingerprint = crate::checkpoint::config_fingerprint(&self.config);
+        taxitrace_store::codec::save_sessions_tagged(
+            path,
+            self.store.sessions(),
+            fingerprint,
+        )?;
+        Ok(())
+    }
+
     /// Stage 2: clean every session (parallel per session; deterministic
     /// because results are folded in input order).
     ///
@@ -261,8 +398,10 @@ impl Simulated {
     /// or a session whose cleaned output violates the post-cleaning
     /// invariants ([`session_anomaly`]) lands in the [`Quarantine`] ledger
     /// instead of aborting the run — up to the configured error budget.
+    /// The ledger carried in from stage 1 (store salvage damage) is kept;
+    /// this stage's budget is judged only on its own additions.
     pub fn clean(self) -> Result<Cleaned, Error> {
-        let Simulated { config, city, weather, store, obs, .. } = self;
+        let Simulated { config, city, weather, store, mut quarantine, obs, .. } = self;
 
         let mut span = obs.registry.span("study/clean");
         let (error_budget, max_attempts) = resolved_fault_policy(&config);
@@ -305,7 +444,7 @@ impl Simulated {
         };
 
         let total = slots.len();
-        let mut quarantine = Quarantine::default();
+        let before = quarantine.len();
         let mut cleaning = CleaningTotals::default();
         let mut segments: Vec<TripSegment> = Vec::new();
         for (i, slot) in slots.into_iter().enumerate() {
@@ -340,7 +479,7 @@ impl Simulated {
         }
         cleaning.record_metrics(&obs.registry);
         quarantine.record_stage_metrics(&obs.registry, "clean", total);
-        check_budget("clean", quarantine.len(), total, error_budget)?;
+        check_budget("clean", quarantine.len() - before, total, error_budget)?;
         span.set_items(segments.len() as u64);
         span.finish();
 

@@ -10,9 +10,13 @@
 //!
 //! The reason taxonomy extends the §IV-B raw-data error classes (the
 //! trace-level [`taxitrace_cleaning::AnomalyKind`]s) with two pipeline-level
-//! failure modes: a gap-fill search that ran out of budget
+//! failure modes — a gap-fill search that ran out of budget
 //! ([`QuarantineReason::UnmatchedGap`]) and a worker task that panicked
-//! ([`QuarantineReason::TaskPanic`], isolated by `taxitrace-exec`).
+//! ([`QuarantineReason::TaskPanic`], isolated by `taxitrace-exec`) — and the
+//! data-at-rest damage classes salvaged out of a store file
+//! ([`QuarantineReason::CorruptRecord`], [`QuarantineReason::TornTail`],
+//! [`QuarantineReason::HeaderMismatch`], mirroring
+//! [`taxitrace_store::DamageKind`]).
 
 use std::collections::BTreeMap;
 
@@ -35,6 +39,14 @@ pub enum QuarantineReason {
     UnmatchedGap,
     /// The worker task processing this record panicked.
     TaskPanic,
+    /// On-disk record failed its CRC (or duplicated an already-loaded
+    /// trip) and was salvaged around.
+    CorruptRecord,
+    /// The store file ended mid-record; everything after the tear is lost.
+    TornTail,
+    /// The store header disagreed with the body (bad magic, header CRC,
+    /// or record-count mismatch).
+    HeaderMismatch,
 }
 
 impl QuarantineReason {
@@ -47,6 +59,9 @@ impl QuarantineReason {
             QuarantineReason::StuckSensor => "stuck_sensor",
             QuarantineReason::UnmatchedGap => "unmatched_gap",
             QuarantineReason::TaskPanic => "task_panic",
+            QuarantineReason::CorruptRecord => "corrupt_record",
+            QuarantineReason::TornTail => "torn_tail",
+            QuarantineReason::HeaderMismatch => "header_mismatch",
         }
     }
 
@@ -59,6 +74,9 @@ impl QuarantineReason {
             QuarantineReason::StuckSensor => 3,
             QuarantineReason::UnmatchedGap => 4,
             QuarantineReason::TaskPanic => 5,
+            QuarantineReason::CorruptRecord => 6,
+            QuarantineReason::TornTail => 7,
+            QuarantineReason::HeaderMismatch => 8,
         }
     }
 
@@ -70,6 +88,9 @@ impl QuarantineReason {
             3 => QuarantineReason::StuckSensor,
             4 => QuarantineReason::UnmatchedGap,
             5 => QuarantineReason::TaskPanic,
+            6 => QuarantineReason::CorruptRecord,
+            7 => QuarantineReason::TornTail,
+            8 => QuarantineReason::HeaderMismatch,
             _ => return None,
         })
     }
@@ -82,6 +103,16 @@ impl From<AnomalyKind> for QuarantineReason {
             AnomalyKind::ClockSkew => QuarantineReason::ClockSkew,
             AnomalyKind::Dropout => QuarantineReason::Dropout,
             AnomalyKind::StuckSensor => QuarantineReason::StuckSensor,
+        }
+    }
+}
+
+impl From<taxitrace_store::DamageKind> for QuarantineReason {
+    fn from(kind: taxitrace_store::DamageKind) -> Self {
+        match kind {
+            taxitrace_store::DamageKind::CorruptRecord => QuarantineReason::CorruptRecord,
+            taxitrace_store::DamageKind::TornTail => QuarantineReason::TornTail,
+            taxitrace_store::DamageKind::HeaderMismatch => QuarantineReason::HeaderMismatch,
         }
     }
 }
@@ -215,6 +246,9 @@ mod tests {
             QuarantineReason::StuckSensor,
             QuarantineReason::UnmatchedGap,
             QuarantineReason::TaskPanic,
+            QuarantineReason::CorruptRecord,
+            QuarantineReason::TornTail,
+            QuarantineReason::HeaderMismatch,
         ] {
             assert_eq!(QuarantineReason::from_wire_tag(reason.wire_tag()), Some(reason));
         }

@@ -15,8 +15,10 @@ use crate::snapshot::MetricsSnapshot;
 /// JSON schema version emitted by [`render_json`]; bump on breaking
 /// structural change so the CI schema check fails loudly. Version 2
 /// added the fault-tolerance metric families (`quarantine.*`, `chaos.*`,
-/// `exec.task_*`, `match.gap_budget_exhausted`).
-pub const JSON_SCHEMA_VERSION: u32 = 2;
+/// `exec.task_*`, `match.gap_budget_exhausted`); version 3 added the
+/// storage-integrity families (`store.records_total`,
+/// `store.records_valid`, `store.corrupt_records`, `store.damaged.*`).
+pub const JSON_SCHEMA_VERSION: u32 = 3;
 
 /// Output format of [`render`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,7 +270,7 @@ mod tests {
     fn json_contains_all_sections() {
         let json = render_json(&sample());
         for needle in [
-            "\"schema\": 2",
+            "\"schema\": 3",
             "\"clean.sessions\": 42",
             "\"exec.workers\": 4.000000",
             "\"exec.worker_tasks\"",

@@ -25,6 +25,15 @@ fn fixed_registry() -> Registry {
     reg.counter("exec.task_retries").add(2);
     reg.counter("match.gap_budget_exhausted").add(2);
     reg.gauge("quarantine.fraction.clean").set(0.0059);
+    // Storage-integrity families (schema v3).
+    reg.counter("store.records_total").add(2549);
+    reg.counter("store.records_valid").add(2546);
+    reg.counter("store.corrupt_records").add(3);
+    reg.counter("store.damaged.corrupt_record").add(1);
+    reg.counter("store.damaged.torn_tail").add(2);
+    reg.counter("quarantine.stage.store").add(3);
+    reg.counter("quarantine.reason.corrupt_record").add(1);
+    reg.counter("quarantine.reason.torn_tail").add(2);
     let h = reg.histogram("exec.worker_tasks", &[64.0, 256.0, 1024.0]);
     for v in [40.0, 200.0, 200.0, 800.0, 3000.0] {
         h.observe(v);

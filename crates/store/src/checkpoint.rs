@@ -9,32 +9,37 @@
 //! which keeps resume byte-identical — the same encoder produces the same
 //! bytes whether a stage ran live or was reloaded.
 //!
-//! Layout (all integers little-endian):
+//! v2 layout, the only one written today (all integers little-endian):
 //!
 //! ```text
-//! magic            8 bytes  b"TTCK\x00\x00\x00\x01"
+//! magic            8 bytes  b"TTCK\x00\x00\x00\x02"
 //! fingerprint      u64      caller-supplied config fingerprint
 //! section count    u64
+//! header crc       u32      CRC-32 of the 24 header bytes above
 //! per section:
 //!   name           u16 length + UTF-8 bytes
-//!   payload        u64 length + bytes
+//!   payload        u64 length + u32 CRC-32 + bytes
 //! ```
 //!
-//! Writes go to a `.tmp` sibling and are published with an atomic rename,
-//! so a kill mid-write leaves either the previous checkpoint or none — a
-//! torn file can never be observed under the final name.
+//! v1 (`b"TTCK\x00\x00\x00\x01"`) is the same without the CRCs and is
+//! still accepted read-only. Unlike the trip store there is no salvage
+//! path: a checkpoint that fails validation is simply recomputed by the
+//! pipeline, so any damage is a typed [`StoreError::BadFormat`] (which
+//! resume already treats as "no checkpoint"). Writes are atomic *and
+//! fsynced* via [`crate::integrity::write_atomic`].
 
-use std::fs;
-use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::codec::{put_str, take_str, take_u64};
+use crate::codec::{put_str, take_str, take_u32, take_u64};
+use crate::integrity::{crc32, write_atomic};
 use crate::StoreError;
 
-/// Magic prefix of every checkpoint file (version 1).
+/// Magic prefix of legacy v1 checkpoint files (read-only support).
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"TTCK\x00\x00\x00\x01";
+/// Magic prefix of v2 checkpoint files (the format written today).
+pub const CHECKPOINT_MAGIC_V2: [u8; 8] = *b"TTCK\x00\x00\x00\x02";
 
 /// A loaded checkpoint: the fingerprint it was written under plus its
 /// named payload sections, in file order.
@@ -44,6 +49,8 @@ pub struct CheckpointFile {
     /// Resume must refuse a checkpoint whose fingerprint does not match
     /// the current configuration.
     pub fingerprint: u64,
+    /// Container version the file was read from (1 or 2).
+    pub version: u32,
     sections: Vec<(String, Bytes)>,
 }
 
@@ -57,52 +64,75 @@ impl CheckpointFile {
     pub fn section_names(&self) -> impl Iterator<Item = &str> {
         self.sections.iter().map(|(n, _)| n.as_str())
     }
+
+    /// Number of sections in the file.
+    pub fn section_count(&self) -> usize {
+        self.sections.len()
+    }
 }
 
-/// Writes a checkpoint atomically: encode to `<path>.tmp`, fsync-free
-/// buffered write, then rename over `path`.
+/// Writes a v2 checkpoint atomically: encode in memory, publish with
+/// temp file + fsync + rename.
 pub fn save_checkpoint(
     path: &Path,
     fingerprint: u64,
     sections: &[(&str, &[u8])],
 ) -> Result<(), StoreError> {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut w = BufWriter::new(fs::File::create(&tmp)?);
-        w.write_all(&CHECKPOINT_MAGIC)?;
-        w.write_all(&fingerprint.to_le_bytes())?;
-        w.write_all(&(sections.len() as u64).to_le_bytes())?;
-        let mut head = BytesMut::new();
-        for (name, payload) in sections {
-            head.clear();
-            put_str(&mut head, name);
-            head.put_u64_le(payload.len() as u64);
-            w.write_all(&head)?;
-            w.write_all(payload)?;
-        }
-        w.flush()?;
+    let count = u64::try_from(sections.len())
+        .map_err(|_| StoreError::BadFormat("section count exceeds u64".into()))?;
+    let mut out = BytesMut::new();
+    out.put_slice(&CHECKPOINT_MAGIC_V2);
+    out.put_u64_le(fingerprint);
+    out.put_u64_le(count);
+    let header_crc = crc32(&out);
+    out.put_u32_le(header_crc);
+    for (name, payload) in sections {
+        put_str(&mut out, name)?;
+        let len = u64::try_from(payload.len())
+            .map_err(|_| StoreError::BadFormat("section length exceeds u64".into()))?;
+        out.put_u64_le(len);
+        out.put_u32_le(crc32(payload));
+        out.put_slice(payload);
     }
-    fs::rename(&tmp, path)?;
+    write_atomic(path, &out)?;
     Ok(())
 }
 
-/// Reads and validates a checkpoint written by [`save_checkpoint`].
+/// Reads and validates a checkpoint, accepting v1 and v2 containers.
 pub fn load_checkpoint(path: &Path) -> Result<CheckpointFile, StoreError> {
-    let raw = fs::read(path)?;
-    let mut b = Bytes::from(raw);
-    if b.remaining() < CHECKPOINT_MAGIC.len() {
+    let raw = std::fs::read(path)?;
+    if raw.len() < 8 {
         return Err(StoreError::BadFormat("file too short for magic".into()));
     }
-    let magic = b.split_to(CHECKPOINT_MAGIC.len());
-    if magic.as_ref() != CHECKPOINT_MAGIC {
-        return Err(StoreError::BadFormat("checkpoint magic mismatch".into()));
+    let version = match <[u8; 8]>::try_from(&raw[..8]) {
+        Ok(m) if m == CHECKPOINT_MAGIC_V2 => 2,
+        Ok(m) if m == CHECKPOINT_MAGIC => 1,
+        _ => return Err(StoreError::BadFormat("checkpoint magic mismatch".into())),
+    };
+    if version == 2 {
+        if raw.len() < 28 {
+            return Err(StoreError::BadFormat("file too short for v2 header".into()));
+        }
+        let stored = u32::from_le_bytes([raw[24], raw[25], raw[26], raw[27]]);
+        let actual = crc32(&raw[..24]);
+        if stored != actual {
+            return Err(StoreError::BadFormat(format!(
+                "checkpoint header CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"
+            )));
+        }
     }
+    let mut b = Bytes::copy_from_slice(&raw);
+    let _magic = b.split_to(8);
     let fingerprint = take_u64(&mut b)?;
     let count = take_u64(&mut b)? as usize;
+    if version == 2 {
+        let _header_crc = b.split_to(4); // verified above
+    }
     let mut sections = Vec::with_capacity(count.min(64));
     for _ in 0..count {
         let name = take_str(&mut b)?;
         let len = take_u64(&mut b)? as usize;
+        let stored_crc = if version == 2 { Some(take_u32(&mut b)?) } else { None };
         if b.remaining() < len {
             return Err(StoreError::BadFormat(format!(
                 "truncated section {name:?}: wanted {len} bytes, had {}",
@@ -110,6 +140,14 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointFile, StoreError> {
             )));
         }
         let payload = b.split_to(len);
+        if let Some(stored) = stored_crc {
+            let actual = crc32(payload.as_ref());
+            if stored != actual {
+                return Err(StoreError::BadFormat(format!(
+                    "section {name:?} CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"
+                )));
+            }
+        }
         sections.push((name, payload));
     }
     if b.remaining() != 0 {
@@ -118,7 +156,7 @@ pub fn load_checkpoint(path: &Path) -> Result<CheckpointFile, StoreError> {
             b.remaining()
         )));
     }
-    Ok(CheckpointFile { fingerprint, sections })
+    Ok(CheckpointFile { fingerprint, version, sections })
 }
 
 #[cfg(test)]
@@ -134,10 +172,33 @@ mod tests {
             .unwrap();
         let ck = load_checkpoint(&path).unwrap();
         assert_eq!(ck.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(ck.version, 2);
         assert_eq!(ck.section("alpha").unwrap().as_ref(), b"abc");
         assert_eq!(ck.section("beta").unwrap().as_ref().len(), 9);
         assert!(ck.section("gamma").is_none());
         assert_eq!(ck.section_names().collect::<Vec<_>>(), ["alpha", "beta"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v1_checkpoints_still_load() {
+        let dir = std::env::temp_dir().join("ttck-v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.ttck");
+        // Hand-write a v1 container: magic, fingerprint, count, sections
+        // without CRCs.
+        let mut out = BytesMut::new();
+        out.put_slice(&CHECKPOINT_MAGIC);
+        out.put_u64_le(42);
+        out.put_u64_le(1);
+        put_str(&mut out, "funnel").unwrap();
+        out.put_u64_le(3);
+        out.put_slice(b"abc");
+        std::fs::write(&path, &out).unwrap();
+        let ck = load_checkpoint(&path).unwrap();
+        assert_eq!(ck.fingerprint, 42);
+        assert_eq!(ck.version, 1);
+        assert_eq!(ck.section("funnel").unwrap().as_ref(), b"abc");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -158,6 +219,21 @@ mod tests {
         bad[0] = b'X';
         std::fs::write(&path, &bad).unwrap();
         assert!(matches!(load_checkpoint(&path), Err(StoreError::BadFormat(_))));
+
+        // A flipped payload bit now fails the section CRC.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x40;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+
+        // A flipped header bit fails the header CRC.
+        let mut head = full.clone();
+        head[9] ^= 0x01;
+        std::fs::write(&path, &head).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        assert!(err.to_string().contains("header CRC"), "{err}");
 
         // Trailing garbage.
         let mut long = full.clone();

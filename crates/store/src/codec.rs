@@ -1,13 +1,31 @@
 //! Versioned binary file format for trip data.
 //!
-//! Layout: an 8-byte magic (`b"TTRS\x00\x00\x00\x01"`), a session count,
-//! then each session length-prefixed. All integers little-endian; floats as
-//! IEEE-754 bits. The format is hand-rolled (rather than `serde_json` etc.)
-//! because a simulated year is ~10⁶ route points and the store is reloaded
-//! repeatedly while iterating on analyses.
+//! Two container versions exist. **v1** (`b"TTRS\x00\x00\x00\x01"`) is a
+//! magic, a session count, then each session length-prefixed — no
+//! checksums, accepted read-only for files written by older builds.
+//! **v2** (`b"TTRS\x00\x00\x00\x02"`), the only format written today, adds
+//! a self-describing header and per-record CRC framing:
+//!
+//! ```text
+//! magic         8 bytes  b"TTRS\x00\x00\x00\x02"
+//! fingerprint   u64      config fingerprint (0 = untagged)
+//! record count  u64
+//! header crc    u32      CRC-32 of the 24 header bytes above
+//! per record:
+//!   len         u64      payload length in bytes
+//!   crc         u32      CRC-32 of the payload
+//!   payload     len bytes (one session in the wire format below)
+//! ```
+//!
+//! All integers little-endian; floats as IEEE-754 bits. The format is
+//! hand-rolled (rather than `serde_json` etc.) because a simulated year is
+//! ~10⁶ route points and the store is reloaded repeatedly while iterating
+//! on analyses. The length+CRC framing buys torn-write *salvage*: a
+//! flipped bit fails one record's checksum and a truncated tail fails the
+//! length check, so [`load_sessions_salvage`] recovers every record that
+//! still verifies instead of aborting the run (see [`SalvageReport`]).
+//! Writes are atomic everywhere via [`crate::integrity::write_atomic`].
 
-use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -15,89 +33,457 @@ use taxitrace_geo::{GeoPoint, Point};
 use taxitrace_roadnet::{ElementId, NodeId};
 use taxitrace_timebase::{Duration, Timestamp};
 use taxitrace_traces::{
-    CustomerTripTruth, PointTruth, RawTrip, RoutePoint, TaxiId, TripId,
+    CustomerTripTruth, PointTruth, RawTrip, RecordSpan, RoutePoint, TaxiId, TripId,
 };
 
+use crate::integrity::{crc32, write_atomic};
 use crate::StoreError;
 
-const MAGIC: [u8; 8] = *b"TTRS\x00\x00\x00\x01";
+/// Magic prefix of legacy v1 store files (read-only support).
+pub const MAGIC_V1: [u8; 8] = *b"TTRS\x00\x00\x00\x01";
+/// Magic prefix of v2 store files (the format written today).
+pub const MAGIC_V2: [u8; 8] = *b"TTRS\x00\x00\x00\x02";
 
-/// Writes sessions to `path`.
+/// v2 header size: magic + fingerprint + record count + header CRC.
+const V2_HEADER_LEN: usize = 8 + 8 + 8 + 4;
+/// v2 per-record frame: payload length + payload CRC.
+const V2_FRAME_LEN: usize = 8 + 4;
+/// v1 per-record frame: payload length only.
+const V1_FRAME_LEN: usize = 8;
+/// Cap on individually reported torn-tail records; a torn tail that loses
+/// more is summarised in the final damage entry so a corrupt header count
+/// cannot balloon the report.
+const MAX_TORN_DAMAGE: u64 = 4096;
+
+/// What went wrong with one damaged record (or the file header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DamageKind {
+    /// The record's framing was intact but its payload failed the CRC or
+    /// did not decode; the record was skipped and reading continued.
+    CorruptRecord,
+    /// The file ended mid-record (truncation / torn write); everything
+    /// from this record to the declared end is lost.
+    TornTail,
+    /// The header is unusable (bad magic, failed header CRC) or disagrees
+    /// with the file body (declared count vs. records present).
+    HeaderMismatch,
+}
+
+impl DamageKind {
+    /// Stable lowercase label (quarantine reasons, fsck output, metrics).
+    pub fn label(self) -> &'static str {
+        match self {
+            DamageKind::CorruptRecord => "corrupt_record",
+            DamageKind::TornTail => "torn_tail",
+            DamageKind::HeaderMismatch => "header_mismatch",
+        }
+    }
+}
+
+/// One damaged record (or header problem) found while reading a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordDamage {
+    /// Zero-based record index the damage was found at. For header-level
+    /// damage this is the index reading stopped at (0 for a bad magic).
+    pub index: u64,
+    /// Classification of the damage.
+    pub kind: DamageKind,
+    /// Human-readable specifics for the quarantine ledger / fsck report.
+    pub detail: String,
+}
+
+/// Integrity summary of one store file: what the header claims, what was
+/// actually recovered, and every piece of damage encountered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Container version (1 or 2; 0 when the magic was unrecognised).
+    pub version: u32,
+    /// Config fingerprint from the header (0 for v1 / untagged files).
+    pub fingerprint: u64,
+    /// Record count the header declares.
+    pub records_declared: u64,
+    /// Records that verified and decoded.
+    pub records_valid: u64,
+    /// Damage entries in file order; empty means the file is clean.
+    pub damage: Vec<RecordDamage>,
+}
+
+impl SalvageReport {
+    /// True when every declared record verified and nothing else was wrong.
+    pub fn is_clean(&self) -> bool {
+        self.damage.is_empty()
+    }
+}
+
+/// Result of a salvage read: every recoverable session plus the report.
+#[derive(Debug, Clone)]
+pub struct Salvage {
+    /// Sessions that verified and decoded, in file order.
+    pub sessions: Vec<RawTrip>,
+    /// Per-file integrity report.
+    pub report: SalvageReport,
+}
+
+/// Writes sessions to `path` as an untagged v2 container (fingerprint 0).
 pub fn save_sessions(path: &Path, sessions: &[RawTrip]) -> Result<(), StoreError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(&MAGIC)?;
-    w.write_all(&(sessions.len() as u64).to_le_bytes())?;
+    save_sessions_tagged(path, sessions, 0)
+}
+
+/// Writes sessions to `path` as a v2 container stamped with the given
+/// config fingerprint. The write is atomic: temp file + fsync + rename.
+pub fn save_sessions_tagged(
+    path: &Path,
+    sessions: &[RawTrip],
+    fingerprint: u64,
+) -> Result<(), StoreError> {
+    let count = checked_u64(sessions.len(), "session count")?;
+    let mut out = BytesMut::new();
+    out.put_slice(&MAGIC_V2);
+    out.put_u64_le(fingerprint);
+    out.put_u64_le(count);
+    let header_crc = crc32(&out);
+    out.put_u32_le(header_crc);
     let mut buf = BytesMut::new();
     for s in sessions {
         buf.clear();
-        encode_session(&mut buf, s);
-        w.write_all(&(buf.len() as u64).to_le_bytes())?;
-        w.write_all(&buf)?;
+        encode_session(&mut buf, s)?;
+        out.put_u64_le(checked_u64(buf.len(), "session record length")?);
+        out.put_u32_le(crc32(&buf));
+        out.put_slice(&buf);
     }
-    w.flush()?;
+    write_atomic(path, &out)?;
     Ok(())
 }
 
-/// Reads sessions from `path`.
-pub fn load_sessions(path: &Path) -> Result<Vec<RawTrip>, StoreError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)
-        .map_err(|_| StoreError::BadFormat("file too short for magic".into()))?;
-    if magic != MAGIC {
-        return Err(StoreError::BadFormat("magic mismatch".into()));
+/// Writes sessions in the legacy v1 layout (no checksums). Kept for
+/// compatibility fixtures and migration tests — new data should always go
+/// through [`save_sessions`]. Still published atomically.
+pub fn save_sessions_v1(path: &Path, sessions: &[RawTrip]) -> Result<(), StoreError> {
+    let mut out = BytesMut::new();
+    out.put_slice(&MAGIC_V1);
+    out.put_u64_le(checked_u64(sessions.len(), "session count")?);
+    let mut buf = BytesMut::new();
+    for s in sessions {
+        buf.clear();
+        encode_session(&mut buf, s)?;
+        out.put_u64_le(checked_u64(buf.len(), "session record length")?);
+        out.put_slice(&buf);
     }
-    let count = read_u64(&mut r)? as usize;
-    let mut sessions = Vec::with_capacity(count.min(1 << 20));
-    for _ in 0..count {
-        let len = read_u64(&mut r)? as usize;
-        let mut raw = vec![0u8; len];
-        r.read_exact(&mut raw)
-            .map_err(|_| StoreError::BadFormat("truncated session record".into()))?;
-        let mut bytes = Bytes::from(raw);
-        sessions.push(decode_session(&mut bytes)?);
-    }
-    Ok(sessions)
+    write_atomic(path, &out)?;
+    Ok(())
 }
 
-fn read_u64(r: &mut impl Read) -> Result<u64, StoreError> {
+/// Reads sessions from `path`, accepting v1 and v2 containers. Strict:
+/// any damage — CRC mismatch, truncation, header disagreement — is a
+/// [`StoreError::BadFormat`]. Use [`load_sessions_salvage`] to recover
+/// the verifiable records from a damaged file instead.
+pub fn load_sessions(path: &Path) -> Result<Vec<RawTrip>, StoreError> {
+    let salvage = load_sessions_salvage(path)?;
+    match salvage.report.damage.first() {
+        None => Ok(salvage.sessions),
+        Some(d) => Err(StoreError::BadFormat(format!(
+            "{} at record {}: {}",
+            d.kind.label(),
+            d.index,
+            d.detail
+        ))),
+    }
+}
+
+/// Reads sessions from `path`, recovering every record that verifies and
+/// reporting the rest as typed damage. Never fails on corrupt *content* —
+/// only on I/O errors reading the file. The worst case (unrecognised
+/// magic, failed header CRC) yields zero sessions and one
+/// [`DamageKind::HeaderMismatch`] entry.
+pub fn load_sessions_salvage(path: &Path) -> Result<Salvage, StoreError> {
+    let raw = std::fs::read(path)?;
+    Ok(salvage_bytes(&raw))
+}
+
+/// [`load_sessions_salvage`] over an in-memory image (fsck, tests).
+pub fn salvage_bytes(raw: &[u8]) -> Salvage {
+    let mut report = SalvageReport {
+        version: 0,
+        fingerprint: 0,
+        records_declared: 0,
+        records_valid: 0,
+        damage: Vec::new(),
+    };
+    let header = match parse_header(raw, &mut report) {
+        Some(h) => h,
+        None => return Salvage { sessions: Vec::new(), report },
+    };
+    let sessions = salvage_records(raw, header, &mut report);
+    report.records_valid = sessions.len() as u64;
+    Salvage { sessions, report }
+}
+
+/// Byte extents of each framed record in a store image (frame and
+/// payload offsets; see [`taxitrace_traces::RecordSpan`]). Fails on an
+/// unreadable header; used by the on-disk chaos injector to aim bit
+/// flips at record payloads and duplicate whole frames deterministically.
+pub fn record_spans(raw: &[u8]) -> Result<Vec<RecordSpan>, StoreError> {
+    let mut report = SalvageReport {
+        version: 0,
+        fingerprint: 0,
+        records_declared: 0,
+        records_valid: 0,
+        damage: Vec::new(),
+    };
+    let header = parse_header(raw, &mut report)
+        .ok_or_else(|| StoreError::BadFormat("unreadable store header".into()))?;
+    let frame = if header.version == 2 { V2_FRAME_LEN } else { V1_FRAME_LEN };
+    let mut spans = Vec::new();
+    let mut offset = header.body_start;
+    while raw.len() - offset >= frame {
+        let len = read_u64_at(raw, offset);
+        let payload_at = offset + frame;
+        let Some(end) = payload_end(payload_at, len, raw.len()) else { break };
+        spans.push(RecordSpan { frame_start: offset, payload_start: payload_at, end });
+        offset = end;
+    }
+    Ok(spans)
+}
+
+/// Parsed, verified container header.
+struct Header {
+    version: u32,
+    declared: u64,
+    body_start: usize,
+}
+
+fn parse_header(raw: &[u8], report: &mut SalvageReport) -> Option<Header> {
+    if raw.len() < 8 {
+        report.damage.push(RecordDamage {
+            index: 0,
+            kind: DamageKind::HeaderMismatch,
+            detail: format!("file too short for magic ({} bytes)", raw.len()),
+        });
+        return None;
+    }
+    let magic = &raw[..8];
+    if magic == MAGIC_V2 {
+        if raw.len() < V2_HEADER_LEN {
+            report.version = 2;
+            report.damage.push(RecordDamage {
+                index: 0,
+                kind: DamageKind::HeaderMismatch,
+                detail: format!("file too short for v2 header ({} bytes)", raw.len()),
+            });
+            return None;
+        }
+        report.version = 2;
+        let stored = u32::from_le_bytes([raw[24], raw[25], raw[26], raw[27]]);
+        let actual = crc32(&raw[..24]);
+        if stored != actual {
+            report.damage.push(RecordDamage {
+                index: 0,
+                kind: DamageKind::HeaderMismatch,
+                detail: format!("header CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"),
+            });
+            return None;
+        }
+        report.fingerprint = read_u64_at(raw, 8);
+        report.records_declared = read_u64_at(raw, 16);
+        Some(Header { version: 2, declared: report.records_declared, body_start: V2_HEADER_LEN })
+    } else if magic == MAGIC_V1 {
+        report.version = 1;
+        if raw.len() < 16 {
+            report.damage.push(RecordDamage {
+                index: 0,
+                kind: DamageKind::HeaderMismatch,
+                detail: format!("file too short for v1 header ({} bytes)", raw.len()),
+            });
+            return None;
+        }
+        report.records_declared = read_u64_at(raw, 8);
+        Some(Header { version: 1, declared: report.records_declared, body_start: 16 })
+    } else {
+        report.damage.push(RecordDamage {
+            index: 0,
+            kind: DamageKind::HeaderMismatch,
+            detail: "magic mismatch".into(),
+        });
+        None
+    }
+}
+
+/// Walks the record frames from `body_start`, decoding every record that
+/// verifies and classifying the rest. Reading continues past a corrupt
+/// record (its frame still delimits it) and stops only at a torn tail,
+/// where the frame itself can no longer be trusted.
+fn salvage_records(raw: &[u8], header: Header, report: &mut SalvageReport) -> Vec<RawTrip> {
+    let frame = if header.version == 2 { V2_FRAME_LEN } else { V1_FRAME_LEN };
+    let mut sessions = Vec::with_capacity(header.declared.min(1 << 20) as usize);
+    let mut offset = header.body_start;
+    let mut index: u64 = 0;
+    let mut torn: Option<String> = None;
+    // v1 readers always ignored bytes past the declared count (there is
+    // no trailing-content check to preserve), so only v2 reads on.
+    while offset < raw.len() && (header.version == 2 || index < header.declared) {
+        let remaining = raw.len() - offset;
+        if remaining < frame {
+            torn = Some(format!("{remaining} bytes left, record frame needs {frame}"));
+            break;
+        }
+        let len = read_u64_at(raw, offset);
+        let payload_at = offset + frame;
+        let Some(end) = payload_end(payload_at, len, raw.len()) else {
+            torn = Some(format!(
+                "record claims {len} bytes, only {} remain",
+                raw.len() - payload_at
+            ));
+            break;
+        };
+        let payload = &raw[payload_at..end];
+        if header.version == 2 {
+            let stored = u32::from_le_bytes([
+                raw[offset + 8],
+                raw[offset + 9],
+                raw[offset + 10],
+                raw[offset + 11],
+            ]);
+            let actual = crc32(payload);
+            if stored != actual {
+                report.damage.push(RecordDamage {
+                    index,
+                    kind: DamageKind::CorruptRecord,
+                    detail: format!(
+                        "payload CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"
+                    ),
+                });
+                offset = end;
+                index += 1;
+                continue;
+            }
+        }
+        let mut bytes = Bytes::copy_from_slice(payload);
+        match decode_session(&mut bytes) {
+            Ok(s) if header.version == 1 || bytes.remaining() == 0 => sessions.push(s),
+            Ok(_) => report.damage.push(RecordDamage {
+                index,
+                kind: DamageKind::CorruptRecord,
+                detail: format!("{} undecoded payload bytes", bytes.remaining()),
+            }),
+            Err(e) => report.damage.push(RecordDamage {
+                index,
+                kind: DamageKind::CorruptRecord,
+                detail: format!("payload does not decode: {e}"),
+            }),
+        }
+        offset = end;
+        index += 1;
+    }
+    if let Some(detail) = torn {
+        push_torn_tail(report, index, header.declared, &detail);
+    } else if index < header.declared {
+        // The file ends cleanly on a record boundary but short of the
+        // declared count — a truncation that happened to land between
+        // records is still a torn tail.
+        push_torn_tail(report, index, header.declared, "file ends before declared count");
+    } else if index > header.declared {
+        // v2-only by construction of the loop bound: the CRC-protected
+        // header disagrees with the body, which gained whole records
+        // (e.g. a duplicated record).
+        report.damage.push(RecordDamage {
+            index,
+            kind: DamageKind::HeaderMismatch,
+            detail: format!(
+                "header declares {} records, file holds {index}",
+                header.declared
+            ),
+        });
+    }
+    sessions
+}
+
+/// Reports every record from `index` to the declared end as lost (capped
+/// at [`MAX_TORN_DAMAGE`] entries so a corrupt count cannot balloon the
+/// report), keeping the quarantine ledger 1:1 with lost records.
+fn push_torn_tail(report: &mut SalvageReport, index: u64, declared: u64, detail: &str) {
+    let lost = declared.saturating_sub(index).max(1);
+    let reported = lost.min(MAX_TORN_DAMAGE);
+    for i in 0..reported {
+        let last = i + 1 == reported;
+        report.damage.push(RecordDamage {
+            index: index + i,
+            kind: DamageKind::TornTail,
+            detail: if i == 0 {
+                format!("torn tail: {detail}")
+            } else if last && lost > reported {
+                format!("lost in torn tail (+{} more records)", lost - reported)
+            } else {
+                "lost in torn tail".into()
+            },
+        });
+    }
+}
+
+fn read_u64_at(raw: &[u8], at: usize) -> u64 {
     let mut b = [0u8; 8];
-    r.read_exact(&mut b)
-        .map_err(|_| StoreError::BadFormat("truncated integer".into()))?;
-    Ok(u64::from_le_bytes(b))
+    b.copy_from_slice(&raw[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// End offset of a payload of `len` bytes starting at `payload_at`, or
+/// `None` when the declared length overruns the file (so a corrupt length
+/// can never trigger an allocation beyond the file size).
+fn payload_end(payload_at: usize, len: u64, file_len: usize) -> Option<usize> {
+    let len = usize::try_from(len).ok()?;
+    let end = payload_at.checked_add(len)?;
+    (end <= file_len).then_some(end)
+}
+
+fn checked_u64(n: usize, what: &str) -> Result<u64, StoreError> {
+    u64::try_from(n).map_err(|_| StoreError::BadFormat(format!("{what} {n} exceeds u64")))
+}
+
+fn checked_u32(n: usize, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(n).map_err(|_| StoreError::BadFormat(format!("{what} {n} exceeds u32")))
+}
+
+fn finite(v: f64, what: &str) -> Result<f64, StoreError> {
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(StoreError::BadFormat(format!("non-finite {what}: {v}")))
+    }
 }
 
 /// Encodes one session in the store's wire format (exposed so stage
-/// checkpoints can embed session payloads; see `checkpoint`).
-pub fn encode_session(buf: &mut BytesMut, s: &RawTrip) {
+/// checkpoints can embed session payloads; see `checkpoint`). Rejects
+/// non-finite floats and counts that overflow their wire width rather
+/// than writing a record that cannot round-trip.
+pub fn encode_session(buf: &mut BytesMut, s: &RawTrip) -> Result<(), StoreError> {
     buf.put_u64_le(s.id.0);
     buf.put_u8(s.taxi.0);
     buf.put_i64_le(s.start_time.secs());
     buf.put_i64_le(s.end_time.secs());
     buf.put_i64_le(s.total_time.secs());
-    buf.put_f64_le(s.total_distance_m);
-    buf.put_f64_le(s.total_fuel_ml);
-    buf.put_u32_le(s.points.len() as u32);
+    buf.put_f64_le(finite(s.total_distance_m, "total_distance_m")?);
+    buf.put_f64_le(finite(s.total_fuel_ml, "total_fuel_ml")?);
+    buf.put_u32_le(checked_u32(s.points.len(), "point count")?);
     for p in &s.points {
-        encode_point(buf, p);
+        encode_point(buf, p)?;
     }
-    buf.put_u32_le(s.truth_trips.len() as u32);
+    buf.put_u32_le(checked_u32(s.truth_trips.len(), "truth trip count")?);
     for t in &s.truth_trips {
-        encode_truth(buf, t);
+        encode_truth(buf, t)?;
     }
+    Ok(())
 }
 
 /// Encodes one route point (wire primitive for stage checkpoints).
-pub fn encode_point(buf: &mut BytesMut, p: &RoutePoint) {
+pub fn encode_point(buf: &mut BytesMut, p: &RoutePoint) -> Result<(), StoreError> {
     buf.put_u64_le(p.point_id);
-    buf.put_f64_le(p.geo.lon);
-    buf.put_f64_le(p.geo.lat);
-    buf.put_f64_le(p.pos.x);
-    buf.put_f64_le(p.pos.y);
+    buf.put_f64_le(finite(p.geo.lon, "geo.lon")?);
+    buf.put_f64_le(finite(p.geo.lat, "geo.lat")?);
+    buf.put_f64_le(finite(p.pos.x, "pos.x")?);
+    buf.put_f64_le(finite(p.pos.y, "pos.y")?);
     buf.put_i64_le(p.timestamp.secs());
-    buf.put_f64_le(p.speed_kmh);
-    buf.put_f64_le(p.heading_deg);
-    buf.put_f64_le(p.fuel_ml);
+    buf.put_f64_le(finite(p.speed_kmh, "speed_kmh")?);
+    buf.put_f64_le(finite(p.heading_deg, "heading_deg")?);
+    buf.put_f64_le(finite(p.fuel_ml, "fuel_ml")?);
     buf.put_u32_le(p.truth.seq);
     match p.truth.element {
         Some(e) => {
@@ -106,31 +492,37 @@ pub fn encode_point(buf: &mut BytesMut, p: &RoutePoint) {
         }
         None => buf.put_u8(0),
     }
+    Ok(())
 }
 
-fn encode_truth(buf: &mut BytesMut, t: &CustomerTripTruth) {
+fn encode_truth(buf: &mut BytesMut, t: &CustomerTripTruth) -> Result<(), StoreError> {
     buf.put_u32_le(t.start_seq);
     buf.put_u32_le(t.end_seq);
     buf.put_u32_le(t.origin.0);
     buf.put_u32_le(t.destination.0);
-    buf.put_u32_le(t.elements.len() as u32);
+    buf.put_u32_le(checked_u32(t.elements.len(), "truth element count")?);
     for e in &t.elements {
         buf.put_u64_le(e.0);
     }
     match &t.od_pair {
         Some((a, b)) => {
             buf.put_u8(1);
-            put_str(buf, a);
-            put_str(buf, b);
+            put_str(buf, a)?;
+            put_str(buf, b)?;
         }
         None => buf.put_u8(0),
     }
+    Ok(())
 }
 
-/// Writes a u16-length-prefixed UTF-8 string (wire primitive).
-pub fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u16_le(s.len() as u16);
+/// Writes a u16-length-prefixed UTF-8 string (wire primitive). Fails on
+/// strings longer than the u16 width can frame.
+pub fn put_str(buf: &mut BytesMut, s: &str) -> Result<(), StoreError> {
+    let len = u16::try_from(s.len())
+        .map_err(|_| StoreError::BadFormat(format!("string length {} exceeds u16", s.len())))?;
+    buf.put_u16_le(len);
     buf.put_slice(s.as_bytes());
+    Ok(())
 }
 
 /// Decodes one session from the store's wire format.
@@ -142,12 +534,12 @@ pub fn decode_session(b: &mut Bytes) -> Result<RawTrip, StoreError> {
     let total_time = Duration::from_secs(take_i64(b)?);
     let total_distance_m = take_f64(b)?;
     let total_fuel_ml = take_f64(b)?;
-    let np = take_u32(b)? as usize;
+    let np = take_count(b, 77, "point count")?;
     let mut points = Vec::with_capacity(np);
     for _ in 0..np {
         points.push(decode_point(b, id, taxi)?);
     }
-    let nt = take_u32(b)? as usize;
+    let nt = take_count(b, 21, "truth trip count")?;
     let mut truth_trips = Vec::with_capacity(nt);
     for _ in 0..nt {
         truth_trips.push(decode_truth(b)?);
@@ -163,6 +555,20 @@ pub fn decode_session(b: &mut Bytes) -> Result<RawTrip, StoreError> {
         total_fuel_ml,
         truth_trips,
     })
+}
+
+/// Reads a u32 element count and validates it against the bytes that
+/// remain, given a minimum encoded size per element — a corrupt count can
+/// therefore never drive an allocation past the record it came from.
+fn take_count(b: &mut Bytes, min_elem_size: usize, what: &str) -> Result<usize, StoreError> {
+    let n = take_u32(b)? as usize;
+    if n.saturating_mul(min_elem_size) > b.remaining() {
+        return Err(StoreError::BadFormat(format!(
+            "{what} {n} exceeds remaining {} bytes",
+            b.remaining()
+        )));
+    }
+    Ok(n)
 }
 
 /// Decodes one route point; `trip_id`/`taxi` come from the enclosing
@@ -190,7 +596,7 @@ fn decode_truth(b: &mut Bytes) -> Result<CustomerTripTruth, StoreError> {
     let end_seq = take_u32(b)?;
     let origin = NodeId(take_u32(b)?);
     let destination = NodeId(take_u32(b)?);
-    let ne = take_u32(b)? as usize;
+    let ne = take_count(b, 8, "truth element count")?;
     let mut elements = Vec::with_capacity(ne);
     for _ in 0..ne {
         elements.push(ElementId(take_u64(b)?));
@@ -277,11 +683,30 @@ mod tests {
         }
     }
 
+    fn sample_sessions(n: u64) -> Vec<RawTrip> {
+        (0..n)
+            .map(|i| {
+                let mut s = sample_session();
+                s.id = TripId(100 + i);
+                for p in &mut s.points {
+                    p.trip_id = s.id;
+                }
+                s
+            })
+            .collect()
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("taxitrace_codec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn round_trip_in_memory() {
         let s = sample_session();
         let mut buf = BytesMut::new();
-        encode_session(&mut buf, &s);
+        encode_session(&mut buf, &s).unwrap();
         let mut bytes = buf.freeze();
         let back = decode_session(&mut bytes).unwrap();
         assert_eq!(back, s);
@@ -292,7 +717,7 @@ mod tests {
     fn truncation_is_detected() {
         let s = sample_session();
         let mut buf = BytesMut::new();
-        encode_session(&mut buf, &s);
+        encode_session(&mut buf, &s).unwrap();
         for cut in [1usize, 8, 20, buf.len() / 2, buf.len() - 1] {
             let mut bytes = Bytes::copy_from_slice(&buf[..cut]);
             assert!(
@@ -304,22 +729,186 @@ mod tests {
 
     #[test]
     fn file_round_trip_many_sessions() {
-        let dir = std::env::temp_dir().join("taxitrace_codec_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("many.tts");
-        let sessions: Vec<RawTrip> = (0..10)
-            .map(|i| {
-                let mut s = sample_session();
-                s.id = TripId(100 + i);
-                for p in &mut s.points {
-                    p.trip_id = s.id;
-                }
-                s
-            })
-            .collect();
+        let path = tmp_path("many.tts");
+        let sessions = sample_sessions(10);
         save_sessions(&path, &sessions).unwrap();
         let loaded = load_sessions(&path).unwrap();
         assert_eq!(loaded, sessions);
+        // A clean file salvages to the same content with a clean report.
+        let salvage = load_sessions_salvage(&path).unwrap();
+        assert!(salvage.report.is_clean());
+        assert_eq!(salvage.report.version, 2);
+        assert_eq!(salvage.report.records_declared, 10);
+        assert_eq!(salvage.report.records_valid, 10);
+        assert_eq!(salvage.sessions, sessions);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let path = tmp_path("legacy.tts");
+        let sessions = sample_sessions(4);
+        save_sessions_v1(&path, &sessions).unwrap();
+        assert_eq!(load_sessions(&path).unwrap(), sessions);
+        let salvage = load_sessions_salvage(&path).unwrap();
+        assert!(salvage.report.is_clean());
+        assert_eq!(salvage.report.version, 1);
+        assert_eq!(salvage.report.fingerprint, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_round_trips() {
+        let path = tmp_path("tagged.tts");
+        save_sessions_tagged(&path, &sample_sessions(2), 0xFEED_F00D).unwrap();
+        let salvage = load_sessions_salvage(&path).unwrap();
+        assert_eq!(salvage.report.fingerprint, 0xFEED_F00D);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_finite_floats_are_rejected_on_encode() {
+        let mut s = sample_session();
+        s.total_distance_m = f64::NAN;
+        let mut buf = BytesMut::new();
+        assert!(matches!(encode_session(&mut buf, &s), Err(StoreError::BadFormat(_))));
+        let mut s = sample_session();
+        s.points[2].speed_kmh = f64::INFINITY;
+        buf.clear();
+        assert!(matches!(encode_session(&mut buf, &s), Err(StoreError::BadFormat(_))));
+    }
+
+    #[test]
+    fn corrupt_count_does_not_overallocate() {
+        // A session header declaring u32::MAX points must fail the
+        // count-vs-remaining check instead of allocating gigabytes.
+        let mut buf = BytesMut::new();
+        encode_session(&mut buf, &sample_session()).unwrap();
+        let mut raw = buf.to_vec();
+        // Point count lives after id(8)+taxi(1)+3×i64(24)+2×f64(16) = 49.
+        raw[49..53].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = Bytes::from(raw);
+        let err = decode_session(&mut bytes).unwrap_err();
+        assert!(matches!(err, StoreError::BadFormat(_)));
+        assert!(err.to_string().contains("point count"), "{err}");
+    }
+
+    #[test]
+    fn bit_flip_salvages_all_but_one_record() {
+        let path = tmp_path("flip.tts");
+        let sessions = sample_sessions(8);
+        save_sessions(&path, &sessions).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        let spans = record_spans(&raw).unwrap();
+        assert_eq!(spans.len(), 8);
+        // Flip one bit in the middle of record 3's payload.
+        let mid = (spans[3].payload_start + spans[3].end) / 2;
+        raw[mid] ^= 0x10;
+        let salvage = salvage_bytes(&raw);
+        assert_eq!(salvage.report.records_valid, 7);
+        assert_eq!(salvage.report.damage.len(), 1);
+        assert_eq!(salvage.report.damage[0].index, 3);
+        assert_eq!(salvage.report.damage[0].kind, DamageKind::CorruptRecord);
+        let kept: Vec<_> = salvage.sessions.iter().map(|s| s.id.0).collect();
+        assert_eq!(kept, [100, 101, 102, 104, 105, 106, 107]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_salvages_prefix() {
+        let path = tmp_path("torn.tts");
+        let sessions = sample_sessions(5);
+        save_sessions(&path, &sessions).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        let spans = record_spans(&raw).unwrap();
+        // Chop mid-way through the final record's payload.
+        let cut = spans[4].payload_start + (spans[4].end - spans[4].payload_start) / 2;
+        let salvage = salvage_bytes(&raw[..cut]);
+        assert_eq!(salvage.report.records_valid, 4);
+        assert_eq!(salvage.report.damage.len(), 1);
+        assert_eq!(salvage.report.damage[0].index, 4);
+        assert_eq!(salvage.report.damage[0].kind, DamageKind::TornTail);
+        // Strict load refuses the same bytes.
+        std::fs::write(&path, &raw[..cut]).unwrap();
+        assert!(matches!(load_sessions(&path), Err(StoreError::BadFormat(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_reports_every_lost_record() {
+        let path = tmp_path("torn-many.tts");
+        let sessions = sample_sessions(6);
+        save_sessions(&path, &sessions).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        let spans = record_spans(&raw).unwrap();
+        // Chop inside record 2: records 2..6 are lost, 4 damage entries.
+        let cut = spans[2].payload_start + 3;
+        let salvage = salvage_bytes(&raw[..cut]);
+        assert_eq!(salvage.report.records_valid, 2);
+        assert_eq!(salvage.report.damage.len(), 4);
+        for (i, d) in salvage.report.damage.iter().enumerate() {
+            assert_eq!(d.kind, DamageKind::TornTail);
+            assert_eq!(d.index, 2 + i as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_header_is_header_mismatch() {
+        let path = tmp_path("garbage.tts");
+        save_sessions(&path, &sample_sessions(3)).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[0] = b'X';
+        let salvage = salvage_bytes(&raw);
+        assert_eq!(salvage.report.records_valid, 0);
+        assert_eq!(salvage.report.damage.len(), 1);
+        assert_eq!(salvage.report.damage[0].kind, DamageKind::HeaderMismatch);
+        // A flipped bit *inside* the v2 header (count field) fails the
+        // header CRC rather than being trusted.
+        let mut raw2 = std::fs::read(&path).unwrap();
+        raw2[16] ^= 0x01;
+        let salvage2 = salvage_bytes(&raw2);
+        assert_eq!(salvage2.report.damage[0].kind, DamageKind::HeaderMismatch);
+        assert!(salvage2.report.damage[0].detail.contains("header CRC"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn duplicated_record_is_flagged_not_fatal() {
+        let path = tmp_path("dup.tts");
+        let sessions = sample_sessions(3);
+        save_sessions(&path, &sessions).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        let spans = record_spans(&raw).unwrap();
+        // Duplicate record 1 (frame + payload) in place.
+        let mut dup = raw[..spans[1].end].to_vec();
+        dup.extend_from_slice(&raw[spans[1].frame_start..spans[1].end]);
+        dup.extend_from_slice(&raw[spans[1].end..]);
+        let salvage = salvage_bytes(&dup);
+        // All four physical records decode; the count disagreement is
+        // reported as header damage.
+        assert_eq!(salvage.report.records_valid, 4);
+        assert_eq!(salvage.report.damage.len(), 1);
+        assert_eq!(salvage.report.damage[0].kind, DamageKind::HeaderMismatch);
+        let ids: Vec<_> = salvage.sessions.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, [100, 101, 101, 102]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_torn_tail_salvages_prefix() {
+        let path = tmp_path("torn-v1.tts");
+        let sessions = sample_sessions(4);
+        save_sessions_v1(&path, &sessions).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        let salvage = salvage_bytes(&raw[..raw.len() - 7]);
+        assert_eq!(salvage.report.version, 1);
+        assert_eq!(salvage.report.records_valid, 3);
+        assert!(salvage
+            .report
+            .damage
+            .iter()
+            .all(|d| d.kind == DamageKind::TornTail));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -1,0 +1,126 @@
+//! Byte-level integrity primitives shared by every on-disk container:
+//! a dependency-free CRC-32 and an atomic publish-by-rename writer.
+//!
+//! The v2 container formats ([`crate::codec`], [`crate::checkpoint`])
+//! frame every record with a length and a CRC-32 of its payload, the
+//! standard durability recipe of write-ahead logs and log-structured
+//! stores: a flipped bit fails the record's checksum instead of
+//! producing silently wrong decodes, and a torn tail fails the length
+//! check instead of reading garbage. Checksums make damage *detectable*;
+//! [`write_atomic`] makes fresh damage *unlikely* — data reaches the
+//! final name only after a full write, an fsync, and a rename, so a
+//! mid-write kill leaves the previous file (or none), never half of the
+//! new one.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected — the same parametrisation
+/// as zlib/PNG/gzip), table-driven and computed without any dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(CRC32_INIT, bytes) ^ CRC32_XOROUT
+}
+
+/// Streaming form of [`crc32`]: seed with [`CRC32_INIT`], fold chunks,
+/// finish by XOR-ing [`CRC32_XOROUT`].
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut crc = state;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Initial CRC-32 state (all ones).
+pub const CRC32_INIT: u32 = 0xFFFF_FFFF;
+/// Final XOR applied to the CRC-32 state.
+pub const CRC32_XOROUT: u32 = 0xFFFF_FFFF;
+
+/// The reflected CRC-32 lookup table, built at compile time.
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Writes `bytes` to `path` atomically: the data goes to a `.tmp`
+/// sibling, is flushed *and fsynced*, and only then renamed over the
+/// final name. A kill at any instant leaves either the previous file or
+/// no file under `path` — never a torn one. Every store/checkpoint
+/// writer in this crate publishes through here.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Best-effort directory fsync so the rename itself is durable; not
+    // all platforms/filesystems support syncing a directory handle.
+    if let Some(dir) = path.parent() {
+        if let Ok(handle) = fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        // Streaming folds equal the one-shot digest.
+        let state = crc32_update(CRC32_INIT, b"12345");
+        let state = crc32_update(state, b"6789");
+        assert_eq!(state ^ CRC32_XOROUT, crc32(b"123456789"));
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut data = vec![0u8; 256];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let clean = crc32(&data);
+        for byte in [0usize, 100, 255] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_tmp_and_replaces_content() {
+        let dir = std::env::temp_dir().join("taxitrace-integrity-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("payload.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer payload").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second, longer payload");
+        assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

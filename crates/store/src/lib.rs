@@ -10,21 +10,30 @@
 //!   by taxi, trip id, session start time, and a spatial grid index over
 //!   route points;
 //! * [`Query`] — a small composable filter (taxi + time window + bbox);
-//! * [`codec`] — a versioned binary file format so a simulated year can be
-//!   generated once and re-analysed many times;
+//! * [`codec`] — a versioned binary file format (checksummed v2 container,
+//!   legacy v1 read-only) so a simulated year can be generated once and
+//!   re-analysed many times, with torn-write salvage instead of abort;
 //! * [`checkpoint`] — a named-section container with a config fingerprint
-//!   and atomic rename publication, backing stage checkpoint/resume.
+//!   and atomic rename publication, backing stage checkpoint/resume;
+//! * [`integrity`] — the dependency-free CRC-32 and the temp-file+fsync+
+//!   rename writer every container publishes through;
+//! * [`fsck`] — offline scan/repair over store and checkpoint files.
 
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
 pub mod checkpoint;
 pub mod codec;
+pub mod fsck;
+pub mod integrity;
 mod query;
 mod store;
 
 pub use checkpoint::{
     load_checkpoint, save_checkpoint, CheckpointFile, CHECKPOINT_MAGIC,
+    CHECKPOINT_MAGIC_V2,
 };
+pub use codec::{DamageKind, RecordDamage, Salvage, SalvageReport};
+pub use fsck::{fsck_path, FileKind, FsckReport};
 pub use query::Query;
 pub use store::{StoreError, StoreStats, TripStore};

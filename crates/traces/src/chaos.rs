@@ -23,6 +23,28 @@ use crate::rng::Rng;
 /// simulator's and weather's seed derivations).
 const CHAOS_SEED_SALT: u64 = 0xC4A0_5F41;
 
+/// Domain-separation constant for the on-disk corruption RNG stream
+/// (distinct from the trace-fault stream so adding disk faults to a plan
+/// never reshuffles its trace faults).
+const DISK_SEED_SALT: u64 = 0xD15C_C0DE;
+
+/// Byte extent of one framed record inside a serialized container image,
+/// as reported by the storage layer: `frame_start..end` spans the whole
+/// record including its length/CRC framing, `payload_start..end` only the
+/// payload bytes. The on-disk injectors aim bit flips at payloads (so a
+/// flip damages exactly one record, not the framing that delimits its
+/// neighbours) and duplicate whole frames (so a duplicated record parses
+/// as a record, like a double upload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Start of the record frame (the length word).
+    pub frame_start: usize,
+    /// Start of the payload, after the framing.
+    pub payload_start: usize,
+    /// End of the record, exclusive.
+    pub end: usize,
+}
+
 /// Which trace-level fault a session received.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InjectedFault {
@@ -94,6 +116,16 @@ pub struct FaultPlan {
     pub error_budget: Option<f64>,
     /// Override of the executor's per-task attempt bound.
     pub max_task_attempts: Option<u32>,
+    /// On-disk: seeded single-bit flips applied to a container image by
+    /// [`Self::corrupt_file`] (0 = off).
+    pub disk_bit_flips: u32,
+    /// On-disk: bytes chopped off the container tail (0 = off).
+    pub disk_truncate_bytes: u64,
+    /// On-disk: duplicate one seeded record frame in place (a double
+    /// upload at the storage layer).
+    pub disk_duplicate_record: bool,
+    /// On-disk: overwrite the container magic with seeded garbage.
+    pub disk_garbage_header: bool,
 }
 
 impl Default for FaultPlan {
@@ -115,6 +147,10 @@ impl Default for FaultPlan {
             gap_fill_max_expansions: None,
             error_budget: None,
             max_task_attempts: None,
+            disk_bit_flips: 0,
+            disk_truncate_bytes: 0,
+            disk_duplicate_record: false,
+            disk_garbage_header: false,
         }
     }
 }
@@ -126,6 +162,72 @@ impl FaultPlan {
             || self.p_clock_freeze > 0.0
             || self.p_stuck > 0.0
             || self.p_dropout > 0.0
+    }
+
+    /// Whether the plan injects any on-disk corruption.
+    pub fn has_disk_faults(&self) -> bool {
+        self.disk_bit_flips > 0
+            || self.disk_truncate_bytes > 0
+            || self.disk_duplicate_record
+            || self.disk_garbage_header
+    }
+
+    /// Applies the plan's on-disk faults to a serialized container image,
+    /// deterministically: the same plan, `salt`, image, and spans always
+    /// produce the same corrupted bytes. `records` comes from the storage
+    /// layer (`taxitrace-store`'s `codec::record_spans`); with an empty
+    /// span list, bit flips land anywhere in the image instead of being
+    /// aimed at record payloads, and duplication is skipped. Returns the
+    /// label of each fault actually applied, in application order.
+    pub fn corrupt_file(
+        &self,
+        salt: u64,
+        bytes: &mut Vec<u8>,
+        records: &[RecordSpan],
+    ) -> Vec<&'static str> {
+        let mut applied = Vec::new();
+        if !self.has_disk_faults() || bytes.is_empty() {
+            return applied;
+        }
+        let mut rng = Rng::new(self.seed ^ DISK_SEED_SALT).fork(salt.wrapping_add(1));
+        // Bit flips first, aimed inside payload spans (offsets stay valid
+        // because flips do not move bytes).
+        let payloads: Vec<&RecordSpan> =
+            records.iter().filter(|r| r.end > r.payload_start).collect();
+        for _ in 0..self.disk_bit_flips {
+            let offset = if payloads.is_empty() {
+                rng.below(bytes.len())
+            } else {
+                let r = payloads[rng.below(payloads.len())];
+                r.payload_start + rng.below(r.end - r.payload_start)
+            };
+            bytes[offset] ^= 1 << rng.below(8);
+        }
+        applied.extend(std::iter::repeat_n("disk_bit_flip", self.disk_bit_flips as usize));
+        // Duplicate one whole frame in place (shifts everything after the
+        // insertion point, hence after the flips).
+        if self.disk_duplicate_record && !records.is_empty() {
+            let r = &records[rng.below(records.len())];
+            let copy = bytes[r.frame_start..r.end].to_vec();
+            let tail = bytes.split_off(r.end);
+            bytes.extend_from_slice(&copy);
+            bytes.extend_from_slice(&tail);
+            applied.push("disk_duplicate_record");
+        }
+        if self.disk_truncate_bytes > 0 {
+            let cut = usize::try_from(self.disk_truncate_bytes)
+                .unwrap_or(usize::MAX)
+                .min(bytes.len());
+            bytes.truncate(bytes.len() - cut);
+            applied.push("disk_truncate");
+        }
+        if self.disk_garbage_header {
+            for b in bytes.iter_mut().take(8) {
+                *b = rng.below(256) as u8;
+            }
+            applied.push("disk_garbage_header");
+        }
+        applied
     }
 
     /// The chaos RNG stream for one session, a pure function of the plan
@@ -286,6 +388,18 @@ impl FaultPlan {
                 "max_task_attempts" => {
                     plan.max_task_attempts = Some(value.parse().map_err(|_| bad("u32"))?)
                 }
+                "disk_bit_flips" => {
+                    plan.disk_bit_flips = value.parse().map_err(|_| bad("u32"))?
+                }
+                "disk_truncate_bytes" => {
+                    plan.disk_truncate_bytes = value.parse().map_err(|_| bad("u64"))?
+                }
+                "disk_duplicate_record" => {
+                    plan.disk_duplicate_record = value.parse().map_err(|_| bad("bool"))?
+                }
+                "disk_garbage_header" => {
+                    plan.disk_garbage_header = value.parse().map_err(|_| bad("bool"))?
+                }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
         }
@@ -428,6 +542,94 @@ mod tests {
         // Ids renumbered contiguously.
         let ids: Vec<u64> = points.iter().map(|p| p.point_id).collect();
         assert_eq!(ids, (0..points.len() as u64).collect::<Vec<u64>>());
+    }
+
+    fn fake_image() -> (Vec<u8>, Vec<RecordSpan>) {
+        // A toy container: 16-byte header, then 4 records of 12-byte
+        // frame + 20-byte payload.
+        let mut bytes = vec![0xAAu8; 16];
+        let mut spans = Vec::new();
+        for i in 0..4u8 {
+            let frame_start = bytes.len();
+            bytes.extend_from_slice(&[i; 12]);
+            let payload_start = bytes.len();
+            bytes.extend_from_slice(&[0x10 + i; 20]);
+            spans.push(RecordSpan { frame_start, payload_start, end: bytes.len() });
+        }
+        (bytes, spans)
+    }
+
+    #[test]
+    fn disk_faults_are_deterministic_and_aimed() {
+        let plan = FaultPlan { disk_bit_flips: 3, ..FaultPlan::default() };
+        let (clean, spans) = fake_image();
+        let mut a = clean.clone();
+        let mut b = clean.clone();
+        assert_eq!(
+            plan.corrupt_file(7, &mut a, &spans),
+            ["disk_bit_flip", "disk_bit_flip", "disk_bit_flip"]
+        );
+        plan.corrupt_file(7, &mut b, &spans);
+        assert_eq!(a, b, "same salt, same corruption");
+        let mut c = clean.clone();
+        plan.corrupt_file(8, &mut c, &spans);
+        assert_ne!(a, c, "different salt, different corruption");
+        // Every changed byte lies inside a payload span.
+        for (i, (x, y)) in clean.iter().zip(&a).enumerate() {
+            if x != y {
+                assert!(
+                    spans.iter().any(|s| i >= s.payload_start && i < s.end),
+                    "flip at {i} outside payloads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_duplicate_and_truncate_and_garbage() {
+        let (clean, spans) = fake_image();
+        let plan = FaultPlan { disk_duplicate_record: true, ..FaultPlan::default() };
+        let mut img = clean.clone();
+        assert_eq!(plan.corrupt_file(1, &mut img, &spans), ["disk_duplicate_record"]);
+        assert_eq!(img.len(), clean.len() + 32, "one frame+payload duplicated");
+
+        let plan = FaultPlan { disk_truncate_bytes: 10, ..FaultPlan::default() };
+        let mut img = clean.clone();
+        assert_eq!(plan.corrupt_file(1, &mut img, &spans), ["disk_truncate"]);
+        assert_eq!(img.len(), clean.len() - 10);
+        assert_eq!(img[..], clean[..clean.len() - 10]);
+
+        let plan = FaultPlan { disk_garbage_header: true, ..FaultPlan::default() };
+        let mut img = clean.clone();
+        assert_eq!(plan.corrupt_file(1, &mut img, &spans), ["disk_garbage_header"]);
+        assert_ne!(img[..8], clean[..8]);
+        assert_eq!(img[8..], clean[8..]);
+    }
+
+    #[test]
+    fn default_plan_leaves_disk_untouched() {
+        let plan = FaultPlan::default();
+        assert!(!plan.has_disk_faults());
+        let (clean, spans) = fake_image();
+        let mut img = clean.clone();
+        assert!(plan.corrupt_file(0, &mut img, &spans).is_empty());
+        assert_eq!(img, clean);
+    }
+
+    #[test]
+    fn disk_keys_parse() {
+        let plan = FaultPlan::parse(
+            "seed 5\ndisk_bit_flips 2\ndisk_truncate_bytes 37\n\
+             disk_duplicate_record true\ndisk_garbage_header false\n",
+        )
+        .unwrap();
+        assert_eq!(plan.disk_bit_flips, 2);
+        assert_eq!(plan.disk_truncate_bytes, 37);
+        assert!(plan.disk_duplicate_record);
+        assert!(!plan.disk_garbage_header);
+        assert!(plan.has_disk_faults());
+        assert!(!plan.has_trace_faults());
+        assert!(FaultPlan::parse("disk_bit_flips maybe\n").is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod rng;
 pub mod sampler;
 pub mod simulator;
 
-pub use chaos::{FaultPlan, InjectedFault};
+pub use chaos::{FaultPlan, InjectedFault, RecordSpan};
 pub use corruption::{AppliedCorruption, CorruptionConfig};
 pub use driver::{season_speed_factor, DriverProfile};
 pub use fuel::FuelModel;
