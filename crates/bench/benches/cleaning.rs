@@ -3,7 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use taxitrace_bench::{bench_city, bench_fleet};
-use taxitrace_cleaning::{clean_session, repair_order, CleaningConfig};
+use taxitrace_cleaning::{
+    clean_session, repair_order, segment_columns, segment_session_reference, CleaningConfig,
+    SegmentationConfig,
+};
+use taxitrace_traces::TraceColumns;
 
 fn cleaning_benches(c: &mut Criterion) {
     let city = bench_city();
@@ -43,6 +47,25 @@ fn cleaning_benches(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // A/B: Table 2 segmentation over the original array-of-structs point
+    // slice versus the struct-of-arrays column buffer the pipeline now
+    // builds. `soa_columns` measures the rule scan alone (columns already
+    // gathered, as in the cleaning pipeline); `soa_gather_and_scan` charges
+    // the gather too, the worst case for a caller that only segments once.
+    let seg_cfg = SegmentationConfig::default();
+    let ordered = repair_order(&session.points).0;
+    let cols = TraceColumns::from_points(&ordered);
+    let mut ab = c.benchmark_group("segmentation_ab");
+    ab.throughput(criterion::Throughput::Elements(ordered.len() as u64));
+    ab.bench_function("aos_reference", |b| {
+        b.iter(|| segment_session_reference(&ordered, &seg_cfg))
+    });
+    ab.bench_function("soa_columns", |b| b.iter(|| segment_columns(&cols, &seg_cfg)));
+    ab.bench_function("soa_gather_and_scan", |b| {
+        b.iter(|| segment_columns(&TraceColumns::from_points(&ordered), &seg_cfg))
+    });
+    ab.finish();
 }
 
 criterion_group!(benches, cleaning_benches);

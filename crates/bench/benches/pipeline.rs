@@ -20,6 +20,25 @@ fn pipeline_benches(c: &mut Criterion) {
         b.iter(|| simulate_fleet(&city, &weather, &cfg).total_points())
     });
 
+    // A/B of the sharded (taxi, day) simulation across worker counts. The
+    // RNG streams are derived per shard, so the output is identical at any
+    // thread count; only the wall clock should move. On a single-core host
+    // the multi-worker arm measures oversubscription overhead, not speedup
+    // — read it together with BENCH_pipeline.json's `simulate_matrix`.
+    {
+        let city = bench_city();
+        let weather = WeatherModel::new(5);
+        let cfg = FleetConfig { scale: 0.02, ..FleetConfig::default() };
+        let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        for workers in [1, machine.max(2)] {
+            group.bench_function(&format!("fleet_simulation_2pct_threads_{workers}"), |b| {
+                taxitrace_exec::set_max_workers(workers);
+                b.iter(|| simulate_fleet(&city, &weather, &cfg).total_points())
+            });
+        }
+        taxitrace_exec::set_max_workers(0);
+    }
+
     group.bench_function("full_study_2pct", |b| {
         b.iter(|| {
             let out = Study::new(StudyConfig::scaled(5, 0.02)).run().expect("study runs");

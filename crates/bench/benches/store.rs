@@ -1,9 +1,15 @@
 //! Trip-store benchmarks: ingest, keyed access, time scans and spatial
-//! queries (the PostGIS-role workload).
+//! queries (the PostGIS-role workload), plus the container codec A/B —
+//! sequential v2 salvage scan versus v3 offset-index seek reads.
 
+use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use taxitrace_bench::{bench_city, bench_fleet};
 use taxitrace_geo::{BBox, Point};
+use taxitrace_store::codec::{
+    load_sessions_indexed_bytes, read_session_indexed, salvage_bytes, save_sessions_tagged,
+    save_sessions_v2_tagged,
+};
 use taxitrace_store::{Query, TripStore};
 use taxitrace_timebase::{study_period_start, Duration};
 use taxitrace_traces::TaxiId;
@@ -56,6 +62,50 @@ fn store_benches(c: &mut Criterion) {
     });
 
     group.finish();
+
+    // Container codec A/B: the same fleet serialized in the pre-index v2
+    // layout (sequential CRC scan to load) and the v3 layout (offset index,
+    // seek + zero-copy payload decode). `single_record` compares fetching
+    // the *last* record — the scan's worst case, the index's constant case.
+    let dir = std::env::temp_dir().join(format!("taxitrace-bench-codec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let v2_path = dir.join("fleet.v2.ttrs");
+    let v3_path = dir.join("fleet.v3.ttrs");
+    save_sessions_v2_tagged(&v2_path, &sessions, 7).expect("write v2");
+    save_sessions_tagged(&v3_path, &sessions, 7).expect("write v3");
+    let v2_raw = Bytes::from(std::fs::read(&v2_path).expect("read v2"));
+    let v3_raw = Bytes::from(std::fs::read(&v3_path).expect("read v3"));
+    let last = sessions.len() - 1;
+
+    let mut codec = c.benchmark_group("codec_ab");
+    codec.throughput(criterion::Throughput::Bytes(v3_raw.len() as u64));
+    codec.bench_function("full_load_v2_scan", |b| {
+        b.iter(|| salvage_bytes(&v2_raw).sessions.len())
+    });
+    codec.bench_function("full_load_v3_indexed", |b| {
+        b.iter(|| {
+            load_sessions_indexed_bytes(&v3_raw)
+                .expect("clean image")
+                .expect("v3 image")
+                .sessions
+                .len()
+        })
+    });
+    codec.bench_function("single_record_v2_scan", |b| {
+        b.iter(|| salvage_bytes(&v2_raw).sessions[last].points.len())
+    });
+    codec.bench_function("single_record_v3_seek", |b| {
+        b.iter(|| {
+            read_session_indexed(&v3_raw, last)
+                .expect("clean image")
+                .expect("in range")
+                .points
+                .len()
+        })
+    });
+    codec.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 criterion_group!(benches, store_benches);

@@ -9,9 +9,16 @@
 //! ablation-rules ablation-grid all`.
 //!
 //! `--bench-json <path>` additionally writes per-stage wall-clock timings,
-//! the gap-fill cache hit rate and the worker-thread count as JSON (see
-//! `BENCH_pipeline.json` for a committed example). It changes nothing on
-//! stdout/stderr, so baseline comparisons stay byte-exact.
+//! the gap-fill cache hit rate, the worker-thread count, a
+//! `simulate_matrix` (fleet simulation walls at relative scale 1/10/100 ×
+//! threads 1/N, each row FNV-fingerprinted so thread-count invariance is
+//! checkable) and a `study_fingerprint` of the full pipeline output as
+//! JSON (see `BENCH_pipeline.json` for a committed example). It changes
+//! nothing on stdout/stderr, so baseline comparisons stay byte-exact.
+//!
+//! `--threads N` pins the worker pool (oversubscription allowed, so
+//! multi-worker interleavings are exercisable on any host); the default
+//! sizes workers to the machine.
 //!
 //! `--metrics <table|json|prometheus>` renders the study's full
 //! observability snapshot — stage/sub-stage spans, per-stage counters,
@@ -75,6 +82,8 @@ struct Args {
     store: Option<String>,
     /// `fsck --repair`: rewrite/remove damaged files.
     repair: bool,
+    /// Worker-pool override (`--threads N`); `None` sizes to the machine.
+    threads: Option<usize>,
 }
 
 impl Args {
@@ -95,6 +104,7 @@ fn parse_args() -> Args {
     let mut checkpoint_dir = None;
     let mut store = None;
     let mut repair = false;
+    let mut threads = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -136,13 +146,21 @@ fn parse_args() -> Args {
                 store = Some(it.next().unwrap_or_else(|| die("--store needs a path")));
             }
             "--repair" => repair = true,
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--threads needs a positive integer")),
+                );
+            }
             "--help" | "-h" => die(
-                "usage: repro [--seed N] [--scale F] [--bench-json PATH] \
+                "usage: repro [--seed N] [--scale F] [--threads N] [--bench-json PATH] \
                  [--metrics FMT] [--metrics-out PATH] [--chaos PLAN] \
                  [--checkpoint-dir DIR] [--store FILE] <experiment>\n\
                  \n\
                  maintenance subcommands:\n\
-                 \x20 repro store-save <file>              simulate and write a v2 trip store\n\
+                 \x20 repro store-save <file>              simulate and write a v3 trip store\n\
                  \x20 repro store-corrupt --chaos P <file> apply a plan's disk faults to a store\n\
                  \x20 repro fsck [--repair] <path>         integrity-scan store/checkpoint files",
             ),
@@ -169,6 +187,7 @@ fn parse_args() -> Args {
         checkpoint_dir,
         store,
         repair,
+        threads,
     }
 }
 
@@ -262,6 +281,9 @@ fn output(args: &Args) -> &'static StudyOutput {
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.threads {
+        taxitrace_exec::set_max_workers(n);
+    }
     match args.experiment.as_str() {
         "store-save" => return cmd_store_save(&args),
         "store-corrupt" => return cmd_store_corrupt(&args),
@@ -298,10 +320,118 @@ fn main() {
     }
 }
 
+/// FNV-1a over little-endian words: the cheap deterministic fingerprint
+/// used to assert byte-identity of simulation/pipeline output across
+/// thread counts (not a cryptographic hash).
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+fn fnv1a_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    fnv1a_bytes(h, &v.to_le_bytes())
+}
+
+/// Fingerprint of a simulated fleet: every session's identity plus the
+/// exact bits of every point. Two runs agree iff their traces are
+/// bit-identical.
+fn fleet_fingerprint(sessions: &[taxitrace_traces::RawTrip]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for s in sessions {
+        h = fnv1a_u64(h, s.id.0);
+        h = fnv1a_u64(h, u64::from(s.taxi.0));
+        h = fnv1a_u64(h, s.points.len() as u64);
+        for p in &s.points {
+            h = fnv1a_u64(h, p.timestamp.secs() as u64);
+            h = fnv1a_u64(h, p.pos.x.to_bits());
+            h = fnv1a_u64(h, p.pos.y.to_bits());
+            h = fnv1a_u64(h, p.speed_kmh.to_bits());
+        }
+    }
+    h
+}
+
+/// Fingerprint of the full pipeline output (cleaning totals, funnel,
+/// fused transitions down to point-speed bits). Equal fingerprints across
+/// `--threads` settings certify the study is thread-count invariant.
+fn study_fingerprint(out: &StudyOutput) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv1a_u64(h, out.cleaning.sessions as u64);
+    h = fnv1a_u64(h, out.cleaning.segments_kept as u64);
+    h = fnv1a_u64(h, out.segments.len() as u64);
+    for row in out.funnel() {
+        for v in [
+            u64::from(row.taxi),
+            row.segments_total as u64,
+            row.any_crossing as u64,
+            row.filtered_cleaned as u64,
+            row.transitions_total as u64,
+            row.within_center as u64,
+            row.post_filtered as u64,
+        ] {
+            h = fnv1a_u64(h, v);
+        }
+    }
+    for t in &out.transitions {
+        h = fnv1a_bytes(h, t.pair.as_bytes());
+        h = fnv1a_u64(h, t.points.len() as u64);
+        h = fnv1a_u64(h, t.dist_km.to_bits());
+        h = fnv1a_u64(h, t.time_h.to_bits());
+        for p in &t.points {
+            h = fnv1a_u64(h, p.speed_kmh.to_bits());
+        }
+    }
+    h
+}
+
+/// The simulate scale × threads matrix: fleet simulation only (the
+/// sharded stage), at relative scales 1/10/100 of 1% of the study's
+/// volume — so the scale-100 row equals the study's own simulate load —
+/// each at 1 worker and at the requested worker count. Rows carry FNV
+/// fingerprints: within a scale they must agree across thread counts.
+fn simulate_matrix_json(args: &Args, out: &StudyOutput) -> String {
+    let machine = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let many = args.threads.unwrap_or(machine).max(1);
+    let thread_counts: Vec<usize> = if many == 1 { vec![1] } else { vec![1, many] };
+    let base = out.config.fleet.scale / 100.0;
+    let mut rows = Vec::new();
+    for rel in [1u32, 10, 100] {
+        for &threads in &thread_counts {
+            taxitrace_exec::set_max_workers(threads);
+            let mut fleet_cfg = out.config.fleet.clone();
+            fleet_cfg.scale = base * f64::from(rel);
+            let start = std::time::Instant::now();
+            let fleet = taxitrace_traces::simulate_fleet(&out.city, &out.weather, &fleet_cfg);
+            let wall_s = start.elapsed().as_secs_f64();
+            rows.push(format!(
+                "    {{ \"scale\": {}, \"threads\": {}, \"wall_s\": {:.3}, \"shard_units\": {}, \"sessions\": {}, \"fingerprint\": \"{:#018x}\" }}",
+                rel,
+                threads,
+                wall_s,
+                fleet.shard_count,
+                fleet.sessions.len(),
+                fleet_fingerprint(&fleet.sessions),
+            ));
+        }
+    }
+    // Restore the pool the rest of the process runs under.
+    taxitrace_exec::set_max_workers(args.threads.unwrap_or(0));
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
 /// Hand-rolled JSON (no serializer dependency): per-stage pipeline
 /// wall-clock, gap-fill cache efficiency and parallelism of this run,
-/// plus an A/B of the matcher with fresh versus reused scratch on the
-/// exact transition slices the pipeline matched.
+/// the simulate scale × threads matrix, plus an A/B of the matcher with
+/// fresh versus reused scratch on the exact transition slices the
+/// pipeline matched. `match_routing_ab` deliberately reports raw times
+/// and no speedup headline: the per-point A* inside incremental matching
+/// is a small share of its wall (see EXPERIMENTS.md), so a ratio there
+/// reads as a routing win when it mostly measures candidate scoring.
 fn write_bench_json(path: &str, args: &Args, out: &StudyOutput, analysis_s: f64) {
     let t = &out.timings;
     let (hits, misses) = out.cache_stats;
@@ -376,12 +506,14 @@ fn write_bench_json(path: &str, args: &Args, out: &StudyOutput, analysis_s: f64)
         });
         match_scratch_s = match_scratch_s.min(start.elapsed().as_secs_f64());
     }
+    let matrix = simulate_matrix_json(args, out);
     let json = format!(
-        "{{\n  \"seed\": {},\n  \"scale\": {},\n  \"experiment\": \"{}\",\n  \"threads\": {},\n  \"stages_s\": {{\n    \"simulate\": {:.3},\n    \"clean\": {:.3},\n    \"od\": {:.3},\n    \"match_fuse\": {:.3},\n    \"analysis\": {:.3}\n  }},\n  \"gap_fill_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"match_routing_ab\": {{\n    \"traces\": {},\n    \"blind_uncached_s\": {:.4},\n    \"goal_directed_cached_s\": {:.4},\n    \"speedup\": {:.2}\n  }},\n  \"gap_fill_ab\": {{\n    \"blind_dijkstra_s\": {:.4},\n    \"goal_directed_cached_s\": {:.4},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        "{{\n  \"seed\": {},\n  \"scale\": {},\n  \"experiment\": \"{}\",\n  \"threads\": {},\n  \"study_fingerprint\": \"{:#018x}\",\n  \"stages_s\": {{\n    \"simulate\": {:.3},\n    \"clean\": {:.3},\n    \"od\": {:.3},\n    \"match_fuse\": {:.3},\n    \"analysis\": {:.3}\n  }},\n  \"gap_fill_cache\": {{\n    \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \"match_routing_ab\": {{\n    \"traces\": {},\n    \"blind_uncached_s\": {:.4},\n    \"goal_directed_cached_s\": {:.4}\n  }},\n  \"gap_fill_ab\": {{\n    \"blind_dijkstra_s\": {:.4},\n    \"goal_directed_cached_s\": {:.4},\n    \"speedup\": {:.2}\n  }},\n  \"simulate_matrix\": {}\n}}\n",
         args.seed,
         args.scale,
         args.experiment,
         threads,
+        study_fingerprint(out),
         t.simulate_s,
         t.clean_s,
         t.od_s,
@@ -393,10 +525,10 @@ fn write_bench_json(path: &str, args: &Args, out: &StudyOutput, analysis_s: f64)
         slices.len(),
         match_fresh_s,
         match_scratch_s,
-        match_fresh_s / match_scratch_s.max(1e-9),
         fill_blind_s,
         fill_cached_s,
         fill_blind_s / fill_cached_s.max(1e-9),
+        matrix,
     );
     std::fs::write(path, json)
         .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));

@@ -1,5 +1,7 @@
+use std::ops::Range;
+
 use serde::{Deserialize, Serialize};
-use taxitrace_traces::RoutePoint;
+use taxitrace_traces::{RoutePoint, TraceColumns};
 
 /// §IV-C post filters: "all trip segments containing less than five route
 /// points and longer than 30 km are removed from further analysis."
@@ -33,6 +35,27 @@ impl FilterConfig {
             return false;
         }
         if segment_length_m(points) > self.max_length_m {
+            stats.too_long += 1;
+            return false;
+        }
+        stats.kept += 1;
+        true
+    }
+
+    /// Columns-based variant of [`admit`](Self::admit): the same decision
+    /// for the sub-range `range` of a session buffer, measuring length over
+    /// the contiguous coordinate columns instead of a point slice.
+    pub fn admit_range(
+        &self,
+        cols: &TraceColumns,
+        range: Range<usize>,
+        stats: &mut FilterStats,
+    ) -> bool {
+        if range.len() < self.min_points {
+            stats.too_few_points += 1;
+            return false;
+        }
+        if cols.length_m(range) > self.max_length_m {
             stats.too_long += 1;
             return false;
         }
@@ -92,6 +115,23 @@ mod tests {
         // 100 points × 400 m = 39.6 km.
         assert!(!FilterConfig::default().admit(&pts(100, 400.0), &mut stats));
         assert_eq!(stats.too_long, 1);
+    }
+
+    #[test]
+    fn admit_range_matches_slice_admit() {
+        let points = pts(120, 300.0);
+        let cols = TraceColumns::from_points(&points);
+        let cfg = FilterConfig::default();
+        for range in [0..120, 0..4, 10..15, 0..110, 40..40] {
+            let mut a = FilterStats::default();
+            let mut b = FilterStats::default();
+            assert_eq!(
+                cfg.admit(&points[range.clone()], &mut a),
+                cfg.admit_range(&cols, range.clone(), &mut b),
+                "{range:?}"
+            );
+            assert_eq!(a, b, "{range:?}");
+        }
     }
 
     #[test]

@@ -39,5 +39,8 @@ pub use pipeline::{
     clean_session, validate_segments, CleanedSession, CleaningConfig, CleaningStats,
     SegmentValidation, TripSegment,
 };
-pub use segmentation::{segment_session, SegmentationConfig, SegmentationReport};
+pub use segmentation::{
+    resplit_rule1, segment_columns, segment_session, segment_session_reference,
+    SegmentationConfig, SegmentationReport,
+};
 pub use totals::CleaningTotals;

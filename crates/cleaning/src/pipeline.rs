@@ -1,11 +1,11 @@
 use serde::{Deserialize, Serialize};
-use taxitrace_traces::{RawTrip, RoutePoint, TaxiId, TripId};
+use taxitrace_traces::{RawTrip, RoutePoint, TaxiId, TraceColumns, TripId};
 use taxitrace_timebase::Timestamp;
 
 use crate::filters::{segment_length_m, FilterConfig, FilterStats};
 use crate::order::{repair_order, OrderRepairReport};
 use crate::segmentation::{
-    resplit_rule1, segment_session, SegmentationConfig, SegmentationReport,
+    resplit_columns, segment_columns, SegmentationConfig, SegmentationReport,
 };
 
 /// Full cleaning configuration.
@@ -77,16 +77,18 @@ pub struct CleanedSession {
 pub fn clean_session(session: &RawTrip, config: &CleaningConfig) -> CleanedSession {
     let (mut ordered, order_report) = repair_order(&session.points);
     let duplicates_removed = dedup_points(&mut ordered);
-    let (mut ranges, mut seg_report) = segment_session(&ordered, &config.segmentation);
+    // One struct-of-arrays gather per session; segmentation, rule 5 and the
+    // filters all stream over these columns instead of the point structs.
+    let cols = TraceColumns::from_points(&ordered);
+    let (mut ranges, mut seg_report) = segment_columns(&cols, &config.segmentation);
 
     // Rule 5: "If after the first round, there are still trips longer than
     // 40 km, we try to split these with the rule 1, having 1.5 minutes'
     // interval."
     let mut resplit: Vec<std::ops::Range<usize>> = Vec::with_capacity(ranges.len());
     for r in ranges.drain(..) {
-        let slice = &ordered[r.clone()];
-        if segment_length_m(slice) > config.segmentation.rule5_trigger_m {
-            resplit.extend(resplit_rule1(slice, r.start, &config.segmentation, &mut seg_report));
+        if cols.length_m(r.clone()) > config.segmentation.rule5_trigger_m {
+            resplit.extend(resplit_columns(&cols, r, &config.segmentation, &mut seg_report));
         } else {
             resplit.push(r);
         }
@@ -95,8 +97,8 @@ pub fn clean_session(session: &RawTrip, config: &CleaningConfig) -> CleanedSessi
     let mut filter_stats = FilterStats::default();
     let mut segments = Vec::with_capacity(resplit.len());
     for r in resplit {
-        let pts = &ordered[r];
-        if config.filters.admit(pts, &mut filter_stats) {
+        if config.filters.admit_range(&cols, r.clone(), &mut filter_stats) {
+            let pts = &ordered[r];
             segments.push(TripSegment {
                 trip_id: session.id,
                 taxi: session.taxi,

@@ -1,5 +1,7 @@
+use std::ops::Range;
+
 use serde::{Deserialize, Serialize};
-use taxitrace_traces::RoutePoint;
+use taxitrace_traces::{RoutePoint, TraceColumns};
 
 /// Parameters of the paper's Table 2 time-based segmentation rules.
 ///
@@ -75,9 +77,21 @@ impl SegmentationReport {
 pub fn segment_session(
     points: &[RoutePoint],
     config: &SegmentationConfig,
-) -> (Vec<std::ops::Range<usize>>, SegmentationReport) {
+) -> (Vec<Range<usize>>, SegmentationReport) {
+    segment_columns(&TraceColumns::from_points(points), config)
+}
+
+/// Column-buffer variant of [`segment_session`]: the same Table 2 rules over
+/// a struct-of-arrays buffer, so the pair loop and rule-1 run scan stream
+/// through contiguous coordinate/timestamp columns. Callers that already
+/// built a [`TraceColumns`] (the cleaning pipeline builds one per session)
+/// avoid re-gathering.
+pub fn segment_columns(
+    cols: &TraceColumns,
+    config: &SegmentationConfig,
+) -> (Vec<Range<usize>>, SegmentationReport) {
     let mut report = SegmentationReport::default();
-    let n = points.len();
+    let n = cols.len();
     if n == 0 {
         return (Vec::new(), report);
     }
@@ -87,40 +101,40 @@ pub fn segment_session(
     // sweeps up heartbeat-sampled frozen dwells.
     let mut stop_gap = vec![false; n.saturating_sub(1)];
 
-    for i in 0..n.saturating_sub(1) {
-        let dt = (points[i + 1].timestamp - points[i].timestamp).secs();
-        let dd = points[i].pos.distance(points[i + 1].pos);
+    for (i, gap) in stop_gap.iter_mut().enumerate() {
+        let dt = cols.dt_s(i, i + 1);
         if dt <= 0 {
             continue;
         }
+        let dd = cols.dist(i, i + 1);
         let speed = dd / dt as f64;
         // Rule 4 first (it is the most specific long-gap rule): very long
         // silence with some movement but under 3 km.
         if dt > config.rule4_gap_s
             && dd < config.rule24_distance_m
             && speed > config.rule3_speed_ms
-            && !stop_gap[i]
+            && !*gap
         {
-            stop_gap[i] = true;
+            *gap = true;
             report.rule_fires[3] += 1;
         }
         // Rule 2: long silence, little movement.
-        if dt > config.rule2_gap_s && dd < config.rule24_distance_m && !stop_gap[i] {
-            stop_gap[i] = true;
+        if dt > config.rule2_gap_s && dd < config.rule24_distance_m && !*gap {
+            *gap = true;
             report.rule_fires[1] += 1;
         }
         // Rule 3: stationary crawl beyond the traffic-light guard.
-        if dt > config.rule3_min_gap_s && speed < config.rule3_speed_ms && !stop_gap[i] {
-            stop_gap[i] = true;
+        if dt > config.rule3_min_gap_s && speed < config.rule3_speed_ms && !*gap {
+            *gap = true;
             report.rule_fires[2] += 1;
         }
     }
 
-    mark_rule1(points, config.rule1_window_s, config.freeze_radius_m, &mut stop_gap, || {
+    mark_rule1_columns(cols, 0..n, config.rule1_window_s, config.freeze_radius_m, &mut stop_gap, || {
         report.rule_fires[0] += 1;
     });
 
-    (ranges_from_stop_gaps(points, &stop_gap, config), report)
+    (ranges_from_stop_gaps(n, &stop_gap), report)
 }
 
 /// Rule 5: re-splits a single oversized segment with rule 1 at the shorter
@@ -131,21 +145,151 @@ pub fn resplit_rule1(
     base: usize,
     config: &SegmentationConfig,
     report: &mut SegmentationReport,
-) -> Vec<std::ops::Range<usize>> {
-    let n = points.len();
-    let mut stop_gap = vec![false; n.saturating_sub(1)];
-    mark_rule1(points, config.rule5_window_s, config.freeze_radius_m, &mut stop_gap, || {
-        report.rule_fires[4] += 1;
-    });
-    ranges_from_stop_gaps(points, &stop_gap, config)
+) -> Vec<Range<usize>> {
+    let cols = TraceColumns::from_points(points);
+    resplit_columns(&cols, 0..cols.len(), config, report)
         .into_iter()
         .map(|r| r.start + base..r.end + base)
         .collect()
 }
 
-/// Rule 1 core: find runs of points that stay within `radius` of the run's
-/// first point for at least `window_s`, and mark every gap inside the run.
-fn mark_rule1(
+/// Column-buffer variant of [`resplit_rule1`]: re-splits the sub-range
+/// `range` of a whole-session buffer, returning absolute (buffer-indexed)
+/// sub-ranges. The pipeline calls this on the session columns it already
+/// built, so rule 5 never re-gathers a slice.
+pub fn resplit_columns(
+    cols: &TraceColumns,
+    range: Range<usize>,
+    config: &SegmentationConfig,
+    report: &mut SegmentationReport,
+) -> Vec<Range<usize>> {
+    let mut fires = 0usize;
+    let mut stop_gap = vec![false; range.len().saturating_sub(1)];
+    mark_rule1_columns(cols, range.clone(), config.rule5_window_s, config.freeze_radius_m, &mut stop_gap, || {
+        fires += 1;
+    });
+    report.rule_fires[4] += fires;
+    ranges_from_stop_gaps(range.len(), &stop_gap)
+        .into_iter()
+        .map(|r| r.start + range.start..r.end + range.start)
+        .collect()
+}
+
+/// Rule 1 core over columns: find runs of points (within `range`) that stay
+/// within `radius` of the run's first point for at least `window_s`, and
+/// mark every gap inside the run. `stop_gap` is indexed relative to
+/// `range.start` and must have `range.len() - 1` entries.
+fn mark_rule1_columns(
+    cols: &TraceColumns,
+    range: Range<usize>,
+    window_s: i64,
+    radius: f64,
+    stop_gap: &mut [bool],
+    mut on_fire: impl FnMut(),
+) {
+    let lo = range.start;
+    let hi = range.end;
+    let mut i = lo;
+    while i + 1 < hi {
+        let (ax, ay) = (cols.x[i], cols.y[i]);
+        let mut j = i;
+        // `hypot` keeps the radius test bit-identical to the reference
+        // implementation's `Point::distance`.
+        while j + 1 < hi && (cols.x[j + 1] - ax).hypot(cols.y[j + 1] - ay) <= radius {
+            j += 1;
+        }
+        if j > i && cols.dt_s(i, j) >= window_s {
+            // Only counts as a rule-1 fire when it marks something a
+            // pair rule has not already claimed.
+            if stop_gap[i - lo..j - lo].iter().any(|g| !*g) {
+                on_fire();
+            }
+            for g in stop_gap.iter_mut().take(j - lo).skip(i - lo) {
+                *g = true;
+            }
+        }
+        i = j.max(i + 1);
+    }
+}
+
+/// Converts stop-gap markers into driven point ranges. A point adjacent only
+/// to stop gaps is excluded.
+fn ranges_from_stop_gaps(n: usize, stop_gap: &[bool]) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut start: Option<usize> = None;
+    // `stop_gap` has `n - 1` entries; the appended `true` closes the run
+    // after the final point.
+    for (i, &gap_after) in stop_gap.iter().chain(std::iter::once(&true)).enumerate().take(n) {
+        match start {
+            None => {
+                if !gap_after {
+                    start = Some(i);
+                }
+            }
+            Some(s) => {
+                if gap_after {
+                    // Current point ends the run (it is included).
+                    out.push(s..i + 1);
+                    start = None;
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        out.push(s..n);
+    }
+    out
+}
+
+/// The original array-of-structs segmentation, kept verbatim as the
+/// reference implementation: the criterion A/B bench measures it against
+/// [`segment_columns`], and a differential proptest pins both to identical
+/// output. Not used by the production pipeline.
+pub fn segment_session_reference(
+    points: &[RoutePoint],
+    config: &SegmentationConfig,
+) -> (Vec<Range<usize>>, SegmentationReport) {
+    let mut report = SegmentationReport::default();
+    let n = points.len();
+    if n == 0 {
+        return (Vec::new(), report);
+    }
+    let mut stop_gap = vec![false; n.saturating_sub(1)];
+
+    for i in 0..n.saturating_sub(1) {
+        let dt = (points[i + 1].timestamp - points[i].timestamp).secs();
+        let dd = points[i].pos.distance(points[i + 1].pos);
+        if dt <= 0 {
+            continue;
+        }
+        let speed = dd / dt as f64;
+        if dt > config.rule4_gap_s
+            && dd < config.rule24_distance_m
+            && speed > config.rule3_speed_ms
+            && !stop_gap[i]
+        {
+            stop_gap[i] = true;
+            report.rule_fires[3] += 1;
+        }
+        if dt > config.rule2_gap_s && dd < config.rule24_distance_m && !stop_gap[i] {
+            stop_gap[i] = true;
+            report.rule_fires[1] += 1;
+        }
+        if dt > config.rule3_min_gap_s && speed < config.rule3_speed_ms && !stop_gap[i] {
+            stop_gap[i] = true;
+            report.rule_fires[2] += 1;
+        }
+    }
+
+    mark_rule1_reference(points, config.rule1_window_s, config.freeze_radius_m, &mut stop_gap, || {
+        report.rule_fires[0] += 1;
+    });
+
+    (ranges_from_stop_gaps(n, &stop_gap), report)
+}
+
+/// Rule 1 core of the reference implementation (struct-iterating).
+fn mark_rule1_reference(
     points: &[RoutePoint],
     window_s: i64,
     radius: f64,
@@ -163,8 +307,6 @@ fn mark_rule1(
         if j > i {
             let dur = (points[j].timestamp - points[i].timestamp).secs();
             if dur >= window_s {
-                // Only counts as a rule-1 fire when it marks something a
-                // pair rule has not already claimed.
                 if stop_gap[i..j].iter().any(|g| !*g) {
                     on_fire();
                 }
@@ -175,41 +317,6 @@ fn mark_rule1(
         }
         i = j.max(i + 1);
     }
-}
-
-/// Converts stop-gap markers into driven point ranges. A point adjacent only
-/// to stop gaps is excluded.
-fn ranges_from_stop_gaps(
-    points: &[RoutePoint],
-    stop_gap: &[bool],
-    _config: &SegmentationConfig,
-) -> Vec<std::ops::Range<usize>> {
-    let n = points.len();
-    let mut out = Vec::new();
-    let mut start: Option<usize> = None;
-    for i in 0..n {
-        let gap_before = if i == 0 { true } else { stop_gap[i - 1] };
-        let gap_after = if i + 1 >= n { true } else { stop_gap[i] };
-        match start {
-            None => {
-                if !gap_after {
-                    start = Some(i);
-                }
-            }
-            Some(s) => {
-                if gap_after {
-                    // Current point ends the run (it is included).
-                    out.push(s..i + 1);
-                    start = None;
-                }
-            }
-        }
-        let _ = gap_before;
-    }
-    if let Some(s) = start {
-        out.push(s..n);
-    }
-    out
 }
 
 #[cfg(test)]
@@ -415,6 +522,27 @@ mod proptests {
                 prop_assert!(s.end - s.start >= 2);
                 prev_end = s.end;
             }
+        }
+
+        /// The columnar implementation is exactly the reference: same
+        /// segment ranges, same per-rule fire counts, on arbitrary streams
+        /// (including out-of-order timestamps and frozen runs).
+        #[test]
+        fn columns_match_reference(
+            steps in proptest::collection::vec((-60i64..800, -80f64..80.0), 1..80)
+        ) {
+            let mut t = 0;
+            let mut x = 0.0;
+            let mut pts = vec![mk(0, 0.0)];
+            for (dt, dx) in steps {
+                t += dt;
+                x += dx;
+                pts.push(mk(t, x));
+            }
+            let cfg = SegmentationConfig::default();
+            let reference = segment_session_reference(&pts, &cfg);
+            let columnar = segment_session(&pts, &cfg);
+            prop_assert_eq!(reference, columnar);
         }
     }
 }

@@ -24,8 +24,8 @@ use bytes::{BufMut, Bytes, BytesMut};
 use taxitrace_cleaning::{CleaningTotals, TripSegment};
 use taxitrace_od::{FunnelRow, Transition};
 use taxitrace_store::codec::{
-    decode_point, decode_session, encode_point, encode_session, put_str, take_i64,
-    take_str, take_u32, take_u64, take_u8,
+    checked_taxi, decode_point, decode_session, encode_point, encode_session, put_str,
+    take_i64, take_str, take_u32, take_u64, take_u8,
 };
 use taxitrace_store::{
     load_checkpoint, save_checkpoint, CheckpointFile, StoreError, TripStore,
@@ -124,7 +124,7 @@ fn run_checkpointed(study: &Study, dir: &Path) -> Result<crate::StudyOutput, Err
         Some(ck) => load_od(cleaned, &ck)?,
         None => {
             let od = cleaned.analyze_od()?;
-            let funnel = encode_funnel(&od.funnel_rows);
+            let funnel = encode_funnel(&od.funnel_rows)?;
             let transitions = encode_transitions(&od.raw_transitions)?;
             let quarantine = encode_quarantine(&od.quarantine)?;
             save_guarded(
@@ -326,7 +326,7 @@ fn encode_segments(segments: &[TripSegment]) -> Result<Vec<u8>, StoreError> {
     buf.put_u64_le(segments.len() as u64);
     for seg in segments {
         buf.put_u64_le(seg.trip_id.0);
-        buf.put_u8(seg.taxi.0);
+        buf.put_u8(checked_taxi(seg.taxi)?);
         buf.put_i64_le(seg.start_time.secs());
         let count = u32::try_from(seg.points.len())
             .map_err(|_| StoreError::BadFormat("segment point count exceeds u32".into()))?;
@@ -343,7 +343,7 @@ fn decode_segments(b: &mut Bytes) -> Result<Vec<TripSegment>, StoreError> {
     let mut segments = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let trip_id = TripId(take_u64(b)?);
-        let taxi = TaxiId(take_u8(b)?);
+        let taxi = TaxiId(take_u8(b)?.into());
         let start_time = Timestamp::from_secs(take_i64(b)?);
         let np = take_u32(b)? as usize;
         let mut points = Vec::with_capacity(np.min(1 << 20));
@@ -413,11 +413,11 @@ fn decode_quarantine(b: &mut Bytes) -> Result<Quarantine, StoreError> {
     Ok(quarantine)
 }
 
-fn encode_funnel(rows: &[FunnelRow]) -> Vec<u8> {
+fn encode_funnel(rows: &[FunnelRow]) -> Result<Vec<u8>, StoreError> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(rows.len() as u64);
     for row in rows {
-        buf.put_u8(row.taxi);
+        buf.put_u8(checked_taxi(TaxiId(row.taxi))?);
         buf.put_u64_le(row.segments_total as u64);
         buf.put_u64_le(row.any_crossing as u64);
         buf.put_u64_le(row.filtered_cleaned as u64);
@@ -425,7 +425,7 @@ fn encode_funnel(rows: &[FunnelRow]) -> Vec<u8> {
         buf.put_u64_le(row.within_center as u64);
         buf.put_u64_le(row.post_filtered as u64);
     }
-    buf.as_ref().to_vec()
+    Ok(buf.as_ref().to_vec())
 }
 
 fn decode_funnel(b: &mut Bytes) -> Result<Vec<FunnelRow>, StoreError> {
@@ -433,7 +433,7 @@ fn decode_funnel(b: &mut Bytes) -> Result<Vec<FunnelRow>, StoreError> {
     let mut rows = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
         rows.push(FunnelRow {
-            taxi: take_u8(b)?,
+            taxi: take_u8(b)?.into(),
             segments_total: take_u64(b)? as usize,
             any_crossing: take_u64(b)? as usize,
             filtered_cleaned: take_u64(b)? as usize,
@@ -450,7 +450,7 @@ fn encode_transitions(transitions: &[Transition]) -> Result<Vec<u8>, StoreError>
     buf.put_u64_le(transitions.len() as u64);
     for t in transitions {
         buf.put_u64_le(t.segment_index as u64);
-        buf.put_u8(t.taxi.0);
+        buf.put_u8(checked_taxi(t.taxi)?);
         put_str(&mut buf, &t.from)?;
         put_str(&mut buf, &t.to)?;
         buf.put_u64_le(t.origin_point as u64);
@@ -466,7 +466,7 @@ fn decode_transitions(b: &mut Bytes) -> Result<Vec<Transition>, StoreError> {
     let mut transitions = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
         let segment_index = take_u64(b)? as usize;
-        let taxi = TaxiId(take_u8(b)?);
+        let taxi = TaxiId(take_u8(b)?.into());
         let from = take_str(b)?;
         let to = take_str(b)?;
         let origin_point = take_u64(b)? as usize;
@@ -543,7 +543,7 @@ mod tests {
             within_center: 30,
             post_filtered: 20,
         }];
-        let mut b = Bytes::from(encode_funnel(&rows));
+        let mut b = Bytes::from(encode_funnel(&rows).unwrap());
         assert_eq!(decode_funnel(&mut b).unwrap(), rows);
 
         let transitions = vec![Transition {

@@ -73,6 +73,8 @@ impl Default for FaultConfig {
 pub enum ConfigError {
     /// The fleet must contain at least one taxi.
     ZeroTaxis,
+    /// The fleet exceeds the number of taxis a `TaxiId` can address.
+    FleetTooLarge(usize),
     /// The study period end does not lie after its start.
     InvertedPeriod { start: CivilDate, end: CivilDate },
     /// The volume scale must be a finite number.
@@ -97,6 +99,9 @@ impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ConfigError::ZeroTaxis => write!(f, "fleet must have at least one taxi"),
+            ConfigError::FleetTooLarge(n) => {
+                write!(f, "fleet of {n} taxis exceeds the {} a TaxiId can address", u16::MAX)
+            }
             ConfigError::InvertedPeriod { start, end } => {
                 write!(f, "study period end {end:?} is not after start {start:?}")
             }
@@ -343,6 +348,9 @@ impl StudyConfig {
         }
         if self.fleet.legs_per_taxi.is_empty() {
             return Err(ConfigError::ZeroTaxis);
+        }
+        if self.fleet.legs_per_taxi.len() > u16::MAX as usize {
+            return Err(ConfigError::FleetTooLarge(self.fleet.legs_per_taxi.len()));
         }
         if !self.grid_size_m.is_finite() || self.grid_size_m <= 0.0 {
             return Err(ConfigError::BadGridSize(self.grid_size_m));

@@ -232,6 +232,7 @@ impl Study {
             let _s = obs.registry.span("study/simulate/fleet");
             taxitrace_traces::simulate_fleet(&city, &weather, &config.fleet)
         };
+        obs.registry.counter("exec.shard_units").add(fleet.shard_count as u64);
         let mut sessions = fleet.sessions;
         apply_chaos_trace_faults(&config, &mut sessions, &obs.registry);
         obs.registry.counter("sim.sessions").add(sessions.len() as u64);
@@ -279,10 +280,13 @@ impl Study {
             taxitrace_roadnet::synth::generate(&config.city)
         };
         let weather = weather_for(&config);
-        let salvage = {
+        let (salvage, indexed) = {
             let _s = obs.registry.span("study/simulate/load_store");
-            taxitrace_store::codec::load_sessions_salvage(path)?
+            taxitrace_store::codec::load_sessions_salvage_stats(path)?
         };
+        if indexed {
+            obs.registry.counter("store.indexed_reads").add(1);
+        }
         let report = salvage.report;
         let expected = crate::checkpoint::config_fingerprint(&config);
         if report.fingerprint != 0 && report.fingerprint != expected {
@@ -378,8 +382,8 @@ impl Study {
 }
 
 impl Simulated {
-    /// Persists this stage's sessions as a v2 store file (atomic write,
-    /// per-record CRCs), tagged with the config fingerprint so
+    /// Persists this stage's sessions as a v3 store file (atomic write,
+    /// per-record CRCs, offset index), tagged with the config fingerprint so
     /// [`Study::simulate_from_store`] can refuse a mismatched replay.
     pub fn save_store(&self, path: &Path) -> Result<(), Error> {
         let fingerprint = crate::checkpoint::config_fingerprint(&self.config);

@@ -3,6 +3,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 use taxitrace_geo::{CellId, Grid, Point};
 use taxitrace_stats::Summary;
+use taxitrace_traces::TraceColumns;
 
 use crate::experiment::StudyOutput;
 
@@ -41,11 +42,14 @@ pub fn grid_analysis(output: &StudyOutput, pair: Option<&str>) -> GridStats {
                 continue;
             }
         }
-        for pt in &t.points {
-            let cell = grid.cell_of(pt.pos);
+        // Bin from struct-of-arrays columns: the loop touches only the
+        // coordinate and speed columns, not the full route-point structs.
+        let cols = TraceColumns::from_points(&t.points);
+        for i in 0..cols.len() {
+            let cell = grid.cell_of(Point::new(cols.x[i], cols.y[i]));
             let e = sums.entry(cell).or_insert((0, 0.0));
             e.0 += 1;
-            e.1 += pt.speed_kmh;
+            e.1 += cols.speed_kmh[i];
         }
     }
 

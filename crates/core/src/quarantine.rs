@@ -112,7 +112,10 @@ impl From<taxitrace_store::DamageKind> for QuarantineReason {
         match kind {
             taxitrace_store::DamageKind::CorruptRecord => QuarantineReason::CorruptRecord,
             taxitrace_store::DamageKind::TornTail => QuarantineReason::TornTail,
-            taxitrace_store::DamageKind::HeaderMismatch => QuarantineReason::HeaderMismatch,
+            // A damaged v3 offset index is header-adjacent metadata; the
+            // records themselves salvage by scan.
+            taxitrace_store::DamageKind::HeaderMismatch
+            | taxitrace_store::DamageKind::CorruptIndex => QuarantineReason::HeaderMismatch,
         }
     }
 }

@@ -60,11 +60,39 @@ use std::time::Instant;
 
 use taxitrace_obs::{Counter, Gauge, Histogram, Registry};
 
+/// Process-wide worker override set by [`set_max_workers`]; `0` means
+/// "auto" (one worker per available CPU).
+static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count used by every subsequent batch in this
+/// process. `0` restores the automatic per-CPU default.
+///
+/// The override is taken literally rather than capped at
+/// `available_parallelism()`: forcing e.g. 8 workers on a 1-core host
+/// deliberately oversubscribes, which is exactly what thread-count
+/// invariance tests need to exercise multi-worker interleavings anywhere.
+/// Results never depend on the value (see *Determinism* above) — only
+/// wall time does.
+pub fn set_max_workers(n: usize) {
+    MAX_WORKERS.store(n, Ordering::SeqCst);
+}
+
+/// The current worker override (`0` = auto).
+pub fn max_workers() -> usize {
+    MAX_WORKERS.load(Ordering::SeqCst)
+}
+
 /// Number of worker threads for a work list of `len` items: one per
-/// available CPU, capped by the number of items (never zero).
+/// available CPU (or the [`set_max_workers`] override), capped by the
+/// number of items (never zero).
 pub fn worker_count(len: usize) -> usize {
-    let cpus = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
-    cpus.min(len).max(1)
+    let cap = MAX_WORKERS.load(Ordering::SeqCst);
+    let workers = if cap == 0 {
+        std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    } else {
+        cap
+    };
+    workers.min(len).max(1)
 }
 
 /// Why a single task's output slot holds no value.
@@ -853,5 +881,25 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.counter("exec.task_panics"), Some(1));
         assert_eq!(snap.counter("exec.task_failures"), Some(1));
+    }
+
+    #[test]
+    fn max_workers_override_controls_worker_count() {
+        // Serialised within one test: the override is process-global.
+        assert_eq!(max_workers(), 0);
+        set_max_workers(3);
+        assert_eq!(max_workers(), 3);
+        // Taken literally even above available_parallelism, capped by len.
+        assert_eq!(worker_count(100), 3);
+        assert_eq!(worker_count(2), 2);
+        assert_eq!(worker_count(0), 1);
+        // Results are identical to the sequential map under any override.
+        let items: Vec<u64> = (0..200).collect();
+        let (forced, _) = par_map_init(&items, || (), |(), &x| x * x);
+        set_max_workers(1);
+        let (seq, _) = par_map_init(&items, || (), |(), &x| x * x);
+        set_max_workers(0);
+        assert_eq!(forced, seq);
+        assert_eq!(worker_count(1), 1);
     }
 }

@@ -81,7 +81,7 @@ impl Transition {
 /// valid angle; we additionally keep the full cleaned-segment count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct FunnelRow {
-    pub taxi: u8,
+    pub taxi: u16,
     /// All cleaned trip segments of the taxi.
     pub segments_total: usize,
     /// Segments intersecting ≥ 1 thick road at a valid angle
@@ -224,7 +224,7 @@ impl OdAnalyzer {
 
     /// Reproduces Table 3: one funnel row per taxi.
     pub fn funnel(&self, segments: &[TripSegment]) -> Vec<FunnelRow> {
-        let mut rows: BTreeMap<u8, FunnelRow> = BTreeMap::new();
+        let mut rows: BTreeMap<u16, FunnelRow> = BTreeMap::new();
         for seg in segments {
             rows.entry(seg.taxi.0)
                 .or_insert_with(|| FunnelRow { taxi: seg.taxi.0, ..Default::default() })
@@ -369,7 +369,7 @@ mod tests {
         )
     }
 
-    fn segment(taxi: u8, path: &[(f64, f64)]) -> TripSegment {
+    fn segment(taxi: u16, path: &[(f64, f64)]) -> TripSegment {
         let points: Vec<RoutePoint> = path
             .iter()
             .enumerate()

@@ -1,16 +1,20 @@
 //! Versioned binary file format for trip data.
 //!
-//! Two container versions exist. **v1** (`b"TTRS\x00\x00\x00\x01"`) is a
+//! Three container versions exist. **v1** (`b"TTRS\x00\x00\x00\x01"`) is a
 //! magic, a session count, then each session length-prefixed — no
 //! checksums, accepted read-only for files written by older builds.
-//! **v2** (`b"TTRS\x00\x00\x00\x02"`), the only format written today, adds
-//! a self-describing header and per-record CRC framing:
+//! **v2** (`b"TTRS\x00\x00\x00\x02"`) adds a self-describing header and
+//! per-record CRC framing. **v3** (`b"TTRS\x00\x00\x00\x03"`), the only
+//! format written today, keeps the v2 header and record framing unchanged
+//! and inserts an offset index between them:
 //!
 //! ```text
-//! magic         8 bytes  b"TTRS\x00\x00\x00\x02"
+//! magic         8 bytes  b"TTRS\x00\x00\x00\x03"
 //! fingerprint   u64      config fingerprint (0 = untagged)
 //! record count  u64
 //! header crc    u32      CRC-32 of the 24 header bytes above
+//! offset index  count × u64   absolute frame-start offset per record   (v3 only)
+//! index crc     u32      CRC-32 of the offset-index bytes              (v3 only)
 //! per record:
 //!   len         u64      payload length in bytes
 //!   crc         u32      CRC-32 of the payload
@@ -24,6 +28,14 @@
 //! flipped bit fails one record's checksum and a truncated tail fails the
 //! length check, so [`load_sessions_salvage`] recovers every record that
 //! still verifies instead of aborting the run (see [`SalvageReport`]).
+//!
+//! The v3 index buys *seek reads*: [`load_sessions_indexed_bytes`] jumps
+//! straight to each record and decodes a borrowed (zero-copy) slice of the
+//! file image, and [`read_session_indexed`] fetches one record without
+//! walking the frames before it. The record-count field is covered by the
+//! header CRC, so the body start `28 + count*8 + 4` stays computable even
+//! when the index bytes themselves are damaged — salvage then falls back
+//! to exactly the v2 sequential scan and recovers every verifiable record.
 //! Writes are atomic everywhere via [`crate::integrity::write_atomic`].
 
 use std::path::Path;
@@ -41,11 +53,15 @@ use crate::StoreError;
 
 /// Magic prefix of legacy v1 store files (read-only support).
 pub const MAGIC_V1: [u8; 8] = *b"TTRS\x00\x00\x00\x01";
-/// Magic prefix of v2 store files (the format written today).
+/// Magic prefix of pre-index v2 store files (read-only support).
 pub const MAGIC_V2: [u8; 8] = *b"TTRS\x00\x00\x00\x02";
+/// Magic prefix of v3 store files (the format written today).
+pub const MAGIC_V3: [u8; 8] = *b"TTRS\x00\x00\x00\x03";
 
-/// v2 header size: magic + fingerprint + record count + header CRC.
+/// v2/v3 fixed header size: magic + fingerprint + record count + CRC.
 const V2_HEADER_LEN: usize = 8 + 8 + 8 + 4;
+/// CRC-32 trailer after the v3 offset index.
+const V3_INDEX_CRC_LEN: usize = 4;
 /// v2 per-record frame: payload length + payload CRC.
 const V2_FRAME_LEN: usize = 8 + 4;
 /// v1 per-record frame: payload length only.
@@ -67,6 +83,10 @@ pub enum DamageKind {
     /// The header is unusable (bad magic, failed header CRC) or disagrees
     /// with the file body (declared count vs. records present).
     HeaderMismatch,
+    /// The v3 offset index failed its CRC. The records themselves are
+    /// unaffected — salvage recovers them by sequential scan — but seek
+    /// reads are off the table until the file is rewritten.
+    CorruptIndex,
 }
 
 impl DamageKind {
@@ -76,6 +96,7 @@ impl DamageKind {
             DamageKind::CorruptRecord => "corrupt_record",
             DamageKind::TornTail => "torn_tail",
             DamageKind::HeaderMismatch => "header_mismatch",
+            DamageKind::CorruptIndex => "corrupt_index",
         }
     }
 }
@@ -96,7 +117,7 @@ pub struct RecordDamage {
 /// actually recovered, and every piece of damage encountered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SalvageReport {
-    /// Container version (1 or 2; 0 when the magic was unrecognised).
+    /// Container version (1, 2 or 3; 0 when the magic was unrecognised).
     pub version: u32,
     /// Config fingerprint from the header (0 for v1 / untagged files).
     pub fingerprint: u64,
@@ -124,14 +145,51 @@ pub struct Salvage {
     pub report: SalvageReport,
 }
 
-/// Writes sessions to `path` as an untagged v2 container (fingerprint 0).
+/// Writes sessions to `path` as an untagged v3 container (fingerprint 0).
 pub fn save_sessions(path: &Path, sessions: &[RawTrip]) -> Result<(), StoreError> {
     save_sessions_tagged(path, sessions, 0)
 }
 
-/// Writes sessions to `path` as a v2 container stamped with the given
-/// config fingerprint. The write is atomic: temp file + fsync + rename.
+/// Writes sessions to `path` as a v3 container (offset index + CRC'd
+/// record frames) stamped with the given config fingerprint. The write is
+/// atomic: temp file + fsync + rename.
 pub fn save_sessions_tagged(
+    path: &Path,
+    sessions: &[RawTrip],
+    fingerprint: u64,
+) -> Result<(), StoreError> {
+    let count = checked_u64(sessions.len(), "session count")?;
+    let mut out = BytesMut::new();
+    out.put_slice(&MAGIC_V3);
+    out.put_u64_le(fingerprint);
+    out.put_u64_le(count);
+    let header_crc = crc32(&out);
+    out.put_u32_le(header_crc);
+
+    // Frame the records first so the index can be laid down before them.
+    let body_start = V2_HEADER_LEN + sessions.len() * 8 + V3_INDEX_CRC_LEN;
+    let mut index = BytesMut::with_capacity(sessions.len() * 8);
+    let mut body = BytesMut::new();
+    let mut buf = BytesMut::new();
+    for s in sessions {
+        index.put_u64_le(checked_u64(body_start + body.len(), "record offset")?);
+        buf.clear();
+        encode_session(&mut buf, s)?;
+        body.put_u64_le(checked_u64(buf.len(), "session record length")?);
+        body.put_u32_le(crc32(&buf));
+        body.put_slice(&buf);
+    }
+    out.put_slice(&index);
+    out.put_u32_le(crc32(&index));
+    out.put_slice(&body);
+    write_atomic(path, &out)?;
+    Ok(())
+}
+
+/// Writes sessions in the pre-index v2 layout (header + CRC'd frames, no
+/// offset index). Kept for compatibility fixtures and the scan-vs-seek
+/// benchmarks — new data should always go through [`save_sessions`].
+pub fn save_sessions_v2_tagged(
     path: &Path,
     sessions: &[RawTrip],
     fingerprint: u64,
@@ -173,14 +231,28 @@ pub fn save_sessions_v1(path: &Path, sessions: &[RawTrip]) -> Result<(), StoreEr
     Ok(())
 }
 
-/// Reads sessions from `path`, accepting v1 and v2 containers. Strict:
-/// any damage — CRC mismatch, truncation, header disagreement — is a
-/// [`StoreError::BadFormat`]. Use [`load_sessions_salvage`] to recover
-/// the verifiable records from a damaged file instead.
+/// Reads sessions from `path`, accepting v1, v2 and v3 containers.
+/// Strict: any damage — CRC mismatch, truncation, header disagreement —
+/// is a [`StoreError::BadFormat`]. Use [`load_sessions_salvage`] to
+/// recover the verifiable records from a damaged file instead.
 pub fn load_sessions(path: &Path) -> Result<Vec<RawTrip>, StoreError> {
-    let salvage = load_sessions_salvage(path)?;
+    Ok(load_sessions_stats(path)?.0)
+}
+
+/// [`load_sessions`] plus provenance: the flag is `true` when the v3
+/// offset index served the read (seek + zero-copy payloads) and `false`
+/// when the file went through the sequential scan (v1/v2 layouts). The
+/// pipeline reports the flag as the `store.indexed_reads` counter.
+pub fn load_sessions_stats(path: &Path) -> Result<(Vec<RawTrip>, bool), StoreError> {
+    let raw = Bytes::from(std::fs::read(path)?);
+    // Any verification failure on the fast path falls through to the
+    // scan, whose salvage report names the damage precisely.
+    if let Ok(Some(loaded)) = load_sessions_indexed_bytes(&raw) {
+        return Ok((loaded.sessions, true));
+    }
+    let salvage = salvage_bytes(&raw);
     match salvage.report.damage.first() {
-        None => Ok(salvage.sessions),
+        None => Ok((salvage.sessions, false)),
         Some(d) => Err(StoreError::BadFormat(format!(
             "{} at record {}: {}",
             d.kind.label(),
@@ -196,8 +268,28 @@ pub fn load_sessions(path: &Path) -> Result<Vec<RawTrip>, StoreError> {
 /// magic, failed header CRC) yields zero sessions and one
 /// [`DamageKind::HeaderMismatch`] entry.
 pub fn load_sessions_salvage(path: &Path) -> Result<Salvage, StoreError> {
-    let raw = std::fs::read(path)?;
-    Ok(salvage_bytes(&raw))
+    Ok(load_sessions_salvage_stats(path)?.0)
+}
+
+/// [`load_sessions_salvage`] plus provenance: a clean v3 file is served
+/// through the offset-index fast path (seek + zero-copy payloads) and
+/// synthesizes a clean report; older layouts and files with *any*
+/// verification failure go through the sequential salvage scan so damage
+/// is named precisely. The flag is `true` when the index served the read.
+pub fn load_sessions_salvage_stats(path: &Path) -> Result<(Salvage, bool), StoreError> {
+    let raw = Bytes::from(std::fs::read(path)?);
+    if let Ok(Some(loaded)) = load_sessions_indexed_bytes(&raw) {
+        let n = loaded.sessions.len() as u64;
+        let report = SalvageReport {
+            version: 3,
+            fingerprint: loaded.fingerprint,
+            records_declared: n,
+            records_valid: n,
+            damage: Vec::new(),
+        };
+        return Ok((Salvage { sessions: loaded.sessions, report }, true));
+    }
+    Ok((salvage_bytes(&raw), false))
 }
 
 /// [`load_sessions_salvage`] over an in-memory image (fsck, tests).
@@ -232,7 +324,7 @@ pub fn record_spans(raw: &[u8]) -> Result<Vec<RecordSpan>, StoreError> {
     };
     let header = parse_header(raw, &mut report)
         .ok_or_else(|| StoreError::BadFormat("unreadable store header".into()))?;
-    let frame = if header.version == 2 { V2_FRAME_LEN } else { V1_FRAME_LEN };
+    let frame = if header.version >= 2 { V2_FRAME_LEN } else { V1_FRAME_LEN };
     let mut spans = Vec::new();
     let mut offset = header.body_start;
     while raw.len() - offset >= frame {
@@ -243,6 +335,136 @@ pub fn record_spans(raw: &[u8]) -> Result<Vec<RecordSpan>, StoreError> {
         offset = end;
     }
     Ok(spans)
+}
+
+/// Result of a v3 indexed load: the sessions plus the header fingerprint.
+#[derive(Debug, Clone)]
+pub struct IndexedLoad {
+    /// Sessions in file order.
+    pub sessions: Vec<RawTrip>,
+    /// Config fingerprint from the header (0 = untagged).
+    pub fingerprint: u64,
+}
+
+/// Verified v3 header + offset index of an image.
+struct V3Index {
+    fingerprint: u64,
+    declared: usize,
+    body_start: usize,
+}
+
+/// Parses and CRC-verifies the v3 header and offset index of `raw`.
+/// `Ok(None)` when the image is not v3; an error when it is v3 but the
+/// header or index fails verification.
+fn parse_v3_index(raw: &[u8]) -> Result<Option<V3Index>, StoreError> {
+    if raw.len() < 8 || raw[..8] != MAGIC_V3 {
+        return Ok(None);
+    }
+    if raw.len() < V2_HEADER_LEN {
+        return Err(StoreError::BadFormat("file too short for v3 header".into()));
+    }
+    let stored = u32::from_le_bytes([raw[24], raw[25], raw[26], raw[27]]);
+    if stored != crc32(&raw[..24]) {
+        return Err(StoreError::BadFormat("v3 header CRC mismatch".into()));
+    }
+    let fingerprint = read_u64_at(raw, 8);
+    let declared64 = read_u64_at(raw, 16);
+    let body_start = v3_body_start(declared64, raw.len())
+        .ok_or_else(|| StoreError::BadFormat("file too short for v3 offset index".into()))?;
+    let index_end = body_start - V3_INDEX_CRC_LEN;
+    let stored_idx = u32::from_le_bytes([
+        raw[index_end],
+        raw[index_end + 1],
+        raw[index_end + 2],
+        raw[index_end + 3],
+    ]);
+    if stored_idx != crc32(&raw[V2_HEADER_LEN..index_end]) {
+        return Err(StoreError::BadFormat("v3 offset index CRC mismatch".into()));
+    }
+    // v3_body_start verified declared fits usize.
+    let declared = declared64 as usize;
+    Ok(Some(V3Index { fingerprint, declared, body_start }))
+}
+
+/// Decodes the framed record at absolute offset `off` of a v3 image,
+/// borrowing the payload from `raw` (zero-copy: the returned session is
+/// built from a refcounted slice, not a fresh buffer). Strict: CRC
+/// failure, truncation or trailing payload bytes are errors.
+fn decode_record_at(raw: &Bytes, off: usize, index: u64) -> Result<(RawTrip, usize), StoreError> {
+    if raw.len().saturating_sub(off) < V2_FRAME_LEN {
+        return Err(StoreError::BadFormat(format!("record {index} frame overruns file")));
+    }
+    let len = read_u64_at(raw, off);
+    let stored = u32::from_le_bytes([raw[off + 8], raw[off + 9], raw[off + 10], raw[off + 11]]);
+    let payload_at = off + V2_FRAME_LEN;
+    let end = payload_end(payload_at, len, raw.len())
+        .ok_or_else(|| StoreError::BadFormat(format!("record {index} payload overruns file")))?;
+    let mut payload = raw.slice(payload_at..end);
+    if crc32(&payload) != stored {
+        return Err(StoreError::BadFormat(format!("record {index} payload CRC mismatch")));
+    }
+    let session = decode_session(&mut payload)?;
+    if payload.remaining() != 0 {
+        return Err(StoreError::BadFormat(format!(
+            "record {index} has {} undecoded payload bytes",
+            payload.remaining()
+        )));
+    }
+    Ok((session, end))
+}
+
+/// Zero-copy indexed read of a whole v3 image: seeks each record via the
+/// offset index and decodes payload slices borrowed from `raw` — no
+/// full-file scan, no per-payload copies. Strictness matches
+/// [`load_sessions`]: offsets must tile the body exactly through to the
+/// end of the file, and every record must verify. Returns `Ok(None)` for
+/// v1/v2 images (use the scan path) and an error on any damage, so
+/// callers can fall back to [`salvage_bytes`] for a typed report.
+pub fn load_sessions_indexed_bytes(raw: &Bytes) -> Result<Option<IndexedLoad>, StoreError> {
+    let Some(index) = parse_v3_index(raw)? else { return Ok(None) };
+    let mut sessions = Vec::with_capacity(index.declared.min(1 << 20));
+    let mut expected = index.body_start;
+    for i in 0..index.declared {
+        let off64 = read_u64_at(raw, V2_HEADER_LEN + i * 8);
+        let off = usize::try_from(off64)
+            .map_err(|_| StoreError::BadFormat(format!("record {i} offset {off64} overflows")))?;
+        if off != expected {
+            return Err(StoreError::BadFormat(format!(
+                "record {i} offset {off} disagrees with record layout ({expected})"
+            )));
+        }
+        let (session, end) = decode_record_at(raw, off, i as u64)?;
+        sessions.push(session);
+        expected = end;
+    }
+    if expected != raw.len() {
+        return Err(StoreError::BadFormat(format!(
+            "{} trailing bytes after the last indexed record",
+            raw.len() - expected
+        )));
+    }
+    Ok(Some(IndexedLoad { sessions, fingerprint: index.fingerprint }))
+}
+
+/// Seek-reads record `i` of a v3 image via the offset index, decoding
+/// only that record — the frames before it are never walked. `Ok(None)`
+/// when the image is not v3 or `i` is out of range.
+pub fn read_session_indexed(raw: &Bytes, i: usize) -> Result<Option<RawTrip>, StoreError> {
+    let Some(index) = parse_v3_index(raw)? else { return Ok(None) };
+    if i >= index.declared {
+        return Ok(None);
+    }
+    let off64 = read_u64_at(raw, V2_HEADER_LEN + i * 8);
+    let off = usize::try_from(off64)
+        .map_err(|_| StoreError::BadFormat(format!("record {i} offset {off64} overflows")))?;
+    if off < index.body_start {
+        return Err(StoreError::BadFormat(format!(
+            "record {i} offset {off} points before the body ({})",
+            index.body_start
+        )));
+    }
+    let (session, _) = decode_record_at(raw, off, i as u64)?;
+    Ok(Some(session))
 }
 
 /// Parsed, verified container header.
@@ -262,7 +484,63 @@ fn parse_header(raw: &[u8], report: &mut SalvageReport) -> Option<Header> {
         return None;
     }
     let magic = &raw[..8];
-    if magic == MAGIC_V2 {
+    if magic == MAGIC_V3 {
+        report.version = 3;
+        if raw.len() < V2_HEADER_LEN {
+            report.damage.push(RecordDamage {
+                index: 0,
+                kind: DamageKind::HeaderMismatch,
+                detail: format!("file too short for v3 header ({} bytes)", raw.len()),
+            });
+            return None;
+        }
+        let stored = u32::from_le_bytes([raw[24], raw[25], raw[26], raw[27]]);
+        let actual = crc32(&raw[..24]);
+        if stored != actual {
+            report.damage.push(RecordDamage {
+                index: 0,
+                kind: DamageKind::HeaderMismatch,
+                detail: format!("header CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"),
+            });
+            return None;
+        }
+        report.fingerprint = read_u64_at(raw, 8);
+        report.records_declared = read_u64_at(raw, 16);
+        // The CRC-protected count fixes where the body starts even when
+        // the index bytes themselves are damaged.
+        let Some(body_start) = v3_body_start(report.records_declared, raw.len()) else {
+            report.damage.push(RecordDamage {
+                index: 0,
+                kind: DamageKind::HeaderMismatch,
+                detail: format!(
+                    "file too short for {}-entry offset index ({} bytes)",
+                    report.records_declared,
+                    raw.len()
+                ),
+            });
+            return None;
+        };
+        let index_end = body_start - V3_INDEX_CRC_LEN;
+        let stored_idx = u32::from_le_bytes([
+            raw[index_end],
+            raw[index_end + 1],
+            raw[index_end + 2],
+            raw[index_end + 3],
+        ]);
+        let actual_idx = crc32(&raw[V2_HEADER_LEN..index_end]);
+        if stored_idx != actual_idx {
+            // Index damage does not stop the read: records are still
+            // recovered by the sequential scan below.
+            report.damage.push(RecordDamage {
+                index: 0,
+                kind: DamageKind::CorruptIndex,
+                detail: format!(
+                    "offset index CRC mismatch (stored {stored_idx:#010x}, computed {actual_idx:#010x})"
+                ),
+            });
+        }
+        Some(Header { version: 3, declared: report.records_declared, body_start })
+    } else if magic == MAGIC_V2 {
         if raw.len() < V2_HEADER_LEN {
             report.version = 2;
             report.damage.push(RecordDamage {
@@ -308,19 +586,27 @@ fn parse_header(raw: &[u8], report: &mut SalvageReport) -> Option<Header> {
     }
 }
 
+/// Body offset of a v3 container with `declared` records, or `None` when
+/// the file cannot hold that index (overflow or truncation inside it).
+fn v3_body_start(declared: u64, file_len: usize) -> Option<usize> {
+    let index_bytes = usize::try_from(declared).ok()?.checked_mul(8)?;
+    let body_start = V2_HEADER_LEN.checked_add(index_bytes)?.checked_add(V3_INDEX_CRC_LEN)?;
+    (body_start <= file_len).then_some(body_start)
+}
+
 /// Walks the record frames from `body_start`, decoding every record that
 /// verifies and classifying the rest. Reading continues past a corrupt
 /// record (its frame still delimits it) and stops only at a torn tail,
 /// where the frame itself can no longer be trusted.
 fn salvage_records(raw: &[u8], header: Header, report: &mut SalvageReport) -> Vec<RawTrip> {
-    let frame = if header.version == 2 { V2_FRAME_LEN } else { V1_FRAME_LEN };
+    let frame = if header.version >= 2 { V2_FRAME_LEN } else { V1_FRAME_LEN };
     let mut sessions = Vec::with_capacity(header.declared.min(1 << 20) as usize);
     let mut offset = header.body_start;
     let mut index: u64 = 0;
     let mut torn: Option<String> = None;
     // v1 readers always ignored bytes past the declared count (there is
-    // no trailing-content check to preserve), so only v2 reads on.
-    while offset < raw.len() && (header.version == 2 || index < header.declared) {
+    // no trailing-content check to preserve), so only v2+ reads on.
+    while offset < raw.len() && (header.version >= 2 || index < header.declared) {
         let remaining = raw.len() - offset;
         if remaining < frame {
             torn = Some(format!("{remaining} bytes left, record frame needs {frame}"));
@@ -336,7 +622,7 @@ fn salvage_records(raw: &[u8], header: Header, report: &mut SalvageReport) -> Ve
             break;
         };
         let payload = &raw[payload_at..end];
-        if header.version == 2 {
+        if header.version >= 2 {
             let stored = u32::from_le_bytes([
                 raw[offset + 8],
                 raw[offset + 9],
@@ -442,6 +728,18 @@ fn checked_u32(n: usize, what: &str) -> Result<u32, StoreError> {
     u32::try_from(n).map_err(|_| StoreError::BadFormat(format!("{what} {n} exceeds u32")))
 }
 
+/// The wire format carries taxi ids in one byte; a wider in-memory id is
+/// a typed encode error rather than silent truncation.
+pub fn checked_taxi(taxi: TaxiId) -> Result<u8, StoreError> {
+    u8::try_from(taxi.0).map_err(|_| {
+        StoreError::BadFormat(format!(
+            "taxi id {} exceeds the wire format's cap of {}",
+            taxi.0,
+            TaxiId::MAX_PERSISTABLE
+        ))
+    })
+}
+
 fn finite(v: f64, what: &str) -> Result<f64, StoreError> {
     if v.is_finite() {
         Ok(v)
@@ -456,7 +754,7 @@ fn finite(v: f64, what: &str) -> Result<f64, StoreError> {
 /// than writing a record that cannot round-trip.
 pub fn encode_session(buf: &mut BytesMut, s: &RawTrip) -> Result<(), StoreError> {
     buf.put_u64_le(s.id.0);
-    buf.put_u8(s.taxi.0);
+    buf.put_u8(checked_taxi(s.taxi)?);
     buf.put_i64_le(s.start_time.secs());
     buf.put_i64_le(s.end_time.secs());
     buf.put_i64_le(s.total_time.secs());
@@ -528,7 +826,7 @@ pub fn put_str(buf: &mut BytesMut, s: &str) -> Result<(), StoreError> {
 /// Decodes one session from the store's wire format.
 pub fn decode_session(b: &mut Bytes) -> Result<RawTrip, StoreError> {
     let id = TripId(take_u64(b)?);
-    let taxi = TaxiId(take_u8(b)?);
+    let taxi = TaxiId(take_u8(b)?.into());
     let start_time = Timestamp::from_secs(take_i64(b)?);
     let end_time = Timestamp::from_secs(take_i64(b)?);
     let total_time = Duration::from_secs(take_i64(b)?);
@@ -737,11 +1035,100 @@ mod tests {
         // A clean file salvages to the same content with a clean report.
         let salvage = load_sessions_salvage(&path).unwrap();
         assert!(salvage.report.is_clean());
-        assert_eq!(salvage.report.version, 2);
+        assert_eq!(salvage.report.version, 3);
         assert_eq!(salvage.report.records_declared, 10);
         assert_eq!(salvage.report.records_valid, 10);
         assert_eq!(salvage.sessions, sessions);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_index_v2_files_still_load() {
+        let path = tmp_path("v2.tts");
+        let sessions = sample_sessions(4);
+        save_sessions_v2_tagged(&path, &sessions, 0xBEEF).unwrap();
+        assert_eq!(load_sessions(&path).unwrap(), sessions);
+        let salvage = load_sessions_salvage(&path).unwrap();
+        assert!(salvage.report.is_clean());
+        assert_eq!(salvage.report.version, 2);
+        assert_eq!(salvage.report.fingerprint, 0xBEEF);
+        // No index to seek: the fast path declines rather than failing.
+        let raw = Bytes::from(std::fs::read(&path).unwrap());
+        assert!(load_sessions_indexed_bytes(&raw).unwrap().is_none());
+        assert!(read_session_indexed(&raw, 0).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_load_matches_scan() {
+        let path = tmp_path("indexed.tts");
+        let sessions = sample_sessions(9);
+        save_sessions_tagged(&path, &sessions, 0xCAFE).unwrap();
+        let raw = Bytes::from(std::fs::read(&path).unwrap());
+        let indexed = load_sessions_indexed_bytes(&raw).unwrap().unwrap();
+        assert_eq!(indexed.fingerprint, 0xCAFE);
+        assert_eq!(indexed.sessions, sessions);
+        let scanned = salvage_bytes(&raw);
+        assert!(scanned.report.is_clean());
+        assert_eq!(indexed.sessions, scanned.sessions);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn indexed_single_record_seek() {
+        let path = tmp_path("seek.tts");
+        let sessions = sample_sessions(7);
+        save_sessions(&path, &sessions).unwrap();
+        let raw = Bytes::from(std::fs::read(&path).unwrap());
+        for (i, expect) in sessions.iter().enumerate() {
+            let got = read_session_indexed(&raw, i).unwrap().unwrap();
+            assert_eq!(&got, expect);
+        }
+        assert!(read_session_indexed(&raw, 7).unwrap().is_none(), "out of range");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_index_still_salvages_every_record() {
+        let path = tmp_path("badindex.tts");
+        let sessions = sample_sessions(5);
+        save_sessions(&path, &sessions).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip a bit inside the offset index (first entry).
+        raw[V2_HEADER_LEN + 2] ^= 0x40;
+        // Fast path refuses...
+        let bytes = Bytes::from(raw.clone());
+        assert!(load_sessions_indexed_bytes(&bytes).is_err());
+        // ...but the sequential scan recovers everything, flagging the index.
+        let salvage = salvage_bytes(&raw);
+        assert_eq!(salvage.report.version, 3);
+        assert_eq!(salvage.report.records_valid, 5);
+        assert_eq!(salvage.sessions, sessions);
+        assert_eq!(salvage.report.damage.len(), 1);
+        assert_eq!(salvage.report.damage[0].kind, DamageKind::CorruptIndex);
+        // Strict load reports the damage rather than trusting the file.
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(load_sessions(&path), Err(StoreError::BadFormat(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_taxi_id_is_rejected_on_encode() {
+        let mut s = sample_session();
+        s.taxi = TaxiId(TaxiId::MAX_PERSISTABLE + 1);
+        let mut buf = BytesMut::new();
+        let err = encode_session(&mut buf, &s).unwrap_err();
+        assert!(err.to_string().contains("taxi id"), "{err}");
+        // The cap itself still round-trips.
+        let mut s = sample_session();
+        s.taxi = TaxiId(TaxiId::MAX_PERSISTABLE);
+        for p in &mut s.points {
+            p.taxi = s.taxi;
+        }
+        buf.clear();
+        encode_session(&mut buf, &s).unwrap();
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_session(&mut bytes).unwrap(), s);
     }
 
     #[test]

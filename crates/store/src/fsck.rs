@@ -5,10 +5,11 @@
 //! per-file integrity: version, fingerprint, records declared vs. valid,
 //! and every piece of damage the salvage reader found. With `repair`:
 //!
-//! * a damaged (or legacy v1) **store** is rewritten as a clean v2 file
+//! * a damaged (or legacy v1) **store** is rewritten as a clean v3 file
 //!   from its salvageable records, deduplicated by trip id, under the
 //!   same fingerprint — the atomic writer guarantees the original stays
-//!   intact if the rewrite dies;
+//!   intact if the rewrite dies (clean pre-index v2 files are left
+//!   untouched: they still read fine via the scan path);
 //! * a damaged **checkpoint** is removed: checkpoints carry no primary
 //!   data (the pipeline recomputes the stage), so deletion *is* the
 //!   repair — resume treats the missing file as "stage not done".
@@ -45,7 +46,7 @@ pub struct FsckReport {
     pub path: PathBuf,
     /// Container family.
     pub kind: FileKind,
-    /// Container version (1 or 2; 0 when the header was unreadable).
+    /// Container version (1, 2 or 3; 0 when the header was unreadable).
     pub version: u32,
     /// Config fingerprint from the header (0 = untagged / unreadable).
     pub fingerprint: u64,
@@ -56,8 +57,8 @@ pub struct FsckReport {
     /// Damage found, in file order; empty means clean.
     pub damage: Vec<RecordDamage>,
     /// Repair action taken, when repair was requested and needed:
-    /// `"rewritten"` (store salvaged to clean v2), `"upgraded"` (clean v1
-    /// store rewritten as v2), or `"removed"` (unusable checkpoint).
+    /// `"rewritten"` (store salvaged to clean v3), `"upgraded"` (clean v1
+    /// store rewritten as v3), or `"removed"` (unusable checkpoint).
     pub repaired: Option<&'static str>,
 }
 
@@ -75,7 +76,12 @@ impl FsckReport {
         }
         let count = |k: DamageKind| self.damage.iter().filter(|d| d.kind == k).count();
         let mut parts = Vec::new();
-        for kind in [DamageKind::CorruptRecord, DamageKind::TornTail, DamageKind::HeaderMismatch] {
+        for kind in [
+            DamageKind::CorruptRecord,
+            DamageKind::TornTail,
+            DamageKind::HeaderMismatch,
+            DamageKind::CorruptIndex,
+        ] {
             let n = count(kind);
             if n > 0 {
                 parts.push(format!("{} {n}", kind.label()));
@@ -222,7 +228,9 @@ fn fsck_checkpoint(path: &Path, repair: bool) -> Result<FsckReport, StoreError> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{record_spans, save_sessions, save_sessions_v1};
+    use crate::codec::{
+        record_spans, save_sessions, save_sessions_v1, save_sessions_v2_tagged,
+    };
     use bytes::BufMut;
     use taxitrace_geo::{GeoPoint, Point};
     use taxitrace_timebase::{Duration, Timestamp};
@@ -300,7 +308,7 @@ mod tests {
         assert_eq!(fix[0].repaired, Some("rewritten"));
         let rescan = fsck_path(&path, true).unwrap();
         assert!(rescan[0].is_clean());
-        assert_eq!(rescan[0].version, 2);
+        assert_eq!(rescan[0].version, 3);
         assert_eq!(rescan[0].records_valid, 4);
         assert!(rescan[0].repaired.is_none());
         std::fs::remove_dir_all(&dir).ok();
@@ -316,8 +324,46 @@ mod tests {
         assert_eq!(fix[0].version, 1);
         assert_eq!(fix[0].repaired, Some("upgraded"));
         let rescan = fsck_path(&path, false).unwrap();
-        assert_eq!(rescan[0].version, 2);
+        assert_eq!(rescan[0].version, 3);
         assert!(rescan[0].is_clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_pre_index_v2_store_is_left_untouched() {
+        let dir = tmp_dir("v2-clean");
+        let path = dir.join("old.tts");
+        let sessions: Vec<_> = (1..=3).map(session).collect();
+        save_sessions_v2_tagged(&path, &sessions, 7).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let fix = fsck_path(&path, true).unwrap();
+        assert_eq!(fix[0].version, 2);
+        assert!(fix[0].is_clean());
+        assert!(fix[0].repaired.is_none(), "clean v2 is not upgraded");
+        assert_eq!(std::fs::read(&path).unwrap(), before, "file untouched");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_offset_index_is_repaired_by_rewrite() {
+        let dir = tmp_dir("badindex");
+        let path = dir.join("s.tts");
+        let sessions: Vec<_> = (1..=4).map(session).collect();
+        save_sessions(&path, &sessions).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip a bit inside the v3 offset index (starts after the 28-byte
+        // header).
+        raw[30] ^= 0x20;
+        std::fs::write(&path, &raw).unwrap();
+        let scan = fsck_path(&path, false).unwrap();
+        assert_eq!(scan[0].damage_summary(), "corrupt_index 1");
+        assert_eq!(scan[0].records_valid, 4, "records scan-salvage fine");
+        let fix = fsck_path(&path, true).unwrap();
+        assert_eq!(fix[0].repaired, Some("rewritten"));
+        let rescan = fsck_path(&path, false).unwrap();
+        assert!(rescan[0].is_clean());
+        assert_eq!(rescan[0].version, 3);
+        assert_eq!(rescan[0].records_valid, 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 

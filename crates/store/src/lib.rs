@@ -10,9 +10,10 @@
 //!   by taxi, trip id, session start time, and a spatial grid index over
 //!   route points;
 //! * [`Query`] — a small composable filter (taxi + time window + bbox);
-//! * [`codec`] — a versioned binary file format (checksummed v2 container,
-//!   legacy v1 read-only) so a simulated year can be generated once and
-//!   re-analysed many times, with torn-write salvage instead of abort;
+//! * [`codec`] — a versioned binary file format (checksummed v3 container
+//!   with an offset index for seek/zero-copy reads; v1 and pre-index v2
+//!   read-only) so a simulated year can be generated once and re-analysed
+//!   many times, with torn-write salvage instead of abort;
 //! * [`checkpoint`] — a named-section container with a config fingerprint
 //!   and atomic rename publication, backing stage checkpoint/resume;
 //! * [`integrity`] — the dependency-free CRC-32 and the temp-file+fsync+
@@ -33,7 +34,7 @@ pub use checkpoint::{
     load_checkpoint, save_checkpoint, CheckpointFile, CHECKPOINT_MAGIC,
     CHECKPOINT_MAGIC_V2,
 };
-pub use codec::{DamageKind, RecordDamage, Salvage, SalvageReport};
+pub use codec::{DamageKind, IndexedLoad, RecordDamage, Salvage, SalvageReport};
 pub use fsck::{fsck_path, FileKind, FsckReport};
 pub use query::Query;
 pub use store::{StoreError, StoreStats, TripStore};

@@ -96,7 +96,7 @@ mod tests {
     use taxitrace_timebase::Duration;
     use taxitrace_traces::{PointTruth, RoutePoint, TripId};
 
-    fn session(taxi: u8, t0: i64, x: f64, points: usize) -> RawTrip {
+    fn session(taxi: u16, t0: i64, x: f64, points: usize) -> RawTrip {
         let pts = (0..points)
             .map(|i| RoutePoint {
                 point_id: i as u64,

@@ -215,10 +215,17 @@ impl TripStore {
 
     /// Loads a store from a file written by [`Self::save`].
     pub fn load(path: &Path) -> Result<Self, StoreError> {
-        let sessions = codec::load_sessions(path)?;
+        Ok(Self::load_stats(path)?.0)
+    }
+
+    /// [`Self::load`] plus provenance: the flag is `true` when the v3
+    /// offset index served the read (seek + zero-copy payloads) without a
+    /// sequential scan.
+    pub fn load_stats(path: &Path) -> Result<(Self, bool), StoreError> {
+        let (sessions, indexed) = codec::load_sessions_stats(path)?;
         let mut store = Self::new();
         store.insert_all(sessions)?;
-        Ok(store)
+        Ok((store, indexed))
     }
 }
 
@@ -229,7 +236,7 @@ mod tests {
     use taxitrace_timebase::Duration;
     use taxitrace_traces::PointTruth;
 
-    fn point(trip: u64, taxi: u8, t: i64, x: f64, y: f64) -> RoutePoint {
+    fn point(trip: u64, taxi: u16, t: i64, x: f64, y: f64) -> RoutePoint {
         RoutePoint {
             point_id: t as u64,
             trip_id: TripId(trip),
@@ -244,7 +251,7 @@ mod tests {
         }
     }
 
-    fn session(trip: u64, taxi: u8, t0: i64, xs: &[f64]) -> RawTrip {
+    fn session(trip: u64, taxi: u16, t0: i64, xs: &[f64]) -> RawTrip {
         let points: Vec<RoutePoint> = xs
             .iter()
             .enumerate()

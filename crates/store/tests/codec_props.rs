@@ -2,10 +2,11 @@
 //!
 //! The properties: an *arbitrary* session population — empty trips,
 //! extreme-but-finite coordinates, hostile strings — survives
-//! encode → decode bit-identically through both the v2 and the legacy v1
-//! container, and writing the same population twice produces the same
-//! bytes. Sessions carrying non-finite floats are rejected at encode time
-//! with a typed error instead of poisoning a file.
+//! encode → decode bit-identically through both the v3 and the legacy v1
+//! container, writing the same population twice produces the same bytes,
+//! and the v3 offset-index seek reader returns exactly what the sequential
+//! scan returns. Sessions carrying non-finite floats are rejected at
+//! encode time with a typed error instead of poisoning a file.
 //!
 //! The vendored proptest shim has no `Arbitrary` derive, so each case
 //! draws one seed and expands it through a deterministic generator that
@@ -23,9 +24,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 use taxitrace_geo::{GeoPoint, Point};
 use taxitrace_roadnet::{ElementId, NodeId};
+use bytes::Bytes;
 use taxitrace_store::codec::{
-    load_sessions, load_sessions_salvage, record_spans, salvage_bytes, save_sessions_tagged,
-    save_sessions_v1,
+    load_sessions, load_sessions_indexed_bytes, load_sessions_salvage, read_session_indexed,
+    record_spans, salvage_bytes, save_sessions_tagged, save_sessions_v1, save_sessions_v2_tagged,
 };
 use taxitrace_store::{DamageKind, StoreError};
 use taxitrace_timebase::{Duration, Timestamp};
@@ -106,7 +108,7 @@ fn gen_truth(rng: &mut Mix) -> CustomerTripTruth {
 
 fn gen_session(rng: &mut Mix, id: u64) -> RawTrip {
     let trip_id = TripId(id);
-    let taxi = TaxiId(rng.next() as u8);
+    let taxi = TaxiId(u16::from(rng.next() as u8));
     let start = rng.below(2_000_000_000) as i64 - 1_000_000_000;
     let dur = rng.below(10_000_000) as i64;
     // Empty trips are legal on the wire; generate them often.
@@ -137,24 +139,24 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn v2_files_round_trip_bit_identically(seed in 0u64..u64::MAX, fp in 0u64..u64::MAX) {
+    fn v3_files_round_trip_bit_identically(seed in 0u64..u64::MAX, fp in 0u64..u64::MAX) {
         let sessions = gen_sessions(seed);
-        let path = scratch_file("v2");
-        save_sessions_tagged(&path, &sessions, fp).expect("save v2");
+        let path = scratch_file("v3");
+        save_sessions_tagged(&path, &sessions, fp).expect("save v3");
         let loaded = load_sessions(&path).expect("strict load");
         prop_assert_eq!(&loaded, &sessions);
 
         // Salvage agrees with the strict reader on healthy data.
         let salvage = load_sessions_salvage(&path).expect("salvage");
         prop_assert!(salvage.report.is_clean());
-        prop_assert_eq!(salvage.report.version, 2);
+        prop_assert_eq!(salvage.report.version, 3);
         prop_assert_eq!(salvage.report.fingerprint, fp);
         prop_assert_eq!(salvage.report.records_valid, sessions.len() as u64);
         prop_assert_eq!(&salvage.sessions, &sessions);
 
         // Bit identity: re-encoding the decoded population reproduces the
         // file byte for byte.
-        let again = scratch_file("v2-again");
+        let again = scratch_file("v3-again");
         save_sessions_tagged(&again, &loaded, fp).expect("re-save");
         prop_assert_eq!(
             std::fs::read(&path).expect("read a"),
@@ -162,6 +164,32 @@ proptest! {
         );
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&again);
+    }
+
+    #[test]
+    fn indexed_seek_equals_sequential_scan(seed in 0u64..u64::MAX, fp in 0u64..u64::MAX) {
+        let sessions = gen_sessions(seed);
+        let path = scratch_file("v3-seek");
+        save_sessions_tagged(&path, &sessions, fp).expect("save v3");
+        let raw = Bytes::from(std::fs::read(&path).expect("read"));
+
+        let salvage = salvage_bytes(&raw);
+        prop_assert!(salvage.report.is_clean());
+
+        // Whole-file fast path agrees with the sequential scan.
+        let indexed = load_sessions_indexed_bytes(&raw)
+            .expect("indexed load")
+            .expect("a v3 file must take the fast path");
+        prop_assert_eq!(indexed.fingerprint, fp);
+        prop_assert_eq!(&indexed.sessions, &salvage.sessions);
+
+        // Every single-record seek agrees with the scan, in any order.
+        for i in (0..sessions.len()).rev() {
+            let one = read_session_indexed(&raw, i).expect("seek").expect("in range");
+            prop_assert_eq!(&one, &sessions[i]);
+        }
+        prop_assert!(read_session_indexed(&raw, sessions.len()).expect("seek").is_none());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -220,7 +248,7 @@ fn fixture_sessions() -> Vec<RawTrip> {
                 .map(|j| RoutePoint {
                     point_id: i * 10 + j,
                     trip_id: TripId(i),
-                    taxi: TaxiId(i as u8 + 1),
+                    taxi: TaxiId(i as u16 + 1),
                     geo: GeoPoint::new(25.4 + j as f64 * 0.001, 65.0),
                     pos: Point::new(j as f64 * 50.0, i as f64 * 25.0),
                     timestamp: Timestamp::from_secs(1_349_000_000 + (i * 600 + j * 30) as i64),
@@ -232,7 +260,7 @@ fn fixture_sessions() -> Vec<RawTrip> {
                 .collect();
             RawTrip {
                 id: TripId(i),
-                taxi: TaxiId(i as u8 + 1),
+                taxi: TaxiId(i as u16 + 1),
                 start_time: Timestamp::from_secs(1_349_000_000 + (i * 600) as i64),
                 end_time: Timestamp::from_secs(1_349_000_000 + (i * 600 + 90) as i64),
                 points,
@@ -246,10 +274,12 @@ fn fixture_sessions() -> Vec<RawTrip> {
 }
 
 /// Builds the clean container plus its two damaged variants. Pure function
-/// of [`fixture_sessions`], so blessing is reproducible.
+/// of [`fixture_sessions`], so blessing is reproducible. Deliberately uses
+/// the pre-index v2 writer: the committed fixtures pin that salvage of
+/// old-format files keeps working after the v3 index was introduced.
 fn fixture_bytes() -> (Vec<u8>, Vec<u8>, Vec<u8>) {
     let path = scratch_file("fixture-base");
-    save_sessions_tagged(&path, &fixture_sessions(), 0xF1C5).expect("save fixture");
+    save_sessions_v2_tagged(&path, &fixture_sessions(), 0xF1C5).expect("save fixture");
     let clean = std::fs::read(&path).expect("read fixture");
     let _ = std::fs::remove_file(&path);
 

@@ -1,0 +1,137 @@
+//! Struct-of-arrays trace buffers.
+//!
+//! [`RoutePoint`] is a ~140-byte struct; cleaning rules and grid statistics
+//! only touch a couple of its fields per point, so iterating `&[RoutePoint]`
+//! drags the whole struct through the cache for every coordinate compared.
+//! [`TraceColumns`] gathers the hot fields — planar coordinates, timestamp
+//! seconds, OBD speed — into contiguous `f64`/`i64` columns once per
+//! session; the Table 2 pair rules, rule 1/5 runs, length filters and grid
+//! binning then stream over dense columns instead of pointer-chasing
+//! structs.
+//!
+//! The columns are a *view* for computation: they carry no identity fields,
+//! and materialising kept segments still slices the original point vector.
+
+use std::ops::Range;
+
+use crate::model::RoutePoint;
+
+/// Hot route-point fields in struct-of-arrays layout.
+#[derive(Debug, Clone, Default)]
+pub struct TraceColumns {
+    /// Planar x per point, metres.
+    pub x: Vec<f64>,
+    /// Planar y per point, metres.
+    pub y: Vec<f64>,
+    /// Timestamp per point, Unix seconds.
+    pub t_secs: Vec<i64>,
+    /// OBD speed per point, km/h.
+    pub speed_kmh: Vec<f64>,
+}
+
+impl TraceColumns {
+    /// Gathers the hot columns from a point stream (one linear pass).
+    pub fn from_points(points: &[RoutePoint]) -> Self {
+        let mut cols = Self {
+            x: Vec::with_capacity(points.len()),
+            y: Vec::with_capacity(points.len()),
+            t_secs: Vec::with_capacity(points.len()),
+            speed_kmh: Vec::with_capacity(points.len()),
+        };
+        for p in points {
+            cols.x.push(p.pos.x);
+            cols.y.push(p.pos.y);
+            cols.t_secs.push(p.timestamp.secs());
+            cols.speed_kmh.push(p.speed_kmh);
+        }
+        cols
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the buffer holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Euclidean distance between rows `i` and `j`, metres. Uses `hypot`
+    /// to match `Point::distance` bit-for-bit, so columnar reimplementations
+    /// of point-slice code stay exactly equal to their references.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        (self.x[j] - self.x[i]).hypot(self.y[j] - self.y[i])
+    }
+
+    /// Seconds elapsed from row `i` to row `j` (negative if out of order).
+    #[inline]
+    pub fn dt_s(&self, i: usize, j: usize) -> i64 {
+        self.t_secs[j] - self.t_secs[i]
+    }
+
+    /// Polyline length over the consecutive points of `range`, metres.
+    pub fn length_m(&self, range: Range<usize>) -> f64 {
+        if range.len() < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for i in range.start..range.end - 1 {
+            sum += self.dist(i, i + 1);
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxitrace_geo::{GeoPoint, Point};
+    use taxitrace_timebase::Timestamp;
+
+    use crate::model::{PointTruth, TaxiId, TripId};
+
+    fn pt(t: i64, x: f64, y: f64, v: f64) -> RoutePoint {
+        RoutePoint {
+            point_id: t as u64,
+            trip_id: TripId(1),
+            taxi: TaxiId(1),
+            geo: GeoPoint::new(25.0, 65.0),
+            pos: Point::new(x, y),
+            timestamp: Timestamp::from_secs(t),
+            speed_kmh: v,
+            heading_deg: 0.0,
+            fuel_ml: 0.0,
+            truth: PointTruth { seq: t as u32, element: None },
+        }
+    }
+
+    #[test]
+    fn gathers_hot_fields() {
+        let pts = vec![pt(0, 0.0, 0.0, 10.0), pt(10, 3.0, 4.0, 20.0)];
+        let cols = TraceColumns::from_points(&pts);
+        assert_eq!(cols.len(), 2);
+        assert!(!cols.is_empty());
+        assert_eq!(cols.x, vec![0.0, 3.0]);
+        assert_eq!(cols.y, vec![0.0, 4.0]);
+        assert_eq!(cols.t_secs, vec![0, 10]);
+        assert_eq!(cols.speed_kmh, vec![10.0, 20.0]);
+        assert_eq!(cols.dist(0, 1), 5.0);
+        assert_eq!(cols.dt_s(0, 1), 10);
+    }
+
+    #[test]
+    fn length_matches_pairwise_distances() {
+        let pts: Vec<RoutePoint> =
+            (0..10).map(|i| pt(i as i64, i as f64 * 50.0, 0.0, 0.0)).collect();
+        let cols = TraceColumns::from_points(&pts);
+        assert_eq!(cols.length_m(0..10), 450.0);
+        assert_eq!(cols.length_m(2..5), 100.0);
+        assert_eq!(cols.length_m(3..4), 0.0);
+        assert_eq!(cols.length_m(0..0), 0.0);
+        let empty = TraceColumns::from_points(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.length_m(0..0), 0.0);
+    }
+}

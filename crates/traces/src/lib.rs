@@ -9,6 +9,8 @@
 //!
 //! * [`model`] — route points, raw engine-on trips, taxi/trip identifiers,
 //!   mirroring the paper's data vectors;
+//! * [`columns`] — struct-of-arrays buffers of the hot route-point fields
+//!   for cache-friendly cleaning and statistics loops;
 //! * [`rng`] — deterministic xoshiro256** randomness (a study is a pure
 //!   function of a `u64` seed);
 //! * [`driver`] — per-driver behaviour profiles and seasonal speed factors;
@@ -26,6 +28,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod columns;
 pub mod corruption;
 pub mod driver;
 pub mod fuel;
@@ -35,6 +38,7 @@ pub mod sampler;
 pub mod simulator;
 
 pub use chaos::{FaultPlan, InjectedFault, RecordSpan};
+pub use columns::TraceColumns;
 pub use corruption::{AppliedCorruption, CorruptionConfig};
 pub use driver::{season_speed_factor, DriverProfile};
 pub use fuel::FuelModel;

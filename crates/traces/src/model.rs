@@ -7,8 +7,18 @@ use taxitrace_timebase::{Duration, Timestamp};
 
 /// Identifier of a taxi (the study has seven; we keep them 1-based like the
 /// paper's Table 3).
+///
+/// Wide enough that scaled fleets beyond 255 taxis cannot silently alias
+/// identities in memory. The store wire format still carries one byte, so
+/// persisting a fleet larger than [`TaxiId::MAX_PERSISTABLE`] is a typed
+/// encode error rather than silent truncation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct TaxiId(pub u8);
+pub struct TaxiId(pub u16);
+
+impl TaxiId {
+    /// Largest id representable in the one-byte store wire format.
+    pub const MAX_PERSISTABLE: u16 = u8::MAX as u16;
+}
 
 impl fmt::Display for TaxiId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

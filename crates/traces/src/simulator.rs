@@ -114,12 +114,36 @@ impl FleetConfig {
             ..Self::default()
         }
     }
+
+    /// Checks the invariants [`simulate_fleet`] relies on: a non-empty
+    /// fleet, a finite positive scale, and a fleet narrow enough that
+    /// 1-based [`TaxiId`]s fit their `u16` representation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.legs_per_taxi.is_empty() {
+            return Err("fleet must have at least one taxi".into());
+        }
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err(format!("scale {} must be finite and positive", self.scale));
+        }
+        if self.legs_per_taxi.len() > u16::MAX as usize {
+            return Err(format!(
+                "fleet of {} taxis exceeds the {} TaxiId can address",
+                self.legs_per_taxi.len(),
+                u16::MAX
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// The simulated fleet's output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetData {
     pub sessions: Vec<RawTrip>,
+    /// Number of (taxi, day) work units the simulation was sharded into
+    /// (reported as the `exec.shard_units` metric by the pipeline).
+    #[serde(default)]
+    pub shard_count: usize,
 }
 
 impl FleetData {
@@ -139,22 +163,102 @@ impl FleetData {
     }
 }
 
-/// Simulates the whole fleet over the study year. Taxis are independent
-/// streams, simulated in parallel; the result is deterministic in
-/// `config.seed` regardless of thread scheduling.
+/// Simulates the whole fleet over the study year.
+///
+/// The work list is sharded *below* the taxi level into (taxi, day) units:
+/// a cheap sequential planner pass derives each taxi's driver profile and
+/// per-day leg allocation from the per-taxi stream
+/// `Rng::new(seed).fork(taxi)`, then every day unit simulates under its own
+/// counter-derived stream `Rng::new(seed).fork(taxi).fork(day)` — derived,
+/// not threaded, so no unit depends on another unit's draws. With ~365
+/// units per taxi instead of one long stream each, the work-stealing
+/// executor stays saturated at scale 10/100 instead of bottlenecking on a
+/// handful of long taxi streams. The result is deterministic in
+/// `config.seed` regardless of thread count or scheduling.
 pub fn simulate_fleet(
     city: &SyntheticCity,
     weather: &WeatherModel,
     config: &FleetConfig,
 ) -> FleetData {
-    let taxi_indices: Vec<usize> = (0..config.legs_per_taxi.len()).collect();
-    let (per_taxi, _states) =
-        taxitrace_exec::par_map_init(&taxi_indices, SearchState::new, |search, &i| {
-            simulate_taxi(search, city, weather, config, i)
+    let shards = plan_shards(config);
+    let ctx = FleetCtx {
+        city,
+        weather,
+        config,
+        elem_index: city.elements.iter().map(|e| (e.id, e)).collect(),
+        core_nodes: core_node_weights(city),
+        od_names: city
+            .od_roads
+            .iter()
+            .map(|r| (r.outer_node, r.name.as_str()))
+            .collect(),
+    };
+    let (per_shard, _states) =
+        taxitrace_exec::par_map_init(&shards, SearchState::new, |search, shard| {
+            simulate_day(search, &ctx, shard)
         });
-    let mut sessions: Vec<RawTrip> = per_taxi.into_iter().flatten().collect();
+    let mut sessions: Vec<RawTrip> = per_shard.into_iter().flatten().collect();
     sessions.sort_by_key(|s| (s.taxi, s.start_time));
-    FleetData { sessions }
+    FleetData { sessions, shard_count: shards.len() }
+}
+
+/// One (taxi, day) unit of fleet work, fully planned up front so the unit
+/// can run on any worker in any order.
+#[derive(Debug, Clone, Copy)]
+struct DayShard {
+    taxi_idx: usize,
+    day: usize,
+    /// Customer legs allocated to this day by the planner stream.
+    legs: usize,
+    /// The taxi's driver profile (sampled once per taxi by the planner).
+    profile: DriverProfile,
+}
+
+/// Shared read-only fleet context, built once instead of per taxi.
+struct FleetCtx<'a> {
+    city: &'a SyntheticCity,
+    weather: &'a WeatherModel,
+    config: &'a FleetConfig,
+    elem_index: HashMap<ElementId, &'a TrafficElement>,
+    core_nodes: (Vec<NodeId>, Vec<f64>),
+    od_names: Vec<(NodeId, &'a str)>,
+}
+
+/// Sequential planning pass: samples each taxi's profile and splits its
+/// leg target over the study days, consuming only the per-taxi planner
+/// stream (`fork(taxi)`). Day simulation never touches this stream, so
+/// the plan is independent of execution order.
+fn plan_shards(config: &FleetConfig) -> Vec<DayShard> {
+    let days = config.days.max(1);
+    // Fleets wider than TaxiId are rejected by FleetConfig::validate /
+    // StudyConfig::validate before simulation; clamp defensively so a
+    // hand-built config cannot alias taxi identities.
+    let taxis = config.legs_per_taxi.len().min(u16::MAX as usize);
+    let mut shards = Vec::new();
+    for taxi_idx in 0..taxis {
+        let mut planner = Rng::new(config.seed).fork(taxi_idx as u64 + 1);
+        let profile = DriverProfile::sample(&mut planner);
+        let target_legs =
+            (config.legs_per_taxi[taxi_idx] * config.scale).round().max(1.0) as usize;
+        let legs_per_day = target_legs as f64 / days as f64;
+        let mut remaining = target_legs;
+        for day in 0..days {
+            if remaining == 0 {
+                break;
+            }
+            let mut today = legs_per_day.floor() as usize;
+            if planner.chance(legs_per_day - today as f64) {
+                today += 1;
+            }
+            let today = today.min(remaining);
+            if today == 0 {
+                continue;
+            }
+            remaining -= today;
+            shards.push(DayShard { taxi_idx, day, legs: today, profile });
+        }
+    }
+    shards
 }
 
 /// Shared per-route lookup: which element spans which arc-offset range.
@@ -180,124 +284,105 @@ struct Event {
     done: bool,
 }
 
-fn simulate_taxi(
+/// Simulates one (taxi, day) shard under its own derived RNG stream.
+///
+/// Overnight the taxi is off duty (parks, repositions, shift change), so
+/// each day's shift starts from an independently drawn node instead of
+/// chaining the previous day's drop-off — which is what makes day units
+/// independent work items.
+fn simulate_day(
     search: &mut SearchState,
-    city: &SyntheticCity,
-    weather: &WeatherModel,
-    config: &FleetConfig,
-    taxi_idx: usize,
-) -> Vec<RawTrip> {
-    let mut rng = Rng::new(config.seed).fork(taxi_idx as u64 + 1);
-    let profile = DriverProfile::sample(&mut rng);
-    let taxi = TaxiId(taxi_idx as u8 + 1);
-    let target_legs =
-        (config.legs_per_taxi[taxi_idx] * config.scale).round().max(1.0) as usize;
+    ctx: &FleetCtx<'_>,
+    shard: &DayShard,
+) -> Option<RawTrip> {
+    let FleetCtx { city, weather, config, .. } = *ctx;
+    let mut rng = Rng::new(config.seed)
+        .fork(shard.taxi_idx as u64 + 1)
+        .fork(shard.day as u64 + 1);
+    let taxi = TaxiId(shard.taxi_idx as u16 + 1);
+    let profile = shard.profile;
 
-    let elem_index: HashMap<ElementId, &TrafficElement> =
-        city.elements.iter().map(|e| (e.id, e)).collect();
-    let core_nodes = core_node_weights(city);
-    let od_names: Vec<(NodeId, &str)> = city
-        .od_roads
-        .iter()
-        .map(|r| (r.outer_node, r.name.as_str()))
-        .collect();
+    let day_start = study_period_start() + Duration::from_days(shard.day as i64);
+    let session_start =
+        day_start + Duration::from_secs(6 * 3600 + (rng.f64() * 4.0 * 3600.0) as i64);
+    let weather_day = weather.at(session_start);
+    let season = Season::of_timestamp(session_start);
+    let speed_env = season_speed_factor(season) * weather_day.condition.speed_factor();
 
-    let mut sessions = Vec::new();
-    let days = config.days.max(1);
-    let legs_per_day = target_legs as f64 / days as f64;
-    let mut remaining = target_legs;
-    let mut current_node = NodeId(rng.below(city.graph.num_nodes()) as u32);
-    let projection = *city.graph.projection();
+    let trip_id = TripId((shard.taxi_idx as u64 + 1) * 1_000_000 + shard.day as u64);
+    let mut sb = SessionBuilder::new(
+        trip_id,
+        taxi,
+        session_start,
+        *city.graph.projection(),
+        Sampler::new(config.sampler),
+        config.fuel,
+        config.gps_noise_m,
+        config.p_gps_outlier,
+    );
+    // The shift starts where the previous evening ended: near an arterial
+    // O-D stand about as often as customers ask to be taken to one. Drawing
+    // this from the day's own stream (instead of chaining the previous
+    // day's drop-off) is what keeps day units independent work items.
+    let mut current_node = if !city.od_roads.is_empty() && rng.chance(config.p_od_dest) {
+        city.od_roads[rng.below(city.od_roads.len())].outer_node
+    } else {
+        NodeId(rng.below(city.graph.num_nodes()) as u32)
+    };
 
-    for day in 0..days {
-        if remaining == 0 {
-            break;
-        }
-        let mut today = legs_per_day.floor() as usize;
-        if rng.chance(legs_per_day - today as f64) {
-            today += 1;
-        }
-        let today = today.min(remaining);
-        if today == 0 {
-            continue;
-        }
-        remaining -= today;
-
-        let day_start = study_period_start() + Duration::from_days(day as i64);
-        let session_start =
-            day_start + Duration::from_secs(6 * 3600 + (rng.f64() * 4.0 * 3600.0) as i64);
-        let weather_day = weather.at(session_start);
-        let season = Season::of_timestamp(session_start);
-        let speed_env =
-            season_speed_factor(season) * weather_day.condition.speed_factor();
-
-        let trip_id = TripId((taxi_idx as u64 + 1) * 1_000_000 + day as u64);
-        let mut sb = SessionBuilder::new(
-            trip_id,
-            taxi,
-            session_start,
-            projection,
-            Sampler::new(config.sampler),
-            config.fuel,
-            config.gps_noise_m,
-            config.p_gps_outlier,
+    for _ in 0..shard.legs {
+        // Customer boards.
+        let boarding = rng.range(20.0, 90.0);
+        sb.dwell(&mut rng, boarding, city.graph.node_point(current_node));
+        // Choose a destination and route.
+        let dest = sample_destination(
+            &mut rng,
+            city,
+            &ctx.core_nodes,
+            current_node,
+            config.p_od_dest,
         );
-
-        for _ in 0..today {
-            // Customer boards.
-            let boarding = rng.range(20.0, 90.0);
-            sb.dwell(&mut rng, boarding, city.graph.node_point(current_node));
-            // Choose a destination and route.
-            let dest = sample_destination(
-                &mut rng,
-                city,
-                &core_nodes,
-                current_node,
-                config.p_od_dest,
-            );
-            let Some(route) =
-                choose_route(search, city, &mut rng, &profile, current_node, dest)
-            else {
-                continue;
-            };
-            let od_pair = od_pair_of(&od_names, current_node, dest);
-            drive_leg(
-                &mut sb,
-                &mut rng,
-                city,
-                config,
-                &profile,
-                &elem_index,
-                &route,
-                speed_env,
-                od_pair,
-                current_node,
-                dest,
-            );
-            current_node = dest;
-            // Customer leaves; then wait for the next fare.
-            let leaving = rng.range(20.0, 60.0);
-            sb.dwell(&mut rng, leaving, city.graph.node_point(current_node));
-            let gap = rng.exponential(360.0).clamp(45.0, 1400.0);
-            if gap > 420.0 && rng.chance(0.25) {
-                // Silent relocation to a nearby taxi stand: the device
-                // sleeps through a short reposition drive, producing the
-                // long-gap-with-movement pattern that Table 2 rules 2 and
-                // 4 exist to catch.
-                let stand = nearby_node(&mut rng, city, current_node, 1500.0);
-                sb.silent_gap(gap);
-                current_node = stand;
-            } else {
-                sb.dwell(&mut rng, gap, city.graph.node_point(current_node));
-            }
-        }
-
-        if sb.points.is_empty() {
+        let Some(route) =
+            choose_route(search, city, &mut rng, &profile, current_node, dest)
+        else {
             continue;
+        };
+        let od_pair = od_pair_of(&ctx.od_names, current_node, dest);
+        drive_leg(
+            &mut sb,
+            &mut rng,
+            city,
+            config,
+            &profile,
+            &ctx.elem_index,
+            &route,
+            speed_env,
+            od_pair,
+            current_node,
+            dest,
+        );
+        current_node = dest;
+        // Customer leaves; then wait for the next fare.
+        let leaving = rng.range(20.0, 60.0);
+        sb.dwell(&mut rng, leaving, city.graph.node_point(current_node));
+        let gap = rng.exponential(360.0).clamp(45.0, 1400.0);
+        if gap > 420.0 && rng.chance(0.25) {
+            // Silent relocation to a nearby taxi stand: the device
+            // sleeps through a short reposition drive, producing the
+            // long-gap-with-movement pattern that Table 2 rules 2 and
+            // 4 exist to catch.
+            let stand = nearby_node(&mut rng, city, current_node, 1500.0);
+            sb.silent_gap(gap);
+            current_node = stand;
+        } else {
+            sb.dwell(&mut rng, gap, city.graph.node_point(current_node));
         }
-        sessions.push(sb.finish(&config.corruption, &mut rng));
     }
-    sessions
+
+    if sb.points.is_empty() {
+        return None;
+    }
+    Some(sb.finish(&config.corruption, &mut rng))
 }
 
 /// Hotspot-weighted list of candidate customer nodes: demand concentrates
@@ -907,6 +992,45 @@ mod tests {
         assert_eq!(a.total_points(), b.total_points());
         let (pa, pb) = (&a.sessions[0].points, &b.sessions[0].points);
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn shards_split_below_the_taxi_level() {
+        let cfg = FleetConfig::tiny(7);
+        let city = generate(&OuluConfig::default());
+        let weather = WeatherModel::new(42);
+        let data = simulate_fleet(&city, &weather, &cfg);
+        // ~30 active days per taxi means far more work units than taxis.
+        assert!(
+            data.shard_count > 10 * cfg.legs_per_taxi.len(),
+            "shard_count {}",
+            data.shard_count
+        );
+        // The planner allocates exactly the scaled leg target per taxi.
+        let target: usize = cfg
+            .legs_per_taxi
+            .iter()
+            .map(|&l| (l * cfg.scale).round().max(1.0) as usize)
+            .sum();
+        let planned: usize = data.sessions.iter().map(|s| s.truth_trips.len()).sum();
+        // Some legs abort before emitting (unroutable pairs), so planned
+        // truth legs can fall slightly short of the target, never above.
+        assert!(planned <= target, "planned {planned} target {target}");
+        assert!(planned * 10 >= target * 9, "planned {planned} target {target}");
+    }
+
+    #[test]
+    fn fleet_config_validates_width_and_scale() {
+        assert!(FleetConfig::tiny(1).validate().is_ok());
+        let mut cfg = FleetConfig::tiny(1);
+        cfg.legs_per_taxi.clear();
+        assert!(cfg.validate().is_err());
+        let mut cfg = FleetConfig::tiny(1);
+        cfg.scale = f64::NAN;
+        assert!(cfg.validate().is_err());
+        let mut cfg = FleetConfig::tiny(1);
+        cfg.legs_per_taxi = vec![1.0; u16::MAX as usize + 1];
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -41,8 +41,10 @@ for key in ("counters", "gauges", "histograms", "spans"):
 counters = m["counters"]
 for prefix in ("sim.", "clean.", "od.", "match.", "exec."):
     assert any(k.startswith(prefix) for k in counters), f"no {prefix}* counters"
-for k in ("match.cache_hits", "match.cache_misses", "match.astar_expanded"):
+for k in ("match.cache_hits", "match.cache_misses", "match.astar_expanded",
+          "exec.shard_units"):
     assert k in counters, f"missing counter {k!r}"
+assert counters["exec.shard_units"] > 0, "simulation reported zero shard units"
 paths = {s["path"] for s in m["spans"]}
 for p in ("study/simulate", "study/clean", "study/od", "study/match_fuse"):
     assert p in paths, f"missing span {p!r}"
@@ -152,6 +154,63 @@ EOF
     echo "verify: repaired store still scans dirty" >&2
     exit 1
 }
+# The repaired container is a clean v3 file, so a replay must take the
+# offset-index fast path rather than the salvage scan.
+./target/release/repro --scale 0.05 --store "$store" \
+    --metrics json --metrics-out "$metrics" table3 > /dev/null 2>&1 || {
+    echo "verify: --store replay of the repaired store failed" >&2
+    exit 1
+}
+python3 - "$metrics" <<'EOF'
+import json, sys
+
+m = json.load(open(sys.argv[1]))
+counters = m["counters"]
+assert counters.get("store.indexed_reads", 0) > 0, \
+    "repaired v3 store was not served by the offset index"
+print("indexed-read smoke OK: repaired store loaded via the v3 index")
+EOF
 rm -rf "$storedir" "$metrics" "$plan"
+
+# Perf smoke: the bench-json record at 1 worker and at a forced 4-worker
+# pool (oversubscribed on small hosts — the override is literal) must
+# agree on every fingerprint: the study output and each simulate_matrix
+# scale row. This is the thread-count-invariance contract, asserted on
+# the exact artifact BENCH_pipeline.json is built from.
+j1=$(mktemp)
+j4=$(mktemp)
+./target/release/repro --scale 0.05 --threads 1 --bench-json "$j1" table3 > /dev/null 2>&1
+./target/release/repro --scale 0.05 --threads 4 --bench-json "$j4" table3 > /dev/null 2>&1
+python3 - "$j1" "$j4" <<'EOF'
+import json, sys
+
+one, four = (json.load(open(p)) for p in sys.argv[1:3])
+assert one["threads"] == 1 and four["threads"] == 4, \
+    f"--threads not honoured: {one['threads']}, {four['threads']}"
+assert one["study_fingerprint"] == four["study_fingerprint"], \
+    "study output differs between 1 and 4 workers"
+
+def by_scale(rec, expect_threads):
+    rows = rec["simulate_matrix"]
+    assert [r["scale"] for r in rows] == sorted(r["scale"] for r in rows), \
+        "matrix rows out of scale order"
+    got = {}
+    for r in rows:
+        got.setdefault(r["scale"], {})[r["threads"]] = r["fingerprint"]
+    assert sorted(got) == [1, 10, 100], f"matrix scales drifted: {sorted(got)}"
+    for scale, cells in got.items():
+        assert sorted(cells) == expect_threads, \
+            f"scale {scale} thread set drifted: {sorted(cells)}"
+        assert len(set(cells.values())) == 1, \
+            f"scale {scale} fingerprints differ across thread counts: {cells}"
+    return {scale: next(iter(cells.values())) for scale, cells in got.items()}
+
+fp1 = by_scale(one, [1])
+fp4 = by_scale(four, [1, 4])
+assert fp1 == fp4, f"matrix fingerprints differ between runs: {fp1} vs {fp4}"
+print(f"perf smoke OK: study {one['study_fingerprint']} and "
+      f"{len(four['simulate_matrix'])} matrix rows invariant across workers")
+EOF
+rm -f "$j1" "$j4"
 
 echo "verify: all checks passed"

@@ -114,7 +114,7 @@ proptest! {
     fn codec_round_trips_arbitrary_sessions(
         seed_pts in proptest::collection::vec(
             (0i64..100_000, -1e4f64..1e4, -1e4f64..1e4, 0f64..120.0), 0..60),
-        taxi in 1u8..8,
+        taxi in 1u16..8,
         trip in 0u64..1_000_000,
         with_truth in proptest::bool::ANY,
     ) {

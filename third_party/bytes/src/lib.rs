@@ -1,8 +1,15 @@
 //! Offline shim for `bytes`: a `Vec<u8>`-backed `BytesMut` writer and a
-//! cursor-style `Bytes` reader, covering exactly the little-endian
+//! shared-buffer `Bytes` reader, covering exactly the little-endian
 //! `put_*`/`get_*` surface the store codec uses.
+//!
+//! `Bytes` mirrors the real crate's cheap-clone semantics: the backing
+//! allocation lives behind an `Arc<[u8]>` and [`Bytes::slice`] /
+//! [`Bytes::split_to`] hand out sub-views without copying, which is what
+//! lets the store's offset-index reader decode borrowed payloads straight
+//! out of one file-sized buffer.
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
 
 /// Growable write buffer.
 #[derive(Debug, Default, Clone)]
@@ -32,7 +39,7 @@ impl BytesMut {
     }
 
     pub fn freeze(self) -> Bytes {
-        Bytes { buf: self.buf, pos: 0 }
+        Bytes::from(self.buf)
     }
 }
 
@@ -50,43 +57,83 @@ impl AsRef<[u8]> for BytesMut {
     }
 }
 
-/// Read cursor over an owned byte buffer.
+/// Cheaply cloneable view into a shared byte buffer.
+///
+/// The `get_*` cursor methods consume from the front of the view (advancing
+/// `start`), matching how the real crate's `Buf` impl behaves.
 #[derive(Debug, Clone)]
 pub struct Bytes {
-    buf: Vec<u8>,
-    pos: usize,
+    buf: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
     /// Copies a slice into a new `Bytes`.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { buf: data.to_vec(), pos: 0 }
+        Bytes::from(data.to_vec())
     }
 
-    /// Splits off the next `len` unread bytes into a new `Bytes`,
-    /// advancing this cursor past them.
+    /// Unread length of this view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Sub-view of `range` (relative to this view) sharing the same
+    /// backing buffer — no bytes are copied. Panics when the range is out
+    /// of bounds, matching the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes { buf: Arc::clone(&self.buf), start: self.start + lo, end: self.start + hi }
+    }
+
+    /// Splits off the next `len` unread bytes into a new `Bytes` (sharing
+    /// the backing buffer), advancing this cursor past them.
     pub fn split_to(&mut self, len: usize) -> Bytes {
-        assert!(len <= self.remaining(), "split_to out of bounds");
-        let start = self.pos;
-        self.pos += len;
-        Bytes { buf: self.buf[start..start + len].to_vec(), pos: 0 }
+        assert!(len <= self.len(), "split_to out of bounds");
+        let head = self.slice(..len);
+        self.start += len;
+        head
     }
 
     /// Copies the unread portion into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.buf[self.pos..].to_vec()
+        self.buf[self.start..self.end].to_vec()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(buf: Vec<u8>) -> Self {
-        Self { buf, pos: 0 }
+        let end = buf.len();
+        Self { buf: buf.into(), start: 0, end }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.buf[self.pos..]
+        self
     }
 }
 
@@ -124,14 +171,14 @@ pub trait Buf {
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.len()
     }
 
     fn take_array<const N: usize>(&mut self) -> [u8; N] {
         assert!(N <= self.remaining(), "buffer underflow");
         let mut out = [0u8; N];
-        out.copy_from_slice(&self.buf[self.pos..self.pos + N]);
-        self.pos += N;
+        out.copy_from_slice(&self.buf[self.start..self.start + N]);
+        self.start += N;
         out
     }
 }
@@ -195,5 +242,21 @@ mod tests {
         let tail = r.split_to(2);
         assert_eq!(tail.to_vec(), b"ab");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slices_share_the_backing_buffer() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // A slice of a slice stays anchored to the original allocation.
+        let inner = mid.slice(1..3);
+        assert_eq!(inner.to_vec(), vec![3, 4]);
+        assert_eq!(b.len(), 8);
+
+        let mut cursor = mid;
+        let head = cursor.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(cursor.to_vec(), vec![4, 5]);
     }
 }
