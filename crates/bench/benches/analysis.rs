@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use taxitrace_bench::bench_study;
-use taxitrace_core::{grid_analysis, mixed_model, Table4};
+use taxitrace_core::{mixed_model, Table4};
 use taxitrace_od::OdAnalyzer;
 
 fn analysis_benches(c: &mut Criterion) {
@@ -14,11 +14,11 @@ fn analysis_benches(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function("grid_aggregation", |b| {
-        b.iter(|| grid_analysis(&output, None).cells.len())
+        b.iter(|| output.grid_stats(None).cells.len())
     });
 
     group.bench_function("table5", |b| {
-        let grid = grid_analysis(&output, None);
+        let grid = output.grid_stats(None);
         b.iter(|| grid.table5())
     });
 

@@ -7,10 +7,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use taxitrace_bench::{bench_city, bench_fleet};
 use taxitrace_geo::{BBox, Point};
 use taxitrace_store::codec::{
-    load_sessions_indexed_bytes, read_session_indexed, salvage_bytes, save_sessions_tagged,
+    load_bytes, read_session_indexed, salvage_bytes, save_sessions_tagged,
     save_sessions_v2_tagged,
 };
-use taxitrace_store::{Query, TripStore};
+use taxitrace_store::{LoadOptions, Query, TripStore};
 use taxitrace_timebase::{study_period_start, Duration};
 use taxitrace_traces::TaxiId;
 
@@ -58,7 +58,7 @@ fn store_benches(c: &mut Criterion) {
             Point::new(-1000.0, -1000.0),
             Point::new(1000.0, 1000.0),
         ));
-        b.iter(|| store.query(&q).len())
+        b.iter(|| store.query(&q).expect("valid query").count())
     });
 
     group.finish();
@@ -84,11 +84,9 @@ fn store_benches(c: &mut Criterion) {
     });
     codec.bench_function("full_load_v3_indexed", |b| {
         b.iter(|| {
-            load_sessions_indexed_bytes(&v3_raw)
-                .expect("clean image")
-                .expect("v3 image")
-                .sessions
-                .len()
+            let out = load_bytes(&v3_raw, &LoadOptions::strict()).expect("clean image");
+            assert!(out.indexed, "v3 image must take the indexed path");
+            out.sessions.len()
         })
     });
     codec.bench_function("single_record_v2_scan", |b| {

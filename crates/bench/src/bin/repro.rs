@@ -55,9 +55,9 @@ use std::sync::OnceLock;
 
 use taxitrace_cleaning::{clean_session, validate_segments, CleaningConfig, SegmentationConfig};
 use taxitrace_core::{
-    directional_speeds, grid_analysis, mixed_model, render_table1, render_table3,
-    render_table4, render_table5, seasonal_deltas, seasonal_speeds, temperature_analysis,
-    Study, StudyConfig, StudyOutput, Table4,
+    directional_speeds, mixed_model, render_table1, render_table3, render_table4,
+    render_table5, seasonal_deltas, seasonal_speeds, temperature_analysis, Study, StudyConfig,
+    StudyOutput, Table4,
 };
 use taxitrace_geo::{CellId, Corridor, Grid, Point};
 use taxitrace_matching::{evaluate, CandidateIndex, MatchAccuracy, MatchConfig, MatchScratch};
@@ -84,6 +84,10 @@ struct Args {
     repair: bool,
     /// Worker-pool override (`--threads N`); `None` sizes to the machine.
     threads: Option<usize>,
+    /// `serve`: TCP port to bind (0 = ephemeral, the default).
+    port: u16,
+    /// `serve-bench`: total requests across all clients.
+    requests: usize,
 }
 
 impl Args {
@@ -105,6 +109,8 @@ fn parse_args() -> Args {
     let mut store = None;
     let mut repair = false;
     let mut threads = None;
+    let mut port = 0u16;
+    let mut requests = 600usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -146,6 +152,19 @@ fn parse_args() -> Args {
                 store = Some(it.next().unwrap_or_else(|| die("--store needs a path")));
             }
             "--repair" => repair = true,
+            "--port" => {
+                port = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--port needs a port number"));
+            }
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--requests needs a positive integer"));
+            }
             "--threads" => {
                 threads = Some(
                     it.next()
@@ -162,7 +181,11 @@ fn parse_args() -> Args {
                  maintenance subcommands:\n\
                  \x20 repro store-save <file>              simulate and write a v3 trip store\n\
                  \x20 repro store-corrupt --chaos P <file> apply a plan's disk faults to a store\n\
-                 \x20 repro fsck [--repair] <path>         integrity-scan store/checkpoint files",
+                 \x20 repro fsck [--repair] <path>         integrity-scan store/checkpoint files\n\
+                 \n\
+                 serving subcommands:\n\
+                 \x20 repro serve [--port P] [--threads N]   run the HTTP query service\n\
+                 \x20 repro serve-bench [--requests N]       closed-loop load + contention bench",
             ),
             other => {
                 if experiment.is_none() {
@@ -188,6 +211,8 @@ fn parse_args() -> Args {
         store,
         repair,
         threads,
+        port,
+        requests,
     }
 }
 
@@ -288,6 +313,8 @@ fn main() {
         "store-save" => return cmd_store_save(&args),
         "store-corrupt" => return cmd_store_corrupt(&args),
         "fsck" => return cmd_fsck(&args),
+        "serve" => return cmd_serve(&args),
+        "serve-bench" => return cmd_serve_bench(&args),
         _ => {}
     }
     let all: Vec<&str> = vec![
@@ -629,6 +656,71 @@ fn cmd_fsck(args: &Args) {
     }
 }
 
+/// Builds the serving snapshot for `serve`/`serve-bench`: replayed from a
+/// persisted store when `--store` names one (verified read path, salvage
+/// demotion), otherwise simulated from the seed.
+fn build_snapshot(args: &Args) -> taxitrace_serve::Snapshot {
+    taxitrace_serve::Snapshot::from_output(run_study(args))
+}
+
+/// `repro serve [--port P] [--threads N]`: run the HTTP query service
+/// until killed. Prints the bound address (ephemeral port resolved) on
+/// stdout so scripts can discover it.
+fn cmd_serve(args: &Args) {
+    use std::io::Write as _;
+    let workers = args.threads.unwrap_or(4).max(1);
+    let snapshot = build_snapshot(args);
+    let registry = taxitrace_obs::Registry::new();
+    let server = taxitrace_serve::Server::start(snapshot, args.port, workers, registry)
+        .unwrap_or_else(|e| die(&format!("cannot bind port {}: {e}", args.port)));
+    println!("serving on {} ({} workers)", server.addr(), workers);
+    let _ = std::io::stdout().flush();
+    // Runs until the process is killed; metrics are live at /metrics.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `repro serve-bench [--requests N] [--threads N]`: start the service on
+/// an ephemeral port, drive the seeded closed-loop load against it, run
+/// the read-path contention comparison, and emit the `BENCH_serve.json`
+/// document (stdout, or `--bench-json PATH`).
+fn cmd_serve_bench(args: &Args) {
+    let workers = args.threads.unwrap_or(4).max(1);
+    let registry = taxitrace_obs::Registry::new();
+    let server =
+        taxitrace_serve::Server::start(build_snapshot(args), 0, workers, registry.clone())
+            .unwrap_or_else(|e| die(&format!("cannot start server: {e}")));
+    eprintln!("[repro] serve-bench on {} ({} workers)", server.addr(), workers);
+    let spec = taxitrace_serve::LoadSpec {
+        seed: args.seed,
+        clients: workers,
+        requests_per_client: (args.requests / workers).max(1),
+    };
+    let report = taxitrace_serve::run_load(server.addr(), &server.snapshot(), &spec);
+    if report.errors > 0 {
+        eprintln!("[repro] WARNING: {} request(s) failed", report.errors);
+    }
+    let served = registry.snapshot().counter("serve.requests_total").unwrap_or(0);
+    let contention = taxitrace_serve::contention_bench(workers, 200_000);
+    server.shutdown();
+    let doc = format!(
+        "{{\n  \"schema\": 1,\n  \"seed\": {},\n  \"scale\": {},\n  \"workers\": {},\n  \
+         \"served_requests\": {},\n  \"load\": {},\n  \"contention\": {}\n}}\n",
+        args.seed,
+        args.scale,
+        workers,
+        served,
+        report.to_json(),
+        contention.to_json()
+    );
+    match &args.bench_json {
+        Some(path) => std::fs::write(path, &doc)
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}"))),
+        None => print!("{doc}"),
+    }
+}
+
 fn run(experiment: &str, args: &Args) {
     println!("\n================ {experiment} ================");
     match experiment {
@@ -773,7 +865,7 @@ fn table4(args: &Args) {
 
 fn table5(args: &Args) {
     let out = output(args);
-    let grid = grid_analysis(out, None);
+    let grid = out.grid_stats(None);
     print!("{}", render_table5(&grid.table5()));
     println!("\npaper Table 5 (cell mean speeds):");
     println!("  lights = 0            : min 11.96 max 53.27 mean 25.53 var 231.5");
@@ -874,7 +966,7 @@ fn fig5(args: &Args) {
 
 fn fig6(args: &Args) {
     let out = output(args);
-    let grid = grid_analysis(out, Some("L-T"));
+    let grid = out.grid_stats(Some("L-T"));
     println!(
         "L-T per-cell average speed with feature counts (paper Fig. 6).\n\
          Study-area feature totals {{lights, stops, ped.crossings}} = {:?} \

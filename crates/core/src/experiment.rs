@@ -280,14 +280,14 @@ impl Study {
             taxitrace_roadnet::synth::generate(&config.city)
         };
         let weather = weather_for(&config);
-        let (salvage, indexed) = {
+        let loaded = {
             let _s = obs.registry.span("study/simulate/load_store");
-            taxitrace_store::codec::load_sessions_salvage_stats(path)?
+            taxitrace_store::codec::load(path, &taxitrace_store::LoadOptions::salvage())?
         };
-        if indexed {
+        if loaded.indexed {
             obs.registry.counter("store.indexed_reads").add(1);
         }
-        let report = salvage.report;
+        let report = loaded.report;
         let expected = crate::checkpoint::config_fingerprint(&config);
         if report.fingerprint != 0 && report.fingerprint != expected {
             return Err(Error::Store(taxitrace_store::StoreError::BadFormat(format!(
@@ -312,7 +312,7 @@ impl Study {
         {
             let _s = obs.registry.span("study/simulate/persist");
             let mut seen = std::collections::BTreeSet::new();
-            for session in salvage.sessions {
+            for session in loaded.sessions {
                 if !seen.insert(session.id.0) {
                     // A duplicated on-disk frame decodes fine but would
                     // poison the store; quarantine the extra occurrence.

@@ -10,7 +10,6 @@ use std::io;
 use std::path::Path;
 
 use crate::experiment::StudyOutput;
-use crate::gridstats::grid_analysis;
 use crate::mixedanalysis::mixed_model;
 use crate::results::Table4;
 use crate::seasonal::{seasonal_deltas, temperature_analysis};
@@ -59,7 +58,7 @@ pub fn export_csv(output: &StudyOutput, dir: &Path) -> io::Result<Vec<String>> {
     put("table4_directions.csv", s)?;
 
     // Table 5 + Fig. 6 cell data.
-    let grid = grid_analysis(output, None);
+    let grid = output.grid_stats(None);
     let mut s = String::from("class,cells,min,max,mean,var\n");
     for c in &grid.table5().classes {
         let _ = writeln!(s, "{},{},{},{},{},{}", c.label, c.cells, c.min, c.max, c.mean, c.var);

@@ -33,51 +33,61 @@ pub struct GridStats {
 
 /// Aggregates transition point speeds into grid cells, optionally for one
 /// direction pair only (Fig. 6 shows L-T).
+#[deprecated(since = "0.1.0", note = "use StudyOutput::grid_stats(pair)")]
 pub fn grid_analysis(output: &StudyOutput, pair: Option<&str>) -> GridStats {
-    let grid = Grid::new(Point::new(0.0, 0.0), output.config.grid_size_m);
-    let mut sums: BTreeMap<CellId, (usize, f64)> = BTreeMap::new();
-    for t in &output.transitions {
-        if let Some(p) = pair {
-            if t.pair != p {
-                continue;
+    output.grid_stats(pair)
+}
+
+impl StudyOutput {
+    /// The §V 200 m grid analysis on this study's transitions: per-cell
+    /// average speeds joined with per-cell feature counts, optionally for
+    /// one direction pair only (Fig. 6 shows L-T). Part of the unified
+    /// query surface — `QueryRequest::GridStats` routes here.
+    pub fn grid_stats(&self, pair: Option<&str>) -> GridStats {
+        let grid = Grid::new(Point::new(0.0, 0.0), self.config.grid_size_m);
+        let mut sums: BTreeMap<CellId, (usize, f64)> = BTreeMap::new();
+        for t in &self.transitions {
+            if let Some(p) = pair {
+                if t.pair != p {
+                    continue;
+                }
+            }
+            // Bin from struct-of-arrays columns: the loop touches only the
+            // coordinate and speed columns, not the full route-point structs.
+            let cols = TraceColumns::from_points(&t.points);
+            for i in 0..cols.len() {
+                let cell = grid.cell_of(Point::new(cols.x[i], cols.y[i]));
+                let e = sums.entry(cell).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += cols.speed_kmh[i];
             }
         }
-        // Bin from struct-of-arrays columns: the loop touches only the
-        // coordinate and speed columns, not the full route-point structs.
-        let cols = TraceColumns::from_points(&t.points);
-        for i in 0..cols.len() {
-            let cell = grid.cell_of(Point::new(cols.x[i], cols.y[i]));
-            let e = sums.entry(cell).or_insert((0, 0.0));
-            e.0 += 1;
-            e.1 += cols.speed_kmh[i];
-        }
-    }
 
-    let area = output.city.graph.bbox();
-    let features = output.city.objects.counts_per_cell(&grid, &area);
-    let mut cells = BTreeMap::new();
-    for (cell, (n, sum)) in sums {
-        let f = features.get(&cell).copied().unwrap_or([0, 0, 0]);
-        cells.insert(
-            cell,
-            CellStat {
-                n,
-                mean_speed: sum / n as f64,
-                traffic_lights: f[0],
-                bus_stops: f[1],
-                pedestrian_crossings: f[2],
-            },
-        );
+        let area = self.city.graph.bbox();
+        let features = self.city.objects.counts_per_cell(&grid, &area);
+        let mut cells = BTreeMap::new();
+        for (cell, (n, sum)) in sums {
+            let f = features.get(&cell).copied().unwrap_or([0, 0, 0]);
+            cells.insert(
+                cell,
+                CellStat {
+                    n,
+                    mean_speed: sum / n as f64,
+                    traffic_lights: f[0],
+                    bus_stops: f[1],
+                    pedestrian_crossings: f[2],
+                },
+            );
+        }
+        let feature_totals = [
+            self.city.objects.count_of_kind(taxitrace_roadnet::MapObjectKind::TrafficLight),
+            self.city.objects.count_of_kind(taxitrace_roadnet::MapObjectKind::BusStop),
+            self.city
+                .objects
+                .count_of_kind(taxitrace_roadnet::MapObjectKind::PedestrianCrossing),
+        ];
+        GridStats { grid, cells, feature_totals }
     }
-    let feature_totals = [
-        output.city.objects.count_of_kind(taxitrace_roadnet::MapObjectKind::TrafficLight),
-        output.city.objects.count_of_kind(taxitrace_roadnet::MapObjectKind::BusStop),
-        output
-            .city
-            .objects
-            .count_of_kind(taxitrace_roadnet::MapObjectKind::PedestrianCrossing),
-    ];
-    GridStats { grid, cells, feature_totals }
 }
 
 /// One class column of Table 5.
@@ -139,7 +149,7 @@ mod tests {
     
 
     fn stats() -> GridStats {
-        grid_analysis(crate::experiment::test_output(), None)
+        crate::experiment::test_output().grid_stats(None)
     }
 
     #[test]
@@ -180,10 +190,10 @@ mod tests {
     #[test]
     fn pair_filter_restricts_points() {
         let out = crate::experiment::test_output();
-        let all = grid_analysis(out, None);
+        let all = out.grid_stats(None);
         let pair = out.pairs().first().cloned();
         if let Some(p) = pair {
-            let only = grid_analysis(out, Some(&p));
+            let only = out.grid_stats(Some(&p));
             let n_all: usize = all.cells.values().map(|c| c.n).sum();
             let n_only: usize = only.cells.values().map(|c| c.n).sum();
             assert!(n_only <= n_all);

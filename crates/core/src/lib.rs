@@ -62,6 +62,7 @@ mod export;
 mod gridstats;
 mod mixedanalysis;
 mod quarantine;
+mod queryapi;
 mod results;
 mod seasonal;
 mod transitions;
@@ -75,8 +76,15 @@ pub use experiment::{Cleaned, OdSelected, Simulated, StageTimings, Study, StudyO
 pub use quarantine::{Quarantine, QuarantineEntry, QuarantineReason};
 pub use taxitrace_traces::FaultPlan;
 pub use taxitrace_cleaning::CleaningTotals;
-pub use gridstats::{grid_analysis, CellStat, GridStats, Table5, Table5Class};
+#[allow(deprecated)]
+pub use gridstats::grid_analysis;
+pub use gridstats::{CellStat, GridStats, Table5, Table5Class};
 pub use mixedanalysis::{mixed_model, mixed_model_with_features, CellEffect, MixedResults};
+pub use queryapi::{
+    answer, escape_json, CellSpeedRow, OdFlowRow, QueryEngine, QueryRequest, QueryResponse,
+    TripSummary,
+};
+pub use taxitrace_store::QueryError;
 pub use results::{
     render_table1, render_table3, render_table4, render_table5, Table4, Table4Row,
 };

@@ -3,7 +3,6 @@ use taxitrace_geo::{CellId, Grid, Point};
 use taxitrace_stats::{qq_points, LmmError, Matrix, QqPoint, RandomIntercept};
 
 use crate::experiment::StudyOutput;
-use crate::gridstats::grid_analysis;
 
 /// Random-intercept prediction for one 200 m cell (Figs. 8–9).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,7 +74,7 @@ fn fit(output: &StudyOutput, with_features: bool) -> Result<MixedResults, LmmErr
     }
 
     let (design, names): (Matrix, Vec<String>) = if with_features {
-        let feats = grid_analysis(output, None);
+        let feats = output.grid_stats(None);
         let n = y.len();
         let mut m = Matrix::zeros(n, 4);
         for i in 0..n {

@@ -159,7 +159,6 @@ pub fn render_table5(t: &Table5) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::grid_analysis;
 
     fn out() -> &'static StudyOutput {
         crate::experiment::test_output()
@@ -217,7 +216,7 @@ mod tests {
         assert!(t3.contains("PostFiltered"));
         let t4 = render_table4(&Table4::compute(o));
         assert!(t4.contains("low speed %"));
-        let t5 = render_table5(&grid_analysis(o, None).table5());
+        let t5 = render_table5(&o.grid_stats(None).table5());
         assert!(t5.contains("lights = 0"));
     }
 }

@@ -17,8 +17,11 @@ use crate::snapshot::MetricsSnapshot;
 /// added the fault-tolerance metric families (`quarantine.*`, `chaos.*`,
 /// `exec.task_*`, `match.gap_budget_exhausted`); version 3 added the
 /// storage-integrity families (`store.records_total`,
-/// `store.records_valid`, `store.corrupt_records`, `store.damaged.*`).
-pub const JSON_SCHEMA_VERSION: u32 = 3;
+/// `store.records_valid`, `store.corrupt_records`, `store.damaged.*`);
+/// version 4 added the serving families (`serve.requests_total`,
+/// `serve.requests.*`, `serve.errors_total`, `serve.latency_us`,
+/// `serve.snapshot_swaps`, `serve.epoch_refreshes`, `serve.workers`).
+pub const JSON_SCHEMA_VERSION: u32 = 4;
 
 /// Output format of [`render`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,7 +273,7 @@ mod tests {
     fn json_contains_all_sections() {
         let json = render_json(&sample());
         for needle in [
-            "\"schema\": 3",
+            "\"schema\": 4",
             "\"clean.sessions\": 42",
             "\"exec.workers\": 4.000000",
             "\"exec.worker_tasks\"",

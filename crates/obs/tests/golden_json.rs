@@ -34,6 +34,20 @@ fn fixed_registry() -> Registry {
     reg.counter("quarantine.stage.store").add(3);
     reg.counter("quarantine.reason.corrupt_record").add(1);
     reg.counter("quarantine.reason.torn_tail").add(2);
+    // Serving families (schema v4).
+    reg.counter("serve.requests_total").add(600);
+    reg.counter("serve.requests.od_flow").add(180);
+    reg.counter("serve.requests.cell_speed").add(180);
+    reg.counter("serve.requests.trip_lookup").add(150);
+    reg.counter("serve.requests.grid_stats").add(90);
+    reg.counter("serve.errors_total").add(0);
+    reg.counter("serve.snapshot_swaps").add(1);
+    reg.counter("serve.epoch_refreshes").add(4);
+    reg.gauge("serve.workers").set(4.0);
+    let lat = reg.histogram("serve.latency_us", &[250.0, 1000.0, 5000.0]);
+    for v in [120.0, 300.0, 300.0, 2200.0, 9000.0] {
+        lat.observe(v);
+    }
     let h = reg.histogram("exec.worker_tasks", &[64.0, 256.0, 1024.0]);
     for v in [40.0, 200.0, 200.0, 800.0, 3000.0] {
         h.observe(v);

@@ -26,17 +26,17 @@
 //! ~10⁶ route points and the store is reloaded repeatedly while iterating
 //! on analyses. The length+CRC framing buys torn-write *salvage*: a
 //! flipped bit fails one record's checksum and a truncated tail fails the
-//! length check, so [`load_sessions_salvage`] recovers every record that
-//! still verifies instead of aborting the run (see [`SalvageReport`]).
+//! length check, so [`load`] with [`LoadOptions::salvage`] recovers every
+//! record that still verifies instead of aborting (see [`SalvageReport`]).
 //!
-//! The v3 index buys *seek reads*: [`load_sessions_indexed_bytes`] jumps
-//! straight to each record and decodes a borrowed (zero-copy) slice of the
-//! file image, and [`read_session_indexed`] fetches one record without
-//! walking the frames before it. The record-count field is covered by the
-//! header CRC, so the body start `28 + count*8 + 4` stays computable even
-//! when the index bytes themselves are damaged — salvage then falls back
-//! to exactly the v2 sequential scan and recovers every verifiable record.
-//! Writes are atomic everywhere via [`crate::integrity::write_atomic`].
+//! The v3 index buys *seek reads*: [`load`] jumps straight to each record
+//! and decodes a borrowed (zero-copy) slice of the file image, and
+//! [`read_session_indexed`] fetches one record without walking the frames
+//! before it. The record-count field is covered by the header CRC, so the
+//! body start `28 + count*8 + 4` stays computable even when the index
+//! bytes themselves are damaged — salvage then falls back to exactly the
+//! v2 sequential scan and recovers every verifiable record. Writes are
+//! atomic everywhere via [`crate::integrity::write_atomic`].
 
 use std::path::Path;
 
@@ -231,54 +231,71 @@ pub fn save_sessions_v1(path: &Path, sessions: &[RawTrip]) -> Result<(), StoreEr
     Ok(())
 }
 
-/// Reads sessions from `path`, accepting v1, v2 and v3 containers.
-/// Strict: any damage — CRC mismatch, truncation, header disagreement —
-/// is a [`StoreError::BadFormat`]. Use [`load_sessions_salvage`] to
-/// recover the verifiable records from a damaged file instead.
-pub fn load_sessions(path: &Path) -> Result<Vec<RawTrip>, StoreError> {
-    Ok(load_sessions_stats(path)?.0)
+/// How [`load`] treats damage found in a container.
+///
+/// The default (and [`LoadOptions::strict`]) fails on the first damaged
+/// record; [`LoadOptions::salvage`] recovers every record that verifies
+/// and reports the rest as typed damage in the [`LoadOutcome`] report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadOptions {
+    /// Recover verifiable records from a damaged file instead of failing.
+    pub salvage: bool,
 }
 
-/// [`load_sessions`] plus provenance: the flag is `true` when the v3
-/// offset index served the read (seek + zero-copy payloads) and `false`
-/// when the file went through the sequential scan (v1/v2 layouts). The
-/// pipeline reports the flag as the `store.indexed_reads` counter.
-pub fn load_sessions_stats(path: &Path) -> Result<(Vec<RawTrip>, bool), StoreError> {
+impl LoadOptions {
+    /// Fail on any damage (CRC mismatch, truncation, header disagreement).
+    pub fn strict() -> Self {
+        Self { salvage: false }
+    }
+
+    /// Recover every verifiable record; damage goes in the report.
+    pub fn salvage() -> Self {
+        Self { salvage: true }
+    }
+}
+
+/// Result of a [`load`]: the sessions plus full provenance — the
+/// integrity report and whether the v3 offset index served the read
+/// (seek + zero-copy payloads) rather than the sequential scan.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// Sessions that verified and decoded, in file order.
+    pub sessions: Vec<RawTrip>,
+    /// Per-file integrity report; clean v3 reads synthesize a clean one.
+    pub report: SalvageReport,
+    /// True when the v3 offset index served the read. The pipeline
+    /// reports this as the `store.indexed_reads` counter.
+    pub indexed: bool,
+}
+
+impl LoadOutcome {
+    /// The outcome reshaped as a [`Salvage`] (sessions + report).
+    pub fn into_salvage(self) -> Salvage {
+        Salvage { sessions: self.sessions, report: self.report }
+    }
+}
+
+/// Reads sessions from `path`, accepting v1, v2 and v3 containers. The
+/// single entry point behind the deprecated `load_sessions*` family: a
+/// clean v3 file is served through the offset-index fast path; older
+/// layouts and files with *any* verification failure go through the
+/// sequential salvage scan so damage is named precisely. With
+/// [`LoadOptions::strict`] the first damage entry becomes a
+/// [`StoreError::BadFormat`]; with [`LoadOptions::salvage`] damage never
+/// fails the read — the worst case (unrecognised magic, failed header
+/// CRC) yields zero sessions and one [`DamageKind::HeaderMismatch`]
+/// entry in the report. Only I/O errors reading the file are fatal in
+/// salvage mode.
+pub fn load(path: &Path, opts: &LoadOptions) -> Result<LoadOutcome, StoreError> {
     let raw = Bytes::from(std::fs::read(path)?);
+    load_bytes(&raw, opts)
+}
+
+/// [`load`] over an in-memory image (serving snapshots, fsck, tests).
+pub fn load_bytes(raw: &Bytes, opts: &LoadOptions) -> Result<LoadOutcome, StoreError> {
     // Any verification failure on the fast path falls through to the
     // scan, whose salvage report names the damage precisely.
-    if let Ok(Some(loaded)) = load_sessions_indexed_bytes(&raw) {
-        return Ok((loaded.sessions, true));
-    }
-    let salvage = salvage_bytes(&raw);
-    match salvage.report.damage.first() {
-        None => Ok((salvage.sessions, false)),
-        Some(d) => Err(StoreError::BadFormat(format!(
-            "{} at record {}: {}",
-            d.kind.label(),
-            d.index,
-            d.detail
-        ))),
-    }
-}
-
-/// Reads sessions from `path`, recovering every record that verifies and
-/// reporting the rest as typed damage. Never fails on corrupt *content* —
-/// only on I/O errors reading the file. The worst case (unrecognised
-/// magic, failed header CRC) yields zero sessions and one
-/// [`DamageKind::HeaderMismatch`] entry.
-pub fn load_sessions_salvage(path: &Path) -> Result<Salvage, StoreError> {
-    Ok(load_sessions_salvage_stats(path)?.0)
-}
-
-/// [`load_sessions_salvage`] plus provenance: a clean v3 file is served
-/// through the offset-index fast path (seek + zero-copy payloads) and
-/// synthesizes a clean report; older layouts and files with *any*
-/// verification failure go through the sequential salvage scan so damage
-/// is named precisely. The flag is `true` when the index served the read.
-pub fn load_sessions_salvage_stats(path: &Path) -> Result<(Salvage, bool), StoreError> {
-    let raw = Bytes::from(std::fs::read(path)?);
-    if let Ok(Some(loaded)) = load_sessions_indexed_bytes(&raw) {
+    if let Ok(Some(loaded)) = indexed_load_bytes(raw) {
         let n = loaded.sessions.len() as u64;
         let report = SalvageReport {
             version: 3,
@@ -287,9 +304,54 @@ pub fn load_sessions_salvage_stats(path: &Path) -> Result<(Salvage, bool), Store
             records_valid: n,
             damage: Vec::new(),
         };
-        return Ok((Salvage { sessions: loaded.sessions, report }, true));
+        return Ok(LoadOutcome { sessions: loaded.sessions, report, indexed: true });
     }
-    Ok((salvage_bytes(&raw), false))
+    let salvage = salvage_bytes(raw);
+    match salvage.report.damage.first() {
+        Some(d) if !opts.salvage => Err(StoreError::BadFormat(format!(
+            "{} at record {}: {}",
+            d.kind.label(),
+            d.index,
+            d.detail
+        ))),
+        _ => Ok(LoadOutcome {
+            sessions: salvage.sessions,
+            report: salvage.report,
+            indexed: false,
+        }),
+    }
+}
+
+/// Reads sessions from `path`, accepting v1, v2 and v3 containers.
+/// Strict: any damage — CRC mismatch, truncation, header disagreement —
+/// is a [`StoreError::BadFormat`].
+#[deprecated(since = "0.1.0", note = "use codec::load(path, &LoadOptions::strict())")]
+pub fn load_sessions(path: &Path) -> Result<Vec<RawTrip>, StoreError> {
+    Ok(load(path, &LoadOptions::strict())?.sessions)
+}
+
+/// Strict load plus provenance: the flag is `true` when the v3 offset
+/// index served the read.
+#[deprecated(since = "0.1.0", note = "use codec::load(path, &LoadOptions::strict())")]
+pub fn load_sessions_stats(path: &Path) -> Result<(Vec<RawTrip>, bool), StoreError> {
+    let out = load(path, &LoadOptions::strict())?;
+    Ok((out.sessions, out.indexed))
+}
+
+/// Reads sessions from `path`, recovering every record that verifies and
+/// reporting the rest as typed damage.
+#[deprecated(since = "0.1.0", note = "use codec::load(path, &LoadOptions::salvage())")]
+pub fn load_sessions_salvage(path: &Path) -> Result<Salvage, StoreError> {
+    Ok(load(path, &LoadOptions::salvage())?.into_salvage())
+}
+
+/// Salvage load plus provenance: the flag is `true` when the v3 offset
+/// index served the read.
+#[deprecated(since = "0.1.0", note = "use codec::load(path, &LoadOptions::salvage())")]
+pub fn load_sessions_salvage_stats(path: &Path) -> Result<(Salvage, bool), StoreError> {
+    let out = load(path, &LoadOptions::salvage())?;
+    let indexed = out.indexed;
+    Ok((out.into_salvage(), indexed))
 }
 
 /// [`load_sessions_salvage`] over an in-memory image (fsck, tests).
@@ -415,12 +477,20 @@ fn decode_record_at(raw: &Bytes, off: usize, index: u64) -> Result<(RawTrip, usi
 
 /// Zero-copy indexed read of a whole v3 image: seeks each record via the
 /// offset index and decodes payload slices borrowed from `raw` — no
-/// full-file scan, no per-payload copies. Strictness matches
-/// [`load_sessions`]: offsets must tile the body exactly through to the
-/// end of the file, and every record must verify. Returns `Ok(None)` for
-/// v1/v2 images (use the scan path) and an error on any damage, so
-/// callers can fall back to [`salvage_bytes`] for a typed report.
+/// full-file scan, no per-payload copies.
+#[deprecated(since = "0.1.0", note = "use codec::load_bytes(raw, &LoadOptions::strict())")]
 pub fn load_sessions_indexed_bytes(raw: &Bytes) -> Result<Option<IndexedLoad>, StoreError> {
+    indexed_load_bytes(raw)
+}
+
+/// Zero-copy indexed read of a whole v3 image: seeks each record via the
+/// offset index and decodes payload slices borrowed from `raw` — no
+/// full-file scan, no per-payload copies. Strict: offsets must tile the
+/// body exactly through to the end of the file, and every record must
+/// verify. Returns `Ok(None)` for v1/v2 images (use the scan path) and
+/// an error on any damage, so [`load_bytes`] can fall back to
+/// [`salvage_bytes`] for a typed report.
+fn indexed_load_bytes(raw: &Bytes) -> Result<Option<IndexedLoad>, StoreError> {
     let Some(index) = parse_v3_index(raw)? else { return Ok(None) };
     let mut sessions = Vec::with_capacity(index.declared.min(1 << 20));
     let mut expected = index.body_start;
@@ -1030,10 +1100,11 @@ mod tests {
         let path = tmp_path("many.tts");
         let sessions = sample_sessions(10);
         save_sessions(&path, &sessions).unwrap();
-        let loaded = load_sessions(&path).unwrap();
-        assert_eq!(loaded, sessions);
+        let loaded = load(&path, &LoadOptions::strict()).unwrap();
+        assert_eq!(loaded.sessions, sessions);
+        assert!(loaded.indexed, "clean v3 file should take the index path");
         // A clean file salvages to the same content with a clean report.
-        let salvage = load_sessions_salvage(&path).unwrap();
+        let salvage = load(&path, &LoadOptions::salvage()).unwrap();
         assert!(salvage.report.is_clean());
         assert_eq!(salvage.report.version, 3);
         assert_eq!(salvage.report.records_declared, 10);
@@ -1047,14 +1118,14 @@ mod tests {
         let path = tmp_path("v2.tts");
         let sessions = sample_sessions(4);
         save_sessions_v2_tagged(&path, &sessions, 0xBEEF).unwrap();
-        assert_eq!(load_sessions(&path).unwrap(), sessions);
-        let salvage = load_sessions_salvage(&path).unwrap();
+        assert_eq!(load(&path, &LoadOptions::strict()).unwrap().sessions, sessions);
+        let salvage = load(&path, &LoadOptions::salvage()).unwrap();
         assert!(salvage.report.is_clean());
         assert_eq!(salvage.report.version, 2);
         assert_eq!(salvage.report.fingerprint, 0xBEEF);
-        // No index to seek: the fast path declines rather than failing.
+        assert!(!salvage.indexed, "v2 files go through the scan path");
+        // No index to seek for single-record reads either.
         let raw = Bytes::from(std::fs::read(&path).unwrap());
-        assert!(load_sessions_indexed_bytes(&raw).unwrap().is_none());
         assert!(read_session_indexed(&raw, 0).unwrap().is_none());
         std::fs::remove_file(&path).ok();
     }
@@ -1065,8 +1136,9 @@ mod tests {
         let sessions = sample_sessions(9);
         save_sessions_tagged(&path, &sessions, 0xCAFE).unwrap();
         let raw = Bytes::from(std::fs::read(&path).unwrap());
-        let indexed = load_sessions_indexed_bytes(&raw).unwrap().unwrap();
-        assert_eq!(indexed.fingerprint, 0xCAFE);
+        let indexed = load_bytes(&raw, &LoadOptions::strict()).unwrap();
+        assert!(indexed.indexed);
+        assert_eq!(indexed.report.fingerprint, 0xCAFE);
         assert_eq!(indexed.sessions, sessions);
         let scanned = salvage_bytes(&raw);
         assert!(scanned.report.is_clean());
@@ -1098,7 +1170,7 @@ mod tests {
         raw[V2_HEADER_LEN + 2] ^= 0x40;
         // Fast path refuses...
         let bytes = Bytes::from(raw.clone());
-        assert!(load_sessions_indexed_bytes(&bytes).is_err());
+        assert!(indexed_load_bytes(&bytes).is_err());
         // ...but the sequential scan recovers everything, flagging the index.
         let salvage = salvage_bytes(&raw);
         assert_eq!(salvage.report.version, 3);
@@ -1106,9 +1178,17 @@ mod tests {
         assert_eq!(salvage.sessions, sessions);
         assert_eq!(salvage.report.damage.len(), 1);
         assert_eq!(salvage.report.damage[0].kind, DamageKind::CorruptIndex);
-        // Strict load reports the damage rather than trusting the file.
+        // Strict load reports the damage rather than trusting the file;
+        // a salvage load recovers everything and keeps the report.
         std::fs::write(&path, &raw).unwrap();
-        assert!(matches!(load_sessions(&path), Err(StoreError::BadFormat(_))));
+        assert!(matches!(
+            load(&path, &LoadOptions::strict()),
+            Err(StoreError::BadFormat(_))
+        ));
+        let out = load(&path, &LoadOptions::salvage()).unwrap();
+        assert!(!out.indexed);
+        assert_eq!(out.sessions, sessions);
+        assert_eq!(out.report.damage[0].kind, DamageKind::CorruptIndex);
         std::fs::remove_file(&path).ok();
     }
 
@@ -1136,8 +1216,8 @@ mod tests {
         let path = tmp_path("legacy.tts");
         let sessions = sample_sessions(4);
         save_sessions_v1(&path, &sessions).unwrap();
-        assert_eq!(load_sessions(&path).unwrap(), sessions);
-        let salvage = load_sessions_salvage(&path).unwrap();
+        assert_eq!(load(&path, &LoadOptions::strict()).unwrap().sessions, sessions);
+        let salvage = load(&path, &LoadOptions::salvage()).unwrap();
         assert!(salvage.report.is_clean());
         assert_eq!(salvage.report.version, 1);
         assert_eq!(salvage.report.fingerprint, 0);
@@ -1148,8 +1228,8 @@ mod tests {
     fn fingerprint_round_trips() {
         let path = tmp_path("tagged.tts");
         save_sessions_tagged(&path, &sample_sessions(2), 0xFEED_F00D).unwrap();
-        let salvage = load_sessions_salvage(&path).unwrap();
-        assert_eq!(salvage.report.fingerprint, 0xFEED_F00D);
+        let out = load(&path, &LoadOptions::salvage()).unwrap();
+        assert_eq!(out.report.fingerprint, 0xFEED_F00D);
         std::fs::remove_file(&path).ok();
     }
 
@@ -1217,7 +1297,10 @@ mod tests {
         assert_eq!(salvage.report.damage[0].kind, DamageKind::TornTail);
         // Strict load refuses the same bytes.
         std::fs::write(&path, &raw[..cut]).unwrap();
-        assert!(matches!(load_sessions(&path), Err(StoreError::BadFormat(_))));
+        assert!(matches!(
+            load(&path, &LoadOptions::strict()),
+            Err(StoreError::BadFormat(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -1279,6 +1362,38 @@ mod tests {
         assert_eq!(salvage.report.damage[0].kind, DamageKind::HeaderMismatch);
         let ids: Vec<_> = salvage.sessions.iter().map(|s| s.id.0).collect();
         assert_eq!(ids, [100, 101, 101, 102]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The deprecated `load_sessions*` wrappers must stay behaviourally
+    /// identical to [`load`] until the last external caller migrates.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_agree_with_load() {
+        let path = tmp_path("wrappers.tts");
+        let sessions = sample_sessions(6);
+        save_sessions_tagged(&path, &sessions, 0xD00D).unwrap();
+        let strict = load(&path, &LoadOptions::strict()).unwrap();
+        assert_eq!(load_sessions(&path).unwrap(), strict.sessions);
+        assert_eq!(load_sessions_stats(&path).unwrap(), (strict.sessions.clone(), strict.indexed));
+        let salv = load(&path, &LoadOptions::salvage()).unwrap();
+        let wrapped = load_sessions_salvage(&path).unwrap();
+        assert_eq!(wrapped.sessions, salv.sessions);
+        assert_eq!(wrapped.report, salv.report);
+        let (wrapped2, indexed) = load_sessions_salvage_stats(&path).unwrap();
+        assert_eq!(wrapped2.report, salv.report);
+        assert_eq!(indexed, salv.indexed);
+        let raw = Bytes::from(std::fs::read(&path).unwrap());
+        let via_wrapper = load_sessions_indexed_bytes(&raw).unwrap().unwrap();
+        assert_eq!(via_wrapper.sessions, strict.sessions);
+        // Damaged file: strict wrapper and strict load fail identically.
+        let mut dmg = std::fs::read(&path).unwrap();
+        let spans = record_spans(&dmg).unwrap();
+        dmg[(spans[2].payload_start + spans[2].end) / 2] ^= 0x08;
+        std::fs::write(&path, &dmg).unwrap();
+        let e1 = load(&path, &LoadOptions::strict()).unwrap_err().to_string();
+        let e2 = load_sessions(&path).unwrap_err().to_string();
+        assert_eq!(e1, e2);
         std::fs::remove_file(&path).ok();
     }
 

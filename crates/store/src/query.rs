@@ -1,6 +1,31 @@
+use std::fmt;
+
 use taxitrace_geo::BBox;
 use taxitrace_timebase::Timestamp;
 use taxitrace_traces::{RawTrip, TaxiId};
+
+/// A query that can never match: the caller asked for something
+/// contradictory, which used to come back as a silently empty result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryError {
+    /// A range filter is inverted (min > max). `field` names the filter
+    /// ("time", "bbox.x", "bbox.y"); `min`/`max` are the offending bounds
+    /// (seconds for the time window, metres for the bbox axes).
+    EmptyRange { field: &'static str, min: f64, max: f64 },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyRange { field, min, max } => write!(
+                f,
+                "empty {field} range: min {min} exceeds max {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// A composable session filter: the tiny slice of SQL the pipeline needs.
 ///
@@ -56,6 +81,40 @@ impl Query {
     pub fn min_points(mut self, n: usize) -> Self {
         self.min_points = Some(n);
         self
+    }
+
+    /// Rejects contradictory filters instead of silently matching
+    /// nothing: an inverted time window (`started_after` past
+    /// `started_before`) or an inverted bbox (possible by constructing
+    /// [`BBox`] fields directly; [`BBox::from_corners`] normalises) is a
+    /// typed [`QueryError::EmptyRange`].
+    pub fn validate(&self) -> Result<(), QueryError> {
+        if let (Some(a), Some(b)) = (self.started_after, self.started_before) {
+            if a > b {
+                return Err(QueryError::EmptyRange {
+                    field: "time",
+                    min: a.secs() as f64,
+                    max: b.secs() as f64,
+                });
+            }
+        }
+        if let Some(bbox) = &self.touches_bbox {
+            if bbox.min_x > bbox.max_x {
+                return Err(QueryError::EmptyRange {
+                    field: "bbox.x",
+                    min: bbox.min_x,
+                    max: bbox.max_x,
+                });
+            }
+            if bbox.min_y > bbox.max_y {
+                return Err(QueryError::EmptyRange {
+                    field: "bbox.y",
+                    min: bbox.min_y,
+                    max: bbox.max_y,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Whether a session satisfies all configured predicates.
@@ -145,6 +204,34 @@ mod tests {
         assert!(q.matches(&session(1, 10, 0.0, 3)));
         assert!(q.matches(&session(1, 19, 0.0, 3)));
         assert!(!q.matches(&session(1, 20, 0.0, 3)));
+    }
+
+    #[test]
+    fn inverted_time_window_is_empty_range() {
+        let q = Query::new()
+            .started_after(Timestamp::from_secs(20))
+            .started_before(Timestamp::from_secs(10));
+        assert_eq!(
+            q.validate(),
+            Err(QueryError::EmptyRange { field: "time", min: 20.0, max: 10.0 })
+        );
+        // Degenerate-but-ordered windows are fine (they match nothing,
+        // which is what the caller asked for).
+        let q = Query::new()
+            .started_after(Timestamp::from_secs(10))
+            .started_before(Timestamp::from_secs(10));
+        assert!(q.validate().is_ok());
+    }
+
+    #[test]
+    fn inverted_bbox_is_empty_range() {
+        // from_corners normalises, so build the inversion directly.
+        let bbox = BBox { min_x: 5.0, min_y: 0.0, max_x: -5.0, max_y: 1.0 };
+        let err = Query::new().touches(bbox).validate().unwrap_err();
+        assert_eq!(err, QueryError::EmptyRange { field: "bbox.x", min: 5.0, max: -5.0 });
+        assert!(err.to_string().contains("bbox.x"), "{err}");
+        let normal = BBox::from_corners(Point::new(5.0, 0.0), Point::new(-5.0, 1.0));
+        assert!(Query::new().touches(normal).validate().is_ok());
     }
 
     #[test]

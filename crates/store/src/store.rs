@@ -6,8 +6,8 @@ use taxitrace_geo::{BBox, CellId, Grid, Point};
 use taxitrace_traces::{RawTrip, RoutePoint, TaxiId, TripId};
 use taxitrace_timebase::Timestamp;
 
-use crate::codec;
-use crate::Query;
+use crate::codec::{self, LoadOptions};
+use crate::{Query, QueryError};
 
 /// Store errors.
 #[derive(Debug)]
@@ -203,9 +203,14 @@ impl TripStore {
             .collect()
     }
 
-    /// Runs a composed [`Query`] and returns matching sessions.
-    pub fn query(&self, q: &Query) -> Vec<&RawTrip> {
-        self.sessions.iter().filter(|s| q.matches(s)).collect()
+    /// Runs a composed [`Query`], yielding matching sessions lazily in
+    /// insertion order — no per-call `Vec` allocation. Contradictory
+    /// filters (inverted ranges) are a typed [`QueryError`] instead of a
+    /// silently empty result.
+    pub fn query(&self, q: &Query) -> Result<impl Iterator<Item = &RawTrip> + '_, QueryError> {
+        q.validate()?;
+        let q = q.clone();
+        Ok(self.sessions.iter().filter(move |s| q.matches(s)))
     }
 
     /// Persists the store to a file (versioned binary format).
@@ -222,10 +227,10 @@ impl TripStore {
     /// offset index served the read (seek + zero-copy payloads) without a
     /// sequential scan.
     pub fn load_stats(path: &Path) -> Result<(Self, bool), StoreError> {
-        let (sessions, indexed) = codec::load_sessions_stats(path)?;
+        let out = codec::load(path, &LoadOptions::strict())?;
         let mut store = Self::new();
-        store.insert_all(sessions)?;
-        Ok((store, indexed))
+        store.insert_all(out.sessions)?;
+        Ok((store, out.indexed))
     }
 }
 
@@ -326,6 +331,21 @@ mod tests {
         let near = s.points_near(Point::new(690.0, 0.0), 15.0);
         assert_eq!(near.len(), 1);
         assert_eq!(near[0].pos.x, 700.0);
+    }
+
+    #[test]
+    fn composed_query_is_lazy_and_validated() {
+        let s = filled();
+        let q = Query::new().taxi(TaxiId(1));
+        let hits: Vec<u64> = s.query(&q).unwrap().map(|t| t.id.0).collect();
+        assert_eq!(hits, vec![1, 2]);
+        let inverted = Query::new()
+            .started_after(Timestamp::from_secs(100))
+            .started_before(Timestamp::from_secs(0));
+        assert!(matches!(
+            s.query(&inverted),
+            Err(QueryError::EmptyRange { field: "time", .. })
+        ));
     }
 
     #[test]

@@ -26,10 +26,10 @@ use taxitrace_geo::{GeoPoint, Point};
 use taxitrace_roadnet::{ElementId, NodeId};
 use bytes::Bytes;
 use taxitrace_store::codec::{
-    load_sessions, load_sessions_indexed_bytes, load_sessions_salvage, read_session_indexed,
-    record_spans, salvage_bytes, save_sessions_tagged, save_sessions_v1, save_sessions_v2_tagged,
+    load, load_bytes, read_session_indexed, record_spans, salvage_bytes, save_sessions_tagged,
+    save_sessions_v1, save_sessions_v2_tagged,
 };
-use taxitrace_store::{DamageKind, StoreError};
+use taxitrace_store::{DamageKind, LoadOptions, StoreError};
 use taxitrace_timebase::{Duration, Timestamp};
 use taxitrace_traces::{CustomerTripTruth, PointTruth, RawTrip, RoutePoint, TaxiId, TripId};
 
@@ -143,11 +143,11 @@ proptest! {
         let sessions = gen_sessions(seed);
         let path = scratch_file("v3");
         save_sessions_tagged(&path, &sessions, fp).expect("save v3");
-        let loaded = load_sessions(&path).expect("strict load");
+        let loaded = load(&path, &LoadOptions::strict()).expect("strict load").sessions;
         prop_assert_eq!(&loaded, &sessions);
 
         // Salvage agrees with the strict reader on healthy data.
-        let salvage = load_sessions_salvage(&path).expect("salvage");
+        let salvage = load(&path, &LoadOptions::salvage()).expect("salvage");
         prop_assert!(salvage.report.is_clean());
         prop_assert_eq!(salvage.report.version, 3);
         prop_assert_eq!(salvage.report.fingerprint, fp);
@@ -177,10 +177,9 @@ proptest! {
         prop_assert!(salvage.report.is_clean());
 
         // Whole-file fast path agrees with the sequential scan.
-        let indexed = load_sessions_indexed_bytes(&raw)
-            .expect("indexed load")
-            .expect("a v3 file must take the fast path");
-        prop_assert_eq!(indexed.fingerprint, fp);
+        let indexed = load_bytes(&raw, &LoadOptions::strict()).expect("indexed load");
+        prop_assert!(indexed.indexed, "a v3 file must take the fast path");
+        prop_assert_eq!(indexed.report.fingerprint, fp);
         prop_assert_eq!(&indexed.sessions, &salvage.sessions);
 
         // Every single-record seek agrees with the scan, in any order.
@@ -197,9 +196,9 @@ proptest! {
         let sessions = gen_sessions(seed);
         let path = scratch_file("v1");
         save_sessions_v1(&path, &sessions).expect("save v1");
-        let loaded = load_sessions(&path).expect("v1 load");
+        let loaded = load(&path, &LoadOptions::strict()).expect("v1 load").sessions;
         prop_assert_eq!(&loaded, &sessions);
-        let salvage = load_sessions_salvage(&path).expect("v1 salvage");
+        let salvage = load(&path, &LoadOptions::salvage()).expect("v1 salvage");
         prop_assert!(salvage.report.is_clean());
         prop_assert_eq!(salvage.report.version, 1);
         prop_assert_eq!(&salvage.sessions, &sessions);
@@ -340,10 +339,10 @@ fn damage_fixtures_salvage_exactly() {
     std::fs::create_dir_all(&dir).expect("dir");
     let p = dir.join("torn.tts");
     std::fs::write(&p, &torn).expect("write");
-    let err = load_sessions(&p).expect_err("torn must fail strict load");
+    let err = load(&p, &LoadOptions::strict()).expect_err("torn must fail strict load");
     assert!(err.to_string().contains("torn_tail"), "{err}");
     std::fs::write(&p, &flipped).expect("write");
-    let err = load_sessions(&p).expect_err("flip must fail strict load");
+    let err = load(&p, &LoadOptions::strict()).expect_err("flip must fail strict load");
     assert!(err.to_string().contains("corrupt_record"), "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -6,8 +6,7 @@
 //! ```
 
 use taxi_traces::core::{
-    grid_analysis, mixed_model, render_table3, render_table4, render_table5, Study,
-    StudyConfig, Table4,
+    mixed_model, render_table3, render_table4, render_table5, Study, StudyConfig, Table4,
 };
 
 fn main() {
@@ -38,7 +37,7 @@ fn main() {
     print!("{}", render_table4(&Table4::compute(&output)));
 
     println!("\n=== Table 5: traffic lights / bus stops vs cell speed ===");
-    let grid = grid_analysis(&output, None);
+    let grid = output.grid_stats(None);
     print!("{}", render_table5(&grid.table5()));
 
     println!("\n=== Eq. 3 mixed model (cell random intercepts) ===");

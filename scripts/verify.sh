@@ -35,7 +35,7 @@ python3 - "$metrics" <<'EOF'
 import json, sys
 
 m = json.load(open(sys.argv[1]))
-assert m.get("schema") == 3, f"metrics JSON schema drifted: {m.get('schema')!r}"
+assert m.get("schema") == 4, f"metrics JSON schema drifted: {m.get('schema')!r}"
 for key in ("counters", "gauges", "histograms", "spans"):
     assert key in m, f"missing top-level key {key!r}"
 counters = m["counters"]
@@ -212,5 +212,107 @@ print(f"perf smoke OK: study {one['study_fingerprint']} and "
       f"{len(four['simulate_matrix'])} matrix rows invariant across workers")
 EOF
 rm -f "$j1" "$j4"
+
+# Serve smoke: start the HTTP query service on an ephemeral port, issue
+# one query of each kind, and check (a) every route answers canonical
+# JSON, (b) /metrics exposes the schema-versioned obs document with the
+# serve.* request counters reflecting the traffic.
+servelog=$(mktemp)
+./target/release/repro --scale 0.05 --threads 2 serve > "$servelog" 2>/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 120); do
+    addr=$(sed -n 's/^serving on \([0-9.:]*\).*/\1/p' "$servelog")
+    [ -n "$addr" ] && break
+    sleep 0.5
+done
+[ -n "$addr" ] || {
+    echo "verify: serve never reported its address" >&2
+    cat "$servelog" >&2
+    exit 1
+}
+python3 - "$addr" <<'EOF'
+import json, sys, urllib.error, urllib.request
+
+addr = sys.argv[1]
+def get(path):
+    with urllib.request.urlopen(f"http://{addr}{path}", timeout=10) as r:
+        return json.load(r)
+
+for path, kind in (("/od_flow", "od_flow"), ("/cell_speed?ix=0&iy=0", "cell_speed"),
+                   ("/trip?id=1", "trip_lookup"), ("/grid_stats", "grid_stats")):
+    doc = get(path)
+    assert doc.get("kind") == kind, f"{path} answered {doc.get('kind')!r}"
+
+od = get("/od_flow")
+assert od["rows"], "od_flow returned no rows"
+grid = get("/grid_stats")
+assert grid["cells"], "grid_stats returned no cells"
+
+# An inverted window must be a typed 400, not an empty result.
+try:
+    get("/od_flow?from=100&to=0")
+    raise AssertionError("inverted window was not rejected")
+except urllib.error.HTTPError as e:
+    assert e.code == 400, f"inverted window gave {e.code}"
+    assert "empty time range" in json.load(e)["error"]
+
+m = get("/metrics")
+assert m.get("schema") == 4, f"serve metrics schema drifted: {m.get('schema')!r}"
+counters = m["counters"]
+assert counters.get("serve.requests_total", 0) >= 4, \
+    f"serve.requests_total too low: {counters.get('serve.requests_total')}"
+for kind in ("od_flow", "cell_speed", "trip_lookup", "grid_stats"):
+    assert counters.get(f"serve.requests.{kind}", 0) >= 1, f"no serve.requests.{kind}"
+assert m["gauges"].get("serve.workers") == 2.0, "serve.workers gauge wrong"
+print(f"serve smoke OK: {counters['serve.requests_total']} requests over "
+      f"{addr}, all four query kinds answered")
+EOF
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+rm -f "$servelog"
+
+# Serve bench: the committed BENCH_serve.json must carry the load
+# fingerprints and latency figures plus the epoch-vs-mutex contention
+# comparison, and a fresh reduced run must reproduce the documented
+# query-mix determinism (same seed + domain => same mix fingerprint).
+sj=$(mktemp)
+./target/release/repro --scale 0.05 --threads 2 --requests 200 \
+    --bench-json "$sj" serve-bench 2>/dev/null
+python3 - "$sj" BENCH_serve.json <<'EOF'
+import json, sys
+
+fresh, committed = (json.load(open(p)) for p in sys.argv[1:3])
+for doc, label in ((fresh, "fresh"), (committed, "committed")):
+    assert doc.get("schema") == 1, f"{label} BENCH_serve schema drifted"
+    load = doc["load"]
+    for k in ("seed", "clients", "requests", "errors", "mix_fingerprint",
+              "response_fingerprint", "p50_us", "p99_us", "throughput_qps"):
+        assert k in load, f"{label} load record missing {k!r}"
+    assert load["errors"] == 0, f"{label} run had {load['errors']} failed requests"
+    c = doc["contention"]
+    for k in ("threads", "acquisitions_per_thread", "epoch_ns_per_op", "mutex_ns_per_op"):
+        assert k in c, f"{label} contention record missing {k!r}"
+assert fresh["load"]["requests"] == 200, "serve-bench did not honour --requests"
+print(f"serve bench OK: mix {fresh['load']['mix_fingerprint']}, "
+      f"epoch {fresh['contention']['epoch_ns_per_op']:.0f} ns/op vs "
+      f"mutex {fresh['contention']['mutex_ns_per_op']:.0f} ns/op")
+EOF
+sj2=$(mktemp)
+./target/release/repro --scale 0.05 --threads 2 --requests 200 \
+    --bench-json "$sj2" serve-bench 2>/dev/null
+python3 - "$sj" "$sj2" <<'EOF'
+import json, sys
+
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["load"]["mix_fingerprint"] == b["load"]["mix_fingerprint"], \
+    "query mix is not deterministic across runs"
+assert a["load"]["response_fingerprint"] == b["load"]["response_fingerprint"], \
+    "responses are not deterministic across runs"
+print("serve determinism OK: mix and response fingerprints stable across runs")
+EOF
+rm -f "$sj" "$sj2"
 
 echo "verify: all checks passed"

@@ -18,6 +18,8 @@
 //! | [`od`] | §IV-D O-D transition funnel (Table 3) |
 //! | [`stats`] | summaries, OLS, REML mixed models, QQ |
 //! | [`core`] | the end-to-end [`core::Study`] pipeline and analyses |
+//! | [`obs`] | metrics registry, spans, schema-versioned renderers |
+//! | [`serve`] | read service: epoch-swapped snapshots, HTTP/JSON queries |
 //!
 //! See the repository's `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -34,8 +36,10 @@ pub use taxitrace_cleaning as cleaning;
 pub use taxitrace_core as core;
 pub use taxitrace_geo as geo;
 pub use taxitrace_matching as matching;
+pub use taxitrace_obs as obs;
 pub use taxitrace_od as od;
 pub use taxitrace_roadnet as roadnet;
+pub use taxitrace_serve as serve;
 pub use taxitrace_stats as stats;
 pub use taxitrace_store as store;
 pub use taxitrace_timebase as timebase;

@@ -3,9 +3,7 @@
 
 use std::sync::OnceLock;
 
-use taxi_traces::core::{
-    grid_analysis, mixed_model, Study, StudyConfig, StudyOutput, Table4,
-};
+use taxi_traces::core::{mixed_model, Study, StudyConfig, StudyOutput, Table4};
 use taxi_traces::geo::Point;
 
 fn output() -> &'static StudyOutput {
@@ -98,7 +96,7 @@ fn analyses_run_on_pipeline_output() {
     let out = output();
     let t4 = Table4::compute(out);
     assert!(!t4.rows.is_empty());
-    let grid = grid_analysis(out, None);
+    let grid = out.grid_stats(None);
     assert!(!grid.cells.is_empty());
     let t5 = grid.table5();
     assert_eq!(t5.classes.len(), 4);
@@ -111,7 +109,7 @@ fn analyses_run_on_pipeline_output() {
 #[test]
 fn crowd_zone_slows_nearby_cells() {
     let out = output();
-    let grid = grid_analysis(out, None);
+    let grid = out.grid_stats(None);
     let zone_b = Point::new(550.0, -40.0);
     let mut in_zone = Vec::new();
     let mut far = Vec::new();

@@ -5,8 +5,7 @@
 use std::sync::OnceLock;
 
 use taxi_traces::core::{
-    grid_analysis, mixed_model, seasonal_deltas, temperature_analysis, Study, StudyConfig,
-    StudyOutput,
+    mixed_model, seasonal_deltas, temperature_analysis, Study, StudyConfig, StudyOutput,
 };
 use taxi_traces::geo::{Grid, Point};
 use taxi_traces::timebase::Season;
@@ -74,7 +73,7 @@ fn corridor_contrast_table4() {
 #[test]
 fn lights_collapse_variance_table5() {
     let out = output();
-    let t5 = grid_analysis(out, None).table5();
+    let t5 = out.grid_stats(None).table5();
     let no_lights = &t5.classes[0];
     let with_lights = &t5.classes[3];
     assert!(with_lights.mean < no_lights.mean);

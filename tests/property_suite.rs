@@ -164,7 +164,9 @@ proptest! {
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join(format!("s{trip}_{taxi}.tts"));
         codec::save_sessions(&path, std::slice::from_ref(&session)).expect("save");
-        let back = codec::load_sessions(&path).expect("load");
+        let back = codec::load(&path, &taxi_traces::store::LoadOptions::strict())
+            .expect("load")
+            .sessions;
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(back.len(), 1);
         prop_assert_eq!(&back[0], &session);

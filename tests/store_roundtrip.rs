@@ -69,7 +69,10 @@ fn queries_work_after_reload() {
     std::fs::remove_file(&path).ok();
 
     let q = Query::new().taxi(TaxiId(1)).min_points(10);
-    assert_eq!(loaded.query(&q).len(), store.query(&q).len());
+    assert_eq!(
+        loaded.query(&q).expect("valid query").count(),
+        store.query(&q).expect("valid query").count()
+    );
 
     let t0 = Timestamp::from_secs(0);
     let t1 = Timestamp::from_secs(i64::MAX / 2);
