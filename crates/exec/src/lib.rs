@@ -74,19 +74,24 @@ static MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
 /// Results never depend on the value (see *Determinism* above) — only
 /// wall time does.
 pub fn set_max_workers(n: usize) {
-    MAX_WORKERS.store(n, Ordering::SeqCst);
+    // sync(MAX_WORKERS): standalone config cell; nothing else is published
+    // through it, so Relaxed suffices (SeqCst here would imply a protocol
+    // that does not exist).
+    MAX_WORKERS.store(n, Ordering::Relaxed);
 }
 
 /// The current worker override (`0` = auto).
 pub fn max_workers() -> usize {
-    MAX_WORKERS.load(Ordering::SeqCst)
+    // sync(MAX_WORKERS): standalone config cell, value-only read.
+    MAX_WORKERS.load(Ordering::Relaxed)
 }
 
 /// Number of worker threads for a work list of `len` items: one per
 /// available CPU (or the [`set_max_workers`] override), capped by the
 /// number of items (never zero).
 pub fn worker_count(len: usize) -> usize {
-    let cap = MAX_WORKERS.load(Ordering::SeqCst);
+    // sync(MAX_WORKERS): standalone config cell, value-only read.
+    let cap = MAX_WORKERS.load(Ordering::Relaxed);
     let workers = if cap == 0 {
         std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
     } else {
@@ -498,6 +503,8 @@ where
                 let mut local: Vec<(usize, Result<R, RawTaskError<E>>)> = Vec::new();
                 let mut retries = 0u64;
                 loop {
+                    // sync(cursor): claim uniqueness needs only RMW
+                    // atomicity; results publish via thread join below.
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     if index >= items.len() {
                         break;
@@ -619,9 +626,10 @@ mod tests {
         let counter = AtomicUsize::new(0);
         let items: Vec<usize> = (0..257).collect();
         let out = par_map(&items, |&x| {
-            counter.fetch_add(1, Ordering::Relaxed);
+            counter.fetch_add(1, Ordering::Relaxed); // sync(counter): merged by join
             x
         });
+        // sync(counter): par_map joined every worker, so the count is exact.
         assert_eq!(counter.load(Ordering::Relaxed), items.len());
         assert_eq!(out, items);
     }
@@ -826,12 +834,13 @@ mod tests {
         let slots = try_par_map(
             &items,
             |_| -> Result<u8, String> {
-                attempts.fetch_add(1, Ordering::Relaxed);
+                attempts.fetch_add(1, Ordering::Relaxed); // sync(attempts): merged by join
                 panic!("boom");
             },
             TaskPolicy { failure: FailurePolicy::Collect { max_failures: 1 }, max_attempts: 5 },
         )
         .unwrap();
+        // sync(attempts): try_par_map joined every worker.
         assert_eq!(attempts.load(Ordering::Relaxed), 1);
         assert!(matches!(slots[0], Err(TaskError::Panicked { .. })));
     }
@@ -845,13 +854,14 @@ mod tests {
                 if x == 123 || x == 222 {
                     panic!("die {x}");
                 }
-                completed.fetch_add(1, Ordering::Relaxed);
+                completed.fetch_add(1, Ordering::Relaxed); // sync(completed): merged by join
                 x
             })
         }));
         let payload = caught.unwrap_err();
         assert_eq!(panic_message(payload.as_ref()), "die 123");
         // All non-panicking siblings ran to completion despite the panic.
+        // sync(completed): all workers joined before the panic re-raise.
         assert_eq!(completed.load(Ordering::Relaxed), items.len() - 2);
     }
 

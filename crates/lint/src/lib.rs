@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 
 use allow::Allowlist;
 use diag::Diagnostic;
-use rules::{source_rules, FileCtx, FileKind, MetricsRegistry};
+use rules::{source_rules, FileCtx, FileKind, MetricsRegistry, SyncRegistry};
 use source::SourceFile;
 
 /// Engine failure (I/O or malformed support files) — distinct from lint
@@ -83,8 +83,9 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 }
 
 /// Lints the whole workspace under `root` using the committed allowlist
-/// (`crates/lint/allowlist.txt`) and metrics registry
-/// (`crates/lint/metrics.registry`).
+/// (`crates/lint/allowlist.txt`), metrics registry
+/// (`crates/lint/metrics.registry`) and shared-state registry
+/// (`crates/lint/sync.registry`).
 pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
     let allowlist = Allowlist::parse(&read(&root.join("crates/lint/allowlist.txt"))?)
         .map_err(LintError::Config)?;
@@ -95,7 +96,14 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
             "metrics registry is empty — the drift rule would reject every metric".into(),
         ));
     }
-    lint_workspace_with(root, &allowlist, registry)
+    let sync = SyncRegistry::parse(&read(&root.join("crates/lint/sync.registry"))?)
+        .map_err(LintError::Config)?;
+    if sync.is_empty() {
+        return Err(LintError::Config(
+            "sync registry is empty — the atomics audit would reject every declaration".into(),
+        ));
+    }
+    lint_workspace_with(root, &allowlist, registry, sync)
 }
 
 /// [`lint_workspace`] with explicit support files (for tests).
@@ -103,11 +111,13 @@ pub fn lint_workspace_with(
     root: &Path,
     allowlist: &Allowlist,
     registry: MetricsRegistry,
+    sync: SyncRegistry,
 ) -> Result<LintReport, LintError> {
-    let rules = source_rules(registry);
+    let rules = source_rules(registry, sync.clone());
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     let mut files_scanned = 0usize;
+    let mut sync_used: Vec<(String, String)> = Vec::new();
 
     for path in workspace_rust_files(root)? {
         let rel = rel_path(root, &path);
@@ -118,13 +128,42 @@ pub fn lint_workspace_with(
             krate: crate_of(&rel),
             kind: kind_of(&rel),
         };
+        sync_used.extend(rules::sync_usage(&file));
         for rule in &rules {
+            if !rule.applies(ctx.kind) {
+                continue;
+            }
             for d in rule.check(&ctx) {
                 if allow::inline_allowed(&file, d.line, d.rule) || allowlist.allows(&d) {
                     suppressed.push(d);
                 } else {
                     findings.push(d);
                 }
+            }
+        }
+    }
+
+    // Registry staleness: an inventory that outlives the code it described
+    // is worse than none. Entries must match a declaration or a `sync(...)`
+    // citation somewhere in the scanned tree.
+    for entry in sync.entries() {
+        let used = sync_used.iter().any(|(f, n)| *f == entry.file && *n == entry.name);
+        if !used {
+            let d = Diagnostic::new(
+                "crates/lint/sync.registry",
+                entry.line,
+                "atomics-audit",
+                format!(
+                    "stale sync registry entry `{}:{}`: no declaration or sync(...) \
+                     citation in the scanned tree — remove the line or fix the key",
+                    entry.file, entry.name
+                ),
+                &format!("{} {}:{}", entry.kind_str(), entry.file, entry.name),
+            );
+            if allowlist.allows(&d) {
+                suppressed.push(d);
+            } else {
+                findings.push(d);
             }
         }
     }
@@ -151,13 +190,23 @@ pub fn lint_workspace_with(
     Ok(LintReport { findings, suppressed, files_scanned, unused_allows })
 }
 
-/// Lints a single source text as library code of crate `krate` — the
-/// fixture-test entry point.
-pub fn lint_source(rel: &str, krate: &str, text: &str, registry: MetricsRegistry) -> Vec<Diagnostic> {
+/// Lints a single source text as code of crate `krate` — the fixture-test
+/// entry point. The file kind is derived from `rel` as in the workspace
+/// walk.
+pub fn lint_source(
+    rel: &str,
+    krate: &str,
+    text: &str,
+    registry: MetricsRegistry,
+    sync: SyncRegistry,
+) -> Vec<Diagnostic> {
     let file = SourceFile::scan(rel, text);
     let ctx = FileCtx { file: &file, krate, kind: kind_of(rel) };
     let mut out = Vec::new();
-    for rule in source_rules(registry) {
+    for rule in source_rules(registry, sync) {
+        if !rule.applies(ctx.kind) {
+            continue;
+        }
         for d in rule.check(&ctx) {
             if !allow::inline_allowed(&file, d.line, d.rule) {
                 out.push(d);
@@ -168,15 +217,23 @@ pub fn lint_source(rel: &str, krate: &str, text: &str, registry: MetricsRegistry
     out
 }
 
-/// Every `.rs` file under `crates/*/src` and the facade crate's `src/`,
-/// in deterministic (sorted) order. `third_party/` shims and `target/` are
-/// never visited.
+/// The source subtrees scanned per crate (and at the workspace root).
+const SOURCE_SUBDIRS: [&str; 4] = ["src", "tests", "benches", "examples"];
+
+/// Every `.rs` file under `crates/*/{src,tests,benches,examples}` and the
+/// same subtrees at the workspace root, in deterministic (sorted) order.
+/// `third_party/` shims, `target/` and lint `fixtures/` directories (known-
+/// bad inputs by design) are never visited.
 fn workspace_rust_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
     let mut out = Vec::new();
     for member in sorted_dirs(&root.join("crates"))? {
-        collect_rs(&member.join("src"), &mut out)?;
+        for sub in SOURCE_SUBDIRS {
+            collect_rs(&member.join(sub), &mut out)?;
+        }
     }
-    collect_rs(&root.join("src"), &mut out)?;
+    for sub in SOURCE_SUBDIRS {
+        collect_rs(&root.join(sub), &mut out)?;
+    }
     Ok(out)
 }
 
@@ -225,6 +282,9 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
     paths.sort();
     for path in paths {
         if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
             collect_rs(&path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             out.push(path);
@@ -253,8 +313,17 @@ fn crate_of(rel: &str) -> &str {
 }
 
 fn kind_of(rel: &str) -> FileKind {
+    let in_tree = |tree: &str| {
+        rel.starts_with(&format!("{tree}/")) || rel.contains(&format!("/{tree}/"))
+    };
     if rel.contains("/src/bin/") || rel.ends_with("/src/main.rs") {
         FileKind::Bin
+    } else if in_tree("tests") {
+        FileKind::Test
+    } else if in_tree("benches") {
+        FileKind::Bench
+    } else if in_tree("examples") {
+        FileKind::Example
     } else {
         FileKind::Lib
     }
@@ -268,8 +337,13 @@ mod tests {
     fn crate_and_kind_classification() {
         assert_eq!(crate_of("crates/roadnet/src/graph.rs"), "roadnet");
         assert_eq!(crate_of("src/lib.rs"), "taxi-traces");
+        assert_eq!(crate_of("tests/end_to_end.rs"), "taxi-traces");
         assert_eq!(kind_of("crates/bench/src/bin/repro.rs"), FileKind::Bin);
         assert_eq!(kind_of("crates/lint/src/main.rs"), FileKind::Bin);
         assert_eq!(kind_of("crates/geo/src/lib.rs"), FileKind::Lib);
+        assert_eq!(kind_of("tests/end_to_end.rs"), FileKind::Test);
+        assert_eq!(kind_of("crates/store/tests/codec_props.rs"), FileKind::Test);
+        assert_eq!(kind_of("crates/bench/benches/pipeline.rs"), FileKind::Bench);
+        assert_eq!(kind_of("examples/quickstart.rs"), FileKind::Example);
     }
 }

@@ -4,7 +4,8 @@
 //! taxitrace-lint [--deny] [--format human|json] [--root DIR] [--quiet]
 //! ```
 //!
-//! * `--deny`    exit non-zero if any finding survives the allow filters
+//! * `--deny`    exit non-zero if any finding survives the allow filters,
+//!   or if the allowlist carries stale (unused) entries
 //! * `--format`  `human` (default) or `json` (stable, golden-file tested)
 //! * `--root`    workspace root; default: walk up from the current dir
 //! * `--quiet`   suppress the scan summary on stderr
@@ -41,7 +42,8 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "taxitrace-lint [--deny] [--format human|json] [--root DIR] [--quiet]\n\
                      Static-analysis gate: determinism, panic-freedom, unsafe audit,\n\
-                     metrics-schema drift, workspace hygiene."
+                     metrics-schema drift, atomics audit, lock discipline, workspace\n\
+                     hygiene. --deny also fails on stale allowlist entries."
                 );
                 std::process::exit(0);
             }
@@ -86,11 +88,15 @@ fn main() -> ExitCode {
             report.findings.len(),
             report.suppressed.len()
         );
-        for stale in &report.unused_allows {
-            eprintln!("taxitrace-lint: warning: unused allowlist entry `{stale}`");
-        }
     }
-    if opts.deny && !report.findings.is_empty() {
+    let severity = if opts.deny { "error" } else { "warning" };
+    for stale in &report.unused_allows {
+        eprintln!(
+            "taxitrace-lint: {severity}: unused allowlist entry `{stale}` — prune it \
+             from crates/lint/allowlist.txt"
+        );
+    }
+    if opts.deny && (!report.findings.is_empty() || !report.unused_allows.is_empty()) {
         return ExitCode::from(1);
     }
     ExitCode::SUCCESS

@@ -1,0 +1,804 @@
+//! `atomics-audit`: every shared-state declaration must be inventoried in
+//! the committed `crates/lint/sync.registry`, and every atomic operation
+//! must (a) carry a `// sync(<name>): <why>` justification on the same
+//! line or within the three lines above, and (b) use only the memory
+//! orderings the registry entry's policy permits.
+//!
+//! The registry is the workspace's concurrency design doc in machine-
+//! checkable form: one line per cell, `<kind> <file>:<name> <policy>
+//! <rationale…>`. Policies for atomics:
+//!
+//! * `monotonic` — a counter merged by atomicity alone (fetch_add), read
+//!   after a happens-before edge established elsewhere (thread join, lock).
+//!   All orderings must be `Relaxed`; anything stronger is wasted fencing
+//!   that misleads readers into seeing a protocol that isn't there.
+//! * `relaxed` — a standalone cell (config override, last-write-wins
+//!   gauge) publishing nothing beyond its own value. All orderings
+//!   `Relaxed`.
+//! * `acqrel` — a publication protocol: stores/RMWs `Release`, loads
+//!   `Acquire` (CAS failure may be `Acquire`/`Relaxed`). A `Relaxed` here
+//!   silently deletes the happens-before edge — exactly the weakening the
+//!   `taxitrace-sync-model` checker demonstrates against the extracted
+//!   protocol models (see DESIGN.md §14).
+//! * `seqcst` — requires a total-order argument in the rationale; `SeqCst`
+//!   anywhere else is flagged as unjustified.
+//!
+//! `mutex`/`rwlock` entries use policy `guarded`, `OnceLock`/`LazyLock`
+//! entries `init-once`; these are registration-only (the `lock-discipline`
+//! rule audits guard usage). The `sync-model` crate is exempt: its shims
+//! *are* the modeled operations.
+
+use super::{find_word, ident_before_colon, ident_before_eq, word_bounded, FileCtx, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// What family of shared-state primitive a registry entry covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    Atomic,
+    Mutex,
+    RwLock,
+    Once,
+}
+
+impl SyncKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SyncKind::Atomic => "atomic",
+            SyncKind::Mutex => "mutex",
+            SyncKind::RwLock => "rwlock",
+            SyncKind::Once => "once",
+        }
+    }
+}
+
+/// The ordering discipline a registered cell commits to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Monotonic counter: all orderings `Relaxed`, reads synchronized
+    /// elsewhere (join/lock).
+    Monotonic,
+    /// Standalone cell publishing nothing but its own value: `Relaxed`.
+    Relaxed,
+    /// Publication protocol: `Release` writes pair with `Acquire` reads.
+    AcqRel,
+    /// Total-order protocol: everything `SeqCst` (rationale must say why).
+    SeqCst,
+    /// Mutex/RwLock: data only touched through the guard.
+    Guarded,
+    /// OnceLock/LazyLock: write-once initialization.
+    InitOnce,
+}
+
+impl SyncPolicy {
+    fn as_str(self) -> &'static str {
+        match self {
+            SyncPolicy::Monotonic => "monotonic",
+            SyncPolicy::Relaxed => "relaxed",
+            SyncPolicy::AcqRel => "acqrel",
+            SyncPolicy::SeqCst => "seqcst",
+            SyncPolicy::Guarded => "guarded",
+            SyncPolicy::InitOnce => "init-once",
+        }
+    }
+}
+
+/// One `<kind> <file>:<name> <policy> <rationale…>` registry line.
+#[derive(Debug, Clone)]
+pub struct SyncEntry {
+    pub kind: SyncKind,
+    pub file: String,
+    pub name: String,
+    pub policy: SyncPolicy,
+    pub rationale: String,
+    /// 1-based line in the registry file (for stale-entry findings).
+    pub line: usize,
+}
+
+impl SyncEntry {
+    /// The kind token as written in the registry file.
+    pub fn kind_str(&self) -> &'static str {
+        self.kind.as_str()
+    }
+}
+
+/// The checked-in shared-state inventory (`crates/lint/sync.registry`).
+#[derive(Debug, Clone, Default)]
+pub struct SyncRegistry {
+    entries: Vec<SyncEntry>,
+}
+
+impl SyncRegistry {
+    /// Parses `<kind> <file>:<name> <policy> <rationale…>` lines; `#`
+    /// comments and blanks ignored.
+    pub fn parse(text: &str) -> Result<SyncRegistry, String> {
+        let mut entries: Vec<SyncEntry> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |what: &str| format!("sync registry line {}: {what}, got {line:?}", i + 1);
+            let mut parts = line.split_whitespace();
+            let kind = match parts.next() {
+                Some("atomic") => SyncKind::Atomic,
+                Some("mutex") => SyncKind::Mutex,
+                Some("rwlock") => SyncKind::RwLock,
+                Some("once") => SyncKind::Once,
+                _ => return Err(bad("expected kind atomic|mutex|rwlock|once")),
+            };
+            let key = parts.next().ok_or_else(|| bad("missing <file>:<name> key"))?;
+            let (file, name) = key
+                .rsplit_once(':')
+                .ok_or_else(|| bad("key must be <file>:<name>"))?;
+            let policy = match (kind, parts.next()) {
+                (SyncKind::Atomic, Some("monotonic")) => SyncPolicy::Monotonic,
+                (SyncKind::Atomic, Some("relaxed")) => SyncPolicy::Relaxed,
+                (SyncKind::Atomic, Some("acqrel")) => SyncPolicy::AcqRel,
+                (SyncKind::Atomic, Some("seqcst")) => SyncPolicy::SeqCst,
+                (SyncKind::Mutex | SyncKind::RwLock, Some("guarded")) => SyncPolicy::Guarded,
+                (SyncKind::Once, Some("init-once")) => SyncPolicy::InitOnce,
+                _ => return Err(bad("policy does not fit the kind")),
+            };
+            let rationale = parts.collect::<Vec<_>>().join(" ");
+            if rationale.is_empty() {
+                return Err(bad("missing rationale"));
+            }
+            if entries.iter().any(|e| e.file == file && e.name == name) {
+                return Err(bad("duplicate key"));
+            }
+            entries.push(SyncEntry {
+                kind,
+                file: file.to_string(),
+                name: name.to_string(),
+                policy,
+                rationale,
+                line: i + 1,
+            });
+        }
+        Ok(SyncRegistry { entries })
+    }
+
+    pub fn lookup(&self, file: &str, name: &str) -> Option<&SyncEntry> {
+        self.entries.iter().find(|e| e.file == file && e.name == name)
+    }
+
+    pub fn entries(&self) -> &[SyncEntry] {
+        &self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[derive(Debug)]
+pub struct AtomicsAudit {
+    registry: SyncRegistry,
+}
+
+impl AtomicsAudit {
+    pub fn new(registry: SyncRegistry) -> AtomicsAudit {
+        AtomicsAudit { registry }
+    }
+}
+
+/// How many lines above an atomic op may carry the `// sync(...)` comment.
+const LOOKBACK: usize = 3;
+
+/// Crates whose atomics are themselves the subject of modeling/auditing.
+const EXEMPT_CRATES: [&str; 1] = ["sync-model"];
+
+const ATOMIC_TYPES: [&str; 12] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+const ONCE_TYPES: [&str; 2] = ["OnceLock", "LazyLock"];
+const ORDER_WORDS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Load,
+    Store,
+    Rmw,
+    Cas,
+}
+
+impl OpClass {
+    fn as_str(self) -> &'static str {
+        match self {
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Rmw => "read-modify-write",
+            OpClass::Cas => "compare-exchange",
+        }
+    }
+}
+
+const METHODS: [(&str, OpClass); 13] = [
+    (".load(", OpClass::Load),
+    (".store(", OpClass::Store),
+    (".swap(", OpClass::Rmw),
+    (".fetch_add(", OpClass::Rmw),
+    (".fetch_sub(", OpClass::Rmw),
+    (".fetch_and(", OpClass::Rmw),
+    (".fetch_or(", OpClass::Rmw),
+    (".fetch_xor(", OpClass::Rmw),
+    (".fetch_max(", OpClass::Rmw),
+    (".fetch_min(", OpClass::Rmw),
+    (".fetch_nand(", OpClass::Rmw),
+    (".compare_exchange(", OpClass::Cas),
+    (".compare_exchange_weak(", OpClass::Cas),
+];
+
+impl Rule for AtomicsAudit {
+    fn id(&self) -> &'static str {
+        "atomics-audit"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+        if EXEMPT_CRATES.contains(&ctx.krate) {
+            return Vec::new();
+        }
+        let f = ctx.file;
+        let mut out = Vec::new();
+
+        // (a) Every declaration must be registered under this file's path.
+        for (i, name, kind) in declared_sync_names(f) {
+            match self.registry.lookup(&f.rel, &name) {
+                None => out.push(Diagnostic::new(
+                    &f.rel,
+                    i + 1,
+                    self.id(),
+                    format!(
+                        "shared-state declaration `{name}` is not in crates/lint/\
+                         sync.registry: add `{} {}:{name} <policy> <rationale>` so its \
+                         ordering discipline is on record",
+                        kind.as_str(),
+                        f.rel
+                    ),
+                    &f.raw[i],
+                )),
+                Some(entry) if entry.kind != kind => out.push(Diagnostic::new(
+                    &f.rel,
+                    i + 1,
+                    self.id(),
+                    format!(
+                        "`{name}` is registered as {} but declared as {}: fix the \
+                         registry entry",
+                        entry.kind.as_str(),
+                        kind.as_str()
+                    ),
+                    &f.raw[i],
+                )),
+                Some(_) => {}
+            }
+        }
+
+        // (b) Every atomic op needs a justification and a policy-conformant
+        // ordering.
+        let calls = atomic_calls(f);
+        let mut consumed: Vec<(usize, usize)> = Vec::new();
+        for call in &calls {
+            for &(line, col, _) in &call.orderings {
+                consumed.push((line, col));
+            }
+            self.audit_call(f, call, &mut out);
+        }
+
+        // (c) A memory-ordering token the call scanner could not attribute
+        // to an atomic method is outside what this audit can check.
+        for (i, code) in f.code.iter().enumerate() {
+            for (col, word) in order_tokens(code) {
+                if !consumed.contains(&(i, col)) {
+                    out.push(Diagnostic::new(
+                        &f.rel,
+                        i + 1,
+                        self.id(),
+                        format!(
+                            "memory ordering `Ordering::{word}` outside a recognized \
+                             atomic operation: the audit cannot attribute it to a \
+                             registered cell"
+                        ),
+                        &f.raw[i],
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl AtomicsAudit {
+    fn audit_call(&self, f: &SourceFile, call: &AtomicCall, out: &mut Vec<Diagnostic>) {
+        let i = call.line;
+        let Some((name, justified)) = nearest_sync_annotation(f, i) else {
+            out.push(Diagnostic::new(
+                &f.rel,
+                i + 1,
+                "atomics-audit",
+                format!(
+                    "atomic `{}` without a `// sync(<name>): <why>` annotation within \
+                     {LOOKBACK} lines: name the registered cell and state why this \
+                     ordering is sufficient",
+                    call.method
+                ),
+                &f.raw[i],
+            ));
+            return;
+        };
+        if !justified {
+            out.push(Diagnostic::new(
+                &f.rel,
+                i + 1,
+                "atomics-audit",
+                format!(
+                    "sync annotation for `{name}` carries no justification: write \
+                     `// sync({name}): <why this ordering is sufficient>`"
+                ),
+                &f.raw[i],
+            ));
+            return;
+        }
+        let entry = match self.registry.lookup(&f.rel, &name) {
+            Some(e) if e.kind == SyncKind::Atomic => e,
+            _ => {
+                out.push(Diagnostic::new(
+                    &f.rel,
+                    i + 1,
+                    "atomics-audit",
+                    format!(
+                        "sync({name}) does not name a registered atomic for this file: \
+                         register it in crates/lint/sync.registry as \
+                         `atomic {}:{name} <policy> <rationale>`",
+                        f.rel
+                    ),
+                    &f.raw[i],
+                ));
+                return;
+            }
+        };
+        let total = call.orderings.len();
+        for (pos, &(line, _, word)) in call.orderings.iter().enumerate() {
+            let failure_pos = call.op == OpClass::Cas && total >= 2 && pos == total - 1;
+            let allowed = allowed_orders(entry.policy, call.op, failure_pos);
+            if allowed.contains(&word) {
+                continue;
+            }
+            let message = if word == "SeqCst" {
+                format!(
+                    "unjustified `SeqCst` on `{name}` (policy {}): use {} or upgrade the \
+                     registry entry to seqcst with a total-order rationale",
+                    entry.policy.as_str(),
+                    or_list(allowed)
+                )
+            } else if entry.policy == SyncPolicy::AcqRel && word == "Relaxed" {
+                format!(
+                    "`Relaxed` {} on `{name}` weakens the registered acquire/release \
+                     protocol — it deletes the happens-before edge the readers rely on \
+                     (the sync-model checker demonstrates the resulting stale read)",
+                    call.op.as_str()
+                )
+            } else {
+                format!(
+                    "`{word}` {} on `{name}` does not satisfy registry policy `{}` \
+                     (expected {})",
+                    call.op.as_str(),
+                    entry.policy.as_str(),
+                    or_list(allowed)
+                )
+            };
+            out.push(Diagnostic::new(&f.rel, line + 1, "atomics-audit", message, &f.raw[line]));
+        }
+    }
+}
+
+fn allowed_orders(policy: SyncPolicy, op: OpClass, cas_failure: bool) -> &'static [&'static str] {
+    match policy {
+        SyncPolicy::Monotonic | SyncPolicy::Relaxed => &["Relaxed"],
+        SyncPolicy::SeqCst => &["SeqCst"],
+        SyncPolicy::AcqRel => match op {
+            OpClass::Load => &["Acquire"],
+            OpClass::Store => &["Release"],
+            OpClass::Rmw => &["Acquire", "Release", "AcqRel"],
+            OpClass::Cas => {
+                if cas_failure {
+                    &["Acquire", "Relaxed"]
+                } else {
+                    &["Acquire", "Release", "AcqRel"]
+                }
+            }
+        },
+        // Guarded/InitOnce cells have no raw atomic ops; any ordering that
+        // reaches here is a registry-kind mismatch reported earlier.
+        SyncPolicy::Guarded | SyncPolicy::InitOnce => &[],
+    }
+}
+
+fn or_list(words: &[&str]) -> String {
+    words.join("/")
+}
+
+/// The `(file, name)` keys this file references — declarations found plus
+/// names cited in `// sync(...)` comments. Used by the workspace pass to
+/// report registry entries that no longer match any code.
+pub fn sync_usage(f: &SourceFile) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for (_, name, _) in declared_sync_names(f) {
+        let key = (f.rel.clone(), name);
+        if !out.contains(&key) {
+            out.push(key);
+        }
+    }
+    for comment in &f.comments {
+        for (name, _) in sync_annotations(comment) {
+            let key = (f.rel.clone(), name);
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+    }
+    out
+}
+
+/// Declarations of atomics/locks/once-cells: `(line index, name, kind)`.
+fn declared_sync_names(f: &SourceFile) -> Vec<(usize, String, SyncKind)> {
+    let mut out: Vec<(usize, String, SyncKind)> = Vec::new();
+    for (i, code) in f.code.iter().enumerate() {
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        let mut hits: Vec<(usize, SyncKind)> = Vec::new();
+        for ty in ATOMIC_TYPES {
+            hits.extend(find_word(code, ty).into_iter().map(|at| (at, SyncKind::Atomic)));
+        }
+        hits.extend(find_word(code, "Mutex").into_iter().map(|at| (at, SyncKind::Mutex)));
+        hits.extend(find_word(code, "RwLock").into_iter().map(|at| (at, SyncKind::RwLock)));
+        for ty in ONCE_TYPES {
+            hits.extend(find_word(code, ty).into_iter().map(|at| (at, SyncKind::Once)));
+        }
+        hits.sort_by_key(|&(at, _)| at);
+        for (at, kind) in hits {
+            let Some(name) = declared_name(&code[..at]) else { continue };
+            if is_sync_type_word(&name) || name == "Arc" {
+                continue;
+            }
+            if !out.iter().any(|(li, n, _)| *li == i && *n == name) {
+                out.push((i, name, kind));
+            }
+        }
+    }
+    out
+}
+
+fn is_sync_type_word(name: &str) -> bool {
+    ATOMIC_TYPES.contains(&name)
+        || ONCE_TYPES.contains(&name)
+        || name == "Mutex"
+        || name == "RwLock"
+}
+
+/// The identifier a sync type occurrence is bound to, from the text before
+/// it: `name: [Wrapper<]* Ty`, `let [mut] name = [Wrapper::new(]* Ty...`,
+/// or a tuple struct `struct Name(... Ty ...)`.
+fn declared_name(prefix: &str) -> Option<String> {
+    if let Some(name) = ident_before_colon(peel_generic_wrappers(prefix)) {
+        return Some(name);
+    }
+    if let Some(name) = eq_through_wrappers(prefix) {
+        return Some(name);
+    }
+    tuple_struct_name(prefix)
+}
+
+/// Peels trailing generic wrappers (`Vec<`, `Arc<` …) so a field like
+/// `counts: Vec<AtomicU64>` resolves to `counts`.
+fn peel_generic_wrappers(mut rest: &str) -> &str {
+    loop {
+        rest = rest.trim_end();
+        if let Some(inner) = rest.strip_suffix('<') {
+            rest = inner.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_' || c == ':');
+        } else {
+            return rest;
+        }
+    }
+}
+
+/// Peels trailing constructor wrappers (`Arc::new(`, `Mutex::new(` …) so
+/// `let stop = Arc::new(AtomicBool::new(false))` resolves to `stop`.
+fn eq_through_wrappers(prefix: &str) -> Option<String> {
+    let mut rest = prefix.trim_end();
+    while let Some(inner) = rest.strip_suffix('(') {
+        rest = inner.trim_end_matches(|c: char| c.is_alphanumeric() || c == '_' || c == ':');
+        rest = rest.trim_end();
+    }
+    ident_before_eq(rest)
+}
+
+/// `pub struct Counter(Arc<AtomicU64>)` → `Counter`.
+fn tuple_struct_name(prefix: &str) -> Option<String> {
+    let at = *find_word(prefix, "struct").last()?;
+    let after = prefix[at + "struct".len()..].trim_start();
+    let ident: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!ident.is_empty()).then_some(ident)
+}
+
+#[derive(Debug)]
+struct AtomicCall {
+    /// Line index of the method token.
+    line: usize,
+    op: OpClass,
+    method: String,
+    /// `(line index, column, ordering word)` for each argument ordering.
+    orderings: Vec<(usize, usize, &'static str)>,
+}
+
+/// Method calls that take a memory ordering. A candidate method whose
+/// argument list carries no `Ordering::*` token is *not* an atomic call
+/// (e.g. `codec::load(path, &opts)` or an `EpochCell::swap`).
+fn atomic_calls(f: &SourceFile) -> Vec<AtomicCall> {
+    let mut out = Vec::new();
+    for (i, code) in f.code.iter().enumerate() {
+        for (pat, op) in METHODS {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(pat) {
+                let at = from + pos;
+                from = at + pat.len();
+                let open = at + pat.len() - 1;
+                let orderings = call_orderings(f, i, open);
+                if orderings.is_empty() {
+                    continue;
+                }
+                out.push(AtomicCall {
+                    line: i,
+                    op,
+                    method: pat.trim_matches(['.', '(']).to_string(),
+                    orderings,
+                });
+            }
+        }
+    }
+    out.sort_by_key(|c| c.line);
+    out
+}
+
+/// Ordering tokens inside the argument list opening at `(line, col)`,
+/// matching parentheses across up to 12 lines of the masked code channel.
+fn call_orderings(f: &SourceFile, line: usize, col: usize) -> Vec<(usize, usize, &'static str)> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    for (j, code) in f.code.iter().enumerate().skip(line).take(12) {
+        let start = if j == line { col } else { 0 };
+        let mut arg_from: Option<usize> = if j == line { None } else { Some(0) };
+        for (k, c) in code[start..].char_indices() {
+            let k = start + k;
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        arg_from = Some(k + 1);
+                    }
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        if let Some(afrom) = arg_from {
+                            collect_orders(code, afrom, k, j, &mut out);
+                        }
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(afrom) = arg_from {
+            collect_orders(code, afrom, code.len(), j, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_orders(
+    code: &str,
+    from: usize,
+    to: usize,
+    line: usize,
+    out: &mut Vec<(usize, usize, &'static str)>,
+) {
+    for (col, word) in order_tokens(&code[from..to]) {
+        out.push((line, from + col, word));
+    }
+}
+
+/// `Ordering::<word>` tokens on a line, for the five memory orderings only
+/// (`cmp::Ordering::Less` and friends never match).
+fn order_tokens(code: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("Ordering::") {
+        let at = from + pos;
+        from = at + "Ordering::".len();
+        if !word_bounded(code, at, "Ordering".len()) {
+            continue;
+        }
+        let after = &code[at + "Ordering::".len()..];
+        for word in ORDER_WORDS {
+            if after.starts_with(word)
+                && after[word.len()..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+            {
+                out.push((at, word));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The nearest `// sync(<name>)[: <why>]` annotation at `line` or within
+/// [`LOOKBACK`] lines above: `(name, has justification)`.
+fn nearest_sync_annotation(f: &SourceFile, line: usize) -> Option<(String, bool)> {
+    for j in (line.saturating_sub(LOOKBACK)..=line).rev() {
+        if let Some(first) = sync_annotations(&f.comments[j]).into_iter().next() {
+            return Some(first);
+        }
+    }
+    None
+}
+
+/// All `sync(<name>)` markers in a comment line, with whether each carries
+/// a non-empty `: <why>` tail.
+fn sync_annotations(comment: &str) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = comment[from..].find("sync(") {
+        let at = from + pos;
+        from = at + "sync(".len();
+        if !word_bounded(comment, at, "sync".len()) {
+            continue;
+        }
+        let rest = &comment[at + "sync(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let name = rest[..close].trim().to_string();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            continue;
+        }
+        let tail = &rest[close + 1..];
+        let justified = tail
+            .strip_prefix(':')
+            .is_some_and(|t| !t.trim().is_empty());
+        out.push((name, justified));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{FileCtx, FileKind};
+    use crate::source::SourceFile;
+
+    fn registry() -> SyncRegistry {
+        SyncRegistry::parse(
+            "atomic crates/x/src/lib.rs:epoch acqrel readers pair Acquire with the \
+             writer's Release bump\n\
+             atomic crates/x/src/lib.rs:hits monotonic counter merged by join\n\
+             mutex crates/x/src/lib.rs:slot guarded protects the snapshot\n",
+        )
+        .expect("valid registry")
+    }
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        AtomicsAudit::new(registry()).check(&FileCtx {
+            file: &f,
+            krate: "x",
+            kind: FileKind::Lib,
+        })
+    }
+
+    #[test]
+    fn registered_and_justified_op_passes() {
+        let src = "struct S { epoch: AtomicU64 }\n\
+                   // sync(epoch): pairs with the writer's Release bump\n\
+                   let e = self.epoch.load(Ordering::Acquire);";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn unregistered_declaration_flagged() {
+        let out = check("static ROGUE: AtomicU64 = AtomicU64::new(0);");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("not in crates/lint/sync.registry"));
+    }
+
+    #[test]
+    fn wrapped_declaration_name_resolves() {
+        let out = check("let rogue = Arc::new(AtomicBool::new(false));");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("`rogue`"));
+    }
+
+    #[test]
+    fn missing_annotation_flagged() {
+        let src = "struct S { epoch: AtomicU64 }\nlet e = self.epoch.load(Ordering::Acquire);";
+        let out = check(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("without a `// sync("));
+    }
+
+    #[test]
+    fn relaxed_under_acqrel_flagged_as_weakening() {
+        let src = "struct S { epoch: AtomicU64 }\n\
+                   // sync(epoch): fast path\n\
+                   let e = self.epoch.load(Ordering::Relaxed);";
+        let out = check(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("weakens"));
+    }
+
+    #[test]
+    fn seqcst_under_monotonic_flagged_as_unjustified() {
+        let src = "struct S { hits: AtomicU64 }\n\
+                   // sync(hits): counter\n\
+                   self.hits.fetch_add(1, Ordering::SeqCst);";
+        let out = check(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unjustified `SeqCst`"));
+    }
+
+    #[test]
+    fn multiline_cas_orderings_audited() {
+        let src = "struct S { epoch: AtomicU64 }\n\
+                   // sync(epoch): publish\n\
+                   self.epoch.compare_exchange_weak(\n\
+                       old,\n\
+                       new,\n\
+                       Ordering::Release,\n\
+                       Ordering::Relaxed,\n\
+                   );";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn non_atomic_load_call_ignored() {
+        assert!(check("let out = codec::load(path, &opts);").is_empty());
+    }
+
+    #[test]
+    fn orphan_ordering_flagged() {
+        let out = check("helper(Ordering::SeqCst);");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("outside a recognized atomic operation"));
+    }
+
+    #[test]
+    fn registry_rejects_bad_lines() {
+        assert!(SyncRegistry::parse("atomic nofile relaxed why\n").is_err());
+        assert!(SyncRegistry::parse("atomic a.rs:x guarded why\n").is_err());
+        assert!(SyncRegistry::parse("atomic a.rs:x relaxed\n").is_err());
+        assert!(SyncRegistry::parse("widget a.rs:x relaxed why\n").is_err());
+    }
+
+    #[test]
+    fn cmp_ordering_never_matches() {
+        assert!(check("let c = a.cmp(&b); match c { std::cmp::Ordering::Less => {} _ => {} }")
+            .is_empty());
+    }
+}

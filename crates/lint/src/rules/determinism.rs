@@ -18,7 +18,7 @@
 //!   Use `BTreeMap`/`BTreeSet`, or sort before emitting and say so in a
 //!   `lint:allow` justification.
 
-use super::{find_word, FileCtx, FileKind, Rule};
+use super::{find_word, ident_before_colon, ident_before_eq, FileCtx, FileKind, Rule};
 use crate::diag::Diagnostic;
 
 #[derive(Debug)]
@@ -49,8 +49,8 @@ impl Rule for Determinism {
     fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
         let f = ctx.file;
         let mut out = Vec::new();
-        let clocks_exempt =
-            TIMING_CRATES.contains(&ctx.krate) || ctx.kind == FileKind::Bin;
+        let clocks_exempt = TIMING_CRATES.contains(&ctx.krate)
+            || matches!(ctx.kind, FileKind::Bin | FileKind::Bench | FileKind::Example);
         let hashed = tracked_hash_idents(f);
 
         for (i, code) in f.code.iter().enumerate() {
@@ -138,38 +138,6 @@ fn push_unique(v: &mut Vec<String>, s: String) {
     if !v.contains(&s) {
         v.push(s);
     }
-}
-
-/// `… name: ` directly before the type use.
-fn ident_before_colon(prefix: &str) -> Option<String> {
-    let trimmed = prefix.trim_end();
-    let rest = trimmed.strip_suffix(':')?;
-    take_trailing_ident(rest)
-}
-
-/// `… let [mut] name [: …] = ` directly before the constructor.
-fn ident_before_eq(prefix: &str) -> Option<String> {
-    let trimmed = prefix.trim_end();
-    let rest = trimmed.strip_suffix('=')?;
-    let name = take_trailing_ident(rest)?;
-    if name == "mut" || name == "let" {
-        return None;
-    }
-    Some(name)
-}
-
-fn take_trailing_ident(s: &str) -> Option<String> {
-    let s = s.trim_end();
-    let ident: String = s
-        .chars()
-        .rev()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect::<Vec<_>>()
-        .into_iter()
-        .rev()
-        .collect();
-    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
-        .then_some(ident)
 }
 
 /// Whether this line iterates `ident`; returns the matched form.

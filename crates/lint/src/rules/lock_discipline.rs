@@ -1,0 +1,400 @@
+//! `lock-discipline`: lexical discipline for mutex guards.
+//!
+//! Two findings:
+//!
+//! * **Nested acquisition** — any `.lock(` while a named guard is already
+//!   live. Lock order is not encoded anywhere in this workspace, so the
+//!   only deadlock-free discipline is "hold at most one"; the serve
+//!   workers' fast path holds zero (see DESIGN.md §14).
+//! * **Guard held across a call** — a line that calls out (a free function
+//!   or a method on something other than the guard) while a named guard is
+//!   live. Whatever the callee does — block on I/O, take another lock, run
+//!   user code — it now does under our lock. Lines that touch the guard
+//!   itself (`map.entry(...)`, `*slot = v`) are the lock's purpose and are
+//!   exempt. This check is scoped to the `serve` crate, whose workers
+//!   answer traffic: a lock held across a call there is tail latency for
+//!   every concurrent request (registration-time allocation under the obs
+//!   locks is fine).
+//!
+//! Both findings accept a `// sync(<name>): <why>` justification within
+//! three lines (the same annotation `atomics-audit` consumes): the
+//! `EpochCell` swap path *deliberately* bumps the epoch inside the
+//! critical section, and says so.
+//!
+//! Guard recognition is lexical: `let [mut] name = <expr>.lock()` where
+//! the statement ends at the lock acquisition, modulo the poison-recovery
+//! chain (`.unwrap()`, `.expect(...)`, `.unwrap_or_else(...)`). A
+//! `.lock()` consumed mid-chain (`….lock().unwrap….iter().collect()`) is
+//! a temporary — it drops at the semicolon and is not tracked. Guard
+//! liveness ends at `drop(name)` or when the enclosing block closes.
+
+use super::{find_word, take_trailing_ident, FileCtx, Rule};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+#[derive(Debug)]
+pub struct LockDiscipline;
+
+/// How many lines above a finding a `// sync(...)` justification may sit.
+const LOOKBACK: usize = 3;
+
+/// Crates whose request path must not hold a lock across a call. The
+/// nested-acquisition check runs everywhere; this narrower latency check
+/// covers the serving workers (`fixture`/`x` are the rule's own tests).
+const ACROSS_CALL_CRATES: [&str; 3] = ["serve", "fixture", "x"];
+
+/// Calls that are part of guard plumbing, not calls "out of" the lock.
+const PLUMBING: [&str; 5] = ["unwrap", "expect", "unwrap_or_else", "into_inner", "drop"];
+
+/// Keywords that look like `ident(` but are control flow.
+const KEYWORDS: [&str; 6] = ["if", "while", "match", "for", "loop", "return"];
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    /// Brace depth at which the binding lives; popped when depth drops
+    /// below it.
+    depth: i32,
+    /// 1-based binding line (for the finding message).
+    line: usize,
+    /// Line span of the binding statement — excluded from both checks.
+    stmt: (usize, usize),
+}
+
+impl Rule for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+        if ctx.krate == "sync-model" {
+            // The model checker's Mutex shim is itself the lock under test.
+            return Vec::new();
+        }
+        let f = ctx.file;
+        let mut out = Vec::new();
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut depth: i32 = 0;
+
+        for (i, code) in f.code.iter().enumerate() {
+            // Drop guards whose scope closed before this line's content.
+            let opens = code.matches('{').count() as i32;
+            let closes = code.matches('}').count() as i32;
+            let line_min_depth = depth + line_min_brace_delta(code);
+            guards.retain(|g| g.depth <= line_min_depth);
+            for g_name in dropped_guards(code) {
+                guards.retain(|g| g.name != g_name);
+            }
+
+            let in_binding_stmt =
+                |g: &Guard, i: usize| i >= g.stmt.0 && i <= g.stmt.1;
+
+            if code.contains(".lock(") {
+                if let Some(stmt) = statement_span(f, i) {
+                    let held: Vec<String> = guards
+                        .iter()
+                        .filter(|g| !in_binding_stmt(g, i))
+                        .map(|g| format!("`{}` (line {})", g.name, g.line))
+                        .collect();
+                    if let Some(holder) = held.first() {
+                        if !justified(f, i) {
+                            out.push(Diagnostic::new(
+                                &f.rel,
+                                i + 1,
+                                self.id(),
+                                format!(
+                                    "nested `.lock()` while guard {holder} is held: \
+                                     hold at most one lock, or justify the ordering \
+                                     with a `// sync(<name>): <why>` comment"
+                                ),
+                                &f.raw[i],
+                            ));
+                        }
+                    } else if let Some(name) = guard_binding(f, stmt) {
+                        // Only the first `.lock(` line of the statement
+                        // registers the guard.
+                        if stmt.0 == i || first_lock_line(f, stmt) == Some(i) {
+                            guards.push(Guard {
+                                name,
+                                depth: depth + opens - closes,
+                                line: stmt.0 + 1,
+                                stmt,
+                            });
+                        }
+                    }
+                }
+            } else if ACROSS_CALL_CRATES.contains(&ctx.krate) {
+                // Calls while a guard is live, on lines that ignore the
+                // guard entirely.
+                let live: Vec<&Guard> = guards
+                    .iter()
+                    .filter(|g| !in_binding_stmt(g, i))
+                    .collect();
+                if let Some(g) = live.first() {
+                    let touches_guard =
+                        live.iter().any(|g| !find_word(code, &g.name).is_empty());
+                    if !touches_guard {
+                        if let Some(callee) = outward_call(code) {
+                            if !justified(f, i) {
+                                out.push(Diagnostic::new(
+                                    &f.rel,
+                                    i + 1,
+                                    self.id(),
+                                    format!(
+                                        "call to `{callee}(…)` while guard `{}` (line {}) \
+                                         is held: drop the guard first (narrow the scope \
+                                         or `drop({})`), or justify with `// sync(<name>): \
+                                         <why>`",
+                                        g.name, g.line, g.name
+                                    ),
+                                    &f.raw[i],
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+
+            depth += opens - closes;
+        }
+        out
+    }
+}
+
+/// Whether a `// sync(...): ...` justification sits at `line` or within
+/// [`LOOKBACK`] lines above.
+fn justified(f: &SourceFile, line: usize) -> bool {
+    (line.saturating_sub(LOOKBACK)..=line).any(|j| {
+        let c = &f.comments[j];
+        c.find("sync(")
+            .is_some_and(|at| c[at..].contains(')') && c[at..].contains(':'))
+    })
+}
+
+/// `drop(name)` occurrences on a line.
+fn dropped_guards(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for at in find_word(code, "drop") {
+        let rest = &code[at + "drop".len()..];
+        let Some(inner) = rest.strip_prefix('(') else { continue };
+        let Some(close) = inner.find(')') else { continue };
+        let name = inner[..close].trim();
+        if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            out.push(name.to_string());
+        }
+    }
+    out
+}
+
+/// The most negative running brace delta within the line (so a line like
+/// `} else {` correctly closes the scope before reopening).
+fn line_min_brace_delta(code: &str) -> i32 {
+    let mut delta = 0;
+    let mut min = 0;
+    for c in code.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => {
+                delta -= 1;
+                min = min.min(delta);
+            }
+            _ => {}
+        }
+    }
+    min
+}
+
+/// The line span `(first, last)` of the statement containing line `i`:
+/// walk back while the previous line does not end a statement or open a
+/// block, forward to the terminating `;`/`{`. Bounded to 8 lines each way.
+fn statement_span(f: &SourceFile, i: usize) -> Option<(usize, usize)> {
+    let boundary = |j: usize| {
+        let t = f.code[j].trim_end();
+        t.ends_with(';') || t.ends_with('{') || t.ends_with('}') || t.is_empty()
+    };
+    let mut start = i;
+    for _ in 0..8 {
+        if start == 0 || boundary(start - 1) {
+            break;
+        }
+        start -= 1;
+    }
+    let mut end = i;
+    for _ in 0..8 {
+        let t = f.code[end].trim_end();
+        if t.ends_with(';') || t.ends_with('{') {
+            break;
+        }
+        if end + 1 >= f.code.len() {
+            return Some((start, end));
+        }
+        end += 1;
+    }
+    Some((start, end))
+}
+
+/// If the statement is `let [mut] <name> = <expr>.lock()<plumbing>;`,
+/// the bound guard name.
+fn guard_binding(f: &SourceFile, (start, end): (usize, usize)) -> Option<String> {
+    let stmt: String = f.code[start..=end.min(f.code.len() - 1)].join(" ");
+    let trimmed = stmt.trim_start();
+    let after_let = trimmed.strip_prefix("let ")?;
+    let after_mut = after_let.trim_start();
+    let after_mut = after_mut.strip_prefix("mut ").unwrap_or(after_mut);
+    let name: String = after_mut
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    // The statement must END with the acquisition (+ poison plumbing);
+    // anything else chained after `.lock()` makes it a temporary.
+    let lock_at = stmt.rfind(".lock(")?;
+    let mut rest = skip_balanced(&stmt[lock_at + ".lock".len()..])?;
+    loop {
+        rest = rest.trim_start();
+        if let Some(r) = rest.strip_prefix(';') {
+            rest = r;
+            break;
+        }
+        if rest.is_empty() {
+            break;
+        }
+        let r = rest.strip_prefix('.')?;
+        let ident: String = r.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+        if ident.is_empty() || !PLUMBING.contains(&ident.as_str()) {
+            return None;
+        }
+        let after_ident = &r[ident.len()..];
+        rest = if after_ident.trim_start().starts_with('(') {
+            skip_balanced(after_ident.trim_start())?
+        } else if ident == "unwrap_or_else" || ident == "expect" {
+            return None;
+        } else {
+            after_ident
+        };
+    }
+    (rest.trim().is_empty()).then_some(name)
+}
+
+/// Skips a balanced `(...)` group at the start of `s`, returning the tail.
+fn skip_balanced(s: &str) -> Option<&str> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(&s[i + 1..]);
+                }
+            }
+            _ if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The first line within `stmt` containing `.lock(`.
+fn first_lock_line(f: &SourceFile, (start, end): (usize, usize)) -> Option<usize> {
+    (start..=end.min(f.code.len() - 1)).find(|&j| f.code[j].contains(".lock("))
+}
+
+/// A call on this line that goes somewhere other than the guard: returns
+/// the callee identifier. Macros (`…!(`), control-flow keywords,
+/// `Uppercase(` constructors and guard plumbing are not calls "out".
+fn outward_call(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'(' {
+            continue;
+        }
+        let ident = take_trailing_ident(&code[..i])?;
+        let before = code[..i - ident.len()].trim_end();
+        if before.ends_with('!') {
+            continue;
+        }
+        if KEYWORDS.contains(&ident.as_str()) || PLUMBING.contains(&ident.as_str()) {
+            continue;
+        }
+        if ident.chars().next().is_some_and(|c| c.is_uppercase()) {
+            continue;
+        }
+        return Some(ident);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::FileKind;
+    use crate::source::SourceFile;
+
+    fn check(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::scan("crates/x/src/lib.rs", src);
+        LockDiscipline.check(&FileCtx { file: &f, krate: "x", kind: FileKind::Lib })
+    }
+
+    #[test]
+    fn nested_lock_flagged() {
+        let src = "fn f() {\n    let a = m1.lock().unwrap();\n    let b = m2.lock().unwrap();\n}";
+        let out = check(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("nested"));
+    }
+
+    #[test]
+    fn sequential_locks_fine() {
+        let src = "fn f() {\n    { let a = m1.lock().unwrap(); a.push(1); }\n    { let b = m2.lock().unwrap(); b.push(2); }\n}";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn temporary_lock_chain_not_a_guard() {
+        let src = "fn f() {\n    let v: Vec<u32> = m.lock().unwrap().iter().copied().collect();\n    let w = other.lock().unwrap();\n}";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn call_while_guard_held_flagged() {
+        let src = "fn f() {\n    let g = m.lock().unwrap();\n    publish(1);\n}";
+        let out = check(src);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("publish"));
+    }
+
+    #[test]
+    fn guard_touching_lines_exempt() {
+        let src = "fn f() {\n    let mut g = m.lock().unwrap();\n    g.entry(k.to_string()).or_default();\n    *g += 1;\n}";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn drop_releases_guard() {
+        let src = "fn f() {\n    let g = m.lock().unwrap();\n    drop(g);\n    publish(1);\n}";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn sync_comment_justifies() {
+        let src = "fn f() {\n    let g = m.lock().unwrap();\n    // sync(epoch): bump inside the critical section is the protocol\n    self.epoch.fetch_add(1);\n}";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+
+    #[test]
+    fn multiline_binding_recognized() {
+        let src = "fn f() {\n    let mut map = self\n        .inner\n        .maps\n        .lock()\n        .unwrap_or_else(std::sync::PoisonError::into_inner);\n    map.insert(1, 2);\n    other_call(3);\n}";
+        let out = check(src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("other_call"));
+    }
+
+    #[test]
+    fn scope_close_releases_guard() {
+        let src = "fn f() {\n    if c {\n        let g = m.lock().unwrap();\n        g.push(1);\n    }\n    publish(1);\n}";
+        assert!(check(src).is_empty(), "{:?}", check(src));
+    }
+}

@@ -15,7 +15,7 @@
 //! variables cannot be checked lexically and are skipped — prefer literal
 //! names precisely so this gate can see them.
 
-use super::{FileCtx, Rule};
+use super::{FileCtx, FileKind, Rule};
 use crate::diag::Diagnostic;
 
 /// The checked-in metric-name registry.
@@ -93,6 +93,12 @@ const CALLS: [(&str, &str); 4] = [
 impl Rule for MetricsDrift {
     fn id(&self) -> &'static str {
         "metrics-name-drift"
+    }
+
+    fn applies(&self, kind: FileKind) -> bool {
+        // Metric names in tests/benches/examples are throwaway — the
+        // schema only covers what shipping code publishes.
+        matches!(kind, FileKind::Lib | FileKind::Bin)
     }
 
     fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {

@@ -16,13 +16,17 @@
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
 
+mod atomics_audit;
 mod determinism;
+mod lock_discipline;
 mod metrics_drift;
 mod panic_free;
 mod unsafe_audit;
 mod workspace_hygiene;
 
+pub use atomics_audit::{sync_usage, AtomicsAudit, SyncEntry, SyncKind, SyncPolicy, SyncRegistry};
 pub use determinism::Determinism;
+pub use lock_discipline::LockDiscipline;
 pub use metrics_drift::{MetricsDrift, MetricsRegistry};
 pub use panic_free::PanicFree;
 pub use unsafe_audit::UnsafeAudit;
@@ -36,6 +40,12 @@ pub enum FileKind {
     Lib,
     /// `src/bin/**` — a CLI entry point.
     Bin,
+    /// `tests/**` — integration tests (crate-level or workspace-level).
+    Test,
+    /// `benches/**` — benchmark harnesses.
+    Bench,
+    /// `examples/**` — runnable examples.
+    Example,
 }
 
 /// Per-file context handed to every rule.
@@ -53,17 +63,26 @@ pub trait Rule {
     /// Stable identifier used in output, `lint:allow(...)` and the
     /// allowlist.
     fn id(&self) -> &'static str;
+    /// Which [`FileKind`]s the rule runs on. The default is everything;
+    /// rules whose contract only makes sense for shipping code narrow it
+    /// (panics are fine in tests, metric names in benches are throwaway).
+    fn applies(&self, kind: FileKind) -> bool {
+        let _ = kind;
+        true
+    }
     fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic>;
 }
 
 /// The source-file rules in evaluation order. (`workspace-hygiene` runs
 /// separately over `Cargo.toml` manifests.)
-pub fn source_rules(registry: MetricsRegistry) -> Vec<Box<dyn Rule>> {
+pub fn source_rules(registry: MetricsRegistry, sync: SyncRegistry) -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(PanicFree),
         Box::new(Determinism),
         Box::new(UnsafeAudit),
         Box::new(MetricsDrift::new(registry)),
+        Box::new(AtomicsAudit::new(sync)),
+        Box::new(LockDiscipline),
     ]
 }
 
@@ -94,4 +113,36 @@ pub(crate) fn find_word(code: &str, needle: &str) -> Vec<usize> {
         from = at + needle.len();
     }
     out
+}
+
+/// `… name: ` directly before a type use — field or typed-let binding.
+pub(crate) fn ident_before_colon(prefix: &str) -> Option<String> {
+    let trimmed = prefix.trim_end();
+    let rest = trimmed.strip_suffix(':')?;
+    take_trailing_ident(rest)
+}
+
+/// `… let [mut] name [: …] = ` directly before a constructor.
+pub(crate) fn ident_before_eq(prefix: &str) -> Option<String> {
+    let trimmed = prefix.trim_end();
+    let rest = trimmed.strip_suffix('=')?;
+    let name = take_trailing_ident(rest)?;
+    if name == "mut" || name == "let" {
+        return None;
+    }
+    Some(name)
+}
+
+pub(crate) fn take_trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let ident: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then_some(ident)
 }

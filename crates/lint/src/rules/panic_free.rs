@@ -38,8 +38,12 @@ impl Rule for PanicFree {
         "panic-free-library"
     }
 
+    fn applies(&self, kind: FileKind) -> bool {
+        kind == FileKind::Lib
+    }
+
     fn check(&self, ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
-        if ctx.kind == FileKind::Bin {
+        if ctx.kind != FileKind::Lib {
             return Vec::new();
         }
         let f = ctx.file;

@@ -1,0 +1,36 @@
+//! Known-bad fixture for `atomics-audit`: an unregistered cell, a bare
+//! operation, orderings that violate the registered policy, and an
+//! ordering token the audit cannot attribute to a cell.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ROGUE: AtomicU64 = AtomicU64::new(0);
+
+pub struct Cell {
+    epoch: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Cell {
+    pub fn unannotated(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub fn weakened(&self) -> u64 {
+        // sync(epoch): fast path
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    pub fn oversynchronized(&self) {
+        // sync(hits): counter
+        self.hits.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn unjustified_marker(&self) {
+        // sync(hits)
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub fn orphan_ordering(f: impl Fn(Ordering)) {
+    f(Ordering::SeqCst);
+}

@@ -1,0 +1,32 @@
+//! Known-good fixture for `atomics-audit`: registered cells, every
+//! operation annotated, orderings matching the registered policies.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Cell {
+    epoch: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Cell {
+    pub fn read(&self) -> u64 {
+        // sync(epoch): Acquire pairs with the writer's Release bump.
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    pub fn publish(&self) -> u64 {
+        // sync(epoch): Release bump publishes the new slot contents.
+        self.epoch.fetch_add(1, Ordering::Release) + 1
+    }
+
+    pub fn count(&self) {
+        // sync(hits): merged by RMW atomicity, read after join.
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn try_publish(&self, old: u64) -> bool {
+        // sync(epoch): CAS success releases; failure needs no edge.
+        self.epoch
+            .compare_exchange(old, old + 1, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+    }
+}

@@ -1,0 +1,25 @@
+//! Known-bad fixture for `lock-discipline`: a nested acquisition and a
+//! guard held across an outward call.
+use std::sync::{Mutex, PoisonError};
+
+pub struct Maps {
+    a: Mutex<Vec<u32>>,
+    b: Mutex<Vec<u32>>,
+}
+
+fn rebuild_index() {}
+
+impl Maps {
+    pub fn nested(&self) {
+        let first = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        let second = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        drop(second);
+        drop(first);
+    }
+
+    pub fn held_across_call(&self) {
+        let guard = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        rebuild_index();
+        drop(guard);
+    }
+}

@@ -1,0 +1,39 @@
+//! Known-good fixture for `lock-discipline`: one lock at a time, calls
+//! only after the guard drops, and a justified deliberate hold.
+use std::sync::{Mutex, PoisonError};
+
+pub struct Maps {
+    a: Mutex<Vec<u32>>,
+    b: Mutex<Vec<u32>>,
+}
+
+fn rebuild_index() {}
+
+impl Maps {
+    pub fn sequential(&self) {
+        {
+            let mut first = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+            first.push(1);
+        }
+        let mut second = self.b.lock().unwrap_or_else(PoisonError::into_inner);
+        second.push(2);
+    }
+
+    pub fn call_after_drop(&self) {
+        let mut guard = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.push(1);
+        drop(guard);
+        rebuild_index();
+    }
+
+    pub fn temporary_chain(&self) -> usize {
+        self.a.lock().unwrap_or_else(PoisonError::into_inner).iter().count()
+    }
+
+    pub fn justified_hold(&self) {
+        let mut guard = self.a.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.push(1);
+        // sync(a): the index must be rebuilt before the next writer runs.
+        rebuild_index();
+    }
+}

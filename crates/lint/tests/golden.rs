@@ -9,7 +9,7 @@
 
 use taxitrace_lint::diag::{to_json, Diagnostic};
 use taxitrace_lint::lint_source;
-use taxitrace_lint::rules::{check_manifest, MetricsRegistry};
+use taxitrace_lint::rules::{check_manifest, MetricsRegistry, SyncRegistry};
 
 fn fixture(rel: &str) -> String {
     let path = format!("{}/tests/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
@@ -20,13 +20,19 @@ fn fixture(rel: &str) -> String {
 fn json_output_matches_golden() {
     let registry =
         MetricsRegistry::parse(include_str!("../metrics.registry")).expect("registry parses");
+    let sync =
+        SyncRegistry::parse(include_str!("fixtures/sync.registry")).expect("sync registry parses");
     let mut findings: Vec<Diagnostic> = Vec::new();
-    for dir in ["panic_free", "determinism", "unsafe_audit", "metrics_drift"] {
+    let dirs =
+        ["panic_free", "determinism", "unsafe_audit", "metrics_drift", "atomics_audit",
+         "lock_discipline"];
+    for dir in dirs {
         findings.extend(lint_source(
             &format!("crates/fixture/src/{dir}_bad.rs"),
             "fixture",
             &fixture(&format!("{dir}/bad.rs")),
             registry.clone(),
+            sync.clone(),
         ));
     }
     findings.extend(check_manifest(

@@ -2,7 +2,7 @@
 //! fixture and stay silent on the known-good one. The fixtures under
 //! `tests/fixtures/` double as documentation of what each rule means.
 
-use taxitrace_lint::rules::{check_manifest, MetricsRegistry};
+use taxitrace_lint::rules::{check_manifest, MetricsRegistry, SyncRegistry};
 use taxitrace_lint::lint_source;
 
 fn fixture(rel: &str) -> String {
@@ -14,6 +14,10 @@ fn registry() -> MetricsRegistry {
     MetricsRegistry::parse(include_str!("../metrics.registry")).expect("committed registry parses")
 }
 
+fn sync_registry() -> SyncRegistry {
+    SyncRegistry::parse(include_str!("fixtures/sync.registry")).expect("fixture registry parses")
+}
+
 /// Findings of one rule for a fixture linted as library code.
 fn findings(dir: &str, file: &str, rule: &str) -> Vec<usize> {
     lint_source(
@@ -21,6 +25,7 @@ fn findings(dir: &str, file: &str, rule: &str) -> Vec<usize> {
         "fixture",
         &fixture(&format!("{dir}/{file}")),
         registry(),
+        sync_registry(),
     )
     .into_iter()
     .filter(|d| d.rule == rule)
@@ -73,6 +78,31 @@ fn metrics_drift_flags_unregistered_names() {
 #[test]
 fn metrics_drift_accepts_good_fixture() {
     assert!(findings("metrics_drift", "good.rs", "metrics-name-drift").is_empty());
+}
+
+#[test]
+fn atomics_audit_flags_every_bad_construct() {
+    let lines = findings("atomics_audit", "bad.rs", "atomics-audit");
+    // Unregistered static, unannotated load, Relaxed weakening an acqrel
+    // cell, unjustified SeqCst, justification-free marker, orphan ordering.
+    assert_eq!(lines, vec![6, 15, 20, 25, 30, 35]);
+}
+
+#[test]
+fn atomics_audit_accepts_good_fixture() {
+    assert!(findings("atomics_audit", "good.rs", "atomics-audit").is_empty());
+}
+
+#[test]
+fn lock_discipline_flags_nested_and_held_across_call() {
+    let lines = findings("lock_discipline", "bad.rs", "lock-discipline");
+    // Nested acquisition, then an outward call under the guard.
+    assert_eq!(lines, vec![15, 22]);
+}
+
+#[test]
+fn lock_discipline_accepts_good_fixture() {
+    assert!(findings("lock_discipline", "good.rs", "lock-discipline").is_empty());
 }
 
 #[test]

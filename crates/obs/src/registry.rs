@@ -24,10 +24,13 @@ impl Counter {
     }
 
     pub fn add(&self, n: u64) {
+        // sync(Counter): monotonic telemetry; RMW atomicity is the whole
+        // contract, readers tolerate slightly stale values.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> u64 {
+        // sync(Counter): value-only read of a monotonic counter.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -38,10 +41,12 @@ pub struct Gauge(Arc<AtomicU64>);
 
 impl Gauge {
     pub fn set(&self, v: f64) {
+        // sync(Gauge): last-write-wins cell; no other data rides on it.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     pub fn get(&self) -> f64 {
+        // sync(Gauge): value-only read.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -66,11 +71,14 @@ impl Histogram {
     pub fn observe(&self, v: f64) {
         let cells = &self.0;
         let idx = cells.bounds.partition_point(|b| v > *b);
-        cells.counts[idx].fetch_add(1, Ordering::Relaxed);
-        cells.total.fetch_add(1, Ordering::Relaxed);
+        cells.counts[idx].fetch_add(1, Ordering::Relaxed); // sync(counts): merged by RMW atomicity
+        cells.total.fetch_add(1, Ordering::Relaxed); // sync(total): merged by RMW atomicity
+        // sync(sum_bits): CAS accumulation; no cross-cell invariant, so the
+        // snapshot may observe counts/total/sum at different instants.
         let mut old = cells.sum_bits.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(old) + v).to_bits();
+            // sync(sum_bits): retry loop publishes nothing beyond the sum.
             match cells.sum_bits.compare_exchange_weak(
                 old,
                 new,
@@ -84,10 +92,12 @@ impl Histogram {
     }
 
     pub fn total(&self) -> u64 {
+        // sync(total): value-only read of a monotonic counter.
         self.0.total.load(Ordering::Relaxed)
     }
 
     pub fn sum(&self) -> f64 {
+        // sync(sum_bits): value-only read.
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
     }
 }
@@ -180,6 +190,7 @@ impl Registry {
     /// The measurement is recorded when the returned guard is finished
     /// or dropped.
     pub fn span(&self, path: &str) -> Span {
+        // sync(span_seq): uniqueness from RMW atomicity alone.
         let seq = self.inner.span_seq.fetch_add(1, Ordering::Relaxed);
         Span::start(self.clone(), path.to_string(), seq)
     }
@@ -187,6 +198,7 @@ impl Registry {
     /// Records an already-measured span. This is what [`Span`] calls on
     /// finish; tests and views use it to inject deterministic timings.
     pub fn record_span(&self, path: &str, wall_s: f64, items: u64) {
+        // sync(span_seq): uniqueness from RMW atomicity alone.
         let seq = self.inner.span_seq.fetch_add(1, Ordering::Relaxed);
         self.record_span_with_seq(seq, path, wall_s, items);
     }
@@ -230,6 +242,7 @@ impl Registry {
             .map(|(name, h)| HistogramSnapshot {
                 name: name.clone(),
                 bounds: h.0.bounds.clone(),
+                // sync(counts): snapshot tolerates per-cell staleness.
                 counts: h.0.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
                 total: h.total(),
                 sum: h.sum(),

@@ -37,6 +37,7 @@ impl<T> EpochCell<T> {
 
     /// Current epoch (bumped once per [`swap`](Self::swap)).
     pub fn epoch(&self) -> u64 {
+        // sync(epoch): Acquire pairs with swap's Release bump.
         self.epoch.load(Ordering::Acquire)
     }
 
@@ -46,8 +47,9 @@ impl<T> EpochCell<T> {
     pub fn swap(&self, value: Arc<T>) -> u64 {
         let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
         *slot = value;
-        // Bumped while holding the lock: a reader that observes the new
-        // epoch is guaranteed to find the new snapshot in the slot.
+        // sync(epoch): Release bump while holding the lock — a reader
+        // that observes the new epoch is guaranteed to find the new
+        // snapshot in the slot (model-checked as epoch_publish).
         self.epoch.fetch_add(1, Ordering::Release) + 1
     }
 
@@ -85,12 +87,13 @@ impl<T> EpochReader<'_, T> {
     /// After a swap: one mutex round to re-clone, counted in
     /// [`refreshes`](Self::refreshes).
     pub fn get(&mut self) -> &Arc<T> {
+        // sync(epoch): Acquire pairs with swap's Release bump.
         let now = self.cell.epoch.load(Ordering::Acquire);
         if now != self.epoch {
             self.cached = self.cell.load();
-            // Re-read after the clone: a swap racing the refresh leaves
-            // the epoch ahead of the slot we saw, forcing another
-            // refresh next call rather than serving stale data forever.
+            // sync(epoch): re-read after the clone — a swap racing the
+            // refresh leaves the epoch ahead of the slot we saw, forcing
+            // another refresh next call rather than staying stale forever.
             self.epoch = self.cell.epoch.load(Ordering::Acquire);
             self.refreshes += 1;
         }
@@ -165,6 +168,7 @@ mod tests {
             handles.push(thread::spawn(move || {
                 let mut r = cell.reader();
                 let mut last = **r.get();
+                // sync(stop): test stop flag, value-only.
                 while !stop.load(Ordering::Relaxed) {
                     let v = **r.get();
                     assert!(v >= last, "snapshot went backwards: {v} < {last}");
@@ -176,7 +180,7 @@ mod tests {
         for v in 1..=50u64 {
             cell.swap(Arc::new(v));
         }
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // sync(stop): test stop flag
         for h in handles {
             let last = h.join().expect("reader thread");
             assert!(last <= 50);

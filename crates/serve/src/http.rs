@@ -137,6 +137,8 @@ impl Server {
 
     /// Stops accepting, wakes every worker and joins them.
     pub fn shutdown(self) {
+        // sync(shutdown): Release pairs with the workers' Acquire load
+        // after the wake connection unblocks accept.
         self.shutdown.store(true, Ordering::Release);
         // One wake connection per worker: each blocked accept returns
         // once, observes the flag and exits.
@@ -158,6 +160,7 @@ fn worker_loop(
 ) {
     let mut reader = cell.reader();
     for conn in listener.incoming() {
+        // sync(shutdown): Acquire pairs with shutdown()'s Release store.
         if shutdown.load(Ordering::Acquire) {
             break;
         }

@@ -38,6 +38,7 @@ static FILE_SEQ: AtomicU64 = AtomicU64::new(0);
 fn scratch_file(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ttrs-props-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("scratch dir");
+    // sync(FILE_SEQ): scratch-file uniqueness needs only RMW atomicity.
     dir.join(format!("{tag}-{}.tts", FILE_SEQ.fetch_add(1, Ordering::Relaxed)))
 }
 

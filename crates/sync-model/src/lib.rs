@@ -1,0 +1,824 @@
+//! `taxitrace-sync-model` — a dependency-free bounded interleaving model
+//! checker (a miniature loom) for the workspace's concurrency protocols.
+//!
+//! The `atomics-audit` lint checks that every atomic carries the ordering
+//! its registry entry promises; this crate checks that the promise itself
+//! is the right one. Protocols are re-expressed against shim operations
+//! ([`ThreadCtx`]) and the [`Explorer`] enumerates every thread
+//! interleaving (depth-first, under a preemption budget) *and* every
+//! weak-memory read permitted by a vector-clock happens-before model:
+//!
+//! * Atomic stores tagged `Release`/`AcqRel` carry the writer's clock;
+//!   `Acquire` loads that read them join it. A `Relaxed` op carries or
+//!   joins nothing — so weakening one end of a Release/Acquire pair
+//!   observably deletes the happens-before edge.
+//! * A load may read any store the reader has not yet passed (per-thread
+//!   coherence) that is not hidden behind a later store that already
+//!   happens-before the reader — the set of values a real weak machine
+//!   may return.
+//! * Non-atomic cells return the latest write that happens-before the
+//!   reader: without an edge, the reader sees the *stale* value, which is
+//!   exactly the torn read the protocols must exclude.
+//!
+//! [`models`] holds the extracted protocols (`EpochCell` publication, the
+//! exec counter merges); `src/main.rs` is the CI gate that asserts the
+//! shipped orderings pass and the known-bad weakenings fail. See
+//! DESIGN.md §14 for the happens-before argument this machine checks.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+pub mod models;
+
+use std::fmt;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Memory ordering of a shimmed atomic operation. Mirrors
+/// `std::sync::atomic::Ordering` (with `SeqCst` treated as
+/// acquire-and-release; the model has no total-order component, and the
+/// registry flags `SeqCst` separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOrder {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl MemOrder {
+    fn acquires(self) -> bool {
+        matches!(self, MemOrder::Acquire | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+
+    fn releases(self) -> bool {
+        matches!(self, MemOrder::Release | MemOrder::AcqRel | MemOrder::SeqCst)
+    }
+}
+
+impl fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemOrder::Relaxed => "Relaxed",
+            MemOrder::Acquire => "Acquire",
+            MemOrder::Release => "Release",
+            MemOrder::AcqRel => "AcqRel",
+            MemOrder::SeqCst => "SeqCst",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Handle to a shimmed atomic variable of a [`Model`].
+#[derive(Debug, Clone, Copy)]
+pub struct AtomicHandle(usize);
+
+/// Handle to a shimmed non-atomic cell of a [`Model`].
+#[derive(Debug, Clone, Copy)]
+pub struct CellHandle(usize);
+
+/// Handle to a shimmed mutex of a [`Model`].
+#[derive(Debug, Clone, Copy)]
+pub struct MutexHandle(usize);
+
+type ThreadBody = Box<dyn Fn(&ThreadCtx<'_>) + Sync>;
+
+struct ThreadSpec {
+    name: String,
+    body: ThreadBody,
+}
+
+impl fmt::Debug for ThreadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadSpec").field("name", &self.name).finish()
+    }
+}
+
+/// A protocol model: named shared variables plus a fixed set of threads
+/// whose bodies speak only through [`ThreadCtx`] operations.
+#[derive(Debug)]
+pub struct Model {
+    name: String,
+    atomics: Vec<(String, u64)>,
+    cells: Vec<(String, u64)>,
+    mutexes: Vec<String>,
+    threads: Vec<ThreadSpec>,
+}
+
+impl Model {
+    pub fn new(name: &str) -> Model {
+        Model {
+            name: name.to_string(),
+            atomics: Vec::new(),
+            cells: Vec::new(),
+            mutexes: Vec::new(),
+            threads: Vec::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an atomic variable with an initial value. The initial
+    /// value behaves like a release store that happens-before every
+    /// thread (variables are created before the threads start).
+    pub fn atomic(&mut self, name: &str, init: u64) -> AtomicHandle {
+        self.atomics.push((name.to_string(), init));
+        AtomicHandle(self.atomics.len() - 1)
+    }
+
+    /// Declares a non-atomic cell (the model of plain data the protocol
+    /// publishes — a snapshot slot, a result buffer).
+    pub fn cell(&mut self, name: &str, init: u64) -> CellHandle {
+        self.cells.push((name.to_string(), init));
+        CellHandle(self.cells.len() - 1)
+    }
+
+    /// Declares a mutex.
+    pub fn mutex(&mut self, name: &str) -> MutexHandle {
+        self.mutexes.push(name.to_string());
+        MutexHandle(self.mutexes.len() - 1)
+    }
+
+    /// Adds a thread. Thread ids are assigned in declaration order and
+    /// are the targets of [`ThreadCtx::join`].
+    pub fn thread(&mut self, name: &str, body: impl Fn(&ThreadCtx<'_>) + Sync + 'static) -> usize {
+        self.threads.push(ThreadSpec { name: name.to_string(), body: Box::new(body) });
+        self.threads.len() - 1
+    }
+}
+
+/// One shared-memory operation a model thread can perform. Every variant
+/// is a scheduling point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Load(usize, MemOrder),
+    Store(usize, u64, MemOrder),
+    RmwAdd(usize, u64, MemOrder),
+    CellRead(usize),
+    CellWrite(usize, u64),
+    Lock(usize),
+    Unlock(usize),
+    Join(usize),
+}
+
+/// The per-thread face of the scheduler: every method submits one
+/// operation and blocks until the explorer grants it.
+#[derive(Debug)]
+pub struct ThreadCtx<'a> {
+    tid: usize,
+    central: &'a Central,
+}
+
+impl ThreadCtx<'_> {
+    /// This thread's id (as assigned by [`Model::thread`]).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    pub fn load(&self, a: AtomicHandle, ord: MemOrder) -> u64 {
+        self.central.submit(self.tid, Op::Load(a.0, ord))
+    }
+
+    pub fn store(&self, a: AtomicHandle, value: u64, ord: MemOrder) {
+        self.central.submit(self.tid, Op::Store(a.0, value, ord));
+    }
+
+    /// `fetch_add`: returns the previous value.
+    pub fn rmw_add(&self, a: AtomicHandle, n: u64, ord: MemOrder) -> u64 {
+        self.central.submit(self.tid, Op::RmwAdd(a.0, n, ord))
+    }
+
+    pub fn cell_read(&self, c: CellHandle) -> u64 {
+        self.central.submit(self.tid, Op::CellRead(c.0))
+    }
+
+    pub fn cell_write(&self, c: CellHandle, value: u64) {
+        self.central.submit(self.tid, Op::CellWrite(c.0, value));
+    }
+
+    pub fn lock(&self, m: MutexHandle) {
+        self.central.submit(self.tid, Op::Lock(m.0));
+    }
+
+    pub fn unlock(&self, m: MutexHandle) {
+        self.central.submit(self.tid, Op::Unlock(m.0));
+    }
+
+    /// Blocks until thread `tid` has finished, then joins its final
+    /// clock (the happens-before edge a real `JoinHandle::join` gives).
+    pub fn join(&self, tid: usize) {
+        self.central.submit(self.tid, Op::Join(tid));
+    }
+
+    /// Records a violation if `cond` is false. Not a scheduling point:
+    /// assertions are thread-local reasoning, not shared-memory traffic.
+    pub fn require(&self, cond: bool, message: &str) {
+        if !cond {
+            self.central.record_violation(self.tid, message);
+        }
+    }
+}
+
+/// A schedule (plus weak-memory read choices) under which a model
+/// assertion failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub message: String,
+    /// The executed operations, oldest first, as human-readable lines.
+    pub trace: Vec<String>,
+}
+
+/// The result of exploring one model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Interleavings fully executed.
+    pub schedules: usize,
+    /// The first violation found, if any (exploration stops there).
+    pub violation: Option<Violation>,
+    /// True if `max_schedules` stopped exploration before exhaustion.
+    pub truncated: bool,
+}
+
+/// Depth-first interleaving enumerator with a preemption budget.
+#[derive(Debug, Clone)]
+pub struct Explorer {
+    /// Involuntary context switches allowed per schedule. Switching away
+    /// from a thread that could keep running costs one; switching off a
+    /// blocked or finished thread is free.
+    pub preemption_bound: usize,
+    /// Hard cap on schedules explored (`truncated` reports if it bound).
+    pub max_schedules: usize,
+    /// Rotates every choice's candidate order. Any seed explores the
+    /// same set of schedules — only the visit order changes, which is
+    /// exactly what the determinism gate wants to demonstrate.
+    pub seed: u64,
+}
+
+impl Default for Explorer {
+    fn default() -> Explorer {
+        Explorer { preemption_bound: 3, max_schedules: 200_000, seed: 0 }
+    }
+}
+
+impl Explorer {
+    pub fn with_seed(seed: u64) -> Explorer {
+        Explorer { seed, ..Explorer::default() }
+    }
+
+    /// Runs every schedule of `model` within the bounds, stopping at the
+    /// first violation.
+    pub fn explore(&self, model: &Model) -> Outcome {
+        let mut stack = ChoiceStack::default();
+        let mut schedules = 0usize;
+        loop {
+            if schedules >= self.max_schedules {
+                return Outcome { schedules, violation: None, truncated: true };
+            }
+            let violation = self.run_once(model, &mut stack);
+            schedules += 1;
+            if violation.is_some() {
+                return Outcome { schedules, violation, truncated: false };
+            }
+            if !stack.advance() {
+                return Outcome { schedules, violation: None, truncated: false };
+            }
+        }
+    }
+
+    /// Executes one full interleaving, driven by (and extending) the
+    /// choice stack.
+    fn run_once(&self, model: &Model, stack: &mut ChoiceStack) -> Option<Violation> {
+        let n = model.threads.len();
+        let central = Central::new(model, n);
+        std::thread::scope(|scope| {
+            for (tid, spec) in model.threads.iter().enumerate() {
+                let central = &central;
+                scope.spawn(move || {
+                    let ctx = ThreadCtx { tid, central };
+                    (spec.body)(&ctx);
+                    central.finish(tid);
+                });
+            }
+            self.schedule(model, &central, stack);
+        });
+        let inner = central.inner();
+        inner.violation.clone()
+    }
+
+    /// The scheduler loop: waits for quiescence (every live thread has
+    /// posted its next op), picks an enabled thread, executes its op
+    /// against the model state, and grants it.
+    fn schedule(&self, model: &Model, central: &Central, stack: &mut ChoiceStack) {
+        let mut last: Option<usize> = None;
+        let mut preemptions = 0usize;
+        loop {
+            let mut st = central.wait_quiescent();
+            if st.done.iter().all(|&d| d) {
+                return;
+            }
+            let enabled: Vec<usize> = (0..st.done.len())
+                .filter(|&t| !st.done[t])
+                .filter(|&t| st.pending[t].is_some_and(|op| st.mem.enabled(op, &st.done)))
+                .collect();
+            if enabled.is_empty() {
+                // Every live thread is blocked: a deadlock is a finding in
+                // its own right, and also ends the schedule (threads are
+                // released so the scope can join them).
+                if st.violation.is_none() {
+                    st.violation = Some(Violation {
+                        message: "deadlock: all live threads blocked".to_string(),
+                        trace: st.trace.clone(),
+                    });
+                }
+                central.release_all(st);
+                return;
+            }
+            let choices: Vec<usize> = match last {
+                Some(l) if enabled.contains(&l) && preemptions >= self.preemption_bound => {
+                    vec![l]
+                }
+                _ => enabled.clone(),
+            };
+            let pick = stack.choose(choices.len());
+            let tid = choices[(pick + self.seed as usize) % choices.len()];
+            if last.is_some_and(|l| l != tid && enabled.contains(&l)) {
+                preemptions += 1;
+            }
+            last = Some(tid);
+            let Some(op) = st.pending[tid] else { return };
+            let result = st.mem.execute(tid, op, self.seed, stack);
+            let entry = format!(
+                "t{tid} {}: {} -> {result}",
+                model.threads[tid].name,
+                st.mem.describe(op, model)
+            );
+            st.trace.push(entry);
+            central.grant(st, tid, result);
+        }
+    }
+}
+
+/// The DFS oracle: a recorded prefix of `(chosen, arity)` decisions.
+/// Replaying the prefix and taking the first branch at every new choice
+/// point enumerates the tree depth-first without recursion. Choice
+/// points with a single alternative are not recorded.
+#[derive(Debug, Default)]
+struct ChoiceStack {
+    decided: Vec<(usize, usize)>,
+    cursor: usize,
+}
+
+impl ChoiceStack {
+    fn choose(&mut self, arity: usize) -> usize {
+        if arity <= 1 {
+            return 0;
+        }
+        if self.cursor < self.decided.len() {
+            let c = self.decided[self.cursor].0;
+            self.cursor += 1;
+            return c;
+        }
+        self.decided.push((0, arity));
+        self.cursor += 1;
+        0
+    }
+
+    /// Moves to the next unexplored branch; false when the tree is done.
+    fn advance(&mut self) -> bool {
+        while let Some((c, n)) = self.decided.pop() {
+            if c + 1 < n {
+                self.decided.push((c + 1, n));
+                self.cursor = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Vector clock: one logical-time component per thread.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn zero(n: usize) -> VClock {
+        VClock(vec![0; n])
+    }
+
+    fn tick(&mut self, tid: usize) {
+        if let Some(c) = self.0.get_mut(tid) {
+            *c += 1;
+        }
+    }
+
+    fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self` happens-before-or-equals `other`.
+    fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+}
+
+/// One store in an atomic's modification history.
+#[derive(Debug, Clone)]
+struct StoreEv {
+    value: u64,
+    /// Writer's full clock at the store — bounds which events a reader
+    /// can still legally observe (a store that happens-before the reader
+    /// hides everything older).
+    clock: VClock,
+    /// The clock an acquire load synchronizes with: `Some` for release
+    /// stores (and for RMWs continuing a release sequence), `None` for
+    /// relaxed stores. This distinction *is* the weak-memory model.
+    rel: Option<VClock>,
+}
+
+#[derive(Debug)]
+struct AtomicVar {
+    history: Vec<StoreEv>,
+    /// Per-thread coherence floor: index of the newest event each thread
+    /// has observed.
+    seen: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct CellVar {
+    /// `(value, writing clock)` — newest last.
+    writes: Vec<(u64, VClock)>,
+}
+
+#[derive(Debug)]
+struct MutexVar {
+    holder: Option<usize>,
+    /// Joined by each acquirer: the critical sections' release chain.
+    clock: VClock,
+}
+
+/// The simulated shared memory plus per-thread clocks.
+#[derive(Debug)]
+struct ModelState {
+    clocks: Vec<VClock>,
+    final_clocks: Vec<VClock>,
+    atomics: Vec<AtomicVar>,
+    cells: Vec<CellVar>,
+    mutexes: Vec<MutexVar>,
+}
+
+impl ModelState {
+    fn new(model: &Model, n: usize) -> ModelState {
+        ModelState {
+            clocks: vec![VClock::zero(n); n],
+            final_clocks: vec![VClock::zero(n); n],
+            atomics: model
+                .atomics
+                .iter()
+                .map(|&(_, init)| AtomicVar {
+                    // The initial value acts as a release store that
+                    // happens-before every thread (clock zero).
+                    history: vec![StoreEv {
+                        value: init,
+                        clock: VClock::zero(n),
+                        rel: Some(VClock::zero(n)),
+                    }],
+                    seen: vec![0; n],
+                })
+                .collect(),
+            cells: model
+                .cells
+                .iter()
+                .map(|&(_, init)| CellVar { writes: vec![(init, VClock::zero(n))] })
+                .collect(),
+            mutexes: model.mutexes.iter().map(|_| MutexVar { holder: None, clock: VClock::zero(n) }).collect(),
+        }
+    }
+
+    /// Whether `op` can run now (mutexes block when held, joins block on
+    /// unfinished threads; everything else is always enabled).
+    fn enabled(&self, op: Op, done: &[bool]) -> bool {
+        match op {
+            Op::Lock(m) => self.mutexes.get(m).is_some_and(|v| v.holder.is_none()),
+            Op::Join(t) => done.get(t).copied().unwrap_or(true),
+            _ => true,
+        }
+    }
+
+    /// Executes `op` for `tid`, resolving weak-memory read choices via
+    /// the stack. Returns the op's result value (0 for writes).
+    fn execute(&mut self, tid: usize, op: Op, seed: u64, stack: &mut ChoiceStack) -> u64 {
+        self.clocks[tid].tick(tid);
+        match op {
+            Op::Load(a, ord) => {
+                let reader = self.clocks[tid].clone();
+                let var = &mut self.atomics[a];
+                let floor = var.seen[tid];
+                // Readable: at or past the coherence floor, and not hidden
+                // behind a later store that already happens-before us.
+                let readable: Vec<usize> = (floor..var.history.len())
+                    .filter(|&i| {
+                        !((i + 1)..var.history.len())
+                            .any(|j| var.history[j].clock.le(&reader))
+                    })
+                    .collect();
+                let pick = stack.choose(readable.len());
+                let idx = readable[(pick + seed as usize) % readable.len()];
+                var.seen[tid] = idx;
+                let ev = &var.history[idx];
+                if ord.acquires() {
+                    if let Some(rel) = &ev.rel {
+                        self.clocks[tid].join(rel);
+                    }
+                }
+                ev.value
+            }
+            Op::Store(a, value, ord) => {
+                let clock = self.clocks[tid].clone();
+                let rel = ord.releases().then(|| clock.clone());
+                let var = &mut self.atomics[a];
+                var.history.push(StoreEv { value, clock, rel });
+                var.seen[tid] = var.history.len() - 1;
+                0
+            }
+            Op::RmwAdd(a, n, ord) => {
+                // RMW atomicity: always reads the newest store, and
+                // continues that store's release sequence — its own clock
+                // joins the sequence only if this RMW itself releases.
+                let clock = self.clocks[tid].clone();
+                let var = &mut self.atomics[a];
+                let latest = var.history.len() - 1;
+                let old = var.history[latest].value;
+                let prev_rel = var.history[latest].rel.clone();
+                if ord.acquires() {
+                    if let Some(rel) = &prev_rel {
+                        self.clocks[tid].join(rel);
+                    }
+                }
+                let rel = match (prev_rel, ord.releases()) {
+                    (Some(mut seq), true) => {
+                        seq.join(&clock);
+                        Some(seq)
+                    }
+                    (seq, true) => {
+                        let mut own = clock.clone();
+                        if let Some(s) = seq {
+                            own.join(&s);
+                        }
+                        Some(own)
+                    }
+                    (seq, false) => seq,
+                };
+                var.history.push(StoreEv { value: old.wrapping_add(n), clock: self.clocks[tid].clone(), rel });
+                var.seen[tid] = var.history.len() - 1;
+                old
+            }
+            Op::CellRead(c) => {
+                // A non-atomic read returns the newest write that
+                // happens-before the reader — with no edge, that is the
+                // stale value a weak machine is allowed to return.
+                let reader = &self.clocks[tid];
+                let var = &self.cells[c];
+                let mut value = 0;
+                for (v, clock) in &var.writes {
+                    if clock.le(reader) {
+                        value = *v;
+                    }
+                }
+                value
+            }
+            Op::CellWrite(c, value) => {
+                let clock = self.clocks[tid].clone();
+                self.cells[c].writes.push((value, clock));
+                0
+            }
+            Op::Lock(m) => {
+                let var = &mut self.mutexes[m];
+                var.holder = Some(tid);
+                let clock = var.clock.clone();
+                self.clocks[tid].join(&clock);
+                0
+            }
+            Op::Unlock(m) => {
+                let clock = self.clocks[tid].clone();
+                let var = &mut self.mutexes[m];
+                var.holder = None;
+                var.clock.join(&clock);
+                0
+            }
+            Op::Join(t) => {
+                let clock = self.final_clocks[t].clone();
+                self.clocks[tid].join(&clock);
+                0
+            }
+        }
+    }
+
+    fn describe(&self, op: Op, model: &Model) -> String {
+        let aname = |i: usize| model.atomics.get(i).map_or("?", |(n, _)| n.as_str());
+        let cname = |i: usize| model.cells.get(i).map_or("?", |(n, _)| n.as_str());
+        let mname = |i: usize| model.mutexes.get(i).map_or("?", |n| n.as_str());
+        match op {
+            Op::Load(a, ord) => format!("load({}, {ord})", aname(a)),
+            Op::Store(a, v, ord) => format!("store({}, {v}, {ord})", aname(a)),
+            Op::RmwAdd(a, n, ord) => format!("rmw_add({}, {n}, {ord})", aname(a)),
+            Op::CellRead(c) => format!("cell_read({})", cname(c)),
+            Op::CellWrite(c, v) => format!("cell_write({}, {v})", cname(c)),
+            Op::Lock(m) => format!("lock({})", mname(m)),
+            Op::Unlock(m) => format!("unlock({})", mname(m)),
+            Op::Join(t) => format!("join(t{t})"),
+        }
+    }
+}
+
+/// The turnstile between the scheduler and the model threads: threads
+/// post one op at a time and block until granted; the scheduler waits
+/// until every live thread has posted, then grants exactly one.
+#[derive(Debug)]
+struct Central {
+    state: Mutex<CentralState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct CentralState {
+    pending: Vec<Option<Op>>,
+    granted: Vec<bool>,
+    results: Vec<u64>,
+    done: Vec<bool>,
+    released: bool,
+    mem: ModelState,
+    trace: Vec<String>,
+    violation: Option<Violation>,
+}
+
+impl Central {
+    fn new(model: &Model, n: usize) -> Central {
+        Central {
+            state: Mutex::new(CentralState {
+                pending: vec![None; n],
+                granted: vec![false; n],
+                results: vec![0; n],
+                done: vec![false; n],
+                released: false,
+                mem: ModelState::new(model, n),
+                trace: Vec::new(),
+                violation: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, CentralState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Thread side: posts `op`, blocks until the scheduler grants it,
+    /// returns the result.
+    fn submit(&self, tid: usize, op: Op) -> u64 {
+        let mut st = self.inner();
+        st.pending[tid] = Some(op);
+        self.cv.notify_all();
+        loop {
+            if st.released {
+                // Deadlock teardown: unblock with a dummy result so the
+                // thread can run to completion and the scope can join.
+                st.pending[tid] = None;
+                return 0;
+            }
+            if st.granted[tid] {
+                st.granted[tid] = false;
+                return st.results[tid];
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn finish(&self, tid: usize) {
+        let mut st = self.inner();
+        st.done[tid] = true;
+        let clock = st.mem.clocks[tid].clone();
+        st.mem.final_clocks[tid] = clock;
+        self.cv.notify_all();
+    }
+
+    fn record_violation(&self, tid: usize, message: &str) {
+        let mut st = self.inner();
+        if st.violation.is_none() {
+            let trace = st.trace.clone();
+            st.violation = Some(Violation {
+                message: format!("t{tid}: {message}"),
+                trace,
+            });
+        }
+    }
+
+    /// Scheduler side: blocks until every thread is done or has a
+    /// pending op.
+    fn wait_quiescent(&self) -> std::sync::MutexGuard<'_, CentralState> {
+        let mut st = self.inner();
+        loop {
+            let quiescent = (0..st.done.len()).all(|t| st.done[t] || st.pending[t].is_some());
+            if quiescent {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn grant(&self, mut st: std::sync::MutexGuard<'_, CentralState>, tid: usize, result: u64) {
+        st.pending[tid] = None;
+        st.results[tid] = result;
+        st.granted[tid] = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn release_all(&self, mut st: std::sync::MutexGuard<'_, CentralState>) {
+        st.released = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn choice_stack_enumerates_depth_first() {
+        let mut s = ChoiceStack::default();
+        let mut seen = Vec::new();
+        loop {
+            let a = s.choose(2);
+            let b = s.choose(3);
+            seen.push((a, b));
+            if !s.advance() {
+                break;
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)],
+            "2x3 choice tree enumerated depth-first"
+        );
+    }
+
+    #[test]
+    fn single_alternative_choices_not_recorded() {
+        let mut s = ChoiceStack::default();
+        assert_eq!(s.choose(1), 0);
+        assert!(s.decided.is_empty());
+        assert!(!s.advance(), "no real choice points means one schedule");
+    }
+
+    #[test]
+    fn vclock_join_and_le() {
+        let mut a = VClock::zero(3);
+        a.tick(0);
+        let mut b = VClock::zero(3);
+        b.tick(1);
+        assert!(!a.le(&b));
+        b.join(&a);
+        assert!(a.le(&b));
+    }
+
+    #[test]
+    fn single_thread_model_has_one_schedule() {
+        let mut m = Model::new("solo");
+        let a = m.atomic("x", 0);
+        m.thread("only", move |t| {
+            t.store(a, 7, MemOrder::Relaxed);
+            let v = t.load(a, MemOrder::Relaxed);
+            t.require(v == 7, "own store must be visible to self");
+        });
+        let out = Explorer::default().explore(&m);
+        assert_eq!(out.schedules, 1);
+        assert!(out.violation.is_none(), "{:?}", out.violation);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut m = Model::new("deadlock");
+        let m1 = m.mutex("m1");
+        let m2 = m.mutex("m2");
+        m.thread("ab", move |t| {
+            t.lock(m1);
+            t.lock(m2);
+            t.unlock(m2);
+            t.unlock(m1);
+        });
+        m.thread("ba", move |t| {
+            t.lock(m2);
+            t.lock(m1);
+            t.unlock(m1);
+            t.unlock(m2);
+        });
+        let out = Explorer::default().explore(&m);
+        let v = out.violation.expect("lock-order inversion must deadlock somewhere");
+        assert!(v.message.contains("deadlock"), "{}", v.message);
+    }
+}

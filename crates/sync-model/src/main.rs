@@ -1,0 +1,132 @@
+//! CI gate for the protocol models: the shipped orderings must pass
+//! exhaustive exploration, and every known-bad weakening must be caught
+//! with a concrete interleaving. Output is deterministic for a given
+//! seed (verify.sh runs it twice and diffs).
+//!
+//! ```text
+//! taxitrace-sync-model [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+use taxitrace_sync_model::{models, Explorer, MemOrder, Model};
+
+struct Check {
+    label: &'static str,
+    model: Model,
+    expect_violation: bool,
+}
+
+fn checks() -> Vec<Check> {
+    use MemOrder::{Acquire, Relaxed, Release};
+    vec![
+        Check {
+            label: "epoch_publish(Release, Acquire)",
+            model: models::epoch_publish(Release, Acquire),
+            expect_violation: false,
+        },
+        Check {
+            label: "epoch_cell(Relaxed, Relaxed)",
+            model: models::epoch_cell(Relaxed, Relaxed),
+            expect_violation: false,
+        },
+        Check {
+            label: "counter_merge",
+            model: models::counter_merge(),
+            expect_violation: false,
+        },
+        Check {
+            label: "epoch_publish(Relaxed, Acquire)",
+            model: models::epoch_publish(Relaxed, Acquire),
+            expect_violation: true,
+        },
+        Check {
+            label: "epoch_publish(Release, Relaxed)",
+            model: models::epoch_publish(Release, Relaxed),
+            expect_violation: true,
+        },
+        Check {
+            label: "counter_merge_lost_update",
+            model: models::counter_merge_lost_update(),
+            expect_violation: true,
+        },
+    ]
+}
+
+fn parse_seed() -> Result<u64, String> {
+    let mut seed = 0u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().ok_or("--seed expects a number")?;
+                seed = v.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("taxitrace-sync-model [--seed N]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(seed)
+}
+
+fn main() -> ExitCode {
+    let seed = match parse_seed() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("taxitrace-sync-model: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let explorer = Explorer::with_seed(seed);
+    println!(
+        "sync-model: seed={seed} preemption_bound={} max_schedules={}",
+        explorer.preemption_bound, explorer.max_schedules
+    );
+    let mut mismatches = 0usize;
+    let mut ran = 0usize;
+    for check in checks() {
+        ran += 1;
+        let out = explorer.explore(&check.model);
+        if out.truncated {
+            println!("MISMATCH {}: truncated at {} schedules", check.label, out.schedules);
+            mismatches += 1;
+            continue;
+        }
+        match (&out.violation, check.expect_violation) {
+            (None, false) => {
+                println!("PASS {}: no violation in {} schedules", check.label, out.schedules);
+            }
+            (Some(v), true) => {
+                println!(
+                    "CAUGHT {}: violation after {} schedules: {}",
+                    check.label, out.schedules, v.message
+                );
+                for line in &v.trace {
+                    println!("    {line}");
+                }
+            }
+            (Some(v), false) => {
+                println!("MISMATCH {}: unexpected violation: {}", check.label, v.message);
+                for line in &v.trace {
+                    println!("    {line}");
+                }
+                mismatches += 1;
+            }
+            (None, true) => {
+                println!(
+                    "MISMATCH {}: weakening NOT caught in {} schedules",
+                    check.label, out.schedules
+                );
+                mismatches += 1;
+            }
+        }
+    }
+    println!("sync-model: {}/{ran} checks as expected", ran - mismatches);
+    if mismatches > 0 {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

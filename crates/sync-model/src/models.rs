@@ -1,0 +1,131 @@
+//! Extracted protocol models of the workspace's shared-state cells.
+//!
+//! Each function rebuilds one real protocol against the shim ops, with
+//! the memory orderings as parameters so the checker can demonstrate
+//! both directions: the shipped orderings pass, and any single weakening
+//! is caught by a concrete interleaving. The mapping back to source:
+//!
+//! * [`epoch_publish`] — the lock-free half of
+//!   `crates/serve/src/epoch.rs`: `EpochCell::swap` writes the slot and
+//!   bumps the epoch with `Release`; `EpochReader::get` polls the epoch
+//!   with `Acquire`. The claim under test is exactly the registry's
+//!   `acqrel` policy: a reader that observes the bump must also observe
+//!   the new snapshot.
+//! * [`epoch_cell`] — the full protocol including the mutex-guarded
+//!   refresh. This passes *even with both atomics weakened to
+//!   `Relaxed`*, because the slot mutex supplies the happens-before
+//!   edge on the refresh path — the layered argument in DESIGN.md §14.
+//! * [`counter_merge`] — the exec-crate counter pattern
+//!   (`crates/exec/src/lib.rs`): workers `fetch_add(Relaxed)`, the
+//!   parent joins every worker and then reads an exact total. The join
+//!   edge, not the ordering, carries the synchronization.
+//! * [`counter_merge_lost_update`] — the known-bad mutant: the same
+//!   merge with the RMW split into a load and a store, which the
+//!   checker must catch losing an update.
+
+use crate::{MemOrder, Model};
+
+/// Writer publishes a payload then bumps the epoch (`store_ord`); a
+/// reader polls the epoch (`load_ord`) and, on observing the bump, must
+/// see the payload. Passes for (`Release`, `Acquire`); fails if either
+/// side weakens to `Relaxed`.
+pub fn epoch_publish(store_ord: MemOrder, load_ord: MemOrder) -> Model {
+    let mut m = Model::new("epoch_publish");
+    let payload = m.cell("payload", 0);
+    let epoch = m.atomic("epoch", 0);
+    m.thread("writer", move |t| {
+        t.cell_write(payload, 1);
+        t.rmw_add(epoch, 1, store_ord);
+    });
+    m.thread("reader", move |t| {
+        let e = t.load(epoch, load_ord);
+        if e == 1 {
+            let p = t.cell_read(payload);
+            t.require(
+                p == 1,
+                "observed the epoch bump but read a stale payload: the \
+                 bump does not happen-before the read",
+            );
+        }
+    });
+    m
+}
+
+/// The full `EpochCell` protocol: the writer updates the slot and bumps
+/// the epoch inside the critical section; the reader, on an epoch
+/// mismatch, refreshes *under the slot mutex*. The mutex supplies the
+/// happens-before edge, so this passes for any `store_ord`/`load_ord` —
+/// including both `Relaxed` — which isolates [`epoch_publish`] as the
+/// claim the atomic orderings themselves must carry.
+pub fn epoch_cell(store_ord: MemOrder, load_ord: MemOrder) -> Model {
+    let mut m = Model::new("epoch_cell");
+    let slot = m.cell("slot", 0);
+    let epoch = m.atomic("epoch", 0);
+    let guard = m.mutex("slot_mutex");
+    m.thread("writer", move |t| {
+        t.lock(guard);
+        t.cell_write(slot, 1);
+        t.rmw_add(epoch, 1, store_ord);
+        t.unlock(guard);
+    });
+    m.thread("reader", move |t| {
+        let e = t.load(epoch, load_ord);
+        if e != 0 {
+            // EpochReader::get's refresh path: re-clone under the lock.
+            t.lock(guard);
+            let v = t.cell_read(slot);
+            t.unlock(guard);
+            t.require(
+                v == 1,
+                "refresh under the slot mutex returned a stale snapshot",
+            );
+        }
+    });
+    m
+}
+
+/// The exec counter merge: two workers each `fetch_add(1, Relaxed)`
+/// twice; the parent joins both and requires the exact total. RMW
+/// atomicity plus the join edge make this pass in every interleaving.
+pub fn counter_merge() -> Model {
+    let mut m = Model::new("counter_merge");
+    let counter = m.atomic("counter", 0);
+    let w1 = m.thread("worker1", move |t| {
+        t.rmw_add(counter, 1, MemOrder::Relaxed);
+        t.rmw_add(counter, 1, MemOrder::Relaxed);
+    });
+    let w2 = m.thread("worker2", move |t| {
+        t.rmw_add(counter, 1, MemOrder::Relaxed);
+        t.rmw_add(counter, 1, MemOrder::Relaxed);
+    });
+    m.thread("parent", move |t| {
+        t.join(w1);
+        t.join(w2);
+        let total = t.load(counter, MemOrder::Relaxed);
+        t.require(total == 4, "joined every worker but the merged count is not exact");
+    });
+    m
+}
+
+/// The known-bad mutant of [`counter_merge`]: each increment is a
+/// separate load and store, so two workers can read the same value and
+/// one update is lost. The checker must find that interleaving.
+pub fn counter_merge_lost_update() -> Model {
+    let mut m = Model::new("counter_merge_lost_update");
+    let counter = m.atomic("counter", 0);
+    let w1 = m.thread("worker1", move |t| {
+        let v = t.load(counter, MemOrder::Relaxed);
+        t.store(counter, v + 1, MemOrder::Relaxed);
+    });
+    let w2 = m.thread("worker2", move |t| {
+        let v = t.load(counter, MemOrder::Relaxed);
+        t.store(counter, v + 1, MemOrder::Relaxed);
+    });
+    m.thread("parent", move |t| {
+        t.join(w1);
+        t.join(w2);
+        let total = t.load(counter, MemOrder::Relaxed);
+        t.require(total == 2, "non-atomic increment lost an update");
+    });
+    m
+}

@@ -11,14 +11,76 @@ cargo test -q --workspace
 cargo clippy -q --workspace -- -D warnings
 
 # Static-analysis gate: determinism, panic-freedom, unsafe audit,
-# metrics-name drift, workspace hygiene (see README §Static analysis gates).
+# metrics-name drift, atomics audit, lock discipline, workspace hygiene
+# (see README §Static analysis gates).
 lint_out=$(mktemp)
 cargo run -q -p taxitrace-lint -- --deny --format json > "$lint_out" || {
     cat "$lint_out" >&2
     rm -f "$lint_out"
     exit 1
 }
+python3 - "$lint_out" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc.get("version") == 1, f"lint JSON version drifted: {doc.get('version')!r}"
+assert doc.get("findings") == [], f"live findings under --deny: {doc['findings']}"
+print("lint gate OK: zero findings in stable JSON")
+EOF
 rm -f "$lint_out"
+# The concurrency rules must be wired into the gate's committed contract.
+for rule in atomics-audit lock-discipline; do
+    grep -q "\"rule\": \"$rule\"" crates/lint/tests/golden.json || {
+        echo "verify: $rule missing from the committed lint golden file" >&2
+        exit 1
+    }
+done
+test -s crates/lint/sync.registry || {
+    echo "verify: crates/lint/sync.registry is missing or empty" >&2
+    exit 1
+}
+
+# Concurrency model checker: the shipped orderings must pass exhaustive
+# bounded exploration, every known-bad weakening must be caught, and the
+# run must be byte-for-byte deterministic at a fixed seed.
+sm1=$(mktemp)
+sm2=$(mktemp)
+cargo run -q -p taxitrace-sync-model -- --seed 7 > "$sm1" || {
+    echo "verify: sync-model checker reported a mismatch" >&2
+    cat "$sm1" >&2
+    exit 1
+}
+cargo run -q -p taxitrace-sync-model -- --seed 7 > "$sm2"
+cmp -s "$sm1" "$sm2" || {
+    echo "verify: sync-model output is not deterministic across runs" >&2
+    diff "$sm1" "$sm2" >&2 || true
+    exit 1
+}
+for want in \
+    "PASS epoch_publish(Release, Acquire)" \
+    "PASS epoch_cell(Relaxed, Relaxed)" \
+    "PASS counter_merge" \
+    "CAUGHT epoch_publish(Relaxed, Acquire)" \
+    "CAUGHT epoch_publish(Release, Relaxed)" \
+    "CAUGHT counter_merge_lost_update" \
+    "6/6 checks as expected"; do
+    grep -qF "$want" "$sm1" || {
+        echo "verify: sync-model output missing: $want" >&2
+        cat "$sm1" >&2
+        exit 1
+    }
+done
+echo "sync-model OK: $(grep -c '^PASS' "$sm1") protocols pass, $(grep -c '^CAUGHT' "$sm1") weakenings caught"
+rm -f "$sm1" "$sm2"
+
+# Optional miri smoke over the real epoch/shutdown atomics — only when
+# the toolchain ships miri (CI images may; the default container skips).
+if cargo miri --version > /dev/null 2>&1; then
+    echo "verify: miri available — running the serve smoke"
+    cargo miri test -q -p taxitrace-serve
+else
+    echo "verify: miri unavailable — skipping the serve miri smoke"
+fi
 
 # Metrics surface: a small run must emit schema-versioned JSON covering
 # every pipeline stage, the executor and the gap-fill cache — and leave

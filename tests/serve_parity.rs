@@ -54,7 +54,7 @@ fn request_from(kind: usize, a: usize, b: usize) -> QueryRequest {
         }
         1 => {
             let cells: Vec<CellId> = snapshot().grid().cells.keys().copied().collect();
-            let cell = if a % 8 == 0 {
+            let cell = if a.is_multiple_of(8) {
                 CellId { ix: 9_999, iy: 9_999 }
             } else {
                 cells[b % cells.len()]
@@ -63,7 +63,7 @@ fn request_from(kind: usize, a: usize, b: usize) -> QueryRequest {
         }
         2 => {
             let sessions = out.store.sessions();
-            let trip = if a % 8 == 0 {
+            let trip = if a.is_multiple_of(8) {
                 TripId(u64::MAX)
             } else {
                 sessions[b % sessions.len()].id
@@ -73,7 +73,7 @@ fn request_from(kind: usize, a: usize, b: usize) -> QueryRequest {
         _ => {
             let pairs: Vec<&str> = out.transitions.iter().map(|t| t.pair.as_str()).collect();
             QueryRequest::GridStats {
-                pair: if a % 2 == 0 { None } else { Some(pairs[b % pairs.len()].to_string()) },
+                pair: if a.is_multiple_of(2) { None } else { Some(pairs[b % pairs.len()].to_string()) },
             }
         }
     }
