@@ -46,6 +46,13 @@
 //! `fsck [--repair] <path>` integrity-scans (and repairs) stores and
 //! checkpoints.
 //!
+//! `repro stream` runs the same study as a live feed — points in arrival
+//! order through a bounded queue, trips closed by the watermark, cleaned
+//! incrementally — and prints the pipeline fingerprint it converges to,
+//! which equals the batch fingerprint (see `DESIGN.md` §15). `--chaos`
+//! adds stream faults (kill, late flood, burst, stall, garble) and
+//! `--checkpoint-dir` makes killed runs resume from the stream cursor.
+//!
 //! Absolute values come from the calibrated simulator, not the authors'
 //! taxis; the point of each experiment is the *shape* comparison printed
 //! alongside the paper's published numbers (see `EXPERIMENTS.md`).
@@ -88,6 +95,9 @@ struct Args {
     port: u16,
     /// `serve-bench`: total requests across all clients.
     requests: usize,
+    /// `serve --shutdown-file PATH`: poll for this file and drain when
+    /// it appears, instead of running until killed.
+    shutdown_file: Option<String>,
 }
 
 impl Args {
@@ -111,6 +121,7 @@ fn parse_args() -> Args {
     let mut threads = None;
     let mut port = 0u16;
     let mut requests = 600usize;
+    let mut shutdown_file = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -165,6 +176,10 @@ fn parse_args() -> Args {
                     .filter(|&n| n > 0)
                     .unwrap_or_else(|| die("--requests needs a positive integer"));
             }
+            "--shutdown-file" => {
+                shutdown_file =
+                    Some(it.next().unwrap_or_else(|| die("--shutdown-file needs a path")));
+            }
             "--threads" => {
                 threads = Some(
                     it.next()
@@ -184,8 +199,13 @@ fn parse_args() -> Args {
                  \x20 repro fsck [--repair] <path>         integrity-scan store/checkpoint files\n\
                  \n\
                  serving subcommands:\n\
-                 \x20 repro serve [--port P] [--threads N]   run the HTTP query service\n\
-                 \x20 repro serve-bench [--requests N]       closed-loop load + contention bench",
+                 \x20 repro serve [--port P] [--threads N] [--shutdown-file PATH]\n\
+                 \x20                                        run the HTTP query service\n\
+                 \x20 repro serve-bench [--requests N]       closed-loop load + contention bench\n\
+                 \n\
+                 streaming subcommand:\n\
+                 \x20 repro stream [--chaos PLAN] [--checkpoint-dir DIR]\n\
+                 \x20                                        run the study as a live stream",
             ),
             other => {
                 if experiment.is_none() {
@@ -213,6 +233,7 @@ fn parse_args() -> Args {
         threads,
         port,
         requests,
+        shutdown_file,
     }
 }
 
@@ -315,6 +336,7 @@ fn main() {
         "fsck" => return cmd_fsck(&args),
         "serve" => return cmd_serve(&args),
         "serve-bench" => return cmd_serve_bench(&args),
+        "stream" => return cmd_stream(&args),
         _ => {}
     }
     let all: Vec<&str> = vec![
@@ -663,9 +685,12 @@ fn build_snapshot(args: &Args) -> taxitrace_serve::Snapshot {
     taxitrace_serve::Snapshot::from_output(run_study(args))
 }
 
-/// `repro serve [--port P] [--threads N]`: run the HTTP query service
-/// until killed. Prints the bound address (ephemeral port resolved) on
-/// stdout so scripts can discover it.
+/// `repro serve [--port P] [--threads N] [--shutdown-file PATH]`: run the
+/// HTTP query service. Prints the bound address (ephemeral port resolved)
+/// on stdout so scripts can discover it. With `--shutdown-file`, polls
+/// for the file and shuts down gracefully when it appears — in-flight
+/// requests drain, workers join — so scripts get a clean exit instead of
+/// `kill`. Without it, runs until the process is killed.
 fn cmd_serve(args: &Args) {
     use std::io::Write as _;
     let workers = args.threads.unwrap_or(4).max(1);
@@ -675,9 +700,20 @@ fn cmd_serve(args: &Args) {
         .unwrap_or_else(|e| die(&format!("cannot bind port {}: {e}", args.port)));
     println!("serving on {} ({} workers)", server.addr(), workers);
     let _ = std::io::stdout().flush();
-    // Runs until the process is killed; metrics are live at /metrics.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    match &args.shutdown_file {
+        Some(path) => {
+            let path = std::path::Path::new(path);
+            while !path.exists() {
+                std::thread::sleep(std::time::Duration::from_millis(150));
+            }
+            eprintln!("[repro] shutdown file present; draining");
+            server.shutdown();
+            println!("server drained and stopped");
+        }
+        // Runs until the process is killed; metrics are live at /metrics.
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
     }
 }
 
@@ -718,6 +754,59 @@ fn cmd_serve_bench(args: &Args) {
         Some(path) => std::fs::write(path, &doc)
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}"))),
         None => print!("{doc}"),
+    }
+}
+
+/// `repro stream [--chaos PLAN] [--checkpoint-dir DIR]`: run the study as
+/// a live stream — points arriving one at a time through the bounded
+/// queue, trips closed by the watermark, cleaned incrementally — and
+/// print the stream report plus the same pipeline fingerprint the batch
+/// path reports, so scripts can assert stream/batch parity and that a
+/// killed-and-resumed stream converges to the identical output.
+fn cmd_stream(args: &Args) {
+    let stream_cfg = taxitrace_stream::StreamConfig {
+        checkpoint_every: if args.checkpoint_dir.is_some() { 1000 } else { 0 },
+        ..taxitrace_stream::StreamConfig::default()
+    };
+    let dir = args.checkpoint_dir.as_ref().map(std::path::Path::new);
+    let mut attempt = 0u32;
+    let run = loop {
+        match taxitrace_stream::run_stream(study_config(args), &stream_cfg, dir) {
+            Ok(run) => break run,
+            Err(e) if dir.is_some() && attempt < 4 => {
+                attempt += 1;
+                eprintln!(
+                    "[repro] stream interrupted ({e}); resuming from {} (attempt {attempt})",
+                    dir.expect("checked").display()
+                );
+            }
+            Err(e) => die(&format!("stream failed after {attempt} resume(s): {e}")),
+        }
+    };
+    let r = &run.report;
+    println!(
+        "stream: {} records -> {} trips closed ({} malformed, {} late-dropped quarantined)",
+        r.records_total, r.trips_closed, r.records_malformed, r.late_dropped
+    );
+    println!(
+        "flow:   {} backpressure stall(s), {} feeder stall(s), max queue depth {}",
+        r.backpressure_stalls, r.feeder_stalls, r.max_queue_depth
+    );
+    if let Some(cursor) = r.resumed_from {
+        println!(
+            "resume: {} checkpoint(s), resumed {} time(s), last from record {cursor}",
+            r.checkpoints, r.resumes
+        );
+    }
+    println!("study fingerprint {:#018x}", study_fingerprint(&run.output));
+    if args.metrics.is_some() || args.metrics_out.is_some() {
+        let fmt = args.metrics.unwrap_or(MetricsFormat::Json);
+        let rendered = taxitrace_obs::render(&run.output.metrics, fmt);
+        match &args.metrics_out {
+            Some(path) => std::fs::write(path, rendered)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}"))),
+            None => eprint!("{rendered}"),
+        }
     }
 }
 

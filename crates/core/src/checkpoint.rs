@@ -321,7 +321,10 @@ fn decode_chaos_counters(b: &mut Bytes) -> Result<Vec<(String, u64)>, StoreError
     Ok(counters)
 }
 
-fn encode_segments(segments: &[TripSegment]) -> Result<Vec<u8>, StoreError> {
+/// Encodes cleaned segments for a checkpoint section. Public because the
+/// stream-cursor checkpoint persists per-session segments with the same
+/// wire format.
+pub fn encode_segments(segments: &[TripSegment]) -> Result<Vec<u8>, StoreError> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(segments.len() as u64);
     for seg in segments {
@@ -338,7 +341,8 @@ fn encode_segments(segments: &[TripSegment]) -> Result<Vec<u8>, StoreError> {
     Ok(buf.as_ref().to_vec())
 }
 
-fn decode_segments(b: &mut Bytes) -> Result<Vec<TripSegment>, StoreError> {
+/// Inverse of [`encode_segments`].
+pub fn decode_segments(b: &mut Bytes) -> Result<Vec<TripSegment>, StoreError> {
     let n = take_u64(b)? as usize;
     let mut segments = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -355,7 +359,9 @@ fn decode_segments(b: &mut Bytes) -> Result<Vec<TripSegment>, StoreError> {
     Ok(segments)
 }
 
-fn encode_totals(totals: &CleaningTotals) -> Vec<u8> {
+/// Encodes cleaning totals for a checkpoint section (shared with the
+/// stream-cursor checkpoint).
+pub fn encode_totals(totals: &CleaningTotals) -> Vec<u8> {
     let mut buf = BytesMut::new();
     buf.put_u64_le(totals.sessions as u64);
     buf.put_u64_le(totals.raw_points as u64);
@@ -369,7 +375,8 @@ fn encode_totals(totals: &CleaningTotals) -> Vec<u8> {
     buf.as_ref().to_vec()
 }
 
-fn decode_totals(b: &mut Bytes) -> Result<CleaningTotals, StoreError> {
+/// Inverse of [`encode_totals`].
+pub fn decode_totals(b: &mut Bytes) -> Result<CleaningTotals, StoreError> {
     let mut totals = CleaningTotals {
         sessions: take_u64(b)? as usize,
         raw_points: take_u64(b)? as usize,

@@ -21,7 +21,7 @@ use taxitrace_cleaning::{
     clean_session, session_anomaly, AnomalyKind, CleanedSession, CleaningTotals, TripSegment,
 };
 use taxitrace_exec::{ExecMeter, FailurePolicy, TaskError, TaskPolicy};
-use taxitrace_matching::{incremental, CandidateIndex, MatchScratch};
+use taxitrace_matching::{incremental, CandidateIndex, MatchConfig, MatchScratch};
 use taxitrace_obs::{MetricsSnapshot, Registry};
 use taxitrace_od::{FunnelRow, OdAnalyzer, Transition};
 use taxitrace_roadnet::synth::SyntheticCity;
@@ -77,8 +77,9 @@ impl Obs {
 }
 
 /// The weather model is a pure function of the study seed; regenerated on
-/// resume rather than checkpointed.
-pub(crate) fn weather_for(config: &StudyConfig) -> WeatherModel {
+/// resume rather than checkpointed. Public so the streaming ingest can
+/// rebuild the identical model for its per-closed-trip fuse.
+pub fn weather_for(config: &StudyConfig) -> WeatherModel {
     WeatherModel::new(config.seed ^ 0x57EA_7E7A)
 }
 
@@ -112,8 +113,10 @@ fn apply_chaos_trace_faults(
     }
 }
 
-/// The stage fault policy resolved from the config (chaos overrides win).
-fn resolved_fault_policy(config: &StudyConfig) -> (f64, u32) {
+/// The stage fault policy resolved from the config (chaos overrides win):
+/// `(error_budget, max_task_attempts)`. Public so the streaming ingest
+/// enforces the same budget and reproduces the batch retry accounting.
+pub fn resolved_fault_policy(config: &StudyConfig) -> (f64, u32) {
     let chaos = config.chaos.as_ref();
     let budget = chaos
         .and_then(|p| p.error_budget)
@@ -395,6 +398,56 @@ impl Simulated {
         Ok(())
     }
 
+    /// The run's metrics registry. The streaming ingest emits its
+    /// `stream.*` counters and gauges here so they land in the same
+    /// snapshot (and JSON schema) as the stage metrics.
+    pub fn registry(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// Streaming support: assembles the stage-2 output from per-session
+    /// cleaning results produced out of band (the watermark-closed trips
+    /// of `taxitrace-stream`), running the same metric emission and
+    /// budget accounting as [`Simulated::clean`]. `stage_quarantine` is
+    /// appended to the carried ledger in the order given; only its
+    /// `clean`-stage entries count against the clean error budget (the
+    /// stream stage enforces its own budget before calling).
+    pub fn assemble_cleaned(
+        self,
+        segments: Vec<TripSegment>,
+        cleaning: CleaningTotals,
+        stage_quarantine: Vec<QuarantineEntry>,
+    ) -> Result<Cleaned, Error> {
+        let Simulated { config, city, weather, store, mut quarantine, obs, .. } = self;
+
+        let mut span = obs.registry.span("study/clean");
+        let (error_budget, _) = resolved_fault_policy(&config);
+        let total = store.sessions().len();
+        let clean_added =
+            stage_quarantine.iter().filter(|e| e.stage == "clean").count();
+        for entry in stage_quarantine {
+            quarantine.push(entry);
+        }
+        cleaning.record_metrics(&obs.registry);
+        quarantine.record_stage_metrics(&obs.registry, "clean", total);
+        check_budget("clean", clean_added, total, error_budget)?;
+        span.set_items(segments.len() as u64);
+        span.finish();
+
+        let metrics = obs.registry.snapshot();
+        Ok(Cleaned {
+            config,
+            city,
+            weather,
+            store,
+            segments,
+            cleaning,
+            quarantine,
+            metrics,
+            obs,
+        })
+    }
+
     /// Stage 2: clean every session (parallel per session; deterministic
     /// because results are folded in input order).
     ///
@@ -537,7 +590,7 @@ impl Cleaned {
         let before = quarantine.len();
         let mut raw_transitions = Vec::with_capacity(total);
         for t in extracted {
-            match transition_anomaly(&segments, &t) {
+            match transition_anomaly(&segments[t.segment_index], &t) {
                 None => raw_transitions.push(t),
                 Some((reason, detail)) => quarantine.push(QuarantineEntry {
                     stage: "od".into(),
@@ -574,11 +627,12 @@ impl Cleaned {
 /// on finite coordinates. Impossible for healthy cleaned data (timestamps
 /// are clamped non-decreasing over spans of many points); reachable only
 /// for trace damage that slipped below the per-session anomaly thresholds.
-fn transition_anomaly(
-    segments: &[TripSegment],
+/// `seg` is the transition's parent segment (the streaming path checks
+/// against trip-local segments, the batch path against the global list).
+pub fn transition_anomaly(
+    seg: &TripSegment,
     t: &Transition,
 ) -> Option<(QuarantineReason, String)> {
-    let seg = &segments[t.segment_index];
     let dest = (t.destination_point + 1).min(seg.points.len() - 1);
     let span = &seg.points[t.origin_point..=dest];
     for p in span {
@@ -597,6 +651,70 @@ fn transition_anomaly(
         ));
     }
     None
+}
+
+/// Matches and fuses one corridor transition over its parent segment.
+/// Shared by the batch stage-4 fuse and the streaming per-closed-trip
+/// path, so the two produce identical records by construction. The
+/// boolean reports whether the gap-fill search blew its expansion budget
+/// somewhere in this slice (the record is then quarantined as an
+/// unmatched gap).
+#[allow(clippy::too_many_arguments)] // the stage-4 working set, spelled out
+pub fn fuse_transition(
+    city: &SyntheticCity,
+    weather: &WeatherModel,
+    config: &StudyConfig,
+    matching_config: &MatchConfig,
+    index: &CandidateIndex,
+    scratch: &mut MatchScratch,
+    seg: &TripSegment,
+    t: &Transition,
+) -> (TransitionRecord, bool) {
+    let budget_exhausted_before = scratch.gaps_budget_exhausted;
+    // Work on the transition slice (origin..=destination). The crossing
+    // indices mark the points *before* the corridor-entry steps, so
+    // include one more point at the destination side to cover the
+    // arrival.
+    let dest = (t.destination_point + 1).min(seg.points.len() - 1);
+    let slice = TripSegment {
+        trip_id: seg.trip_id,
+        taxi: seg.taxi,
+        start_time: seg.points[t.origin_point].timestamp,
+        points: seg.points[t.origin_point..=dest].to_vec(),
+    };
+    let matched = incremental::match_trace_with(
+        scratch,
+        &city.graph,
+        index,
+        &slice.points,
+        matching_config,
+    );
+    let temp_class = weather.at(slice.start_time).class();
+    let record = TransitionRecord::fuse(
+        city,
+        &slice,
+        t.pair_label(),
+        0,
+        slice.points.len() - 1,
+        &matched,
+        temp_class,
+        config.low_speed_kmh,
+        config.normal_speed_frac,
+    );
+    (record, scratch.gaps_budget_exhausted > budget_exhausted_before)
+}
+
+/// The matching configuration stage 4 actually runs with: the study's,
+/// with the chaos plan's gap-fill budget override applied. Shared with
+/// the streaming path so both fuse under identical budgets.
+pub fn resolved_matching_config(config: &StudyConfig) -> MatchConfig {
+    let mut matching_config = config.matching;
+    if let Some(budget) =
+        config.chaos.as_ref().and_then(|p| p.gap_fill_max_expansions)
+    {
+        matching_config.gap_fill_max_expansions = budget;
+    }
+    matching_config
 }
 
 impl OdSelected {
@@ -622,56 +740,25 @@ impl OdSelected {
         let (error_budget, _) = resolved_fault_policy(&config);
         // The gap-fill search budget; a chaos plan can shrink it to force
         // the fallback path on a normal-sized run.
-        let mut matching_config = config.matching;
-        if let Some(budget) =
-            config.chaos.as_ref().and_then(|p| p.gap_fill_max_expansions)
-        {
-            matching_config.gap_fill_max_expansions = budget;
-        }
+        let matching_config = resolved_matching_config(&config);
         let index = {
             let _s = obs.registry.span("study/match_fuse/index");
             CandidateIndex::new(&city.graph, &city.elements)
         };
         let post: Vec<&Transition> =
             raw_transitions.iter().filter(|t| t.post_filtered).collect();
-        // Fuse one transition; the boolean reports whether the gap-fill
-        // search blew its expansion budget somewhere in this slice (the
-        // record is then quarantined as an unmatched gap).
         let fuse_one =
             |scratch: &mut MatchScratch, t: &Transition| -> (TransitionRecord, bool) {
-                let budget_exhausted_before = scratch.gaps_budget_exhausted;
-                let seg = &segments[t.segment_index];
-                // Work on the transition slice (origin..=destination). The
-                // crossing indices mark the points *before* the corridor-entry
-                // steps, so include one more point at the destination side to
-                // cover the arrival.
-                let dest = (t.destination_point + 1).min(seg.points.len() - 1);
-                let slice = TripSegment {
-                    trip_id: seg.trip_id,
-                    taxi: seg.taxi,
-                    start_time: seg.points[t.origin_point].timestamp,
-                    points: seg.points[t.origin_point..=dest].to_vec(),
-                };
-                let matched = incremental::match_trace_with(
-                    scratch,
-                    &city.graph,
-                    &index,
-                    &slice.points,
-                    &matching_config,
-                );
-                let temp_class = weather.at(slice.start_time).class();
-                let record = TransitionRecord::fuse(
+                fuse_transition(
                     &city,
-                    &slice,
-                    t.pair_label(),
-                    0,
-                    slice.points.len() - 1,
-                    &matched,
-                    temp_class,
-                    config.low_speed_kmh,
-                    config.normal_speed_frac,
-                );
-                (record, scratch.gaps_budget_exhausted > budget_exhausted_before)
+                    &weather,
+                    &config,
+                    &matching_config,
+                    &index,
+                    scratch,
+                    &segments[t.segment_index],
+                    t,
+                )
             };
         // Match and fuse in parallel, preserving order; each worker keeps
         // one scratch (search arrays + gap-fill cache) across its share.

@@ -68,12 +68,19 @@ mod seasonal;
 mod transitions;
 
 pub use checkpoint::config_fingerprint;
+// Checkpoint-section codecs, shared with the stream-cursor checkpoint in
+// `taxitrace-stream`.
+pub use checkpoint::{decode_segments, decode_totals, encode_segments, encode_totals};
 pub use coach::{coach_report, CoachConfig, CoachEvent, TripReport};
 pub use export::export_csv;
 pub use config::{ConfigError, FaultConfig, StudyConfig, StudyConfigBuilder};
 pub use error::Error;
-pub use experiment::{Cleaned, OdSelected, Simulated, StageTimings, Study, StudyOutput};
-pub use quarantine::{Quarantine, QuarantineEntry, QuarantineReason};
+pub use experiment::{
+    fuse_transition, resolved_fault_policy, resolved_matching_config,
+    transition_anomaly, weather_for, Cleaned, OdSelected, Simulated, StageTimings,
+    Study, StudyOutput,
+};
+pub use quarantine::{check_budget, Quarantine, QuarantineEntry, QuarantineReason};
 pub use taxitrace_traces::FaultPlan;
 pub use taxitrace_cleaning::CleaningTotals;
 #[allow(deprecated)]

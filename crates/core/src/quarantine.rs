@@ -47,6 +47,12 @@ pub enum QuarantineReason {
     /// The store header disagreed with the body (bad magic, header CRC,
     /// or record-count mismatch).
     HeaderMismatch,
+    /// A streamed record arrived for a trip the watermark had already
+    /// closed; accepting it would rewrite published results.
+    LatePastWatermark,
+    /// A streamed record failed structural validation (non-finite
+    /// coordinates or speed) before it ever reached a trip buffer.
+    MalformedRecord,
 }
 
 impl QuarantineReason {
@@ -62,11 +68,15 @@ impl QuarantineReason {
             QuarantineReason::CorruptRecord => "corrupt_record",
             QuarantineReason::TornTail => "torn_tail",
             QuarantineReason::HeaderMismatch => "header_mismatch",
+            QuarantineReason::LatePastWatermark => "late_past_watermark",
+            QuarantineReason::MalformedRecord => "malformed_record",
         }
     }
 
     /// Checkpoint wire tag (stable across versions; do not reorder).
-    pub(crate) fn wire_tag(self) -> u8 {
+    /// Public because the stream-cursor checkpoint encodes ledger entries
+    /// with the same tags.
+    pub fn wire_tag(self) -> u8 {
         match self {
             QuarantineReason::PositionJump => 0,
             QuarantineReason::ClockSkew => 1,
@@ -77,10 +87,13 @@ impl QuarantineReason {
             QuarantineReason::CorruptRecord => 6,
             QuarantineReason::TornTail => 7,
             QuarantineReason::HeaderMismatch => 8,
+            QuarantineReason::LatePastWatermark => 9,
+            QuarantineReason::MalformedRecord => 10,
         }
     }
 
-    pub(crate) fn from_wire_tag(tag: u8) -> Option<Self> {
+    /// Inverse of [`Self::wire_tag`].
+    pub fn from_wire_tag(tag: u8) -> Option<Self> {
         Some(match tag {
             0 => QuarantineReason::PositionJump,
             1 => QuarantineReason::ClockSkew,
@@ -91,6 +104,8 @@ impl QuarantineReason {
             6 => QuarantineReason::CorruptRecord,
             7 => QuarantineReason::TornTail,
             8 => QuarantineReason::HeaderMismatch,
+            9 => QuarantineReason::LatePastWatermark,
+            10 => QuarantineReason::MalformedRecord,
             _ => return None,
         })
     }
@@ -182,8 +197,9 @@ impl Quarantine {
 
     /// Publishes one stage's quarantine outcome as metrics. Emits nothing
     /// when the stage quarantined no records, so a healthy run's metric
-    /// surface is unchanged.
-    pub(crate) fn record_stage_metrics(&self, registry: &Registry, stage: &str, total: usize) {
+    /// surface is unchanged. Public so the streaming ingest can account
+    /// its `stream` stage through the same surface.
+    pub fn record_stage_metrics(&self, registry: &Registry, stage: &str, total: usize) {
         let stage_entries: Vec<&QuarantineEntry> = self.of_stage(stage).collect();
         if stage_entries.is_empty() {
             return;
@@ -207,7 +223,9 @@ impl Quarantine {
 
 /// Enforces a stage's error budget: `Ok` while the quarantined fraction is
 /// within `budget`, a structured [`crate::Error::BudgetExceeded`] past it.
-pub(crate) fn check_budget(
+/// Public so out-of-crate stages (the streaming ingest) share the exact
+/// enforcement semantics.
+pub fn check_budget(
     stage: &'static str,
     quarantined: usize,
     total: usize,
@@ -252,6 +270,8 @@ mod tests {
             QuarantineReason::CorruptRecord,
             QuarantineReason::TornTail,
             QuarantineReason::HeaderMismatch,
+            QuarantineReason::LatePastWatermark,
+            QuarantineReason::MalformedRecord,
         ] {
             assert_eq!(QuarantineReason::from_wire_tag(reason.wire_tag()), Some(reason));
         }

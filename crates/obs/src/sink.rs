@@ -20,8 +20,12 @@ use crate::snapshot::MetricsSnapshot;
 /// `store.records_valid`, `store.corrupt_records`, `store.damaged.*`);
 /// version 4 added the serving families (`serve.requests_total`,
 /// `serve.requests.*`, `serve.errors_total`, `serve.latency_us`,
-/// `serve.snapshot_swaps`, `serve.epoch_refreshes`, `serve.workers`).
-pub const JSON_SCHEMA_VERSION: u32 = 4;
+/// `serve.snapshot_swaps`, `serve.epoch_refreshes`, `serve.workers`);
+/// version 5 added the streaming families (`stream.records_total`,
+/// `stream.trips_closed`, `stream.late_dropped`, `stream.queue_depth`,
+/// `stream.watermark_lag_s`, `stream.window.*`, …) and the serving
+/// admission-control metrics (`serve.shed_total`, `serve.max_inflight`).
+pub const JSON_SCHEMA_VERSION: u32 = 5;
 
 /// Output format of [`render`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -273,7 +277,7 @@ mod tests {
     fn json_contains_all_sections() {
         let json = render_json(&sample());
         for needle in [
-            "\"schema\": 4",
+            "\"schema\": 5",
             "\"clean.sessions\": 42",
             "\"exec.workers\": 4.000000",
             "\"exec.worker_tasks\"",

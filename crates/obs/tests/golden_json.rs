@@ -44,6 +44,19 @@ fn fixed_registry() -> Registry {
     reg.counter("serve.snapshot_swaps").add(1);
     reg.counter("serve.epoch_refreshes").add(4);
     reg.gauge("serve.workers").set(4.0);
+    // Streaming + admission-control families (schema v5).
+    reg.counter("stream.records_total").add(37502);
+    reg.counter("stream.trips_closed").add(888);
+    reg.counter("stream.records_malformed").add(3);
+    reg.counter("stream.late_dropped").add(2);
+    reg.counter("stream.backpressure_stalls").add(3611);
+    reg.counter("stream.checkpoints").add(37);
+    reg.counter("stream.resumes").add(1);
+    reg.gauge("stream.queue_depth").set(0.0);
+    reg.gauge("stream.watermark_lag_s").set(42.0);
+    reg.gauge("stream.window.transitions").set(5.0);
+    reg.counter("serve.shed_total").add(5);
+    reg.gauge("serve.max_inflight").set(8.0);
     let lat = reg.histogram("serve.latency_us", &[250.0, 1000.0, 5000.0]);
     for v in [120.0, 300.0, 300.0, 2200.0, 9000.0] {
         lat.observe(v);

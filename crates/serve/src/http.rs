@@ -21,7 +21,7 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -39,6 +39,33 @@ use crate::snapshot::Snapshot;
 const LATENCY_BOUNDS_US: [f64; 10] =
     [50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0];
 
+/// Per-connection read and write deadlines. A peer that trickles its
+/// request (slow loris) or never drains the response is cut off here
+/// rather than pinning a worker.
+const IO_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Most header lines a request may send before the connection is
+/// dropped: each line costs a timed read, so unbounded headers would
+/// turn the read deadline into `lines x deadline`.
+const MAX_HEADER_LINES: usize = 64;
+
+/// Server hardening knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Admission cap: connections being served simultaneously across all
+    /// workers. Anything over it is shed with a typed 503 (and counted
+    /// in `serve.shed_total`) instead of queueing without bound.
+    pub max_inflight: usize,
+}
+
+impl ServeOptions {
+    /// Default cap: double the worker count — full utilization plus a
+    /// bounded accept backlog, never an unbounded queue.
+    pub fn for_workers(workers: usize) -> Self {
+        Self { max_inflight: workers.max(1) * 2 }
+    }
+}
+
 /// Pre-registered metric handles: registration takes the registry mutex
 /// once at startup, after which every increment is a plain atomic — the
 /// request path never re-enters the registry.
@@ -50,6 +77,7 @@ pub(crate) struct ServeMetrics {
     trip_lookup: Counter,
     grid_stats: Counter,
     errors_total: Counter,
+    shed_total: Counter,
     latency_us: Histogram,
     epoch_refreshes: Counter,
 }
@@ -63,6 +91,7 @@ impl ServeMetrics {
             trip_lookup: reg.counter("serve.requests.trip_lookup"),
             grid_stats: reg.counter("serve.requests.grid_stats"),
             errors_total: reg.counter("serve.errors_total"),
+            shed_total: reg.counter("serve.shed_total"),
             latency_us: reg.histogram("serve.latency_us", &LATENCY_BOUNDS_US),
             epoch_refreshes: reg.counter("serve.epoch_refreshes"),
         }
@@ -91,22 +120,44 @@ impl Server {
         workers: usize,
         registry: Registry,
     ) -> std::io::Result<Server> {
+        Server::start_with(snapshot, port, workers, registry, ServeOptions::for_workers(workers))
+    }
+
+    /// [`Server::start`] with explicit hardening knobs.
+    pub fn start_with(
+        snapshot: Snapshot,
+        port: u16,
+        workers: usize,
+        registry: Registry,
+        options: ServeOptions,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         let addr = listener.local_addr()?;
         let cell = Arc::new(EpochCell::new(Arc::new(snapshot)));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let inflight = Arc::new(AtomicU64::new(0));
         let metrics = ServeMetrics::new(&registry);
         let swaps = registry.counter("serve.snapshot_swaps");
         registry.gauge("serve.workers").set(workers as f64);
+        registry.gauge("serve.max_inflight").set(options.max_inflight as f64);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers.max(1) {
             let listener = listener.try_clone()?;
             let cell = Arc::clone(&cell);
             let shutdown = Arc::clone(&shutdown);
+            let inflight = Arc::clone(&inflight);
             let metrics = metrics.clone();
             let registry = registry.clone();
             handles.push(std::thread::spawn(move || {
-                worker_loop(listener, &cell, &shutdown, &metrics, &registry);
+                worker_loop(
+                    listener,
+                    &cell,
+                    &shutdown,
+                    &inflight,
+                    options.max_inflight as u64,
+                    &metrics,
+                    &registry,
+                );
             }));
         }
         Ok(Server { addr, cell, registry, shutdown, swaps, workers: handles })
@@ -155,6 +206,8 @@ fn worker_loop(
     listener: TcpListener,
     cell: &EpochCell<Snapshot>,
     shutdown: &AtomicBool,
+    inflight: &AtomicU64,
+    max_inflight: u64,
     metrics: &ServeMetrics,
     registry: &Registry,
 ) {
@@ -165,13 +218,46 @@ fn worker_loop(
             break;
         }
         let Ok(stream) = conn else { continue };
-        let refreshes_before = reader.refreshes();
-        handle_conn(stream, &mut reader, metrics, registry);
-        let refreshed = reader.refreshes() - refreshes_before;
-        if refreshed > 0 {
-            metrics.epoch_refreshes.add(refreshed);
+        // Admission gate: over the cap, shed with a typed 503 instead of
+        // queueing without bound. sync(inflight): plain occupancy count;
+        // Relaxed RMWs are exact, no ordering needed against the work.
+        let occupied = inflight.fetch_add(1, Ordering::Relaxed);
+        if occupied >= max_inflight {
+            metrics.shed_total.inc();
+            shed(stream);
+        } else {
+            let refreshes_before = reader.refreshes();
+            handle_conn(stream, &mut reader, metrics, registry);
+            let refreshed = reader.refreshes() - refreshes_before;
+            if refreshed > 0 {
+                metrics.epoch_refreshes.add(refreshed);
+            }
+        }
+        // sync(inflight): release the admission slot.
+        inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Refuses a connection with a typed 503. The request is drained
+/// (bounded, never parsed) before responding so the close is a clean
+/// FIN — closing with unread data would RST and could discard the 503
+/// on the peer's side.
+fn shed(stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IO_DEADLINE));
+    let _ = stream.set_write_timeout(Some(IO_DEADLINE));
+    let mut buf = BufReader::new(stream);
+    let mut line = String::new();
+    for _ in 0..MAX_HEADER_LINES {
+        line.clear();
+        match buf.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => break,
         }
     }
+    let mut stream = buf.into_inner();
+    respond(&mut stream, 503, &err_json("over capacity, retry later"));
 }
 
 fn handle_conn(
@@ -180,15 +266,21 @@ fn handle_conn(
     metrics: &ServeMetrics,
     registry: &Registry,
 ) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_read_timeout(Some(IO_DEADLINE));
+    let _ = stream.set_write_timeout(Some(IO_DEADLINE));
     let mut buf = BufReader::new(stream);
     let mut line = String::new();
     if buf.read_line(&mut line).is_err() || line.is_empty() {
         return;
     }
-    // Drain headers (ignored: every request is a parameterless GET).
+    // Drain headers (ignored: every request is a parameterless GET),
+    // bounded so a drip-fed header stream cannot hold the worker past
+    // `MAX_HEADER_LINES` read deadlines.
     let mut header = String::new();
-    loop {
+    for drained in 0.. {
+        if drained >= MAX_HEADER_LINES {
+            return;
+        }
         header.clear();
         match buf.read_line(&mut header) {
             Ok(0) => break,
@@ -346,6 +438,7 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let head = format!(

@@ -41,7 +41,7 @@ pub mod loadgen;
 pub mod snapshot;
 
 pub use epoch::{EpochCell, EpochReader};
-pub use http::Server;
+pub use http::{ServeOptions, Server};
 pub use loadgen::{contention_bench, fnv1a, run_load, ContentionReport, LoadReport, LoadSpec};
 pub use snapshot::Snapshot;
 

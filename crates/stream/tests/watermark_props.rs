@@ -1,0 +1,168 @@
+//! Adversarial watermark properties: under arbitrary bounded-skew arrival
+//! orders — overlapping trips, locally shuffled device timestamps,
+//! duplicated records — the watermark machine must never close a trip
+//! early (no record becomes late), must collapse duplicates first-wins,
+//! and must close trips in the same deterministic sequence every run.
+
+use proptest::prelude::*;
+use taxitrace_geo::{GeoPoint, Point};
+use taxitrace_stream::{Disposition, WatermarkConfig, WatermarkMachine};
+use taxitrace_timebase::Timestamp;
+use taxitrace_traces::{PointTruth, RoutePoint, TaxiId, TripId};
+
+const LATENESS_S: i64 = 10;
+const IDLE_CLOSE_S: i64 = 100;
+/// Base event gap bound. Local shuffles span at most 3 positions, so the
+/// worst running-max jump is `3 * MAX_GAP_S = 90 < IDLE_CLOSE_S +
+/// LATENESS_S` — the regime the closing rule guarantees losslessness in.
+const MAX_GAP_S: i64 = 30;
+
+fn point(trip: u32, ts: i64) -> RoutePoint {
+    RoutePoint {
+        point_id: 0,
+        trip_id: TripId(u64::from(trip)),
+        taxi: TaxiId(1),
+        geo: GeoPoint { lon: 25.47, lat: 65.01 },
+        pos: Point { x: 0.0, y: 0.0 },
+        timestamp: Timestamp::from_secs(ts),
+        speed_kmh: 0.0,
+        heading_deg: 0.0,
+        fuel_ml: 0.0,
+        truth: PointTruth { seq: 0, element: None },
+    }
+}
+
+/// One generated trip: a start offset plus bounded inter-event gaps, with
+/// the event order locally shuffled (adjacent swaps) to model device
+/// timestamps arriving out of order — the §IV-B reordering problem.
+#[derive(Debug, Clone)]
+struct TripSpec {
+    start_s: i64,
+    gaps: Vec<i64>,
+    swaps: Vec<bool>,
+}
+
+fn trip_spec() -> impl Strategy<Value = TripSpec> {
+    (
+        0i64..200,
+        proptest::collection::vec(0i64..MAX_GAP_S + 1, 0..20),
+        proptest::collection::vec(proptest::bool::ANY, 0..20),
+    )
+        .prop_map(|(start_s, gaps, swaps)| TripSpec { start_s, gaps, swaps })
+}
+
+/// Event times for a trip in *record order* (possibly non-monotone).
+fn events(spec: &TripSpec) -> Vec<i64> {
+    let mut ts = spec.start_s;
+    let mut out = vec![ts];
+    for g in &spec.gaps {
+        ts += g;
+        out.push(ts);
+    }
+    // Local shuffle: swap adjacent pairs where the seed says so. Each
+    // element moves at most one position, so any running-max jump spans
+    // at most three base gaps.
+    for (i, swap) in spec.swaps.iter().enumerate() {
+        if *swap && i + 1 < out.len() {
+            out.swap(i, i + 1);
+        }
+    }
+    out
+}
+
+/// The synthesized feed: arrival = within-trip running max of event time,
+/// merged across trips by `(arrival, trip, index)` — the same interleave
+/// `taxitrace_stream::build_feed` produces.
+fn feed(trips: &[TripSpec]) -> Vec<(u32, u32, i64)> {
+    let mut records = Vec::new();
+    for (si, spec) in trips.iter().enumerate() {
+        let mut frontier = i64::MIN;
+        for (pi, ts) in events(spec).into_iter().enumerate() {
+            frontier = frontier.max(ts);
+            records.push((si as u32, pi as u32, ts, frontier));
+        }
+    }
+    records.sort_by_key(|&(si, pi, _, arrival)| (arrival, si, pi));
+    records.into_iter().map(|(si, pi, ts, _)| (si, pi, ts)).collect()
+}
+
+fn machine() -> WatermarkMachine {
+    WatermarkMachine::new(WatermarkConfig {
+        lateness_s: LATENESS_S,
+        idle_close_s: IDLE_CLOSE_S,
+    })
+}
+
+/// Runs a feed through a fresh machine, re-offering duplicates where the
+/// mask says so. Returns (dispositions, close sequence).
+fn run(
+    feed: &[(u32, u32, i64)],
+    dup_mask: &[bool],
+) -> (Vec<Disposition>, Vec<(u32, usize)>) {
+    let mut m = machine();
+    let mut dispositions = Vec::new();
+    let mut closes = Vec::new();
+    for (i, &(si, pi, ts)) in feed.iter().enumerate() {
+        dispositions.push(m.offer(si, pi, ts, point(si, ts)));
+        if dup_mask.get(i).copied().unwrap_or(false) {
+            dispositions.push(m.offer(si, pi, ts, point(si, ts)));
+        }
+        for buf in m.drain_closable() {
+            closes.push((buf.session_index, buf.points.len()));
+        }
+    }
+    for buf in m.flush() {
+        closes.push((buf.session_index, buf.points.len()));
+    }
+    (dispositions, closes)
+}
+
+proptest! {
+    /// Bounded skew ⇒ lossless: no arrival interleave of overlapping,
+    /// locally-shuffled trips may ever strand a record past the
+    /// watermark, and duplicates must collapse without side effects.
+    #[test]
+    fn bounded_skew_never_closes_early(
+        trips in proptest::collection::vec(trip_spec(), 1..6),
+        dups in proptest::collection::vec(proptest::bool::ANY, 0..64),
+    ) {
+        let feed = feed(&trips);
+        let (dispositions, closes) = run(&feed, &dups);
+
+        let mut originals = 0usize;
+        for d in &dispositions {
+            prop_assert!(
+                *d != Disposition::LatePastWatermark,
+                "bounded-skew record fell past the watermark"
+            );
+            if *d == Disposition::Buffered {
+                originals += 1;
+            }
+        }
+        prop_assert_eq!(originals, feed.len(), "every original record must buffer");
+
+        // Every trip closes exactly once, with its full point count.
+        prop_assert_eq!(closes.len(), trips.len());
+        let mut seen = vec![false; trips.len()];
+        for (si, n_points) in &closes {
+            let si = *si as usize;
+            prop_assert!(!seen[si], "trip closed twice");
+            seen[si] = true;
+            prop_assert_eq!(*n_points, events(&trips[si]).len(), "points lost or duplicated");
+        }
+    }
+
+    /// Determinism: the same feed and duplicate mask produce the same
+    /// disposition sequence and the same close order, every time.
+    #[test]
+    fn close_sequence_is_deterministic(
+        trips in proptest::collection::vec(trip_spec(), 1..6),
+        dups in proptest::collection::vec(proptest::bool::ANY, 0..64),
+    ) {
+        let feed = feed(&trips);
+        let (d1, c1) = run(&feed, &dups);
+        let (d2, c2) = run(&feed, &dups);
+        prop_assert_eq!(d1, d2);
+        prop_assert_eq!(c1, c2);
+    }
+}

@@ -28,6 +28,11 @@ const CHAOS_SEED_SALT: u64 = 0xC4A0_5F41;
 /// never reshuffles its trace faults).
 const DISK_SEED_SALT: u64 = 0xD15C_C0DE;
 
+/// Domain-separation constant for the streaming-ingest fault stream
+/// (distinct from the trace and disk streams so adding stream faults to a
+/// plan never reshuffles the others).
+const STREAM_SEED_SALT: u64 = 0x57E4_FEED;
+
 /// Byte extent of one framed record inside a serialized container image,
 /// as reported by the storage layer: `frame_start..end` spans the whole
 /// record including its length/CRC framing, `payload_start..end` only the
@@ -126,6 +131,29 @@ pub struct FaultPlan {
     pub disk_duplicate_record: bool,
     /// On-disk: overwrite the container magic with seeded garbage.
     pub disk_garbage_header: bool,
+    /// Streaming: kill the ingest after consuming this many feed records
+    /// (0 = off). The stream writes its cursor checkpoint at the kill
+    /// point, so a resumed run must reproduce the uninterrupted
+    /// fingerprint byte for byte.
+    pub stream_kill_after_records: u64,
+    /// Streaming: delay roughly one in this many feed records far past
+    /// the watermark's lateness bound (0 = off) — a late-data flood that
+    /// lands in the quarantine ledger, never in a closed trip.
+    pub stream_late_one_in: u64,
+    /// Streaming: extra arrival delay applied to flooded records, seconds.
+    pub stream_late_delay_s: i64,
+    /// Streaming: collapse roughly one in this many records' arrival time
+    /// onto a coarse boundary (0 = off), so whole groups of records land
+    /// in the same instant — burst arrival.
+    pub stream_burst_one_in: u64,
+    /// Streaming: stall the feeder thread before roughly one in this many
+    /// records (0 = off). Exercises queue drain and backpressure without
+    /// ever changing the output.
+    pub stream_stall_one_in: u64,
+    /// Streaming: garble roughly one in this many records' position to a
+    /// non-finite coordinate (0 = off); the ingest must quarantine these
+    /// as malformed instead of buffering them into a trip.
+    pub stream_garble_one_in: u64,
 }
 
 impl Default for FaultPlan {
@@ -151,6 +179,12 @@ impl Default for FaultPlan {
             disk_truncate_bytes: 0,
             disk_duplicate_record: false,
             disk_garbage_header: false,
+            stream_kill_after_records: 0,
+            stream_late_one_in: 0,
+            stream_late_delay_s: 86_400,
+            stream_burst_one_in: 0,
+            stream_stall_one_in: 0,
+            stream_garble_one_in: 0,
         }
     }
 }
@@ -170,6 +204,22 @@ impl FaultPlan {
             || self.disk_truncate_bytes > 0
             || self.disk_duplicate_record
             || self.disk_garbage_header
+    }
+
+    /// Whether the plan injects any streaming-ingest faults.
+    pub fn has_stream_faults(&self) -> bool {
+        self.stream_kill_after_records > 0
+            || self.stream_late_one_in > 0
+            || self.stream_burst_one_in > 0
+            || self.stream_stall_one_in > 0
+            || self.stream_garble_one_in > 0
+    }
+
+    /// The chaos RNG stream for one feed record, a pure function of the
+    /// plan seed and the record's position in the arrival-ordered feed
+    /// (so a kill/resume replays identical faults).
+    pub fn stream_rng(&self, record_index: u64) -> Rng {
+        Rng::new(self.seed ^ STREAM_SEED_SALT).fork(record_index.wrapping_add(1))
     }
 
     /// Applies the plan's on-disk faults to a serialized container image,
@@ -400,6 +450,25 @@ impl FaultPlan {
                 "disk_garbage_header" => {
                     plan.disk_garbage_header = value.parse().map_err(|_| bad("bool"))?
                 }
+                "stream_kill_after_records" => {
+                    plan.stream_kill_after_records =
+                        value.parse().map_err(|_| bad("u64"))?
+                }
+                "stream_late_one_in" => {
+                    plan.stream_late_one_in = value.parse().map_err(|_| bad("u64"))?
+                }
+                "stream_late_delay_s" => {
+                    plan.stream_late_delay_s = value.parse().map_err(|_| bad("i64"))?
+                }
+                "stream_burst_one_in" => {
+                    plan.stream_burst_one_in = value.parse().map_err(|_| bad("u64"))?
+                }
+                "stream_stall_one_in" => {
+                    plan.stream_stall_one_in = value.parse().map_err(|_| bad("u64"))?
+                }
+                "stream_garble_one_in" => {
+                    plan.stream_garble_one_in = value.parse().map_err(|_| bad("u64"))?
+                }
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
         }
@@ -431,6 +500,12 @@ impl FaultPlan {
         }
         if self.dropout_gap_s < 0 {
             return Err(format!("dropout_gap_s must be >= 0, got {}", self.dropout_gap_s));
+        }
+        if self.stream_late_delay_s < 0 {
+            return Err(format!(
+                "stream_late_delay_s must be >= 0, got {}",
+                self.stream_late_delay_s
+            ));
         }
         Ok(())
     }
@@ -630,6 +705,39 @@ mod tests {
         assert!(plan.has_disk_faults());
         assert!(!plan.has_trace_faults());
         assert!(FaultPlan::parse("disk_bit_flips maybe\n").is_err());
+    }
+
+    #[test]
+    fn stream_keys_parse() {
+        let plan = FaultPlan::parse(
+            "seed 5\nstream_kill_after_records 500\nstream_late_one_in 7\n\
+             stream_late_delay_s 3600\nstream_burst_one_in 11\n\
+             stream_stall_one_in 13\nstream_garble_one_in 17\n",
+        )
+        .unwrap();
+        assert_eq!(plan.stream_kill_after_records, 500);
+        assert_eq!(plan.stream_late_one_in, 7);
+        assert_eq!(plan.stream_late_delay_s, 3_600);
+        assert_eq!(plan.stream_burst_one_in, 11);
+        assert_eq!(plan.stream_stall_one_in, 13);
+        assert_eq!(plan.stream_garble_one_in, 17);
+        assert!(plan.has_stream_faults());
+        assert!(!plan.has_trace_faults());
+        assert!(!FaultPlan::default().has_stream_faults());
+        assert!(FaultPlan::parse("stream_late_delay_s -5\n").is_err());
+        assert!(FaultPlan::parse("stream_kill_after_record 5\n").is_err());
+    }
+
+    #[test]
+    fn stream_rng_is_deterministic_per_record() {
+        let plan = FaultPlan { seed: 9, ..FaultPlan::default() };
+        for i in 0..8u64 {
+            assert_eq!(plan.stream_rng(i).below(1_000), plan.stream_rng(i).below(1_000));
+        }
+        assert_ne!(
+            plan.stream_rng(0).below(u64::MAX as usize),
+            plan.stream_rng(1).below(u64::MAX as usize)
+        );
     }
 
     #[test]

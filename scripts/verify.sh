@@ -97,7 +97,7 @@ python3 - "$metrics" <<'EOF'
 import json, sys
 
 m = json.load(open(sys.argv[1]))
-assert m.get("schema") == 4, f"metrics JSON schema drifted: {m.get('schema')!r}"
+assert m.get("schema") == 5, f"metrics JSON schema drifted: {m.get('schema')!r}"
 for key in ("counters", "gauges", "histograms", "spans"):
     assert key in m, f"missing top-level key {key!r}"
 counters = m["counters"]
@@ -278,9 +278,12 @@ rm -f "$j1" "$j4"
 # Serve smoke: start the HTTP query service on an ephemeral port, issue
 # one query of each kind, and check (a) every route answers canonical
 # JSON, (b) /metrics exposes the schema-versioned obs document with the
-# serve.* request counters reflecting the traffic.
+# serve.* request counters reflecting the traffic, (c) the server drains
+# gracefully through --shutdown-file instead of needing kill.
 servelog=$(mktemp)
-./target/release/repro --scale 0.05 --threads 2 serve > "$servelog" 2>/dev/null &
+shutfile=$(mktemp -u)
+./target/release/repro --scale 0.05 --threads 2 \
+    --shutdown-file "$shutfile" serve > "$servelog" 2>/dev/null &
 serve_pid=$!
 trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
 addr=""
@@ -321,7 +324,7 @@ except urllib.error.HTTPError as e:
     assert "empty time range" in json.load(e)["error"]
 
 m = get("/metrics")
-assert m.get("schema") == 4, f"serve metrics schema drifted: {m.get('schema')!r}"
+assert m.get("schema") == 5, f"serve metrics schema drifted: {m.get('schema')!r}"
 counters = m["counters"]
 assert counters.get("serve.requests_total", 0) >= 4, \
     f"serve.requests_total too low: {counters.get('serve.requests_total')}"
@@ -331,10 +334,20 @@ assert m["gauges"].get("serve.workers") == 2.0, "serve.workers gauge wrong"
 print(f"serve smoke OK: {counters['serve.requests_total']} requests over "
       f"{addr}, all four query kinds answered")
 EOF
-kill "$serve_pid" 2>/dev/null || true
+touch "$shutfile"
+for _ in $(seq 1 120); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.5
+done
 wait "$serve_pid" 2>/dev/null || true
 trap - EXIT
-rm -f "$servelog"
+grep -q "server drained and stopped" "$servelog" || {
+    echo "verify: serve did not drain via --shutdown-file" >&2
+    cat "$servelog" >&2
+    exit 1
+}
+echo "serve shutdown OK: drained gracefully via --shutdown-file"
+rm -f "$servelog" "$shutfile"
 
 # Serve bench: the committed BENCH_serve.json must carry the load
 # fingerprints and latency figures plus the epoch-vs-mutex contention
@@ -376,5 +389,60 @@ assert a["load"]["response_fingerprint"] == b["load"]["response_fingerprint"], \
 print("serve determinism OK: mix and response fingerprints stable across runs")
 EOF
 rm -f "$sj" "$sj2"
+
+# Stream smoke: the streaming ingest must converge to the batch study
+# fingerprint, a seeded mid-stream kill must resume from the stream
+# cursor to the *identical* fingerprint, and the stream.* metrics must
+# appear in the schema-versioned obs document.
+sref=$(mktemp)
+skill=$(mktemp)
+serrs=$(mktemp)
+smetrics=$(mktemp)
+splan=$(mktemp)
+sckdir=$(mktemp -d)
+./target/release/repro --scale 0.05 stream > "$sref" 2>/dev/null
+ref_fp=$(sed -n 's/^study fingerprint \(0x[0-9a-f]*\)$/\1/p' "$sref")
+[ -n "$ref_fp" ] || {
+    echo "verify: stream run printed no study fingerprint" >&2
+    cat "$sref" >&2
+    exit 1
+}
+cat > "$splan" <<'PLAN'
+seed 9
+stream_kill_after_records 5000
+PLAN
+./target/release/repro --scale 0.05 --chaos "$splan" --checkpoint-dir "$sckdir" \
+    --metrics json --metrics-out "$smetrics" stream > "$skill" 2> "$serrs" || {
+    echo "verify: killed stream run did not complete via resume" >&2
+    cat "$serrs" >&2
+    exit 1
+}
+grep -q "resuming from" "$serrs" || {
+    echo "verify: stream kill did not trigger a cursor resume" >&2
+    cat "$serrs" >&2
+    exit 1
+}
+kill_fp=$(sed -n 's/^study fingerprint \(0x[0-9a-f]*\)$/\1/p' "$skill")
+[ "$ref_fp" = "$kill_fp" ] || {
+    echo "verify: killed-and-resumed stream fingerprint $kill_fp != uninterrupted $ref_fp" >&2
+    exit 1
+}
+python3 - "$smetrics" <<'EOF'
+import json, sys
+
+m = json.load(open(sys.argv[1]))
+assert m.get("schema") == 5, f"stream metrics schema drifted: {m.get('schema')!r}"
+counters = m["counters"]
+for k in ("stream.records_total", "stream.trips_closed",
+          "stream.checkpoints", "stream.resumes"):
+    assert counters.get(k, 0) > 0, f"missing or zero counter {k!r}"
+for g in ("stream.queue_depth", "stream.watermark_lag_s"):
+    assert g in m["gauges"], f"missing gauge {g!r}"
+paths = {s["path"] for s in m["spans"]}
+assert "study/stream" in paths, "missing study/stream span"
+print(f"stream smoke OK: {counters['stream.records_total']} records, "
+      f"{counters['stream.resumes']} resume(s), fingerprint converged")
+EOF
+rm -rf "$sref" "$skill" "$serrs" "$smetrics" "$splan" "$sckdir"
 
 echo "verify: all checks passed"

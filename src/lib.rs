@@ -20,6 +20,7 @@
 //! | [`core`] | the end-to-end [`core::Study`] pipeline and analyses |
 //! | [`obs`] | metrics registry, spans, schema-versioned renderers |
 //! | [`serve`] | read service: epoch-swapped snapshots, HTTP/JSON queries |
+//! | [`stream`] | streaming ingest: watermarks, backpressure, stream cursors |
 //!
 //! See the repository's `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -42,6 +43,7 @@ pub use taxitrace_roadnet as roadnet;
 pub use taxitrace_serve as serve;
 pub use taxitrace_stats as stats;
 pub use taxitrace_store as store;
+pub use taxitrace_stream as stream;
 pub use taxitrace_timebase as timebase;
 pub use taxitrace_traces as traces;
 pub use taxitrace_weather as weather;

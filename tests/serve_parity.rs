@@ -11,7 +11,7 @@ use taxi_traces::core::{
     QueryEngine, QueryRequest, Study, StudyConfig, StudyOutput,
 };
 use taxi_traces::geo::CellId;
-use taxi_traces::serve::{run_load, LoadSpec, Server, Snapshot};
+use taxi_traces::serve::{run_load, LoadSpec, ServeOptions, Server, Snapshot};
 use taxi_traces::timebase::Timestamp;
 use taxi_traces::traces::TripId;
 
@@ -100,8 +100,10 @@ proptest! {
 
 fn http_get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
-        .expect("send");
+    // A shedding server answers and closes before reading the request;
+    // the write may then hit a closed peer, but the response bytes are
+    // still in the receive buffer — so tolerate the broken pipe.
+    let _ = write!(stream, "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     let mut raw = String::new();
     BufReader::new(stream).read_to_string(&mut raw).expect("read");
     let (head, body) = raw.split_once("\r\n\r\n").expect("framed response");
@@ -173,5 +175,32 @@ fn concurrent_readers_agree_with_sequential_replay() {
     assert_eq!(concurrent.response_fingerprint, replay.response_fingerprint);
     let counters = registry.snapshot();
     assert!(counters.counter("serve.requests_total").unwrap_or(0) >= 240);
+    server.shutdown();
+}
+
+/// Admission control: with the in-flight cap forced to zero, every
+/// request is shed with a typed 503 and counted in `serve.shed_total` —
+/// the server degrades by refusing, never by queueing without bound.
+#[test]
+fn over_capacity_requests_shed_with_typed_503() {
+    let registry = taxi_traces::obs::Registry::new();
+    let server = Server::start_with(
+        Snapshot::from_output(Study::new(config()).run().expect("study runs")),
+        0,
+        2,
+        registry.clone(),
+        ServeOptions { max_inflight: 0 },
+    )
+    .expect("server starts");
+    for _ in 0..5 {
+        let (status, body) = http_get(server.addr(), "/healthz");
+        assert_eq!(status, 503);
+        assert!(body.contains("over capacity"), "{body}");
+    }
+    let counters = registry.snapshot();
+    assert_eq!(counters.counter("serve.shed_total"), Some(5));
+    // Shed requests never reach the request counter: they are refused
+    // before parsing, so the serving metrics stay honest about work done.
+    assert_eq!(counters.counter("serve.requests_total"), Some(0));
     server.shutdown();
 }
