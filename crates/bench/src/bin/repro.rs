@@ -78,8 +78,15 @@ struct Args {
     scale: f64,
     experiment: String,
     /// Path operand of the maintenance subcommands (`fsck`, `store-save`,
-    /// `store-corrupt`).
+    /// `store-corrupt`, `export`, `ingest`, `mutate`).
     operand: Option<String>,
+    /// Second path operand (`mutate <in> <out>`).
+    operand2: Option<String>,
+    /// Run the study from an external trace CSV instead of simulating.
+    from_csv: Option<String>,
+    /// External OSMX map to ingest the city from (with `--from-csv` or
+    /// `ingest`); without it the synthetic city of the config is used.
+    map: Option<String>,
     bench_json: Option<String>,
     metrics: Option<MetricsFormat>,
     metrics_out: Option<String>,
@@ -111,6 +118,9 @@ fn parse_args() -> Args {
     let mut scale = 0.3f64;
     let mut experiment = None;
     let mut operand = None;
+    let mut operand2 = None;
+    let mut from_csv = None;
+    let mut map = None;
     let mut bench_json = None;
     let mut metrics = None;
     let mut metrics_out = None;
@@ -162,6 +172,13 @@ fn parse_args() -> Args {
             "--store" => {
                 store = Some(it.next().unwrap_or_else(|| die("--store needs a path")));
             }
+            "--from-csv" => {
+                from_csv =
+                    Some(it.next().unwrap_or_else(|| die("--from-csv needs a path")));
+            }
+            "--map" => {
+                map = Some(it.next().unwrap_or_else(|| die("--map needs a path")));
+            }
             "--repair" => repair = true,
             "--port" => {
                 port = it
@@ -205,13 +222,24 @@ fn parse_args() -> Args {
                  \n\
                  streaming subcommand:\n\
                  \x20 repro stream [--chaos PLAN] [--checkpoint-dir DIR]\n\
-                 \x20                                        run the study as a live stream",
+                 \x20                                        run the study as a live stream\n\
+                 \n\
+                 ingestion subcommands (untrusted external formats):\n\
+                 \x20 repro export <dir>                   simulate, write traces.csv + map.osmx\n\
+                 \x20 repro ingest <traces.csv> [--map M]  run the study from external files\n\
+                 \x20 repro mutate <in> <out> [--seed N]   apply the seeded fuzz mutator to a file\n\
+                 \x20 repro <exp> --from-csv F [--map M]   run any experiment over ingested input\n\
+                 \n\
+                 exit codes: 0 success (possibly with quarantined records),\n\
+                 \x20          2 I/O, config or usage error, 3 error budget exceeded",
             ),
             other => {
                 if experiment.is_none() {
                     experiment = Some(other.to_string());
                 } else if operand.is_none() {
                     operand = Some(other.to_string());
+                } else if operand2.is_none() {
+                    operand2 = Some(other.to_string());
                 } else {
                     die(&format!("unexpected argument '{other}'"));
                 }
@@ -223,6 +251,9 @@ fn parse_args() -> Args {
         scale,
         experiment: experiment.unwrap_or_else(|| String::from("all")),
         operand,
+        operand2,
+        from_csv,
+        map,
         bench_json,
         metrics,
         metrics_out,
@@ -240,6 +271,19 @@ fn parse_args() -> Args {
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2)
+}
+
+/// Exit with the code class of a study failure: 3 when a stage blew its
+/// error budget (the input was readable but too degraded to report
+/// results from), 2 for everything else (I/O, config, pipeline errors).
+/// Success with quarantined-but-within-budget records stays exit 0.
+fn die_study(e: taxitrace_core::Error) -> ! {
+    eprintln!("study failed: {e}");
+    let code = match e {
+        taxitrace_core::Error::BudgetExceeded { .. } => 3,
+        _ => 2,
+    };
+    std::process::exit(code)
 }
 
 static OUTPUT: OnceLock<StudyOutput> = OnceLock::new();
@@ -267,16 +311,27 @@ fn study_config(args: &Args) -> StudyConfig {
 /// is resumed from the last completed stage, a bounded number of times.
 fn run_study(args: &Args) -> StudyOutput {
     let study = Study::new(study_config(args));
+    if let Some(csv) = &args.from_csv {
+        if args.store.is_some() || args.checkpoint_dir.is_some() {
+            die("--from-csv cannot be combined with --store or --checkpoint-dir");
+        }
+        return study
+            .run_from_external(
+                std::path::Path::new(csv),
+                args.map.as_deref().map(std::path::Path::new),
+            )
+            .unwrap_or_else(|e| die_study(e));
+    }
     if let Some(store) = &args.store {
         if args.checkpoint_dir.is_some() {
             die("--store and --checkpoint-dir cannot be combined");
         }
         return study
             .run_from_store(std::path::Path::new(store))
-            .unwrap_or_else(|e| die(&format!("study failed: {e}")));
+            .unwrap_or_else(|e| die_study(e));
     }
     let Some(dir) = &args.checkpoint_dir else {
-        return study.run().unwrap_or_else(|e| die(&format!("study failed: {e}")));
+        return study.run().unwrap_or_else(|e| die_study(e));
     };
     let dir = std::path::Path::new(dir);
     let mut attempt = 0u32;
@@ -292,7 +347,10 @@ fn run_study(args: &Args) -> StudyOutput {
                     dir.display()
                 );
             }
-            Err(e) => die(&format!("study failed after {attempt} resume(s): {e}")),
+            Err(e) => {
+                eprintln!("study failed after {attempt} resume(s)");
+                die_study(e)
+            }
         }
     }
 }
@@ -334,6 +392,9 @@ fn main() {
         "store-save" => return cmd_store_save(&args),
         "store-corrupt" => return cmd_store_corrupt(&args),
         "fsck" => return cmd_fsck(&args),
+        "export" => return cmd_export(&args),
+        "ingest" => return cmd_ingest(&args),
+        "mutate" => return cmd_mutate(&args),
         "serve" => return cmd_serve(&args),
         "serve-bench" => return cmd_serve_bench(&args),
         "stream" => return cmd_stream(&args),
@@ -599,6 +660,112 @@ fn cmd_store_save(args: &Args) {
     sim.save_store(std::path::Path::new(&path))
         .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
     println!("wrote {} session(s) to {path}", sim.store.sessions().len());
+}
+
+/// `repro export <dir>`: simulate the study's inputs under the current
+/// seed/scale flags and write them in the two external exchange formats
+/// — `traces.csv` (the GTFS-like trace schema) and `map.osmx` (the
+/// compact map exchange format). Floats are written in shortest
+/// round-trip form, so `repro ingest` on the exported files reproduces
+/// the batch study bit-for-bit.
+fn cmd_export(args: &Args) {
+    let dir = args.operand("export needs a target directory").to_string();
+    let dir = std::path::Path::new(&dir);
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| die(&format!("cannot create {}: {e}", dir.display())));
+    eprintln!(
+        "[repro] exporting external formats: seed {}, scale {} -> {}",
+        args.seed,
+        args.scale,
+        dir.display()
+    );
+    let study = Study::new(study_config(args));
+    let sim = study.simulate().unwrap_or_else(|e| die_study(e));
+    let traces_path = dir.join("traces.csv");
+    let map_path = dir.join("map.osmx");
+    let csv = taxitrace_ingest::export_trace_csv(sim.store.sessions());
+    std::fs::write(&traces_path, csv)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", traces_path.display())));
+    let osmx = taxitrace_ingest::export_osmx(&sim.city);
+    std::fs::write(&map_path, osmx)
+        .unwrap_or_else(|e| die(&format!("cannot write {}: {e}", map_path.display())));
+    let points: usize = sim.store.sessions().iter().map(|s| s.points.len()).sum();
+    println!(
+        "wrote {} session(s), {} point(s) to {} and the city map to {}",
+        sim.store.sessions().len(),
+        points,
+        traces_path.display(),
+        map_path.display()
+    );
+}
+
+/// `repro ingest <traces.csv> [--map <map.osmx>]`: run the full study
+/// over externally supplied, untrusted input files. Malformed records
+/// are quarantined at the `ingest` stage (within the configured error
+/// budget — beyond it the run exits 3); the final `study fingerprint`
+/// line matches the batch study's when the input is an unmutated
+/// `repro export`.
+fn cmd_ingest(args: &Args) {
+    let trace = args.operand("ingest needs a trace CSV path").to_string();
+    eprintln!(
+        "[repro] ingesting external input: seed {}, scale {}, traces {trace}{}",
+        args.seed,
+        args.scale,
+        args.map.as_deref().map(|m| format!(", map {m}")).unwrap_or_default()
+    );
+    let study = Study::new(study_config(args));
+    let out = study
+        .run_from_external(
+            std::path::Path::new(&trace),
+            args.map.as_deref().map(std::path::Path::new),
+        )
+        .unwrap_or_else(|e| die_study(e));
+    let records = out.metrics.counter("ingest.records_total").unwrap_or(0);
+    let quarantined = out.metrics.counter("ingest.quarantined_total").unwrap_or(0);
+    println!("ingest records {records} quarantined {quarantined}");
+    if !out.quarantine.is_empty() {
+        println!("quarantine by reason: {:?}", out.quarantine.by_reason());
+    }
+    println!(
+        "pipeline: {} sessions, {} segments, {} transitions",
+        out.cleaning.sessions,
+        out.segments.len(),
+        out.transitions.len()
+    );
+    println!("study fingerprint {:#018x}", study_fingerprint(&out));
+    if args.metrics.is_some() || args.metrics_out.is_some() {
+        let fmt = args.metrics.unwrap_or(MetricsFormat::Json);
+        let rendered = taxitrace_obs::render(&out.metrics, fmt);
+        match &args.metrics_out {
+            Some(path) => std::fs::write(path, rendered)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}"))),
+            None => eprint!("{rendered}"),
+        }
+    }
+}
+
+/// `repro mutate <in> <out> [--seed N]`: apply the ingest fuzz mutator
+/// (truncation, bit flips, field swaps, encoding garbage, CRLF/BOM,
+/// numeric extremes) to a file, deterministically per seed. A test tool
+/// for the adversarial-ingest CI smoke: the same seed always produces
+/// the same damaged bytes.
+fn cmd_mutate(args: &Args) {
+    let input = args.operand("mutate needs an input path").to_string();
+    let out_path = args
+        .operand2
+        .clone()
+        .unwrap_or_else(|| die("mutate needs an output path"));
+    let bytes = std::fs::read(&input)
+        .unwrap_or_else(|e| die(&format!("cannot read {input}: {e}")));
+    let mutated = taxitrace_ingest::mutate(&bytes, args.seed);
+    std::fs::write(&out_path, &mutated)
+        .unwrap_or_else(|e| die(&format!("cannot write {out_path}: {e}")));
+    println!(
+        "mutated {input} ({} bytes) -> {out_path} ({} bytes) with seed {}",
+        bytes.len(),
+        mutated.len(),
+        args.seed
+    );
 }
 
 /// `repro store-corrupt --chaos <plan> <file>`: apply the plan's seeded

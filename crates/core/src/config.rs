@@ -50,6 +50,11 @@ pub struct FaultConfig {
     /// (CRC failures, torn tails, duplicates) before loading it fails
     /// with [`crate::Error::BudgetExceeded`] at the `store` stage.
     pub store_error_budget: f64,
+    /// Maximum fraction of an external input file's records that may be
+    /// rejected (malformed lines, numeric-range violations, dangling
+    /// references) before ingestion fails with
+    /// [`crate::Error::BudgetExceeded`] at the `ingest` stage.
+    pub ingest_error_budget: f64,
     /// Upper bound on executions per worker task (≥ 1; panics are never
     /// retried, only typed task errors are).
     pub max_task_attempts: u32,
@@ -62,6 +67,7 @@ impl Default for FaultConfig {
         Self {
             error_budget: 0.25,
             store_error_budget: 0.25,
+            ingest_error_budget: 0.25,
             max_task_attempts: 1,
             anomaly: AnomalyConfig::default(),
         }
@@ -370,6 +376,11 @@ impl StudyConfig {
             || !(0.0..=1.0).contains(&self.fault.store_error_budget)
         {
             return Err(ConfigError::BadErrorBudget(self.fault.store_error_budget));
+        }
+        if !self.fault.ingest_error_budget.is_finite()
+            || !(0.0..=1.0).contains(&self.fault.ingest_error_budget)
+        {
+            return Err(ConfigError::BadErrorBudget(self.fault.ingest_error_budget));
         }
         if self.fault.max_task_attempts == 0 {
             return Err(ConfigError::ZeroTaskAttempts);

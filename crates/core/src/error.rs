@@ -7,6 +7,7 @@
 use std::fmt;
 use std::io;
 
+use taxitrace_ingest::IngestError;
 use taxitrace_roadnet::GraphError;
 use taxitrace_stats::LmmError;
 use taxitrace_store::StoreError;
@@ -22,6 +23,10 @@ pub enum Error {
     Store(StoreError),
     /// Road-graph construction failed.
     Graph(GraphError),
+    /// External-format ingestion failed at the file level (unreadable
+    /// header, nothing salvageable). Per-record damage never raises this
+    /// — it degrades into the quarantine ledger instead.
+    Ingest(IngestError),
     /// Mixed-model fit failed (degenerate design, too few observations).
     Lmm(LmmError),
     /// File I/O failed (CSV export, metrics dump).
@@ -32,7 +37,8 @@ pub enum Error {
     /// data quality is too degraded to report results from; everything up
     /// to the budget is tolerated with degradation metrics instead.
     BudgetExceeded {
-        /// Stage that blew its budget (`store`/`clean`/`od`/`match_fuse`).
+        /// Stage that blew its budget
+        /// (`ingest`/`store`/`clean`/`od`/`match_fuse`).
         stage: &'static str,
         /// Records quarantined by the stage.
         quarantined: usize,
@@ -55,6 +61,7 @@ impl fmt::Display for Error {
             Error::Config(e) => write!(f, "invalid study configuration: {e}"),
             Error::Store(e) => write!(f, "trip store error: {e}"),
             Error::Graph(e) => write!(f, "road graph error: {e}"),
+            Error::Ingest(e) => write!(f, "external input rejected: {e}"),
             Error::Lmm(e) => write!(f, "mixed model error: {e}"),
             Error::Io { path, source } => write!(f, "I/O error on {path}: {source}"),
             Error::Pipeline(message) => write!(f, "pipeline error: {message}"),
@@ -77,6 +84,7 @@ impl std::error::Error for Error {
             Error::Config(e) => Some(e),
             Error::Store(e) => Some(e),
             Error::Graph(e) => Some(e),
+            Error::Ingest(e) => Some(e),
             Error::Lmm(e) => Some(e),
             Error::Io { source, .. } => Some(source),
             Error::Pipeline(_) | Error::BudgetExceeded { .. } | Error::InjectedKill { .. } => {
@@ -101,6 +109,12 @@ impl From<StoreError> for Error {
 impl From<GraphError> for Error {
     fn from(e: GraphError) -> Self {
         Error::Graph(e)
+    }
+}
+
+impl From<IngestError> for Error {
+    fn from(e: IngestError) -> Self {
+        Error::Ingest(e)
     }
 }
 

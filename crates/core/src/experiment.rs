@@ -370,11 +370,147 @@ impl Study {
         Ok(Simulated { config, city, weather, store, quarantine, metrics, obs })
     }
 
+    /// Stage 1, untrusted-input variant: ingest the fleet's sessions from
+    /// an external trace file (and optionally the city from an external
+    /// map file) instead of simulating them.
+    ///
+    /// The files cross the pipeline's trust boundary: they may contain
+    /// arbitrary bytes. Parsing is record-framed and panic-free — every
+    /// malformed line, out-of-domain field, duplicate trip claim, or
+    /// dangling map reference is quarantined at the `ingest` stage with a
+    /// typed reason and counted against
+    /// [`crate::FaultConfig::ingest_error_budget`], so a damaged file
+    /// degrades record-by-record exactly like a damaged store file in the
+    /// salvage path. Only file-level failures (unreadable header, a map
+    /// with no usable ways) are fatal, as [`Error::Ingest`].
+    ///
+    /// Without `map_path`, the synthetic city of the config is used — so
+    /// an export → ingest round trip of the traces alone reproduces the
+    /// batch study byte-for-byte.
+    pub fn simulate_from_external(
+        &self,
+        trace_path: &Path,
+        map_path: Option<&Path>,
+    ) -> Result<Simulated, Error> {
+        let config = self.config.clone();
+        config.validate()?;
+        let obs = Obs::new();
+
+        let read = |path: &Path| -> Result<Vec<u8>, Error> {
+            std::fs::read(path).map_err(|source| {
+                Error::Ingest(taxitrace_ingest::IngestError::Io {
+                    path: path.display().to_string(),
+                    source,
+                })
+            })
+        };
+
+        let mut span = obs.registry.span("study/simulate");
+        let mut quarantine = Quarantine::default();
+        let mut total = 0usize;
+
+        let city = match map_path {
+            None => {
+                let _s = obs.registry.span("study/simulate/city");
+                taxitrace_roadnet::synth::generate(&config.city)
+            }
+            Some(path) => {
+                let _s = obs.registry.span("study/simulate/ingest_map");
+                let bytes = read(path)?;
+                let parsed = taxitrace_ingest::parse_osmx(&bytes)?;
+                obs.registry
+                    .counter("ingest.map.records_total")
+                    .add(parsed.records_total as u64);
+                total += parsed.records_total;
+                for issue in parsed.issues {
+                    quarantine.push(QuarantineEntry {
+                        stage: "ingest".into(),
+                        record: issue.record,
+                        reason: issue.reason.into(),
+                        detail: format!("{}: {}", path.display(), issue.detail),
+                    });
+                }
+                parsed.city
+            }
+        };
+        let weather = weather_for(&config);
+
+        let traces = {
+            let _s = obs.registry.span("study/simulate/ingest_traces");
+            let bytes = read(trace_path)?;
+            taxitrace_ingest::parse_trace_csv(&bytes)
+        };
+        total += traces.records_total;
+        for issue in traces.issues {
+            quarantine.push(QuarantineEntry {
+                stage: "ingest".into(),
+                record: issue.record,
+                reason: issue.reason.into(),
+                detail: format!("{}: {}", trace_path.display(), issue.detail),
+            });
+        }
+
+        let mut store = TripStore::new();
+        {
+            let _s = obs.registry.span("study/simulate/persist");
+            store.insert_all(traces.sessions)?;
+        }
+
+        obs.registry.counter("ingest.records_total").add(total as u64);
+        obs.registry
+            .counter("ingest.records_valid")
+            .add((total - quarantine.len()) as u64);
+        obs.registry
+            .counter("ingest.quarantined_total")
+            .add(quarantine.len() as u64);
+        if !quarantine.is_empty() {
+            let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+            for entry in quarantine.entries() {
+                *by_kind.entry(entry.reason.label()).or_insert(0) += 1;
+            }
+            for (label, n) in by_kind {
+                obs.registry.counter(&format!("ingest.damaged.{label}")).add(n);
+            }
+        }
+        obs.registry.counter("ingest.sessions").add(store.sessions().len() as u64);
+        obs.registry.counter("sim.sessions").add(store.sessions().len() as u64);
+        let raw_points: usize =
+            store.sessions().iter().map(|s| s.points.len()).sum();
+        obs.registry.counter("sim.raw_points").add(raw_points as u64);
+
+        quarantine.record_stage_metrics(&obs.registry, "ingest", total);
+        let ingest_budget = config
+            .chaos
+            .as_ref()
+            .and_then(|p| p.error_budget)
+            .unwrap_or(config.fault.ingest_error_budget);
+        check_budget("ingest", quarantine.len(), total, ingest_budget)?;
+        span.set_items(store.sessions().len() as u64);
+        span.finish();
+
+        let metrics = obs.registry.snapshot();
+        Ok(Simulated { config, city, weather, store, quarantine, metrics, obs })
+    }
+
     /// Runs the full pipeline: simulate → store → clean → O-D select →
     /// match → fuse. Equivalent to chaining the four stages; kept as the
     /// one-call entry point.
     pub fn run(&self) -> Result<StudyOutput, Error> {
         self.simulate()?.clean()?.analyze_od()?.match_fuse()
+    }
+
+    /// Runs the full pipeline over sessions ingested from external files
+    /// (see [`Study::simulate_from_external`] for the trust-boundary and
+    /// quarantine semantics).
+    pub fn run_from_external(
+        &self,
+        trace_path: &Path,
+        map_path: Option<&Path>,
+    ) -> Result<StudyOutput, Error> {
+        self.simulate_from_external(trace_path, map_path)?
+            .clean()?
+            .analyze_od()?
+            .match_fuse()
     }
 
     /// Runs the full pipeline over sessions replayed from a store file

@@ -16,7 +16,10 @@
 //! data-at-rest damage classes salvaged out of a store file
 //! ([`QuarantineReason::CorruptRecord`], [`QuarantineReason::TornTail`],
 //! [`QuarantineReason::HeaderMismatch`], mirroring
-//! [`taxitrace_store::DamageKind`]).
+//! [`taxitrace_store::DamageKind`]), and the untrusted-input rejection
+//! classes of the external-format ingest ([`QuarantineReason::MalformedLine`]
+//! through [`QuarantineReason::DanglingRef`], mirroring
+//! [`taxitrace_ingest::IngestReason`]).
 
 use std::collections::BTreeMap;
 
@@ -53,6 +56,23 @@ pub enum QuarantineReason {
     /// A streamed record failed structural validation (non-finite
     /// coordinates or speed) before it ever reached a trip buffer.
     MalformedRecord,
+    /// An external-format line is not a record at all: invalid UTF-8,
+    /// wrong field count, an oversized field, or a field that does not
+    /// lex as its type.
+    MalformedLine,
+    /// An external field lexed but its value is outside the representable
+    /// domain (non-finite float, latitude beyond ±90°).
+    NumericRange,
+    /// An external record contradicts the file's own schema or an earlier
+    /// record of the same entity (bad header, conflicting trip summary,
+    /// duplicate way id).
+    SchemaMismatch,
+    /// An external trip id re-appeared under a different taxi; the later
+    /// claim was rejected.
+    DuplicateTrip,
+    /// An external record references an entity that does not exist (a way
+    /// naming an unknown node, an object on an unknown way).
+    DanglingRef,
 }
 
 impl QuarantineReason {
@@ -70,6 +90,11 @@ impl QuarantineReason {
             QuarantineReason::HeaderMismatch => "header_mismatch",
             QuarantineReason::LatePastWatermark => "late_past_watermark",
             QuarantineReason::MalformedRecord => "malformed_record",
+            QuarantineReason::MalformedLine => "malformed_line",
+            QuarantineReason::NumericRange => "numeric_range",
+            QuarantineReason::SchemaMismatch => "schema_mismatch",
+            QuarantineReason::DuplicateTrip => "duplicate_trip",
+            QuarantineReason::DanglingRef => "dangling_ref",
         }
     }
 
@@ -89,6 +114,11 @@ impl QuarantineReason {
             QuarantineReason::HeaderMismatch => 8,
             QuarantineReason::LatePastWatermark => 9,
             QuarantineReason::MalformedRecord => 10,
+            QuarantineReason::MalformedLine => 11,
+            QuarantineReason::NumericRange => 12,
+            QuarantineReason::SchemaMismatch => 13,
+            QuarantineReason::DuplicateTrip => 14,
+            QuarantineReason::DanglingRef => 15,
         }
     }
 
@@ -106,6 +136,11 @@ impl QuarantineReason {
             8 => QuarantineReason::HeaderMismatch,
             9 => QuarantineReason::LatePastWatermark,
             10 => QuarantineReason::MalformedRecord,
+            11 => QuarantineReason::MalformedLine,
+            12 => QuarantineReason::NumericRange,
+            13 => QuarantineReason::SchemaMismatch,
+            14 => QuarantineReason::DuplicateTrip,
+            15 => QuarantineReason::DanglingRef,
             _ => return None,
         })
     }
@@ -118,6 +153,18 @@ impl From<AnomalyKind> for QuarantineReason {
             AnomalyKind::ClockSkew => QuarantineReason::ClockSkew,
             AnomalyKind::Dropout => QuarantineReason::Dropout,
             AnomalyKind::StuckSensor => QuarantineReason::StuckSensor,
+        }
+    }
+}
+
+impl From<taxitrace_ingest::IngestReason> for QuarantineReason {
+    fn from(reason: taxitrace_ingest::IngestReason) -> Self {
+        match reason {
+            taxitrace_ingest::IngestReason::MalformedLine => QuarantineReason::MalformedLine,
+            taxitrace_ingest::IngestReason::NumericRange => QuarantineReason::NumericRange,
+            taxitrace_ingest::IngestReason::SchemaMismatch => QuarantineReason::SchemaMismatch,
+            taxitrace_ingest::IngestReason::DuplicateTrip => QuarantineReason::DuplicateTrip,
+            taxitrace_ingest::IngestReason::DanglingRef => QuarantineReason::DanglingRef,
         }
     }
 }
@@ -138,7 +185,8 @@ impl From<taxitrace_store::DamageKind> for QuarantineReason {
 /// One quarantined record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QuarantineEntry {
-    /// Pipeline stage that rejected the record (`clean`/`od`/`match_fuse`).
+    /// Pipeline stage that rejected the record
+    /// (`ingest`/`store`/`clean`/`od`/`match_fuse`/`stream`).
     pub stage: String,
     /// Trip id of the affected session/segment.
     pub record: u64,
@@ -272,10 +320,26 @@ mod tests {
             QuarantineReason::HeaderMismatch,
             QuarantineReason::LatePastWatermark,
             QuarantineReason::MalformedRecord,
+            QuarantineReason::MalformedLine,
+            QuarantineReason::NumericRange,
+            QuarantineReason::SchemaMismatch,
+            QuarantineReason::DuplicateTrip,
+            QuarantineReason::DanglingRef,
         ] {
             assert_eq!(QuarantineReason::from_wire_tag(reason.wire_tag()), Some(reason));
         }
         assert_eq!(QuarantineReason::from_wire_tag(99), None);
+    }
+
+    #[test]
+    fn ingest_reasons_map_one_to_one() {
+        let mut tags = std::collections::BTreeSet::new();
+        for r in taxitrace_ingest::IngestReason::ALL {
+            let q: QuarantineReason = r.into();
+            assert_eq!(q.label(), r.label(), "labels agree across the crate boundary");
+            assert!(tags.insert(q.wire_tag()), "distinct wire tags");
+        }
+        assert_eq!(tags, (11..=15).collect());
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Typed ingest failures: per-record issues and file-level fatal errors.
+
+use std::fmt;
+
+/// Why a single external record was rejected. Mirrors the quarantine
+/// taxonomy of the core pipeline (each variant maps onto a
+/// `QuarantineReason` wire tag there) but lives here so the parsers have
+/// no dependency on the core crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IngestReason {
+    /// The line is not a record at all: invalid UTF-8, wrong field count,
+    /// an oversized field, or a field that does not lex as its type.
+    MalformedLine,
+    /// A field lexed but its value is outside the representable domain
+    /// (non-finite float, latitude beyond ±90°, timestamp out of range).
+    NumericRange,
+    /// The record contradicts the file's own schema or an earlier record
+    /// of the same entity (bad header, conflicting trip summary,
+    /// duplicate way id).
+    SchemaMismatch,
+    /// A trip id re-appeared under a different taxi: two distinct trips
+    /// claim the same identity, so the later claim is rejected.
+    DuplicateTrip,
+    /// The record references an entity that does not exist (a way naming
+    /// an unknown node, an object on an unknown way).
+    DanglingRef,
+}
+
+impl IngestReason {
+    /// All reasons, for exhaustive per-reason accounting in tests.
+    pub const ALL: [IngestReason; 5] = [
+        IngestReason::MalformedLine,
+        IngestReason::NumericRange,
+        IngestReason::SchemaMismatch,
+        IngestReason::DuplicateTrip,
+        IngestReason::DanglingRef,
+    ];
+
+    /// Stable lowercase label (used as a metric name suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            IngestReason::MalformedLine => "malformed_line",
+            IngestReason::NumericRange => "numeric_range",
+            IngestReason::SchemaMismatch => "schema_mismatch",
+            IngestReason::DuplicateTrip => "duplicate_trip",
+            IngestReason::DanglingRef => "dangling_ref",
+        }
+    }
+}
+
+impl fmt::Display for IngestReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One rejected record: the 1-based line number it came from, why, and a
+/// human-readable detail. The caller routes these into the quarantine
+/// ledger; the parser only reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordIssue {
+    /// 1-based physical line number in the input.
+    pub record: u64,
+    pub reason: IngestReason,
+    pub detail: String,
+}
+
+impl RecordIssue {
+    pub(crate) fn new(record: u64, reason: IngestReason, detail: impl Into<String>) -> Self {
+        Self { record, reason, detail: detail.into() }
+    }
+}
+
+/// File-level fatal ingest errors. Per-record damage is *not* an error —
+/// it degrades into [`RecordIssue`]s; these are the cases where no
+/// coherent result can be assembled at all.
+#[derive(Debug)]
+pub enum IngestError {
+    /// I/O failure reading the input.
+    Io { path: String, source: std::io::Error },
+    /// The file does not start with a recognisable format header.
+    BadHeader(String),
+    /// The surviving map records cannot form a road graph.
+    Graph(taxitrace_roadnet::GraphError),
+    /// Nothing salvageable: the file parsed to an empty result where the
+    /// format requires at least one record (e.g. a map with no ways).
+    Empty(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io { path, source } => write!(f, "ingest i/o on {path}: {source}"),
+            IngestError::BadHeader(h) => write!(f, "unrecognised format header {h:?}"),
+            IngestError::Graph(e) => write!(f, "map does not form a road graph: {e}"),
+            IngestError::Empty(what) => write!(f, "nothing salvageable: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io { source, .. } => Some(source),
+            IngestError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<taxitrace_roadnet::GraphError> for IngestError {
+    fn from(e: taxitrace_roadnet::GraphError) -> Self {
+        IngestError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for r in IngestReason::ALL {
+            assert!(seen.insert(r.label()), "duplicate label {}", r.label());
+            assert!(r.label().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+
+    #[test]
+    fn errors_render_with_context() {
+        let e = IngestError::BadHeader("PNG".into());
+        assert!(e.to_string().contains("PNG"));
+        let io = IngestError::Io {
+            path: "traces.csv".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert!(io.to_string().contains("traces.csv"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Seeded byte-level mutators for the adversarial ingest tests.
+//!
+//! [`mutate`] is a pure function of `(bytes, seed)`, built on the same
+//! xoshiro/fork idiom as the chaos `FaultPlan`: the adversarial corpus
+//! is *derived*, not stored — any seed regenerates the identical mutated
+//! input on any machine, so "never panics" and "deterministic quarantine
+//! counts" are replayable properties, not flaky observations.
+//!
+//! The operator set covers the damage classes real trace dumps exhibit
+//! (and a few only attackers produce): truncation mid-record, bit flips,
+//! swapped CSV fields, raw binary garbage, CRLF rewrites, a UTF-8 BOM,
+//! and numeric extremes (`NaN`, `±inf`, overflow literals, `-0.0`).
+
+use taxitrace_traces::Rng;
+
+/// Seed salt for the ingest mutators, keeping their streams disjoint
+/// from the chaos (`0xC4A0_5F41`), disk (`0xD15C_C0DE`) and stream
+/// (`0x57E4_FEED`) fault planes.
+pub const INGEST_SEED_SALT: u64 = 0xD1E7_F00D;
+
+/// Replacement literals for the numeric-extreme operator.
+const EXTREMES: [&str; 9] = [
+    "NaN",
+    "inf",
+    "-inf",
+    "1e308",
+    "-1e309",
+    "-0.0",
+    "99999999999999999999",
+    "18446744073709551616",
+    "0x41",
+];
+
+/// Applies 1–4 seeded mutation operators to `bytes`. Deterministic:
+/// identical `(bytes, seed)` always produce identical output. The result
+/// may be shorter, longer, or not UTF-8 at all — that is the point.
+pub fn mutate(bytes: &[u8], seed: u64) -> Vec<u8> {
+    let mut rng = Rng::new(seed ^ INGEST_SEED_SALT).fork(1);
+    let mut out = bytes.to_vec();
+    let ops = 1 + rng.below(4);
+    for _ in 0..ops {
+        match rng.below(7) {
+            0 => truncate(&mut out, &mut rng),
+            1 => bit_flips(&mut out, &mut rng),
+            2 => field_swap(&mut out, &mut rng),
+            3 => garbage(&mut out, &mut rng),
+            4 => crlf(&mut out),
+            5 => bom(&mut out),
+            _ => numeric_extreme(&mut out, &mut rng),
+        }
+    }
+    out
+}
+
+/// Cuts the input at a random byte offset — mid-record, mid-field,
+/// mid-UTF-8-sequence, anywhere.
+fn truncate(out: &mut Vec<u8>, rng: &mut Rng) {
+    let at = rng.below(out.len() + 1);
+    out.truncate(at);
+}
+
+/// Flips 1–8 random bits anywhere in the buffer.
+fn bit_flips(out: &mut [u8], rng: &mut Rng) {
+    if out.is_empty() {
+        return;
+    }
+    for _ in 0..1 + rng.below(8) {
+        let i = rng.below(out.len());
+        out[i] ^= 1 << rng.below(8);
+    }
+}
+
+/// Picks one line and swaps two of its comma-separated fields.
+fn field_swap(out: &mut Vec<u8>, rng: &mut Rng) {
+    let lines: Vec<(usize, usize)> = line_spans(out);
+    if lines.is_empty() {
+        return;
+    }
+    let (start, end) = lines[rng.below(lines.len())];
+    let line = &out[start..end];
+    let mut bounds = vec![start];
+    bounds.extend(line.iter().enumerate().filter(|(_, &b)| b == b',').map(|(i, _)| start + i));
+    bounds.push(end);
+    // `bounds` frames n fields with n+1 fence posts; need ≥ 2 fields.
+    if bounds.len() < 3 {
+        return;
+    }
+    let n = bounds.len() - 1;
+    let a = rng.below(n);
+    let b = rng.below(n);
+    let field = |i: usize| -> Vec<u8> {
+        let lo = if i == 0 { bounds[0] } else { bounds[i] + 1 };
+        out[lo..bounds[i + 1]].to_vec()
+    };
+    let (lo, hi) = (a.min(b), a.max(b));
+    if lo == hi {
+        return;
+    }
+    let (fa, fb) = (field(lo), field(hi));
+    let mut rebuilt = Vec::with_capacity(out.len());
+    rebuilt.extend_from_slice(&out[..start]);
+    for i in 0..n {
+        if i > 0 {
+            rebuilt.push(b',');
+        }
+        if i == lo {
+            rebuilt.extend_from_slice(&fb);
+        } else if i == hi {
+            rebuilt.extend_from_slice(&fa);
+        } else {
+            rebuilt.extend_from_slice(&field(i));
+        }
+    }
+    rebuilt.extend_from_slice(&out[end..]);
+    *out = rebuilt;
+}
+
+/// Inserts 1–16 raw random bytes (any value, including NUL and invalid
+/// UTF-8 lead bytes) at a random offset.
+fn garbage(out: &mut Vec<u8>, rng: &mut Rng) {
+    let at = rng.below(out.len() + 1);
+    let n = 1 + rng.below(16);
+    let junk: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+    out.splice(at..at, junk);
+}
+
+/// Rewrites every LF as CRLF (idempotent on already-CRLF input is not
+/// required — doubling the CR is itself a fine adversarial case).
+fn crlf(out: &mut Vec<u8>) {
+    let mut rebuilt = Vec::with_capacity(out.len() + out.len() / 16);
+    for &b in out.iter() {
+        if b == b'\n' {
+            rebuilt.push(b'\r');
+        }
+        rebuilt.push(b);
+    }
+    *out = rebuilt;
+}
+
+/// Prepends a UTF-8 byte-order mark.
+fn bom(out: &mut Vec<u8>) {
+    out.splice(0..0, [0xEF, 0xBB, 0xBF]);
+}
+
+/// Replaces one comma- or space-delimited token on a random line with a
+/// numeric-extreme literal.
+fn numeric_extreme(out: &mut Vec<u8>, rng: &mut Rng) {
+    let lines = line_spans(out);
+    if lines.is_empty() {
+        return;
+    }
+    let (start, end) = lines[rng.below(lines.len())];
+    let mut tokens: Vec<(usize, usize)> = Vec::new();
+    let mut tok_start = start;
+    for (i, &b) in out.iter().enumerate().take(end).skip(start) {
+        if b == b',' || b == b' ' {
+            if i > tok_start {
+                tokens.push((tok_start, i));
+            }
+            tok_start = i + 1;
+        }
+    }
+    if end > tok_start {
+        tokens.push((tok_start, end));
+    }
+    if tokens.is_empty() {
+        return;
+    }
+    let (lo, hi) = tokens[rng.below(tokens.len())];
+    let lit = EXTREMES[rng.below(EXTREMES.len())].as_bytes();
+    out.splice(lo..hi, lit.iter().copied());
+}
+
+/// `(start, end)` byte spans of non-empty lines (excluding the `\n`).
+fn line_spans(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            if i > start {
+                spans.push((start, i));
+            }
+            start = i + 1;
+        }
+    }
+    if bytes.len() > start {
+        spans.push((start, bytes.len()));
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &[u8] = b"taxi_id,trip_id\n1,2\n3,4\n";
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        for seed in 0..200u64 {
+            assert_eq!(mutate(BASE, seed), mutate(BASE, seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let distinct: std::collections::BTreeSet<Vec<u8>> =
+            (0..64).map(|s| mutate(BASE, s)).collect();
+        assert!(distinct.len() > 16, "only {} distinct mutants", distinct.len());
+    }
+
+    #[test]
+    fn empty_input_never_panics() {
+        for seed in 0..100u64 {
+            mutate(b"", seed);
+        }
+    }
+
+    #[test]
+    fn operators_cover_their_damage_classes() {
+        let mut saw_shorter = false;
+        let mut saw_bom = false;
+        let mut saw_cr = false;
+        let mut saw_extreme = false;
+        let mut saw_non_utf8 = false;
+        for seed in 0..2000u64 {
+            let m = mutate(BASE, seed);
+            saw_shorter |= m.len() < BASE.len();
+            saw_bom |= m.starts_with(&[0xEF, 0xBB, 0xBF]);
+            saw_cr |= m.contains(&b'\r');
+            saw_extreme |= String::from_utf8_lossy(&m).contains("NaN");
+            saw_non_utf8 |= std::str::from_utf8(&m).is_err();
+        }
+        assert!(saw_shorter && saw_bom && saw_cr && saw_extreme && saw_non_utf8);
+    }
+}

@@ -1,0 +1,48 @@
+//! Untrusted-input ingestion for external trace and map formats.
+//!
+//! Everything upstream of this crate trusts its own bytes: the simulator,
+//! the checksummed store, the stream all produce data the pipeline itself
+//! wrote. This crate is the opposite end of that trust spectrum — it
+//! accepts **arbitrary bytes** claiming to be one of two interchange
+//! formats and turns whatever is salvageable into the pipeline's native
+//! types:
+//!
+//! * a CSV trace schema (one route point per line, denormalised device
+//!   trip summary) parsed into [`taxitrace_traces::RawTrip`] sessions —
+//!   see [`tracecsv`];
+//! * a compact OSM-flavoured map exchange text (`node`/`way`/`obj`/
+//!   `route`/`signal` records) parsed into a
+//!   [`taxitrace_roadnet::synth::SyntheticCity`] — see [`osmx`].
+//!
+//! The contract mirrors the store's salvage path: parsing is
+//! **record-framed and panic-free**. A malformed line, field, or
+//! dangling reference never aborts the file — it becomes one typed
+//! [`RecordIssue`] and the record is skipped, so callers degrade
+//! record-by-record and enforce an error budget over the issue count.
+//! Only global invariants (unreadable header, a node set that cannot
+//! form a road graph) are fatal, as a typed [`IngestError`].
+//!
+//! Both formats have exact-float exporters ([`tracecsv::export_trace_csv`],
+//! [`osmx::export_osmx`]): floats are written with Rust's shortest
+//! round-trip formatting, so export → ingest reproduces every coordinate,
+//! speed and timestamp bit-for-bit and the batch study fingerprint is
+//! byte-identical across the round trip.
+//!
+//! [`fuzz`] holds the seeded byte-level mutators (truncation, bit flips,
+//! field swaps, encoding garbage, CRLF/BOM, numeric extremes) that the
+//! adversarial test suite drives over ≥10k inputs to prove the
+//! never-panics and deterministic-quarantine-counts properties.
+
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
+
+pub mod error;
+pub mod fuzz;
+pub mod osmx;
+pub mod sanitize;
+pub mod tracecsv;
+
+pub use error::{IngestError, IngestReason, RecordIssue};
+pub use fuzz::{mutate, INGEST_SEED_SALT};
+pub use osmx::{export_osmx, parse_osmx, MapParse};
+pub use tracecsv::{export_trace_csv, parse_trace_csv, TraceParse, TRACE_HEADER};

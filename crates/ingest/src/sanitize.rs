@@ -1,0 +1,171 @@
+//! Byte-level framing and field lexing for untrusted text.
+//!
+//! Every decision that turns arbitrary bytes into a candidate record
+//! lives here, so both parsers share one set of framing rules:
+//!
+//! * records are framed by `\n`; a trailing `\r` is stripped (CRLF
+//!   input parses identically to LF input);
+//! * a UTF-8 byte-order mark on the first line is stripped;
+//! * a line must be valid UTF-8 to be a record at all;
+//! * no single field may exceed [`MAX_FIELD_LEN`] bytes — a bound that
+//!   keeps a hostile multi-megabyte "field" from ballooning detail
+//!   strings and memory while parsing;
+//! * numbers must lex exactly (`str::parse`) and floats must be finite.
+//!
+//! Lexing failures distinguish *syntax* (not a number at all) from
+//! *domain* (a number outside its allowed range) so the caller can map
+//! them onto different quarantine reasons.
+
+/// Upper bound on a single field's byte length. Generous for any real
+/// value (the longest exact-float rendering is < 32 bytes) and small
+/// enough that adversarial input cannot smuggle megabytes through one
+/// record.
+pub const MAX_FIELD_LEN: usize = 4096;
+
+/// How a scalar field failed to lex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldFault {
+    /// Not a value of the expected type at all.
+    BadSyntax,
+    /// Lexed, but outside the permitted domain (non-finite, out of range).
+    OutOfDomain,
+}
+
+/// Splits `bytes` into `(1-based line number, line)` pairs: `\n`-framed,
+/// trailing `\r` stripped, a UTF-8 BOM on the first line stripped, and a
+/// final unterminated line kept (truncated files still yield their tail
+/// as a record candidate). Empty lines are *kept* so physical line
+/// numbers stay addressable; callers skip them.
+pub fn frame_lines(bytes: &[u8]) -> Vec<(u64, &[u8])> {
+    let body = bytes.strip_prefix(&[0xEF, 0xBB, 0xBF][..]).unwrap_or(bytes);
+    let mut out = Vec::new();
+    for (i, mut line) in body.split(|&b| b == b'\n').enumerate() {
+        if let Some(stripped) = line.strip_suffix(&[b'\r'][..]) {
+            line = stripped;
+        }
+        out.push((i as u64 + 1, line));
+    }
+    // `split` yields one trailing empty slice for `\n`-terminated input;
+    // drop it so a well-formed file has exactly one entry per line.
+    if out.last().is_some_and(|(_, l)| l.is_empty()) {
+        out.pop();
+    }
+    out
+}
+
+/// Decodes a framed line as UTF-8. `None` means the line cannot be a
+/// record (the caller quarantines it as malformed).
+pub fn line_str(raw: &[u8]) -> Option<&str> {
+    std::str::from_utf8(raw).ok()
+}
+
+/// Checks the per-field length bound. Returns the index of the first
+/// oversized field, if any.
+pub fn oversized_field(fields: &[&str]) -> Option<usize> {
+    fields.iter().position(|f| f.len() > MAX_FIELD_LEN)
+}
+
+/// Lexes a finite `f64` whose absolute value is at most `max_abs`.
+pub fn parse_f64(s: &str, max_abs: f64) -> Result<f64, FieldFault> {
+    let v: f64 = s.trim().parse().map_err(|_| FieldFault::BadSyntax)?;
+    if !v.is_finite() || v.abs() > max_abs {
+        return Err(FieldFault::OutOfDomain);
+    }
+    Ok(v)
+}
+
+/// Lexes an `i64` whose absolute value is at most `max_abs`.
+pub fn parse_i64(s: &str, max_abs: i64) -> Result<i64, FieldFault> {
+    let v: i64 = s.trim().parse().map_err(|_| FieldFault::BadSyntax)?;
+    if v.abs() > max_abs {
+        return Err(FieldFault::OutOfDomain);
+    }
+    Ok(v)
+}
+
+/// Lexes a `u64` at most `max`.
+pub fn parse_u64(s: &str, max: u64) -> Result<u64, FieldFault> {
+    let v: u64 = s.trim().parse().map_err(|_| FieldFault::BadSyntax)?;
+    if v > max {
+        return Err(FieldFault::OutOfDomain);
+    }
+    Ok(v)
+}
+
+/// Truncates a hostile input snippet for inclusion in a quarantine
+/// detail string (never echoes unbounded attacker bytes into logs).
+pub fn snippet(s: &str) -> String {
+    const MAX: usize = 48;
+    if s.len() <= MAX {
+        return s.to_string();
+    }
+    let mut end = MAX;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &s[..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_lf_crlf_and_bom_identically() {
+        let plain = frame_lines(b"a,b\nc,d\n");
+        let crlf = frame_lines(b"a,b\r\nc,d\r\n");
+        let bom = frame_lines(b"\xEF\xBB\xBFa,b\nc,d\n");
+        assert_eq!(plain, crlf);
+        assert_eq!(plain, bom);
+        assert_eq!(plain, vec![(1, &b"a,b"[..]), (2, &b"c,d"[..])]);
+    }
+
+    #[test]
+    fn unterminated_tail_is_kept() {
+        let lines = frame_lines(b"a\nb");
+        assert_eq!(lines, vec![(1, &b"a"[..]), (2, &b"b"[..])]);
+    }
+
+    #[test]
+    fn empty_interior_lines_keep_numbering() {
+        let lines = frame_lines(b"a\n\nb\n");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], (2, &b""[..]));
+        assert_eq!(lines[2], (3, &b"b"[..]));
+    }
+
+    #[test]
+    fn float_lexing_separates_syntax_from_domain() {
+        assert_eq!(parse_f64("1.5", 10.0), Ok(1.5));
+        assert_eq!(parse_f64("xyz", 10.0), Err(FieldFault::BadSyntax));
+        assert_eq!(parse_f64("NaN", 10.0), Err(FieldFault::OutOfDomain));
+        assert_eq!(parse_f64("inf", 10.0), Err(FieldFault::OutOfDomain));
+        assert_eq!(parse_f64("11.0", 10.0), Err(FieldFault::OutOfDomain));
+        assert_eq!(parse_f64("-0.0", 10.0).map(f64::to_bits), Ok((-0.0f64).to_bits()));
+    }
+
+    #[test]
+    fn int_lexing_bounds() {
+        assert_eq!(parse_i64(" 42", 100), Ok(42));
+        assert_eq!(parse_i64("1e3", 100), Err(FieldFault::BadSyntax));
+        assert_eq!(parse_i64("-101", 100), Err(FieldFault::OutOfDomain));
+        assert_eq!(parse_u64("65536", u16::MAX as u64), Err(FieldFault::OutOfDomain));
+    }
+
+    #[test]
+    fn snippet_never_splits_utf8_or_echoes_unbounded() {
+        let long = "ä".repeat(1000);
+        let s = snippet(&long);
+        assert!(s.len() < 60);
+        assert!(s.ends_with('…'));
+        assert_eq!(snippet("short"), "short");
+    }
+
+    #[test]
+    fn oversized_field_detection() {
+        let big = "A".repeat(MAX_FIELD_LEN + 1);
+        let fields = ["ok", big.as_str(), "ok"];
+        assert_eq!(oversized_field(&fields), Some(1));
+        assert_eq!(oversized_field(&["a", "b"]), None);
+    }
+}

@@ -1,0 +1,507 @@
+//! The CSV trace interchange schema: one route point per line.
+//!
+//! ```text
+//! taxi_id,trip_id,point_id,t,lat,lon,x_m,y_m,speed_kmh,heading_deg,fuel_ml,trip_start_t,trip_end_t,trip_time_s,trip_dist_m,trip_fuel_ml
+//! 3,17,0,1650000000,65.0121,25.4651,12.5,-3.25,38.4,91.2,140.0,1650000000,1650002400,2400,10250.5,820.0
+//! ```
+//!
+//! The schema is GTFS-flavoured: flat text, one record per line, the
+//! device trip summary denormalised onto every point (real-world trace
+//! dumps do exactly this — each GPS fix row repeats the trip header).
+//! Timestamps are integer epoch seconds; floats are written by
+//! [`export_trace_csv`] with Rust's shortest round-trip formatting, so a
+//! re-parse recovers the identical bit pattern and the study fingerprint
+//! survives an export → ingest round trip byte-for-byte.
+//!
+//! Parsing is lenient per record and strict per field: every line either
+//! becomes a [`RoutePoint`] or one typed [`RecordIssue`], never a panic
+//! and never an abort. Field lexing runs in parallel (order-preserving
+//! [`taxitrace_exec::par_map`]), while grouping into trips is a
+//! sequential fold over line order — so the issue ledger is deterministic
+//! at any worker count.
+
+use std::collections::HashMap;
+
+use taxitrace_geo::{GeoPoint, Point};
+use taxitrace_timebase::{Duration, Timestamp};
+use taxitrace_traces::{PointTruth, RawTrip, RoutePoint, TaxiId, TripId};
+
+use crate::error::{IngestReason, RecordIssue};
+use crate::sanitize::{
+    frame_lines, line_str, oversized_field, parse_f64, parse_i64, parse_u64, snippet,
+    FieldFault,
+};
+
+/// The header line every trace file must start with (column order is the
+/// schema; a different header is a schema mismatch, not a record).
+pub const TRACE_HEADER: &str = "taxi_id,trip_id,point_id,t,lat,lon,x_m,y_m,speed_kmh,\
+heading_deg,fuel_ml,trip_start_t,trip_end_t,trip_time_s,trip_dist_m,trip_fuel_ml";
+
+const FIELDS: usize = 16;
+/// Epoch-second bound (±, covers years far beyond any plausible trace).
+const MAX_EPOCH_S: i64 = 1_000_000_000_000;
+/// Planar coordinate bound, metres (±10 000 km from the local origin).
+const MAX_PLANAR_M: f64 = 1.0e7;
+/// Speed bound, km/h: generous for any land vehicle, tight enough to
+/// reject numeric-extreme garbage.
+const MAX_SPEED_KMH: f64 = 1.0e4;
+/// Bound for the remaining scalar fields (headings, fuel, distances).
+const MAX_SCALAR: f64 = 1.0e12;
+
+/// Result of parsing a trace file: the salvageable sessions, the issue
+/// ledger, and how many record candidates the file contained (the budget
+/// denominator).
+#[derive(Debug)]
+pub struct TraceParse {
+    /// Reassembled sessions, in order of each trip's first valid record.
+    pub sessions: Vec<RawTrip>,
+    /// One entry per rejected record, in line order.
+    pub issues: Vec<RecordIssue>,
+    /// Total record candidates: non-empty lines, excluding a valid header.
+    pub records_total: usize,
+}
+
+/// One lexed data row (all scalar fields validated, nothing grouped yet).
+#[derive(Debug, Clone)]
+struct Row {
+    line: u64,
+    taxi: u16,
+    trip: u64,
+    point_id: u64,
+    t: i64,
+    lat: f64,
+    lon: f64,
+    x: f64,
+    y: f64,
+    speed: f64,
+    heading: f64,
+    fuel: f64,
+    trip_start: i64,
+    trip_end: i64,
+    trip_time: i64,
+    trip_dist: f64,
+    trip_fuel: f64,
+}
+
+fn fault_issue(line: u64, field: &str, name: &str, fault: FieldFault) -> RecordIssue {
+    match fault {
+        FieldFault::BadSyntax => RecordIssue::new(
+            line,
+            IngestReason::MalformedLine,
+            format!("{name} does not lex: {:?}", snippet(field)),
+        ),
+        FieldFault::OutOfDomain => RecordIssue::new(
+            line,
+            IngestReason::NumericRange,
+            format!("{name} out of domain: {:?}", snippet(field)),
+        ),
+    }
+}
+
+/// Lexes one data line into a [`Row`] or a single issue (first fault
+/// wins, left to right — deterministic regardless of worker count).
+fn lex_row(line: u64, raw: &[u8]) -> Result<Row, RecordIssue> {
+    let text = line_str(raw).ok_or_else(|| {
+        RecordIssue::new(line, IngestReason::MalformedLine, "invalid utf-8")
+    })?;
+    let fields: Vec<&str> = text.split(',').collect();
+    if fields.len() != FIELDS {
+        return Err(RecordIssue::new(
+            line,
+            IngestReason::MalformedLine,
+            format!("expected {FIELDS} fields, got {}", fields.len()),
+        ));
+    }
+    if let Some(i) = oversized_field(&fields) {
+        return Err(RecordIssue::new(
+            line,
+            IngestReason::MalformedLine,
+            format!("field {} oversized ({} bytes)", i + 1, fields[i].len()),
+        ));
+    }
+    let f = |i: usize, name: &str, max: f64| {
+        parse_f64(fields[i], max).map_err(|e| fault_issue(line, fields[i], name, e))
+    };
+    let s = |i: usize, name: &str| {
+        parse_i64(fields[i], MAX_EPOCH_S).map_err(|e| fault_issue(line, fields[i], name, e))
+    };
+    let taxi = parse_u64(fields[0], u64::from(u16::MAX))
+        .map_err(|e| fault_issue(line, fields[0], "taxi_id", e))? as u16;
+    let trip = parse_u64(fields[1], u64::MAX)
+        .map_err(|e| fault_issue(line, fields[1], "trip_id", e))?;
+    let point_id = parse_u64(fields[2], u64::MAX)
+        .map_err(|e| fault_issue(line, fields[2], "point_id", e))?;
+    let t = s(3, "t")?;
+    let lat = f(4, "lat", 90.0)?;
+    let lon = f(5, "lon", 180.0)?;
+    let x = f(6, "x_m", MAX_PLANAR_M)?;
+    let y = f(7, "y_m", MAX_PLANAR_M)?;
+    let speed = f(8, "speed_kmh", MAX_SPEED_KMH)?;
+    let heading = f(9, "heading_deg", MAX_SCALAR)?;
+    let fuel = f(10, "fuel_ml", MAX_SCALAR)?;
+    let trip_start = s(11, "trip_start_t")?;
+    let trip_end = s(12, "trip_end_t")?;
+    let trip_time = s(13, "trip_time_s")?;
+    let trip_dist = f(14, "trip_dist_m", MAX_SCALAR)?;
+    let trip_fuel = f(15, "trip_fuel_ml", MAX_SCALAR)?;
+    Ok(Row {
+        line,
+        taxi,
+        trip,
+        point_id,
+        t,
+        lat,
+        lon,
+        x,
+        y,
+        speed,
+        heading,
+        fuel,
+        trip_start,
+        trip_end,
+        trip_time,
+        trip_dist,
+        trip_fuel,
+    })
+}
+
+/// Per-trip accumulator: the first valid row fixes the identity and the
+/// device summary; later rows must agree with both.
+#[derive(Debug)]
+struct TripBuilder {
+    taxi: u16,
+    trip_start: i64,
+    trip_end: i64,
+    trip_time: i64,
+    trip_dist: f64,
+    trip_fuel: f64,
+    rows: Vec<Row>,
+}
+
+impl TripBuilder {
+    fn summary_agrees(&self, r: &Row) -> bool {
+        self.trip_start == r.trip_start
+            && self.trip_end == r.trip_end
+            && self.trip_time == r.trip_time
+            && self.trip_dist.to_bits() == r.trip_dist.to_bits()
+            && self.trip_fuel.to_bits() == r.trip_fuel.to_bits()
+    }
+}
+
+/// Parses arbitrary bytes as a trace file. Never panics, never aborts:
+/// every malformed record becomes one [`RecordIssue`] and the rest of the
+/// file still parses. Deterministic: the same bytes produce the same
+/// sessions and the same issue ledger at any worker count.
+pub fn parse_trace_csv(bytes: &[u8]) -> TraceParse {
+    let mut issues = Vec::new();
+    let lines = frame_lines(bytes);
+    let mut data: Vec<(u64, &[u8])> = Vec::with_capacity(lines.len());
+    let mut header_seen = false;
+    for (no, raw) in lines {
+        if raw.is_empty() {
+            continue;
+        }
+        if !header_seen {
+            header_seen = true;
+            match line_str(raw) {
+                Some(h) if h == TRACE_HEADER => continue,
+                got => {
+                    issues.push(RecordIssue::new(
+                        no,
+                        IngestReason::SchemaMismatch,
+                        format!(
+                            "header mismatch: {:?}",
+                            got.map(snippet).unwrap_or_else(|| "<binary>".into())
+                        ),
+                    ));
+                    continue;
+                }
+            }
+        }
+        data.push((no, raw));
+    }
+    let records_total = data.len() + issues.len();
+
+    // Field lexing is embarrassingly parallel; `par_map` preserves input
+    // order, so the fold below sees rows exactly in line order.
+    let lexed = taxitrace_exec::par_map(&data, |&(no, raw)| lex_row(no, raw));
+
+    let mut order: Vec<u64> = Vec::new();
+    let mut trips: HashMap<u64, TripBuilder> = HashMap::new();
+    for res in lexed {
+        let row = match res {
+            Ok(row) => row,
+            Err(issue) => {
+                issues.push(issue);
+                continue;
+            }
+        };
+        match trips.get_mut(&row.trip) {
+            None => {
+                order.push(row.trip);
+                trips.insert(
+                    row.trip,
+                    TripBuilder {
+                        taxi: row.taxi,
+                        trip_start: row.trip_start,
+                        trip_end: row.trip_end,
+                        trip_time: row.trip_time,
+                        trip_dist: row.trip_dist,
+                        trip_fuel: row.trip_fuel,
+                        rows: vec![row],
+                    },
+                );
+            }
+            Some(b) if b.taxi != row.taxi => {
+                issues.push(RecordIssue::new(
+                    row.line,
+                    IngestReason::DuplicateTrip,
+                    format!(
+                        "trip {} already claimed by taxi {}, rejected claim by taxi {}",
+                        row.trip, b.taxi, row.taxi
+                    ),
+                ));
+            }
+            Some(b) if !b.summary_agrees(&row) => {
+                issues.push(RecordIssue::new(
+                    row.line,
+                    IngestReason::SchemaMismatch,
+                    format!("trip {} summary disagrees with its first record", row.trip),
+                ));
+            }
+            Some(b) => b.rows.push(row),
+        }
+    }
+    issues.sort_by_key(|i| i.record);
+
+    let sessions = order
+        .into_iter()
+        .filter_map(|id| trips.remove(&id).map(|b| (id, b)))
+        .map(|(id, b)| {
+            let points = b
+                .rows
+                .iter()
+                .enumerate()
+                .map(|(i, r)| RoutePoint {
+                    point_id: r.point_id,
+                    trip_id: TripId(id),
+                    taxi: TaxiId(b.taxi),
+                    geo: GeoPoint { lon: r.lon, lat: r.lat },
+                    pos: Point { x: r.x, y: r.y },
+                    timestamp: Timestamp::from_secs(r.t),
+                    speed_kmh: r.speed,
+                    heading_deg: r.heading,
+                    fuel_ml: r.fuel,
+                    // External data carries no simulator ground truth;
+                    // synthesise arrival-order sequence numbers (truth is
+                    // validation-only and excluded from the fingerprint).
+                    truth: PointTruth { seq: i as u32, element: None },
+                })
+                .collect();
+            RawTrip {
+                id: TripId(id),
+                taxi: TaxiId(b.taxi),
+                start_time: Timestamp::from_secs(b.trip_start),
+                end_time: Timestamp::from_secs(b.trip_end),
+                points,
+                total_time: Duration::from_secs(b.trip_time),
+                total_distance_m: b.trip_dist,
+                total_fuel_ml: b.trip_fuel,
+                truth_trips: Vec::new(),
+            }
+        })
+        .collect();
+
+    TraceParse { sessions, issues, records_total }
+}
+
+/// Exports sessions to the trace schema with exact-float formatting
+/// (shortest round-trip representation: a re-parse recovers identical
+/// bits for every coordinate, speed and fuel value).
+pub fn export_trace_csv(sessions: &[RawTrip]) -> String {
+    use std::fmt::Write as _;
+    let points: usize = sessions.iter().map(|s| s.points.len()).sum();
+    let mut out = String::with_capacity(64 + points * 96);
+    out.push_str(TRACE_HEADER);
+    out.push('\n');
+    for s in sessions {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.taxi.0,
+                s.id.0,
+                p.point_id,
+                p.timestamp.secs(),
+                p.geo.lat,
+                p.geo.lon,
+                p.pos.x,
+                p.pos.y,
+                p.speed_kmh,
+                p.heading_deg,
+                p.fuel_ml,
+                s.start_time.secs(),
+                s.end_time.secs(),
+                s.total_time.secs(),
+                s.total_distance_m,
+                s.total_fuel_ml,
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trip(id: u64, taxi: u16, n: usize) -> RawTrip {
+        let points = (0..n)
+            .map(|i| RoutePoint {
+                point_id: i as u64,
+                trip_id: TripId(id),
+                taxi: TaxiId(taxi),
+                geo: GeoPoint { lon: 25.4651 + i as f64 * 1e-5, lat: 65.0121 - i as f64 * 2e-5 },
+                pos: Point { x: 0.1 + i as f64 * 3.7, y: -250.0 + i as f64 / 3.0 },
+                timestamp: Timestamp::from_secs(1_650_000_000 + i as i64 * 5),
+                speed_kmh: 38.4 + i as f64 * 0.311,
+                heading_deg: (i as f64 * 17.3) % 360.0,
+                fuel_ml: i as f64 * 12.345_678_9,
+                truth: PointTruth { seq: i as u32, element: None },
+            })
+            .collect();
+        RawTrip {
+            id: TripId(id),
+            taxi: TaxiId(taxi),
+            start_time: Timestamp::from_secs(1_650_000_000),
+            end_time: Timestamp::from_secs(1_650_000_000 + n as i64 * 5),
+            points,
+            total_time: Duration::from_secs(n as i64 * 5),
+            total_distance_m: 10_250.537_21,
+            total_fuel_ml: 820.062_5,
+            truth_trips: Vec::new(),
+        }
+    }
+
+    fn assert_bits_equal(a: &RawTrip, b: &RawTrip) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.taxi, b.taxi);
+        assert_eq!(a.start_time, b.start_time);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.total_distance_m.to_bits(), b.total_distance_m.to_bits());
+        assert_eq!(a.total_fuel_ml.to_bits(), b.total_fuel_ml.to_bits());
+        assert_eq!(a.points.len(), b.points.len());
+        for (p, q) in a.points.iter().zip(&b.points) {
+            assert_eq!(p.point_id, q.point_id);
+            assert_eq!(p.timestamp, q.timestamp);
+            assert_eq!(p.geo.lat.to_bits(), q.geo.lat.to_bits());
+            assert_eq!(p.geo.lon.to_bits(), q.geo.lon.to_bits());
+            assert_eq!(p.pos.x.to_bits(), q.pos.x.to_bits());
+            assert_eq!(p.pos.y.to_bits(), q.pos.y.to_bits());
+            assert_eq!(p.speed_kmh.to_bits(), q.speed_kmh.to_bits());
+            assert_eq!(p.heading_deg.to_bits(), q.heading_deg.to_bits());
+            assert_eq!(p.fuel_ml.to_bits(), q.fuel_ml.to_bits());
+        }
+    }
+
+    #[test]
+    fn export_ingest_round_trip_is_bit_exact() {
+        let sessions = vec![trip(17, 3, 40), trip(18, 4, 7), trip(101, 3, 1)];
+        let text = export_trace_csv(&sessions);
+        let parsed = parse_trace_csv(text.as_bytes());
+        assert!(parsed.issues.is_empty(), "{:?}", parsed.issues);
+        assert_eq!(parsed.records_total, 48);
+        assert_eq!(parsed.sessions.len(), sessions.len());
+        for (a, b) in sessions.iter().zip(&parsed.sessions) {
+            assert_bits_equal(a, b);
+        }
+    }
+
+    #[test]
+    fn crlf_and_bom_parse_identically() {
+        let text = export_trace_csv(&[trip(1, 1, 5)]);
+        let crlf = text.replace('\n', "\r\n");
+        let mut bom = vec![0xEF, 0xBB, 0xBF];
+        bom.extend_from_slice(crlf.as_bytes());
+        let plain = parse_trace_csv(text.as_bytes());
+        let hostile = parse_trace_csv(&bom);
+        assert!(hostile.issues.is_empty(), "{:?}", hostile.issues);
+        assert_eq!(plain.sessions.len(), hostile.sessions.len());
+        assert_bits_equal(&plain.sessions[0], &hostile.sessions[0]);
+    }
+
+    #[test]
+    fn malformed_records_degrade_not_abort() {
+        let mut text = export_trace_csv(&[trip(1, 1, 5)]);
+        text.push_str("not,a,record\n");
+        text.push_str("1,1,9,NaN-time,65,25,0,0,1,2,3,1650000000,1650000025,25,10250.53721,820.0625\n");
+        let parsed = parse_trace_csv(text.as_bytes());
+        assert_eq!(parsed.sessions.len(), 1);
+        assert_eq!(parsed.sessions[0].points.len(), 5);
+        assert_eq!(parsed.records_total, 7);
+        assert_eq!(parsed.issues.len(), 2);
+        assert_eq!(parsed.issues[0].reason, IngestReason::MalformedLine);
+        assert_eq!(parsed.issues[1].reason, IngestReason::MalformedLine);
+    }
+
+    #[test]
+    fn nonfinite_coordinates_are_domain_issues() {
+        let mut text = String::from(TRACE_HEADER);
+        text.push('\n');
+        text.push_str("1,1,0,1650000000,NaN,25,0,0,1,2,3,1650000000,1650000025,25,1,1\n");
+        text.push_str("1,1,1,1650000000,65,inf,0,0,1,2,3,1650000000,1650000025,25,1,1\n");
+        text.push_str("1,1,2,1650000000,91.0,25,0,0,1,2,3,1650000000,1650000025,25,1,1\n");
+        let parsed = parse_trace_csv(text.as_bytes());
+        assert!(parsed.sessions.is_empty());
+        assert_eq!(parsed.issues.len(), 3);
+        assert!(parsed.issues.iter().all(|i| i.reason == IngestReason::NumericRange));
+    }
+
+    #[test]
+    fn conflicting_trip_claims_are_rejected_per_record() {
+        let mut text = String::from(TRACE_HEADER);
+        text.push('\n');
+        // Trip 7 claimed by taxi 1, then by taxi 2 (duplicate), then a
+        // taxi-1 row whose summary disagrees (mismatch).
+        text.push_str("1,7,0,1650000000,65,25,0,0,1,2,3,1650000000,1650000025,25,1,1\n");
+        text.push_str("2,7,1,1650000001,65,25,0,0,1,2,3,1650000000,1650000025,25,1,1\n");
+        text.push_str("1,7,2,1650000002,65,25,0,0,1,2,3,1650000000,1650000025,25,9,1\n");
+        let parsed = parse_trace_csv(text.as_bytes());
+        assert_eq!(parsed.sessions.len(), 1);
+        assert_eq!(parsed.sessions[0].points.len(), 1);
+        let reasons: Vec<_> = parsed.issues.iter().map(|i| i.reason).collect();
+        assert_eq!(
+            reasons,
+            vec![IngestReason::DuplicateTrip, IngestReason::SchemaMismatch]
+        );
+    }
+
+    #[test]
+    fn missing_header_is_a_schema_issue_but_rows_still_parse() {
+        let text =
+            "1,1,0,1650000000,65,25,0,0,1,2,3,1650000000,1650000025,25,1,1\n".to_string();
+        let parsed = parse_trace_csv(text.as_bytes());
+        assert_eq!(parsed.issues.len(), 1);
+        assert_eq!(parsed.issues[0].reason, IngestReason::SchemaMismatch);
+        // The header-looking first line was consumed as the (bad) header;
+        // nothing else in the file, so no sessions.
+        assert!(parsed.sessions.is_empty());
+        let two = format!("{text}1,1,1,1650000005,65,25,0,0,1,2,3,1650000000,1650000025,25,1,1\n");
+        let parsed = parse_trace_csv(two.as_bytes());
+        assert_eq!(parsed.sessions.len(), 1, "second line parses as data");
+        assert_eq!(parsed.sessions[0].points.len(), 1);
+    }
+
+    #[test]
+    fn arbitrary_binary_never_panics() {
+        for bytes in [
+            &b"\x00\xFF\xFE\x01\x02"[..],
+            &b"taxi_id,\xC3\x28\n1,2\n"[..],
+            &[0u8; 4096][..],
+        ] {
+            let parsed = parse_trace_csv(bytes);
+            assert!(parsed.sessions.is_empty());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Committed adversarial trace fixtures with pinned quarantine ledgers.
+//!
+//! Each fixture exercises one damage class from the external-input threat
+//! model (DESIGN.md §16); the expected per-reason issue counts are exact,
+//! so any drift in framing or field validation fails loudly here before
+//! it can silently change what a real ingest run quarantines.
+
+use taxitrace_ingest::{parse_trace_csv, IngestReason, TraceParse};
+
+fn fixture(name: &str) -> TraceParse {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let bytes = std::fs::read(&path).expect("fixture file readable");
+    parse_trace_csv(&bytes)
+}
+
+fn count(parse: &TraceParse, reason: IngestReason) -> usize {
+    parse.issues.iter().filter(|i| i.reason == reason).count()
+}
+
+#[test]
+fn truncated_mid_record_loses_exactly_the_torn_row() {
+    let p = fixture("truncated_mid_record.csv");
+    assert_eq!(p.records_total, 4);
+    assert_eq!(p.issues.len(), 1);
+    assert_eq!(count(&p, IngestReason::MalformedLine), 1);
+    assert!(p.issues[0].detail.contains("expected 16 fields, got 5"));
+    // The three complete rows before the tear all survive.
+    assert_eq!(p.sessions.len(), 1);
+    assert_eq!(p.sessions[0].points.len(), 3);
+}
+
+#[test]
+fn bom_and_crlf_are_tolerated_without_quarantine() {
+    let p = fixture("bom_crlf.csv");
+    assert_eq!(p.records_total, 2);
+    assert!(p.issues.is_empty(), "{:?}", p.issues);
+    assert_eq!(p.sessions.len(), 1);
+    assert_eq!(p.sessions[0].points.len(), 2);
+    assert_eq!(p.sessions[0].taxi.0, 3);
+}
+
+#[test]
+fn megabyte_field_is_rejected_before_it_is_parsed() {
+    let p = fixture("huge_field.csv");
+    assert_eq!(p.records_total, 3);
+    assert_eq!(p.issues.len(), 1);
+    assert_eq!(count(&p, IngestReason::MalformedLine), 1);
+    assert!(p.issues[0].detail.contains("oversized (1048576 bytes)"));
+    // The rows flanking the hostile one survive.
+    assert_eq!(p.sessions.len(), 1);
+    assert_eq!(p.sessions[0].points.len(), 2);
+}
+
+#[test]
+fn non_finite_coordinates_quarantine_as_numeric_range() {
+    let p = fixture("nonfinite_coords.csv");
+    assert_eq!(p.records_total, 4);
+    assert_eq!(p.issues.len(), 3);
+    assert_eq!(count(&p, IngestReason::NumericRange), 3);
+    let fields: Vec<&str> = p
+        .issues
+        .iter()
+        .map(|i| i.detail.split(' ').next().unwrap_or(""))
+        .collect();
+    assert_eq!(fields, ["lat", "lon", "x_m"]);
+    assert_eq!(p.sessions.len(), 1);
+    assert_eq!(p.sessions[0].points.len(), 1);
+}
+
+#[test]
+fn duplicate_trip_claims_and_summary_drift_quarantine_separately() {
+    let p = fixture("duplicate_trip.csv");
+    assert_eq!(p.records_total, 4);
+    assert_eq!(p.issues.len(), 2);
+    // Row 3 re-claims trip 5 for taxi 2: the first claim wins.
+    assert_eq!(count(&p, IngestReason::DuplicateTrip), 1);
+    // Row 4 keeps the identity but disagrees with the trip summary.
+    assert_eq!(count(&p, IngestReason::SchemaMismatch), 1);
+    assert_eq!(p.sessions.len(), 1);
+    assert_eq!(p.sessions[0].taxi.0, 1);
+    assert_eq!(p.sessions[0].points.len(), 2);
+}

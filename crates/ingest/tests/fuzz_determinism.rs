@@ -1,0 +1,123 @@
+//! The adversarial-ingest property: 10 000 seeded mutants of well-formed
+//! external files (truncation, bit flips, field swaps, encoding garbage,
+//! CRLF/BOM rewrites, numeric extremes) never panic either parser, and
+//! parsing the same mutant twice yields the identical issue ledger — the
+//! quarantine outcome is a pure function of the bytes, never of timing,
+//! worker scheduling, or allocator state.
+//!
+//! The corpus is seeded, not random: case `n` mutates with seed `n`, so a
+//! failure reproduces from its seed alone (DESIGN.md §16).
+
+use proptest::prelude::*;
+use taxitrace_geo::{GeoPoint, Point};
+use taxitrace_ingest::{
+    export_trace_csv, mutate, parse_osmx, parse_trace_csv, RecordIssue,
+};
+use taxitrace_timebase::{Duration, Timestamp};
+use taxitrace_traces::{PointTruth, RawTrip, RoutePoint, TaxiId, TripId};
+
+/// A small well-formed trace corpus: mutants of valid files probe the
+/// interesting boundary between "parses clean" and "quarantines".
+fn base_csv() -> Vec<u8> {
+    let sessions: Vec<RawTrip> = (0..4u64)
+        .map(|id| {
+            let points = (0..6u64)
+                .map(|i| RoutePoint {
+                    point_id: id * 100 + i,
+                    trip_id: TripId(id),
+                    taxi: TaxiId(id as u16),
+                    geo: GeoPoint {
+                        lon: 25.46 + i as f64 * 1e-4,
+                        lat: 65.01 - i as f64 * 2e-4,
+                    },
+                    pos: Point { x: i as f64 * 37.25, y: -120.0 + i as f64 * 8.5 },
+                    timestamp: Timestamp::from_secs(1_650_000_000 + i as i64 * 5),
+                    speed_kmh: 24.0 + i as f64 * 1.375,
+                    heading_deg: (i as f64 * 61.0) % 360.0,
+                    fuel_ml: i as f64 * 11.125,
+                    truth: PointTruth { seq: i as u32, element: None },
+                })
+                .collect();
+            RawTrip {
+                id: TripId(id),
+                taxi: TaxiId(id as u16),
+                start_time: Timestamp::from_secs(1_650_000_000),
+                end_time: Timestamp::from_secs(1_650_000_030),
+                points,
+                total_time: Duration::from_secs(30),
+                total_distance_m: 420.5,
+                total_fuel_ml: 66.75,
+                truth_trips: Vec::new(),
+            }
+        })
+        .collect();
+    export_trace_csv(&sessions).into_bytes()
+}
+
+/// A small well-formed OSMX document (hand-written, not exported, so the
+/// map fuzzing does not depend on the synthetic city generator).
+fn base_osmx() -> Vec<u8> {
+    b"OSMX 1\n\
+      origin 25.46 65.01\n\
+      bounds -500 -500 500 500\n\
+      node 1 0 0\n\
+      node 2 120 0\n\
+      node 3 120 90\n\
+      node 4 0 90\n\
+      way 10 class=1 speed=60 flow=B nodes=1,2\n\
+      way 11 class=2 speed=50 flow=B nodes=2,3\n\
+      way 12 class=3 speed=40 flow=F nodes=3,4\n\
+      way 13 class=2 speed=50 flow=A nodes=4,1\n\
+      obj TL 10 35.5 60 0\n\
+      obj BS 11 12 120 24\n\
+      route main outer=0 inner=2 ways=10,11 axis=0:0;120:0;120:90\n\
+      signal 1\n"
+        .to_vec()
+}
+
+fn ledger(issues: &[RecordIssue]) -> Vec<(u64, &'static str, String)> {
+    issues.iter().map(|i| (i.record, i.reason.label(), i.detail.clone())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5_000))]
+
+    /// 5 000 trace mutants: no panic, and a bit-identical issue ledger,
+    /// session population and record count on a second parse.
+    #[test]
+    fn mutated_traces_never_panic_and_quarantine_deterministically(seed in 0u64..5_000) {
+        let mutant = mutate(&base_csv(), seed);
+        let first = parse_trace_csv(&mutant);
+        let second = parse_trace_csv(&mutant);
+        prop_assert_eq!(ledger(&first.issues), ledger(&second.issues));
+        prop_assert_eq!(first.records_total, second.records_total);
+        prop_assert_eq!(first.sessions.len(), second.sessions.len());
+        for (a, b) in first.sessions.iter().zip(&second.sessions) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.points.len(), b.points.len());
+        }
+    }
+
+    /// 5 000 map mutants: no panic, and file-level verdict plus per-record
+    /// ledger both reproduce exactly.
+    #[test]
+    fn mutated_maps_never_panic_and_quarantine_deterministically(seed in 0u64..5_000) {
+        let mutant = mutate(&base_osmx(), seed);
+        let first = parse_osmx(&mutant);
+        let second = parse_osmx(&mutant);
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(ledger(&a.issues), ledger(&b.issues));
+                prop_assert_eq!(a.records_total, b.records_total);
+                prop_assert_eq!(a.city.elements.len(), b.city.elements.len());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "verdict flipped between parses: {:?} vs {:?}",
+                a.map(|p| p.records_total),
+                b.map(|p| p.records_total)
+            ),
+        }
+    }
+}

@@ -24,8 +24,12 @@ use crate::snapshot::MetricsSnapshot;
 /// version 5 added the streaming families (`stream.records_total`,
 /// `stream.trips_closed`, `stream.late_dropped`, `stream.queue_depth`,
 /// `stream.watermark_lag_s`, `stream.window.*`, …) and the serving
-/// admission-control metrics (`serve.shed_total`, `serve.max_inflight`).
-pub const JSON_SCHEMA_VERSION: u32 = 5;
+/// admission-control metrics (`serve.shed_total`, `serve.max_inflight`);
+/// version 6 added the untrusted-ingestion families (`ingest.records_total`,
+/// `ingest.records_valid`, `ingest.quarantined_total`, `ingest.damaged.*`,
+/// `ingest.sessions`, `ingest.map.records_total`) and the header-hardening
+/// counter (`serve.oversize_total`).
+pub const JSON_SCHEMA_VERSION: u32 = 6;
 
 /// Output format of [`render`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,7 +281,7 @@ mod tests {
     fn json_contains_all_sections() {
         let json = render_json(&sample());
         for needle in [
-            "\"schema\": 5",
+            "\"schema\": 6",
             "\"clean.sessions\": 42",
             "\"exec.workers\": 4.000000",
             "\"exec.worker_tasks\"",

@@ -57,6 +57,15 @@ fn fixed_registry() -> Registry {
     reg.gauge("stream.window.transitions").set(5.0);
     reg.counter("serve.shed_total").add(5);
     reg.gauge("serve.max_inflight").set(8.0);
+    // Untrusted-ingestion + header-hardening families (schema v6).
+    reg.counter("ingest.records_total").add(37502);
+    reg.counter("ingest.records_valid").add(37498);
+    reg.counter("ingest.quarantined_total").add(4);
+    reg.counter("ingest.damaged.malformed_line").add(2);
+    reg.counter("ingest.damaged.numeric_range").add(2);
+    reg.counter("ingest.sessions").add(888);
+    reg.counter("ingest.map.records_total").add(1547);
+    reg.counter("serve.oversize_total").add(1);
     let lat = reg.histogram("serve.latency_us", &[250.0, 1000.0, 5000.0]);
     for v in [120.0, 300.0, 300.0, 2200.0, 9000.0] {
         lat.observe(v);

@@ -44,9 +44,10 @@ const LATENCY_BOUNDS_US: [f64; 10] =
 /// rather than pinning a worker.
 const IO_DEADLINE: Duration = Duration::from_secs(5);
 
-/// Most header lines a request may send before the connection is
-/// dropped: each line costs a timed read, so unbounded headers would
-/// turn the read deadline into `lines x deadline`.
+/// Most header lines a request may send before it is refused with a
+/// typed 431 (counted in `serve.oversize_total`): each line costs a
+/// timed read, so unbounded headers would turn the read deadline into
+/// `lines x deadline`.
 const MAX_HEADER_LINES: usize = 64;
 
 /// Server hardening knobs.
@@ -78,6 +79,7 @@ pub(crate) struct ServeMetrics {
     grid_stats: Counter,
     errors_total: Counter,
     shed_total: Counter,
+    oversize_total: Counter,
     latency_us: Histogram,
     epoch_refreshes: Counter,
 }
@@ -92,6 +94,7 @@ impl ServeMetrics {
             grid_stats: reg.counter("serve.requests.grid_stats"),
             errors_total: reg.counter("serve.errors_total"),
             shed_total: reg.counter("serve.shed_total"),
+            oversize_total: reg.counter("serve.oversize_total"),
             latency_us: reg.histogram("serve.latency_us", &LATENCY_BOUNDS_US),
             epoch_refreshes: reg.counter("serve.epoch_refreshes"),
         }
@@ -279,6 +282,12 @@ fn handle_conn(
     let mut header = String::new();
     for drained in 0.. {
         if drained >= MAX_HEADER_LINES {
+            // Tell the client why before closing: a silent drop looks
+            // like a network fault and invites a retry of the same
+            // oversized request.
+            metrics.oversize_total.inc();
+            let mut stream = buf.into_inner();
+            respond(&mut stream, 431, &err_json("too many header lines"));
             return;
         }
         header.clear();
@@ -438,6 +447,7 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str) {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
     };

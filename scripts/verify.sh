@@ -97,7 +97,7 @@ python3 - "$metrics" <<'EOF'
 import json, sys
 
 m = json.load(open(sys.argv[1]))
-assert m.get("schema") == 5, f"metrics JSON schema drifted: {m.get('schema')!r}"
+assert m.get("schema") == 6, f"metrics JSON schema drifted: {m.get('schema')!r}"
 for key in ("counters", "gauges", "histograms", "spans"):
     assert key in m, f"missing top-level key {key!r}"
 counters = m["counters"]
@@ -324,7 +324,7 @@ except urllib.error.HTTPError as e:
     assert "empty time range" in json.load(e)["error"]
 
 m = get("/metrics")
-assert m.get("schema") == 5, f"serve metrics schema drifted: {m.get('schema')!r}"
+assert m.get("schema") == 6, f"serve metrics schema drifted: {m.get('schema')!r}"
 counters = m["counters"]
 assert counters.get("serve.requests_total", 0) >= 4, \
     f"serve.requests_total too low: {counters.get('serve.requests_total')}"
@@ -431,7 +431,7 @@ python3 - "$smetrics" <<'EOF'
 import json, sys
 
 m = json.load(open(sys.argv[1]))
-assert m.get("schema") == 5, f"stream metrics schema drifted: {m.get('schema')!r}"
+assert m.get("schema") == 6, f"stream metrics schema drifted: {m.get('schema')!r}"
 counters = m["counters"]
 for k in ("stream.records_total", "stream.trips_closed",
           "stream.checkpoints", "stream.resumes"):
@@ -444,5 +444,77 @@ print(f"stream smoke OK: {counters['stream.records_total']} records, "
       f"{counters['stream.resumes']} resume(s), fingerprint converged")
 EOF
 rm -rf "$sref" "$skill" "$serrs" "$smetrics" "$splan" "$sckdir"
+
+# Adversarial-ingest smoke: the untrusted-input layer must (a) round-trip
+# an export byte-identically into the batch study fingerprint, (b) survive
+# a seeded mutation of that export without panicking, quarantining the
+# identical ledger across two runs and across --threads 1/4, and (c) keep
+# the documented exit-code split: 0 success-with-quarantine, 2 I/O or
+# usage error, 3 ingest error budget exceeded.
+ext=$(mktemp -d)
+ibj=$(mktemp)
+iout1=$(mktemp)
+iout2=$(mktemp)
+imet1=$(mktemp)
+imet2=$(mktemp)
+./target/release/repro export "$ext" --scale 0.05 2>/dev/null
+./target/release/repro table3 --scale 0.05 --bench-json "$ibj" >/dev/null 2>&1
+batch_fp=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["study_fingerprint"])' "$ibj")
+./target/release/repro ingest "$ext/traces.csv" --map "$ext/map.osmx" --scale 0.05 \
+    > "$iout1" 2>/dev/null
+rt_fp=$(sed -n 's/^study fingerprint \(0x[0-9a-f]*\)$/\1/p' "$iout1")
+[ -n "$rt_fp" ] && [ "$batch_fp" = "$rt_fp" ] || {
+    echo "verify: export -> ingest round trip fingerprint $rt_fp != batch $batch_fp" >&2
+    exit 1
+}
+grep -q "^ingest records [0-9]* quarantined 0$" "$iout1" || {
+    echo "verify: clean round trip quarantined records" >&2
+    cat "$iout1" >&2
+    exit 1
+}
+
+./target/release/repro mutate "$ext/traces.csv" "$ext/mutant.csv" --seed 7 > /dev/null
+./target/release/repro ingest "$ext/mutant.csv" --scale 0.05 --threads 1 \
+    --metrics json --metrics-out "$imet1" > "$iout1" 2>/dev/null
+./target/release/repro ingest "$ext/mutant.csv" --scale 0.05 --threads 4 \
+    --metrics json --metrics-out "$imet2" > "$iout2" 2>/dev/null
+cmp -s "$iout1" "$iout2" || {
+    echo "verify: mutant ingest output differs across --threads 1/4" >&2
+    diff "$iout1" "$iout2" >&2 || true
+    exit 1
+}
+python3 - "$imet1" "$imet2" <<'EOF'
+import json, sys
+
+a = json.load(open(sys.argv[1]))["counters"]
+b = json.load(open(sys.argv[2]))["counters"]
+for k in ("ingest.records_total", "ingest.records_valid",
+          "ingest.quarantined_total", "ingest.sessions"):
+    assert k in a, f"missing counter {k!r}"
+    assert a[k] == b[k], f"{k} differs across worker counts: {a[k]} != {b[k]}"
+assert a["ingest.quarantined_total"] > 0, "seed-7 mutant quarantined nothing"
+ing = {k: v for k, v in a.items() if k.startswith("ingest.damaged.")}
+assert ing, "no per-reason ingest.damaged.* counters"
+print(f"ingest smoke OK: {a['ingest.records_total']} records, "
+      f"{a['ingest.quarantined_total']} quarantined deterministically, "
+      f"round trip fingerprint converged")
+EOF
+
+# Exit-code split: unreadable input is 2, a blown ingest budget is 3
+# (success-with-quarantine was exit 0 above).
+rc=0
+./target/release/repro ingest "$ext/no-such-file.csv" --scale 0.05 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || {
+    echo "verify: unreadable ingest input exited $rc, want 2" >&2
+    exit 1
+}
+printf 'taxi_id,trip_id,point_id,t,lat,lon,x_m,y_m,speed_kmh,heading_deg,fuel_ml,trip_start_t,trip_end_t,trip_time_s,trip_dist_m,trip_fuel_ml\nnot,a,valid,row\n1,5,0,1650000000,65.05,25.50,1.0,1.0,20.0,10.0,3.0,1650000000,1650000050,50,900.0,40.0\n' > "$ext/over_budget.csv"
+rc=0
+./target/release/repro ingest "$ext/over_budget.csv" --scale 0.05 >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || {
+    echo "verify: over-budget ingest exited $rc, want 3" >&2
+    exit 1
+}
+rm -rf "$ext" "$ibj" "$iout1" "$iout2" "$imet1" "$imet2"
 
 echo "verify: all checks passed"

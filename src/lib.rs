@@ -21,6 +21,7 @@
 //! | [`obs`] | metrics registry, spans, schema-versioned renderers |
 //! | [`serve`] | read service: epoch-swapped snapshots, HTTP/JSON queries |
 //! | [`stream`] | streaming ingest: watermarks, backpressure, stream cursors |
+//! | [`ingest`] | untrusted external trace/map formats, fuzz mutators |
 //!
 //! See the repository's `README.md` for a tour and `EXPERIMENTS.md` for the
 //! paper-versus-measured record.
@@ -36,6 +37,7 @@
 pub use taxitrace_cleaning as cleaning;
 pub use taxitrace_core as core;
 pub use taxitrace_geo as geo;
+pub use taxitrace_ingest as ingest;
 pub use taxitrace_matching as matching;
 pub use taxitrace_obs as obs;
 pub use taxitrace_od as od;

@@ -178,6 +178,40 @@ fn concurrent_readers_agree_with_sequential_replay() {
     server.shutdown();
 }
 
+/// Header hardening: a request that exceeds the 64-line header-drain cap
+/// is answered with a typed 431 (and counted in `serve.oversize_total`)
+/// before the connection closes — not silently dropped, which would look
+/// like a network fault and invite a retry of the same oversized request.
+#[test]
+fn oversized_headers_refused_with_typed_431() {
+    let registry = taxi_traces::obs::Registry::new();
+    let server = Server::start(
+        Snapshot::from_output(Study::new(config()).run().expect("study runs")),
+        0,
+        2,
+        registry.clone(),
+    )
+    .expect("server starts");
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    let _ = write!(stream, "GET /healthz HTTP/1.1\r\n");
+    for i in 0..80 {
+        let _ = write!(stream, "X-Pad-{i}: x\r\n");
+    }
+    let _ = write!(stream, "\r\n");
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("framed response");
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+    assert_eq!(status, 431);
+    assert!(body.contains("too many header lines"), "{body}");
+    let counters = registry.snapshot();
+    assert_eq!(counters.counter("serve.oversize_total"), Some(1));
+    // The refused request never reached the parser, so it is not work done.
+    assert_eq!(counters.counter("serve.requests_total"), Some(0));
+    server.shutdown();
+}
+
 /// Admission control: with the in-flight cap forced to zero, every
 /// request is shed with a typed 503 and counted in `serve.shed_total` —
 /// the server degrades by refusing, never by queueing without bound.
